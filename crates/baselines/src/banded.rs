@@ -1,0 +1,161 @@
+//! Ukkonen's banded edit-distance algorithm with threshold doubling.
+//!
+//! The DP matrix is evaluated only within a diagonal band of half-width
+//! `k`; if the resulting distance exceeds `k`, the band is doubled and
+//! the computation retried. This is the second ingredient of Edlib
+//! (besides the bit-vector inner loop) and a common software baseline.
+
+/// Global edit distance within threshold `k`: returns `None` when the
+/// true distance exceeds `k`.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::banded::banded_distance_within;
+///
+/// assert_eq!(banded_distance_within(b"ACGT", b"ACCT", 1), Some(1));
+/// assert_eq!(banded_distance_within(b"AAAA", b"TTTT", 2), None);
+/// ```
+pub fn banded_distance_within(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+    let n = a.len();
+    let m = b.len();
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let big = usize::MAX / 2;
+    // Row i covers columns (i - k)..=(i + k) clamped to 0..=m.
+    let width = 2 * k + 1;
+    let mut prev = vec![big; width];
+    let mut cur = vec![big; width];
+    // prev corresponds to row 0: D[0][j] = j for j in band.
+    for (off, item) in prev.iter_mut().enumerate() {
+        // Row 0 band: columns (0 - k + off); valid when >= 0 and <= m.
+        let col = off as isize - k as isize;
+        if (0..=m as isize).contains(&col) {
+            *item = col as usize;
+        }
+    }
+    for i in 1..=n {
+        for item in cur.iter_mut() {
+            *item = big;
+        }
+        // Column 0 of row i (deletions only), if inside the band.
+        if i <= k {
+            cur[k - i] = i;
+        }
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        for j in lo..=hi {
+            let off = j + k - i; // offset of column j in row i's band
+            let cost = usize::from(!a[i - 1].eq_ignore_ascii_case(&b[j - 1]));
+            let mut best = big;
+            // Diagonal: D[i-1][j-1] is at offset (j-1) + k - (i-1) = off.
+            if prev[off] < big {
+                best = best.min(prev[off] + cost);
+            }
+            // Up: D[i-1][j] at offset j + k - (i-1) = off + 1.
+            if off + 1 < width && prev[off + 1] < big {
+                best = best.min(prev[off + 1] + 1);
+            }
+            // Left: D[i][j-1] at offset off - 1.
+            if off >= 1 && cur[off - 1] < big {
+                best = best.min(cur[off - 1] + 1);
+            }
+            cur[off] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let off = m + k - n;
+    if off < width && prev[off] <= k {
+        Some(prev[off])
+    } else {
+        None
+    }
+}
+
+/// Exact global edit distance by band doubling: starts at
+/// `k = max(1, |n - m|)` and doubles until the distance fits.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::banded::banded_distance;
+///
+/// assert_eq!(banded_distance(b"kitten", b"sitting"), 3);
+/// ```
+pub fn banded_distance(a: &[u8], b: &[u8]) -> usize {
+    let mut k = a.len().abs_diff(b.len()).max(1);
+    loop {
+        if let Some(d) = banded_distance_within(a, b, k) {
+            return d;
+        }
+        k *= 2;
+        // The distance is at most max(n, m); a band that wide is exact.
+        if k >= a.len().max(b.len()) {
+            return banded_distance_within(a, b, a.len().max(b.len()))
+                .expect("full-width band is exact");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::nw_distance;
+
+    #[test]
+    fn within_threshold_matches_dp() {
+        let cases: [(&[u8], &[u8]); 5] = [
+            (b"ACGT", b"ACGT"),
+            (b"ACGT", b"ACCT"),
+            (b"ACGGT", b"ACGT"),
+            (b"GATTACA", b"GCATGCU"),
+            (b"AAAA", b"TTTT"),
+        ];
+        for (a, b) in cases {
+            let d = nw_distance(a, b);
+            for k in d..d + 3 {
+                assert_eq!(banded_distance_within(a, b, k), Some(d), "{:?}/{:?} k={}", a, b, k);
+            }
+            if d > 0 {
+                assert_eq!(banded_distance_within(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_is_exact_on_random_pairs() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n = (next() % 150 + 1) as usize;
+            let m = (next() % 150 + 1) as usize;
+            let a: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let b: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            assert_eq!(banded_distance(&a, &b), nw_distance(&a, &b));
+        }
+    }
+
+    #[test]
+    fn length_difference_prunes_immediately() {
+        assert_eq!(banded_distance_within(b"A", b"AAAAAAAA", 3), None);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(banded_distance(b"", b""), 0);
+        assert_eq!(banded_distance(b"ACG", b""), 3);
+        assert_eq!(banded_distance(b"", b"AC"), 2);
+    }
+}

@@ -1,0 +1,339 @@
+//! Gotoh affine-gap alignment: the dynamic-programming algorithm at the
+//! heart of the BWA-MEM and Minimap2 alignment steps (§9 of the paper).
+//!
+//! Three DP matrices (`H` overall, `E` gap-in-pattern, `F`
+//! gap-in-text) give gap cost `gap_open + L * gap_extend` for a gap of
+//! length `L`, matching the tools' scoring conventions reproduced in
+//! [`Scoring`].
+
+use genasm_core::cigar::{Cigar, CigarOp};
+use genasm_core::scoring::Scoring;
+
+/// End semantics of the Gotoh aligner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GotohMode {
+    /// Both sequences fully consumed.
+    #[default]
+    Global,
+    /// Pattern fully consumed, text suffix free — the semantics of
+    /// aligning a read to a candidate reference region, and the
+    /// semantics of the GenASM aligner.
+    TextSuffixFree,
+}
+
+/// An affine-gap alignment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GotohAlignment {
+    /// Alignment score under the configured scoring scheme.
+    pub score: i64,
+    /// Transcript of pattern against text.
+    pub cigar: Cigar,
+    /// Text characters consumed.
+    pub text_consumed: usize,
+}
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Affine-gap aligner (BWA-MEM / Minimap2 alignment-step stand-in).
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+/// use genasm_core::scoring::Scoring;
+///
+/// let aligner = GotohAligner::new(Scoring::bwa_mem(), GotohMode::Global);
+/// let result = aligner.align(b"ACGTACGT", b"ACGTACGT");
+/// assert_eq!(result.score, 8); // 8 matches x +1
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GotohAligner {
+    scoring: Scoring,
+    mode: GotohMode,
+}
+
+impl GotohAligner {
+    /// Creates an aligner with a scoring scheme and end semantics.
+    pub fn new(scoring: Scoring, mode: GotohMode) -> Self {
+        GotohAligner { scoring, mode }
+    }
+
+    /// The configured scoring scheme.
+    pub fn scoring(&self) -> &Scoring {
+        &self.scoring
+    }
+
+    /// Aligns `pattern` against `text` and returns the score-optimal
+    /// alignment under the affine model.
+    pub fn align(&self, text: &[u8], pattern: &[u8]) -> GotohAlignment {
+        let n = text.len();
+        let m = pattern.len();
+        let s = &self.scoring;
+        let (go, ge) = (s.gap_open as i64, s.gap_extend as i64);
+
+        // h[i][j]: best score aligning text[..i] with pattern[..j].
+        // e: alignments ending with an insertion (gap in text);
+        // f: alignments ending with a deletion (gap in pattern).
+        let w = m + 1;
+        let mut h = vec![NEG_INF; (n + 1) * w];
+        let mut e = vec![NEG_INF; (n + 1) * w];
+        let mut f = vec![NEG_INF; (n + 1) * w];
+        let at = |i: usize, j: usize| i * w + j;
+
+        h[at(0, 0)] = 0;
+        for j in 1..=m {
+            e[at(0, j)] = go + ge * j as i64;
+            h[at(0, j)] = e[at(0, j)];
+        }
+        for i in 1..=n {
+            f[at(i, 0)] = go + ge * i as i64;
+            h[at(i, 0)] = f[at(i, 0)];
+            for j in 1..=m {
+                let sub = if text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]) {
+                    s.match_score as i64
+                } else {
+                    s.mismatch as i64
+                };
+                let diag = h[at(i - 1, j - 1)] + sub;
+                e[at(i, j)] = (e[at(i, j - 1)] + ge).max(h[at(i, j - 1)] + go + ge);
+                f[at(i, j)] = (f[at(i - 1, j)] + ge).max(h[at(i - 1, j)] + go + ge);
+                h[at(i, j)] = diag.max(e[at(i, j)]).max(f[at(i, j)]);
+            }
+        }
+
+        // Select the end cell.
+        let end_i = match self.mode {
+            GotohMode::Global => n,
+            GotohMode::TextSuffixFree => (0..=n).max_by_key(|&i| h[at(i, m)]).unwrap_or(n),
+        };
+        let score = h[at(end_i, m)];
+
+        // Traceback with explicit state (H/E/F) so affine runs stay
+        // contiguous.
+        #[derive(Clone, Copy, PartialEq)]
+        enum State {
+            H,
+            E,
+            F,
+        }
+        let mut ops_rev = Vec::new();
+        let (mut i, mut j) = (end_i, m);
+        let mut state = State::H;
+        while i > 0 || j > 0 {
+            match state {
+                State::H => {
+                    let cur = h[at(i, j)];
+                    if j > 0 && cur == e[at(i, j)] {
+                        state = State::E;
+                    } else if i > 0 && cur == f[at(i, j)] {
+                        state = State::F;
+                    } else {
+                        let sub = if text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]) {
+                            ops_rev.push(CigarOp::Match);
+                            s.match_score as i64
+                        } else {
+                            ops_rev.push(CigarOp::Subst);
+                            s.mismatch as i64
+                        };
+                        debug_assert_eq!(cur, h[at(i - 1, j - 1)] + sub);
+                        i -= 1;
+                        j -= 1;
+                    }
+                }
+                State::E => {
+                    ops_rev.push(CigarOp::Ins);
+                    let opened = h[at(i, j - 1)] + go + ge == e[at(i, j)];
+                    let extended = j >= 2 && e[at(i, j - 1)] + ge == e[at(i, j)];
+                    j -= 1;
+                    if extended && !opened {
+                        state = State::E;
+                    } else {
+                        state = State::H;
+                    }
+                }
+                State::F => {
+                    ops_rev.push(CigarOp::Del);
+                    let opened = h[at(i - 1, j)] + go + ge == f[at(i, j)];
+                    let extended = i >= 2 && f[at(i - 1, j)] + ge == f[at(i, j)];
+                    i -= 1;
+                    if extended && !opened {
+                        state = State::F;
+                    } else {
+                        state = State::H;
+                    }
+                }
+            }
+        }
+        let mut cigar = Cigar::new();
+        for &op in ops_rev.iter().rev() {
+            cigar.push(op);
+        }
+        GotohAlignment { score, cigar, text_consumed: end_i }
+    }
+}
+
+impl GotohAligner {
+    /// Score-only alignment with O(m) memory (rolling rows) — the
+    /// long-read path, where the full traceback matrices of
+    /// [`align`](Self::align) would need gigabytes. Produces the same
+    /// score as `align` and performs the same `n·m` cell updates, so
+    /// it is the fair throughput baseline for the Figure 9
+    /// measurements.
+    pub fn score_only(&self, text: &[u8], pattern: &[u8]) -> i64 {
+        let n = text.len();
+        let m = pattern.len();
+        let s = &self.scoring;
+        let (go, ge) = (s.gap_open as i64, s.gap_extend as i64);
+
+        let mut h_prev = vec![NEG_INF; m + 1];
+        let mut e_prev = vec![NEG_INF; m + 1];
+        let mut h_cur = vec![NEG_INF; m + 1];
+        let mut e_cur = vec![NEG_INF; m + 1];
+        let mut f_prev = vec![NEG_INF; m + 1];
+        let mut f_cur = vec![NEG_INF; m + 1];
+
+        h_prev[0] = 0;
+        for j in 1..=m {
+            e_prev[j] = go + ge * j as i64;
+            h_prev[j] = e_prev[j];
+        }
+        let mut best_last_col = h_prev[m];
+        for i in 1..=n {
+            f_cur[0] = go + ge * i as i64;
+            h_cur[0] = f_cur[0];
+            e_cur[0] = NEG_INF;
+            for j in 1..=m {
+                let sub = if text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]) {
+                    s.match_score as i64
+                } else {
+                    s.mismatch as i64
+                };
+                e_cur[j] = (e_cur[j - 1] + ge).max(h_cur[j - 1] + go + ge);
+                f_cur[j] = (f_prev[j] + ge).max(h_prev[j] + go + ge);
+                h_cur[j] = (h_prev[j - 1] + sub).max(e_cur[j]).max(f_cur[j]);
+            }
+            if h_cur[m] > best_last_col {
+                best_last_col = h_cur[m];
+            }
+            std::mem::swap(&mut h_prev, &mut h_cur);
+            std::mem::swap(&mut e_prev, &mut e_cur);
+            std::mem::swap(&mut f_prev, &mut f_cur);
+        }
+        match self.mode {
+            GotohMode::Global => h_prev[m],
+            GotohMode::TextSuffixFree => best_last_col,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bwa() -> GotohAligner {
+        GotohAligner::new(Scoring::bwa_mem(), GotohMode::Global)
+    }
+
+    #[test]
+    fn score_only_matches_full_alignment() {
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"ACGTACGT", b"ACCTACGT"),
+            (b"ACGGTCATGCA", b"ACGTCATGAA"),
+            (b"AAAA", b"TTTT"),
+            (b"GATTACAGATTACA", b"GATTAGATTACA"),
+        ];
+        for (t, p) in cases {
+            for mode in [GotohMode::Global, GotohMode::TextSuffixFree] {
+                for scoring in [Scoring::bwa_mem(), Scoring::minimap2()] {
+                    let aligner = GotohAligner::new(scoring, mode);
+                    assert_eq!(
+                        aligner.score_only(t, p),
+                        aligner.align(t, p).score,
+                        "{:?}/{:?} {:?}",
+                        t,
+                        p,
+                        mode
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_match_scores_matches() {
+        let r = bwa().align(b"ACGTACGT", b"ACGTACGT");
+        assert_eq!(r.score, 8);
+        assert_eq!(r.cigar.to_string(), "8=");
+    }
+
+    #[test]
+    fn cigar_score_agrees_with_dp_score() {
+        let cases: [(&[u8], &[u8]); 5] = [
+            (b"ACGTACGT", b"ACCTACGT"),
+            (b"ACGTACGT", b"ACGGGTACGT"),
+            (b"ACGGTCATGCA", b"ACGTCATGAA"),
+            (b"AAAA", b"TTTT"),
+            (b"GATTACAGATTACA", b"GATTAGATTACA"),
+        ];
+        for (t, p) in cases {
+            for scoring in [Scoring::bwa_mem(), Scoring::minimap2(), Scoring::unit()] {
+                let r = GotohAligner::new(scoring, GotohMode::Global).align(t, p);
+                assert!(r.cigar.validates(t, p), "{:?}/{:?}", t, p);
+                assert_eq!(
+                    scoring.score_cigar(&r.cigar),
+                    r.score,
+                    "{:?}/{:?} cigar={} score mismatch",
+                    t,
+                    p,
+                    r.cigar
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap() {
+        // With affine costs one 2-gap beats two 1-gaps.
+        let scoring = Scoring::new(1, -10, -4, -1);
+        let r = GotohAligner::new(scoring, GotohMode::Global).align(b"ACGGGTAC", b"ACTAC");
+        // Expect one contiguous 3-deletion.
+        let del_runs = r
+            .cigar
+            .runs()
+            .iter()
+            .filter(|&&(op, _)| op == CigarOp::Del)
+            .count();
+        assert_eq!(del_runs, 1, "cigar={}", r.cigar);
+    }
+
+    #[test]
+    fn unit_scoring_reproduces_edit_distance() {
+        use crate::nw::nw_distance;
+        let cases: [(&[u8], &[u8]); 3] = [
+            (b"ACGTACGT", b"ACCTACGT"),
+            (b"ACGGTCATGCA", b"ACGTCATGAA"),
+            (b"GATTACA", b"GCATGCU"),
+        ];
+        for (t, p) in cases {
+            let r = GotohAligner::new(Scoring::unit(), GotohMode::Global).align(t, p);
+            assert_eq!((-r.score) as usize, nw_distance(t, p));
+        }
+    }
+
+    #[test]
+    fn text_suffix_free_ignores_reference_tail() {
+        let aligner = GotohAligner::new(Scoring::bwa_mem(), GotohMode::TextSuffixFree);
+        let r = aligner.align(b"ACGTACGTTTTTTTTT", b"ACGTACGT");
+        assert_eq!(r.score, 8);
+        assert_eq!(r.text_consumed, 8);
+    }
+
+    #[test]
+    fn empty_pattern_is_all_deletions_or_nothing() {
+        let r = bwa().align(b"ACG", b"");
+        assert_eq!(r.cigar.to_string(), "3D");
+        let aligner = GotohAligner::new(Scoring::bwa_mem(), GotohMode::TextSuffixFree);
+        let r = aligner.align(b"ACG", b"");
+        assert_eq!(r.text_consumed, 0);
+    }
+}

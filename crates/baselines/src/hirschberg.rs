@@ -1,0 +1,168 @@
+//! Hirschberg's linear-space global alignment (Myers & Miller 1988,
+//! cited as reference 120, "Optimal Alignments in Linear Space", in the paper).
+//!
+//! The full NW traceback matrix needs `O(n·m)` memory — gigabytes for
+//! a 10 Kbp read — which is exactly the scaling problem GenASM's
+//! windowing attacks in hardware. Hirschberg's divide-and-conquer
+//! recovers the *optimal* unit-cost transcript in `O(n + m)` memory and
+//! `O(n·m)` time by splitting the pattern at its midpoint and locating
+//! the optimal crossing column with one forward and one backward
+//! score-only pass. It is the fair software baseline for long-read
+//! traceback comparisons (the plain `nw_align` cannot run there).
+
+use genasm_core::cigar::{Cigar, CigarOp};
+
+/// Forward score-only NW pass: distances from `(0, 0)` to `(i, j)` for
+/// all `j`, at row `i = a.len()`.
+fn forward_scores(a: &[u8], b: &[u8]) -> Vec<usize> {
+    let m = b.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &ac) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &bc) in b.iter().enumerate() {
+            let cost = usize::from(!ac.eq_ignore_ascii_case(&bc));
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+/// Backward pass: distances from `(i, j)` to `(n, m)`.
+fn backward_scores(a: &[u8], b: &[u8]) -> Vec<usize> {
+    let m = b.len();
+    let mut prev: Vec<usize> = (0..=m).rev().collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &ac) in a.iter().enumerate().rev() {
+        let rows_below = a.len() - i;
+        cur[m] = rows_below;
+        for j in (0..m).rev() {
+            let cost = usize::from(!ac.eq_ignore_ascii_case(&b[j]));
+            cur[j] = (prev[j + 1] + cost).min(prev[j] + 1).min(cur[j + 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+fn solve(a: &[u8], b: &[u8], cigar: &mut Cigar) {
+    // Base cases: one side empty, or thin enough for direct DP.
+    if a.is_empty() {
+        cigar.push_run(CigarOp::Ins, b.len() as u32);
+        return;
+    }
+    if b.is_empty() {
+        cigar.push_run(CigarOp::Del, a.len() as u32);
+        return;
+    }
+    if a.len() == 1 {
+        // One text character: match/substitute it against the best
+        // pattern character, insert the rest.
+        let pos = b
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(&a[0]))
+            .unwrap_or(0);
+        cigar.push_run(CigarOp::Ins, pos as u32);
+        cigar.push(if b[pos].eq_ignore_ascii_case(&a[0]) { CigarOp::Match } else { CigarOp::Subst });
+        cigar.push_run(CigarOp::Ins, (b.len() - pos - 1) as u32);
+        return;
+    }
+    // Split the text at its midpoint; find the pattern column where the
+    // optimal path crosses.
+    let mid = a.len() / 2;
+    let fwd = forward_scores(&a[..mid], b);
+    let bwd = backward_scores(&a[mid..], b);
+    let split = (0..=b.len())
+        .min_by_key(|&j| fwd[j] + bwd[j])
+        .expect("non-empty row");
+    solve(&a[..mid], &b[..split], cigar);
+    solve(&a[mid..], &b[split..], cigar);
+}
+
+/// Global unit-cost alignment in linear space: returns the edit
+/// distance and an optimal transcript.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::hirschberg::hirschberg_align;
+///
+/// let (dist, cigar) = hirschberg_align(b"GATTACA", b"GCATGCT");
+/// assert_eq!(dist, 4);
+/// assert!(cigar.validates(b"GATTACA", b"GCATGCT"));
+/// ```
+pub fn hirschberg_align(text: &[u8], pattern: &[u8]) -> (usize, Cigar) {
+    let mut cigar = Cigar::new();
+    solve(text, pattern, &mut cigar);
+    (cigar.edit_distance(), cigar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::{nw_align, nw_distance};
+
+    #[test]
+    fn matches_full_dp_on_classics() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"GATTACA", b"GCATGCT"),
+            (b"kitten", b"sitting"),
+            (b"ACGT", b"ACGT"),
+            (b"ACGT", b"TGCA"),
+            (b"A", b"ACGTACGT"),
+            (b"ACGTACGT", b"T"),
+        ];
+        for (t, p) in cases {
+            let (d, cigar) = hirschberg_align(t, p);
+            assert_eq!(d, nw_distance(t, p), "{:?}/{:?}", t, p);
+            assert!(cigar.validates(t, p), "{:?}/{:?}: {}", t, p, cigar);
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        let (d, cigar) = hirschberg_align(b"", b"ACG");
+        assert_eq!((d, cigar.to_string()), (3, "3I".to_string()));
+        let (d, cigar) = hirschberg_align(b"ACG", b"");
+        assert_eq!((d, cigar.to_string()), (3, "3D".to_string()));
+        let (d, cigar) = hirschberg_align(b"", b"");
+        assert_eq!((d, cigar.to_string()), (0, "*".to_string()));
+    }
+
+    #[test]
+    fn matches_full_dp_on_random_pairs() {
+        let mut state = 0xCAFEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n = (next() % 120 + 1) as usize;
+            let m = (next() % 120 + 1) as usize;
+            let t: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let p: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let (d, cigar) = hirschberg_align(&t, &p);
+            let (d_dp, _) = nw_align(&t, &p);
+            assert_eq!(d, d_dp);
+            assert!(cigar.validates(&t, &p));
+        }
+    }
+
+    #[test]
+    fn long_sequences_stay_in_linear_memory() {
+        // 8 Kbp x 8 Kbp would need ~500 MB as a full traceback matrix;
+        // Hirschberg handles it in O(n + m).
+        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(8_000).collect();
+        let mut p = t.clone();
+        for pos in [2_000usize, 5_000, 7_500] {
+            p[pos] = if p[pos] == b'A' { b'C' } else { b'A' };
+        }
+        p.remove(6_000);
+        let (d, cigar) = hirschberg_align(&t, &p);
+        assert_eq!(d, 4);
+        assert!(cigar.validates(&t, &p));
+    }
+}

@@ -1,0 +1,177 @@
+//! Landau–Vishkin k-difference algorithm (the classic `O(k·n)`
+//! thresholded edit-distance method, from the approximate-string-
+//! matching literature the paper surveys in §2.2/§12).
+//!
+//! Instead of filling DP cells, Landau–Vishkin tracks, for each
+//! diagonal and each edit count `e`, the *furthest row* reachable with
+//! exactly `e` edits, extending runs of exact matches greedily along
+//! the diagonal. With `k` allowed edits only `O(k²)` state is touched
+//! (plus match-run scans), making it the asymptotically best exact
+//! method for small distances and a natural software baseline next to
+//! banded DP and bit-vector methods.
+
+/// Global edit distance within threshold `k` via Landau–Vishkin;
+/// `None` when the distance exceeds `k`.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::landau_vishkin::lv_distance_within;
+///
+/// assert_eq!(lv_distance_within(b"ACGT", b"ACGT", 0), Some(0));
+/// assert_eq!(lv_distance_within(b"ACGT", b"AGGT", 1), Some(1));
+/// assert_eq!(lv_distance_within(b"AAAA", b"TTTT", 2), None);
+/// ```
+pub fn lv_distance_within(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
+    let n = a.len();
+    let m = b.len();
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    // Diagonal d = i - j, offset by k: valid target diagonal is n - m.
+    let target = n as isize - m as isize;
+    let diags = 2 * k + 1;
+    const NONE: isize = -2;
+    // furthest[d]: furthest row i reached on diagonal d with e edits.
+    let mut furthest = vec![NONE; diags];
+
+    let extend = |mut i: isize, d: isize| -> isize {
+        // Walk matches along diagonal d starting at row i (0-based
+        // count of consumed a-chars; j = i - d).
+        loop {
+            let j = i - d;
+            if i < n as isize && j < m as isize && j >= 0 && i >= 0
+                && a[i as usize].eq_ignore_ascii_case(&b[(i - d) as usize]) {
+                    i += 1;
+                    continue;
+                }
+            return i;
+        }
+    };
+
+    // e = 0: only the main diagonal, extended from the origin.
+    let d0 = k as isize; // storage index of diagonal 0
+    furthest[d0 as usize] = extend(0, 0);
+    if diag_done(furthest[d0 as usize], 0, n, m) && target == 0 {
+        return Some(0);
+    }
+
+    let mut prev = furthest;
+    for e in 1..=k {
+        let mut cur = vec![NONE; diags];
+        let lo = -(e.min(k) as isize);
+        let hi = e.min(k) as isize;
+        for d in lo..=hi {
+            let idx = (d + k as isize) as usize;
+            // Reachable rows from the three predecessors:
+            // substitution (same diagonal, +1 row), deletion from a
+            // (diagonal d-1, +1 row), insertion (diagonal d+1, same
+            // row).
+            let mut best = NONE;
+            if prev[idx] != NONE {
+                best = best.max(prev[idx] + 1); // substitution
+            }
+            if idx >= 1 && prev[idx - 1] != NONE {
+                best = best.max(prev[idx - 1] + 1); // deletion (consume a)
+            }
+            if idx + 1 < diags && prev[idx + 1] != NONE {
+                best = best.max(prev[idx + 1]); // insertion (consume b)
+            }
+            if d.unsigned_abs() == e {
+                // A diagonal first reachable at exactly e edits can
+                // also start from the origin via pure gaps.
+                best = best.max(if d > 0 { d } else { 0 });
+            }
+            if best == NONE {
+                continue;
+            }
+            let reached = extend(best.min(n as isize), d);
+            cur[idx] = reached.min(n as isize + 1);
+            if d == target && diag_done(cur[idx], d, n, m) {
+                return Some(e);
+            }
+        }
+        prev = cur;
+    }
+    None
+}
+
+/// Whether row `i` on diagonal `d` has consumed both sequences.
+fn diag_done(i: isize, d: isize, n: usize, m: usize) -> bool {
+    i >= n as isize && i - d >= m as isize
+}
+
+/// Exact global edit distance by doubling the Landau–Vishkin threshold.
+pub fn lv_distance(a: &[u8], b: &[u8]) -> usize {
+    let mut k = a.len().abs_diff(b.len()).max(1);
+    loop {
+        if let Some(d) = lv_distance_within(a, b, k) {
+            return d;
+        }
+        k *= 2;
+        if k > a.len() + b.len() {
+            return lv_distance_within(a, b, a.len() + b.len()).expect("bounded distance");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::nw_distance;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(lv_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(lv_distance(b"GATTACA", b"GCATGCT"), 4);
+        assert_eq!(lv_distance(b"", b""), 0);
+        assert_eq!(lv_distance(b"ACG", b""), 3);
+        assert_eq!(lv_distance(b"", b"AC"), 2);
+    }
+
+    #[test]
+    fn thresholded_form_is_exact() {
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"ACGTACGT", b"ACCTACGT"),
+            (b"ACGGT", b"ACGT"),
+            (b"ACGT", b"ACGGT"),
+            (b"AAAA", b"TTTT"),
+        ];
+        for (a, b) in cases {
+            let d = nw_distance(a, b);
+            assert_eq!(lv_distance_within(a, b, d), Some(d), "{a:?}/{b:?}");
+            assert_eq!(lv_distance_within(a, b, d + 2), Some(d));
+            if d > 0 && a.len().abs_diff(b.len()) < d {
+                assert_eq!(lv_distance_within(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_dp_on_random_pairs() {
+        let mut state = 0xBEEF5u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60 {
+            let n = (next() % 100 + 1) as usize;
+            let m = (next() % 100 + 1) as usize;
+            let a: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let b: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            assert_eq!(lv_distance(&a, &b), nw_distance(&a, &b));
+        }
+    }
+
+    #[test]
+    fn fast_path_for_similar_long_sequences() {
+        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(50_000).collect();
+        let mut b = a.clone();
+        b[25_000] = if b[25_000] == b'A' { b'C' } else { b'A' };
+        b.remove(40_000);
+        // O(k^2 + kn) with k ~ 2: effectively two scans.
+        assert_eq!(lv_distance(&a, &b), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # genasm-baselines
+//!
+//! The baseline algorithms GenASM is evaluated against in the paper,
+//! reimplemented in Rust:
+//!
+//! * [`nw`] — Needleman–Wunsch global DP with traceback (the textbook
+//!   quadratic algorithm GenASM replaces);
+//! * [`sw`] — Smith–Waterman local DP with traceback;
+//! * [`gotoh`] — affine-gap global/semiglobal DP, the alignment-step
+//!   stand-in for BWA-MEM and Minimap2 (§9, "Read Alignment
+//!   Comparisons");
+//! * [`myers`] — Myers' 1999 bit-vector algorithm, the algorithm
+//!   underlying Edlib (§10.4's software baseline);
+//! * [`banded`] — Ukkonen's banded DP with threshold doubling;
+//! * [`hirschberg`] — linear-space optimal global alignment (Myers &
+//!   Miller), the traceback-capable DP baseline for long reads;
+//! * [`landau_vishkin`] — the O(k·n) k-difference method, the
+//!   asymptotically best exact algorithm for small distances;
+//! * [`gact`] — a GACT-style tiled DP aligner modelling Darwin's
+//!   alignment accelerator (§10.2's hardware baseline);
+//! * [`shouji`] — the Shouji sliding-window pre-alignment filter
+//!   (§10.3's baseline);
+//! * [`shd`] — the Shifted Hamming Distance filter (related work).
+
+pub mod banded;
+pub mod gact;
+pub mod hirschberg;
+pub mod landau_vishkin;
+pub mod gotoh;
+pub mod myers;
+pub mod nw;
+pub mod shd;
+pub mod shouji;
+pub mod sw;

@@ -1,0 +1,414 @@
+//! Myers' 1999 bit-vector edit-distance algorithm — the algorithm
+//! underlying Edlib, the paper's software baseline for edit distance
+//! calculation (§10.4).
+//!
+//! The pattern is split into 64-row blocks; each text character updates
+//! every block with the `Pv`/`Mv` (plus/minus vertical delta) encoding
+//! and a horizontal carry between blocks (Hyyrö's block formulation,
+//! identical to Edlib's `calculateBlock`). Two modes:
+//!
+//! * **global** (Needleman–Wunsch, Edlib's `NW` mode): the top-row
+//!   carry-in is `+1` each column and the answer is the score of the
+//!   bottom cell after the last column;
+//! * **semiglobal** (`HW` / "infix" mode): the top-row carry-in is `0`
+//!   and the answer is the minimum bottom-cell score over all columns.
+//!
+//! Like GenASM and unlike the plain DP, the work per column is
+//! `ceil(m/64)` word operations, i.e. 64-way bit parallelism — but
+//! without GenASM's windowing, traceback support, or hardware
+//! parallelism.
+
+/// A pattern pre-processed into per-symbol block bitmasks.
+#[derive(Debug, Clone)]
+pub struct MyersPattern {
+    /// peq[sym][block]: bit i set iff pattern[block*64 + i] == sym.
+    peq: Vec<Vec<u64>>,
+    blocks: usize,
+    len: usize,
+}
+
+/// Dense DNA code for Myers pre-processing (A=0, C=1, G=2, T=3).
+#[inline]
+fn dna_code(b: u8) -> usize {
+    match b {
+        b'A' | b'a' => 0,
+        b'C' | b'c' => 1,
+        b'G' | b'g' => 2,
+        b'T' | b't' => 3,
+        // Unknown bases match nothing (like Edlib's N handling with
+        // equality disabled).
+        _ => 4,
+    }
+}
+
+impl MyersPattern {
+    /// Pre-processes `pattern` (DNA).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty.
+    pub fn new(pattern: &[u8]) -> Self {
+        assert!(!pattern.is_empty(), "pattern must be non-empty");
+        let blocks = pattern.len().div_ceil(64);
+        let mut peq = vec![vec![0u64; blocks]; 4];
+        for (i, &b) in pattern.iter().enumerate() {
+            let code = dna_code(b);
+            if code < 4 {
+                peq[code][i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        MyersPattern { peq, blocks, len: pattern.len() }
+    }
+
+    /// Pattern length in characters.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the pattern is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One block-update step (Hyyrö / Edlib `calculateBlock`): given the
+/// block's vertical delta (`pv`, `mv`), the symbol match mask `eq`,
+/// and the horizontal carry-in `hin` (-1, 0, +1), returns the new
+/// vertical delta and the carry-out.
+#[inline]
+fn advance_block(pv: u64, mv: u64, eq: u64, hin: i32) -> (u64, u64, i32) {
+    let hin_neg = (hin < 0) as u64;
+    let eq = eq | hin_neg;
+    let xv = eq | mv;
+    let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+
+    let mut ph = mv | !(xh | pv);
+    let mut mh = pv & xh;
+
+    let mut hout = 0i32;
+    if ph >> 63 == 1 {
+        hout += 1;
+    }
+    if mh >> 63 == 1 {
+        hout -= 1;
+    }
+
+    ph <<= 1;
+    mh <<= 1;
+    mh |= hin_neg;
+    if hin > 0 {
+        ph |= 1;
+    }
+
+    let pv_out = mh | !(xv | ph);
+    let mv_out = ph & xv;
+    (pv_out, mv_out, hout)
+}
+
+/// Global (NW) edit distance between `text` and `pattern`.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::myers::myers_distance;
+///
+/// assert_eq!(myers_distance(b"ACGT", b"ACGT"), 0);
+/// assert_eq!(myers_distance(b"ACGT", b"AGT"), 1);
+/// assert_eq!(myers_distance(b"ACGTACGT", b"TTTTTTTT"), 6);
+/// ```
+pub fn myers_distance(text: &[u8], pattern: &[u8]) -> usize {
+    if pattern.is_empty() {
+        return text.len();
+    }
+    if text.is_empty() {
+        return pattern.len();
+    }
+    let mp = MyersPattern::new(pattern);
+    myers_distance_preprocessed(text, &mp, Mode::Global)
+}
+
+/// Semiglobal (HW) distance: the whole pattern against the
+/// best-matching substring of the text.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::myers::myers_semiglobal_distance;
+///
+/// assert_eq!(myers_semiglobal_distance(b"TTTACGTTTT", b"ACGT"), 0);
+/// ```
+pub fn myers_semiglobal_distance(text: &[u8], pattern: &[u8]) -> usize {
+    if pattern.is_empty() {
+        return 0;
+    }
+    if text.is_empty() {
+        return pattern.len();
+    }
+    let mp = MyersPattern::new(pattern);
+    myers_distance_preprocessed(text, &mp, Mode::Semiglobal)
+}
+
+/// End semantics for [`myers_distance_preprocessed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Needleman–Wunsch: both sequences fully consumed.
+    Global,
+    /// Pattern against any text substring (free text prefix/suffix).
+    Semiglobal,
+}
+
+/// Core scan over the text with a pre-processed pattern.
+pub fn myers_distance_preprocessed(text: &[u8], mp: &MyersPattern, mode: Mode) -> usize {
+    let blocks = mp.blocks;
+    let m = mp.len;
+    let mut pv = vec![u64::MAX; blocks];
+    let mut mv = vec![0u64; blocks];
+    // Score tracked at the bottom row of the last block (row blocks*64);
+    // the true cell at pattern row m is recovered by subtracting the
+    // vertical deltas of the padding rows (Pv/Mv bits above m).
+    let mut bottom = (blocks * 64) as i64;
+    let pad_mask: u64 = if m.is_multiple_of(64) { 0 } else { !0u64 << (m % 64) };
+    let top_carry = match mode {
+        Mode::Global => 1,
+        Mode::Semiglobal => 0,
+    };
+    let row_m = |bottom: i64, pv_last: u64, mv_last: u64| {
+        bottom - (pv_last & pad_mask).count_ones() as i64
+            + (mv_last & pad_mask).count_ones() as i64
+    };
+    let mut best = m as i64; // column 0: D[m][0] = m in both modes
+
+    for &c in text {
+        let code = dna_code(c);
+        let mut hin = top_carry;
+        for b in 0..blocks {
+            let eq = if code < 4 { mp.peq[code][b] } else { 0 };
+            let (p, mn, hout) = advance_block(pv[b], mv[b], eq, hin);
+            pv[b] = p;
+            mv[b] = mn;
+            hin = hout;
+        }
+        bottom += hin as i64;
+        if mode == Mode::Semiglobal {
+            let cell = row_m(bottom, pv[blocks - 1], mv[blocks - 1]);
+            if cell < best {
+                best = cell;
+            }
+        }
+    }
+    match mode {
+        Mode::Global => row_m(bottom, pv[blocks - 1], mv[blocks - 1]) as usize,
+        Mode::Semiglobal => best as usize,
+    }
+}
+
+/// Banded global distance within threshold `k`, Edlib-style: only the
+/// blocks intersecting the diagonal band `|i − j| <= k` are updated
+/// each column. Out-of-band state is approximated pessimistically
+/// (vertical delta +1), which is sound for thresholded computation:
+/// any path of cost `<= k` stays inside the band, so in-band values
+/// `<= k` are exact. Returns `None` when the distance exceeds `k`.
+pub fn myers_banded_within(text: &[u8], pattern: &[u8], k: usize) -> Option<usize> {
+    let n = text.len();
+    let m = pattern.len();
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    let mp = MyersPattern::new(pattern);
+    let blocks = mp.blocks;
+    let mut pv = vec![u64::MAX; blocks];
+    let mut mv = vec![0u64; blocks];
+    // Last active block and the score at its bottom row.
+    let mut b_last = ((k.min(m - 1)) / 64).min(blocks - 1);
+    let mut bottom = ((b_last + 1) * 64) as i64;
+
+    for (j, &c) in text.iter().enumerate() {
+        let j1 = j + 1; // 1-based column
+        // Band rows for this column: (j1 - k) ..= (j1 + k).
+        let b_first = if j1 > k { (j1 - k - 1) / 64 } else { 0 };
+        let new_last = ((j1 + k).min(m).saturating_sub(1) / 64).min(blocks - 1);
+        while b_last < new_last {
+            b_last += 1;
+            pv[b_last] = u64::MAX;
+            mv[b_last] = 0;
+            bottom += 64;
+        }
+        let code = dna_code(c);
+        let mut hin = 1i32; // global top boundary / pessimistic band top
+        for b in b_first..=b_last {
+            let eq = if code < 4 { mp.peq[code][b] } else { 0 };
+            let (p, mn, hout) = advance_block(pv[b], mv[b], eq, hin);
+            pv[b] = p;
+            mv[b] = mn;
+            hin = hout;
+        }
+        bottom += hin as i64;
+    }
+
+    // Walk from the bottom of the last active block up to row m.
+    let mut score = bottom;
+    let block_of_m = (m - 1) / 64;
+    debug_assert!(block_of_m <= b_last);
+    for b in (block_of_m..=b_last).rev() {
+        let lo_row = b * 64;
+        let from_bit = if b == block_of_m { m - lo_row } else { 0 };
+        let mask = if from_bit >= 64 { 0 } else { !0u64 << from_bit };
+        score -= (pv[b] & mask).count_ones() as i64;
+        score += (mv[b] & mask).count_ones() as i64;
+    }
+    if score <= k as i64 {
+        Some(score as usize)
+    } else {
+        None
+    }
+}
+
+/// Exact global distance by band doubling over
+/// [`myers_banded_within`] — the full Edlib strategy (bit-vector inner
+/// loop + Ukkonen banding), whose cost grows with the distance and is
+/// therefore similarity-dependent like the published Edlib curves
+/// (Figure 14).
+pub fn myers_banded_distance(text: &[u8], pattern: &[u8]) -> usize {
+    let mut k = text.len().abs_diff(pattern.len()).max(64);
+    loop {
+        if let Some(d) = myers_banded_within(text, pattern, k) {
+            return d;
+        }
+        k *= 2;
+        if k >= text.len() + pattern.len() {
+            return myers_banded_within(text, pattern, k).expect("distance is at most n + m");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::{nw_distance, semiglobal_distance};
+
+    #[test]
+    fn agrees_with_dp_on_small_cases() {
+        let cases: [(&[u8], &[u8]); 6] = [
+            (b"ACGT", b"ACGT"),
+            (b"ACGT", b"ACCT"),
+            (b"ACGGT", b"ACGT"),
+            (b"ACGT", b"ACGGT"),
+            (b"AAAA", b"TTTT"),
+            (b"GATTACAGATTACA", b"GCATGCTGCATGCT"),
+        ];
+        for (t, p) in cases {
+            assert_eq!(myers_distance(t, p), nw_distance(t, p), "{:?} vs {:?}", t, p);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dp_on_long_multiblock_patterns() {
+        // Patterns longer than 64 exercise the block carry chain.
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(500).collect();
+        let mut pattern = text.clone();
+        pattern[100] = b'T';
+        pattern.remove(300);
+        pattern.insert(400, b'G');
+        assert_eq!(myers_distance(&text, &pattern), nw_distance(&text, &pattern));
+    }
+
+    #[test]
+    fn agrees_with_dp_on_random_pairs() {
+        // Deterministic xorshift "random" pairs of varied lengths.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 200 + 1) as usize;
+            let m = (next() % 200 + 1) as usize;
+            let t: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let p: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            assert_eq!(myers_distance(&t, &p), nw_distance(&t, &p));
+        }
+    }
+
+    #[test]
+    fn semiglobal_agrees_with_dp() {
+        let text = b"TTTTTTACGGTCATTTTTTTT";
+        let pattern = b"ACGGTCAT";
+        assert_eq!(myers_semiglobal_distance(text, pattern), 0);
+        let pattern = b"ACGCTCAT";
+        assert_eq!(
+            myers_semiglobal_distance(text, pattern),
+            semiglobal_distance(text, pattern)
+        );
+    }
+
+    #[test]
+    fn semiglobal_agrees_with_dp_multiblock() {
+        let text: Vec<u8> = b"GATTACAGGT".iter().copied().cycle().take(400).collect();
+        let mut pattern: Vec<u8> = text[120..280].to_vec();
+        pattern[80] = b'C';
+        assert_eq!(
+            myers_semiglobal_distance(&text, &pattern),
+            semiglobal_distance(&text, &pattern)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(myers_distance(b"", b"ACG"), 3);
+        assert_eq!(myers_distance(b"ACG", b""), 3);
+        assert_eq!(myers_semiglobal_distance(b"ACG", b""), 0);
+    }
+
+    #[test]
+    fn banded_agrees_with_dp_on_random_pairs() {
+        let mut state = 0xFEED1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..40 {
+            let n = (next() % 300 + 1) as usize;
+            let m = (next() % 300 + 1) as usize;
+            let t: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let p: Vec<u8> = (0..m).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let dp = nw_distance(&t, &p);
+            assert_eq!(myers_banded_distance(&t, &p), dp, "n={n} m={m}");
+            // Thresholded form: exact at k >= dp, None below.
+            assert_eq!(myers_banded_within(&t, &p, dp + 3), Some(dp));
+            if dp > 0 && n.abs_diff(m) < dp {
+                assert_eq!(myers_banded_within(&t, &p, dp - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn banded_handles_long_similar_pairs() {
+        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(20_000).collect();
+        let mut p = t.clone();
+        for pos in [1_000usize, 7_777, 15_000] {
+            p[pos] = if p[pos] == b'A' { b'G' } else { b'A' };
+        }
+        p.remove(12_345);
+        assert_eq!(myers_banded_distance(&t, &p), 4);
+    }
+
+    #[test]
+    fn exact_64_and_65_boundary_lengths() {
+        for len in [63usize, 64, 65, 127, 128, 129] {
+            let p: Vec<u8> = b"ACGT".iter().copied().cycle().take(len).collect();
+            let mut t = p.clone();
+            t[len / 2] = if t[len / 2] == b'A' { b'C' } else { b'A' };
+            assert_eq!(myers_distance(&t, &p), 1, "len={len}");
+        }
+    }
+}

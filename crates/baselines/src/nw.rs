@@ -1,0 +1,179 @@
+//! Needleman–Wunsch global alignment: the quadratic dynamic-programming
+//! baseline (§2.2 of the paper) with unit edit costs and full traceback.
+
+use genasm_core::cigar::{Cigar, CigarOp};
+
+/// The global (Levenshtein) edit distance between `a` and `b`,
+/// using O(min(m,n)) memory and no traceback.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::nw::nw_distance;
+///
+/// assert_eq!(nw_distance(b"ACGT", b"ACGT"), 0);
+/// assert_eq!(nw_distance(b"ACGT", b"AGT"), 1);
+/// assert_eq!(nw_distance(b"AAAA", b"TTTT"), 4);
+/// ```
+pub fn nw_distance(a: &[u8], b: &[u8]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let m = short.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut cur = vec![0usize; m + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(!lc.eq_ignore_ascii_case(&sc));
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Global alignment with traceback: returns the distance and a CIGAR
+/// describing `pattern` (read) against `text` (reference).
+///
+/// Uses O(m·n) memory for the traceback matrix; intended for the
+/// baseline comparisons, not for whole-genome inputs.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::nw::nw_align;
+///
+/// let (dist, cigar) = nw_align(b"ACGGT", b"ACGT");
+/// assert_eq!(dist, 1);
+/// assert!(cigar.validates(b"ACGGT", b"ACGT"));
+/// ```
+pub fn nw_align(text: &[u8], pattern: &[u8]) -> (usize, Cigar) {
+    let n = text.len();
+    let m = pattern.len();
+    // dp[i][j]: distance between text[..i] and pattern[..j].
+    let mut dp = vec![0usize; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for j in 0..=m {
+        dp[idx(0, j)] = j;
+    }
+    for i in 1..=n {
+        dp[idx(i, 0)] = i;
+        for j in 1..=m {
+            let cost = usize::from(!text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]));
+            dp[idx(i, j)] = (dp[idx(i - 1, j - 1)] + cost)
+                .min(dp[idx(i - 1, j)] + 1)
+                .min(dp[idx(i, j - 1)] + 1);
+        }
+    }
+    // Traceback from (n, m), preferring diagonal moves.
+    let mut ops_rev = Vec::with_capacity(n.max(m));
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let cost = usize::from(!text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]));
+            if dp[idx(i, j)] == dp[idx(i - 1, j - 1)] + cost {
+                ops_rev.push(if cost == 0 { CigarOp::Match } else { CigarOp::Subst });
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && dp[idx(i, j)] == dp[idx(i - 1, j)] + 1 {
+            ops_rev.push(CigarOp::Del);
+            i -= 1;
+        } else {
+            ops_rev.push(CigarOp::Ins);
+            j -= 1;
+        }
+    }
+    let mut cigar = Cigar::new();
+    for &op in ops_rev.iter().rev() {
+        cigar.push(op);
+    }
+    (dp[idx(n, m)], cigar)
+}
+
+/// The best *semiglobal* distance of `pattern` within `text`: the whole
+/// pattern against any text substring (free text prefix and suffix).
+/// This is the ground truth for pre-alignment filter accuracy (§10.3).
+pub fn semiglobal_distance(text: &[u8], pattern: &[u8]) -> usize {
+    let n = text.len();
+    let m = pattern.len();
+    let mut prev: Vec<usize> = vec![0; n + 1]; // row j = 0: free start
+    let mut cur = vec![0usize; n + 1];
+    for j in 1..=m {
+        cur[0] = j;
+        for i in 1..=n {
+            let cost = usize::from(!text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]));
+            cur[i] = (prev[i - 1] + cost).min(prev[i] + 1).min(cur[i - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev.iter().copied().min().unwrap_or(m)
+}
+
+/// Number of DP cells a full NW computation fills — the work metric
+/// used when modelling DP-based accelerators.
+pub fn dp_cells(text_len: usize, pattern_len: usize) -> u64 {
+    text_len as u64 * pattern_len as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(nw_distance(b"", b""), 0);
+        assert_eq!(nw_distance(b"A", b""), 1);
+        assert_eq!(nw_distance(b"", b"ACG"), 3);
+        assert_eq!(nw_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(nw_distance(b"GATTACA", b"GATTACA"), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let pairs: [(&[u8], &[u8]); 3] =
+            [(b"ACGT", b"AGT"), (b"AAAA", b"AATAA"), (b"GATTACA", b"GCATGCU")];
+        for (a, b) in pairs {
+            assert_eq!(nw_distance(a, b), nw_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn align_matches_distance() {
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"ACGT", b"ACGT"),
+            (b"ACGGT", b"ACGT"),
+            (b"ACGT", b"ACGGT"),
+            (b"GATTACA", b"GCATGCU"),
+        ];
+        for (t, p) in cases {
+            let (d, cigar) = nw_align(t, p);
+            assert_eq!(d, nw_distance(t, p));
+            assert!(cigar.validates(t, p), "{:?} {:?} -> {}", t, p, cigar);
+            assert_eq!(cigar.edit_distance(), d);
+        }
+    }
+
+    #[test]
+    fn empty_sides_align() {
+        let (d, cigar) = nw_align(b"ACG", b"");
+        assert_eq!(d, 3);
+        assert_eq!(cigar.to_string(), "3D");
+        let (d, cigar) = nw_align(b"", b"AC");
+        assert_eq!(d, 2);
+        assert_eq!(cigar.to_string(), "2I");
+    }
+
+    #[test]
+    fn semiglobal_frees_text_ends() {
+        assert_eq!(semiglobal_distance(b"TTTTACGTTTTT", b"ACGT"), 0);
+        assert_eq!(semiglobal_distance(b"TTTTACCTTTTT", b"ACGT"), 1);
+        assert_eq!(semiglobal_distance(b"ACGT", b"ACGT"), 0);
+    }
+
+    #[test]
+    fn dp_cell_count() {
+        assert_eq!(dp_cells(100, 100), 10_000);
+    }
+}

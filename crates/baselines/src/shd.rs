@@ -1,0 +1,202 @@
+//! Shifted Hamming Distance (SHD) pre-alignment filter (Xin et al.,
+//! Bioinformatics 2015) — a related-work baseline (§12 of the paper).
+//!
+//! SHD computes one Hamming (mismatch) mask per shift in `[-E, +E]`,
+//! *amends* each mask by flattening short match runs that cannot be
+//! part of a consistent alignment (patterns like `101` and `1001`
+//! become all ones), ANDs all amended masks, and counts the maximal
+//! 1-runs of the result: each run is at least one edit. The pair is
+//! accepted when the run count is within the threshold.
+
+/// The SHD filter for a fixed edit-distance threshold.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::shd::ShdFilter;
+///
+/// let filter = ShdFilter::new(2);
+/// assert!(filter.accepts(b"ACGTACGTAC", b"ACGTACCTAC"));
+/// assert!(!filter.accepts(&[b'A'; 20][..], &[b'C'; 20][..]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShdFilter {
+    threshold: usize,
+}
+
+impl ShdFilter {
+    /// Creates a filter with edit-distance threshold `threshold`.
+    pub fn new(threshold: usize) -> Self {
+        ShdFilter { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// SHD's edit-count estimate (number of 1-runs in the ANDed mask).
+    pub fn estimate(&self, text: &[u8], pattern: &[u8]) -> usize {
+        shd_estimate(text, pattern, self.threshold)
+    }
+
+    /// `true` when the estimate is within the threshold.
+    pub fn accepts(&self, text: &[u8], pattern: &[u8]) -> bool {
+        self.estimate(text, pattern) <= self.threshold
+    }
+}
+
+/// Mismatch mask for one shift: `mask[j] = true` when `pattern[j]`
+/// does *not* match `text[j + shift]` (out-of-range counts as
+/// mismatch).
+fn hamming_mask(text: &[u8], pattern: &[u8], shift: isize) -> Vec<bool> {
+    pattern
+        .iter()
+        .enumerate()
+        .map(|(j, &p)| {
+            let ti = j as isize + shift;
+            if ti < 0 || ti as usize >= text.len() {
+                true
+            } else {
+                !text[ti as usize].eq_ignore_ascii_case(&p)
+            }
+        })
+        .collect()
+}
+
+/// Amends a mask in place: match runs (0s) of length 1 or 2 flanked by
+/// mismatches are speculative random matches and are flattened to
+/// mismatches, per the SHD speculation rule.
+fn amend(mask: &mut [bool]) {
+    let m = mask.len();
+    let mut j = 0;
+    while j < m {
+        if !mask[j] {
+            // Start of a 0-run.
+            let start = j;
+            while j < m && !mask[j] {
+                j += 1;
+            }
+            let run = j - start;
+            let left_flanked = start == 0 || mask[start - 1];
+            let right_flanked = j == m || mask[j.min(m - 1)];
+            let interior = start > 0 && j < m;
+            if run <= 2 && left_flanked && right_flanked && interior {
+                for cell in mask.iter_mut().take(j).skip(start) {
+                    *cell = true;
+                }
+            }
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// The SHD estimate for threshold `e`: AND of amended masks, scored as
+/// `max(1-runs, ceil(ones / 5))`.
+///
+/// Run counting alone would score one giant mismatch block as a single
+/// edit; the popcount term bounds that from below (after amendment a
+/// single true edit contributes at most ~5 ones: itself plus up to two
+/// flattened speculative matches on each side).
+pub fn shd_estimate(text: &[u8], pattern: &[u8], e: usize) -> usize {
+    let m = pattern.len();
+    if m == 0 {
+        return 0;
+    }
+    let mut anded = vec![true; m];
+    for shift in -(e as isize)..=(e as isize) {
+        let mut mask = hamming_mask(text, pattern, shift);
+        amend(&mut mask);
+        for (a, b) in anded.iter_mut().zip(mask.iter()) {
+            *a &= *b;
+        }
+    }
+    let mut runs = 0usize;
+    let mut ones = 0usize;
+    let mut in_run = false;
+    for &bit in &anded {
+        if bit {
+            ones += 1;
+            if !in_run {
+                runs += 1;
+            }
+        }
+        in_run = bit;
+    }
+    runs.max(ones.div_ceil(5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::semiglobal_distance;
+
+    #[test]
+    fn identical_pairs_pass() {
+        let seq: Vec<u8> = b"ACGGTCATTGCA".iter().copied().cycle().take(100).collect();
+        assert_eq!(shd_estimate(&seq, &seq, 3), 0);
+    }
+
+    #[test]
+    fn substitutions_counted_as_runs() {
+        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(100).collect();
+        let mut read = seq.clone();
+        read[30] = if read[30] == b'A' { b'C' } else { b'A' };
+        read[70] = if read[70] == b'G' { b'T' } else { b'G' };
+        let est = shd_estimate(&seq, &read, 3);
+        assert!(est >= 2, "two isolated substitutions are two runs, got {est}");
+        assert!(ShdFilter::new(3).accepts(&seq, &read));
+    }
+
+    #[test]
+    fn shifted_read_passes_via_shifted_mask() {
+        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(104).collect();
+        // Read = text shifted by 2 (deleting the first two characters):
+        // the +2 shift mask is all matches.
+        let read = seq[2..102].to_vec();
+        assert!(ShdFilter::new(2).accepts(&seq, &read));
+    }
+
+    #[test]
+    fn dissimilar_pairs_fail() {
+        let a = vec![b'A'; 80];
+        let c = vec![b'C'; 80];
+        assert!(!ShdFilter::new(5).accepts(&a, &c));
+    }
+
+    #[test]
+    fn zero_false_rejects_on_substitution_only_pairs() {
+        let mut state = 0x777u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let e = 4usize;
+        let filter = ShdFilter::new(e);
+        for _ in 0..50 {
+            let text: Vec<u8> = (0..100).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let mut read = text.clone();
+            for _ in 0..(next() % (e as u64 + 1)) {
+                let pos = (next() % 100) as usize;
+                read[pos] = b"ACGT"[(next() % 4) as usize];
+            }
+            if semiglobal_distance(&text, &read) <= e {
+                assert!(filter.accepts(&text, &read), "false reject");
+            }
+        }
+    }
+
+    #[test]
+    fn amend_flattens_short_runs() {
+        let mut mask = vec![true, false, true, false, false, true, false, false, false, true];
+        amend(&mut mask);
+        // 1-run and 2-run flattened; 3-run kept.
+        assert_eq!(
+            mask,
+            vec![true, true, true, true, true, true, false, false, false, true]
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The Shouji pre-alignment filter (Alser et al., Bioinformatics 2019)
+//! — the paper's §10.3 baseline.
+//!
+//! Shouji builds a *neighborhood map*: one mismatch bitvector per
+//! diagonal in `[-E, +E]` (diagonal `d` compares `pattern[j]` with
+//! `text[j + d]`). A sliding window of 4 columns then searches for any
+//! diagonal with 4 consecutive matches; matched columns are marked in a
+//! result bitvector, and the number of unmarked columns is the edit
+//! distance *estimate*. The filter accepts when the estimate is within
+//! the threshold.
+//!
+//! Because the estimate can undercount (a window may be coverable even
+//! when no consistent alignment exists), Shouji has a nonzero
+//! false-accept rate — 4% at 100 bp / E = 5 and 17% at 250 bp / E = 15
+//! in the paper — while its false-reject rate is 0%. GenASM-DC computes
+//! the exact semiglobal distance instead, which is the accuracy
+//! comparison of §10.3 (reproduced by `experiments shouji`).
+
+/// Sliding-window width used by Shouji (4 columns, per the original
+/// design).
+pub const SHOUJI_WINDOW: usize = 4;
+
+/// The Shouji filter for a fixed edit-distance threshold.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::shouji::ShoujiFilter;
+///
+/// let filter = ShoujiFilter::new(2);
+/// assert!(filter.accepts(b"ACGTACGTAC", b"ACGTACCTAC")); // 1 subst
+/// assert!(!filter.accepts(b"AAAAAAAAAA", b"CCCCCCCCCC")); // dissimilar
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShoujiFilter {
+    threshold: usize,
+}
+
+impl ShoujiFilter {
+    /// Creates a filter with edit-distance threshold `threshold`.
+    pub fn new(threshold: usize) -> Self {
+        ShoujiFilter { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Shouji's edit-distance estimate for a candidate pair.
+    pub fn estimate(&self, text: &[u8], pattern: &[u8]) -> usize {
+        shouji_estimate(text, pattern, self.threshold)
+    }
+
+    /// `true` when the estimate is within the threshold.
+    pub fn accepts(&self, text: &[u8], pattern: &[u8]) -> bool {
+        self.estimate(text, pattern) <= self.threshold
+    }
+}
+
+/// Builds the neighborhood map and returns Shouji's estimate of the
+/// number of edits between `pattern` and `text` for threshold `e`.
+pub fn shouji_estimate(text: &[u8], pattern: &[u8], e: usize) -> usize {
+    let m = pattern.len();
+    if m == 0 {
+        return 0;
+    }
+    // Neighborhood map: match (true) per diagonal per column, padded
+    // with PAD virtual matching columns at each end so an error near a
+    // sequence boundary uncovers only its own column (without padding,
+    // an error at column 3 would uncover columns 0..=3, inflating the
+    // estimate at the read ends).
+    const PAD: usize = SHOUJI_WINDOW - 1;
+    let diags = 2 * e + 1;
+    let width = m + 2 * PAD;
+    let mut neighborhood = vec![vec![false; width]; diags];
+    for (di, row) in neighborhood.iter_mut().enumerate() {
+        let shift = di as isize - e as isize;
+        for (jp, cell) in row.iter_mut().enumerate() {
+            if jp < PAD || jp >= m + PAD {
+                *cell = true; // virtual boundary column
+                continue;
+            }
+            let j = jp - PAD;
+            let ti = j as isize + shift;
+            if ti >= 0 && (ti as usize) < text.len() {
+                *cell = text[ti as usize].eq_ignore_ascii_case(&pattern[j]);
+            }
+        }
+    }
+
+    // Result bitvector: true = column covered by a full 4-match
+    // diagonal segment of some sliding window. The strict all-4 rule
+    // reproduces the published false-accept behaviour: a dissimilar
+    // column sneaks through only when some diagonal happens to have 4
+    // consecutive matches across it, with probability
+    // ~1-(1-4^-4)^(2E+1) per window (≈4% at E=5, ≈11% at E=15 —
+    // the order of Shouji's published 4% / 17% rates).
+    let mut covered = vec![false; width];
+    for start in 0..=(width - SHOUJI_WINDOW) {
+        for row in &neighborhood {
+            if row[start..start + SHOUJI_WINDOW].iter().all(|&b| b) {
+                for c in covered.iter_mut().skip(start).take(SHOUJI_WINDOW) {
+                    *c = true;
+                }
+                break;
+            }
+        }
+    }
+    covered[PAD..m + PAD].iter().filter(|&&c| !c).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::semiglobal_distance;
+
+    #[test]
+    fn identical_pairs_estimate_zero() {
+        let filter = ShoujiFilter::new(5);
+        let seq: Vec<u8> = b"ACGGTCATTGCA".iter().copied().cycle().take(100).collect();
+        assert_eq!(filter.estimate(&seq, &seq), 0);
+        assert!(filter.accepts(&seq, &seq));
+    }
+
+    #[test]
+    fn single_substitution_estimates_small() {
+        let filter = ShoujiFilter::new(5);
+        let seq: Vec<u8> = b"ACGGTCATTGCA".iter().copied().cycle().take(100).collect();
+        let mut read = seq.clone();
+        read[50] = if read[50] == b'A' { b'C' } else { b'A' };
+        // The estimate may be 0 (a neighbouring diagonal can cover the
+        // substituted column by luck) but never large, and the pair is
+        // always accepted.
+        let est = filter.estimate(&seq, &read);
+        assert!(est <= 4, "estimate {est} should be a small count");
+        assert!(filter.accepts(&seq, &read));
+    }
+
+    #[test]
+    fn dissimilar_pairs_are_rejected() {
+        let filter = ShoujiFilter::new(5);
+        let a = vec![b'A'; 100];
+        let c = vec![b'C'; 100];
+        assert!(!filter.accepts(&a, &c));
+    }
+
+    #[test]
+    fn never_rejects_pairs_with_isolated_substitutions() {
+        // Zero false rejects for isolated interior substitutions (the
+        // dominant short-read error mode): each such edit uncovers
+        // exactly its own column.
+        let mut state = 0xABCDEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let e = 5usize;
+        let filter = ShoujiFilter::new(e);
+        for _ in 0..50 {
+            let text: Vec<u8> = (0..110).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let mut read = text[..100].to_vec();
+            // Up to e substitutions at least 8 columns apart, away from
+            // the sequence ends.
+            let count = next() % (e as u64 + 1);
+            for i in 0..count {
+                let pos = 8 + (i as usize) * 16 + (next() % 6) as usize;
+                read[pos] = b"ACGT"[(next() % 4) as usize];
+            }
+            if semiglobal_distance(&text, &read) <= e {
+                assert!(filter.accepts(&text, &read), "false reject");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_edits_can_overcount() {
+        // Two substitutions within the window width uncover the column
+        // between them too: the strict rule may estimate up to ~2x the
+        // true edit count for clustered errors (edge of the published
+        // zero-false-reject claim, which holds for isolated errors).
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(100).collect();
+        let mut read = text.clone();
+        read[50] = if read[50] == b'A' { b'C' } else { b'A' };
+        read[52] = if read[52] == b'G' { b'T' } else { b'G' };
+        let est = ShoujiFilter::new(5).estimate(&text, &read);
+        assert!(est >= 2, "estimate {est}");
+        assert!(est <= 4, "estimate {est}");
+    }
+
+    #[test]
+    fn estimate_can_undercount_creating_false_accepts() {
+        // Shouji is a heuristic: windows covered by *different*
+        // diagonals without a consistent alignment undercount. With
+        // alternating blocks the estimate stays low while the true
+        // distance is large.
+        let e = 5usize;
+        let filter = ShoujiFilter::new(e);
+        // Random text; the read swaps the halves of every 8-block, so
+        // each 4-column window finds a full match on the +4 or -4
+        // diagonal while no consistent alignment exists. The estimate
+        // collapses although the true distance is large.
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let text: Vec<u8> = (0..96).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+        let mut read = Vec::new();
+        for chunk in text.chunks(8) {
+            read.extend_from_slice(&chunk[4..8]);
+            read.extend_from_slice(&chunk[0..4]);
+        }
+        let est = filter.estimate(&text, &read);
+        let truth = semiglobal_distance(&text, &read);
+        assert!(truth > e, "construction should be truly dissimilar, truth={truth}");
+        assert!(est < truth, "estimate {est} should undercount truth {truth}");
+        assert!(filter.accepts(&text, &read), "this is a false accept by design");
+    }
+
+    #[test]
+    fn short_pairs_use_column_fallback() {
+        let filter = ShoujiFilter::new(1);
+        assert!(filter.accepts(b"ACG", b"ACG"));
+        assert!(!filter.accepts(b"AAA", b"TTT"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Smith–Waterman local alignment with affine gaps and traceback.
+//!
+//! One of the classic quadratic DP algorithms the paper cites (§2.2) as
+//! the expensive step GenASM replaces. Local semantics: the highest-
+//! scoring pair of substrings is reported.
+
+use genasm_core::cigar::{Cigar, CigarOp};
+use genasm_core::scoring::Scoring;
+
+/// A local alignment: score, the aligned ranges, and the transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    /// Best local score (zero when the sequences share nothing).
+    pub score: i64,
+    /// Half-open range of the text covered by the alignment.
+    pub text_range: (usize, usize),
+    /// Half-open range of the pattern covered by the alignment.
+    pub pattern_range: (usize, usize),
+    /// Transcript of the aligned region.
+    pub cigar: Cigar,
+}
+
+const NEG_INF: i64 = i64::MIN / 4;
+
+/// Computes the best local alignment of `pattern` within `text` under
+/// affine-gap `scoring`.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_baselines::sw::sw_align;
+/// use genasm_core::scoring::Scoring;
+///
+/// let result = sw_align(b"TTTTACGTACGTTTTT", b"CCACGTACGTCC", &Scoring::bwa_mem());
+/// assert_eq!(result.text_range, (4, 12));
+/// assert_eq!(result.pattern_range, (2, 10));
+/// assert_eq!(result.score, 8);
+/// ```
+pub fn sw_align(text: &[u8], pattern: &[u8], scoring: &Scoring) -> LocalAlignment {
+    let n = text.len();
+    let m = pattern.len();
+    let (go, ge) = (scoring.gap_open as i64, scoring.gap_extend as i64);
+    let w = m + 1;
+    let at = |i: usize, j: usize| i * w + j;
+
+    let mut h = vec![0i64; (n + 1) * w];
+    let mut e = vec![NEG_INF; (n + 1) * w];
+    let mut f = vec![NEG_INF; (n + 1) * w];
+    let mut best = (0i64, 0usize, 0usize);
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]) {
+                scoring.match_score as i64
+            } else {
+                scoring.mismatch as i64
+            };
+            e[at(i, j)] = (e[at(i, j - 1)] + ge).max(h[at(i, j - 1)] + go + ge);
+            f[at(i, j)] = (f[at(i - 1, j)] + ge).max(h[at(i - 1, j)] + go + ge);
+            let score = (h[at(i - 1, j - 1)] + sub)
+                .max(e[at(i, j)])
+                .max(f[at(i, j)])
+                .max(0);
+            h[at(i, j)] = score;
+            if score > best.0 {
+                best = (score, i, j);
+            }
+        }
+    }
+
+    let (score, end_i, end_j) = best;
+    if score == 0 {
+        return LocalAlignment {
+            score: 0,
+            text_range: (0, 0),
+            pattern_range: (0, 0),
+            cigar: Cigar::new(),
+        };
+    }
+
+    // Traceback with explicit H/E/F state, stopping at a zero H cell.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut ops_rev = Vec::new();
+    let (mut i, mut j) = (end_i, end_j);
+    let mut state = State::H;
+    loop {
+        match state {
+            State::H => {
+                let cur = h[at(i, j)];
+                if cur == 0 || i == 0 || j == 0 {
+                    break;
+                }
+                if cur == e[at(i, j)] {
+                    state = State::E;
+                } else if cur == f[at(i, j)] {
+                    state = State::F;
+                } else {
+                    let matched = text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]);
+                    ops_rev.push(if matched { CigarOp::Match } else { CigarOp::Subst });
+                    i -= 1;
+                    j -= 1;
+                }
+            }
+            State::E => {
+                ops_rev.push(CigarOp::Ins);
+                let extended = j >= 2 && e[at(i, j)] == e[at(i, j - 1)] + ge;
+                let opened = e[at(i, j)] == h[at(i, j - 1)] + go + ge;
+                j -= 1;
+                state = if extended && !opened { State::E } else { State::H };
+            }
+            State::F => {
+                ops_rev.push(CigarOp::Del);
+                let extended = i >= 2 && f[at(i, j)] == f[at(i - 1, j)] + ge;
+                let opened = f[at(i, j)] == h[at(i - 1, j)] + go + ge;
+                i -= 1;
+                state = if extended && !opened { State::F } else { State::H };
+            }
+        }
+    }
+
+    let mut cigar = Cigar::new();
+    for &op in ops_rev.iter().rev() {
+        cigar.push(op);
+    }
+    LocalAlignment { score, text_range: (i, end_i), pattern_range: (j, end_j), cigar }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_embedded_exact_match() {
+        let r = sw_align(b"GGGGACGTACGTGGGG", b"TTACGTACGTTT", &Scoring::bwa_mem());
+        assert_eq!(r.score, 8);
+        assert_eq!(r.cigar.to_string(), "8=");
+        assert_eq!(&b"GGGGACGTACGTGGGG"[r.text_range.0..r.text_range.1], b"ACGTACGT");
+    }
+
+    #[test]
+    fn no_similarity_scores_zero() {
+        let r = sw_align(b"AAAAAA", b"TTTTTT", &Scoring::bwa_mem());
+        assert_eq!(r.score, 0);
+        assert!(r.cigar.is_empty());
+    }
+
+    #[test]
+    fn local_alignment_cigar_validates_region() {
+        let text = b"TTGCAACGGTCATGCATT";
+        let pattern = b"GGACGGTCTTGCAGG";
+        let r = sw_align(text, pattern, &Scoring::minimap2());
+        assert!(r.score > 0);
+        let t = &text[r.text_range.0..r.text_range.1];
+        let p = &pattern[r.pattern_range.0..r.pattern_range.1];
+        assert!(r.cigar.validates(t, p), "cigar={} t={:?} p={:?}", r.cigar, t, p);
+    }
+
+    #[test]
+    fn cigar_score_matches_reported_score() {
+        let text = b"ACGGTCATGCAACGGTCAT";
+        let pattern = b"CGGTCATGCTACG";
+        for scoring in [Scoring::bwa_mem(), Scoring::minimap2()] {
+            let r = sw_align(text, pattern, &scoring);
+            assert_eq!(scoring.score_cigar(&r.cigar), r.score);
+        }
+    }
+
+    #[test]
+    fn local_beats_forced_global_on_noisy_ends() {
+        // Noisy prefix/suffix should be excluded by local alignment:
+        // the shared core ACGTACG (7 matches) wins.
+        let r = sw_align(b"TTTTTACGTACGTTTTTT", b"GGGGGACGTACGGGGGG", &Scoring::bwa_mem());
+        assert_eq!(r.score, 7);
+        assert_eq!(r.cigar.to_string(), "7=");
+    }
+}

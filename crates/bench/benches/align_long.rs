@@ -1,0 +1,43 @@
+//! Long-read alignment wall-clock benchmarks (Figure 9's software
+//! counterpart): GenASM vs the affine-DP baseline at 2 Kbp so the
+//! quadratic baseline stays benchable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_bench::workloads::dataset_pairs;
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::scoring::Scoring;
+use genasm_seq::readsim::PaperDataset;
+
+fn bench_long_read_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("align_long_2kbp");
+    group.sample_size(10);
+    for dataset in [PaperDataset::PacBio15, PaperDataset::Ont15] {
+        let pairs = dataset_pairs(dataset, 2_000, 3, 0xBE7C);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        group.bench_with_input(BenchmarkId::new("genasm", dataset.name()), &pairs, |b, pairs| {
+            b.iter(|| {
+                for p in pairs {
+                    std::hint::black_box(
+                        aligner.align(&p.region, &p.read).unwrap().edit_distance,
+                    );
+                }
+            })
+        });
+
+        let dp = GotohAligner::new(Scoring::minimap2(), GotohMode::TextSuffixFree);
+        group.bench_with_input(BenchmarkId::new("gotoh_dp", dataset.name()), &pairs, |b, pairs| {
+            b.iter(|| {
+                for p in pairs {
+                    std::hint::black_box(dp.score_only(&p.region, &p.read));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_long_read_alignment);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Short-read alignment wall-clock benchmarks (Figure 10's software
+//! counterpart): GenASM vs the affine-DP baseline with full traceback
+//! at the paper's three Illumina read lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_bench::workloads::dataset_pairs;
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::scoring::Scoring;
+use genasm_seq::readsim::PaperDataset;
+
+fn bench_short_read_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("align_short");
+    for dataset in
+        [PaperDataset::Illumina100, PaperDataset::Illumina150, PaperDataset::Illumina250]
+    {
+        let pairs = dataset_pairs(dataset, dataset.read_length(), 50, 0x5047);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        group.bench_with_input(BenchmarkId::new("genasm", dataset.name()), &pairs, |b, pairs| {
+            b.iter(|| {
+                for p in pairs {
+                    std::hint::black_box(
+                        aligner.align(&p.region, &p.read).unwrap().edit_distance,
+                    );
+                }
+            })
+        });
+
+        let dp = GotohAligner::new(Scoring::bwa_mem(), GotohMode::TextSuffixFree);
+        group.bench_with_input(
+            BenchmarkId::new("gotoh_dp_traceback", dataset.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for p in pairs {
+                        std::hint::black_box(dp.align(&p.region, &p.read).score);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_read_alignment);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Edit-distance benchmarks (Figure 14's software counterpart):
+//! GenASM's windowed calculator vs the Edlib stand-in (banded Myers)
+//! across similarity levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genasm_baselines::myers::{myers_banded_distance, myers_distance};
+use genasm_bench::workloads::similarity_pairs;
+use genasm_core::edit_distance::EditDistanceCalculator;
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance_30kbp");
+    group.sample_size(10);
+    let pairs = similarity_pairs(30_000, &[0.70, 0.90, 0.99], 0xD157);
+    for (s, a, b) in &pairs {
+        let label = format!("{:.0}%", s * 100.0);
+        let calc = EditDistanceCalculator::default();
+        group.bench_with_input(BenchmarkId::new("genasm", &label), &(a, b), |bench, (a, b)| {
+            bench.iter(|| std::hint::black_box(calc.distance(a, b).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("edlib_standin", &label),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| std::hint::black_box(myers_banded_distance(a, b))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("myers_full", &label),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| std::hint::black_box(myers_distance(a, b))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit_distance);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Head-to-head of every exact edit-distance engine in the repository
+//! on the same read pair: full DP, Myers (full/banded), Ukkonen,
+//! Landau-Vishkin, Hirschberg (with traceback), and GenASM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use genasm_baselines::banded::banded_distance;
+use genasm_baselines::hirschberg::hirschberg_align;
+use genasm_baselines::landau_vishkin::lv_distance;
+use genasm_baselines::myers::{myers_banded_distance, myers_distance};
+use genasm_baselines::nw::nw_distance;
+use genasm_bench::workloads::dataset_pairs;
+use genasm_core::edit_distance::EditDistanceCalculator;
+use genasm_seq::readsim::PaperDataset;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines_2kbp_illumina_profile");
+    group.sample_size(10);
+    let pair = &dataset_pairs(PaperDataset::Illumina250, 2_000, 1, 0xE9A1)[0];
+    let (a, b) = (&pair.region, &pair.read);
+
+    group.bench_function(BenchmarkId::from_parameter("nw_dp"), |bench| {
+        bench.iter(|| std::hint::black_box(nw_distance(a, b)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("myers_full"), |bench| {
+        bench.iter(|| std::hint::black_box(myers_distance(a, b)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("myers_banded"), |bench| {
+        bench.iter(|| std::hint::black_box(myers_banded_distance(a, b)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("ukkonen_banded"), |bench| {
+        bench.iter(|| std::hint::black_box(banded_distance(a, b)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("landau_vishkin"), |bench| {
+        bench.iter(|| std::hint::black_box(lv_distance(a, b)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("hirschberg_tb"), |bench| {
+        bench.iter(|| std::hint::black_box(hirschberg_align(a, b).0))
+    });
+    let calc = EditDistanceCalculator::default();
+    group.bench_function(BenchmarkId::from_parameter("genasm"), |bench| {
+        bench.iter(|| std::hint::black_box(calc.distance(a, b).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Pre-alignment filter benchmarks (§10.3's software counterpart):
+//! GenASM-DC vs Shouji vs SHD on the paper's two dataset shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genasm_baselines::shd::ShdFilter;
+use genasm_baselines::shouji::ShoujiFilter;
+use genasm_bench::workloads::filter_pairs;
+use genasm_core::filter::PreAlignmentFilter;
+
+fn bench_filters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    for (len, e) in [(100usize, 5usize), (250, 15)] {
+        let pairs = filter_pairs(len, e, 200, 0xF117);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        let label = format!("{len}bp_E{e}");
+
+        let genasm = PreAlignmentFilter::new(e);
+        group.bench_with_input(BenchmarkId::new("genasm_dc", &label), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut accepted = 0usize;
+                for (r, q) in pairs {
+                    accepted += usize::from(genasm.accepts(r, q).unwrap());
+                }
+                std::hint::black_box(accepted)
+            })
+        });
+
+        let shouji = ShoujiFilter::new(e);
+        group.bench_with_input(BenchmarkId::new("shouji", &label), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut accepted = 0usize;
+                for (r, q) in pairs {
+                    accepted += usize::from(shouji.accepts(r, q));
+                }
+                std::hint::black_box(accepted)
+            })
+        });
+
+        let shd = ShdFilter::new(e);
+        group.bench_with_input(BenchmarkId::new("shd", &label), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut accepted = 0usize;
+                for (r, q) in pairs {
+                    accepted += usize::from(shd.accepts(r, q));
+                }
+                std::hint::black_box(accepted)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the hot kernels: pattern pre-processing, the
+//! baseline Bitap scan, the GenASM-DC window kernel, and the GenASM-TB
+//! walk.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use genasm_core::alphabet::Dna;
+use genasm_core::bitap;
+use genasm_core::dc::window_dc;
+use genasm_core::pattern::{PatternBitmasks, PatternBitmasks64};
+use genasm_core::tb::{window_traceback, TracebackOrder};
+
+fn dna(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            b"ACGT"[(state % 4) as usize]
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+
+    let pattern64 = dna(64, 3);
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("pattern_bitmasks_64", |b| {
+        b.iter(|| std::hint::black_box(PatternBitmasks64::<Dna>::new(&pattern64).unwrap()))
+    });
+
+    let pattern1k = dna(1_000, 5);
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("pattern_bitmasks_multiword_1k", |b| {
+        b.iter(|| std::hint::black_box(PatternBitmasks::<Dna>::new(&pattern1k).unwrap()))
+    });
+
+    let text = dna(10_000, 7);
+    let needle = text[5_000..5_032].to_vec();
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("bitap_scan_10k_k2", |b| {
+        b.iter(|| std::hint::black_box(bitap::find_all::<Dna>(&text, &needle, 2).unwrap()))
+    });
+
+    // One window with a couple of errors: the aligner's hot path.
+    let sub_text = dna(64, 11);
+    let mut sub_pattern = sub_text.clone();
+    sub_pattern[20] = if sub_pattern[20] == b'A' { b'C' } else { b'A' };
+    sub_pattern[45] = if sub_pattern[45] == b'G' { b'T' } else { b'G' };
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("window_dc_64_d2", |b| {
+        b.iter(|| std::hint::black_box(window_dc::<Dna>(&sub_text, &sub_pattern, 64).unwrap()))
+    });
+
+    let dc = window_dc::<Dna>(&sub_text, &sub_pattern, 64).unwrap();
+    let d = dc.edit_distance.unwrap();
+    let order = TracebackOrder::affine();
+    group.bench_function("window_tb_64_d2", |b| {
+        b.iter(|| {
+            std::hint::black_box(window_traceback(&dc.bitvectors, d, 40, &order).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! GenASM vs GACT software benchmarks (Figures 12/13's algorithmic
+//! counterpart): windowed bitvectors vs tiled DP, same host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use genasm_baselines::gact::{GactAligner, GactConfig};
+use genasm_bench::workloads::dataset_pairs;
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_seq::readsim::PaperDataset;
+
+fn bench_vs_gact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vs_gact");
+    group.sample_size(10);
+    for &len in &[500usize, 2_000, 5_000] {
+        let pairs = dataset_pairs(PaperDataset::PacBio15, len, 2, 0x6AC7);
+        group.throughput(Throughput::Elements(pairs.len() as u64));
+        let label = format!("{len}bp");
+
+        let genasm = GenAsmAligner::new(GenAsmConfig::default());
+        group.bench_with_input(BenchmarkId::new("genasm", &label), &pairs, |b, pairs| {
+            b.iter(|| {
+                for p in pairs {
+                    std::hint::black_box(genasm.align(&p.region, &p.read).unwrap().edit_distance);
+                }
+            })
+        });
+
+        let gact = GactAligner::new(GactConfig::default());
+        group.bench_with_input(BenchmarkId::new("gact", &label), &pairs, |b, pairs| {
+            b.iter(|| {
+                for p in pairs {
+                    std::hint::black_box(gact.align(&p.region, &p.read).edit_distance);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_gact);
+criterion_main!(benches);

@@ -1,0 +1,813 @@
+//! Regenerates every table and figure of the GenASM paper's evaluation.
+//!
+//! Usage: `cargo run -p genasm-bench --release --bin experiments -- <id>`
+//! where `<id>` is one of `table1 fig9 fig10 fig11 fig12 fig13 fig14
+//! gasal2 sillax accuracy shouji asap ablation-window ablation-pe all`
+//! (default `all`). `all` also writes the markdown report to
+//! `experiments_generated.md`.
+//!
+//! Scale knob: `GENASM_SCALE=4` multiplies workload sizes.
+
+use genasm_baselines::gact::{GactAligner, GactConfig};
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_baselines::myers::myers_banded_distance;
+use genasm_baselines::nw::semiglobal_distance;
+use genasm_baselines::shouji::ShoujiFilter;
+use genasm_bench::gact_model::GactHwModel;
+use genasm_bench::harness::{fmt_duration, fmt_rate, fmt_x, Table};
+use genasm_bench::workloads::{
+    dataset_pairs, error_budget, filter_pairs, scale, similarity_pairs, AlignmentPair,
+};
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::edit_distance::EditDistanceCalculator;
+use genasm_core::filter::PreAlignmentFilter;
+use genasm_core::scoring::Scoring;
+use genasm_mapper::pipeline::{AlignerKind, MapperConfig, ReadMapper};
+use genasm_seq::readsim::PaperDataset;
+use genasm_sim::analytic::AnalyticModel;
+use genasm_sim::config::GenAsmHwConfig;
+use genasm_sim::power::GenAsmPowerModel;
+use genasm_sim::reported;
+use genasm_sim::systolic::SystolicSim;
+use std::time::Instant;
+
+type Experiment = (&'static str, fn() -> Vec<Table>);
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let experiments: Vec<Experiment> = vec![
+        ("table1", table1 as fn() -> Vec<Table>),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("gasal2", gasal2),
+        ("sillax", sillax),
+        ("accuracy", accuracy),
+        ("shouji", shouji),
+        ("asap", asap),
+        ("ablation-window", ablation_window),
+        ("ablation-pe", ablation_pe),
+        ("ablation-tb-order", ablation_tb_order),
+    ];
+
+    let selected: Vec<&Experiment> = if arg == "all" {
+        experiments.iter().collect()
+    } else {
+        let found: Vec<_> = experiments.iter().filter(|(name, _)| *name == arg).collect();
+        if found.is_empty() {
+            eprintln!(
+                "unknown experiment {arg:?}; available: all {}",
+                experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+            );
+            std::process::exit(2);
+        }
+        found
+    };
+
+    let mut markdown = String::from("# GenASM-rs generated experiment report\n\n");
+    for (name, runner) in selected {
+        eprintln!("== running {name} ==");
+        let start = Instant::now();
+        let tables = runner();
+        for table in &tables {
+            table.print();
+            markdown.push_str(&table.to_markdown());
+        }
+        eprintln!("== {name} done in {} ==\n", fmt_duration(start.elapsed()));
+    }
+    if arg == "all" {
+        std::fs::write("experiments_generated.md", &markdown)
+            .expect("write experiments_generated.md");
+        eprintln!("wrote experiments_generated.md");
+    }
+}
+
+fn genasm_hw() -> AnalyticModel {
+    AnalyticModel::new(GenAsmHwConfig::paper())
+}
+
+/// Software GenASM throughput (reads/s) over a pair set.
+fn genasm_sw_rate(pairs: &[AlignmentPair]) -> f64 {
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    let start = Instant::now();
+    for p in pairs {
+        let a = aligner.align(&p.region, &p.read).expect("alignment");
+        std::hint::black_box(a.edit_distance);
+    }
+    pairs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Software affine-DP (BWA-MEM / Minimap2 stand-in) throughput. Uses
+/// the score-only rolling-row kernel so 10 Kbp reads fit in memory;
+/// the cell count matches the full alignment.
+fn dp_sw_rate(pairs: &[AlignmentPair], scoring: Scoring) -> f64 {
+    let aligner = GotohAligner::new(scoring, GotohMode::TextSuffixFree);
+    let start = Instant::now();
+    for p in pairs {
+        std::hint::black_box(aligner.score_only(&p.region, &p.read));
+    }
+    pairs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------- table1
+
+fn table1() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 1: area and power breakdown of GenASM (28 nm, 1 GHz)",
+        ["Component", "Area (mm^2)", "Power (W)"],
+    );
+    for row in GenAsmPowerModel::table1() {
+        t.push([
+            row.component.to_string(),
+            format!("{:.3}", row.cost.area_mm2),
+            format!("{:.3}", row.cost.power_w),
+        ]);
+    }
+    let budget = GenAsmPowerModel::vault_budget();
+    let one = GenAsmPowerModel::one_vault();
+    t.note(format!(
+        "per-vault budget: {:.1} mm^2 / {:.0} mW -> accelerator fits with {:.1}x area and {:.1}x power headroom",
+        budget.area_mm2,
+        budget.power_w * 1e3,
+        budget.area_mm2 / one.area_mm2,
+        budget.power_w / one.power_w,
+    ));
+    vec![t]
+}
+
+// ---------------------------------------------------------------- fig9/10
+
+fn alignment_figure(
+    title: &str,
+    datasets: &[PaperDataset],
+    read_length_override: Option<usize>,
+    count: usize,
+    paper_rows: &[reported::SoftwareSpeedup],
+) -> Table {
+    let mut t = Table::new(
+        title,
+        [
+            "Dataset",
+            "DP sw (measured)",
+            "GenASM sw (measured)",
+            "sw/sw speedup",
+            "GenASM HW 32v (model)",
+            "HW/DP speedup",
+            "Paper (BWA t12 / MM2 t12)",
+        ],
+    );
+    let hw = genasm_hw();
+    for &ds in datasets {
+        let len = read_length_override.unwrap_or(ds.read_length());
+        let pairs = dataset_pairs(ds, len, count, 0xF19 + len as u64);
+        let scoring = if ds.is_long() { Scoring::minimap2() } else { Scoring::bwa_mem() };
+        let dp = dp_sw_rate(&pairs, scoring);
+        let sw = genasm_sw_rate(&pairs);
+        let k = error_budget(len, ds);
+        let hw_rate = hw.alignment(len, k).full_throughput;
+        t.push([
+            format!("{} ({} bp)", ds.name(), len),
+            fmt_rate(dp),
+            fmt_rate(sw),
+            fmt_x(sw / dp),
+            fmt_rate(hw_rate),
+            fmt_x(hw_rate / dp),
+            format!("{} / {}", fmt_x(paper_rows[0].t12), fmt_x(paper_rows[1].t12)),
+        ]);
+    }
+    t.note(
+        "DP sw = affine-gap Gotoh (BWA-MEM/Minimap2 alignment-step stand-in), single thread on \
+         this host; paper columns are the published speedups over 12-thread Xeon runs. The \
+         HW/DP factor exceeds the paper's because this DP stand-in is scalar single-thread Rust \
+         rather than a SIMD-tuned tool on a 12-thread Xeon; sw/sw isolates the algorithmic gain.",
+    );
+    t.note(format!(
+        "power: GenASM 32 vaults {:.2} W vs BWA-MEM 12t {:.1} W ({:.0}x) and Minimap2 12t {:.1} W ({:.0}x) as published",
+        reported::GENASM_FULL_POWER_W,
+        reported::BWA_MEM_POWER_W.1,
+        reported::BWA_MEM_POWER_W.1 / reported::GENASM_FULL_POWER_W,
+        reported::MINIMAP2_POWER_W.1,
+        reported::MINIMAP2_POWER_W.1 / reported::GENASM_FULL_POWER_W,
+    ));
+    t
+}
+
+fn fig9() -> Vec<Table> {
+    let datasets = [
+        PaperDataset::PacBio10,
+        PaperDataset::PacBio15,
+        PaperDataset::Ont10,
+        PaperDataset::Ont15,
+    ];
+    vec![alignment_figure(
+        "Figure 9: long-read alignment throughput (GenASM vs DP software)",
+        &datasets,
+        Some(10_000),
+        2 * scale(),
+        &reported::LONG_READ_SPEEDUPS,
+    )]
+}
+
+fn fig10() -> Vec<Table> {
+    let datasets =
+        [PaperDataset::Illumina100, PaperDataset::Illumina150, PaperDataset::Illumina250];
+    vec![alignment_figure(
+        "Figure 10: short-read alignment throughput (GenASM vs DP software)",
+        &datasets,
+        None,
+        400 * scale(),
+        &reported::SHORT_READ_SPEEDUPS,
+    )]
+}
+
+// ---------------------------------------------------------------- fig11
+
+fn fig11() -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 11: end-to-end read-mapping pipeline time, DP vs GenASM alignment step",
+        [
+            "Dataset",
+            "Pipeline w/ DP",
+            "Pipeline w/ GenASM",
+            "Speedup",
+            "Align share (DP)",
+            "Paper (BWA / MM2 pipelines)",
+        ],
+    );
+    // (dataset, read length used here, read count) - long reads scaled
+    // to 1.5 Kbp so the quadratic DP baseline finishes; shape
+    // (alignment dominance) is preserved.
+    let workloads = [
+        (PaperDataset::Illumina250, 250usize, 120 * scale()),
+        (PaperDataset::PacBio15, 1_500, 12 * scale()),
+        (PaperDataset::Ont15, 1_500, 12 * scale()),
+    ];
+    let reference = genasm_bench::workloads::reference(300_000, 0xFA11);
+    for (i, &(ds, len, count)) in workloads.iter().enumerate() {
+        let sim = genasm_seq::readsim::ReadSimulator::new(genasm_seq::readsim::SimConfig {
+            read_length: len,
+            count,
+            profile: ds.profile(),
+            seed: 0x11F + i as u64,
+            both_strands: false,
+            length_model: genasm_seq::readsim::LengthModel::Fixed,
+        });
+        let reads = sim.simulate(&reference);
+        let error_fraction = ds.profile().total() + 0.03;
+        let mut totals = Vec::new();
+        let mut align_share = 0.0;
+        for aligner in [AlignerKind::Gotoh, AlignerKind::GenAsm] {
+            let config = MapperConfig { aligner, error_fraction, ..MapperConfig::default() };
+            let mapper = ReadMapper::build(&reference, config);
+            let refs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
+            let (_, timings) = mapper.map_batch(refs);
+            if aligner == AlignerKind::Gotoh {
+                align_share = timings.alignment.as_secs_f64() / timings.total().as_secs_f64();
+            }
+            totals.push(timings.total());
+        }
+        let paper = reported::PIPELINE_SPEEDUPS[i];
+        t.push([
+            format!("{} ({} bp x {})", ds.name(), len, count),
+            fmt_duration(totals[0]),
+            fmt_duration(totals[1]),
+            fmt_x(totals[0].as_secs_f64() / totals[1].as_secs_f64()),
+            format!("{:.0}%", align_share * 100.0),
+            format!("{} / {}", fmt_x(paper.1), fmt_x(paper.2)),
+        ]);
+    }
+    t.note(
+        "both pipelines run the same software seeding+filtering; only the alignment step is \
+         swapped. The paper replaces the alignment step with the hardware accelerator, so its \
+         speedups additionally include the hardware factor.",
+    );
+    vec![t]
+}
+
+// ------------------------------------------------------------- fig12/13
+
+fn fig12() -> Vec<Table> {
+    let hw = genasm_hw();
+    let gact_hw = GactHwModel::default();
+    let mut t = Table::new(
+        "Figure 12: GenASM vs GACT (Darwin), long reads, single accelerator",
+        [
+            "Length",
+            "GACT HW (model)",
+            "GenASM HW (model)",
+            "Speedup",
+            "Paper GACT",
+            "Paper GenASM",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for kbp in 1..=10usize {
+        let m = kbp * 1_000;
+        let k = (m as f64 * 0.15) as usize;
+        let genasm = hw.alignment(m, k).single_accel_throughput;
+        let gact = gact_hw.throughput(m);
+        speedups.push(genasm / gact);
+        t.push([
+            format!("{kbp} Kbp"),
+            fmt_rate(gact),
+            fmt_rate(genasm),
+            fmt_x(genasm / gact),
+            fmt_rate(reported::gact_long_read_throughput(m)),
+            fmt_rate(reported::genasm_long_read_throughput_published(m)),
+        ]);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    t.note(format!(
+        "modelled average speedup {} (paper: {}); power {:.0} mW vs {:.0} mW = {:.1}x (paper: 2.7x)",
+        fmt_x(avg),
+        fmt_x(reported::GACT_LONG_READ_SPEEDUP),
+        gact_hw.power_w * 1e3,
+        reported::GENASM_POWER_W * 1e3,
+        gact_hw.power_w / reported::GENASM_POWER_W,
+    ));
+
+    // Measured software head-to-head: the same algorithmic contrast
+    // (bitvector windows vs tiled DP) on this host.
+    let mut sw = Table::new(
+        "Figure 12 (software counterpart): GenASM vs GACT algorithms on this host",
+        ["Length", "GACT sw", "GenASM sw", "Speedup"],
+    );
+    for &kbp in &[1usize, 2, 5, 10] {
+        let m = kbp * 1_000;
+        let pairs = dataset_pairs(PaperDataset::PacBio15, m, 2 * scale(), 0x61C + m as u64);
+        let gact = GactAligner::new(GactConfig::default());
+        let start = Instant::now();
+        for p in &pairs {
+            std::hint::black_box(gact.align(&p.region, &p.read).edit_distance);
+        }
+        let gact_rate = pairs.len() as f64 / start.elapsed().as_secs_f64();
+        let genasm_rate = genasm_sw_rate(&pairs);
+        sw.push([
+            format!("{kbp} Kbp"),
+            fmt_rate(gact_rate),
+            fmt_rate(genasm_rate),
+            fmt_x(genasm_rate / gact_rate),
+        ]);
+    }
+    vec![t, sw]
+}
+
+fn fig13() -> Vec<Table> {
+    let hw = genasm_hw();
+    let gact_hw = GactHwModel::default();
+    let mut t = Table::new(
+        "Figure 13: GenASM vs GACT (Darwin), short reads, single accelerator",
+        ["Length", "GACT HW (model)", "GenASM HW (model)", "Speedup", "Paper avg speedup"],
+    );
+    let mut speedups = Vec::new();
+    for &m in &[100usize, 150, 200, 250, 300] {
+        let k = (m as f64 * 0.05).ceil() as usize;
+        let genasm = hw.alignment(m, k).single_accel_throughput;
+        let gact = gact_hw.throughput(m);
+        speedups.push(genasm / gact);
+        t.push([
+            format!("{m} bp"),
+            fmt_rate(gact),
+            fmt_rate(genasm),
+            fmt_x(genasm / gact),
+            fmt_x(reported::GACT_SHORT_READ_SPEEDUP),
+        ]);
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    t.note(format!(
+        "modelled average {}: GACT pays a full 320x320 tile regardless of read length while \
+         GenASM windows scale with the read; the paper's published average is {} with the same \
+         shape (GACT flat, GenASM declining with length).",
+        fmt_x(avg),
+        fmt_x(reported::GACT_SHORT_READ_SPEEDUP)
+    ));
+    vec![t]
+}
+
+// ---------------------------------------------------------------- fig14
+
+fn fig14() -> Vec<Table> {
+    let similarities = [0.60, 0.70, 0.80, 0.90, 0.95, 0.99];
+    let lengths: Vec<usize> = if scale() >= 4 {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        vec![10_000, 100_000]
+    };
+    let hw = genasm_hw();
+    let mut tables = Vec::new();
+    for &len in &lengths {
+        let mut t = Table::new(
+            format!("Figure 14: edit distance, {len} bp sequences (GenASM vs Edlib stand-in)"),
+            [
+                "Similarity",
+                "Edlib sw (measured)",
+                "GenASM sw (measured)",
+                "GenASM HW (model)",
+                "HW speedup",
+                "Paper speedup range",
+            ],
+        );
+        let pairs = similarity_pairs(len, &similarities, 0xED17 + len as u64);
+        for (s, a, b) in &pairs {
+            let start = Instant::now();
+            let edlib_d = myers_banded_distance(a, b);
+            let edlib_time = start.elapsed();
+
+            let calc = EditDistanceCalculator::default();
+            let start = Instant::now();
+            let genasm_d = calc.distance(a, b).expect("distance");
+            let genasm_time = start.elapsed();
+
+            let k = genasm_d.max(1);
+            let hw_cycles = hw.alignment(b.len(), k.min(b.len())).total_cycles;
+            let hw_time = hw_cycles as f64 / 1e9;
+            let paper = if len >= 1_000_000 {
+                reported::EDLIB_COMPARISON[1].1
+            } else {
+                reported::EDLIB_COMPARISON[0].1
+            };
+            t.push([
+                format!("{:.0}% (d~{})", s * 100.0, edlib_d),
+                fmt_duration(edlib_time),
+                fmt_duration(genasm_time),
+                format!("{:.1}us", hw_time * 1e6),
+                fmt_x(edlib_time.as_secs_f64() / hw_time),
+                format!("{:.0}x-{:.0}x", paper.0, paper.1),
+            ]);
+            std::hint::black_box(genasm_d);
+        }
+        t.note(
+            "Edlib stand-in = Myers bit-vector + Ukkonen band doubling (the same two algorithms \
+             Edlib combines); its cost rises as similarity falls while GenASM's windowed cost is \
+             similarity-insensitive - the published shape.",
+        );
+        t.note(format!(
+            "paper power: Edlib {:.1} W vs GenASM single accelerator {:.3} W",
+            reported::EDLIB_COMPARISON[if len >= 1_000_000 { 1 } else { 0 }].3,
+            reported::GENASM_POWER_W
+        ));
+        tables.push(t);
+    }
+    tables
+}
+
+// ------------------------------------------------------- gasal2 / sillax
+
+fn gasal2() -> Vec<Table> {
+    let hw = genasm_hw();
+    let mut t = Table::new(
+        "GASAL2 (GPU) comparison, short reads (published speedups + our model)",
+        [
+            "Read length",
+            "Pairs",
+            "Paper speedup",
+            "Paper power gain",
+            "GenASM HW (model)",
+            "Implied GASAL2",
+        ],
+    );
+    for &(len, pairs, speedup, power) in reported::GASAL2_COMPARISON.iter() {
+        let k = (len as f64 * 0.05).ceil() as usize;
+        let genasm = hw.alignment(len, k).full_throughput;
+        t.push([
+            format!("{len} bp"),
+            pairs.to_string(),
+            fmt_x(speedup),
+            fmt_x(power),
+            fmt_rate(genasm),
+            fmt_rate(genasm / speedup),
+        ]);
+    }
+    t.note("GASAL2 runs on a Titan V we cannot reproduce; its implied throughput is derived from our modelled GenASM rate and the published speedup.");
+    vec![t]
+}
+
+fn sillax() -> Vec<Table> {
+    let hw = genasm_hw();
+    let genasm = hw.alignment(101, 6).full_throughput;
+    let mut t = Table::new(
+        "SillaX (GenAx) comparison, 101 bp short reads",
+        ["System", "Throughput", "Logic area", "Logic power"],
+    );
+    t.push([
+        "SillaX @2GHz (published)".to_string(),
+        fmt_rate(reported::SILLAX_THROUGHPUT),
+        format!("{:.2} mm^2", reported::SILLAX_LOGIC_AREA_MM2),
+        format!("{:.1} W", reported::SILLAX_LOGIC_POWER_W),
+    ]);
+    t.push([
+        "GenASM 32 vaults @1GHz (model)".to_string(),
+        fmt_rate(genasm),
+        "2.08 mm^2".to_string(),
+        "1.18 W".to_string(),
+    ]);
+    t.note(format!(
+        "modelled speedup {} (paper: {}); paper also reports GenASM total area 10.69 mm^2 vs \
+         SillaX 9.11 mm^2 with 1.6x better throughput/area",
+        fmt_x(genasm / reported::SILLAX_THROUGHPUT),
+        fmt_x(reported::SILLAX_SPEEDUP)
+    ));
+    vec![t]
+}
+
+// -------------------------------------------------------------- accuracy
+
+fn accuracy() -> Vec<Table> {
+    let mut t = Table::new(
+        "Accuracy analysis (10.2): GenASM score vs DP-optimal affine score",
+        ["Dataset", "Exact score", "Within tolerance", "Tolerance", "Paper"],
+    );
+    let cases = [
+        (PaperDataset::Illumina250, 250usize, 300 * scale(), Scoring::bwa_mem(), 0.045),
+        (PaperDataset::PacBio10, 2_000, 25 * scale(), Scoring::minimap2(), 0.004),
+        (PaperDataset::PacBio15, 2_000, 25 * scale(), Scoring::minimap2(), 0.007),
+    ];
+    for (i, &(ds, len, count, scoring, tolerance)) in cases.iter().enumerate() {
+        let pairs = dataset_pairs(ds, len, count, 0xACC + i as u64);
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        let dp = GotohAligner::new(scoring, GotohMode::TextSuffixFree);
+        let mut exact = 0usize;
+        let mut within = 0usize;
+        for p in &pairs {
+            let genasm_score =
+                scoring.score_cigar(&aligner.align(&p.region, &p.read).expect("align").cigar);
+            let optimal = dp.score_only(&p.region, &p.read);
+            if genasm_score == optimal {
+                exact += 1;
+                within += 1;
+            } else {
+                let denom = optimal.abs().max(1) as f64;
+                if (genasm_score - optimal).abs() as f64 / denom <= tolerance {
+                    within += 1;
+                }
+            }
+        }
+        let n = pairs.len() as f64;
+        let paper = &reported::ACCURACY[i];
+        let paper_text = match paper.exact {
+            Some(e) => format!(
+                "{:.1}% exact, {:.1}% within +-{:.1}%",
+                e * 100.0,
+                paper.within_tolerance * 100.0,
+                paper.tolerance * 100.0
+            ),
+            None => format!(
+                "{:.1}% within +-{:.1}%",
+                paper.within_tolerance * 100.0,
+                paper.tolerance * 100.0
+            ),
+        };
+        t.push([
+            format!("{} ({} bp x {})", ds.name(), len, count),
+            format!("{:.1}%", exact as f64 / n * 100.0),
+            format!("{:.1}%", within as f64 / n * 100.0),
+            format!("+-{:.1}%", tolerance * 100.0),
+            paper_text,
+        ]);
+    }
+    t.note("optimal = affine-gap DP with the tools' default scoring (text-suffix-free), the same comparison the paper runs against BWA-MEM/Minimap2 outputs.");
+    vec![t]
+}
+
+// ---------------------------------------------------------------- shouji
+
+fn shouji() -> Vec<Table> {
+    let mut t = Table::new(
+        "Pre-alignment filtering (10.3): GenASM-DC vs Shouji",
+        ["Dataset", "Filter", "Throughput", "False accept", "False reject", "Paper FAR"],
+    );
+    let cases = [(100usize, 5usize, 2_000 * scale()), (250, 15, 800 * scale())];
+    for (ci, &(len, threshold, count)) in cases.iter().enumerate() {
+        let pairs = filter_pairs(len, threshold, count, 0x510 + ci as u64);
+        // Ground truth via semiglobal DP (the paper uses Edlib).
+        let truth: Vec<bool> =
+            pairs.iter().map(|(r, q)| semiglobal_distance(r, q) <= threshold).collect();
+
+        let genasm_filter = PreAlignmentFilter::new(threshold);
+        let start = Instant::now();
+        let genasm_decisions: Vec<bool> =
+            pairs.iter().map(|(r, q)| genasm_filter.accepts(r, q).unwrap_or(false)).collect();
+        let genasm_rate = pairs.len() as f64 / start.elapsed().as_secs_f64();
+
+        let shouji_filter = ShoujiFilter::new(threshold);
+        let start = Instant::now();
+        let shouji_decisions: Vec<bool> =
+            pairs.iter().map(|(r, q)| shouji_filter.accepts(r, q)).collect();
+        let shouji_rate = pairs.len() as f64 / start.elapsed().as_secs_f64();
+
+        let rates = |decisions: &[bool]| {
+            let mut fa = 0usize;
+            let mut dissimilar = 0usize;
+            let mut fr = 0usize;
+            let mut similar = 0usize;
+            for (&accept, &good) in decisions.iter().zip(truth.iter()) {
+                if good {
+                    similar += 1;
+                    if !accept {
+                        fr += 1;
+                    }
+                } else {
+                    dissimilar += 1;
+                    if accept {
+                        fa += 1;
+                    }
+                }
+            }
+            (fa as f64 / dissimilar.max(1) as f64, fr as f64 / similar.max(1) as f64)
+        };
+        let (g_far, g_frr) = rates(&genasm_decisions);
+        let (s_far, s_frr) = rates(&shouji_decisions);
+        let paper = reported::SHOUJI_COMPARISON[ci];
+        t.push([
+            format!("{len} bp, E={threshold}"),
+            "GenASM-DC".to_string(),
+            fmt_rate(genasm_rate),
+            format!("{:.3}%", g_far * 100.0),
+            format!("{:.2}%", g_frr * 100.0),
+            format!("{:.3}%", paper.5 * 100.0),
+        ]);
+        t.push([
+            String::new(),
+            "Shouji".to_string(),
+            fmt_rate(shouji_rate),
+            format!("{:.2}%", s_far * 100.0),
+            format!("{:.2}%", s_frr * 100.0),
+            format!("{:.0}%", paper.4 * 100.0),
+        ]);
+    }
+    t.note("paper hardware speedup: 3.7x over the Shouji FPGA at 100 bp (1.0x at 250 bp) with 1.7x less power; the accuracy columns are fully recomputed here.");
+    vec![t]
+}
+
+// ------------------------------------------------------------------ asap
+
+fn asap() -> Vec<Table> {
+    let hw = genasm_hw();
+    let mut t = Table::new(
+        "ASAP comparison (10.4): edit distance on short sequences",
+        ["Length", "ASAP (published)", "GenASM HW (model)", "Speedup", "Paper speedup range"],
+    );
+    for &m in &[64usize, 128, 192, 256, 320] {
+        let k = (m as f64 * 0.1).ceil() as usize;
+        let cycles = hw.alignment(m, k).total_cycles;
+        let genasm_us = cycles as f64 / 1e3;
+        // Linear interpolation of ASAP's published endpoint times.
+        let asap_us = reported::ASAP.asap_us.0
+            + (reported::ASAP.asap_us.1 - reported::ASAP.asap_us.0) * (m - 64) as f64 / 256.0;
+        t.push([
+            format!("{m} bp"),
+            format!("{asap_us:.1}us"),
+            format!("{genasm_us:.2}us"),
+            fmt_x(asap_us / genasm_us),
+            "9.3x-400x".to_string(),
+        ]);
+    }
+    t.note(format!(
+        "power: ASAP {:.1} W vs GenASM {:.3} W = {:.0}x (paper: 67x)",
+        reported::ASAP.asap_power_w,
+        reported::GENASM_POWER_W,
+        reported::ASAP.asap_power_w / reported::GENASM_POWER_W
+    ));
+    vec![t]
+}
+
+// ------------------------------------------------------------- ablations
+
+fn ablation_window() -> Vec<Table> {
+    let model = genasm_hw();
+    let mut t = Table::new(
+        "Ablation (10.5 / 6): divide-and-conquer windowing",
+        ["Workload", "Unwindowed DC cycles", "Windowed DC cycles", "Reduction", "Paper"],
+    );
+    for &(m, k, paper) in
+        &[(10_000usize, 1_500usize, "3662x"), (100, 5, "1.6x"), (250, 13, "3.9x")]
+    {
+        let unwindowed = model.dc_cycles_unwindowed(m, k);
+        let speedup = model.windowing_speedup(m, k);
+        let windowed = unwindowed as f64 / speedup;
+        t.push([
+            format!("m={m}, k={k}"),
+            unwindowed.to_string(),
+            format!("{windowed:.0}"),
+            fmt_x(speedup),
+            paper.to_string(),
+        ]);
+    }
+    let fp = model.footprint_unwindowed_bits(10_000, 1_500) as f64 / 8.0 / 1e9;
+    let fp_w = model.footprint_windowed_bits() as f64 / 8.0 / 1024.0;
+    t.note(format!(
+        "traceback memory footprint: {fp:.0} GB unwindowed vs {fp_w:.0} KB windowed (paper: ~80 GB vs 96 KB of TB-SRAM)"
+    ));
+
+    // (W, O) sweep: accuracy of the software aligner vs DP distance.
+    let mut sweep = Table::new(
+        "Ablation: (W, O) sweep - model throughput vs achieved accuracy",
+        ["W", "O", "HW 32v (model)", "Edit-distance exact", "Avg excess edits"],
+    );
+    // High-error pairs (15% PacBio profile at 250 bp) so small windows
+    // and small overlaps actually lose accuracy.
+    let pairs = dataset_pairs(PaperDataset::PacBio15, 250, 150 * scale(), 0xAB1);
+    let unit_dp = GotohAligner::new(Scoring::unit(), GotohMode::TextSuffixFree);
+    for &(w, o) in &[(16usize, 4usize), (32, 8), (32, 12), (48, 16), (64, 16), (64, 24), (64, 32)] {
+        let mut cfg = GenAsmHwConfig::paper();
+        cfg.window = w;
+        cfg.overlap = o;
+        cfg.window_error_rows = w - o;
+        let hw = AnalyticModel::new(cfg);
+        let rate = hw.alignment(250, 13).full_throughput;
+        let aligner_cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
+        let aligner = GenAsmAligner::new(aligner_cfg);
+        let mut exact = 0usize;
+        let mut excess = 0usize;
+        for p in &pairs {
+            let d = aligner.align(&p.region, &p.read).expect("align").edit_distance;
+            let dp = unit_dp.score_only(&p.region, &p.read).unsigned_abs() as usize;
+            if d == dp {
+                exact += 1;
+            }
+            excess += d.saturating_sub(dp);
+        }
+        sweep.push([
+            w.to_string(),
+            o.to_string(),
+            fmt_rate(rate),
+            format!("{:.1}%", exact as f64 / pairs.len() as f64 * 100.0),
+            format!("{:.3}", excess as f64 / pairs.len() as f64),
+        ]);
+    }
+    sweep.note("the paper selects (W=64, O=24) as the best performance/accuracy point; larger overlap costs throughput, smaller windows cost accuracy.");
+    vec![t, sweep]
+}
+
+fn ablation_tb_order() -> Vec<Table> {
+    use genasm_core::tb::TracebackOrder;
+    let mut t = Table::new(
+        "Ablation (6): traceback case order vs affine score",
+        ["Order", "Mean score gap to optimal (BWA)", "Exact-score reads", "Edit distance drift"],
+    );
+    let pairs = dataset_pairs(PaperDataset::Illumina250, 250, 200 * scale(), 0x7B0);
+    let scoring = Scoring::bwa_mem();
+    let dp = GotohAligner::new(scoring, GotohMode::TextSuffixFree);
+    let orders: [(&str, TracebackOrder); 3] = [
+        ("affine (Alg. 2)", TracebackOrder::affine()),
+        ("unit", TracebackOrder::unit()),
+        ("subs-last", TracebackOrder::subs_last()),
+    ];
+    for (name, order) in orders {
+        let aligner = GenAsmAligner::new(GenAsmConfig::default().with_order(order));
+        let mut gap_sum = 0f64;
+        let mut exact = 0usize;
+        let mut drift = 0usize;
+        let unit_aligner = GenAsmAligner::new(GenAsmConfig::default());
+        for p in &pairs {
+            let a = aligner.align(&p.region, &p.read).expect("align");
+            let score = scoring.score_cigar(&a.cigar);
+            let optimal = dp.score_only(&p.region, &p.read);
+            gap_sum += (optimal - score) as f64;
+            if score == optimal {
+                exact += 1;
+            }
+            let base = unit_aligner.align(&p.region, &p.read).expect("align").edit_distance;
+            drift += a.edit_distance.abs_diff(base);
+        }
+        t.push([
+            name.to_string(),
+            format!("{:.2}", gap_sum / pairs.len() as f64),
+            format!("{:.1}%", exact as f64 / pairs.len() as f64 * 100.0),
+            format!("{:.3}", drift as f64 / pairs.len() as f64),
+        ]);
+    }
+    t.note("the Algorithm 2 (gap-extend-first) order matches the affine optimum most often; reordering only selects among equal-edit-distance alignments (6, partial scoring support).");
+    vec![t]
+}
+
+fn ablation_pe() -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation (10.5): PE-count and vault-count scaling",
+        ["PEs", "Vaults", "Cycles/10Kbp read", "Throughput", "PE utilization"],
+    );
+    for &pes in &[16usize, 32, 64, 128] {
+        for &vaults in &[1usize, 8, 32] {
+            let mut cfg = GenAsmHwConfig::paper();
+            cfg.pes = pes;
+            cfg.vaults = vaults;
+            cfg.window_overhead_cycles = (pes as u64).saturating_sub(1);
+            let sim = SystolicSim::new(cfg);
+            let alignment = sim.simulate_alignment(10_000, 1_500);
+            let window = sim.simulate_window(cfg.window, cfg.window_error_rows.min(cfg.window));
+            let throughput = cfg.freq_hz / alignment.total_cycles as f64 * vaults as f64;
+            t.push([
+                pes.to_string(),
+                vaults.to_string(),
+                alignment.total_cycles.to_string(),
+                fmt_rate(throughput),
+                format!("{:.0}%", window.utilization_bp as f64 / 100.0),
+            ]);
+        }
+    }
+    t.note("throughput scales linearly with vault count (independent vaults); PE scaling saturates once the array covers the per-window rows - the paper's motivation for 64 PEs.");
+    vec![t]
+}

@@ -1,0 +1,100 @@
+//! Hardware performance model for GACT (Darwin's alignment
+//! accelerator), the §10.2 baseline of Figures 12 and 13.
+//!
+//! GACT fills one tile of the dynamic-programming matrix on a linear
+//! systolic array (one anti-diagonal sweep; 64 PEs in the iso-PE
+//! comparison of §10.2), traces back within the tile, and moves to the
+//! next tile. Cycles per tile are `T²/P` cell-computations plus the
+//! in-tile traceback and pipeline overhead; the overhead constant is
+//! calibrated once against the published endpoints (55,556 aligns/s at
+//! 1 Kbp, 6,289 at 10 Kbp) the same way the GenASM model is calibrated
+//! against Figure 12.
+
+/// GACT hardware model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GactHwModel {
+    /// Tile edge length (Darwin's evaluated configuration: 320).
+    pub tile: usize,
+    /// Tile overlap.
+    pub overlap: usize,
+    /// Processing elements (64 for the iso-PE comparison).
+    pub pes: usize,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Calibrated per-tile overhead cycles (traceback, fill/drain,
+    /// tile handoff).
+    pub per_tile_overhead: u64,
+    /// Published power of one GACT array in watts (§10.2: 277.7 mW).
+    pub power_w: f64,
+}
+
+impl Default for GactHwModel {
+    fn default() -> Self {
+        GactHwModel {
+            tile: 320,
+            overlap: 128,
+            pes: 64,
+            freq_hz: 1.0e9,
+            per_tile_overhead: 1_137,
+            power_w: 0.2777,
+        }
+    }
+}
+
+impl GactHwModel {
+    /// Cycles for one tile: `T²/P` systolic cell computations, the
+    /// in-tile traceback (`T`), and the calibrated overhead.
+    pub fn tile_cycles(&self) -> u64 {
+        let t = self.tile as u64;
+        t * t / self.pes as u64 + t + self.per_tile_overhead
+    }
+
+    /// Number of tiles for a read of `m` bases.
+    pub fn tiles(&self, m: usize) -> u64 {
+        (m as u64).div_ceil((self.tile - self.overlap) as u64).max(1)
+    }
+
+    /// Total cycles to align one read of `m` bases.
+    pub fn alignment_cycles(&self, m: usize) -> u64 {
+        self.tiles(m) * self.tile_cycles()
+    }
+
+    /// Alignments per second for a single GACT array.
+    pub fn throughput(&self, m: usize) -> f64 {
+        self.freq_hz / self.alignment_cycles(m) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_endpoints_within_5_percent() {
+        let model = GactHwModel::default();
+        let t1k = model.throughput(1_000);
+        let t10k = model.throughput(10_000);
+        assert!((t1k - 55_556.0).abs() / 55_556.0 < 0.05, "1Kbp {t1k}");
+        assert!((t10k - 6_289.0).abs() / 6_289.0 < 0.05, "10Kbp {t10k}");
+    }
+
+    #[test]
+    fn short_reads_cost_one_or_two_tiles() {
+        // GACT tiles every `tile - overlap` bases, so reads up to 192 bp
+        // take one tile and 193-384 bp take two: the near-flat GACT
+        // curve of Figure 13.
+        let model = GactHwModel::default();
+        assert_eq!(model.tiles(100), 1);
+        assert_eq!(model.tiles(192), 1);
+        assert_eq!(model.tiles(193), 2);
+        assert_eq!(model.tiles(300), 2);
+        assert_eq!(model.throughput(100), model.throughput(150));
+    }
+
+    #[test]
+    fn cycles_linear_in_length() {
+        let model = GactHwModel::default();
+        let ratio = model.alignment_cycles(9_600) as f64 / model.alignment_cycles(960) as f64;
+        assert!((ratio - 10.0).abs() < 0.5, "{ratio}");
+    }
+}

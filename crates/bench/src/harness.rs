@@ -1,0 +1,220 @@
+//! Measurement and table-printing utilities for the experiments.
+
+use std::time::{Duration, Instant};
+
+/// Measures the wall-clock throughput of `work` over `items` items:
+/// returns (items per second, total elapsed).
+pub fn measure_throughput<F: FnMut()>(items: usize, mut work: F) -> (f64, Duration) {
+    let start = Instant::now();
+    work();
+    let elapsed = start.elapsed();
+    let per_sec = if elapsed.is_zero() {
+        f64::INFINITY
+    } else {
+        items as f64 / elapsed.as_secs_f64()
+    };
+    (per_sec, elapsed)
+}
+
+/// One row of a printed experiment table.
+#[derive(Debug, Clone, Default)]
+pub struct Row {
+    /// Cell values, one per column.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from displayable cells.
+    pub fn new<I, S>(cells: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Row { cells: cells.into_iter().map(Into::into).collect() }
+    }
+}
+
+/// A fixed-width experiment table rendered to the terminal and to the
+/// EXPERIMENTS.md markdown format.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Row>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new<S: Into<String>, I, H>(title: S, headers: I) -> Self
+    where
+        I: IntoIterator<Item = H>,
+        H: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn push<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(Row::new(cells));
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note<S: Into<String>>(&mut self, note: S) {
+        self.notes.push(note.into());
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.cells.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        widths
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(&row.cells));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        out
+    }
+
+    /// Renders the table as GitHub markdown (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.cells.join(" | ")));
+        }
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("*Note: {note}*\n\n"));
+        }
+        out
+    }
+
+    /// Prints the plain-text rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+    }
+}
+
+/// Formats a throughput value compactly (e.g. `1.23M/s`).
+pub fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1e6 {
+        format!("{:.2}M/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.1}K/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}/s")
+    }
+}
+
+/// Formats a duration compactly.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+/// Formats a speedup factor.
+pub fn fmt_x(factor: f64) -> String {
+    if factor >= 100.0 {
+        format!("{factor:.0}x")
+    } else {
+        format!("{factor:.1}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_text_and_markdown() {
+        let mut t = Table::new("Demo", ["a", "b"]);
+        t.push(["1", "2"]);
+        t.push(["333", "4"]);
+        t.note("a note");
+        let text = t.to_text();
+        assert!(text.contains("## Demo"));
+        assert!(text.contains("333"));
+        assert!(text.contains("note: a note"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 333 | 4 |"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M/s");
+        assert_eq!(fmt_rate(1_500.0), "1.5K/s");
+        assert_eq!(fmt_rate(12.0), "12.0/s");
+        assert_eq!(fmt_x(3.94), "3.9x");
+        assert_eq!(fmt_x(648.0), "648x");
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+    }
+
+    #[test]
+    fn measure_throughput_counts_items() {
+        let (rate, elapsed) = measure_throughput(100, || {
+            std::hint::black_box((0..10_000).sum::<u64>());
+        });
+        assert!(rate > 0.0);
+        assert!(elapsed.as_nanos() > 0);
+    }
+}

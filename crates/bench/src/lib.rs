@@ -1,0 +1,13 @@
+//! # genasm-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the paper's evaluation (§10). The `experiments` binary drives the
+//! per-artifact experiments (see DESIGN.md's experiment index); the
+//! Criterion benches under `benches/` provide wall-clock measurements
+//! of the software kernels.
+
+pub mod gact_model;
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{measure_throughput, Row, Table};

@@ -1,0 +1,179 @@
+//! Shared workload generation for the experiments: synthetic genome,
+//! paper datasets scaled to laptop sizes, and candidate (region, read)
+//! pairs.
+//!
+//! Scaling: the paper runs 240 K long reads / 200 K short reads against
+//! GRCh38; the experiments default to a few-megabase synthetic
+//! reference and read counts sized to finish in seconds. The
+//! `GENASM_SCALE` environment variable multiplies read counts for
+//! longer runs. Throughputs are reported per read, so scaling changes
+//! only measurement noise, not shape.
+
+use genasm_seq::genome::GenomeBuilder;
+use genasm_seq::readsim::{LengthModel, PaperDataset, SimulatedRead};
+
+/// A (reference region, read) pair ready for alignment: the region is
+/// the read's true template extended by the error budget `k`.
+#[derive(Debug, Clone)]
+pub struct AlignmentPair {
+    /// The candidate reference region (length `template + k`).
+    pub region: Vec<u8>,
+    /// The read.
+    pub read: Vec<u8>,
+    /// Ground-truth number of sequencing errors.
+    pub true_edits: usize,
+}
+
+/// Reads the `GENASM_SCALE` multiplier (default 1).
+pub fn scale() -> usize {
+    std::env::var("GENASM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// The shared synthetic reference for the experiments.
+pub fn reference(len: usize, seed: u64) -> Vec<u8> {
+    GenomeBuilder::new(len)
+        .gc_content(0.41)
+        .repeat_fraction(0.05)
+        .seed(seed)
+        .build()
+        .sequence()
+        .to_vec()
+}
+
+/// Generates `count` candidate pairs for a paper dataset, with an
+/// optionally overridden read length (long-read experiments scale the
+/// 10 Kbp reads down where the quadratic software baseline would not
+/// finish).
+pub fn dataset_pairs(
+    dataset: PaperDataset,
+    read_length: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<AlignmentPair> {
+    let genome_len = (read_length * 4).max(100_000);
+    let reference = reference(genome_len, seed);
+    let sim = genasm_seq::readsim::ReadSimulator::new(genasm_seq::readsim::SimConfig {
+        read_length,
+        count,
+        profile: dataset.profile(),
+        seed: seed.wrapping_add(1),
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    let k = error_budget(read_length, dataset);
+    sim.simulate(&reference)
+        .into_iter()
+        .map(|read| pair_from_read(&reference, read, k))
+        .collect()
+}
+
+/// The per-read error budget `k` used for the candidate region
+/// (the dataset's error rate plus slack, matching the paper's 15%
+/// region extension for long reads).
+pub fn error_budget(read_length: usize, dataset: PaperDataset) -> usize {
+    let rate = dataset.profile().total();
+    ((read_length as f64) * rate).ceil() as usize + 4
+}
+
+fn pair_from_read(reference: &[u8], read: SimulatedRead, k: usize) -> AlignmentPair {
+    let start = read.origin;
+    let end = (start + read.template_len + k).min(reference.len());
+    AlignmentPair {
+        region: reference[start..end].to_vec(),
+        read: read.seq,
+        true_edits: read.true_edits,
+    }
+}
+
+/// Pairs for the pre-alignment-filter experiments at threshold `e`:
+/// templates mutated across a spread of error counts from `0` to
+/// `~3.5 e`, straddling the accept/reject boundary the way real
+/// candidate-location pairs do (candidates share seeds, so dissimilar
+/// candidates are *moderately* dissimilar, not random — the regime in
+/// which Shouji's published false-accept rates were measured).
+pub fn filter_pairs(read_length: usize, e: usize, count: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    use genasm_seq::mutate::mutate;
+    use genasm_seq::profile::ErrorProfile;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let reference = reference((read_length * 8).max(50_000), seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(7));
+    let mut pairs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let start = rng.gen_range(0..reference.len() - read_length - 32);
+        let region = reference[start..start + read_length + 16].to_vec();
+        // Bimodal error counts, like real seed-filtered candidates:
+        // the true location (few sequencing errors, well within E) or
+        // a wrong location sharing a seed (clearly beyond E).
+        let target_errors = if rng.gen::<bool>() {
+            rng.gen_range(0.0..(0.6 * e as f64))
+        } else {
+            rng.gen_range((1.2 * e as f64)..(3.0 * e as f64))
+        };
+        // Illumina-like error mix (substitution-dominated), matching
+        // the short-read candidate pairs of the published datasets.
+        let profile = ErrorProfile::illumina_at(target_errors / read_length as f64);
+        let read = mutate(&reference[start..start + read_length], profile, &mut rng).seq;
+        pairs.push((region, read));
+    }
+    pairs
+}
+
+/// Sequence pairs for the edit-distance experiments: one template per
+/// length, mutated to each similarity level (the Edlib dataset shape,
+/// §9).
+pub fn similarity_pairs(length: usize, similarities: &[f64], seed: u64) -> Vec<(f64, Vec<u8>, Vec<u8>)> {
+    use genasm_seq::mutate::mutate_to_similarity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let template = reference(length, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(13));
+    similarities
+        .iter()
+        .map(|&s| {
+            let mutated = mutate_to_similarity(&template, s, &mut rng);
+            (s, template.clone(), mutated.seq)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_pairs_have_requested_shape() {
+        let pairs = dataset_pairs(PaperDataset::Illumina100, 100, 5, 42);
+        assert_eq!(pairs.len(), 5);
+        for p in &pairs {
+            assert!(p.region.len() >= 100);
+            assert!(!p.read.is_empty());
+        }
+    }
+
+    #[test]
+    fn filter_pairs_have_requested_count() {
+        let pairs = filter_pairs(100, 5, 10, 7);
+        assert_eq!(pairs.len(), 10);
+    }
+
+    #[test]
+    fn similarity_pairs_cover_levels() {
+        let pairs = similarity_pairs(2_000, &[0.6, 0.9, 0.99], 3);
+        assert_eq!(pairs.len(), 3);
+        // Higher similarity => fewer edits; check ordering by length
+        // difference as a proxy.
+        let d60 = genasm_baselines::banded::banded_distance(&pairs[0].1, &pairs[0].2);
+        let d99 = genasm_baselines::banded::banded_distance(&pairs[2].1, &pairs[2].2);
+        assert!(d60 > d99);
+    }
+
+    #[test]
+    fn scale_defaults_to_one() {
+        assert!(scale() >= 1);
+    }
+}

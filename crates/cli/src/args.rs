@@ -1,0 +1,107 @@
+//! Minimal command-line option parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, `--key value` options, and
+/// positional arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--flag` is missing its value.
+    pub fn parse<I, S>(raw: I) -> Result<Args, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("option --{key} requires a value"))?;
+                args.options.insert(key.to_string(), value);
+            } else if args.command.is_empty() {
+                args.command = arg;
+            } else {
+                args.positional.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A parsed numeric option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("option --{key}: invalid value {v:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_positionals() {
+        let args =
+            Args::parse(["map", "--ref", "r.fa", "--reads", "q.fq", "extra"]).unwrap();
+        assert_eq!(args.command, "map");
+        assert_eq!(args.get("ref"), Some("r.fa"));
+        assert_eq!(args.get("reads"), Some("q.fq"));
+        assert_eq!(args.positional, vec!["extra".to_string()]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(["map", "--ref"]).is_err());
+    }
+
+    #[test]
+    fn require_and_number_helpers() {
+        let args = Args::parse(["x", "--k", "5"]).unwrap();
+        assert_eq!(args.require("k").unwrap(), "5");
+        assert!(args.require("missing").is_err());
+        assert_eq!(args.number("k", 0usize).unwrap(), 5);
+        assert_eq!(args.number("absent", 7usize).unwrap(), 7);
+        let bad = Args::parse(["x", "--k", "abc"]).unwrap();
+        assert!(bad.number::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_command() {
+        let args = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(args.command.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! `genasm` — command-line interface to the GenASM framework.
+//!
+//! Subcommands:
+//!
+//! * `map --ref <fasta> --reads <fastq|fasta> [--error-rate 0.15]` —
+//!   map reads against a reference, SAM on stdout;
+//! * `align --ref <fasta> --query <fasta> [--k <edits>]` — search and
+//!   align each query in the reference, one summary line each;
+//! * `distance --a <fasta> --b <fasta>` — global edit distance between
+//!   the first records of two FASTA files;
+//! * `filter --ref <fasta> --reads <fastq|fasta> --threshold <k>` —
+//!   pre-alignment filter decisions, one line per read;
+//! * `simulate --genome-size <bp> --count <n> [--length 100]
+//!   [--profile illumina|pacbio10|pacbio15|ont10|ont15] [--seed 0]` —
+//!   write a synthetic reference (`ref.fa`) and reads (`reads.fq`).
+
+mod args;
+
+use args::Args;
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::edit_distance::EditDistanceCalculator;
+use genasm_core::filter::PreAlignmentFilter;
+use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
+use genasm_mapper::sam;
+use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
+use genasm_seq::fastq::read_fastq;
+use genasm_seq::genome::GenomeBuilder;
+use genasm_seq::profile::ErrorProfile;
+use genasm_seq::readsim::{to_fastq_records, ReadSimulator, SimConfig};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+const USAGE: &str = "\
+genasm — bitvector-based approximate string matching (GenASM, MICRO 2020)
+
+usage: genasm <command> [options]
+
+commands:
+  map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]   SAM to stdout
+  align     --ref <fa> --query <fa> [--k <edits>]            per-query alignment summary
+  distance  --a <fa> --b <fa>                                global edit distance
+  filter    --ref <fa> --reads <fq|fa> --threshold <k>       accept/reject per read
+  simulate  --genome-size <bp> --count <n> [--length 100]
+            [--profile illumina|pacbio10|pacbio15|ont10|ont15]
+            [--seed 0] [--out-prefix sim]                    write ref.fa + reads.fq
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "map" => cmd_map(&args),
+        "align" => cmd_align(&args),
+        "distance" => cmd_distance(&args),
+        "filter" => cmd_filter(&args),
+        "simulate" => cmd_simulate(&args),
+        "" => Err("no command given".to_string()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Loads sequences from FASTA or FASTQ by extension.
+fn load_reads(path: &str) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".fq") || path.ends_with(".fastq") {
+        Ok(read_fastq(file)
+            .map_err(|e| format!("{path}: {e}"))?
+            .into_iter()
+            .map(|r| (r.id, r.seq))
+            .collect())
+    } else {
+        Ok(read_fasta(file)
+            .map_err(|e| format!("{path}: {e}"))?
+            .into_iter()
+            .map(|r| (r.id, r.seq))
+            .collect())
+    }
+}
+
+fn load_first_fasta(path: &str) -> Result<FastaRecord, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_fasta(file)
+        .map_err(|e| format!("{path}: {e}"))?
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("{path}: no fasta records"))
+}
+
+fn cmd_map(args: &Args) -> Result<(), String> {
+    let reference = load_first_fasta(args.require("ref")?)?;
+    let reads = load_reads(args.require("reads")?)?;
+    let error_rate: f64 = args.number("error-rate", 0.15)?;
+
+    let config = MapperConfig { error_fraction: error_rate, ..MapperConfig::default() };
+    let mapper = ReadMapper::build(&reference.seq, config);
+
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    sam::write_header(&mut out, &reference.id, reference.seq.len())
+        .map_err(|e| e.to_string())?;
+    let mut mapped = 0usize;
+    for (name, seq) in &reads {
+        let (mapping, _) = mapper.map_read(seq);
+        let record = match mapping {
+            Some(m) => {
+                mapped += 1;
+                sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, &m)
+            }
+            None => sam::SamRecord::unmapped(name.clone(), seq),
+        };
+        sam::write_record(&mut out, &record).map_err(|e| e.to_string())?;
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!("mapped {mapped}/{} reads", reads.len());
+    Ok(())
+}
+
+fn cmd_align(args: &Args) -> Result<(), String> {
+    let reference = load_first_fasta(args.require("ref")?)?;
+    let queries = load_reads(args.require("query")?)?;
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    for (name, seq) in &queries {
+        let k = args.number("k", seq.len() / 5)?;
+        match aligner
+            .search_and_align(&reference.seq, seq, k)
+            .map_err(|e| e.to_string())?
+        {
+            Some((pos, alignment)) => println!(
+                "{name}\tpos={pos}\tedits={}\tcigar={}",
+                alignment.edit_distance, alignment.cigar
+            ),
+            None => println!("{name}\tunaligned (no occurrence within {k} edits)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_distance(args: &Args) -> Result<(), String> {
+    let a = load_first_fasta(args.require("a")?)?;
+    let b = load_first_fasta(args.require("b")?)?;
+    let calc = EditDistanceCalculator::default();
+    let d = calc.distance(&a.seq, &b.seq).map_err(|e| e.to_string())?;
+    println!("{d}");
+    Ok(())
+}
+
+fn cmd_filter(args: &Args) -> Result<(), String> {
+    let reference = load_first_fasta(args.require("ref")?)?;
+    let reads = load_reads(args.require("reads")?)?;
+    let threshold: usize = args.require("threshold")?.parse().map_err(|_| "bad --threshold")?;
+    let filter = PreAlignmentFilter::new(threshold);
+    let mut accepted = 0usize;
+    for (name, seq) in &reads {
+        let decision = filter.decide(&reference.seq, seq).map_err(|e| e.to_string())?;
+        accepted += usize::from(decision.accept);
+        println!(
+            "{name}\t{}\t{}",
+            if decision.accept { "accept" } else { "reject" },
+            decision.distance.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    eprintln!("accepted {accepted}/{} reads", reads.len());
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let genome_size: usize = args.require("genome-size")?.parse().map_err(|_| "bad --genome-size")?;
+    let count: usize = args.require("count")?.parse().map_err(|_| "bad --count")?;
+    let length: usize = args.number("length", 100)?;
+    let seed: u64 = args.number("seed", 0)?;
+    let profile = match args.get("profile").unwrap_or("illumina") {
+        "illumina" => ErrorProfile::illumina(),
+        "pacbio10" => ErrorProfile::pacbio_10(),
+        "pacbio15" => ErrorProfile::pacbio_15(),
+        "ont10" => ErrorProfile::ont_10(),
+        "ont15" => ErrorProfile::ont_15(),
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let prefix = args.get("out-prefix").unwrap_or("sim");
+
+    let genome = GenomeBuilder::new(genome_size).seed(seed).name(format!("{prefix}_ref")).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: length,
+        count,
+        profile,
+        seed: seed.wrapping_add(1),
+        ..SimConfig::default()
+    });
+    let reads = sim.simulate(genome.sequence());
+
+    let ref_path = format!("{prefix}_ref.fa");
+    let reads_path = format!("{prefix}_reads.fq");
+    let ref_file = File::create(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+    write_fasta(
+        BufWriter::new(ref_file),
+        &[FastaRecord { id: genome.name().to_string(), seq: genome.sequence().to_vec() }],
+    )
+    .map_err(|e| e.to_string())?;
+    let reads_file = File::create(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
+    genasm_seq::fastq::write_fastq(BufWriter::new(reads_file), &to_fastq_records(&reads, &profile))
+        .map_err(|e| e.to_string())?;
+    eprintln!("wrote {ref_path} ({genome_size} bp) and {reads_path} ({count} reads)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(vec!["frobnicate".into()]).is_err());
+        assert!(run(vec![]).is_err());
+    }
+
+    #[test]
+    fn simulate_then_map_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("genasm_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        run(vec![
+            "simulate".into(),
+            "--genome-size".into(),
+            "20000".into(),
+            "--count".into(),
+            "5".into(),
+            "--length".into(),
+            "120".into(),
+            "--seed".into(),
+            "3".into(),
+            "--out-prefix".into(),
+            prefix.clone(),
+        ])
+        .unwrap();
+        assert!(std::path::Path::new(&format!("{prefix}_ref.fa")).exists());
+        assert!(std::path::Path::new(&format!("{prefix}_reads.fq")).exists());
+
+        // Distance of the reference against itself is zero.
+        run(vec![
+            "distance".into(),
+            "--a".into(),
+            format!("{prefix}_ref.fa"),
+            "--b".into(),
+            format!("{prefix}_ref.fa"),
+        ])
+        .unwrap();
+
+        // Map the simulated reads back (SAM goes to stdout).
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            format!("{prefix}_reads.fq"),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,679 @@
+//! The divide-and-conquer windowed aligner (§6 of the paper).
+//!
+//! Storing every intermediate bitvector for a whole long read would
+//! require tens of gigabytes (the paper quotes ~80 GB for a 10 Kbp read
+//! at 15% error). GenASM instead divides the text and pattern into
+//! overlapping windows of `W` characters: each window runs GenASM-DC,
+//! then GenASM-TB consumes at most `W − O` characters of each sequence
+//! so that consecutive windows overlap by `O` characters and boundary
+//! artifacts are absorbed. The per-window partial traceback outputs are
+//! concatenated into the complete CIGAR.
+//!
+//! The paper's evaluated configuration is `W = 64`, `O = 24`
+//! (§10.2, "the optimum (W, O) setting ... in terms of performance and
+//! accuracy").
+
+use crate::alphabet::{Alphabet, Dna, WithSentinel, SENTINEL};
+use crate::bitap;
+use crate::cigar::{Cigar, CigarOp};
+use crate::dc::{window_dc, MAX_WINDOW};
+use crate::dc_sene::window_dc_sene;
+use crate::dc_wide::{window_dc_wide, MAX_WIDE_WINDOW};
+use crate::error::AlignError;
+use crate::tb::{window_traceback, TracebackOrder, WindowTraceback};
+
+/// Which window kernel stores the traceback state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum WindowKernel {
+    /// Store the match/insertion/deletion edge bitvectors per cell
+    /// (the paper's TB-SRAM layout, §6-§7).
+    #[default]
+    EdgeStore,
+    /// Store only the `R` entries and recompute edges during traceback
+    /// — ~3x less traceback memory (the Scrooge follow-on's "SENE"
+    /// optimization). Only available for windows up to 64.
+    Sene,
+}
+
+/// End-of-alignment semantics of the windowed aligner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum AlignmentMode {
+    /// Read-alignment semantics: the pattern (read) is consumed fully,
+    /// text beyond the alignment end is left unconsumed and uncharged.
+    #[default]
+    Semiglobal,
+    /// Global (Needleman-Wunsch) semantics: both sequences are consumed
+    /// fully; the final window is sentinel-terminated so the traceback
+    /// is forced to reach the text end, and any text that still remains
+    /// is charged as deletions by the caller.
+    Global,
+}
+
+/// Configuration of the windowed GenASM aligner.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::align::GenAsmConfig;
+///
+/// let cfg = GenAsmConfig::default();
+/// assert_eq!((cfg.window, cfg.overlap), (64, 24)); // the paper's setting
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenAsmConfig {
+    /// Window size `W`: 1..=64 uses the single-word kernel (the
+    /// hardware configuration); 65..=1024 uses the multi-word wide
+    /// kernel.
+    pub window: usize,
+    /// Overlap `O` between consecutive windows (`O < W`).
+    pub overlap: usize,
+    /// Traceback case-check order (scoring-scheme support, §6).
+    pub order: TracebackOrder,
+    /// Optional per-window error budget; `None` computes up to the
+    /// window's pattern length, which always finds an alignment.
+    pub max_window_error: Option<usize>,
+    /// End-of-alignment semantics (semiglobal read alignment vs global
+    /// edit distance).
+    pub mode: AlignmentMode,
+    /// Traceback-state storage strategy.
+    pub kernel: WindowKernel,
+}
+
+impl GenAsmConfig {
+    /// The paper's evaluated configuration: `W = 64`, `O = 24`, affine
+    /// traceback order, unbounded per-window errors.
+    pub fn new() -> Self {
+        GenAsmConfig {
+            window: 64,
+            overlap: 24,
+            order: TracebackOrder::affine(),
+            max_window_error: None,
+            mode: AlignmentMode::Semiglobal,
+            kernel: WindowKernel::EdgeStore,
+        }
+    }
+
+    /// Selects the traceback-state storage strategy.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: WindowKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the end-of-alignment semantics.
+    #[must_use]
+    pub fn with_mode(mut self, mode: AlignmentMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the window size `W`.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the overlap `O`.
+    #[must_use]
+    pub fn with_overlap(mut self, overlap: usize) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the traceback case order.
+    #[must_use]
+    pub fn with_order(mut self, order: TracebackOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets a per-window error budget.
+    #[must_use]
+    pub fn with_max_window_error(mut self, budget: usize) -> Self {
+        self.max_window_error = Some(budget);
+        self
+    }
+
+    /// Validates the window/overlap combination.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::InvalidWindow`] if `window` is 0 or exceeds 1024;
+    /// [`AlignError::InvalidOverlap`] if `overlap >= window`.
+    pub fn validate(&self) -> Result<(), AlignError> {
+        if self.window == 0 || self.window > MAX_WIDE_WINDOW {
+            return Err(AlignError::InvalidWindow { w: self.window });
+        }
+        if self.overlap >= self.window {
+            return Err(AlignError::InvalidOverlap { o: self.overlap, w: self.window });
+        }
+        Ok(())
+    }
+}
+
+impl Default for GenAsmConfig {
+    fn default() -> Self {
+        GenAsmConfig::new()
+    }
+}
+
+/// The result of aligning a pattern (read) against a text (reference
+/// region), anchored at the start of the text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// The complete merged traceback output.
+    pub cigar: Cigar,
+    /// Total edits in the final CIGAR (`X + I + D`).
+    pub edit_distance: usize,
+    /// Text characters covered by the alignment.
+    pub text_consumed: usize,
+    /// Pattern characters covered (always the full pattern on success).
+    pub pattern_consumed: usize,
+}
+
+/// Statistics about the window decomposition of one alignment, used by
+/// the hardware model to account SRAM traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Number of windows executed.
+    pub windows: usize,
+    /// Total 64-bit bitvector words written to TB-SRAM.
+    pub bitvector_words: usize,
+    /// Sum of per-window edit distances (before overlap re-counting).
+    pub window_edits: usize,
+}
+
+/// The GenASM aligner: GenASM-DC + GenASM-TB over overlapping windows.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+///
+/// # fn main() -> Result<(), genasm_core::error::AlignError> {
+/// let aligner = GenAsmAligner::new(GenAsmConfig::default());
+/// let alignment = aligner.align(b"ACGTACGTACGT", b"ACGTACCTACGT")?;
+/// assert_eq!(alignment.edit_distance, 1);
+/// assert!(alignment.cigar.validates(b"ACGTACGTACGT", b"ACGTACCTACGT"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenAsmAligner {
+    config: GenAsmConfig,
+}
+
+impl GenAsmAligner {
+    /// Creates an aligner with the given configuration. The
+    /// configuration is validated on each call to `align`.
+    pub fn new(config: GenAsmConfig) -> Self {
+        GenAsmAligner { config }
+    }
+
+    /// The aligner's configuration.
+    pub fn config(&self) -> &GenAsmConfig {
+        &self.config
+    }
+
+    /// Aligns `pattern` against `text` over the DNA alphabet, anchored
+    /// at the start of `text` (the candidate mapping location).
+    ///
+    /// # Errors
+    ///
+    /// Configuration errors ([`AlignError::InvalidWindow`],
+    /// [`AlignError::InvalidOverlap`]), input errors
+    /// ([`AlignError::EmptyPattern`], [`AlignError::EmptyText`],
+    /// [`AlignError::InvalidSymbol`]), and
+    /// [`AlignError::ExceededErrorBudget`] when `max_window_error` is
+    /// set and some window exceeds it.
+    pub fn align(&self, text: &[u8], pattern: &[u8]) -> Result<Alignment, AlignError> {
+        self.align_with_alphabet::<Dna>(text, pattern)
+    }
+
+    /// [`align`](Self::align) over an arbitrary alphabet `A` (generic
+    /// text search, §11).
+    pub fn align_with_alphabet<A: Alphabet>(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+    ) -> Result<Alignment, AlignError> {
+        self.align_inner::<A>(text, pattern, &mut WindowStats::default())
+    }
+
+    /// [`align`](Self::align) that also reports window-decomposition
+    /// statistics for the hardware model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`align`](Self::align).
+    pub fn align_with_stats(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+    ) -> Result<(Alignment, WindowStats), AlignError> {
+        let mut stats = WindowStats::default();
+        let alignment = self.align_inner::<Dna>(text, pattern, &mut stats)?;
+        Ok((alignment, stats))
+    }
+
+    /// Finds the best semiglobal occurrence of `pattern` in `text` with
+    /// at most `k` edits (baseline Bitap scan), then produces the full
+    /// alignment anchored there. Returns `None` when no occurrence
+    /// exists within `k`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`align`](Self::align).
+    pub fn search_and_align(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        k: usize,
+    ) -> Result<Option<(usize, Alignment)>, AlignError> {
+        let best = bitap::find_best::<Dna>(text, pattern, k)?;
+        match best {
+            None => Ok(None),
+            Some(m) => {
+                let alignment = self.align(&text[m.position..], pattern)?;
+                Ok(Some((m.position, alignment)))
+            }
+        }
+    }
+
+    fn align_inner<A: Alphabet>(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        stats: &mut WindowStats,
+    ) -> Result<Alignment, AlignError> {
+        self.config.validate()?;
+        if pattern.is_empty() {
+            return Err(AlignError::EmptyPattern);
+        }
+        if text.is_empty() {
+            return Err(AlignError::EmptyText);
+        }
+        if self.config.mode == AlignmentMode::Global {
+            // Global mode appends the reserved sentinel byte to the
+            // final window; a sentinel byte in user input would alias
+            // it, so reject it here regardless of the alphabet.
+            for seq in [text, pattern] {
+                if let Some(pos) = seq.iter().position(|&b| b == SENTINEL) {
+                    return Err(AlignError::InvalidSymbol { pos, byte: SENTINEL });
+                }
+            }
+        }
+
+        let w = self.config.window;
+        let o = self.config.overlap;
+        let stride = w - o;
+        let m = pattern.len();
+        let n = text.len();
+
+        let mut cur_pattern = 0usize; // Algorithm 2 line 1
+        let mut cur_text = 0usize;
+        let mut cigar = Cigar::new();
+
+        while cur_pattern < m {
+            if cur_text >= n {
+                // Text exhausted: remaining pattern characters can only
+                // be insertions.
+                cigar.push_run(CigarOp::Ins, (m - cur_pattern) as u32);
+                break;
+            }
+            let remaining = m - cur_pattern;
+            let is_final = remaining <= stride;
+
+            // Global mode: the final window is sentinel-terminated so
+            // the minimum-distance traceback is forced through the text
+            // end instead of greedily substituting and stranding a text
+            // tail.
+            if self.config.mode == AlignmentMode::Global && is_final && remaining < w {
+                let (ops, text_used, pattern_used, words, edits) =
+                    self.global_final_window::<A>(text, pattern, cur_text, cur_pattern)?;
+                stats.windows += 1;
+                stats.bitvector_words += words;
+                stats.window_edits += edits;
+                for op in ops {
+                    cigar.push(op);
+                }
+                cur_pattern += pattern_used;
+                cur_text += text_used;
+                if pattern_used == 0 && text_used == 0 {
+                    return Err(AlignError::ExceededErrorBudget { budget: remaining });
+                }
+                continue;
+            }
+
+            let sub_pattern = &pattern[cur_pattern..(cur_pattern + w).min(m)]; // line 3
+            let sub_text = &text[cur_text..(cur_text + w).min(n)]; // line 4
+            let budget = self
+                .config
+                .max_window_error
+                .unwrap_or(sub_pattern.len())
+                .min(sub_pattern.len());
+
+            // Interior windows consume at most W - O characters so the
+            // next window overlaps by O (Algorithm 2 line 11). Once the
+            // remaining pattern fits within one stride this is the final
+            // window and the walk runs until the pattern is exhausted.
+            let consume_limit = if is_final { usize::MAX } else { stride };
+
+            // Window kernel dispatch: single-word for W <= 64 (the
+            // hardware configuration), multi-word for wider windows.
+            let (tb, window_distance, stored_words): (WindowTraceback, usize, usize) =
+                if w <= MAX_WINDOW && self.config.kernel == WindowKernel::Sene {
+                    let dc = window_dc_sene::<A>(sub_text, sub_pattern, budget)?;
+                    let d = dc
+                        .edit_distance
+                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                    let tb = window_traceback(
+                        &dc.bitvectors,
+                        d,
+                        consume_limit,
+                        &self.config.order,
+                    )?;
+                    (tb, d, dc.bitvectors.stored_words())
+                } else if w <= MAX_WINDOW {
+                    let dc = window_dc::<A>(sub_text, sub_pattern, budget)?; // line 5
+                    let d = dc
+                        .edit_distance
+                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                    let tb = window_traceback(
+                        &dc.bitvectors,
+                        d,
+                        consume_limit,
+                        &self.config.order,
+                    )?;
+                    (tb, d, dc.bitvectors.stored_words())
+                } else {
+                    let dc = window_dc_wide::<A>(sub_text, sub_pattern, budget)?;
+                    let d = dc
+                        .edit_distance
+                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                    let tb = window_traceback(
+                        &dc.bitvectors,
+                        d,
+                        consume_limit,
+                        &self.config.order,
+                    )?;
+                    (tb, d, dc.bitvectors.stored_words())
+                };
+
+            stats.windows += 1;
+            stats.bitvector_words += stored_words;
+            stats.window_edits += window_distance;
+
+            for &op in &tb.ops {
+                cigar.push(op);
+            }
+            cur_pattern += tb.pattern_consumed; // line 31
+            cur_text += tb.text_consumed; // line 32
+
+            if tb.pattern_consumed == 0 && tb.text_consumed == 0 {
+                // No forward progress (possible only with a degenerate
+                // custom traceback order): report rather than loop.
+                return Err(AlignError::ExceededErrorBudget { budget });
+            }
+        }
+
+        let edit_distance = cigar.edit_distance();
+        let text_consumed = cigar.text_len();
+        let pattern_consumed = cigar.pattern_len();
+        debug_assert_eq!(pattern_consumed, m);
+        Ok(Alignment { cigar, edit_distance, text_consumed, pattern_consumed })
+    }
+}
+
+impl GenAsmAligner {
+    /// Runs the sentinel-terminated final window of global mode and
+    /// returns `(ops, real_text_consumed, real_pattern_consumed,
+    /// bitvector_words, window_edits)` with sentinel-touching
+    /// operations stripped.
+    #[allow(clippy::type_complexity)]
+    fn global_final_window<A: Alphabet>(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        cur_text: usize,
+        cur_pattern: usize,
+    ) -> Result<(Vec<CigarOp>, usize, usize, usize, usize), AlignError> {
+        let w = self.config.window;
+        let n = text.len();
+        let real_pattern = &pattern[cur_pattern..];
+        let real_text = &text[cur_text..(cur_text + w - 1).min(n)];
+
+        let mut sub_pattern = Vec::with_capacity(real_pattern.len() + 1);
+        sub_pattern.extend_from_slice(real_pattern);
+        sub_pattern.push(SENTINEL);
+        let mut sub_text = Vec::with_capacity(real_text.len() + 1);
+        sub_text.extend_from_slice(real_text);
+        sub_text.push(SENTINEL);
+
+        let budget = self
+            .config
+            .max_window_error
+            .unwrap_or(sub_pattern.len())
+            .min(sub_pattern.len());
+        let (tb, window_distance, stored_words) =
+            if sub_pattern.len() <= MAX_WINDOW && sub_text.len() <= MAX_WINDOW {
+                let dc = window_dc::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
+                let d = dc.edit_distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
+                (tb, d, dc.bitvectors.stored_words())
+            } else {
+                let dc = window_dc_wide::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
+                let d = dc.edit_distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
+                (tb, d, dc.bitvectors.stored_words())
+            };
+
+        // Strip operations that touch either sentinel; both sit at the
+        // very end of their sequence, so stripping cannot split runs.
+        let mut ops = Vec::with_capacity(tb.ops.len());
+        let mut t_idx = 0usize;
+        let mut p_idx = 0usize;
+        for &op in &tb.ops {
+            let touches_sentinel = (op.consumes_text() && t_idx >= real_text.len())
+                || (op.consumes_pattern() && p_idx >= real_pattern.len());
+            if op.consumes_text() {
+                t_idx += 1;
+            }
+            if op.consumes_pattern() {
+                p_idx += 1;
+            }
+            if !touches_sentinel {
+                ops.push(op);
+            }
+        }
+        let text_used = ops.iter().filter(|op| op.consumes_text()).count();
+        let pattern_used = ops.iter().filter(|op| op.consumes_pattern()).count();
+        Ok((ops, text_used, pattern_used, stored_words, window_distance))
+    }
+}
+
+impl Default for GenAsmAligner {
+    fn default() -> Self {
+        GenAsmAligner::new(GenAsmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aligner() -> GenAsmAligner {
+        GenAsmAligner::new(GenAsmConfig::default())
+    }
+
+    #[test]
+    fn exact_alignment_single_window() {
+        let a = aligner().align(b"ACGTACGT", b"ACGTACGT").unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(a.cigar.to_string(), "8=");
+    }
+
+    #[test]
+    fn exact_alignment_many_windows() {
+        let seq: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(400).collect();
+        let a = aligner().align(&seq, &seq).unwrap();
+        assert_eq!(a.edit_distance, 0);
+        assert_eq!(a.cigar.to_string(), "400=");
+        assert_eq!(a.text_consumed, 400);
+    }
+
+    #[test]
+    fn single_substitution_across_windows() {
+        let text: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(300).collect();
+        let mut pattern = text.clone();
+        pattern[150] = if pattern[150] == b'A' { b'C' } else { b'A' };
+        let a = aligner().align(&text, &pattern).unwrap();
+        assert_eq!(a.edit_distance, 1);
+        assert!(a.cigar.validates(&text[..a.text_consumed], &pattern));
+    }
+
+    #[test]
+    fn deletion_and_insertion_across_windows() {
+        let text: Vec<u8> = b"ACGGTCATTGCA".iter().copied().cycle().take(240).collect();
+        // Pattern: delete text[100], insert GG after position 200.
+        let mut pattern = Vec::new();
+        pattern.extend_from_slice(&text[..100]);
+        pattern.extend_from_slice(&text[101..200]);
+        pattern.extend_from_slice(b"GG");
+        pattern.extend_from_slice(&text[200..]);
+        let a = aligner().align(&text, &pattern).unwrap();
+        assert!(a.cigar.validates(&text[..a.text_consumed], &pattern));
+        assert_eq!(a.edit_distance, 3); // 1 del + 2 ins
+    }
+
+    #[test]
+    fn pattern_longer_than_text_gets_tail_insertions() {
+        let a = aligner().align(b"ACGT", b"ACGTGGA").unwrap();
+        assert!(a.cigar.validates(b"ACGT", b"ACGTGGA"));
+        assert_eq!(a.edit_distance, 3);
+        assert_eq!(a.pattern_consumed, 7);
+    }
+
+    #[test]
+    fn window_stats_are_populated() {
+        let seq: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(400).collect();
+        let (_, stats) = aligner().align_with_stats(&seq, &seq).unwrap();
+        // 400 pattern chars, stride 40: 10 windows.
+        assert_eq!(stats.windows, 10);
+        assert!(stats.bitvector_words > 0);
+        assert_eq!(stats.window_edits, 0);
+    }
+
+    #[test]
+    fn small_window_configurations_work() {
+        let text: Vec<u8> = b"GATTACA".iter().copied().cycle().take(120).collect();
+        let mut pattern = text.clone();
+        pattern[60] = if pattern[60] == b'G' { b'T' } else { b'G' };
+        for (w, o) in [(8, 3), (16, 4), (32, 8), (48, 16), (64, 24)] {
+            let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
+            let a = GenAsmAligner::new(cfg).align(&text, &pattern).unwrap();
+            assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "W={w} O={o}");
+            assert_eq!(a.edit_distance, 1, "W={w} O={o}");
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let cfg = GenAsmConfig::default().with_window(0);
+        assert!(matches!(
+            GenAsmAligner::new(cfg).align(b"ACGT", b"ACGT"),
+            Err(AlignError::InvalidWindow { w: 0 })
+        ));
+        let cfg = GenAsmConfig::default().with_window(2_000);
+        assert!(matches!(
+            GenAsmAligner::new(cfg).align(b"ACGT", b"ACGT"),
+            Err(AlignError::InvalidWindow { w: 2_000 })
+        ));
+        let cfg = GenAsmConfig::default().with_window(32).with_overlap(32);
+        assert!(matches!(
+            GenAsmAligner::new(cfg).align(b"ACGT", b"ACGT"),
+            Err(AlignError::InvalidOverlap { o: 32, w: 32 })
+        ));
+    }
+
+    #[test]
+    fn error_budget_is_enforced() {
+        let cfg = GenAsmConfig::default().with_max_window_error(1);
+        let a = GenAsmAligner::new(cfg);
+        // Three substitutions in one window exceed the budget of 1.
+        let err = a.align(b"AAAAAAAAAA", b"TTTAAAAAAA").unwrap_err();
+        assert!(matches!(err, AlignError::ExceededErrorBudget { budget: 1 }));
+    }
+
+    #[test]
+    fn search_and_align_finds_offset_occurrence() {
+        let mut text: Vec<u8> = b"TTTTTTTTTT".to_vec();
+        text.extend_from_slice(b"ACGGTCATGCA");
+        text.extend_from_slice(b"GGGGGGGG");
+        let (pos, alignment) = aligner()
+            .search_and_align(&text, b"ACGGTCATGCA", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(pos, 10);
+        assert_eq!(alignment.edit_distance, 0);
+    }
+
+    #[test]
+    fn search_and_align_none_when_absent() {
+        let result = aligner().search_and_align(b"AAAAAAAAAA", b"CGCGCG", 1).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn sene_kernel_matches_edge_kernel_through_the_public_api() {
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(500).collect();
+        let mut pattern = text.clone();
+        pattern[100] = if pattern[100] == b'A' { b'C' } else { b'A' };
+        pattern.remove(250);
+        pattern.insert(400, b'T');
+        let edges = GenAsmAligner::new(GenAsmConfig::default()).align(&text, &pattern).unwrap();
+        let sene_cfg = GenAsmConfig::default().with_kernel(WindowKernel::Sene);
+        let (sene, stats) =
+            GenAsmAligner::new(sene_cfg).align_with_stats(&text, &pattern).unwrap();
+        assert_eq!(edges.cigar, sene.cigar, "kernels must produce identical alignments");
+        let (_, edge_stats) = GenAsmAligner::new(GenAsmConfig::default())
+            .align_with_stats(&text, &pattern)
+            .unwrap();
+        // Low-error windows store only a couple of rows, so the
+        // realized saving on this workload is below the asymptotic 3x;
+        // it must still be substantial.
+        assert!(
+            stats.bitvector_words * 3 < edge_stats.bitvector_words * 2,
+            "sene {} vs edges {}",
+            stats.bitvector_words,
+            edge_stats.bitvector_words
+        );
+    }
+
+    #[test]
+    fn wide_windows_align_through_the_public_api() {
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(800).collect();
+        let mut pattern = text.clone();
+        pattern[100] = if pattern[100] == b'A' { b'C' } else { b'A' };
+        pattern.remove(400);
+        pattern.insert(600, b'G');
+        let narrow = GenAsmAligner::new(GenAsmConfig::default()).align(&text, &pattern).unwrap();
+        for (w, o) in [(128usize, 48usize), (256, 96)] {
+            let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
+            let a = GenAsmAligner::new(cfg).align(&text, &pattern).unwrap();
+            assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "W={w}");
+            assert_eq!(a.edit_distance, 3, "W={w}");
+        }
+        assert_eq!(narrow.edit_distance, 3);
+    }
+
+    #[test]
+    fn generic_alphabet_alignment() {
+        use crate::alphabet::Ascii;
+        let a = aligner()
+            .align_with_alphabet::<Ascii>(b"the quick brown fox", b"the quick brwn fox")
+            .unwrap();
+        assert_eq!(a.edit_distance, 1);
+    }
+}

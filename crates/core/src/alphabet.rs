@@ -1,0 +1,289 @@
+//! Alphabets over which approximate string matching is performed.
+//!
+//! GenASM is optimized for DNA (a four-symbol alphabet), but the paper
+//! (§11, "Generic Text Search") notes that only the pattern-bitmask
+//! pre-processing changes for larger alphabets. The [`Alphabet`] trait
+//! captures exactly that: mapping input bytes to dense symbol indices.
+//!
+//! Provided alphabets:
+//!
+//! * [`Dna`] — `A C G T` (case-insensitive), the paper's primary target;
+//! * [`Rna`] — `A C G U` (case-insensitive);
+//! * [`Protein`] — the 20 standard amino acids;
+//! * [`Ascii`] — all 256 byte values, for generic text search.
+
+use crate::error::AlignError;
+
+/// A finite symbol set with a dense index for each valid input byte.
+///
+/// Implementations are zero-sized marker types; all methods are
+/// associated functions so the alphabet can be chosen statically.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::alphabet::{Alphabet, Dna};
+///
+/// assert_eq!(Dna::index(b'C'), Some(1));
+/// assert_eq!(Dna::index(b'c'), Some(1));
+/// assert_eq!(Dna::index(b'N'), None);
+/// ```
+pub trait Alphabet {
+    /// Number of distinct symbols (also the number of pattern bitmasks
+    /// the pre-processing step generates).
+    const SIZE: usize;
+
+    /// Dense index of `byte`, or `None` if the byte is outside the
+    /// alphabet.
+    fn index(byte: u8) -> Option<usize>;
+
+    /// Dense index of `byte`, reporting position `pos` on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::InvalidSymbol`] when `byte` is not in the
+    /// alphabet.
+    fn index_at(byte: u8, pos: usize) -> Result<usize, AlignError> {
+        Self::index(byte).ok_or(AlignError::InvalidSymbol { pos, byte })
+    }
+}
+
+/// The DNA alphabet `A C G T`, case-insensitive.
+///
+/// Matches the paper's 2-bit encoding (`A = 00, C = 01, G = 10, T = 11`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Dna;
+
+impl Alphabet for Dna {
+    const SIZE: usize = 4;
+
+    #[inline]
+    fn index(byte: u8) -> Option<usize> {
+        match byte {
+            b'A' | b'a' => Some(0),
+            b'C' | b'c' => Some(1),
+            b'G' | b'g' => Some(2),
+            b'T' | b't' => Some(3),
+            _ => None,
+        }
+    }
+}
+
+impl Dna {
+    /// The canonical uppercase symbol for a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 4`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use genasm_core::alphabet::Dna;
+    /// assert_eq!(Dna::symbol(2), b'G');
+    /// ```
+    #[inline]
+    pub fn symbol(index: usize) -> u8 {
+        const SYMBOLS: [u8; 4] = *b"ACGT";
+        SYMBOLS[index]
+    }
+
+    /// The Watson–Crick complement of a DNA base (case preserved as
+    /// uppercase). Non-DNA bytes are returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use genasm_core::alphabet::Dna;
+    /// assert_eq!(Dna::complement(b'A'), b'T');
+    /// assert_eq!(Dna::complement(b'g'), b'C');
+    /// ```
+    #[inline]
+    pub fn complement(byte: u8) -> u8 {
+        match byte {
+            b'A' | b'a' => b'T',
+            b'C' | b'c' => b'G',
+            b'G' | b'g' => b'C',
+            b'T' | b't' => b'A',
+            other => other,
+        }
+    }
+}
+
+/// The RNA alphabet `A C G U`, case-insensitive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Rna;
+
+impl Alphabet for Rna {
+    const SIZE: usize = 4;
+
+    #[inline]
+    fn index(byte: u8) -> Option<usize> {
+        match byte {
+            b'A' | b'a' => Some(0),
+            b'C' | b'c' => Some(1),
+            b'G' | b'g' => Some(2),
+            b'U' | b'u' => Some(3),
+            _ => None,
+        }
+    }
+}
+
+/// The 20 standard amino acids, case-insensitive, in the order
+/// `A R N D C Q E G H I L K M F P S T W Y V`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Protein;
+
+/// Amino-acid symbols in dense-index order.
+const AMINO_ACIDS: [u8; 20] = *b"ARNDCQEGHILKMFPSTWYV";
+
+impl Alphabet for Protein {
+    const SIZE: usize = 20;
+
+    #[inline]
+    fn index(byte: u8) -> Option<usize> {
+        let upper = byte.to_ascii_uppercase();
+        AMINO_ACIDS.iter().position(|&aa| aa == upper)
+    }
+}
+
+impl Protein {
+    /// The canonical symbol for a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 20`.
+    #[inline]
+    pub fn symbol(index: usize) -> u8 {
+        AMINO_ACIDS[index]
+    }
+}
+
+/// The full byte alphabet, for generic text search (§11 of the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Ascii;
+
+impl Alphabet for Ascii {
+    const SIZE: usize = 256;
+
+    #[inline]
+    fn index(byte: u8) -> Option<usize> {
+        Some(byte as usize)
+    }
+}
+
+/// The byte reserved as the end-of-sequence sentinel by
+/// [`WithSentinel`].
+pub const SENTINEL: u8 = 0xFF;
+
+/// An alphabet `A` extended with one sentinel symbol ([`SENTINEL`])
+/// that matches only itself.
+///
+/// Appending the sentinel to both the text and the pattern turns the
+/// anchored-prefix window alignment into a *global* one: the pattern's
+/// sentinel can only match the text's sentinel, which sits past the
+/// last real text character, so a minimum-distance alignment is forced
+/// to consume the whole text. Used by the global mode of the
+/// edit-distance use case.
+///
+/// Note: for [`Ascii`], byte `0xFF` is shadowed by the sentinel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct WithSentinel<A>(std::marker::PhantomData<A>);
+
+impl<A: Alphabet> Alphabet for WithSentinel<A> {
+    const SIZE: usize = A::SIZE + 1;
+
+    #[inline]
+    fn index(byte: u8) -> Option<usize> {
+        if byte == SENTINEL {
+            Some(A::SIZE)
+        } else {
+            A::index(byte)
+        }
+    }
+}
+
+/// Validates that every byte of `seq` belongs to alphabet `A`.
+///
+/// # Errors
+///
+/// Returns [`AlignError::InvalidSymbol`] identifying the first offending
+/// byte.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::alphabet::{validate, Dna};
+/// assert!(validate::<Dna>(b"ACGT").is_ok());
+/// assert!(validate::<Dna>(b"ACNT").is_err());
+/// ```
+pub fn validate<A: Alphabet>(seq: &[u8]) -> Result<(), AlignError> {
+    for (pos, &byte) in seq.iter().enumerate() {
+        A::index_at(byte, pos)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip() {
+        for (i, &b) in b"ACGT".iter().enumerate() {
+            assert_eq!(Dna::index(b), Some(i));
+            assert_eq!(Dna::symbol(i), b);
+        }
+    }
+
+    #[test]
+    fn dna_case_insensitive() {
+        assert_eq!(Dna::index(b'a'), Dna::index(b'A'));
+        assert_eq!(Dna::index(b't'), Dna::index(b'T'));
+    }
+
+    #[test]
+    fn dna_rejects_ambiguity_codes() {
+        for b in [b'N', b'R', b'Y', b'-', b' ', 0u8] {
+            assert_eq!(Dna::index(b), None);
+        }
+    }
+
+    #[test]
+    fn dna_complement_is_involution() {
+        for &b in b"ACGT" {
+            assert_eq!(Dna::complement(Dna::complement(b)), b);
+        }
+    }
+
+    #[test]
+    fn rna_uses_uracil() {
+        assert_eq!(Rna::index(b'U'), Some(3));
+        assert_eq!(Rna::index(b'T'), None);
+    }
+
+    #[test]
+    fn protein_has_twenty_distinct_symbols() {
+        let mut seen = [false; 20];
+        for &aa in AMINO_ACIDS.iter() {
+            let i = Protein::index(aa).unwrap();
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert_eq!(Protein::index(b'B'), None);
+        assert_eq!(Protein::index(b'h'), Protein::index(b'H'));
+    }
+
+    #[test]
+    fn ascii_accepts_everything() {
+        for b in 0u8..=255 {
+            assert_eq!(Ascii::index(b), Some(b as usize));
+        }
+    }
+
+    #[test]
+    fn validate_reports_position() {
+        let err = validate::<Dna>(b"ACGNA").unwrap_err();
+        assert_eq!(err, AlignError::InvalidSymbol { pos: 3, byte: b'N' });
+    }
+}

@@ -1,0 +1,409 @@
+//! The baseline Bitap algorithm (Algorithm 1 of the paper).
+//!
+//! Bitap (Baeza-Yates–Gonnet / Wu–Manber) finds all positions of a text
+//! at which a query pattern matches with at most `k` edits, using only
+//! shifts, ORs, and ANDs over status bitvectors. GenASM keeps Bitap's
+//! recurrence but removes its limitations; this module provides the
+//! *unmodified* algorithm both as the reference point GenASM is measured
+//! against and as the semiglobal search primitive used by the
+//! pre-alignment filter and the hash-table seeding use cases.
+//!
+//! Two implementations are provided and tested for equivalence:
+//!
+//! * a single-word fast path for patterns up to 64 characters, where each
+//!   status bitvector is one `u64` (the limitation §3.1 describes); and
+//! * a multi-word path using [`BitVector`], the §5 "Long Read Support"
+//!   extension that stores each bitvector in `ceil(m/64)` words.
+//!
+//! Text is scanned from its last character to its first, so a `0` in the
+//! most significant bit of `R[d]` at iteration `i` reports a match
+//! *starting* at text position `i` (the figures of the paper follow the
+//! same convention).
+
+use crate::alphabet::Alphabet;
+use crate::bitvec::BitVector;
+use crate::error::AlignError;
+use crate::pattern::{PatternBitmasks, PatternBitmasks64};
+
+/// A semiglobal match of the pattern within the text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitapMatch {
+    /// Text position at which the match starts.
+    pub position: usize,
+    /// Minimum number of edits for a match starting at `position`
+    /// (within the search threshold).
+    pub distance: usize,
+}
+
+/// Finds every text position where `pattern` matches with at most `k`
+/// edits, reporting the minimal edit distance per position.
+///
+/// Positions are returned in increasing order.
+///
+/// # Errors
+///
+/// Returns [`AlignError::EmptyPattern`] / [`AlignError::EmptyText`] for
+/// empty inputs and [`AlignError::InvalidSymbol`] for bytes outside the
+/// alphabet `A`.
+///
+/// # Examples
+///
+/// The worked example of Figure 3 — pattern `CTGA` occurs in `CGTGA`
+/// with one edit starting at positions 0, 1, and 2:
+///
+/// ```
+/// use genasm_core::bitap::{find_all, BitapMatch};
+/// use genasm_core::alphabet::Dna;
+///
+/// # fn main() -> Result<(), genasm_core::error::AlignError> {
+/// let matches = find_all::<Dna>(b"CGTGA", b"CTGA", 1)?;
+/// assert_eq!(matches, vec![
+///     BitapMatch { position: 0, distance: 1 },
+///     BitapMatch { position: 1, distance: 1 },
+///     BitapMatch { position: 2, distance: 1 },
+/// ]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_all<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+) -> Result<Vec<BitapMatch>, AlignError> {
+    if pattern.len() <= 64 {
+        find_all_single_word::<A>(text, pattern, k)
+    } else {
+        find_all_multi_word::<A>(text, pattern, k)
+    }
+}
+
+/// Clamps a user threshold to the pattern length: a semiglobal match
+/// never needs more than `m` edits (substitute or insert every pattern
+/// character), so larger thresholds are equivalent and would only
+/// waste memory on unused `R[d]` rows.
+fn clamp_threshold(k: usize, m: usize) -> usize {
+    k.min(m)
+}
+
+/// Finds the best (minimum-distance) match of `pattern` in `text` with
+/// at most `k` edits, breaking ties toward the smallest position.
+///
+/// # Errors
+///
+/// Same conditions as [`find_all`].
+pub fn find_best<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+) -> Result<Option<BitapMatch>, AlignError> {
+    let matches = find_all::<A>(text, pattern, k)?;
+    Ok(matches
+        .into_iter()
+        .min_by_key(|m| (m.distance, m.position)))
+}
+
+/// Reports whether `pattern` occurs anywhere in `text` with at most `k`
+/// edits, stopping at the first hit.
+///
+/// This is the distance-estimation primitive of the pre-alignment
+/// filtering use case (§8): only the yes/no answer is needed, so the
+/// scan ends as soon as any `R[d]` clears its most significant bit.
+///
+/// # Errors
+///
+/// Same conditions as [`find_all`].
+pub fn matches_within<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+) -> Result<bool, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    let k = clamp_threshold(k, pattern.len());
+    if pattern.len() <= 64 {
+        let pm = PatternBitmasks64::<A>::new(pattern)?;
+        let m = pattern.len();
+        let msb = 1u64 << (m - 1);
+        let mut r = initial_rows(k);
+        let mut old_r = r.clone();
+        for i in (0..text.len()).rev() {
+            let cur_pm = match pm.mask(text[i]) {
+                Some(mask) => mask,
+                None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+            };
+            std::mem::swap(&mut r, &mut old_r);
+            r[0] = (old_r[0] << 1) | cur_pm;
+            if r[0] & msb == 0 {
+                return Ok(true);
+            }
+            for d in 1..=k {
+                let deletion = old_r[d - 1];
+                let substitution = old_r[d - 1] << 1;
+                let insertion = r[d - 1] << 1;
+                let matched = (old_r[d] << 1) | cur_pm;
+                r[d] = deletion & substitution & insertion & matched;
+                if r[d] & msb == 0 {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    } else {
+        // Multi-word path: reuse the full scan but stop at the first hit.
+        let matches = find_all_multi_word::<A>(text, pattern, k)?;
+        Ok(!matches.is_empty())
+    }
+}
+
+/// Initial single-word `R[d]` states: `ones << d`, so that pattern
+/// suffixes of length `<= d` can match by insertion past the text end
+/// (the multi-word path uses [`BitVector::ones_shl`] identically).
+fn initial_rows(k: usize) -> Vec<u64> {
+    (0..=k)
+        .map(|d| if d < 64 { u64::MAX << d } else { 0 })
+        .collect()
+}
+
+/// Single-word (`m <= 64`) implementation of Algorithm 1.
+///
+/// # Errors
+///
+/// Same conditions as [`find_all`]; additionally rejects patterns longer
+/// than 64 characters with [`AlignError::InvalidWindow`].
+pub fn find_all_single_word<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+) -> Result<Vec<BitapMatch>, AlignError> {
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    let k = clamp_threshold(k, pattern.len());
+    let pm = PatternBitmasks64::<A>::new(pattern)?;
+    let m = pattern.len();
+    let msb = 1u64 << (m - 1);
+
+    // R[d] holds the partial-match state for exactly d errors
+    // (Algorithm 1, lines 5-6: initialized to all ones).
+    let mut r = initial_rows(k);
+    let mut old_r = r.clone();
+    let mut matches = Vec::new();
+
+    for i in (0..text.len()).rev() {
+        let cur_pm = match pm.mask(text[i]) {
+            Some(mask) => mask,
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+        };
+        std::mem::swap(&mut r, &mut old_r); // lines 10-11: R becomes oldR
+        r[0] = (old_r[0] << 1) | cur_pm; // line 13: exact-match bitvector
+        for d in 1..=k {
+            let deletion = old_r[d - 1]; // line 15
+            let substitution = old_r[d - 1] << 1; // line 16
+            let insertion = r[d - 1] << 1; // line 17
+            let matched = (old_r[d] << 1) | cur_pm; // line 18
+            r[d] = deletion & substitution & insertion & matched; // line 19
+        }
+        // Lines 20-22: the minimal d whose MSB cleared is the distance of
+        // the best match starting at text position i.
+        if let Some(d) = (0..=k).find(|&d| r[d] & msb == 0) {
+            matches.push(BitapMatch { position: i, distance: d });
+        }
+    }
+    matches.reverse();
+    Ok(matches)
+}
+
+/// Multi-word implementation of Algorithm 1 for arbitrary-length
+/// patterns (§5 "Long Read Support").
+///
+/// # Errors
+///
+/// Same conditions as [`find_all`].
+pub fn find_all_multi_word<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k: usize,
+) -> Result<Vec<BitapMatch>, AlignError> {
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    let k = clamp_threshold(k, pattern.len());
+    let pm = PatternBitmasks::<A>::new(pattern)?;
+    let m = pattern.len();
+
+    let mut r: Vec<BitVector> = (0..=k).map(|d| BitVector::ones_shl(m, d)).collect();
+    let mut old_r = r.clone();
+    // Scratch vectors so the inner loop allocates nothing.
+    let mut tmp = BitVector::zeros(m);
+    let mut acc = BitVector::zeros(m);
+    let mut matches = Vec::new();
+
+    for i in (0..text.len()).rev() {
+        let cur_pm = match pm.mask(text[i]) {
+            Some(mask) => mask,
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+        };
+        std::mem::swap(&mut r, &mut old_r);
+
+        // R[0] = (oldR[0] << 1) | PM
+        old_r[0].shl1_or_into(cur_pm, &mut acc);
+        r[0].copy_from(&acc);
+
+        for d in 1..=k {
+            // acc = match = (oldR[d] << 1) | PM
+            old_r[d].shl1_or_into(cur_pm, &mut acc);
+            // acc &= insertion = R[d-1] << 1
+            r[d - 1].shl1_into(&mut tmp);
+            acc.and_assign(&tmp);
+            // acc &= substitution = oldR[d-1] << 1
+            old_r[d - 1].shl1_into(&mut tmp);
+            acc.and_assign(&tmp);
+            // acc &= deletion = oldR[d-1]
+            acc.and_assign(&old_r[d - 1]);
+            r[d].copy_from(&acc);
+        }
+        if let Some(d) = (0..=k).find(|&d| !r[d].msb()) {
+            matches.push(BitapMatch { position: i, distance: d });
+        }
+    }
+    matches.reverse();
+    Ok(matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Ascii, Dna};
+
+    /// End-to-end check of the Figure 3 worked example.
+    #[test]
+    fn figure3_example() {
+        let matches = find_all::<Dna>(b"CGTGA", b"CTGA", 1).unwrap();
+        assert_eq!(
+            matches,
+            vec![
+                BitapMatch { position: 0, distance: 1 },
+                BitapMatch { position: 1, distance: 1 },
+                BitapMatch { position: 2, distance: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn exact_match_k0() {
+        let matches = find_all::<Dna>(b"ACGTACGT", b"GTAC", 0).unwrap();
+        assert_eq!(matches, vec![BitapMatch { position: 2, distance: 0 }]);
+    }
+
+    #[test]
+    fn no_match_within_threshold() {
+        let matches = find_all::<Dna>(b"AAAAAAAA", b"TTTT", 1).unwrap();
+        assert!(matches.is_empty());
+        assert!(!matches_within::<Dna>(b"AAAAAAAA", b"TTTT", 1).unwrap());
+    }
+
+    #[test]
+    fn substitution_found_at_k1() {
+        // Pattern differs from the text segment by one substitution.
+        assert!(find_all::<Dna>(b"AAACGTAAA", b"ACGA", 0).unwrap().is_empty());
+        let matches = find_all::<Dna>(b"AAACGTAAA", b"ACGA", 1).unwrap();
+        assert!(matches.iter().any(|m| m.position == 2 && m.distance == 1));
+    }
+
+    #[test]
+    fn insertion_and_deletion_found() {
+        // Deletion from the pattern's perspective: text has an extra char.
+        let m = find_best::<Dna>(b"ACGGT", b"ACGT", 1).unwrap().unwrap();
+        assert_eq!(m.distance, 1);
+        // Insertion: pattern has an extra char relative to the text.
+        let m = find_best::<Dna>(b"ACGT", b"ACGGT", 1).unwrap().unwrap();
+        assert_eq!(m.distance, 1);
+    }
+
+    #[test]
+    fn find_best_prefers_lower_distance() {
+        // Exact occurrence later in the text must beat an earlier 1-edit one.
+        let best = find_best::<Dna>(b"ACGAACGT", b"ACGT", 1).unwrap().unwrap();
+        assert_eq!(best, BitapMatch { position: 4, distance: 0 });
+    }
+
+    #[test]
+    fn multi_word_agrees_with_single_word_on_short_patterns() {
+        let text = b"GATTACAGATTACAGATTACAGATTACA";
+        let pattern = b"TTACAGATT";
+        for k in 0..4 {
+            let single = find_all_single_word::<Dna>(text, pattern, k).unwrap();
+            let multi = find_all_multi_word::<Dna>(text, pattern, k).unwrap();
+            assert_eq!(single, multi, "k={k}");
+        }
+    }
+
+    #[test]
+    fn long_pattern_uses_multi_word_path() {
+        // 100-character pattern: exceeds the single-word limit.
+        let unit: &[u8] = b"ACGTTGCAAC";
+        let pattern: Vec<u8> = unit.iter().copied().cycle().take(100).collect();
+        let mut text = Vec::new();
+        text.extend_from_slice(b"TTTT");
+        text.extend_from_slice(&pattern);
+        text.extend_from_slice(b"GGGG");
+        let matches = find_all::<Dna>(&text, &pattern, 0).unwrap();
+        assert!(matches.contains(&BitapMatch { position: 4, distance: 0 }));
+    }
+
+    #[test]
+    fn long_pattern_with_errors() {
+        let unit: &[u8] = b"ACGTTGCAAC";
+        let pattern: Vec<u8> = unit.iter().copied().cycle().take(80).collect();
+        let mut mutated = pattern.clone();
+        mutated[40] = if mutated[40] == b'A' { b'C' } else { b'A' };
+        let mut text = Vec::from(&b"GG"[..]);
+        text.extend_from_slice(&mutated);
+        let matches = find_all::<Dna>(&text, &pattern, 2).unwrap();
+        assert!(matches.iter().any(|m| m.position == 2 && m.distance == 1));
+    }
+
+    #[test]
+    fn matches_within_early_exit_agrees_with_full_scan() {
+        let text = b"ACGTGGCATCAGTTACGGAT";
+        let pattern = b"GCATC";
+        for k in 0..3 {
+            let full = !find_all::<Dna>(text, pattern, k).unwrap().is_empty();
+            let fast = matches_within::<Dna>(text, pattern, k).unwrap();
+            assert_eq!(full, fast, "k={k}");
+        }
+    }
+
+    #[test]
+    fn generic_text_search_over_ascii() {
+        let text = b"the quick brown fox jumps over the lazy dog";
+        let matches = find_all::<Ascii>(text, b"quick", 0).unwrap();
+        assert_eq!(matches, vec![BitapMatch { position: 4, distance: 0 }]);
+        // One substitution ("quack") still matches with k=1.
+        let matches = find_all::<Ascii>(text, b"quack", 1).unwrap();
+        assert_eq!(matches, vec![BitapMatch { position: 4, distance: 1 }]);
+    }
+
+    #[test]
+    fn pattern_longer_than_text_needs_insertions() {
+        // Pattern is text plus 2 trailing chars: distance 2 via insertions.
+        let best = find_best::<Dna>(b"ACGT", b"ACGTGG", 2).unwrap().unwrap();
+        assert_eq!(best.distance, 2);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(find_all::<Dna>(b"", b"ACGT", 1), Err(AlignError::EmptyText)));
+        assert!(matches!(find_all::<Dna>(b"ACGT", b"", 1), Err(AlignError::EmptyPattern)));
+    }
+
+    #[test]
+    fn invalid_text_symbol_is_reported() {
+        let err = find_all::<Dna>(b"ACNGT", b"ACGT", 1).unwrap_err();
+        assert_eq!(err, AlignError::InvalidSymbol { pos: 2, byte: b'N' });
+    }
+}

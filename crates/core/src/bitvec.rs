@@ -1,0 +1,364 @@
+//! Multi-word status bitvectors.
+//!
+//! The baseline Bitap algorithm limits the query length to the machine
+//! word size because every status bitvector must be shifted and combined
+//! with single instructions (§3.1 of the paper, "No Support for Long
+//! Reads"). GenASM-DC removes that limit by storing each bitvector in
+//! `ceil(m / 64)` words and propagating the bit shifted out of word
+//! `i - 1` into the least significant bit of word `i` (§5, "Long Read
+//! Support"). [`BitVector`] implements exactly that representation.
+//!
+//! Bit `j` of the vector corresponds to pattern position `m - 1 - j`:
+//! the most significant bit tracks the *first* pattern character, so a
+//! `0` MSB signals a complete match (Algorithm 1, line 20).
+
+use std::fmt;
+
+/// Number of bits per storage word.
+pub const WORD_BITS: usize = 64;
+
+/// A fixed-width bitvector of `len` bits stored little-endian in `u64`
+/// words (word 0 holds bits `0..64`).
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::bitvec::BitVector;
+///
+/// let mut v = BitVector::ones(100);
+/// assert!(v.msb());
+/// v.clear_bit(99);
+/// assert!(!v.msb());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// Creates a bitvector of `len` bits, all set to `1`.
+    ///
+    /// This is the initial state of every `R[d]` status bitvector
+    /// (Algorithm 1, line 6): all-ones means "no partial match yet".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn ones(len: usize) -> Self {
+        assert!(len > 0, "bitvector length must be positive");
+        let n_words = len.div_ceil(WORD_BITS);
+        let mut words = vec![u64::MAX; n_words];
+        Self::mask_top(&mut words, len);
+        BitVector { words, len }
+    }
+
+    /// Creates a bitvector of `len` bits, all cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn zeros(len: usize) -> Self {
+        assert!(len > 0, "bitvector length must be positive");
+        BitVector { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Creates a bitvector with bits `shift..len` set and bits
+    /// `0..shift` clear — the initial `R[d]` state with `shift = d`,
+    /// recording that a pattern suffix of length `<= d` can match by
+    /// inserting all of its characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn ones_shl(len: usize, shift: usize) -> Self {
+        let mut v = Self::ones(len);
+        for i in 0..shift.min(len) {
+            v.clear_bit(i);
+        }
+        v
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector holds zero bits. Always `false`: the
+    /// constructors reject zero-length vectors, but the method is
+    /// provided for API completeness alongside [`len`](Self::len).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of storage words.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Read-only view of the storage words (little-endian).
+    #[inline]
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i` to `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn clear_bit(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// The most significant bit (bit `len - 1`), i.e. the match flag for
+    /// the first pattern character. A value of `false` (0) signals that
+    /// the whole pattern matched (Algorithm 1, line 20).
+    #[inline]
+    pub fn msb(&self) -> bool {
+        self.bit(self.len - 1)
+    }
+
+    /// Writes `(self << 1) | or_with` into `out`, propagating the carry
+    /// bit across words exactly as the multi-word shift described in §5
+    /// of the paper. Bits shifted past `len` are discarded. The newly
+    /// vacated LSB is `0` before the OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors do not share the same length.
+    pub fn shl1_or_into(&self, or_with: &BitVector, out: &mut BitVector) {
+        assert_eq!(self.len, or_with.len, "length mismatch");
+        assert_eq!(self.len, out.len, "length mismatch");
+        let mut carry = 0u64;
+        for ((&w, &o), dst) in self
+            .words
+            .iter()
+            .zip(or_with.words.iter())
+            .zip(out.words.iter_mut())
+        {
+            // Save the bit shifted out of this word before shifting, then
+            // feed the previous word's saved bit in as the new LSB.
+            let next_carry = w >> (WORD_BITS - 1);
+            *dst = (w << 1) | carry | o;
+            carry = next_carry;
+        }
+        Self::mask_top(&mut out.words, self.len);
+    }
+
+    /// Writes `self << 1` into `out` (multi-word, carry-propagating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not share the same length.
+    pub fn shl1_into(&self, out: &mut BitVector) {
+        assert_eq!(self.len, out.len, "length mismatch");
+        let mut carry = 0u64;
+        for (&w, dst) in self.words.iter().zip(out.words.iter_mut()) {
+            let next_carry = w >> (WORD_BITS - 1);
+            *dst = (w << 1) | carry;
+            carry = next_carry;
+        }
+        Self::mask_top(&mut out.words, self.len);
+    }
+
+    /// Returns `self << 1` as a new vector.
+    #[must_use]
+    pub fn shl1(&self) -> BitVector {
+        let mut out = BitVector::zeros(self.len);
+        self.shl1_into(&mut out);
+        out
+    }
+
+    /// In-place bitwise AND with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not share the same length.
+    pub fn and_assign(&mut self, other: &BitVector) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (dst, &w) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst &= w;
+        }
+    }
+
+    /// In-place bitwise OR with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not share the same length.
+    pub fn or_assign(&mut self, other: &BitVector) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (dst, &w) in self.words.iter_mut().zip(other.words.iter()) {
+            *dst |= w;
+        }
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors do not share the same length.
+    pub fn copy_from(&mut self, other: &BitVector) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Number of zero bits (candidate partial-match positions).
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.words.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+    }
+
+    /// Clears any bits above `len` in the top storage word so equality,
+    /// popcounts, and MSB checks stay exact.
+    fn mask_top(words: &mut [u64], len: usize) {
+        let rem = len % WORD_BITS;
+        if rem != 0 {
+            if let Some(top) = words.last_mut() {
+                *top &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVector({} bits: ", self.len)?;
+        // Print MSB-first like the paper's figures.
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Binary for BitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ones_has_all_bits_set_and_masked_top() {
+        let v = BitVector::ones(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.word_count(), 2);
+        for i in 0..70 {
+            assert!(v.bit(i));
+        }
+        // Bits 70..128 of the storage must be zero.
+        assert_eq!(v.as_words()[1] >> 6, 0);
+    }
+
+    #[test]
+    fn set_clear_roundtrip() {
+        let mut v = BitVector::zeros(130);
+        v.set_bit(0);
+        v.set_bit(64);
+        v.set_bit(129);
+        assert!(v.bit(0) && v.bit(64) && v.bit(129));
+        assert_eq!(v.count_zeros(), 127);
+        v.clear_bit(64);
+        assert!(!v.bit(64));
+    }
+
+    #[test]
+    fn shift_carries_across_word_boundary() {
+        let mut v = BitVector::zeros(128);
+        v.set_bit(63);
+        let shifted = v.shl1();
+        assert!(!shifted.bit(63));
+        assert!(shifted.bit(64), "bit must carry from word 0 into word 1");
+    }
+
+    #[test]
+    fn shift_discards_msb() {
+        let mut v = BitVector::zeros(65);
+        v.set_bit(64);
+        let shifted = v.shl1();
+        assert_eq!(shifted.count_zeros(), 65);
+    }
+
+    #[test]
+    fn shl1_or_matches_separate_ops() {
+        let mut a = BitVector::zeros(100);
+        a.set_bit(10);
+        a.set_bit(63);
+        a.set_bit(99);
+        let mut m = BitVector::zeros(100);
+        m.set_bit(0);
+        m.set_bit(70);
+
+        let mut fused = BitVector::zeros(100);
+        a.shl1_or_into(&m, &mut fused);
+
+        let mut separate = a.shl1();
+        separate.or_assign(&m);
+        assert_eq!(fused, separate);
+    }
+
+    #[test]
+    fn msb_tracks_first_pattern_character() {
+        let mut v = BitVector::ones(64);
+        assert!(v.msb());
+        v.clear_bit(63);
+        assert!(!v.msb());
+    }
+
+    #[test]
+    fn single_word_shift_agrees_with_u64() {
+        let x: u64 = 0xDEAD_BEEF_0BAD_F00D;
+        let mut v = BitVector::zeros(64);
+        for i in 0..64 {
+            if (x >> i) & 1 == 1 {
+                v.set_bit(i);
+            }
+        }
+        let shifted = v.shl1();
+        let expected = x << 1;
+        for i in 0..64 {
+            assert_eq!(shifted.bit(i), (expected >> i) & 1 == 1, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn debug_prints_msb_first() {
+        let mut v = BitVector::zeros(4);
+        v.set_bit(3);
+        assert_eq!(format!("{v:b}"), "1000");
+    }
+}

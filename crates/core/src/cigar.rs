@@ -1,0 +1,450 @@
+//! CIGAR strings: the traceback output format (§2.1 of the paper).
+//!
+//! The optimal alignment is "defined using a CIGAR string, which shows
+//! the sequence and position of each match, substitution, insertion, and
+//! deletion for the read with respect to the selected mapping location
+//! of the reference". We use the extended SAM operation set that
+//! distinguishes matches (`=`) from substitutions (`X`):
+//!
+//! | Op | Consumes text (reference) | Consumes pattern (read) |
+//! |----|---------------------------|--------------------------|
+//! | `=` (match) | yes | yes |
+//! | `X` (substitution) | yes | yes |
+//! | `I` (insertion) | no | yes |
+//! | `D` (deletion) | yes | no |
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One alignment operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CigarOp {
+    /// Characters match (`=`): one text and one pattern character
+    /// consumed, no error.
+    Match,
+    /// Substitution (`X`): both consumed, one error.
+    Subst,
+    /// Insertion (`I`): the pattern (read) has a character absent from
+    /// the text — only a pattern character is consumed.
+    Ins,
+    /// Deletion (`D`): the text has a character absent from the pattern
+    /// — only a text character is consumed.
+    Del,
+}
+
+impl CigarOp {
+    /// The SAM character for this operation.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            CigarOp::Match => '=',
+            CigarOp::Subst => 'X',
+            CigarOp::Ins => 'I',
+            CigarOp::Del => 'D',
+        }
+    }
+
+    /// Whether this operation consumes a text (reference) character.
+    #[inline]
+    pub fn consumes_text(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Del)
+    }
+
+    /// Whether this operation consumes a pattern (read) character.
+    #[inline]
+    pub fn consumes_pattern(self) -> bool {
+        matches!(self, CigarOp::Match | CigarOp::Subst | CigarOp::Ins)
+    }
+
+    /// Whether this operation counts toward the edit distance.
+    #[inline]
+    pub fn is_edit(self) -> bool {
+        !matches!(self, CigarOp::Match)
+    }
+}
+
+impl fmt::Display for CigarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for CigarOp {
+    type Error = ParseCigarError;
+
+    fn try_from(c: char) -> Result<Self, ParseCigarError> {
+        match c {
+            '=' | 'M' => Ok(CigarOp::Match),
+            'X' | 'S' => Ok(CigarOp::Subst),
+            'I' => Ok(CigarOp::Ins),
+            'D' => Ok(CigarOp::Del),
+            other => Err(ParseCigarError::UnknownOp(other)),
+        }
+    }
+}
+
+/// Error parsing a CIGAR string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseCigarError {
+    /// An operation character outside `= X I D M S`.
+    UnknownOp(char),
+    /// A run length of zero, or a missing length.
+    BadLength,
+}
+
+impl fmt::Display for ParseCigarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCigarError::UnknownOp(c) => write!(f, "unknown cigar op {c:?}"),
+            ParseCigarError::BadLength => write!(f, "invalid cigar run length"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCigarError {}
+
+/// A run-length encoded CIGAR: a sequence of `(op, length)` runs with
+/// adjacent equal operations coalesced.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::cigar::{Cigar, CigarOp};
+///
+/// let mut cigar = Cigar::new();
+/// cigar.push(CigarOp::Match);
+/// cigar.push(CigarOp::Match);
+/// cigar.push(CigarOp::Subst);
+/// cigar.push_run(CigarOp::Match, 3);
+/// assert_eq!(cigar.to_string(), "2=1X3=");
+/// assert_eq!(cigar.edit_distance(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Cigar {
+    runs: Vec<(CigarOp, u32)>,
+}
+
+impl Cigar {
+    /// Creates an empty CIGAR.
+    pub fn new() -> Self {
+        Cigar::default()
+    }
+
+    /// Appends one operation, coalescing with the previous run.
+    pub fn push(&mut self, op: CigarOp) {
+        self.push_run(op, 1);
+    }
+
+    /// Appends `len` copies of `op`, coalescing with the previous run.
+    /// A zero-length run is ignored.
+    pub fn push_run(&mut self, op: CigarOp, len: u32) {
+        if len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == op {
+                last.1 += len;
+                return;
+            }
+        }
+        self.runs.push((op, len));
+    }
+
+    /// Appends all runs of `other`, coalescing at the seam. Used to
+    /// merge per-window traceback outputs (§6, divide-and-conquer).
+    pub fn extend_cigar(&mut self, other: &Cigar) {
+        for &(op, len) in &other.runs {
+            self.push_run(op, len);
+        }
+    }
+
+    /// The run-length encoded view.
+    #[inline]
+    pub fn runs(&self) -> &[(CigarOp, u32)] {
+        &self.runs
+    }
+
+    /// Iterates over individual operations (each run expanded).
+    pub fn iter_ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
+        self.runs.iter().flat_map(|&(op, len)| std::iter::repeat_n(op, len as usize))
+    }
+
+    /// Total number of operations (sum of run lengths).
+    pub fn op_len(&self) -> usize {
+        self.runs.iter().map(|&(_, len)| len as usize).sum()
+    }
+
+    /// `true` when the CIGAR has no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of edits (`X + I + D`): the unit-cost alignment distance.
+    pub fn edit_distance(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|&&(op, _)| op.is_edit())
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Number of text (reference) characters consumed.
+    pub fn text_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|&&(op, _)| op.consumes_text())
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Number of pattern (read) characters consumed.
+    pub fn pattern_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|&&(op, _)| op.consumes_pattern())
+            .map(|&(_, len)| len as usize)
+            .sum()
+    }
+
+    /// Counts of `(match, subst, ins, del)` operations.
+    pub fn op_counts(&self) -> (usize, usize, usize, usize) {
+        let mut counts = (0, 0, 0, 0);
+        for &(op, len) in &self.runs {
+            let len = len as usize;
+            match op {
+                CigarOp::Match => counts.0 += len,
+                CigarOp::Subst => counts.1 += len,
+                CigarOp::Ins => counts.2 += len,
+                CigarOp::Del => counts.3 += len,
+            }
+        }
+        counts
+    }
+
+    /// Checks that this CIGAR is a valid transcript between `text` and
+    /// `pattern`: consumes each fully, marks `=` only where characters
+    /// agree and `X` only where they differ.
+    pub fn validates(&self, text: &[u8], pattern: &[u8]) -> bool {
+        let mut ti = 0usize;
+        let mut pi = 0usize;
+        for op in self.iter_ops() {
+            match op {
+                CigarOp::Match => {
+                    if ti >= text.len() || pi >= pattern.len() {
+                        return false;
+                    }
+                    if !text[ti].eq_ignore_ascii_case(&pattern[pi]) {
+                        return false;
+                    }
+                    ti += 1;
+                    pi += 1;
+                }
+                CigarOp::Subst => {
+                    if ti >= text.len() || pi >= pattern.len() {
+                        return false;
+                    }
+                    if text[ti].eq_ignore_ascii_case(&pattern[pi]) {
+                        return false;
+                    }
+                    ti += 1;
+                    pi += 1;
+                }
+                CigarOp::Ins => {
+                    if pi >= pattern.len() {
+                        return false;
+                    }
+                    pi += 1;
+                }
+                CigarOp::Del => {
+                    if ti >= text.len() {
+                        return false;
+                    }
+                    ti += 1;
+                }
+            }
+        }
+        pi == pattern.len() && ti <= text.len()
+    }
+
+    /// Renders a three-line pretty alignment (text, bars, pattern) for
+    /// inspection and examples.
+    pub fn pretty(&self, text: &[u8], pattern: &[u8]) -> String {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        let mut ti = 0usize;
+        let mut pi = 0usize;
+        for op in self.iter_ops() {
+            match op {
+                CigarOp::Match | CigarOp::Subst => {
+                    top.push(*text.get(ti).unwrap_or(&b'?') as char);
+                    bot.push(*pattern.get(pi).unwrap_or(&b'?') as char);
+                    mid.push(if op == CigarOp::Match { '|' } else { '*' });
+                    ti += 1;
+                    pi += 1;
+                }
+                CigarOp::Ins => {
+                    top.push('-');
+                    bot.push(*pattern.get(pi).unwrap_or(&b'?') as char);
+                    mid.push(' ');
+                    pi += 1;
+                }
+                CigarOp::Del => {
+                    top.push(*text.get(ti).unwrap_or(&b'?') as char);
+                    bot.push('-');
+                    mid.push(' ');
+                    ti += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return write!(f, "*");
+        }
+        for &(op, len) in &self.runs {
+            write!(f, "{len}{op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Cigar {
+    type Err = ParseCigarError;
+
+    fn from_str(s: &str) -> Result<Self, ParseCigarError> {
+        let mut cigar = Cigar::new();
+        if s == "*" {
+            return Ok(cigar);
+        }
+        let mut len: u32 = 0;
+        let mut saw_digit = false;
+        for c in s.chars() {
+            if let Some(d) = c.to_digit(10) {
+                len = len.checked_mul(10).and_then(|l| l.checked_add(d)).ok_or(ParseCigarError::BadLength)?;
+                saw_digit = true;
+            } else {
+                let op = CigarOp::try_from(c)?;
+                if !saw_digit || len == 0 {
+                    return Err(ParseCigarError::BadLength);
+                }
+                cigar.push_run(op, len);
+                len = 0;
+                saw_digit = false;
+            }
+        }
+        if saw_digit {
+            return Err(ParseCigarError::BadLength);
+        }
+        Ok(cigar)
+    }
+}
+
+impl FromIterator<CigarOp> for Cigar {
+    fn from_iter<I: IntoIterator<Item = CigarOp>>(iter: I) -> Self {
+        let mut cigar = Cigar::new();
+        for op in iter {
+            cigar.push(op);
+        }
+        cigar
+    }
+}
+
+impl Extend<CigarOp> for Cigar {
+    fn extend<I: IntoIterator<Item = CigarOp>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_coalesces_runs() {
+        let cigar: Cigar = [CigarOp::Match, CigarOp::Match, CigarOp::Ins, CigarOp::Ins, CigarOp::Match]
+            .into_iter()
+            .collect();
+        assert_eq!(cigar.runs(), &[(CigarOp::Match, 2), (CigarOp::Ins, 2), (CigarOp::Match, 1)]);
+        assert_eq!(cigar.to_string(), "2=2I1=");
+    }
+
+    #[test]
+    fn roundtrip_parse_display() {
+        let s = "10=2X3I4D7=";
+        let cigar: Cigar = s.parse().unwrap();
+        assert_eq!(cigar.to_string(), s);
+        assert_eq!(cigar.edit_distance(), 9);
+        assert_eq!(cigar.text_len(), 10 + 2 + 4 + 7);
+        assert_eq!(cigar.pattern_len(), 10 + 2 + 3 + 7);
+    }
+
+    #[test]
+    fn parse_accepts_m_and_s_aliases() {
+        let cigar: Cigar = "3M1S".parse().unwrap();
+        assert_eq!(cigar.runs(), &[(CigarOp::Match, 3), (CigarOp::Subst, 1)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("3Q".parse::<Cigar>().is_err());
+        assert!("=3".parse::<Cigar>().is_err());
+        assert!("0=".parse::<Cigar>().is_err());
+        assert!("3".parse::<Cigar>().is_err());
+    }
+
+    #[test]
+    fn empty_displays_as_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+        assert_eq!("*".parse::<Cigar>().unwrap(), Cigar::new());
+    }
+
+    #[test]
+    fn validates_checks_consistency() {
+        let cigar: Cigar = "4=".parse().unwrap();
+        assert!(cigar.validates(b"ACGT", b"ACGT"));
+        assert!(!cigar.validates(b"ACGA", b"ACGT"));
+
+        let cigar: Cigar = "3=1X".parse().unwrap();
+        assert!(cigar.validates(b"ACGA", b"ACGT"));
+
+        let cigar: Cigar = "2=1D2=".parse().unwrap();
+        assert!(cigar.validates(b"ACGGT", b"ACGT"));
+
+        let cigar: Cigar = "2=1I2=".parse().unwrap();
+        assert!(cigar.validates(b"ACGT", b"ACGGT"));
+
+        // Pattern not fully consumed.
+        let cigar: Cigar = "3=".parse().unwrap();
+        assert!(!cigar.validates(b"ACGT", b"ACGT"));
+    }
+
+    #[test]
+    fn extend_cigar_coalesces_at_seam() {
+        let mut a: Cigar = "3=1I".parse().unwrap();
+        let b: Cigar = "2I4=".parse().unwrap();
+        a.extend_cigar(&b);
+        assert_eq!(a.to_string(), "3=3I4=");
+    }
+
+    #[test]
+    fn op_counts_and_lengths() {
+        let cigar: Cigar = "5=1X2I3D".parse().unwrap();
+        assert_eq!(cigar.op_counts(), (5, 1, 2, 3));
+        assert_eq!(cigar.op_len(), 11);
+        assert!(!cigar.is_empty());
+    }
+
+    #[test]
+    fn pretty_renders_gaps() {
+        let cigar: Cigar = "2=1D1=".parse().unwrap();
+        let art = cigar.pretty(b"ACGT", b"ACT");
+        assert_eq!(art, "ACGT\n|| |\nAC-T");
+    }
+}

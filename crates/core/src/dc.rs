@@ -1,0 +1,386 @@
+//! GenASM-DC: the modified Bitap distance calculation (§5 of the paper).
+//!
+//! GenASM-DC runs the Bitap recurrence over one *window* (sub-text ×
+//! sub-pattern, each at most `W = 64` characters) and, unlike baseline
+//! Bitap, **stores the intermediate bitvectors** that GenASM-TB later
+//! walks: for every text iteration `i` and edit distance `d` it keeps
+//! the match, insertion, and deletion bitvectors (the substitution
+//! bitvector is not stored — it is re-derived as `deletion << 1`,
+//! exactly the TB-SRAM write-bandwidth optimization of §6).
+//!
+//! The software implementation iterates *distance-major*: row `d` is
+//! computed over all text positions from row `d - 1`, which is the same
+//! dependency restructuring the paper's loop unrolling exposes
+//! (Figure 5 — `T(i)–R(d)` depends only on `T(i+1)–R(d)`,
+//! `T(i)–R(d-1)`, and `T(i+1)–R(d-1)`). Distance-major order lets the
+//! software stop at the first row whose anchor bit clears, so the work
+//! is `O(n_window × d_found)` words instead of `O(n_window × k_max)`.
+//!
+//! Window alignments are *anchored*: a window match is a `0` in the
+//! most significant bit of `R[d]` at text iteration `i = 0`, i.e. the
+//! sub-pattern matches the sub-text starting at its first character.
+
+use crate::alphabet::Alphabet;
+use crate::error::AlignError;
+use crate::pattern::PatternBitmasks64;
+
+/// Maximum window size supported by the single-word kernel.
+pub const MAX_WINDOW: usize = 64;
+
+/// The intermediate bitvectors of one window, as GenASM-DC writes them
+/// to the per-PE TB-SRAMs (§7).
+///
+/// Indexing follows Algorithm 2: `match_at(i, d)` is the match
+/// bitvector computed at text iteration `i` (0 = window start) for
+/// distance `d`. For `d = 0` only the match bitvector exists (it *is*
+/// `R[0]`); the gap accessors return all-ones (no match) there.
+#[derive(Debug, Clone)]
+pub struct WindowBitvectors {
+    pattern_len: usize,
+    text_len: usize,
+    /// Row-major storage: rows[d] holds n_window words per kind.
+    match_rows: Vec<Vec<u64>>,
+    ins_rows: Vec<Vec<u64>>,
+    del_rows: Vec<Vec<u64>>,
+}
+
+impl WindowBitvectors {
+    /// Window sub-pattern length (bitvector width in bits).
+    #[inline]
+    pub fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    /// Window sub-text length (number of stored text iterations).
+    #[inline]
+    pub fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Number of distance rows stored (`d = 0..rows()`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.match_rows.len()
+    }
+
+    /// Match bitvector at text iteration `i`, distance `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= text_len()` or `d >= rows()`.
+    #[inline]
+    pub fn match_at(&self, i: usize, d: usize) -> u64 {
+        self.match_rows[d][i]
+    }
+
+    /// Insertion bitvector (`R[d-1] << 1`) at iteration `i`, distance
+    /// `d`; all-ones for `d = 0` (no gap possible without an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= text_len()` or `d >= rows()`.
+    #[inline]
+    pub fn ins_at(&self, i: usize, d: usize) -> u64 {
+        if d == 0 {
+            u64::MAX
+        } else {
+            self.ins_rows[d][i]
+        }
+    }
+
+    /// Deletion bitvector (`oldR[d-1]`, unshifted) at iteration `i`,
+    /// distance `d`; all-ones for `d = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= text_len()` or `d >= rows()`.
+    #[inline]
+    pub fn del_at(&self, i: usize, d: usize) -> u64 {
+        if d == 0 {
+            u64::MAX
+        } else {
+            self.del_rows[d][i]
+        }
+    }
+
+    /// Substitution bitvector, derived as `deletion << 1` rather than
+    /// stored — the memory-footprint optimization of §6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= text_len()` or `d >= rows()`.
+    #[inline]
+    pub fn subs_at(&self, i: usize, d: usize) -> u64 {
+        if d == 0 {
+            u64::MAX
+        } else {
+            self.del_at(i, d) << 1
+        }
+    }
+
+    /// Number of 64-bit bitvector words GenASM-DC wrote for this window
+    /// (three kinds per `(i, d)` with `d >= 1`, one for `d = 0`): the
+    /// quantity that sizes TB-SRAM traffic in the hardware model.
+    pub fn stored_words(&self) -> usize {
+        let gap_rows = self.rows().saturating_sub(1);
+        self.text_len * (1 + 3 * gap_rows)
+    }
+}
+
+/// Outcome of running GenASM-DC on one window.
+#[derive(Debug, Clone)]
+pub struct DcWindow {
+    /// Minimum `d` whose anchor bit (MSB of `R[d]` at iteration 0)
+    /// cleared, i.e. the edit distance of the best window alignment
+    /// anchored at the window start — `None` if no alignment was found
+    /// within `k_max` edits.
+    pub edit_distance: Option<usize>,
+    /// The stored intermediate bitvectors for GenASM-TB.
+    pub bitvectors: WindowBitvectors,
+}
+
+/// Runs GenASM-DC on one window: searches `pattern` anchored at the
+/// start of `text`, storing the intermediate bitvectors for traceback.
+///
+/// `k_max` bounds the number of distance rows computed; pass
+/// `pattern.len()` to guarantee an alignment is always found (any
+/// pattern aligns to any non-empty text within `m` edits).
+///
+/// # Errors
+///
+/// * [`AlignError::EmptyPattern`] / [`AlignError::EmptyText`] for empty
+///   inputs;
+/// * [`AlignError::InvalidWindow`] if `pattern.len() > 64`;
+/// * [`AlignError::InvalidSymbol`] for bytes outside alphabet `A`.
+///
+/// # Examples
+///
+/// The Figure 3 window: pattern `CTGA` in text `CGTGA` aligns at the
+/// text start with one edit (a deletion of the text's `G`):
+///
+/// ```
+/// use genasm_core::dc::window_dc;
+/// use genasm_core::alphabet::Dna;
+///
+/// # fn main() -> Result<(), genasm_core::error::AlignError> {
+/// let dc = window_dc::<Dna>(b"CGTGA", b"CTGA", 4)?;
+/// assert_eq!(dc.edit_distance, Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn window_dc<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+) -> Result<DcWindow, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if pattern.len() > MAX_WINDOW {
+        return Err(AlignError::InvalidWindow { w: pattern.len() });
+    }
+    let pm = PatternBitmasks64::<A>::new(pattern)?;
+    let m = pattern.len();
+    let n = text.len();
+    let msb = 1u64 << (m - 1);
+
+    // Pattern bitmask per text position, resolved once.
+    let mut text_pm = Vec::with_capacity(n);
+    for (i, &byte) in text.iter().enumerate() {
+        match pm.mask(byte) {
+            Some(mask) => text_pm.push(mask),
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
+        }
+    }
+
+    let mut match_rows: Vec<Vec<u64>> = Vec::new();
+    let mut ins_rows: Vec<Vec<u64>> = Vec::new();
+    let mut del_rows: Vec<Vec<u64>> = Vec::new();
+
+    // Row d = 0: R[0][i] = (R[0][i+1] << 1) | PM[text[i]], R[0][n] = ones.
+    // The match bitvector for d = 0 *is* R[0].
+    let mut prev_row: Vec<u64> = vec![0; n]; // R[d-1][i] for the row below
+    {
+        let mut row0 = vec![0u64; n];
+        let mut r = u64::MAX;
+        for i in (0..n).rev() {
+            r = (r << 1) | text_pm[i];
+            row0[i] = r;
+        }
+        match_rows.push(row0.clone());
+        ins_rows.push(Vec::new());
+        del_rows.push(Vec::new());
+        prev_row.copy_from_slice(&row0);
+    }
+
+    let mut edit_distance = if prev_row[0] & msb == 0 { Some(0) } else { None };
+
+    if edit_distance.is_none() {
+        let mut cur_row = vec![0u64; n];
+        for d in 1..=k_max {
+            let mut match_row = vec![0u64; n];
+            let mut ins_row = vec![0u64; n];
+            let mut del_row = vec![0u64; n];
+            // Boundary: before any text is consumed, a pattern suffix of
+            // length <= d can still match by inserting all of its
+            // characters, so R[d] initializes to ones << d (bits 0..d
+            // clear). This extends baseline Bitap, whose all-ones
+            // initialization cannot represent insertions past the text
+            // end; the states coincide from the second iteration on, so
+            // the paper's Figure 3 trace is unaffected.
+            let init_d = if d < 64 { u64::MAX << d } else { 0 };
+            let init_dm1 = u64::MAX << (d - 1);
+            let mut r_next = init_d; // R[d][i+1] (oldR[d])
+            for i in (0..n).rev() {
+                let old_r_dm1 = if i + 1 < n { prev_row[i + 1] } else { init_dm1 };
+                let deletion = old_r_dm1; // Alg. 1 line 15
+                let substitution = old_r_dm1 << 1; // line 16
+                let insertion = prev_row[i] << 1; // line 17
+                let matched = (r_next << 1) | text_pm[i]; // line 18
+                let r = deletion & substitution & insertion & matched; // line 19
+                match_row[i] = matched;
+                ins_row[i] = insertion;
+                del_row[i] = deletion;
+                cur_row[i] = r;
+                r_next = r;
+            }
+            match_rows.push(match_row);
+            ins_rows.push(ins_row);
+            del_rows.push(del_row);
+            std::mem::swap(&mut prev_row, &mut cur_row);
+            if prev_row[0] & msb == 0 {
+                edit_distance = Some(d);
+                break;
+            }
+        }
+    }
+
+    Ok(DcWindow {
+        edit_distance,
+        bitvectors: WindowBitvectors {
+            pattern_len: m,
+            text_len: n,
+            match_rows,
+            ins_rows,
+            del_rows,
+        },
+    })
+}
+
+/// Convenience wrapper that picks `k_max = pattern.len()`, which always
+/// finds an alignment for non-empty inputs.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`].
+pub fn window_dc_unbounded<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+) -> Result<DcWindow, AlignError> {
+    window_dc::<A>(text, pattern, pattern.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Dna;
+
+    /// Replays the Figure 3 trace and checks the stored intermediate
+    /// bitvectors against the figure's printed values.
+    #[test]
+    fn figure3_intermediate_bitvectors() {
+        let dc = window_dc::<Dna>(b"CGTGA", b"CTGA", 1).unwrap();
+        assert_eq!(dc.edit_distance, Some(1));
+        let bv = &dc.bitvectors;
+        let mask4 = 0xFu64;
+
+        // Step 5 of Figure 3 is text iteration i = 0 (char C):
+        //   D: 1111, S: 1110, I: 1110, M: 0111.
+        assert_eq!(bv.del_at(0, 1) & mask4, 0b1111);
+        assert_eq!(bv.subs_at(0, 1) & mask4, 0b1110);
+        assert_eq!(bv.ins_at(0, 1) & mask4, 0b1110);
+        assert_eq!(bv.match_at(0, 1) & mask4, 0b0111);
+
+        // Step 4 (i = 1, char G): D: 1011, S: 0110, I: 1110, M: 1101.
+        assert_eq!(bv.del_at(1, 1) & mask4, 0b1011);
+        assert_eq!(bv.subs_at(1, 1) & mask4, 0b0110);
+        assert_eq!(bv.ins_at(1, 1) & mask4, 0b1110);
+        assert_eq!(bv.match_at(1, 1) & mask4, 0b1101);
+
+        // Step 3 (i = 2, char T): D: 1101, S: 1010, I: 0110, M: 1011.
+        assert_eq!(bv.del_at(2, 1) & mask4, 0b1101);
+        assert_eq!(bv.subs_at(2, 1) & mask4, 0b1010);
+        assert_eq!(bv.ins_at(2, 1) & mask4, 0b0110);
+        assert_eq!(bv.match_at(2, 1) & mask4, 0b1011);
+
+        // R[0] values (the d = 0 match row): steps 1-5 give
+        // i=4: 1110, i=3: 1101, i=2: 1011, i=1: 1111, i=0: 1111.
+        assert_eq!(bv.match_at(4, 0) & mask4, 0b1110);
+        assert_eq!(bv.match_at(3, 0) & mask4, 0b1101);
+        assert_eq!(bv.match_at(2, 0) & mask4, 0b1011);
+        assert_eq!(bv.match_at(1, 0) & mask4, 0b1111);
+        assert_eq!(bv.match_at(0, 0) & mask4, 0b1111);
+    }
+
+    #[test]
+    fn exact_match_is_distance_zero() {
+        let dc = window_dc::<Dna>(b"ACGTAC", b"ACGT", 4).unwrap();
+        assert_eq!(dc.edit_distance, Some(0));
+        assert_eq!(dc.bitvectors.rows(), 1, "early exit stores only row 0");
+    }
+
+    #[test]
+    fn anchored_semantics_reject_offset_matches() {
+        // Pattern occurs at text offset 2, not at the anchor: the anchored
+        // distance is nonzero even though a semiglobal match is exact.
+        let dc = window_dc::<Dna>(b"GGACGT", b"ACGT", 4).unwrap();
+        assert!(dc.edit_distance.unwrap() > 0);
+    }
+
+    #[test]
+    fn substitution_distance_one() {
+        let dc = window_dc::<Dna>(b"ACGTT", b"AGGT", 4).unwrap();
+        assert_eq!(dc.edit_distance, Some(1));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let dc = window_dc::<Dna>(b"AAAA", b"TTTT", 2).unwrap();
+        assert_eq!(dc.edit_distance, None);
+        let dc = window_dc::<Dna>(b"AAAA", b"TTTT", 4).unwrap();
+        assert_eq!(dc.edit_distance, Some(4));
+    }
+
+    #[test]
+    fn pattern_longer_than_text_uses_insertions() {
+        // Aligning 6 pattern chars against 4 text chars needs >= 2 edits.
+        let dc = window_dc::<Dna>(b"ACGT", b"ACGTGG", 6).unwrap();
+        assert_eq!(dc.edit_distance, Some(2));
+    }
+
+    #[test]
+    fn full_budget_always_finds_alignment() {
+        let dc = window_dc_unbounded::<Dna>(b"T", b"AAAA").unwrap();
+        assert!(dc.edit_distance.is_some());
+        assert!(dc.edit_distance.unwrap() <= 4);
+    }
+
+    #[test]
+    fn stored_words_counts_tb_sram_traffic() {
+        let dc = window_dc::<Dna>(b"ACGTT", b"AGGT", 4).unwrap();
+        // d found = 1: rows 0 and 1; n = 5 → 5 * (1 + 3) = 20 words.
+        assert_eq!(dc.bitvectors.stored_words(), 20);
+    }
+
+    #[test]
+    fn rejects_oversized_window() {
+        let long = vec![b'A'; 65];
+        assert!(matches!(
+            window_dc::<Dna>(&long, &long, 1),
+            Err(AlignError::InvalidWindow { w: 65 })
+        ));
+    }
+}

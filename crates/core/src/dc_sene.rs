@@ -1,0 +1,298 @@
+//! SENE ("store entries, not edges"): a memory-reduced window kernel.
+//!
+//! The baseline GenASM-DC stores three *edge* bitvectors (match,
+//! insertion, deletion) per `(text iteration, distance)` so GenASM-TB
+//! can walk them (§6). But every edge is a pure function of the `R`
+//! *entries* and the pattern bitmask:
+//!
+//! * `match(i, d) = (R[d][i+1] << 1) | PM[text[i]]`
+//! * `insertion(i, d) = R[d-1][i] << 1`
+//! * `deletion(i, d) = R[d-1][i+1]`
+//! * `substitution(i, d) = deletion(i, d) << 1`
+//!
+//! so storing only `R[d][i]` (one word per cell instead of three) and
+//! recomputing the edges during the traceback walk cuts TB-SRAM
+//! capacity and write bandwidth by ~3×. This is the optimization the
+//! GenASM follow-on work (Scrooge, Lindegger et al. 2023) ships as
+//! "SENE"; here it is implemented as an alternative window kernel that
+//! plugs into the same [`window_traceback`](crate::tb::window_traceback)
+//! via [`TracebackSource`] and is tested to produce bit-identical
+//! walks.
+
+use crate::alphabet::Alphabet;
+use crate::error::AlignError;
+use crate::pattern::PatternBitmasks64;
+use crate::tb::TracebackSource;
+
+/// Stored `R` entries of one window plus the per-position pattern
+/// bitmasks needed to recompute the edge bitvectors on the fly.
+#[derive(Debug, Clone)]
+pub struct SeneBitvectors {
+    pattern_len: usize,
+    text_len: usize,
+    /// r_rows[d][i] = R[d] at text iteration i; the boundary state
+    /// R[d][n] is `ones << d` and is synthesized, not stored.
+    r_rows: Vec<Vec<u64>>,
+    /// Pattern bitmask of each text character.
+    text_pm: Vec<u64>,
+}
+
+impl SeneBitvectors {
+    /// The boundary state `R[d][n] = ones << d`.
+    #[inline]
+    fn initial(d: usize) -> u64 {
+        if d < 64 {
+            u64::MAX << d
+        } else {
+            0
+        }
+    }
+
+    /// `R[d][i]`, synthesizing the boundary at `i == text_len`.
+    #[inline]
+    fn r(&self, i: usize, d: usize) -> u64 {
+        if i >= self.text_len {
+            Self::initial(d)
+        } else {
+            self.r_rows[d][i]
+        }
+    }
+
+    /// Number of distance rows stored.
+    pub fn rows(&self) -> usize {
+        self.r_rows.len()
+    }
+
+    /// 64-bit words written to TB-SRAM under SENE: one per cell
+    /// (compare [`WindowBitvectors::stored_words`], which writes one
+    /// word for `d = 0` plus three per gap row).
+    ///
+    /// [`WindowBitvectors::stored_words`]: crate::dc::WindowBitvectors::stored_words
+    pub fn stored_words(&self) -> usize {
+        self.text_len * self.rows()
+    }
+}
+
+impl TracebackSource for SeneBitvectors {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        let matched = (self.r(i + 1, d) << 1) | self.text_pm[i];
+        (matched >> bit) & 1 == 0
+    }
+
+    fn ins_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        if d == 0 {
+            return false;
+        }
+        let insertion = self.r(i, d - 1) << 1;
+        (insertion >> bit) & 1 == 0
+    }
+
+    fn del_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        if d == 0 {
+            return false;
+        }
+        (self.r(i + 1, d - 1) >> bit) & 1 == 0
+    }
+
+    fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        if d == 0 {
+            return false;
+        }
+        // substitution = deletion << 1; bit 0 is the shifted-in 0.
+        bit == 0 || (self.r(i + 1, d - 1) >> (bit - 1)) & 1 == 0
+    }
+}
+
+/// Outcome of the SENE window kernel.
+#[derive(Debug, Clone)]
+pub struct SeneDcWindow {
+    /// Minimum anchored window distance, `None` if over `k_max`.
+    pub edit_distance: Option<usize>,
+    /// Stored entries (and pattern masks) for traceback.
+    pub bitvectors: SeneBitvectors,
+}
+
+/// Runs GenASM-DC on one window storing only the `R` entries.
+///
+/// Functionally identical to [`window_dc`](crate::dc::window_dc) —
+/// same distances, and [`window_traceback`](crate::tb::window_traceback)
+/// over its output produces the same walks — while writing ~3× fewer
+/// words to TB-SRAM.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`](crate::dc::window_dc).
+pub fn window_dc_sene<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+) -> Result<SeneDcWindow, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if pattern.len() > crate::dc::MAX_WINDOW {
+        return Err(AlignError::InvalidWindow { w: pattern.len() });
+    }
+    let pm = PatternBitmasks64::<A>::new(pattern)?;
+    let m = pattern.len();
+    let n = text.len();
+    let msb = 1u64 << (m - 1);
+
+    let mut text_pm = Vec::with_capacity(n);
+    for (i, &byte) in text.iter().enumerate() {
+        match pm.mask(byte) {
+            Some(mask) => text_pm.push(mask),
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
+        }
+    }
+
+    let mut r_rows: Vec<Vec<u64>> = Vec::new();
+    // Row 0.
+    {
+        let mut row0 = vec![0u64; n];
+        let mut r = u64::MAX;
+        for i in (0..n).rev() {
+            r = (r << 1) | text_pm[i];
+            row0[i] = r;
+        }
+        r_rows.push(row0);
+    }
+    let mut edit_distance = if r_rows[0][0] & msb == 0 { Some(0) } else { None };
+
+    if edit_distance.is_none() {
+        for d in 1..=k_max {
+            let init_d = SeneBitvectors::initial(d);
+            let init_dm1 = SeneBitvectors::initial(d - 1);
+            let prev = &r_rows[d - 1];
+            let mut row = vec![0u64; n];
+            let mut r_next = init_d;
+            for i in (0..n).rev() {
+                let old_r_dm1 = if i + 1 < n { prev[i + 1] } else { init_dm1 };
+                let r = old_r_dm1
+                    & (old_r_dm1 << 1)
+                    & (prev[i] << 1)
+                    & ((r_next << 1) | text_pm[i]);
+                row[i] = r;
+                r_next = r;
+            }
+            r_rows.push(row);
+            if r_rows[d][0] & msb == 0 {
+                edit_distance = Some(d);
+                break;
+            }
+        }
+    }
+
+    Ok(SeneDcWindow {
+        edit_distance,
+        bitvectors: SeneBitvectors { pattern_len: m, text_len: n, r_rows, text_pm },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Dna;
+    use crate::dc::window_dc;
+    use crate::tb::{window_traceback, TracebackOrder};
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distances_match_the_edge_storing_kernel() {
+        for seed in 1..20u64 {
+            let text = dna(64, seed);
+            let mut pattern = text.clone();
+            let p = (seed as usize * 7) % 60;
+            pattern[p] = if pattern[p] == b'A' { b'C' } else { b'A' };
+            if seed % 2 == 0 {
+                pattern.remove((p + 20) % 55);
+            }
+            let edges = window_dc::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            let sene = window_dc_sene::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            assert_eq!(edges.edit_distance, sene.edit_distance, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn tracebacks_are_bit_identical() {
+        for seed in 1..20u64 {
+            let text = dna(60, seed.wrapping_mul(97));
+            let mut pattern = text.clone();
+            let p = (seed as usize * 11) % 50;
+            pattern[p] = if pattern[p] == b'G' { b'T' } else { b'G' };
+            pattern.insert((p + 30) % 55, b'A');
+
+            let edges = window_dc::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            let sene = window_dc_sene::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            let d = edges.edit_distance.unwrap();
+            for order in [TracebackOrder::affine(), TracebackOrder::unit()] {
+                let walk_edges =
+                    window_traceback(&edges.bitvectors, d, usize::MAX, &order).unwrap();
+                let walk_sene = window_traceback(&sene.bitvectors, d, usize::MAX, &order).unwrap();
+                assert_eq!(walk_edges.ops, walk_sene.ops, "seed={seed} {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure6_examples_reproduce_under_sene() {
+        let walks: [(&[u8], &str); 3] =
+            [(b"CGTGA", "1=1D3="), (b"GTGA", "1X3="), (b"TGA", "1I3=")];
+        for (text, expected) in walks {
+            let sene = window_dc_sene::<Dna>(text, b"CTGA", 4).unwrap();
+            let d = sene.edit_distance.unwrap();
+            let tb = window_traceback(&sene.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                .unwrap();
+            let cigar: crate::cigar::Cigar = tb.ops.iter().copied().collect();
+            assert_eq!(cigar.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn sene_stores_about_three_times_fewer_words() {
+        let text = dna(64, 5);
+        let mut pattern = text.clone();
+        for p in [10usize, 30, 50] {
+            pattern[p] = if pattern[p] == b'A' { b'C' } else { b'A' };
+        }
+        let edges = window_dc::<Dna>(&text, &pattern, pattern.len()).unwrap();
+        let sene = window_dc_sene::<Dna>(&text, &pattern, pattern.len()).unwrap();
+        let edge_words = edges.bitvectors.stored_words();
+        let sene_words = sene.bitvectors.stored_words();
+        assert!(sene_words * 2 < edge_words, "sene {sene_words} vs edges {edge_words}");
+        // Asymptotically (many rows): 3x + the d=0 row.
+        let rows = sene.bitvectors.rows();
+        assert_eq!(sene_words, 64 * rows);
+        assert_eq!(edge_words, 64 * (1 + 3 * (rows - 1)));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_like_the_base_kernel() {
+        assert!(window_dc_sene::<Dna>(b"", b"ACGT", 2).is_err());
+        assert!(window_dc_sene::<Dna>(b"ACGT", b"", 2).is_err());
+        let long = vec![b'A'; 65];
+        assert!(window_dc_sene::<Dna>(&long, &long, 2).is_err());
+    }
+}

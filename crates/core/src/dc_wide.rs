@@ -1,0 +1,286 @@
+//! Wide-window GenASM-DC: windows larger than the 64-bit machine word.
+//!
+//! The paper's evaluated configuration uses `W = 64` so every bitvector
+//! fits one PE word, but `W` is an architectural parameter — a wider
+//! window trades TB-SRAM capacity and per-window cycles for accuracy
+//! on long indels (§6's divide-and-conquer analysis is parameterized
+//! by `W` throughout). This module implements the window kernel for
+//! arbitrary `W` using multi-word bitvectors ([`BitVector`], the same
+//! §5 "Long Read Support" machinery as multi-word Bitap), storing the
+//! match/insertion/deletion bitvectors per `(text iteration, distance)`
+//! for the traceback walk.
+//!
+//! The wide kernel is exercised through
+//! [`GenAsmConfig`](crate::align::GenAsmConfig) by setting
+//! `window > 64`; results agree bit-for-bit with the single-word kernel
+//! wherever both apply (see the equivalence tests).
+
+use crate::alphabet::Alphabet;
+use crate::bitvec::BitVector;
+use crate::error::AlignError;
+use crate::pattern::PatternBitmasks;
+use crate::tb::TracebackSource;
+
+/// Upper bound on the wide-kernel window size (keeps per-window memory
+/// `W² · 3 · W` bits within tens of megabytes).
+pub const MAX_WIDE_WINDOW: usize = 1024;
+
+/// Intermediate bitvectors of one wide window.
+#[derive(Debug, Clone)]
+pub struct WideWindowBitvectors {
+    pattern_len: usize,
+    text_len: usize,
+    match_rows: Vec<Vec<BitVector>>,
+    ins_rows: Vec<Vec<BitVector>>,
+    del_rows: Vec<Vec<BitVector>>,
+}
+
+impl WideWindowBitvectors {
+    /// Number of distance rows stored.
+    pub fn rows(&self) -> usize {
+        self.match_rows.len()
+    }
+
+    /// Number of 64-bit words written for this window (TB-SRAM traffic
+    /// of the hypothetical wide configuration).
+    pub fn stored_words(&self) -> usize {
+        let words = self.pattern_len.div_ceil(64);
+        let gap_rows = self.rows().saturating_sub(1);
+        self.text_len * words * (1 + 3 * gap_rows)
+    }
+}
+
+impl TracebackSource for WideWindowBitvectors {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        !self.match_rows[d][i].bit(bit)
+    }
+
+    fn ins_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        d > 0 && !self.ins_rows[d][i].bit(bit)
+    }
+
+    fn del_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        d > 0 && !self.del_rows[d][i].bit(bit)
+    }
+
+    fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        // Substitution = deletion << 1: bit `b` of the shifted vector
+        // is bit `b - 1` of the stored deletion vector; bit 0 is the
+        // shifted-in 0 (substituting the last pattern character is
+        // always a valid chain start).
+        d > 0 && (bit == 0 || !self.del_rows[d][i].bit(bit - 1))
+    }
+}
+
+/// Outcome of the wide-window DC kernel.
+#[derive(Debug, Clone)]
+pub struct WideDcWindow {
+    /// Minimum anchored window distance, `None` if over `k_max`.
+    pub edit_distance: Option<usize>,
+    /// Stored bitvectors for traceback.
+    pub bitvectors: WideWindowBitvectors,
+}
+
+/// Runs GenASM-DC on one window of arbitrary width (up to
+/// [`MAX_WIDE_WINDOW`]), anchored at the start of `text`.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`](crate::dc::window_dc), with the
+/// size limit raised to [`MAX_WIDE_WINDOW`].
+pub fn window_dc_wide<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+) -> Result<WideDcWindow, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if pattern.len() > MAX_WIDE_WINDOW {
+        return Err(AlignError::InvalidWindow { w: pattern.len() });
+    }
+    let pm = PatternBitmasks::<A>::new(pattern)?;
+    let m = pattern.len();
+    let n = text.len();
+
+    let mut text_pm: Vec<&BitVector> = Vec::with_capacity(n);
+    for (i, &byte) in text.iter().enumerate() {
+        match pm.mask(byte) {
+            Some(mask) => text_pm.push(mask),
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
+        }
+    }
+
+    let mut match_rows: Vec<Vec<BitVector>> = Vec::new();
+    let mut ins_rows: Vec<Vec<BitVector>> = Vec::new();
+    let mut del_rows: Vec<Vec<BitVector>> = Vec::new();
+
+    // Row 0.
+    let mut prev_row: Vec<BitVector>;
+    {
+        let mut r = BitVector::ones(m);
+        let mut row0 = vec![BitVector::zeros(m); n];
+        for i in (0..n).rev() {
+            let mut next = BitVector::zeros(m);
+            r.shl1_or_into(text_pm[i], &mut next);
+            r = next;
+            row0[i] = r.clone();
+        }
+        match_rows.push(row0.clone());
+        ins_rows.push(Vec::new());
+        del_rows.push(Vec::new());
+        prev_row = row0;
+    }
+    let mut edit_distance = if !prev_row[0].msb() { Some(0) } else { None };
+
+    if edit_distance.is_none() {
+        let mut scratch = BitVector::zeros(m);
+        for d in 1..=k_max {
+            let init_d = BitVector::ones_shl(m, d);
+            let init_dm1 = BitVector::ones_shl(m, d - 1);
+            let mut match_row = vec![BitVector::zeros(m); n];
+            let mut ins_row = vec![BitVector::zeros(m); n];
+            let mut del_row = vec![BitVector::zeros(m); n];
+            let mut cur_row = vec![BitVector::zeros(m); n];
+            let mut r_next = init_d.clone();
+            for i in (0..n).rev() {
+                let old_r_dm1 = if i + 1 < n { &prev_row[i + 1] } else { &init_dm1 };
+                // match = (oldR[d] << 1) | PM
+                let mut matched = BitVector::zeros(m);
+                r_next.shl1_or_into(text_pm[i], &mut matched);
+                // insertion = R[d-1][i] << 1
+                let mut insertion = BitVector::zeros(m);
+                prev_row[i].shl1_into(&mut insertion);
+                // R[d] = D & S & I & M
+                let mut r = matched.clone();
+                r.and_assign(&insertion);
+                old_r_dm1.shl1_into(&mut scratch); // substitution
+                r.and_assign(&scratch);
+                r.and_assign(old_r_dm1); // deletion
+                match_row[i] = matched;
+                ins_row[i] = insertion;
+                del_row[i] = old_r_dm1.clone();
+                r_next = r.clone();
+                cur_row[i] = r;
+            }
+            match_rows.push(match_row);
+            ins_rows.push(ins_row);
+            del_rows.push(del_row);
+            prev_row = cur_row;
+            if !prev_row[0].msb() {
+                edit_distance = Some(d);
+                break;
+            }
+        }
+    }
+
+    Ok(WideDcWindow {
+        edit_distance,
+        bitvectors: WideWindowBitvectors {
+            pattern_len: m,
+            text_len: n,
+            match_rows,
+            ins_rows,
+            del_rows,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Dna;
+    use crate::cigar::Cigar;
+    use crate::dc::window_dc;
+    use crate::tb::{window_traceback, TracebackOrder};
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_single_word_kernel_for_small_windows() {
+        for seed in 1..6u64 {
+            let text = dna(60, seed);
+            let mut pattern = text.clone();
+            pattern[20] = if pattern[20] == b'A' { b'C' } else { b'A' };
+            pattern.remove(40);
+            let narrow = window_dc::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            let wide = window_dc_wide::<Dna>(&text, &pattern, pattern.len()).unwrap();
+            assert_eq!(narrow.edit_distance, wide.edit_distance, "seed={seed}");
+            let d = narrow.edit_distance.unwrap();
+            let tb_narrow =
+                window_traceback(&narrow.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                    .unwrap();
+            let tb_wide =
+                window_traceback(&wide.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                    .unwrap();
+            assert_eq!(tb_narrow.ops, tb_wide.ops, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn wide_window_handles_128_character_patterns() {
+        let text = dna(140, 9);
+        let mut pattern = text[..128].to_vec();
+        pattern[60] = if pattern[60] == b'A' { b'G' } else { b'A' };
+        pattern.insert(100, b'T');
+        let dc = window_dc_wide::<Dna>(&text, &pattern, 16).unwrap();
+        let d = dc.edit_distance.expect("alignment exists");
+        assert_eq!(d, 2);
+        let tb =
+            window_traceback(&dc.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+        let cigar: Cigar = tb.ops.iter().copied().collect();
+        assert!(cigar.validates(&text[..tb.text_consumed], &pattern));
+        assert_eq!(cigar.edit_distance(), 2);
+    }
+
+    #[test]
+    fn figure3_example_on_wide_kernel() {
+        let dc = window_dc_wide::<Dna>(b"CGTGA", b"CTGA", 4).unwrap();
+        assert_eq!(dc.edit_distance, Some(1));
+        let tb = window_traceback(&dc.bitvectors, 1, usize::MAX, &TracebackOrder::affine())
+            .unwrap();
+        let cigar: Cigar = tb.ops.iter().copied().collect();
+        assert_eq!(cigar.to_string(), "1=1D3=");
+    }
+
+    #[test]
+    fn rejects_oversized_window() {
+        let big = vec![b'A'; MAX_WIDE_WINDOW + 1];
+        assert!(matches!(
+            window_dc_wide::<Dna>(&big, &big, 1),
+            Err(AlignError::InvalidWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn stored_words_scale_with_width() {
+        let text = dna(128, 3);
+        let mut pattern = text.clone();
+        pattern[64] = if pattern[64] == b'A' { b'C' } else { b'A' };
+        let dc = window_dc_wide::<Dna>(&text, &pattern, 8).unwrap();
+        // 2 words per bitvector at 128 bits.
+        let rows = dc.bitvectors.rows();
+        assert_eq!(dc.bitvectors.stored_words(), 128 * 2 * (1 + 3 * (rows - 1)));
+    }
+}

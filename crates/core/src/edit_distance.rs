@@ -1,0 +1,162 @@
+//! Use case 3: edit distance calculation (§8, §10.4 of the paper).
+//!
+//! Edit (Levenshtein) distance is the minimum number of substitutions,
+//! insertions, and deletions required to convert one sequence into
+//! another. Bitap was originally designed for this problem; GenASM
+//! accelerates it for sequences of *arbitrary* length through the
+//! divide-and-conquer windowing. As in the paper, "GenASM-DC and
+//! GenASM-TB work together to find the minimum edit distance ... but
+//! the traceback output is not generated or reported by default
+//! (though it can optionally be enabled)".
+
+use crate::align::{Alignment, GenAsmAligner, GenAsmConfig};
+use crate::alphabet::Alphabet;
+use crate::error::AlignError;
+
+/// Edit-distance calculator over the GenASM windowing machinery.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::edit_distance::EditDistanceCalculator;
+///
+/// # fn main() -> Result<(), genasm_core::error::AlignError> {
+/// let calc = EditDistanceCalculator::default();
+/// assert_eq!(calc.distance(b"ACGTACGT", b"ACGTCCGT")?, 1);
+/// assert_eq!(calc.distance(b"ACGT", b"ACGT")?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EditDistanceCalculator {
+    aligner: GenAsmAligner,
+}
+
+impl Default for EditDistanceCalculator {
+    /// The paper's window configuration in global mode.
+    fn default() -> Self {
+        EditDistanceCalculator::new(GenAsmConfig::default())
+    }
+}
+
+impl EditDistanceCalculator {
+    /// Creates a calculator with the given window configuration. The
+    /// configuration is forced into [`AlignmentMode::Global`]: edit
+    /// distance is a global measure.
+    ///
+    /// [`AlignmentMode::Global`]: crate::align::AlignmentMode::Global
+    pub fn new(config: GenAsmConfig) -> Self {
+        let config = config.with_mode(crate::align::AlignmentMode::Global);
+        EditDistanceCalculator { aligner: GenAsmAligner::new(config) }
+    }
+
+    /// The edit distance between `a` (treated as the text) and `b`
+    /// (treated as the pattern), including the cost of any text suffix
+    /// left unconsumed by the windowed alignment (global semantics).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`].
+    pub fn distance(&self, a: &[u8], b: &[u8]) -> Result<usize, AlignError> {
+        Ok(self.alignment(a, b)?.edit_distance)
+    }
+
+    /// [`distance`](Self::distance) over an arbitrary alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`].
+    pub fn distance_with_alphabet<A: Alphabet>(&self, a: &[u8], b: &[u8]) -> Result<usize, AlignError> {
+        Ok(self.alignment_with_alphabet::<A>(a, b)?.edit_distance)
+    }
+
+    /// The full alignment (optional traceback output of the use case),
+    /// with global semantics: a text suffix not covered by the pattern
+    /// is appended as deletions.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`].
+    pub fn alignment(&self, a: &[u8], b: &[u8]) -> Result<Alignment, AlignError> {
+        self.alignment_with_alphabet::<crate::alphabet::Dna>(a, b)
+    }
+
+    /// [`alignment`](Self::alignment) over an arbitrary alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`].
+    pub fn alignment_with_alphabet<A: Alphabet>(
+        &self,
+        a: &[u8],
+        b: &[u8],
+    ) -> Result<Alignment, AlignError> {
+        let mut alignment = self.aligner.align_with_alphabet::<A>(a, b)?;
+        // Global (NW) semantics: both sequences must be fully consumed.
+        if alignment.text_consumed < a.len() {
+            let tail = (a.len() - alignment.text_consumed) as u32;
+            alignment.cigar.push_run(crate::cigar::CigarOp::Del, tail);
+            alignment.edit_distance += tail as usize;
+            alignment.text_consumed = a.len();
+        }
+        Ok(alignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calc() -> EditDistanceCalculator {
+        EditDistanceCalculator::default()
+    }
+
+    #[test]
+    fn identical_sequences_are_distance_zero() {
+        let s: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(1000).collect();
+        assert_eq!(calc().distance(&s, &s).unwrap(), 0);
+    }
+
+    #[test]
+    fn known_small_distances() {
+        assert_eq!(calc().distance(b"ACGT", b"ACGT").unwrap(), 0);
+        assert_eq!(calc().distance(b"ACGT", b"ACCT").unwrap(), 1);
+        assert_eq!(calc().distance(b"ACGT", b"ACT").unwrap(), 1);
+        assert_eq!(calc().distance(b"ACT", b"ACGT").unwrap(), 1);
+        assert_eq!(calc().distance(b"AAAA", b"TTTT").unwrap(), 4);
+    }
+
+    #[test]
+    fn global_semantics_charge_unconsumed_text() {
+        // Pattern is a strict prefix of the text: the 4 trailing text
+        // characters count as deletions under global semantics.
+        assert_eq!(calc().distance(b"ACGTACGT", b"ACGT").unwrap(), 4);
+    }
+
+    #[test]
+    fn asymmetric_lengths_both_directions() {
+        let a: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(500).collect();
+        let mut b = a.clone();
+        b.truncate(490); // drop 10 chars at the end
+        assert_eq!(calc().distance(&a, &b).unwrap(), 10);
+        assert_eq!(calc().distance(&b, &a).unwrap(), 10);
+    }
+
+    #[test]
+    fn alignment_cigar_is_global() {
+        let alignment = calc().alignment(b"ACGTACGT", b"ACGT").unwrap();
+        assert_eq!(alignment.cigar.text_len(), 8);
+        assert_eq!(alignment.cigar.pattern_len(), 4);
+    }
+
+    #[test]
+    fn long_sequences_with_scattered_errors() {
+        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(2000).collect();
+        let mut b = a.clone();
+        // Three substitutions far apart.
+        for &pos in &[100usize, 900, 1700] {
+            b[pos] = if b[pos] == b'A' { b'C' } else { b'A' };
+        }
+        assert_eq!(calc().distance(&a, &b).unwrap(), 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types shared by the GenASM core algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by alignment, filtering, and edit-distance entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AlignError {
+    /// The query pattern was empty.
+    EmptyPattern,
+    /// The reference text was empty.
+    EmptyText,
+    /// A sequence contained a byte outside the configured alphabet.
+    InvalidSymbol {
+        /// Offset of the offending byte within its sequence.
+        pos: usize,
+        /// The offending byte value.
+        byte: u8,
+    },
+    /// The configured window size is invalid (zero, or larger than the
+    /// bit width supported by the window kernel).
+    InvalidWindow {
+        /// The rejected window size.
+        w: usize,
+    },
+    /// The configured overlap does not leave room for forward progress
+    /// (`O` must be strictly smaller than `W`).
+    InvalidOverlap {
+        /// The rejected overlap.
+        o: usize,
+        /// The window size it was paired with.
+        w: usize,
+    },
+    /// No alignment was found within the configured per-window error
+    /// budget.
+    ExceededErrorBudget {
+        /// The per-window error budget that was exhausted.
+        budget: usize,
+    },
+    /// The edit-distance threshold exceeds what the kernel supports.
+    ThresholdTooLarge {
+        /// The rejected threshold.
+        k: usize,
+        /// The maximum supported value.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AlignError::EmptyPattern => write!(f, "query pattern is empty"),
+            AlignError::EmptyText => write!(f, "reference text is empty"),
+            AlignError::InvalidSymbol { pos, byte } => {
+                write!(f, "invalid symbol 0x{byte:02x} at position {pos}")
+            }
+            AlignError::InvalidWindow { w } => {
+                write!(f, "invalid window size {w}")
+            }
+            AlignError::InvalidOverlap { o, w } => {
+                write!(f, "overlap {o} is not smaller than window size {w}")
+            }
+            AlignError::ExceededErrorBudget { budget } => {
+                write!(f, "no alignment found within the per-window error budget {budget}")
+            }
+            AlignError::ThresholdTooLarge { k, max } => {
+                write!(f, "edit distance threshold {k} exceeds the supported maximum {max}")
+            }
+        }
+    }
+}
+
+impl Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            AlignError::EmptyPattern,
+            AlignError::EmptyText,
+            AlignError::InvalidSymbol { pos: 3, byte: b'N' },
+            AlignError::InvalidWindow { w: 0 },
+            AlignError::InvalidOverlap { o: 64, w: 64 },
+            AlignError::ExceededErrorBudget { budget: 10 },
+            AlignError::ThresholdTooLarge { k: 100, max: 63 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignError>();
+    }
+}

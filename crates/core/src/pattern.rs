@@ -1,0 +1,234 @@
+//! Pattern-bitmask pre-processing (Algorithm 1, line 4).
+//!
+//! For each symbol `a` of the alphabet, the pre-processing step builds an
+//! `m`-bit mask `PM[a]` with `PM[a][j] = 0` iff the pattern character at
+//! the position tracked by bit `j` equals `a`. Because the most
+//! significant bit tracks the *first* pattern character, bit
+//! `m - 1 - i` corresponds to `pattern[i]` — this matches the worked
+//! example of Figure 3 (`pattern = CTGA` gives `PM(A) = 1110`, the `0`
+//! in the LSB marking the trailing `A`).
+
+use crate::alphabet::Alphabet;
+use crate::bitvec::BitVector;
+use crate::error::AlignError;
+use std::marker::PhantomData;
+
+/// Multi-word pattern bitmasks for an arbitrary-length pattern.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::pattern::PatternBitmasks;
+/// use genasm_core::alphabet::Dna;
+///
+/// # fn main() -> Result<(), genasm_core::error::AlignError> {
+/// let pm = PatternBitmasks::<Dna>::new(b"CTGA")?;
+/// // Figure 3 of the paper: PM(A) = 1110.
+/// assert_eq!(format!("{:b}", pm.mask(b'A').unwrap()), "1110");
+/// assert_eq!(format!("{:b}", pm.mask(b'C').unwrap()), "0111");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PatternBitmasks<A: Alphabet> {
+    masks: Vec<BitVector>,
+    len: usize,
+    _alphabet: PhantomData<A>,
+}
+
+impl<A: Alphabet> PatternBitmasks<A> {
+    /// Pre-processes `pattern` into one bitmask per alphabet symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::EmptyPattern`] for an empty pattern and
+    /// [`AlignError::InvalidSymbol`] if a byte is outside the alphabet.
+    pub fn new(pattern: &[u8]) -> Result<Self, AlignError> {
+        if pattern.is_empty() {
+            return Err(AlignError::EmptyPattern);
+        }
+        let m = pattern.len();
+        let mut masks = vec![BitVector::ones(m); A::SIZE];
+        for (i, &byte) in pattern.iter().enumerate() {
+            let sym = A::index_at(byte, i)?;
+            masks[sym].clear_bit(m - 1 - i);
+        }
+        Ok(PatternBitmasks { masks, len: m, _alphabet: PhantomData })
+    }
+
+    /// Pattern length in characters (== bitmask width in bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the pattern was empty (never: construction rejects it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bitmask for input byte `byte`, or `None` when the byte is
+    /// outside the alphabet.
+    #[inline]
+    pub fn mask(&self, byte: u8) -> Option<&BitVector> {
+        A::index(byte).map(|sym| &self.masks[sym])
+    }
+
+    /// The bitmask for dense symbol index `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym >= A::SIZE`.
+    #[inline]
+    pub fn mask_by_index(&self, sym: usize) -> &BitVector {
+        &self.masks[sym]
+    }
+}
+
+/// Single-word (`m <= 64`) pattern bitmasks — the hot path used by the
+/// window kernel, where the window size `W = 64` keeps every bitvector
+/// in one machine word.
+///
+/// Bit `m - 1 - i` corresponds to `pattern[i]`; bits at and above `m`
+/// are kept set so they never spuriously signal a match.
+#[derive(Debug, Clone)]
+pub struct PatternBitmasks64<A: Alphabet> {
+    masks: Vec<u64>,
+    len: usize,
+    _alphabet: PhantomData<A>,
+}
+
+impl<A: Alphabet> PatternBitmasks64<A> {
+    /// Pre-processes `pattern` (at most 64 characters) into one `u64`
+    /// mask per alphabet symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlignError::EmptyPattern`] for an empty pattern,
+    /// [`AlignError::InvalidWindow`] when the pattern exceeds 64
+    /// characters, and [`AlignError::InvalidSymbol`] for bytes outside
+    /// the alphabet.
+    pub fn new(pattern: &[u8]) -> Result<Self, AlignError> {
+        if pattern.is_empty() {
+            return Err(AlignError::EmptyPattern);
+        }
+        let m = pattern.len();
+        if m > 64 {
+            return Err(AlignError::InvalidWindow { w: m });
+        }
+        let mut masks = vec![u64::MAX; A::SIZE];
+        for (i, &byte) in pattern.iter().enumerate() {
+            let sym = A::index_at(byte, i)?;
+            masks[sym] &= !(1u64 << (m - 1 - i));
+        }
+        Ok(PatternBitmasks64 { masks, len: m, _alphabet: PhantomData })
+    }
+
+    /// Pattern length in characters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the pattern was empty (never: construction rejects it).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mask for input byte `byte`, or `None` when outside the
+    /// alphabet.
+    #[inline]
+    pub fn mask(&self, byte: u8) -> Option<u64> {
+        A::index(byte).map(|sym| self.masks[sym])
+    }
+
+    /// The mask for dense symbol index `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym >= A::SIZE`.
+    #[inline]
+    pub fn mask_by_index(&self, sym: usize) -> u64 {
+        self.masks[sym]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{Ascii, Dna, Protein};
+
+    /// The worked example of Figure 3: pattern `CTGA`.
+    #[test]
+    fn figure3_pattern_bitmasks() {
+        let pm = PatternBitmasks::<Dna>::new(b"CTGA").unwrap();
+        assert_eq!(format!("{:b}", pm.mask(b'A').unwrap()), "1110");
+        assert_eq!(format!("{:b}", pm.mask(b'C').unwrap()), "0111");
+        assert_eq!(format!("{:b}", pm.mask(b'G').unwrap()), "1101");
+        assert_eq!(format!("{:b}", pm.mask(b'T').unwrap()), "1011");
+    }
+
+    #[test]
+    fn figure3_pattern_bitmasks_single_word() {
+        let pm = PatternBitmasks64::<Dna>::new(b"CTGA").unwrap();
+        // Low 4 bits carry the mask; upper bits stay set.
+        assert_eq!(pm.mask(b'A').unwrap() & 0xF, 0b1110);
+        assert_eq!(pm.mask(b'C').unwrap() & 0xF, 0b0111);
+        assert_eq!(pm.mask(b'G').unwrap() & 0xF, 0b1101);
+        assert_eq!(pm.mask(b'T').unwrap() & 0xF, 0b1011);
+        assert_eq!(pm.mask(b'A').unwrap() >> 4, u64::MAX >> 4);
+    }
+
+    #[test]
+    fn multiword_and_singleword_agree() {
+        let pattern = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT";
+        let multi = PatternBitmasks::<Dna>::new(pattern).unwrap();
+        let single = PatternBitmasks64::<Dna>::new(pattern).unwrap();
+        for &c in b"ACGT" {
+            let bv = multi.mask(c).unwrap();
+            let w = single.mask(c).unwrap();
+            for j in 0..pattern.len() {
+                assert_eq!(bv.bit(j), (w >> j) & 1 == 1, "symbol {c} bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_pattern_spans_words() {
+        let pattern: Vec<u8> = std::iter::repeat(*b"ACGT").flatten().take(200).collect();
+        let pm = PatternBitmasks::<Dna>::new(&pattern).unwrap();
+        let m = pattern.len();
+        for (i, &b) in pattern.iter().enumerate() {
+            assert!(!pm.mask(b).unwrap().bit(m - 1 - i), "pattern[{i}] must clear its bit");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        assert!(matches!(
+            PatternBitmasks::<Dna>::new(b""),
+            Err(AlignError::EmptyPattern)
+        ));
+        let long = vec![b'A'; 65];
+        assert!(matches!(
+            PatternBitmasks64::<Dna>::new(&long),
+            Err(AlignError::InvalidWindow { w: 65 })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_symbol_with_position() {
+        let err = PatternBitmasks::<Dna>::new(b"ACXGT").unwrap_err();
+        assert_eq!(err, AlignError::InvalidSymbol { pos: 2, byte: b'X' });
+    }
+
+    #[test]
+    fn protein_and_ascii_alphabets_preprocess() {
+        let pm = PatternBitmasks::<Protein>::new(b"MKWV").unwrap();
+        assert!(!pm.mask(b'M').unwrap().bit(3));
+        let pm = PatternBitmasks::<Ascii>::new(b"hello world").unwrap();
+        assert!(!pm.mask(b' ').unwrap().bit(5));
+    }
+}

@@ -1,0 +1,188 @@
+//! Alignment scoring schemes.
+//!
+//! GenASM-TB natively minimizes *edit distance* and provides partial
+//! support for more complex schemes by reordering its traceback case
+//! checks (§6, "Partial Support for Complex Scoring Schemes"). The
+//! accuracy study of §10.2 recomputes an affine-gap score from the
+//! produced CIGAR using the baseline tools' scoring parameters; this
+//! module provides those parameters and the rescoring function.
+
+use crate::cigar::{Cigar, CigarOp};
+
+/// Affine-gap scoring parameters: `score = matches * match_score +
+/// substitutions * mismatch + gaps_opened * gap_open +
+/// gap_characters * gap_extend`.
+///
+/// Penalties are expressed as (typically negative) score contributions,
+/// matching the conventions of BWA-MEM and Minimap2. Under the affine
+/// model used by both tools, a gap of length `L` costs
+/// `gap_open + L * gap_extend`.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_core::scoring::Scoring;
+///
+/// let scoring = Scoring::bwa_mem();
+/// let cigar = "10=1X2I".parse().unwrap();
+/// // 10 matches, 1 substitution, one 2-long insertion:
+/// assert_eq!(scoring.score_cigar(&cigar), 10 * 1 - 4 - 6 - 2 * 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scoring {
+    /// Score contribution of one matching character (positive).
+    pub match_score: i32,
+    /// Score contribution of one substitution (negative).
+    pub mismatch: i32,
+    /// Score contribution of opening a gap (negative), charged once per
+    /// contiguous run of insertions or deletions.
+    pub gap_open: i32,
+    /// Score contribution of each gap character (negative), charged for
+    /// every inserted or deleted character including the first.
+    pub gap_extend: i32,
+}
+
+impl Scoring {
+    /// Creates a scoring scheme from explicit parameters.
+    pub fn new(match_score: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> Self {
+        Scoring { match_score, mismatch, gap_open, gap_extend }
+    }
+
+    /// Unit-cost edit distance as a score: match `0`, every edit `-1`,
+    /// no gap-open charge. Maximizing this score minimizes edit
+    /// distance.
+    pub fn unit() -> Self {
+        Scoring { match_score: 0, mismatch: -1, gap_open: 0, gap_extend: -1 }
+    }
+
+    /// BWA-MEM's default short-read scoring (§10.2): match `+1`,
+    /// substitution `-4`, gap opening `-6`, gap extension `-1`.
+    pub fn bwa_mem() -> Self {
+        Scoring { match_score: 1, mismatch: -4, gap_open: -6, gap_extend: -1 }
+    }
+
+    /// Minimap2's default long-read scoring (§10.2): match `+2`,
+    /// substitution `-4`, gap opening `-4`, gap extension `-2`.
+    pub fn minimap2() -> Self {
+        Scoring { match_score: 2, mismatch: -4, gap_open: -4, gap_extend: -2 }
+    }
+
+    /// `true` when substitutions cost more than opening a gap, in which
+    /// case the traceback should check gap-open cases before the
+    /// substitution case (§6).
+    pub fn prefers_gaps_over_substitutions(&self) -> bool {
+        self.mismatch < self.gap_open + self.gap_extend
+    }
+
+    /// Scores a CIGAR under this scheme with affine gap costs.
+    pub fn score_cigar(&self, cigar: &Cigar) -> i64 {
+        let mut score = 0i64;
+        let mut prev_gap: Option<CigarOp> = None;
+        for &(op, len) in cigar.runs() {
+            let len = len as i64;
+            match op {
+                CigarOp::Match => {
+                    score += len * self.match_score as i64;
+                    prev_gap = None;
+                }
+                CigarOp::Subst => {
+                    score += len * self.mismatch as i64;
+                    prev_gap = None;
+                }
+                CigarOp::Ins | CigarOp::Del => {
+                    // A run that continues the same gap type (possible
+                    // across window seams before coalescing) does not
+                    // reopen the gap; `Cigar` coalesces runs, so each
+                    // run here is a fresh gap unless tracked otherwise.
+                    if prev_gap != Some(op) {
+                        score += self.gap_open as i64;
+                    }
+                    score += len * self.gap_extend as i64;
+                    prev_gap = Some(op);
+                }
+            }
+        }
+        score
+    }
+
+    /// Scores a pair of explicit alignment rows (text row and pattern
+    /// row with `-` for gaps), mainly for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different lengths or a column has two
+    /// gaps.
+    pub fn score_rows(&self, text_row: &[u8], pattern_row: &[u8]) -> i64 {
+        assert_eq!(text_row.len(), pattern_row.len(), "row length mismatch");
+        let mut cigar = Cigar::new();
+        for (&t, &p) in text_row.iter().zip(pattern_row.iter()) {
+            let op = match (t, p) {
+                (b'-', b'-') => panic!("column with two gaps"),
+                (b'-', _) => CigarOp::Ins,
+                (_, b'-') => CigarOp::Del,
+                (t, p) if t.eq_ignore_ascii_case(&p) => CigarOp::Match,
+                _ => CigarOp::Subst,
+            };
+            cigar.push(op);
+        }
+        self.score_cigar(&cigar)
+    }
+}
+
+impl Default for Scoring {
+    /// The unit-cost (edit distance) scheme.
+    fn default() -> Self {
+        Scoring::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_score_is_negated_edit_distance() {
+        let scoring = Scoring::unit();
+        let cigar: Cigar = "10=2X3I1D".parse().unwrap();
+        assert_eq!(scoring.score_cigar(&cigar), -(cigar.edit_distance() as i64));
+    }
+
+    #[test]
+    fn affine_gap_charges_open_once_per_run() {
+        let scoring = Scoring::new(0, 0, -5, -1);
+        let one_long_gap: Cigar = "3I".parse().unwrap();
+        let three_gaps: Cigar = "1I1=1I1=1I".parse().unwrap();
+        assert_eq!(scoring.score_cigar(&one_long_gap), -5 - 3);
+        assert_eq!(scoring.score_cigar(&three_gaps), 3 * (-5 - 1));
+    }
+
+    #[test]
+    fn bwa_and_minimap_presets_match_paper() {
+        let b = Scoring::bwa_mem();
+        assert_eq!((b.match_score, b.mismatch, b.gap_open, b.gap_extend), (1, -4, -6, -1));
+        let m = Scoring::minimap2();
+        assert_eq!((m.match_score, m.mismatch, m.gap_open, m.gap_extend), (2, -4, -4, -2));
+    }
+
+    #[test]
+    fn adjacent_ins_del_each_open_a_gap() {
+        let scoring = Scoring::new(0, 0, -5, -1);
+        let cigar: Cigar = "2I2D".parse().unwrap();
+        assert_eq!(scoring.score_cigar(&cigar), 2 * -5 + -4);
+    }
+
+    #[test]
+    fn score_rows_agrees_with_score_cigar() {
+        let scoring = Scoring::bwa_mem();
+        // ACG-T vs ACGGA: 3 matches, 1 insertion, 1 subst.
+        let by_rows = scoring.score_rows(b"ACG-T", b"ACGGA");
+        let cigar: Cigar = "3=1I1X".parse().unwrap();
+        assert_eq!(by_rows, scoring.score_cigar(&cigar));
+    }
+
+    #[test]
+    fn gap_preference_flag() {
+        assert!(Scoring::new(1, -10, -2, -1).prefers_gaps_over_substitutions());
+        assert!(!Scoring::bwa_mem().prefers_gaps_over_substitutions());
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests of the §6 scoring-scheme support: the traceback
+//! case order changes which optimal-distance alignment is reported,
+//! and the right order improves the affine score.
+
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::cigar::CigarOp;
+use genasm_core::scoring::Scoring;
+use genasm_core::tb::{TracebackCase, TracebackOrder};
+
+fn aligner_with(order: TracebackOrder) -> GenAsmAligner {
+    GenAsmAligner::new(GenAsmConfig::default().with_order(order))
+}
+
+#[test]
+fn all_preset_orders_produce_valid_minimum_distance_alignments() {
+    let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(300).collect();
+    let mut pattern = text.clone();
+    pattern[60] = if pattern[60] == b'A' { b'C' } else { b'A' };
+    pattern.remove(150);
+    pattern.insert(220, b'T');
+
+    for order in [TracebackOrder::affine(), TracebackOrder::unit(), TracebackOrder::subs_last()] {
+        let a = aligner_with(order.clone()).align(&text, &pattern).unwrap();
+        assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "{order:?}");
+        assert_eq!(a.edit_distance, 3, "{order:?}");
+    }
+}
+
+#[test]
+fn affine_order_coalesces_gaps_where_unit_order_may_not() {
+    // A 3-long insertion inside a repetitive context: the affine order
+    // must emit one insertion run.
+    let text: Vec<u8> = b"ACGT".iter().copied().cycle().take(120).collect();
+    let mut pattern = text.clone();
+    for (i, b) in b"GGG".iter().enumerate() {
+        pattern.insert(60 + i, *b);
+    }
+    let affine = aligner_with(TracebackOrder::affine()).align(&text, &pattern).unwrap();
+    let ins_runs = affine
+        .cigar
+        .runs()
+        .iter()
+        .filter(|&&(op, _)| op == CigarOp::Ins)
+        .count();
+    assert_eq!(ins_runs, 1, "affine cigar: {}", affine.cigar);
+    assert_eq!(affine.edit_distance, 3);
+    // Affine score under BWA-MEM costs: one gap open, three extends.
+    let scoring = Scoring::bwa_mem();
+    let expected = (pattern.len() as i64 - 3) + scoring.gap_open as i64
+        + 3 * scoring.gap_extend as i64;
+    assert_eq!(scoring.score_cigar(&affine.cigar), expected);
+}
+
+#[test]
+fn subs_last_order_trades_substitutions_for_gaps() {
+    // With gap-friendly scoring, the subs_last order must never score
+    // worse than the plain unit order on gap-heavy inputs, and both
+    // must report the same (minimum) edit distance.
+    let text: Vec<u8> = b"ACGGTCATTGCA".iter().copied().cycle().take(240).collect();
+    let mut pattern = text.clone();
+    pattern.remove(100);
+    pattern.remove(101);
+    let gap_friendly = Scoring::new(1, -9, -1, -1);
+
+    let unit = aligner_with(TracebackOrder::unit()).align(&text, &pattern).unwrap();
+    let subs_last = aligner_with(TracebackOrder::subs_last()).align(&text, &pattern).unwrap();
+    assert_eq!(unit.edit_distance, subs_last.edit_distance);
+    assert!(
+        gap_friendly.score_cigar(&subs_last.cigar) >= gap_friendly.score_cigar(&unit.cigar),
+        "subs_last {} should score >= unit {}",
+        subs_last.cigar,
+        unit.cigar
+    );
+}
+
+#[test]
+fn custom_order_without_match_case_is_rejected_gracefully() {
+    let order = TracebackOrder::custom(vec![TracebackCase::Subst, TracebackCase::InsOpen]);
+    let result = aligner_with(order).align(b"ACGTACGT", b"ACGTACGT");
+    assert!(result.is_err(), "an order that cannot express matches must error");
+}
+
+#[test]
+fn order_choice_never_changes_the_distance() {
+    // The window distance comes from GenASM-DC; TB order only selects
+    // among equal-distance alignments.
+    let mut state = 0x0D0Eu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..10 {
+        let text: Vec<u8> = (0..200).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+        let mut pattern = text.clone();
+        for _ in 0..(next() % 5) {
+            let pos = (next() % 190) as usize;
+            pattern[pos] = b"ACGT"[(next() % 4) as usize];
+        }
+        let distances: Vec<usize> =
+            [TracebackOrder::affine(), TracebackOrder::unit(), TracebackOrder::subs_last()]
+                .into_iter()
+                .map(|order| aligner_with(order).align(&text, &pattern).unwrap().edit_distance)
+                .collect();
+        assert!(distances.windows(2).all(|w| w[0] == w[1]), "{distances:?}");
+    }
+}

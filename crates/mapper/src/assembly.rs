@@ -1,0 +1,177 @@
+//! Greedy overlap-layout assembly on top of the §11 overlap finder.
+//!
+//! De novo assembly's first step (read-to-read overlap finding) is a
+//! GenASM use case; this module adds the minimal layout step that turns
+//! verified overlaps into contigs, so the overlap machinery can be
+//! exercised end-to-end: reads → overlap graph → greedy chain →
+//! contig, with the upstream read's bases taken through each overlap
+//! (the overlap alignment tells how many downstream bases are already
+//! covered).
+
+use crate::overlap::{Overlap, OverlapConfig, OverlapFinder};
+
+/// An assembly result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assembly {
+    /// Assembled contigs, longest first.
+    pub contigs: Vec<Vec<u8>>,
+    /// Number of overlaps used in layouts.
+    pub overlaps_used: usize,
+    /// Reads that joined no contig (singletons are emitted as their
+    /// own contigs).
+    pub singletons: usize,
+}
+
+/// Greedy overlap-layout assembler.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    config: OverlapConfig,
+}
+
+impl Assembler {
+    /// Creates an assembler with the given overlap configuration.
+    pub fn new(config: OverlapConfig) -> Self {
+        Assembler { config }
+    }
+
+    /// Assembles `reads` into contigs: finds overlaps, keeps for each
+    /// read its best (longest) outgoing and incoming overlap, chains
+    /// unambiguous paths, and splices reads along each chain.
+    pub fn assemble(&self, reads: &[Vec<u8>]) -> Assembly {
+        let overlaps = OverlapFinder::new(self.config.clone()).find(reads);
+        let n = reads.len();
+
+        // Best outgoing overlap per upstream read, and in-degree marks.
+        let mut best_out: Vec<Option<&Overlap>> = vec![None; n];
+        for o in &overlaps {
+            let better = match best_out[o.a] {
+                None => true,
+                Some(cur) => o.b_len > cur.b_len,
+            };
+            if better {
+                best_out[o.a] = Some(o);
+            }
+        }
+        // Drop conflicting in-edges: each downstream read keeps only
+        // the longest incoming overlap.
+        let mut best_in: Vec<Option<usize>> = vec![None; n]; // upstream read index
+        for (a, o) in best_out.iter().enumerate() {
+            if let Some(o) = o {
+                let better = match best_in[o.b] {
+                    None => true,
+                    Some(cur) => {
+                        let cur_len = best_out[cur].map(|c| c.b_len).unwrap_or(0);
+                        o.b_len > cur_len
+                    }
+                };
+                if better {
+                    best_in[o.b] = Some(a);
+                }
+            }
+        }
+
+        // Chain starts: reads with no (kept) incoming overlap.
+        let mut used = vec![false; n];
+        let mut contigs = Vec::new();
+        let mut overlaps_used = 0usize;
+        for start in 0..n {
+            if used[start] || best_in[start].is_some() {
+                continue;
+            }
+            let mut contig = reads[start].clone();
+            used[start] = true;
+            let mut cur = start;
+            while let Some(o) = best_out[cur] {
+                if best_in[o.b] != Some(cur) || used[o.b] {
+                    break;
+                }
+                // The overlap covers b[..pattern_consumed]; append the
+                // uncovered suffix of b (upstream bases win inside the
+                // overlap — a simple a-dominant consensus).
+                let covered = o.cigar.pattern_len();
+                if covered < reads[o.b].len() {
+                    contig.extend_from_slice(&reads[o.b][covered..]);
+                }
+                used[o.b] = true;
+                overlaps_used += 1;
+                cur = o.b;
+            }
+            contigs.push(contig);
+        }
+        // Any read still unused (cycles) becomes its own contig.
+        let mut singletons = 0usize;
+        for (r, read) in reads.iter().enumerate() {
+            if !used[r] {
+                contigs.push(read.clone());
+                singletons += 1;
+            }
+        }
+        contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        Assembly { contigs, overlaps_used, singletons }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_baselines::nw::semiglobal_distance;
+    use genasm_seq::genome::GenomeBuilder;
+    use genasm_seq::mutate::mutate;
+    use genasm_seq::profile::ErrorProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shredded(template: &[u8], read_len: usize, step: usize, profile: ErrorProfile) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut reads = Vec::new();
+        let mut start = 0;
+        while start + read_len <= template.len() {
+            reads.push(mutate(&template[start..start + read_len], profile, &mut rng).seq);
+            start += step;
+        }
+        reads
+    }
+
+    #[test]
+    fn perfect_reads_reassemble_the_template() {
+        let template = GenomeBuilder::new(1_500).seed(31).build().sequence().to_vec();
+        let reads = shredded(&template, 300, 100, ErrorProfile::perfect());
+        let assembly = Assembler::default().assemble(&reads);
+        assert_eq!(assembly.contigs.len(), 1, "expected a single contig");
+        assert_eq!(assembly.contigs[0], template[..assembly.contigs[0].len()]);
+        // The contig covers (nearly) the whole template.
+        assert!(assembly.contigs[0].len() >= template.len() - 100);
+        assert_eq!(assembly.overlaps_used, reads.len() - 1);
+    }
+
+    #[test]
+    fn noisy_reads_reassemble_approximately() {
+        let template = GenomeBuilder::new(1_200).seed(32).build().sequence().to_vec();
+        let reads = shredded(&template, 300, 100, ErrorProfile::illumina());
+        let assembly = Assembler::default().assemble(&reads);
+        let longest = &assembly.contigs[0];
+        assert!(longest.len() >= 900, "contig too short: {}", longest.len());
+        // The contig aligns to the template with a small error rate.
+        let d = semiglobal_distance(&template, longest);
+        assert!(
+            (d as f64) < longest.len() as f64 * 0.08,
+            "contig distance {d} too high for length {}",
+            longest.len()
+        );
+    }
+
+    #[test]
+    fn unrelated_reads_stay_separate() {
+        let a = GenomeBuilder::new(300).seed(33).build().sequence().to_vec();
+        let b = GenomeBuilder::new(300).seed(34).build().sequence().to_vec();
+        let assembly = Assembler::default().assemble(&[a, b]);
+        assert_eq!(assembly.contigs.len(), 2);
+        assert_eq!(assembly.overlaps_used, 0);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_assembly() {
+        let assembly = Assembler::default().assemble(&[]);
+        assert!(assembly.contigs.is_empty());
+    }
+}

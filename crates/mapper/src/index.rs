@@ -1,0 +1,134 @@
+//! Hash-table based indexing (step 0 of read mapping, Figure 1).
+//!
+//! The reference genome is pre-processed offline into a hash table
+//! whose keys are all fixed-length substrings (seeds) and whose values
+//! are the seeds' locations — the structure queried by the seeding
+//! step (§2.1 and §11, "Hash-Table Based Indexing").
+
+use std::collections::HashMap;
+
+/// A k-mer index over a reference sequence.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_mapper::index::KmerIndex;
+///
+/// let index = KmerIndex::build(b"ACGTACGTACGT", 4);
+/// let hits = index.lookup(b"ACGT").unwrap();
+/// assert_eq!(hits, &[0, 4, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    map: HashMap<u64, Vec<u32>>,
+    reference_len: usize,
+}
+
+/// Encodes a k-mer into 2 bits per base; `None` if it contains a
+/// non-ACGT byte.
+fn encode_kmer(kmer: &[u8]) -> Option<u64> {
+    debug_assert!(kmer.len() <= 32, "k-mer must fit in a u64");
+    let mut v = 0u64;
+    for &b in kmer {
+        let code = match b {
+            b'A' | b'a' => 0u64,
+            b'C' | b'c' => 1,
+            b'G' | b'g' => 2,
+            b'T' | b't' => 3,
+            _ => return None,
+        };
+        v = (v << 2) | code;
+    }
+    Some(v)
+}
+
+impl KmerIndex {
+    /// Builds the index of all `k`-mers of `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0, exceeds 32, or exceeds the reference length.
+    pub fn build(reference: &[u8], k: usize) -> Self {
+        assert!(k > 0 && k <= 32, "seed length must be in 1..=32");
+        assert!(k <= reference.len(), "seed longer than the reference");
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (pos, window) in reference.windows(k).enumerate() {
+            if let Some(key) = encode_kmer(window) {
+                map.entry(key).or_default().push(pos as u32);
+            }
+        }
+        KmerIndex { k, map, reference_len: reference.len() }
+    }
+
+    /// The seed length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Length of the indexed reference.
+    pub fn reference_len(&self) -> usize {
+        self.reference_len
+    }
+
+    /// Number of distinct seeds present.
+    pub fn distinct_seeds(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Locations of `seed` in the reference (must have length `k`).
+    /// Returns `None` for absent or invalid seeds.
+    pub fn lookup(&self, seed: &[u8]) -> Option<&[u32]> {
+        if seed.len() != self.k {
+            return None;
+        }
+        let key = encode_kmer(seed)?;
+        self.map.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Total number of (seed, position) postings.
+    pub fn postings(&self) -> usize {
+        self.map.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_all_occurrences() {
+        let index = KmerIndex::build(b"AAGAAGAAG", 3);
+        assert_eq!(index.lookup(b"AAG").unwrap(), &[0, 3, 6]);
+        assert_eq!(index.lookup(b"AGA").unwrap(), &[1, 4]);
+        assert_eq!(index.lookup(b"GGG"), None);
+    }
+
+    #[test]
+    fn postings_count_every_position() {
+        let index = KmerIndex::build(b"ACGTACGT", 4);
+        assert_eq!(index.postings(), 5); // positions 0..=4
+        assert_eq!(index.reference_len(), 8);
+    }
+
+    #[test]
+    fn wrong_length_lookup_is_none() {
+        let index = KmerIndex::build(b"ACGTACGT", 4);
+        assert_eq!(index.lookup(b"ACG"), None);
+        assert_eq!(index.lookup(b"ACGTA"), None);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let index = KmerIndex::build(b"acgtACGT", 4);
+        // ACGT occurs (case-insensitively) at positions 0 and 4.
+        assert_eq!(index.lookup(b"ACGT").unwrap(), &[0, 4]);
+        assert_eq!(index.lookup(b"acgt").unwrap(), &[0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed length")]
+    fn rejects_oversized_k() {
+        KmerIndex::build(b"ACGT", 33);
+    }
+}

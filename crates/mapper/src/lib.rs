@@ -1,0 +1,20 @@
+//! # genasm-mapper
+//!
+//! The read-mapping pipeline substrate (Figure 1 of the paper):
+//! hash-table based indexing, seeding, pre-alignment filtering, and
+//! read alignment, with pluggable filter and aligner implementations so
+//! the end-to-end experiments (Figure 11) can swap the alignment step
+//! between the software baseline and GenASM.
+
+pub mod assembly;
+pub mod index;
+pub mod overlap;
+pub mod pipeline;
+pub mod sam;
+pub mod seed;
+
+pub use index::KmerIndex;
+pub use pipeline::{AlignerKind, FilterKind, Mapping, MapperConfig, ReadMapper, StageTimings};
+pub use assembly::{Assembler, Assembly};
+pub use overlap::{Overlap, OverlapConfig, OverlapFinder};
+pub use seed::{Candidate, Seeder};

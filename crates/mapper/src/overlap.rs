@@ -1,0 +1,263 @@
+//! Read-to-read overlap finding (§11, "Read-to-Read Overlap Finding
+//! Step of de Novo Assembly").
+//!
+//! De novo assembly has no reference genome: its first step finds pairs
+//! of reads whose ends overlap, and the last stage of overlap finding
+//! is a pairwise read alignment — which GenASM accelerates. This module
+//! implements the full step: a k-mer index over the read set proposes
+//! candidate pairs and relative offsets, and the GenASM aligner
+//! verifies each candidate, producing the overlap length, edit count,
+//! and transcript.
+
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::cigar::Cigar;
+use std::collections::HashMap;
+
+/// A verified overlap: a suffix of read `a` aligns to a prefix of read
+/// `b` starting at offset `a_start` within `a`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overlap {
+    /// Index of the upstream read.
+    pub a: usize,
+    /// Index of the downstream read.
+    pub b: usize,
+    /// Offset in `a` where the overlap begins.
+    pub a_start: usize,
+    /// Number of `b` characters covered by the overlap.
+    pub b_len: usize,
+    /// Edits in the overlap alignment.
+    pub edits: usize,
+    /// The overlap transcript (`a` suffix as text, `b` prefix as
+    /// pattern).
+    pub cigar: Cigar,
+}
+
+impl Overlap {
+    /// Overlap error rate: edits per aligned `b` character.
+    pub fn error_rate(&self) -> f64 {
+        self.edits as f64 / self.b_len.max(1) as f64
+    }
+}
+
+/// Overlap-finder configuration.
+#[derive(Debug, Clone)]
+pub struct OverlapConfig {
+    /// Seed length for the all-reads k-mer index.
+    pub seed_len: usize,
+    /// Seed sampling stride within each read.
+    pub stride: usize,
+    /// Minimum overlap length to report.
+    pub min_overlap: usize,
+    /// Maximum allowed error rate in the overlap alignment.
+    pub max_error_rate: f64,
+    /// Minimum seed votes before a candidate pair is verified.
+    pub min_votes: usize,
+    /// GenASM aligner configuration used for verification.
+    pub genasm: GenAsmConfig,
+}
+
+impl Default for OverlapConfig {
+    /// 12-mers at stride 6, 50 bp minimum overlap, 20% error budget.
+    fn default() -> Self {
+        OverlapConfig {
+            seed_len: 12,
+            stride: 6,
+            min_overlap: 50,
+            max_error_rate: 0.20,
+            min_votes: 2,
+            genasm: GenAsmConfig::default(),
+        }
+    }
+}
+
+/// Finds suffix-prefix overlaps within a read set.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapFinder {
+    config: OverlapConfig,
+}
+
+impl OverlapFinder {
+    /// Creates a finder from a configuration.
+    pub fn new(config: OverlapConfig) -> Self {
+        OverlapFinder { config }
+    }
+
+    /// Finds all forward-strand overlaps among `reads`. Each reported
+    /// overlap is verified by a GenASM alignment; candidates come from
+    /// shared seeds voting for a relative offset.
+    pub fn find(&self, reads: &[Vec<u8>]) -> Vec<Overlap> {
+        let k = self.config.seed_len;
+        // Seed index: k-mer -> (read, offset) postings. Indexed at
+        // every offset (queries are strided): sampling both sides
+        // would miss overlaps whose relative offset is not a stride
+        // multiple.
+        let mut index: HashMap<&[u8], Vec<(usize, usize)>> = HashMap::new();
+        for (r, read) in reads.iter().enumerate() {
+            for (offset, window) in read.windows(k).enumerate() {
+                index.entry(window).or_default().push((r, offset));
+            }
+        }
+
+        let mut overlaps = Vec::new();
+        for (a, read_a) in reads.iter().enumerate() {
+            // Vote for (b, a_start) candidates: a seed at a-offset `pa`
+            // matching b-offset `pb` implies b starts at `pa - pb` in
+            // a. Votes are binned by 16 to absorb indel drift, but each
+            // bin keeps its exact majority diagonal (like the seeding
+            // stage) so verification starts at the right base.
+            type DiagVotes = HashMap<isize, usize>;
+            let mut votes: HashMap<(usize, isize), DiagVotes> = HashMap::new();
+            let mut offset = 0;
+            while offset + k <= read_a.len() {
+                if let Some(hits) = index.get(&read_a[offset..offset + k]) {
+                    for &(b, pb) in hits {
+                        if b <= a {
+                            continue; // each unordered pair once, a < b
+                        }
+                        let diag = offset as isize - pb as isize;
+                        *votes
+                            .entry((b, diag.div_euclid(16)))
+                            .or_default()
+                            .entry(diag)
+                            .or_default() += 1;
+                    }
+                }
+                offset += self.config.stride;
+            }
+            let mut candidates: Vec<(usize, isize, usize)> = votes
+                .into_iter()
+                .map(|((b, _), diags)| {
+                    let total: usize = diags.values().sum();
+                    let diag = diags
+                        .into_iter()
+                        .max_by_key(|&(d, c)| (c, std::cmp::Reverse(d)))
+                        .map(|(d, _)| d)
+                        .unwrap_or(0);
+                    (b, diag, total)
+                })
+                .filter(|&(_, _, v)| v >= self.config.min_votes)
+                .collect();
+            candidates.sort_by_key(|&(b, diag, v)| (b, std::cmp::Reverse(v), diag));
+            candidates.dedup_by_key(|&mut (b, _, _)| b);
+
+            for (b, diag, _) in candidates {
+                let a_start = diag.max(0) as usize;
+                if a_start >= read_a.len() {
+                    continue;
+                }
+                if let Some(overlap) = self.verify(a, b, a_start, read_a, &reads[b]) {
+                    overlaps.push(overlap);
+                }
+            }
+        }
+        overlaps
+    }
+
+    /// Verifies one candidate with a GenASM alignment of the `a` suffix
+    /// against the `b` prefix.
+    fn verify(
+        &self,
+        a: usize,
+        b: usize,
+        a_start: usize,
+        read_a: &[u8],
+        read_b: &[u8],
+    ) -> Option<Overlap> {
+        let text = &read_a[a_start..];
+        // The b prefix covered by a's suffix: at most the text length
+        // (the aligner consumes the whole pattern; a free text suffix
+        // absorbs indel drift), or all of b when b is contained.
+        let b_len = text.len().min(read_b.len());
+        if b_len < self.config.min_overlap {
+            return None;
+        }
+        let pattern = &read_b[..b_len];
+        let aligner = GenAsmAligner::new(self.config.genasm.clone());
+        let alignment = aligner.align(text, pattern).ok()?;
+        if alignment.edit_distance as f64 / b_len as f64 > self.config.max_error_rate {
+            return None;
+        }
+        Some(Overlap {
+            a,
+            b,
+            a_start,
+            b_len,
+            edits: alignment.edit_distance,
+            cigar: alignment.cigar,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_seq::genome::GenomeBuilder;
+    use genasm_seq::mutate::mutate;
+    use genasm_seq::profile::ErrorProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Tiling reads with 100 bp steps from one template: consecutive
+    /// reads overlap by (len - 100).
+    fn tiled_reads(read_len: usize, count: usize, profile: ErrorProfile) -> Vec<Vec<u8>> {
+        let template = GenomeBuilder::new(read_len + 100 * count).seed(41).build();
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..count)
+            .map(|i| {
+                let start = i * 100;
+                mutate(template.region(start, start + read_len), profile, &mut rng).seq
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_tiling_overlaps() {
+        let reads = tiled_reads(300, 5, ErrorProfile::perfect());
+        let overlaps = OverlapFinder::default().find(&reads);
+        // Consecutive reads overlap by 200 (and next-but-one by 100).
+        for i in 0..4 {
+            let o = overlaps
+                .iter()
+                .find(|o| o.a == i && o.b == i + 1)
+                .unwrap_or_else(|| panic!("missing overlap {i} -> {}", i + 1));
+            assert_eq!(o.edits, 0);
+            assert!(o.a_start.abs_diff(100) <= 16, "a_start={}", o.a_start);
+        }
+    }
+
+    #[test]
+    fn finds_noisy_overlaps() {
+        let reads = tiled_reads(400, 4, ErrorProfile::pacbio_10());
+        let overlaps = OverlapFinder::default().find(&reads);
+        let consecutive = (0..3)
+            .filter(|&i| overlaps.iter().any(|o| o.a == i && o.b == i + 1))
+            .count();
+        assert!(consecutive >= 2, "only {consecutive}/3 noisy overlaps found");
+        for o in &overlaps {
+            assert!(o.error_rate() <= 0.20);
+        }
+    }
+
+    #[test]
+    fn unrelated_reads_produce_no_overlaps() {
+        let a = GenomeBuilder::new(300).seed(1).build().sequence().to_vec();
+        let b = GenomeBuilder::new(300).seed(2).build().sequence().to_vec();
+        let overlaps = OverlapFinder::default().find(&[a, b]);
+        assert!(overlaps.is_empty(), "{overlaps:?}");
+    }
+
+    #[test]
+    fn respects_min_overlap() {
+        // Overlap of 40 < min_overlap 50 must be dropped.
+        let template = GenomeBuilder::new(460).seed(9).build();
+        let a = template.region(0, 250).to_vec();
+        let b = template.region(210, 460).to_vec();
+        let config = OverlapConfig { min_overlap: 50, ..OverlapConfig::default() };
+        let overlaps = OverlapFinder::new(config).find(&[a.clone(), b.clone()]);
+        assert!(overlaps.is_empty(), "{overlaps:?}");
+        // Lowering the bar finds it.
+        let config = OverlapConfig { min_overlap: 30, ..OverlapConfig::default() };
+        let overlaps = OverlapFinder::new(config).find(&[a, b]);
+        assert_eq!(overlaps.len(), 1);
+    }
+}

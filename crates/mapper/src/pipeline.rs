@@ -1,0 +1,390 @@
+//! The four-step read-mapping pipeline (Figure 1): seeding →
+//! pre-alignment filtering → read alignment, with pluggable filter and
+//! aligner so the Figure 11 experiment can swap the alignment step
+//! between the software DP baseline and GenASM.
+
+use crate::index::KmerIndex;
+use crate::seed::Seeder;
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_baselines::shouji::ShoujiFilter;
+use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::cigar::Cigar;
+use genasm_core::filter::PreAlignmentFilter;
+use genasm_core::scoring::Scoring;
+use std::time::{Duration, Instant};
+
+/// Which pre-alignment filter the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterKind {
+    /// GenASM-DC as the filter (use case 2 of the paper).
+    #[default]
+    GenAsm,
+    /// The Shouji heuristic filter.
+    Shouji,
+    /// No filtering: all candidates go to alignment.
+    None,
+}
+
+/// Which aligner the pipeline uses for step 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignerKind {
+    /// The GenASM windowed aligner (DC + TB).
+    #[default]
+    GenAsm,
+    /// The affine-gap DP baseline (BWA-MEM / Minimap2 stand-in).
+    Gotoh,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct MapperConfig {
+    /// Seed length for indexing and seeding.
+    pub seed_len: usize,
+    /// Seeding parameters.
+    pub seeder: Seeder,
+    /// Filter selection.
+    pub filter: FilterKind,
+    /// Aligner selection.
+    pub aligner: AlignerKind,
+    /// Edit-distance threshold as a fraction of read length (the
+    /// filter threshold and the candidate-region slack `k`).
+    pub error_fraction: f64,
+    /// Scoring used when the aligner reports a score.
+    pub scoring: Scoring,
+    /// GenASM aligner configuration.
+    pub genasm: GenAsmConfig,
+    /// Whether to also try the reverse-complement strand of each read.
+    pub both_strands: bool,
+}
+
+impl Default for MapperConfig {
+    /// Seed length 12, GenASM filter + aligner, 15% error budget,
+    /// BWA-MEM scoring.
+    fn default() -> Self {
+        MapperConfig {
+            seed_len: 12,
+            seeder: Seeder::default(),
+            filter: FilterKind::GenAsm,
+            aligner: AlignerKind::GenAsm,
+            error_fraction: 0.15,
+            scoring: Scoring::bwa_mem(),
+            genasm: GenAsmConfig::default(),
+            both_strands: true,
+        }
+    }
+}
+
+/// A successful mapping of one read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Mapping position in the reference.
+    pub position: usize,
+    /// `true` when the read mapped on the reverse-complement strand.
+    pub reverse: bool,
+    /// The alignment transcript.
+    pub cigar: Cigar,
+    /// Edit distance of the alignment.
+    pub edit_distance: usize,
+    /// Affine score of the alignment under the configured scoring.
+    pub score: i64,
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Seeding time.
+    pub seeding: Duration,
+    /// Pre-alignment filtering time.
+    pub filtering: Duration,
+    /// Alignment time.
+    pub alignment: Duration,
+    /// Candidates examined, candidates surviving the filter.
+    pub candidates: (usize, usize),
+}
+
+impl StageTimings {
+    /// Sum of all stage times.
+    pub fn total(&self) -> Duration {
+        self.seeding + self.filtering + self.alignment
+    }
+
+    /// Accumulates another read's timings.
+    pub fn accumulate(&mut self, other: &StageTimings) {
+        self.seeding += other.seeding;
+        self.filtering += other.filtering;
+        self.alignment += other.alignment;
+        self.candidates.0 += other.candidates.0;
+        self.candidates.1 += other.candidates.1;
+    }
+}
+
+/// The read mapper.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
+/// use genasm_seq::genome::GenomeBuilder;
+///
+/// let genome = GenomeBuilder::new(20_000).seed(3).build();
+/// let mapper = ReadMapper::build(genome.sequence(), MapperConfig::default());
+/// let read = genome.region(5_000, 5_150).to_vec();
+/// let (mapping, _timings) = mapper.map_read(&read);
+/// let mapping = mapping.expect("exact read must map");
+/// assert!(mapping.position.abs_diff(5_000) <= 16);
+/// assert_eq!(mapping.edit_distance, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadMapper {
+    reference: Vec<u8>,
+    index: KmerIndex,
+    config: MapperConfig,
+}
+
+impl ReadMapper {
+    /// Indexes `reference` and prepares the pipeline.
+    pub fn build(reference: &[u8], config: MapperConfig) -> Self {
+        let index = KmerIndex::build(reference, config.seed_len);
+        ReadMapper { reference: reference.to_vec(), index, config }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &KmerIndex {
+        &self.index
+    }
+
+    /// Maps one read: seeding, filtering, then alignment of surviving
+    /// candidates — on the forward strand and, when configured, on the
+    /// reverse-complement strand. Returns the best mapping (lowest
+    /// edit distance, ties broken by forward strand then position) and
+    /// per-stage timings.
+    pub fn map_read(&self, read: &[u8]) -> (Option<Mapping>, StageTimings) {
+        let (forward, mut timings) = self.map_oriented(read, false);
+        if !self.config.both_strands {
+            return (forward, timings);
+        }
+        let rc: Vec<u8> = read.iter().rev().map(|&b| genasm_core::alphabet::Dna::complement(b)).collect();
+        let (backward, rc_timings) = self.map_oriented(&rc, true);
+        timings.accumulate(&rc_timings);
+        let best = match (forward, backward) {
+            (None, b) => b,
+            (f, None) => f,
+            (Some(f), Some(b)) => {
+                if (b.edit_distance, 1, b.position) < (f.edit_distance, 0, f.position) {
+                    Some(b)
+                } else {
+                    Some(f)
+                }
+            }
+        };
+        (best, timings)
+    }
+
+    /// Maps one read orientation (the read as given, labelled with
+    /// `reverse`).
+    fn map_oriented(&self, read: &[u8], reverse: bool) -> (Option<Mapping>, StageTimings) {
+        let mut timings = StageTimings::default();
+        let k = (read.len() as f64 * self.config.error_fraction).ceil() as usize;
+
+        let t0 = Instant::now();
+        let candidates = self.config.seeder.candidates(&self.index, read);
+        timings.seeding = t0.elapsed();
+        timings.candidates.0 = candidates.len();
+
+        let t1 = Instant::now();
+        let surviving: Vec<usize> = candidates
+            .iter()
+            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
+            .filter(|&pos| {
+                let region = self.region(pos, read.len(), k);
+                match self.config.filter {
+                    FilterKind::GenAsm => {
+                        PreAlignmentFilter::new(k).accepts(region, read).unwrap_or(false)
+                    }
+                    FilterKind::Shouji => ShoujiFilter::new(k).accepts(region, read),
+                    FilterKind::None => true,
+                }
+            })
+            .collect();
+        timings.filtering = t1.elapsed();
+        timings.candidates.1 = surviving.len();
+
+        let t2 = Instant::now();
+        let mut best: Option<Mapping> = None;
+        for pos in surviving {
+            let region = self.region(pos, read.len(), k);
+            let mapping = match self.config.aligner {
+                AlignerKind::GenAsm => {
+                    let aligner = GenAsmAligner::new(self.config.genasm.clone());
+                    match aligner.align(region, read) {
+                        Ok(a) => Mapping {
+                            position: pos,
+                            reverse,
+                            score: self.config.scoring.score_cigar(&a.cigar),
+                            edit_distance: a.edit_distance,
+                            cigar: a.cigar,
+                        },
+                        Err(_) => continue,
+                    }
+                }
+                AlignerKind::Gotoh => {
+                    let aligner =
+                        GotohAligner::new(self.config.scoring, GotohMode::TextSuffixFree);
+                    let a = aligner.align(region, read);
+                    Mapping {
+                        position: pos,
+                        reverse,
+                        score: a.score,
+                        edit_distance: a.cigar.edit_distance(),
+                        cigar: a.cigar,
+                    }
+                }
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (mapping.edit_distance, mapping.position) < (b.edit_distance, b.position)
+                }
+            };
+            if better {
+                best = Some(mapping);
+            }
+        }
+        timings.alignment = t2.elapsed();
+        (best, timings)
+    }
+
+    /// Maps a batch of reads, accumulating stage timings.
+    pub fn map_batch<'a, I>(&self, reads: I) -> (Vec<Option<Mapping>>, StageTimings)
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let mut total = StageTimings::default();
+        let mut mappings = Vec::new();
+        for read in reads {
+            let (mapping, timings) = self.map_read(read);
+            total.accumulate(&timings);
+            mappings.push(mapping);
+        }
+        (mappings, total)
+    }
+
+    /// The candidate region for a read of length `m` at `pos`: length
+    /// `m + k`, clamped to the reference end.
+    fn region(&self, pos: usize, m: usize, k: usize) -> &[u8] {
+        let end = (pos + m + k).min(self.reference.len());
+        &self.reference[pos..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_seq::genome::GenomeBuilder;
+    use genasm_seq::profile::ErrorProfile;
+    use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+
+    fn genome() -> Vec<u8> {
+        GenomeBuilder::new(30_000).seed(11).build().sequence().to_vec()
+    }
+
+    #[test]
+    fn exact_reads_map_to_origin() {
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        for start in [100usize, 7_000, 25_000] {
+            let read = &reference[start..start + 150];
+            let (mapping, _) = mapper.map_read(read);
+            let mapping = mapping.expect("exact read must map");
+            assert!(mapping.position.abs_diff(start) <= 16, "start={start}");
+            assert_eq!(mapping.edit_distance, 0, "start={start}");
+        }
+    }
+
+    #[test]
+    fn noisy_reads_map_with_both_aligners() {
+        let reference = genome();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 200,
+            count: 20,
+            profile: ErrorProfile::illumina(),
+            seed: 5,
+            both_strands: false,
+            length_model: LengthModel::Fixed,
+        });
+        let reads = sim.simulate(&reference);
+        for aligner in [AlignerKind::GenAsm, AlignerKind::Gotoh] {
+            let config = MapperConfig { aligner, ..MapperConfig::default() };
+            let mapper = ReadMapper::build(&reference, config);
+            let mut mapped = 0;
+            for read in &reads {
+                let (mapping, _) = mapper.map_read(&read.seq);
+                if let Some(m) = mapping {
+                    if m.position.abs_diff(read.origin) <= 24 {
+                        mapped += 1;
+                    }
+                }
+            }
+            assert!(mapped >= 18, "aligner {aligner:?}: only {mapped}/20 mapped near origin");
+        }
+    }
+
+    #[test]
+    fn filter_reduces_candidates() {
+        let reference = genome();
+        let config = MapperConfig {
+            error_fraction: 0.05,
+            ..MapperConfig::default()
+        };
+        let mapper = ReadMapper::build(&reference, config);
+        let read = &reference[12_000..12_150];
+        let (_, timings) = mapper.map_read(read);
+        assert!(timings.candidates.1 <= timings.candidates.0);
+        assert!(timings.candidates.1 >= 1);
+    }
+
+    #[test]
+    fn reverse_strand_reads_are_mapped_and_flagged() {
+        use genasm_core::alphabet::Dna;
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        let forward = &reference[9_000..9_180];
+        let rc: Vec<u8> = forward.iter().rev().map(|&b| Dna::complement(b)).collect();
+        let (mapping, _) = mapper.map_read(&rc);
+        let mapping = mapping.expect("reverse-complement read must map");
+        assert!(mapping.reverse);
+        assert!(mapping.position.abs_diff(9_000) <= 16);
+        assert_eq!(mapping.edit_distance, 0);
+        // A forward read maps without the flag.
+        let (mapping, _) = mapper.map_read(forward);
+        assert!(!mapping.unwrap().reverse);
+    }
+
+    #[test]
+    fn unmappable_read_returns_none() {
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        // A read of a foreign pattern: homopolymer runs absent from the
+        // GC-balanced random reference.
+        let read = vec![b'A'; 200];
+        let (mapping, _) = mapper.map_read(&read);
+        assert!(mapping.is_none());
+    }
+
+    #[test]
+    fn batch_accumulates_timings() {
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        let reads: Vec<&[u8]> = vec![&reference[100..250], &reference[5_000..5_150]];
+        let (mappings, timings) = mapper.map_batch(reads);
+        assert_eq!(mappings.len(), 2);
+        assert!(mappings.iter().all(|m| m.is_some()));
+        assert!(timings.total() > Duration::ZERO);
+        assert!(timings.candidates.0 >= 2);
+    }
+}

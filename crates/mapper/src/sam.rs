@@ -1,0 +1,227 @@
+//! SAM output: renders mappings in the Sequence Alignment/Map format
+//! (Li et al. 2009, cited as reference 103 in the paper — the format the
+//! CIGAR strings of GenASM-TB are defined in).
+
+use crate::pipeline::Mapping;
+use genasm_core::cigar::CigarOp;
+use std::io::{self, Write};
+
+/// SAM flag bit: read mapped to the reverse strand.
+pub const FLAG_REVERSE: u16 = 0x10;
+/// SAM flag bit: read unmapped.
+pub const FLAG_UNMAPPED: u16 = 0x4;
+
+/// One SAM alignment record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SamRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Bitwise flags.
+    pub flag: u16,
+    /// Reference sequence name.
+    pub rname: String,
+    /// 1-based mapping position.
+    pub pos: usize,
+    /// Mapping quality (255 = unavailable).
+    pub mapq: u8,
+    /// CIGAR string (extended `=`/`X` operations).
+    pub cigar: String,
+    /// Read sequence.
+    pub seq: Vec<u8>,
+    /// Optional tags, already formatted (`NM:i:3`, ...).
+    pub tags: Vec<String>,
+}
+
+impl SamRecord {
+    /// Builds a record from a pipeline [`Mapping`].
+    pub fn from_mapping(qname: impl Into<String>, rname: impl Into<String>, read: &[u8], mapping: &Mapping) -> Self {
+        let mut flag = 0u16;
+        if mapping.reverse {
+            flag |= FLAG_REVERSE;
+        }
+        SamRecord {
+            qname: qname.into(),
+            flag,
+            rname: rname.into(),
+            pos: mapping.position + 1, // SAM is 1-based
+            mapq: mapq_from_edits(mapping.edit_distance, read.len()),
+            cigar: mapping.cigar.to_string(),
+            seq: read.to_vec(),
+            tags: vec![
+                format!("NM:i:{}", mapping.edit_distance),
+                format!("AS:i:{}", mapping.score),
+            ],
+        }
+    }
+
+    /// Builds an unmapped record.
+    pub fn unmapped(qname: impl Into<String>, read: &[u8]) -> Self {
+        SamRecord {
+            qname: qname.into(),
+            flag: FLAG_UNMAPPED,
+            rname: "*".into(),
+            pos: 0,
+            mapq: 0,
+            cigar: "*".into(),
+            seq: read.to_vec(),
+            tags: Vec::new(),
+        }
+    }
+}
+
+/// A simple Phred-scaled mapping quality from the edit rate: exact
+/// mappings score 60, saturating down to 0 at a 25% edit rate.
+fn mapq_from_edits(edits: usize, read_len: usize) -> u8 {
+    let rate = edits as f64 / read_len.max(1) as f64;
+    (60.0 * (1.0 - (rate / 0.25).min(1.0))).round() as u8
+}
+
+/// Writes a SAM header for one reference sequence.
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying writer.
+pub fn write_header<W: Write>(mut w: W, rname: &str, rlen: usize) -> io::Result<()> {
+    writeln!(w, "@HD\tVN:1.6\tSO:unknown")?;
+    writeln!(w, "@SQ\tSN:{rname}\tLN:{rlen}")?;
+    writeln!(w, "@PG\tID:genasm\tPN:genasm-rs")
+}
+
+/// Writes one record line.
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying writer.
+pub fn write_record<W: Write>(mut w: W, rec: &SamRecord) -> io::Result<()> {
+    write!(
+        w,
+        "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*",
+        rec.qname,
+        rec.flag,
+        rec.rname,
+        rec.pos,
+        rec.mapq,
+        rec.cigar,
+        String::from_utf8_lossy(&rec.seq),
+    )?;
+    for tag in &rec.tags {
+        write!(w, "\t{tag}")?;
+    }
+    writeln!(w)
+}
+
+/// Computes the SAM `MD` tag (reference bases at mismatches/deletions)
+/// from a mapping and the reference region it aligned to.
+pub fn md_tag(mapping: &Mapping, reference_region: &[u8]) -> String {
+    let mut md = String::from("MD:Z:");
+    let mut matches = 0usize;
+    let mut ti = 0usize;
+    let mut prev_del = false;
+    for op in mapping.cigar.iter_ops() {
+        match op {
+            CigarOp::Match => {
+                matches += 1;
+                ti += 1;
+                prev_del = false;
+            }
+            CigarOp::Subst => {
+                md.push_str(&matches.to_string());
+                matches = 0;
+                md.push(reference_region[ti] as char);
+                ti += 1;
+                prev_del = false;
+            }
+            CigarOp::Del => {
+                if !prev_del {
+                    md.push_str(&matches.to_string());
+                    matches = 0;
+                    md.push('^');
+                }
+                md.push(reference_region[ti] as char);
+                ti += 1;
+                prev_del = true;
+            }
+            CigarOp::Ins => {
+                prev_del = false;
+            }
+        }
+    }
+    md.push_str(&matches.to_string());
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{MapperConfig, ReadMapper};
+    use genasm_seq::genome::GenomeBuilder;
+
+    fn mapping_for(read: &[u8], reference: &[u8]) -> Mapping {
+        let mapper = ReadMapper::build(reference, MapperConfig::default());
+        mapper.map_read(read).0.expect("read maps")
+    }
+
+    #[test]
+    fn record_round_trips_through_text() {
+        let genome = GenomeBuilder::new(20_000).seed(77).build();
+        let read = genome.region(4_000, 4_150);
+        let mapping = mapping_for(read, genome.sequence());
+        let rec = SamRecord::from_mapping("read1", "chr_synth", read, &mapping);
+        assert_eq!(rec.pos, mapping.position + 1);
+        assert_eq!(rec.mapq, 60);
+        assert!(rec.tags.iter().any(|t| t == "NM:i:0"));
+
+        let mut buf = Vec::new();
+        write_header(&mut buf, "chr_synth", genome.len()).unwrap();
+        write_record(&mut buf, &rec).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("@HD"));
+        let line = text.lines().last().unwrap();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields[0], "read1");
+        assert_eq!(fields[2], "chr_synth");
+        assert_eq!(fields[5], "150=");
+    }
+
+    #[test]
+    fn reverse_flag_is_set() {
+        use genasm_core::alphabet::Dna;
+        let genome = GenomeBuilder::new(20_000).seed(78).build();
+        let fwd = genome.region(2_000, 2_150);
+        let rc: Vec<u8> = fwd.iter().rev().map(|&b| Dna::complement(b)).collect();
+        let mapping = mapping_for(&rc, genome.sequence());
+        let rec = SamRecord::from_mapping("r", "chr", &rc, &mapping);
+        assert_eq!(rec.flag & FLAG_REVERSE, FLAG_REVERSE);
+    }
+
+    #[test]
+    fn unmapped_record_shape() {
+        let rec = SamRecord::unmapped("r", b"ACGT");
+        assert_eq!(rec.flag & FLAG_UNMAPPED, FLAG_UNMAPPED);
+        assert_eq!(rec.cigar, "*");
+        assert_eq!(rec.pos, 0);
+    }
+
+    #[test]
+    fn mapq_scales_with_edit_rate() {
+        assert_eq!(mapq_from_edits(0, 100), 60);
+        assert!(mapq_from_edits(5, 100) < 60);
+        assert_eq!(mapq_from_edits(30, 100), 0);
+    }
+
+    #[test]
+    fn md_tag_reports_reference_bases() {
+        use genasm_core::cigar::Cigar;
+        // Reference ACGTACGT, read ACCTCGT: subst at 2, del at 4.
+        let cigar: Cigar = "2=1X1=1D3=".parse().unwrap();
+        let mapping = Mapping {
+            position: 0,
+            reverse: false,
+            edit_distance: cigar.edit_distance(),
+            score: 0,
+            cigar,
+        };
+        let md = md_tag(&mapping, b"ACGTACGT");
+        assert_eq!(md, "MD:Z:2G1^A3");
+    }
+}

@@ -1,0 +1,140 @@
+//! Seeding (step 1 of read mapping, Figure 1): querying the index with
+//! read substrings to collect candidate mapping locations.
+//!
+//! Seeds are taken from the read at a fixed stride; each index hit
+//! votes for the implied read start (`hit − seed offset`), and nearby
+//! votes are binned together. Candidates are returned most-voted
+//! first, which is what the pre-alignment filter (step 2) consumes.
+
+use crate::index::KmerIndex;
+
+/// A candidate mapping location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Implied start of the read in the reference.
+    pub position: usize,
+    /// Number of seed hits voting for this location.
+    pub votes: usize,
+}
+
+/// The seeding stage.
+#[derive(Debug, Clone, Copy)]
+pub struct Seeder {
+    /// Distance between consecutive seed start offsets in the read.
+    pub stride: usize,
+    /// Bin width when merging nearby votes (accounts for indels
+    /// shifting the implied start).
+    pub bin: usize,
+    /// Maximum number of candidates to return.
+    pub max_candidates: usize,
+}
+
+impl Default for Seeder {
+    /// Stride 8, bin 16, at most 8 candidates.
+    fn default() -> Self {
+        Seeder { stride: 8, bin: 16, max_candidates: 8 }
+    }
+}
+
+impl Seeder {
+    /// Collects candidate mapping locations for `read` against `index`.
+    ///
+    /// Votes are binned by `bin` to absorb indel-induced shifts, but
+    /// each candidate reports a *representative exact* start — the
+    /// most frequent implied start within its bin — so downstream
+    /// anchored alignment starts at the right base.
+    pub fn candidates(&self, index: &KmerIndex, read: &[u8]) -> Vec<Candidate> {
+        use std::collections::HashMap;
+        let k = index.k();
+        if read.len() < k {
+            return Vec::new();
+        }
+        let mut bins: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+        let mut offset = 0;
+        while offset + k <= read.len() {
+            if let Some(hits) = index.lookup(&read[offset..offset + k]) {
+                for &hit in hits {
+                    let start = (hit as usize).saturating_sub(offset);
+                    *bins.entry(start / self.bin).or_default().entry(start).or_default() += 1;
+                }
+            }
+            offset += self.stride;
+        }
+        let mut candidates: Vec<Candidate> = bins
+            .into_values()
+            .map(|starts| {
+                let votes: usize = starts.values().sum();
+                let position = starts
+                    .into_iter()
+                    .max_by_key(|&(start, count)| (count, std::cmp::Reverse(start)))
+                    .map(|(start, _)| start)
+                    .unwrap_or(0);
+                Candidate { position, votes }
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.votes.cmp(&a.votes).then(a.position.cmp(&b.position)));
+        candidates.truncate(self.max_candidates);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<u8> {
+        // Non-repetitive-ish synthetic reference.
+        let mut state = 0x1234u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..4000).map(|_| b"ACGT"[(next() % 4) as usize]).collect()
+    }
+
+    #[test]
+    fn exact_read_finds_its_origin() {
+        let reference = reference();
+        let index = KmerIndex::build(&reference, 12);
+        let read = &reference[1000..1150];
+        let candidates = Seeder::default().candidates(&index, read);
+        assert!(!candidates.is_empty());
+        let best = candidates[0];
+        assert!(best.position.abs_diff(1000) <= 16, "best at {}", best.position);
+    }
+
+    #[test]
+    fn mutated_read_still_finds_origin() {
+        let reference = reference();
+        let index = KmerIndex::build(&reference, 12);
+        let mut read = reference[2000..2200].to_vec();
+        for pos in [20usize, 90, 160] {
+            read[pos] = if read[pos] == b'A' { b'C' } else { b'A' };
+        }
+        let candidates = Seeder::default().candidates(&index, &read);
+        assert!(candidates
+            .iter()
+            .any(|c| c.position.abs_diff(2000) <= 16), "{candidates:?}");
+    }
+
+    #[test]
+    fn read_shorter_than_seed_yields_nothing() {
+        let reference = reference();
+        let index = KmerIndex::build(&reference, 12);
+        assert!(Seeder::default().candidates(&index, b"ACGT").is_empty());
+    }
+
+    #[test]
+    fn candidates_are_vote_ordered_and_capped() {
+        let reference: Vec<u8> = b"ACGTACGTACGT".iter().copied().cycle().take(400).collect();
+        let index = KmerIndex::build(&reference, 8);
+        let seeder = Seeder { max_candidates: 3, ..Seeder::default() };
+        let candidates = seeder.candidates(&index, &reference[0..100]);
+        assert!(candidates.len() <= 3);
+        for pair in candidates.windows(2) {
+            assert!(pair[0].votes >= pair[1].votes);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Supports multi-line records, comments, and CRLF line endings —
+//! enough to exchange references and reads with external tools.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header line without the leading `>`.
+    pub id: String,
+    /// Sequence bytes with whitespace removed.
+    pub seq: Vec<u8>,
+}
+
+/// Reads all records from a FASTA source.
+///
+/// A mutable reference to a reader also works (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying reader, and
+/// `InvalidData` when sequence data precedes the first header.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::fasta::read_fasta;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let records = read_fasta(&b">chr1 test\nACGT\nACGT\n>chr2\nGGTT\n"[..])?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].id, "chr1 test");
+/// assert_eq!(records[0].seq, b"ACGTACGT");
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_fasta<R: Read>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    let reader = BufReader::new(reader);
+    let mut records = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(FastaRecord { id: header.to_string(), seq: Vec::new() });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec.seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "sequence data before first fasta header",
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Writes records in FASTA format with 70-column line wrapping.
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying writer.
+pub fn write_fasta<W: Write>(mut writer: W, records: &[FastaRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, ">{}", rec.id)?;
+        for chunk in rec.seq.chunks(70) {
+            writer.write_all(chunk)?;
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            FastaRecord { id: "r1".into(), seq: b"ACGT".repeat(40) },
+            FastaRecord { id: "r2 description".into(), seq: b"GGTTAA".to_vec() },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let parsed = read_fasta(&buf[..]).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn multiline_and_blank_lines() {
+        let input = b">a\nACGT\n\nACGT\n;comment\n>b\nTT\n";
+        let records = read_fasta(&input[..]).unwrap();
+        assert_eq!(records[0].seq, b"ACGTACGT");
+        assert_eq!(records[1].seq, b"TT");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let input = b">a desc\r\nACGT\r\nGG\r\n";
+        let records = read_fasta(&input[..]).unwrap();
+        assert_eq!(records[0].id, "a desc");
+        assert_eq!(records[0].seq, b"ACGTGG");
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        assert!(read_fasta(&b"ACGT\n>late\nAC\n"[..]).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrapping_at_70_columns() {
+        let records = vec![FastaRecord { id: "x".into(), seq: vec![b'A'; 150] }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 70 + 70 + 10
+        assert_eq!(lines[1].len(), 70);
+        assert_eq!(lines[3].len(), 10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Minimal FASTQ reading and writing (4-line records).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// One FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Header line without the leading `@`.
+    pub id: String,
+    /// Sequence bytes.
+    pub seq: Vec<u8>,
+    /// Phred+33 quality string, same length as `seq`.
+    pub qual: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Creates a record with a uniform quality score (Phred+33).
+    pub fn with_uniform_quality(id: impl Into<String>, seq: Vec<u8>, phred: u8) -> Self {
+        let qual = vec![phred + 33; seq.len()];
+        FastqRecord { id: id.into(), seq, qual }
+    }
+}
+
+/// Reads all records from a FASTQ source.
+///
+/// # Errors
+///
+/// Returns I/O errors from the reader and `InvalidData` for malformed
+/// records (missing lines, separator not `+`, or quality length
+/// differing from sequence length).
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::fastq::read_fastq;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let records = read_fastq(&b"@r1\nACGT\n+\nIIII\n"[..])?;
+/// assert_eq!(records[0].seq, b"ACGT");
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_fastq<R: Read>(reader: R) -> io::Result<Vec<FastqRecord>> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let mut records = Vec::new();
+    loop {
+        let header = match lines.next() {
+            None => break,
+            Some(line) => line?,
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "fastq header must start with @"))?
+            .to_string();
+        let seq = next_line(&mut lines)?.into_bytes();
+        let sep = next_line(&mut lines)?;
+        if !sep.starts_with('+') {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "fastq separator must start with +"));
+        }
+        let qual = next_line(&mut lines)?.into_bytes();
+        if qual.len() != seq.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "fastq quality length differs from sequence length",
+            ));
+        }
+        records.push(FastqRecord { id, seq, qual });
+    }
+    Ok(records)
+}
+
+fn next_line(lines: &mut impl Iterator<Item = io::Result<String>>) -> io::Result<String> {
+    match lines.next() {
+        Some(line) => Ok(line?.trim_end().to_string()),
+        None => Err(io::Error::new(io::ErrorKind::InvalidData, "truncated fastq record")),
+    }
+}
+
+/// Writes records in FASTQ format.
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying writer.
+pub fn write_fastq<W: Write>(mut writer: W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, "@{}", rec.id)?;
+        writer.write_all(&rec.seq)?;
+        writeln!(writer)?;
+        writeln!(writer, "+")?;
+        writer.write_all(&rec.qual)?;
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            FastqRecord::with_uniform_quality("read1", b"ACGTACGT".to_vec(), 40),
+            FastqRecord { id: "read2".into(), seq: b"GG".to_vec(), qual: b"!~".to_vec() },
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        assert_eq!(read_fastq(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn uniform_quality_offsets_by_33() {
+        let rec = FastqRecord::with_uniform_quality("r", b"ACG".to_vec(), 30);
+        assert_eq!(rec.qual, vec![63; 3]);
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        assert!(read_fastq(&b"ACGT\n"[..]).is_err());
+        assert!(read_fastq(&b"@r\nACGT\n-\nIIII\n"[..]).is_err());
+        assert!(read_fastq(&b"@r\nACGT\n+\nII\n"[..]).is_err());
+        assert!(read_fastq(&b"@r\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn blank_lines_between_records_are_skipped() {
+        let input = b"@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n";
+        assert_eq!(read_fastq(&input[..]).unwrap().len(), 2);
+    }
+}

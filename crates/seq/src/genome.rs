@@ -1,0 +1,224 @@
+//! Synthetic reference genomes.
+//!
+//! The paper evaluates against GRCh38; we cannot ship the human genome,
+//! so [`GenomeBuilder`] synthesizes references with controllable GC
+//! content and repeat structure (the two properties that matter to the
+//! seeding and filtering steps). The GenASM kernels themselves operate
+//! on (region, read) pairs and are insensitive to sequence origin —
+//! see DESIGN.md, "Substitutions".
+
+use crate::packed::PackedSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic reference genome.
+#[derive(Debug, Clone)]
+pub struct Genome {
+    name: String,
+    sequence: Vec<u8>,
+}
+
+impl Genome {
+    /// The genome's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full sequence as ASCII bases.
+    pub fn sequence(&self) -> &[u8] {
+        &self.sequence
+    }
+
+    /// Genome length in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// `true` when the genome is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// The half-open region `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn region(&self, start: usize, end: usize) -> &[u8] {
+        &self.sequence[start..end]
+    }
+
+    /// Packs the genome into 2-bit representation (the paper's
+    /// encoding, 4 bases/byte).
+    pub fn to_packed(&self) -> PackedSeq {
+        PackedSeq::from_ascii(&self.sequence).expect("synthesized genomes are pure ACGT")
+    }
+}
+
+/// Builder for synthetic genomes.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::genome::GenomeBuilder;
+///
+/// let genome = GenomeBuilder::new(100_000)
+///     .gc_content(0.41) // human-like
+///     .repeat_fraction(0.1)
+///     .seed(42)
+///     .build();
+/// assert_eq!(genome.len(), 100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenomeBuilder {
+    length: usize,
+    gc_content: f64,
+    repeat_fraction: f64,
+    repeat_unit: usize,
+    seed: u64,
+    name: String,
+}
+
+impl GenomeBuilder {
+    /// Starts a builder for a genome of `length` bases.
+    pub fn new(length: usize) -> Self {
+        GenomeBuilder {
+            length,
+            gc_content: 0.41, // GRCh38-like
+            repeat_fraction: 0.0,
+            repeat_unit: 300,
+            seed: 0,
+            name: "synthetic".to_string(),
+        }
+    }
+
+    /// Sets the GC content (fraction of G/C bases), clamped to `0..=1`.
+    #[must_use]
+    pub fn gc_content(mut self, gc: f64) -> Self {
+        self.gc_content = gc.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the fraction of the genome covered by repeated segments.
+    #[must_use]
+    pub fn repeat_fraction(mut self, fraction: f64) -> Self {
+        self.repeat_fraction = fraction.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Sets the length of each repeated segment.
+    #[must_use]
+    pub fn repeat_unit(mut self, unit: usize) -> Self {
+        self.repeat_unit = unit.max(10);
+        self
+    }
+
+    /// Sets the RNG seed (all output is deterministic per seed).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the genome name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Synthesizes the genome.
+    pub fn build(&self) -> Genome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut sequence = Vec::with_capacity(self.length);
+        // i.i.d. background respecting GC content.
+        while sequence.len() < self.length {
+            let b = if rng.gen::<f64>() < self.gc_content {
+                if rng.gen::<bool>() { b'G' } else { b'C' }
+            } else if rng.gen::<bool>() {
+                b'A'
+            } else {
+                b'T'
+            };
+            sequence.push(b);
+        }
+        // Scatter repeated segments: copy an earlier unit to a later
+        // position, emulating segmental duplications.
+        if self.repeat_fraction > 0.0 && self.length > 2 * self.repeat_unit {
+            let copies = ((self.length as f64 * self.repeat_fraction) / self.repeat_unit as f64)
+                .floor() as usize;
+            for _ in 0..copies {
+                let src = rng.gen_range(0..self.length - self.repeat_unit);
+                let dst = rng.gen_range(0..self.length - self.repeat_unit);
+                let unit: Vec<u8> = sequence[src..src + self.repeat_unit].to_vec();
+                sequence[dst..dst + self.repeat_unit].copy_from_slice(&unit);
+            }
+        }
+        Genome { name: self.name.clone(), sequence }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_is_exact() {
+        for len in [1usize, 100, 12_345] {
+            assert_eq!(GenomeBuilder::new(len).build().len(), len);
+        }
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let genome = GenomeBuilder::new(200_000).gc_content(0.6).seed(1).build();
+        let gc = genome
+            .sequence()
+            .iter()
+            .filter(|&&b| b == b'G' || b == b'C')
+            .count() as f64
+            / genome.len() as f64;
+        assert!((gc - 0.6).abs() < 0.01, "gc={gc}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GenomeBuilder::new(5000).seed(9).build();
+        let b = GenomeBuilder::new(5000).seed(9).build();
+        let c = GenomeBuilder::new(5000).seed(10).build();
+        assert_eq!(a.sequence(), b.sequence());
+        assert_ne!(a.sequence(), c.sequence());
+    }
+
+    #[test]
+    fn repeats_create_duplicate_units() {
+        let plain = GenomeBuilder::new(50_000).seed(2).build();
+        let repetitive = GenomeBuilder::new(50_000)
+            .seed(2)
+            .repeat_fraction(0.4)
+            .repeat_unit(200)
+            .build();
+        // Count distinct 32-mers: the repetitive genome must have fewer.
+        let distinct = |g: &Genome| {
+            let mut set = std::collections::HashSet::new();
+            for w in g.sequence().windows(32) {
+                set.insert(w.to_vec());
+            }
+            set.len()
+        };
+        assert!(distinct(&repetitive) < distinct(&plain));
+    }
+
+    #[test]
+    fn packing_roundtrip() {
+        let genome = GenomeBuilder::new(1000).seed(3).build();
+        assert_eq!(genome.to_packed().to_vec(), genome.sequence());
+    }
+
+    #[test]
+    fn region_slicing() {
+        let genome = GenomeBuilder::new(1000).seed(4).build();
+        assert_eq!(genome.region(10, 20).len(), 10);
+        assert_eq!(genome.region(10, 20), &genome.sequence()[10..20]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # genasm-seq
+//!
+//! Sequence substrate for the GenASM reproduction: 2-bit packed DNA
+//! storage, FASTA/FASTQ I/O, synthetic reference genomes, and read
+//! simulators reproducing the error profiles of the paper's datasets
+//! (§9): PacBio CLR and ONT R9 long reads at 10%/15% error, and
+//! Illumina short reads at 5% error.
+//!
+//! # Quick example
+//!
+//! ```
+//! use genasm_seq::genome::GenomeBuilder;
+//! use genasm_seq::readsim::{ReadSimulator, SimConfig};
+//! use genasm_seq::profile::ErrorProfile;
+//!
+//! let genome = GenomeBuilder::new(10_000).seed(7).build();
+//! let sim = ReadSimulator::new(SimConfig {
+//!     read_length: 100,
+//!     count: 10,
+//!     profile: ErrorProfile::illumina(),
+//!     seed: 42,
+//!     ..SimConfig::default()
+//! });
+//! let reads = sim.simulate(genome.sequence());
+//! assert_eq!(reads.len(), 10);
+//! ```
+
+pub mod fasta;
+pub mod fastq;
+pub mod genome;
+pub mod mutate;
+pub mod packed;
+pub mod profile;
+pub mod readsim;
+pub mod variants;
+
+pub use genome::{Genome, GenomeBuilder};
+pub use packed::PackedSeq;
+pub use profile::ErrorProfile;
+pub use readsim::{ReadSimulator, SimConfig, SimulatedRead};

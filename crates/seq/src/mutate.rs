@@ -1,0 +1,170 @@
+//! Sequence mutation: applies an [`ErrorProfile`] to a template,
+//! recording the true edit transcript.
+//!
+//! Used both by the read simulator (sequencing errors) and by the
+//! edit-distance dataset generator (§9: "artificially-mutated versions
+//! of the original DNA sequences with measures of similarity ranging
+//! between 60%–99%").
+
+use crate::profile::ErrorProfile;
+use genasm_core::cigar::{Cigar, CigarOp};
+use rand::Rng;
+
+/// The result of mutating a template sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutated {
+    /// The mutated sequence.
+    pub seq: Vec<u8>,
+    /// The true transcript from the template to the mutated copy
+    /// (template as text, mutated copy as pattern).
+    pub cigar: Cigar,
+    /// Number of edits introduced.
+    pub edits: usize,
+}
+
+/// A base drawn uniformly from `ACGT`.
+fn random_base<R: Rng>(rng: &mut R) -> u8 {
+    b"ACGT"[rng.gen_range(0..4)]
+}
+
+/// A base drawn uniformly from the three bases other than `not`.
+fn random_other_base<R: Rng>(rng: &mut R, not: u8) -> u8 {
+    loop {
+        let b = random_base(rng);
+        if b != not {
+            return b;
+        }
+    }
+}
+
+/// Applies `profile` to `template`, drawing errors independently per
+/// base, and records the ground-truth transcript.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::mutate::mutate;
+/// use genasm_seq::profile::ErrorProfile;
+/// use rand::SeedableRng;
+/// use rand::rngs::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let m = mutate(b"ACGTACGTACGT", ErrorProfile::perfect(), &mut rng);
+/// assert_eq!(m.seq, b"ACGTACGTACGT");
+/// assert_eq!(m.edits, 0);
+/// ```
+pub fn mutate<R: Rng>(template: &[u8], profile: ErrorProfile, rng: &mut R) -> Mutated {
+    let mut seq = Vec::with_capacity(template.len() + template.len() / 8);
+    let mut cigar = Cigar::new();
+    for &base in template {
+        let roll: f64 = rng.gen();
+        if roll < profile.deletion {
+            cigar.push(CigarOp::Del);
+        } else if roll < profile.deletion + profile.substitution {
+            seq.push(random_other_base(rng, base.to_ascii_uppercase()));
+            cigar.push(CigarOp::Subst);
+        } else {
+            seq.push(base.to_ascii_uppercase());
+            cigar.push(CigarOp::Match);
+        }
+        // Insertions are drawn independently per template position so
+        // the realized rate matches the profile even at high totals.
+        if rng.gen::<f64>() < profile.insertion {
+            seq.push(random_base(rng));
+            cigar.push(CigarOp::Ins);
+        }
+    }
+    // Degenerate guard: an all-deleted template still yields a read.
+    if seq.is_empty() {
+        seq.push(random_base(rng));
+        cigar.push(CigarOp::Ins);
+    }
+    let edits = cigar.edit_distance();
+    Mutated { seq, cigar, edits }
+}
+
+/// Mutates `template` to a target *similarity* (1 − error rate), using
+/// a balanced substitution/insertion/deletion mix — the shape of the
+/// Edlib evaluation dataset (§9, similarity 60%–99%).
+pub fn mutate_to_similarity<R: Rng>(template: &[u8], similarity: f64, rng: &mut R) -> Mutated {
+    let total = (1.0 - similarity).clamp(0.0, 1.0);
+    let profile = ErrorProfile {
+        substitution: total / 3.0,
+        insertion: total / 3.0,
+        deletion: total / 3.0,
+    };
+    mutate(template, profile, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn template(len: usize) -> Vec<u8> {
+        b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(len).collect()
+    }
+
+    #[test]
+    fn perfect_profile_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = template(500);
+        let m = mutate(&t, ErrorProfile::perfect(), &mut rng);
+        assert_eq!(m.seq, t);
+        assert_eq!(m.edits, 0);
+        assert!(m.cigar.validates(&t, &m.seq));
+    }
+
+    #[test]
+    fn transcript_is_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = template(2000);
+        let m = mutate(&t, ErrorProfile::pacbio_15(), &mut rng);
+        assert!(m.cigar.validates(&t, &m.seq), "cigar must replay template -> read");
+        assert_eq!(m.cigar.edit_distance(), m.edits);
+    }
+
+    #[test]
+    fn error_rate_is_near_requested() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let t = template(100_000);
+        let m = mutate(&t, ErrorProfile::pacbio_15(), &mut rng);
+        let rate = m.edits as f64 / t.len() as f64;
+        assert!((rate - 0.15).abs() < 0.01, "rate {rate} too far from 0.15");
+    }
+
+    #[test]
+    fn error_mix_matches_profile() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = template(200_000);
+        let m = mutate(&t, ErrorProfile::pacbio_15(), &mut rng);
+        let (_, subs, ins, del) = m.cigar.op_counts();
+        let total = (subs + ins + del) as f64;
+        assert!((subs as f64 / total - 0.10).abs() < 0.02);
+        assert!((ins as f64 / total - 0.60).abs() < 0.02);
+        assert!((del as f64 / total - 0.30).abs() < 0.02);
+    }
+
+    #[test]
+    fn similarity_target_is_hit() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let t = template(100_000);
+        for similarity in [0.6, 0.8, 0.95, 0.99] {
+            let m = mutate_to_similarity(&t, similarity, &mut rng);
+            let rate = m.edits as f64 / t.len() as f64;
+            assert!(
+                (rate - (1.0 - similarity)).abs() < 0.01,
+                "similarity {similarity}: rate {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let t = template(1000);
+        let a = mutate(&t, ErrorProfile::ont_10(), &mut StdRng::seed_from_u64(5));
+        let b = mutate(&t, ErrorProfile::ont_10(), &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Sequencing error profiles of the paper's datasets (§9).
+//!
+//! The paper simulates four long-read datasets with PBSIM (PacBio CLR
+//! default profile; ONT R9.0 chemistry profile) at 10% and 15% total
+//! error, and three Illumina short-read datasets with Mason at 5%
+//! error. We reproduce the *error-type mixes* of those simulators:
+//!
+//! * PacBio CLR errors are insertion-dominated
+//!   (substitution : insertion : deletion ≈ 10 : 60 : 30, the PBSIM
+//!   CLR default ratio);
+//! * ONT R9 errors are more balanced with a deletion bias
+//!   (≈ 25 : 30 : 45, per the MinION R9 characterization the paper
+//!   cites);
+//! * Illumina errors are almost entirely substitutions
+//!   (≈ 94 : 3 : 3, Mason's default).
+
+/// Per-base error rates by type. The total error rate is the sum of
+/// the three fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProfile {
+    /// Probability that a base is substituted.
+    pub substitution: f64,
+    /// Probability that a spurious base is inserted after a base.
+    pub insertion: f64,
+    /// Probability that a base is deleted.
+    pub deletion: f64,
+}
+
+impl ErrorProfile {
+    /// An error-free profile.
+    pub fn perfect() -> Self {
+        ErrorProfile { substitution: 0.0, insertion: 0.0, deletion: 0.0 }
+    }
+
+    /// A profile with total rate `total` split by the PBSIM CLR default
+    /// mix (10% substitutions, 60% insertions, 30% deletions).
+    pub fn pacbio(total: f64) -> Self {
+        ErrorProfile {
+            substitution: total * 0.10,
+            insertion: total * 0.60,
+            deletion: total * 0.30,
+        }
+    }
+
+    /// A profile with total rate `total` split by the ONT R9 mix
+    /// (25% substitutions, 30% insertions, 45% deletions).
+    pub fn ont(total: f64) -> Self {
+        ErrorProfile {
+            substitution: total * 0.25,
+            insertion: total * 0.30,
+            deletion: total * 0.45,
+        }
+    }
+
+    /// The Illumina short-read profile at the paper's 5% rate
+    /// (94% substitutions, 3% insertions, 3% deletions).
+    pub fn illumina() -> Self {
+        Self::illumina_at(0.05)
+    }
+
+    /// An Illumina-mix profile at total rate `total`.
+    pub fn illumina_at(total: f64) -> Self {
+        ErrorProfile {
+            substitution: total * 0.94,
+            insertion: total * 0.03,
+            deletion: total * 0.03,
+        }
+    }
+
+    /// The paper's PacBio datasets: 10% or 15% total error.
+    pub fn pacbio_10() -> Self {
+        Self::pacbio(0.10)
+    }
+
+    /// See [`pacbio_10`](Self::pacbio_10).
+    pub fn pacbio_15() -> Self {
+        Self::pacbio(0.15)
+    }
+
+    /// The paper's ONT datasets: 10% or 15% total error.
+    pub fn ont_10() -> Self {
+        Self::ont(0.10)
+    }
+
+    /// See [`ont_10`](Self::ont_10).
+    pub fn ont_15() -> Self {
+        Self::ont(0.15)
+    }
+
+    /// Total per-base error rate.
+    pub fn total(&self) -> f64 {
+        self.substitution + self.insertion + self.deletion
+    }
+}
+
+impl Default for ErrorProfile {
+    /// The Illumina 5% profile.
+    fn default() -> Self {
+        ErrorProfile::illumina()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_requested_rates() {
+        assert!((ErrorProfile::pacbio_10().total() - 0.10).abs() < 1e-12);
+        assert!((ErrorProfile::pacbio_15().total() - 0.15).abs() < 1e-12);
+        assert!((ErrorProfile::ont_10().total() - 0.10).abs() < 1e-12);
+        assert!((ErrorProfile::illumina().total() - 0.05).abs() < 1e-12);
+        assert_eq!(ErrorProfile::perfect().total(), 0.0);
+    }
+
+    #[test]
+    fn pacbio_is_insertion_dominated() {
+        let p = ErrorProfile::pacbio_15();
+        assert!(p.insertion > p.deletion && p.deletion > p.substitution);
+    }
+
+    #[test]
+    fn ont_is_deletion_biased() {
+        let p = ErrorProfile::ont_10();
+        assert!(p.deletion > p.insertion);
+    }
+
+    #[test]
+    fn illumina_is_substitution_dominated() {
+        let p = ErrorProfile::illumina();
+        assert!(p.substitution > 10.0 * p.insertion);
+    }
+}

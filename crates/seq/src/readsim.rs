@@ -1,0 +1,455 @@
+//! Read simulation: PBSIM-like (PacBio / ONT long reads) and
+//! Mason-like (Illumina short reads) generation (§9 of the paper).
+//!
+//! Each simulated read records its true origin and ground-truth edit
+//! transcript, so downstream experiments can measure both throughput
+//! and accuracy against a known answer.
+
+use crate::mutate::mutate;
+use crate::profile::ErrorProfile;
+use genasm_core::alphabet::Dna;
+use genasm_core::cigar::Cigar;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated read with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// The read sequence (with sequencing errors applied).
+    pub seq: Vec<u8>,
+    /// Start of the template region in the reference.
+    pub origin: usize,
+    /// Length of the template region in the reference.
+    pub template_len: usize,
+    /// `true` if the read was drawn from the reverse-complement strand.
+    pub reverse: bool,
+    /// Ground-truth transcript template → read (template as text).
+    pub truth_cigar: Cigar,
+    /// Number of errors introduced.
+    pub true_edits: usize,
+}
+
+impl SimulatedRead {
+    /// The template (error-free reference region) this read came from,
+    /// on the strand the read was sequenced from.
+    pub fn template<'a>(&self, reference: &'a [u8]) -> std::borrow::Cow<'a, [u8]> {
+        let region = &reference[self.origin..self.origin + self.template_len];
+        if self.reverse {
+            std::borrow::Cow::Owned(
+                region.iter().rev().map(|&b| Dna::complement(b)).collect(),
+            )
+        } else {
+            std::borrow::Cow::Borrowed(region)
+        }
+    }
+}
+
+/// Distribution of template lengths drawn per read.
+///
+/// Short-read platforms produce fixed-length reads; long-read
+/// platforms produce broad right-skewed length distributions, which
+/// [`LengthModel::LogNormal`] captures (the shape PBSIM samples for
+/// PacBio CLR data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LengthModel {
+    /// Every read uses the configured `read_length`.
+    Fixed,
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Minimum template length.
+        min: usize,
+        /// Maximum template length.
+        max: usize,
+    },
+    /// Log-normal with the configured `read_length` as its median and
+    /// `sigma` as the log-scale standard deviation, clamped to
+    /// `[min, max]`.
+    LogNormal {
+        /// Log-scale standard deviation (PBSIM uses ~0.2-0.5).
+        sigma: f64,
+        /// Minimum template length after clamping.
+        min: usize,
+        /// Maximum template length after clamping.
+        max: usize,
+    },
+}
+
+/// Read-simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Template length drawn from the reference per read (the median
+    /// for [`LengthModel::LogNormal`]).
+    pub read_length: usize,
+    /// Number of reads to generate.
+    pub count: usize,
+    /// Sequencing error profile.
+    pub profile: ErrorProfile,
+    /// RNG seed (deterministic output per seed).
+    pub seed: u64,
+    /// Whether to draw reads from both strands.
+    pub both_strands: bool,
+    /// Template-length distribution.
+    pub length_model: LengthModel,
+}
+
+impl Default for SimConfig {
+    /// 100 bp fixed-length Illumina-profile reads, forward strand only.
+    fn default() -> Self {
+        SimConfig {
+            read_length: 100,
+            count: 1,
+            profile: ErrorProfile::illumina(),
+            seed: 0,
+            both_strands: false,
+            length_model: LengthModel::Fixed,
+        }
+    }
+}
+
+/// Simulates reads from a reference sequence.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+/// use genasm_seq::profile::ErrorProfile;
+/// use genasm_seq::genome::GenomeBuilder;
+///
+/// let genome = GenomeBuilder::new(50_000).seed(1).build();
+/// let sim = ReadSimulator::new(SimConfig {
+///     read_length: 10_000,
+///     count: 5,
+///     profile: ErrorProfile::pacbio_15(),
+///     seed: 2,
+///     ..SimConfig::default()
+/// });
+/// let reads = sim.simulate(genome.sequence());
+/// assert_eq!(reads.len(), 5);
+/// for read in &reads {
+///     let template = read.template(genome.sequence());
+///     assert!(read.truth_cigar.validates(&template, &read.seq));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadSimulator {
+    config: SimConfig,
+}
+
+impl ReadSimulator {
+    /// Creates a simulator from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        ReadSimulator { config }
+    }
+
+    /// The simulator's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Generates `config.count` reads from `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is shorter than `config.read_length` or
+    /// the configured read length is zero.
+    pub fn simulate(&self, reference: &[u8]) -> Vec<SimulatedRead> {
+        assert!(self.config.read_length > 0, "read length must be positive");
+        assert!(
+            reference.len() >= self.config.read_length,
+            "reference ({}) shorter than read length ({})",
+            reference.len(),
+            self.config.read_length
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        (0..self.config.count)
+            .map(|_| self.simulate_one(reference, &mut rng))
+            .collect()
+    }
+
+    /// Draws one template length from the configured model, clamped to
+    /// the reference length.
+    fn draw_length(&self, reference_len: usize, rng: &mut StdRng) -> usize {
+        let drawn = match self.config.length_model {
+            LengthModel::Fixed => self.config.read_length,
+            LengthModel::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            LengthModel::LogNormal { sigma, min, max } => {
+                // Box-Muller standard normal, scaled onto the log axis
+                // around ln(median).
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let len = ((self.config.read_length as f64).ln() + sigma * z).exp();
+                (len.round() as usize).clamp(min, max)
+            }
+        };
+        drawn.clamp(1, reference_len)
+    }
+
+    fn simulate_one(&self, reference: &[u8], rng: &mut StdRng) -> SimulatedRead {
+        let len = self.draw_length(reference.len(), rng);
+        let origin = rng.gen_range(0..=reference.len() - len);
+        let reverse = self.config.both_strands && rng.gen::<bool>();
+        let template: Vec<u8> = if reverse {
+            reference[origin..origin + len]
+                .iter()
+                .rev()
+                .map(|&b| Dna::complement(b))
+                .collect()
+        } else {
+            reference[origin..origin + len].to_vec()
+        };
+        let mutated = mutate(&template, self.config.profile, rng);
+        SimulatedRead {
+            seq: mutated.seq,
+            origin,
+            template_len: len,
+            reverse,
+            truth_cigar: mutated.cigar,
+            true_edits: mutated.edits,
+        }
+    }
+}
+
+/// Converts simulated reads to FASTQ records, with a uniform Phred
+/// quality derived from the error profile
+/// (`Q = -10 log10(total error rate)`).
+pub fn to_fastq_records(reads: &[SimulatedRead], profile: &crate::profile::ErrorProfile) -> Vec<crate::fastq::FastqRecord> {
+    let q = if profile.total() > 0.0 {
+        (-10.0 * profile.total().log10()).round().clamp(2.0, 60.0) as u8
+    } else {
+        60
+    };
+    reads
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            crate::fastq::FastqRecord::with_uniform_quality(
+                format!("sim_{}_{}{}", i, r.origin, if r.reverse { "_rc" } else { "" }),
+                r.seq.clone(),
+                q,
+            )
+        })
+        .collect()
+}
+
+/// The paper's seven evaluation datasets (§9), scaled by `count` and
+/// `read_length` factors so laptop-scale experiments keep the same
+/// shape as the full 240 K / 200 K-read runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// PacBio CLR, 10 Kbp reads, 10% error.
+    PacBio10,
+    /// PacBio CLR, 10 Kbp reads, 15% error.
+    PacBio15,
+    /// ONT R9, 10 Kbp reads, 10% error.
+    Ont10,
+    /// ONT R9, 10 Kbp reads, 15% error.
+    Ont15,
+    /// Illumina, 100 bp reads, 5% error.
+    Illumina100,
+    /// Illumina, 150 bp reads, 5% error.
+    Illumina150,
+    /// Illumina, 250 bp reads, 5% error.
+    Illumina250,
+}
+
+impl PaperDataset {
+    /// All seven datasets in the paper's presentation order.
+    pub fn all() -> [PaperDataset; 7] {
+        [
+            PaperDataset::PacBio10,
+            PaperDataset::PacBio15,
+            PaperDataset::Ont10,
+            PaperDataset::Ont15,
+            PaperDataset::Illumina100,
+            PaperDataset::Illumina150,
+            PaperDataset::Illumina250,
+        ]
+    }
+
+    /// The dataset's display name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperDataset::PacBio10 => "PacBio-10%",
+            PaperDataset::PacBio15 => "PacBio-15%",
+            PaperDataset::Ont10 => "ONT-10%",
+            PaperDataset::Ont15 => "ONT-15%",
+            PaperDataset::Illumina100 => "Illumina-100bp",
+            PaperDataset::Illumina150 => "Illumina-150bp",
+            PaperDataset::Illumina250 => "Illumina-250bp",
+        }
+    }
+
+    /// Whether this is a long-read dataset.
+    pub fn is_long(&self) -> bool {
+        matches!(
+            self,
+            PaperDataset::PacBio10 | PaperDataset::PacBio15 | PaperDataset::Ont10 | PaperDataset::Ont15
+        )
+    }
+
+    /// The dataset's read length in the paper (10 Kbp long reads;
+    /// 100/150/250 bp short reads).
+    pub fn read_length(&self) -> usize {
+        match self {
+            PaperDataset::Illumina100 => 100,
+            PaperDataset::Illumina150 => 150,
+            PaperDataset::Illumina250 => 250,
+            _ => 10_000,
+        }
+    }
+
+    /// The dataset's error profile.
+    pub fn profile(&self) -> ErrorProfile {
+        match self {
+            PaperDataset::PacBio10 => ErrorProfile::pacbio_10(),
+            PaperDataset::PacBio15 => ErrorProfile::pacbio_15(),
+            PaperDataset::Ont10 => ErrorProfile::ont_10(),
+            PaperDataset::Ont15 => ErrorProfile::ont_15(),
+            _ => ErrorProfile::illumina(),
+        }
+    }
+
+    /// A simulator for this dataset generating `count` reads.
+    pub fn simulator(&self, count: usize, seed: u64) -> ReadSimulator {
+        ReadSimulator::new(SimConfig {
+            read_length: self.read_length(),
+            count,
+            profile: self.profile(),
+            seed,
+            both_strands: false,
+            length_model: LengthModel::Fixed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GenomeBuilder;
+
+    fn reference() -> Vec<u8> {
+        GenomeBuilder::new(60_000).seed(100).build().sequence().to_vec()
+    }
+
+    #[test]
+    fn truth_cigar_replays_template_to_read() {
+        let reference = reference();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 2_000,
+            count: 20,
+            profile: ErrorProfile::ont_15(),
+            seed: 5,
+            both_strands: true,
+            length_model: LengthModel::Fixed,
+        });
+        for read in sim.simulate(&reference) {
+            let template = read.template(&reference);
+            assert!(read.truth_cigar.validates(&template, &read.seq));
+            assert_eq!(read.truth_cigar.edit_distance(), read.true_edits);
+        }
+    }
+
+    #[test]
+    fn error_rate_tracks_profile() {
+        let reference = reference();
+        let sim = PaperDataset::PacBio15.simulator(10, 9);
+        let reads = sim.simulate(&reference);
+        let total_len: usize = reads.iter().map(|r| r.template_len).sum();
+        let total_edits: usize = reads.iter().map(|r| r.true_edits).sum();
+        let rate = total_edits as f64 / total_len as f64;
+        assert!((rate - 0.15).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let reference = reference();
+        let a = PaperDataset::Illumina100.simulator(5, 77).simulate(&reference);
+        let b = PaperDataset::Illumina100.simulator(5, 77).simulate(&reference);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn datasets_have_paper_parameters() {
+        assert_eq!(PaperDataset::Illumina250.read_length(), 250);
+        assert_eq!(PaperDataset::PacBio10.read_length(), 10_000);
+        assert!(PaperDataset::Ont15.is_long());
+        assert!(!PaperDataset::Illumina150.is_long());
+        assert_eq!(PaperDataset::all().len(), 7);
+    }
+
+    #[test]
+    fn reverse_strand_reads_validate() {
+        let reference = reference();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 300,
+            count: 50,
+            profile: ErrorProfile::illumina(),
+            seed: 13,
+            both_strands: true,
+            length_model: LengthModel::Fixed,
+        });
+        let reads = sim.simulate(&reference);
+        assert!(reads.iter().any(|r| r.reverse), "some reads should be reverse-strand");
+        for read in reads.iter().filter(|r| r.reverse) {
+            let template = read.template(&reference);
+            assert!(read.truth_cigar.validates(&template, &read.seq));
+        }
+    }
+
+    #[test]
+    fn lognormal_lengths_are_spread_around_median() {
+        let reference = reference();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 5_000,
+            count: 200,
+            length_model: LengthModel::LogNormal { sigma: 0.3, min: 500, max: 40_000 },
+            ..SimConfig::default()
+        });
+        let reads = sim.simulate(&reference);
+        let lens: Vec<usize> = reads.iter().map(|r| r.template_len).collect();
+        let distinct: std::collections::HashSet<_> = lens.iter().collect();
+        assert!(distinct.len() > 50, "lengths should vary");
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!((median as f64 / 5_000.0 - 1.0).abs() < 0.25, "median {median}");
+        assert!(lens.iter().all(|&l| l >= 500));
+    }
+
+    #[test]
+    fn uniform_lengths_stay_in_range() {
+        let reference = reference();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 1_000,
+            count: 50,
+            length_model: LengthModel::Uniform { min: 200, max: 2_000 },
+            ..SimConfig::default()
+        });
+        for read in sim.simulate(&reference) {
+            assert!((200..=2_000).contains(&read.template_len));
+        }
+    }
+
+    #[test]
+    fn fastq_export_roundtrips() {
+        let reference = reference();
+        let sim = PaperDataset::Illumina100.simulator(5, 3);
+        let reads = sim.simulate(&reference);
+        let records = to_fastq_records(&reads, &PaperDataset::Illumina100.profile());
+        let mut buf = Vec::new();
+        crate::fastq::write_fastq(&mut buf, &records).unwrap();
+        let parsed = crate::fastq::read_fastq(&buf[..]).unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed[0].seq, reads[0].seq);
+        // 5% error rate -> Q13.
+        assert_eq!(parsed[0].qual[0] - 33, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn rejects_reference_shorter_than_read() {
+        let sim = ReadSimulator::new(SimConfig { read_length: 100, ..SimConfig::default() });
+        sim.simulate(b"ACGT");
+    }
+}

@@ -1,0 +1,255 @@
+//! Genetic-variant injection: derives a *donor* genome from a
+//! reference by applying SNVs, small indels, and inversions, keeping
+//! the ground-truth variant list.
+//!
+//! Read mapping exists to discover exactly these differences (§2.2:
+//! "The differences between two sequences of the same species can
+//! result from sequencing errors and/or genetic variations"). Reads
+//! simulated from a donor genome and mapped back to the reference
+//! exercise the full pipeline the way real resequencing does, with a
+//! known answer set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected variant, positioned on the *reference* coordinate
+/// system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Variant {
+    /// Single-nucleotide variant: reference base replaced.
+    Snv {
+        /// Reference position.
+        pos: usize,
+        /// The donor base.
+        alt: u8,
+    },
+    /// Deletion of `len` reference bases starting at `pos`.
+    Deletion {
+        /// Reference position.
+        pos: usize,
+        /// Deleted length.
+        len: usize,
+    },
+    /// Insertion of `seq` before reference position `pos`.
+    Insertion {
+        /// Reference position.
+        pos: usize,
+        /// Inserted bases.
+        seq: Vec<u8>,
+    },
+    /// Inversion (reverse complement) of `len` bases at `pos`.
+    Inversion {
+        /// Reference position.
+        pos: usize,
+        /// Inverted length.
+        len: usize,
+    },
+}
+
+impl Variant {
+    /// Reference position of the variant.
+    pub fn position(&self) -> usize {
+        match self {
+            Variant::Snv { pos, .. }
+            | Variant::Deletion { pos, .. }
+            | Variant::Insertion { pos, .. }
+            | Variant::Inversion { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Variant-injection rates (per reference base).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantProfile {
+    /// SNV rate (human-like: ~1e-3 between individuals).
+    pub snv: f64,
+    /// Small-indel rate.
+    pub indel: f64,
+    /// Maximum indel length (uniform in `1..=max`).
+    pub max_indel: usize,
+    /// Inversion rate (rare structural events).
+    pub inversion: f64,
+    /// Inversion length (fixed, for ground-truth simplicity).
+    pub inversion_len: usize,
+}
+
+impl Default for VariantProfile {
+    /// Human-like rates: 0.1% SNVs, 0.01% indels (≤8 bp), rare 60 bp
+    /// inversions.
+    fn default() -> Self {
+        VariantProfile { snv: 1e-3, indel: 1e-4, max_indel: 8, inversion: 5e-6, inversion_len: 60 }
+    }
+}
+
+/// A donor genome with its ground-truth variant set.
+#[derive(Debug, Clone)]
+pub struct Donor {
+    /// The donor sequence.
+    pub sequence: Vec<u8>,
+    /// Injected variants in reference order.
+    pub variants: Vec<Variant>,
+}
+
+/// Derives a donor genome from `reference` under `profile`.
+///
+/// Variants never overlap; positions are reference coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::variants::{apply_variants, VariantProfile};
+/// use genasm_seq::genome::GenomeBuilder;
+///
+/// let reference = GenomeBuilder::new(50_000).seed(1).build();
+/// let donor = apply_variants(reference.sequence(), VariantProfile::default(), 7);
+/// assert!(!donor.variants.is_empty());
+/// ```
+pub fn apply_variants(reference: &[u8], profile: VariantProfile, seed: u64) -> Donor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut variants = Vec::new();
+    let mut sequence = Vec::with_capacity(reference.len());
+    let mut pos = 0usize;
+
+    let random_base = |rng: &mut StdRng| b"ACGT"[rng.gen_range(0..4)];
+
+    while pos < reference.len() {
+        let roll: f64 = rng.gen();
+        if roll < profile.inversion && pos + profile.inversion_len < reference.len() {
+            let len = profile.inversion_len;
+            let inverted: Vec<u8> = reference[pos..pos + len]
+                .iter()
+                .rev()
+                .map(|&b| genasm_core::alphabet::Dna::complement(b))
+                .collect();
+            sequence.extend_from_slice(&inverted);
+            variants.push(Variant::Inversion { pos, len });
+            pos += len;
+        } else if roll < profile.inversion + profile.indel {
+            if rng.gen::<bool>() {
+                // Deletion.
+                let len = rng.gen_range(1..=profile.max_indel).min(reference.len() - pos);
+                variants.push(Variant::Deletion { pos, len });
+                pos += len;
+            } else {
+                // Insertion before this position.
+                let len = rng.gen_range(1..=profile.max_indel);
+                let seq: Vec<u8> = (0..len).map(|_| random_base(&mut rng)).collect();
+                sequence.extend_from_slice(&seq);
+                variants.push(Variant::Insertion { pos, seq });
+                // Reference position unchanged; emit the current base too.
+                sequence.push(reference[pos]);
+                pos += 1;
+            }
+        } else if roll < profile.inversion + profile.indel + profile.snv {
+            let alt = loop {
+                let b = random_base(&mut rng);
+                if !b.eq_ignore_ascii_case(&reference[pos]) {
+                    break b;
+                }
+            };
+            sequence.push(alt);
+            variants.push(Variant::Snv { pos, alt });
+            pos += 1;
+        } else {
+            sequence.push(reference[pos]);
+            pos += 1;
+        }
+    }
+    Donor { sequence, variants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::GenomeBuilder;
+
+    fn reference() -> Vec<u8> {
+        GenomeBuilder::new(200_000).seed(5).build().sequence().to_vec()
+    }
+
+    #[test]
+    fn no_variants_is_identity() {
+        let reference = reference();
+        let profile =
+            VariantProfile { snv: 0.0, indel: 0.0, inversion: 0.0, ..VariantProfile::default() };
+        let donor = apply_variants(&reference, profile, 1);
+        assert_eq!(donor.sequence, reference);
+        assert!(donor.variants.is_empty());
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let reference = reference();
+        let donor = apply_variants(&reference, VariantProfile::default(), 2);
+        let snvs = donor.variants.iter().filter(|v| matches!(v, Variant::Snv { .. })).count();
+        let expected = reference.len() as f64 * 1e-3;
+        assert!(
+            (snvs as f64 - expected).abs() < expected * 0.4,
+            "snvs={snvs} expected~{expected}"
+        );
+    }
+
+    #[test]
+    fn variants_are_in_reference_order_and_in_bounds() {
+        let reference = reference();
+        let donor = apply_variants(&reference, VariantProfile::default(), 3);
+        let mut last = 0usize;
+        for v in &donor.variants {
+            assert!(v.position() >= last);
+            assert!(v.position() < reference.len());
+            last = v.position();
+        }
+    }
+
+    #[test]
+    fn snv_ground_truth_matches_sequences() {
+        let reference = reference();
+        let profile = VariantProfile { indel: 0.0, inversion: 0.0, ..VariantProfile::default() };
+        let donor = apply_variants(&reference, profile, 4);
+        // SNV-only donors keep coordinates aligned.
+        assert_eq!(donor.sequence.len(), reference.len());
+        for v in &donor.variants {
+            if let Variant::Snv { pos, alt } = v {
+                assert_eq!(donor.sequence[*pos], *alt);
+                assert_ne!(donor.sequence[*pos], reference[*pos]);
+            }
+        }
+        // Every difference is an annotated SNV.
+        let diffs = reference
+            .iter()
+            .zip(donor.sequence.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, donor.variants.len());
+    }
+
+    #[test]
+    fn reads_from_donor_map_back_to_reference() {
+        use crate::profile::ErrorProfile;
+        use crate::readsim::{ReadSimulator, SimConfig};
+        let reference = reference();
+        let donor = apply_variants(&reference, VariantProfile::default(), 9);
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 200,
+            count: 10,
+            profile: ErrorProfile::illumina(),
+            seed: 10,
+            ..SimConfig::default()
+        });
+        // Reads drawn from the donor still align to the reference with
+        // few edits (variants + sequencing errors).
+        use genasm_core::filter::PreAlignmentFilter;
+        let filter = PreAlignmentFilter::new(30);
+        let mut accepted = 0;
+        for read in sim.simulate(&donor.sequence) {
+            // The donor coordinate is close to the reference coordinate
+            // (indel drift is tiny at these rates).
+            let start = read.origin.saturating_sub(40);
+            let end = (read.origin + read.template_len + 40).min(reference.len());
+            if filter.accepts(&reference[start..end], &read.seq).unwrap() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 9, "only {accepted}/10 donor reads matched the reference");
+    }
+}

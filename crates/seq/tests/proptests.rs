@@ -1,0 +1,96 @@
+//! Property-based tests for the sequence substrate.
+
+use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
+use genasm_seq::fastq::{read_fastq, write_fastq, FastqRecord};
+use genasm_seq::mutate::{mutate, mutate_to_similarity};
+use genasm_seq::packed::PackedSeq;
+use genasm_seq::profile::ErrorProfile;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// 2-bit packing round-trips for every length and content.
+    #[test]
+    fn packed_roundtrip(seq in dna(600)) {
+        let packed = PackedSeq::from_ascii(&seq).unwrap();
+        prop_assert_eq!(packed.to_vec(), seq.clone());
+        prop_assert_eq!(packed.len(), seq.len());
+        prop_assert_eq!(packed.packed_bytes(), seq.len().div_ceil(4));
+    }
+
+    /// Reverse complement is an involution and flips base identities.
+    #[test]
+    fn reverse_complement_involution(seq in dna(300)) {
+        let packed = PackedSeq::from_ascii(&seq).unwrap();
+        let rc = packed.reverse_complement();
+        prop_assert_eq!(rc.reverse_complement(), packed.clone());
+        for i in 0..seq.len() {
+            prop_assert_eq!(rc.code(i), 3 - packed.code(seq.len() - 1 - i));
+        }
+    }
+
+    /// Mutation transcripts always replay template -> read, for every
+    /// profile.
+    #[test]
+    fn mutation_transcripts_replay(template in dna(400), seed in any::<u64>()) {
+        for profile in [
+            ErrorProfile::perfect(),
+            ErrorProfile::illumina(),
+            ErrorProfile::pacbio_15(),
+            ErrorProfile::ont_10(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = mutate(&template, profile, &mut rng);
+            prop_assert!(m.cigar.validates(&template, &m.seq));
+            prop_assert_eq!(m.cigar.edit_distance(), m.edits);
+        }
+    }
+
+    /// Similarity-targeted mutation yields a valid transcript and a
+    /// read whose edit count is plausible for the target.
+    #[test]
+    fn similarity_mutation_is_calibrated(template in dna(500), sim_pct in 60u32..100) {
+        let similarity = sim_pct as f64 / 100.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = mutate_to_similarity(&template, similarity, &mut rng);
+        prop_assert!(m.cigar.validates(&template, &m.seq));
+        // Expected edits within generous statistical slack.
+        let expected = template.len() as f64 * (1.0 - similarity);
+        let slack = 12.0 + expected * 0.75;
+        prop_assert!((m.edits as f64 - expected).abs() <= slack,
+            "edits={} expected={expected}", m.edits);
+    }
+
+    /// FASTA writing/parsing round-trips arbitrary records.
+    #[test]
+    fn fasta_roundtrip(seqs in proptest::collection::vec(dna(200), 1..5)) {
+        let records: Vec<FastaRecord> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, seq)| FastaRecord { id: format!("rec{i}"), seq })
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records).unwrap();
+        prop_assert_eq!(read_fasta(&buf[..]).unwrap(), records);
+    }
+
+    /// FASTQ writing/parsing round-trips arbitrary records.
+    #[test]
+    fn fastq_roundtrip(seqs in proptest::collection::vec(dna(200), 1..5), q in 2u8..60) {
+        let records: Vec<FastqRecord> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, seq)| FastqRecord::with_uniform_quality(format!("r{i}"), seq, q))
+            .collect();
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        prop_assert_eq!(read_fastq(&buf[..]).unwrap(), records);
+    }
+}

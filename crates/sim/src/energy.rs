@@ -1,0 +1,144 @@
+//! Energy model: joules per alignment, derived from the power model
+//! (Table 1) and the performance model.
+//!
+//! The paper reports power ratios (37× vs 12-thread BWA-MEM, 2.7× vs
+//! GACT, 548–582× vs Edlib, 67× vs ASAP); combining them with the
+//! throughput ratios gives *energy per alignment* — the figure of merit
+//! for a sequencing appliance, where the same work must be done within
+//! a battery or power budget.
+
+use crate::analytic::AnalyticModel;
+use crate::config::GenAsmHwConfig;
+use crate::power::GenAsmPowerModel;
+use crate::reported;
+
+/// Energy accounting for one alignment workload on one system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Seconds per alignment.
+    pub seconds_per_alignment: f64,
+    /// System power in watts while aligning.
+    pub power_w: f64,
+    /// Joules per alignment.
+    pub joules_per_alignment: f64,
+}
+
+impl EnergyEstimate {
+    /// Builds an estimate from a throughput (alignments/s) and power.
+    pub fn from_throughput(throughput: f64, power_w: f64) -> Self {
+        let seconds = 1.0 / throughput;
+        EnergyEstimate {
+            seconds_per_alignment: seconds,
+            power_w,
+            joules_per_alignment: seconds * power_w,
+        }
+    }
+
+    /// Energy-efficiency factor of `self` relative to `other`
+    /// (how many times less energy `self` uses per alignment).
+    pub fn efficiency_vs(&self, other: &EnergyEstimate) -> f64 {
+        other.joules_per_alignment / self.joules_per_alignment
+    }
+}
+
+/// The GenASM energy model over the paper's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    model: AnalyticModel,
+}
+
+impl EnergyModel {
+    /// Creates an energy model over `config`.
+    pub fn new(config: GenAsmHwConfig) -> Self {
+        EnergyModel { model: AnalyticModel::new(config) }
+    }
+
+    /// Energy per alignment for a single GenASM accelerator on a read
+    /// of length `m` with threshold `k`.
+    pub fn genasm_single(&self, m: usize, k: usize) -> EnergyEstimate {
+        let est = self.model.alignment(m, k);
+        EnergyEstimate::from_throughput(
+            est.single_accel_throughput,
+            GenAsmPowerModel::one_vault().power_w,
+        )
+    }
+
+    /// Energy per alignment for the full 32-vault system (same energy
+    /// per alignment as a single vault: throughput and power both scale
+    /// by the vault count).
+    pub fn genasm_full(&self, m: usize, k: usize) -> EnergyEstimate {
+        let est = self.model.alignment(m, k);
+        let vaults = self.model.config().vaults as f64;
+        EnergyEstimate::from_throughput(
+            est.full_throughput,
+            GenAsmPowerModel::one_vault().power_w * vaults,
+        )
+    }
+
+    /// Energy per alignment for GACT (Darwin) at the published
+    /// long-read operating points.
+    pub fn gact_long_read(&self, m: usize) -> EnergyEstimate {
+        EnergyEstimate::from_throughput(
+            reported::gact_long_read_throughput(m),
+            reported::GACT_POWER_W,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(GenAsmHwConfig::paper())
+    }
+
+    #[test]
+    fn joules_are_power_times_time() {
+        let e = EnergyEstimate::from_throughput(1_000.0, 2.0);
+        assert!((e.joules_per_alignment - 0.002).abs() < 1e-12);
+        assert!((e.seconds_per_alignment - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_system_energy_per_alignment_equals_single_vault() {
+        let m = model();
+        let single = m.genasm_single(10_000, 1_500);
+        let full = m.genasm_full(10_000, 1_500);
+        assert!(
+            (single.joules_per_alignment - full.joules_per_alignment).abs()
+                / single.joules_per_alignment
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn energy_advantage_over_gact_is_speedup_times_power_ratio() {
+        // ~3.9x throughput x 2.7x power = ~10.5x energy, the paper's
+        // "10.5x throughput per unit power" claim for long reads.
+        let m = model();
+        let genasm = m.genasm_single(10_000, 1_500);
+        let gact = m.gact_long_read(10_000);
+        let advantage = genasm.efficiency_vs(&gact);
+        assert!(
+            advantage > 9.0 && advantage < 13.0,
+            "energy advantage {advantage} should be ~10.5x (speedup x power ratio)"
+        );
+    }
+
+    #[test]
+    fn long_reads_cost_more_energy_than_short_reads() {
+        let m = model();
+        let long = m.genasm_single(10_000, 1_500);
+        let short = m.genasm_single(100, 5);
+        assert!(long.joules_per_alignment > 50.0 * short.joules_per_alignment);
+    }
+
+    #[test]
+    fn microjoule_scale_per_long_read() {
+        // One 10 Kbp alignment: ~41 K cycles at 1 GHz x 101 mW ≈ 4 uJ.
+        let e = model().genasm_single(10_000, 1_500);
+        let uj = e.joules_per_alignment * 1e6;
+        assert!(uj > 2.0 && uj < 8.0, "{uj} uJ");
+    }
+}

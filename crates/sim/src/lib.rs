@@ -1,0 +1,34 @@
+//! # genasm-sim
+//!
+//! Hardware model of the GenASM accelerator (§7, §9, §10.1 of the
+//! paper):
+//!
+//! * [`config`] — the evaluated hardware configuration (64 PEs × 64
+//!   bits at 1 GHz, 8 KB DC-SRAM, 64×1.5 KB TB-SRAMs, one accelerator
+//!   per vault of a 32-vault HMC-like 3D-stacked memory);
+//! * [`analytic`] — the spreadsheet-style analytical performance model
+//!   the paper drives its evaluation with (cycles, bandwidth, memory
+//!   footprint), including the §10.5 closed forms;
+//! * [`systolic`] — a cycle-level simulation of the GenASM-DC linear
+//!   cyclic systolic array and the GenASM-TB walker, verified against
+//!   the analytic model exactly as the paper verifies its model
+//!   against RTL;
+//! * [`power`] — the Table 1 area/power breakdown at 28 nm;
+//! * [`memsys`] — vault-level parallelism and bandwidth accounting;
+//! * [`reported`] — the published baseline measurements (GACT, SillaX,
+//!   Shouji, Edlib, ASAP, GASAL2, CPU tools) used for side-by-side
+//!   "paper vs reproduced" tables.
+
+pub mod analytic;
+pub mod config;
+pub mod energy;
+pub mod explore;
+pub mod memsys;
+pub mod power;
+pub mod reported;
+pub mod sram;
+pub mod systolic;
+
+pub use analytic::AnalyticModel;
+pub use config::GenAsmHwConfig;
+pub use power::{AreaPower, GenAsmPowerModel};

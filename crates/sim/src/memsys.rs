@@ -1,0 +1,161 @@
+//! The 3D-stacked memory system model (§7, "Overall System").
+//!
+//! GenASM places one accelerator in the logic layer of each vault of an
+//! HMC-like 3D-stacked memory (32 vaults, 256 GB/s internal bandwidth).
+//! Vaults operate independently, so aggregate throughput scales
+//! linearly as long as the accelerators' DRAM traffic stays far below
+//! the internal bandwidth — which this module checks, and which a
+//! discrete-event dispatch simulation (with per-vault queues) verifies
+//! for skewed workloads.
+
+use crate::analytic::AnalyticModel;
+use crate::config::GenAsmHwConfig;
+use parking_lot::Mutex;
+
+/// Outcome of dispatching a batch of alignments across vaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchOutcome {
+    /// Number of jobs dispatched.
+    pub jobs: usize,
+    /// Total cycles until the last vault finishes (makespan).
+    pub makespan_cycles: u64,
+    /// Sum of per-vault busy cycles.
+    pub busy_cycles: u64,
+    /// Aggregate throughput in alignments/sec.
+    pub throughput: f64,
+    /// Load imbalance: makespan / (busy / vaults), 1.0 = perfect.
+    pub imbalance: f64,
+}
+
+/// The vault-parallel memory system.
+#[derive(Debug, Clone, Copy)]
+pub struct MemorySystem {
+    config: GenAsmHwConfig,
+}
+
+impl MemorySystem {
+    /// Creates a memory system over `config`.
+    pub fn new(config: GenAsmHwConfig) -> Self {
+        MemorySystem { config }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &GenAsmHwConfig {
+        &self.config
+    }
+
+    /// Whether the aggregate DRAM traffic of all vaults at the modelled
+    /// operating point stays below `fraction` of the internal
+    /// bandwidth (the paper quotes 3.3–4.4 GB/s total against
+    /// 256 GB/s peak).
+    pub fn bandwidth_headroom(&self, m: usize, k: usize) -> f64 {
+        let model = AnalyticModel::new(self.config);
+        let est = model.alignment(m, k);
+        let per_accel = model.dram_bandwidth_bytes(m, k, est.single_accel_throughput);
+        let total = per_accel * self.config.vaults as f64;
+        self.config.memory_bw_bytes / total
+    }
+
+    /// Dispatches `job_cycles` (cycle cost per alignment job) across
+    /// the vaults greedy-shortest-queue and reports the makespan.
+    /// Vaults are independent, so this is an exact model of the
+    /// system's job-level parallelism.
+    pub fn dispatch(&self, job_cycles: &[u64]) -> DispatchOutcome {
+        let vaults = self.config.vaults;
+        let mut load = vec![0u64; vaults];
+        for &cycles in job_cycles {
+            // Shortest-queue assignment (host-side load balancing).
+            let v = (0..vaults).min_by_key(|&v| load[v]).expect("at least one vault");
+            load[v] += cycles;
+        }
+        let makespan = load.iter().copied().max().unwrap_or(0);
+        let busy: u64 = load.iter().sum();
+        let seconds = makespan as f64 / self.config.freq_hz;
+        DispatchOutcome {
+            jobs: job_cycles.len(),
+            makespan_cycles: makespan,
+            busy_cycles: busy,
+            throughput: if seconds > 0.0 { job_cycles.len() as f64 / seconds } else { 0.0 },
+            imbalance: if busy == 0 {
+                1.0
+            } else {
+                makespan as f64 / (busy as f64 / vaults as f64)
+            },
+        }
+    }
+
+    /// Runs `f` once per vault on real host threads (crossbeam scoped),
+    /// collecting per-vault results — the software-throughput analogue
+    /// of vault parallelism used by the experiment harness.
+    pub fn run_per_vault<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let results = Mutex::new(Vec::with_capacity(self.config.vaults));
+        crossbeam::scope(|scope| {
+            for v in 0..self.config.vaults {
+                let f = &f;
+                let results = &results;
+                scope.spawn(move |_| {
+                    let value = f(v);
+                    results.lock().push((v, value));
+                });
+            }
+        })
+        .expect("vault worker panicked");
+        let mut collected = results.into_inner();
+        collected.sort_by_key(|&(v, _)| v);
+        collected.into_iter().map(|(_, value)| value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> MemorySystem {
+        MemorySystem::new(GenAsmHwConfig::paper())
+    }
+
+    #[test]
+    fn bandwidth_headroom_is_large() {
+        // Paper: 3.3-4.4 GB/s needed vs 256 GB/s peak -> ~60-75x headroom.
+        let headroom = system().bandwidth_headroom(10_000, 1_500);
+        assert!(headroom > 50.0, "headroom {headroom}");
+    }
+
+    #[test]
+    fn uniform_jobs_scale_linearly() {
+        let s = system();
+        let jobs = vec![1_000u64; 3_200]; // 100 jobs per vault
+        let outcome = s.dispatch(&jobs);
+        assert_eq!(outcome.makespan_cycles, 100 * 1_000);
+        assert!((outcome.imbalance - 1.0).abs() < 1e-9);
+        // Throughput = 32 vaults x (1e9 / 1000) jobs/sec.
+        assert!((outcome.throughput - 32.0 * 1e6).abs() / (32.0 * 1e6) < 1e-9);
+    }
+
+    #[test]
+    fn skewed_jobs_stay_balanced_with_shortest_queue() {
+        let s = system();
+        // Long-tailed job sizes.
+        let jobs: Vec<u64> = (0..3_200).map(|i| 500 + (i % 97) * 37).collect();
+        let outcome = s.dispatch(&jobs);
+        assert!(outcome.imbalance < 1.05, "imbalance {}", outcome.imbalance);
+    }
+
+    #[test]
+    fn single_job_uses_one_vault() {
+        let outcome = system().dispatch(&[42]);
+        assert_eq!(outcome.makespan_cycles, 42);
+        assert_eq!(outcome.jobs, 1);
+    }
+
+    #[test]
+    fn run_per_vault_runs_all_vaults() {
+        let results = system().run_per_vault(|v| v * 2);
+        assert_eq!(results.len(), 32);
+        assert_eq!(results[5], 10);
+    }
+}

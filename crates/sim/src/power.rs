@@ -1,0 +1,162 @@
+//! Area and power model: the Table 1 breakdown (§10.1).
+//!
+//! The paper synthesizes the accelerator datapaths with Synopsys Design
+//! Compiler at a typical 28 nm low-power process and generates SRAMs
+//! with an industry SRAM compiler; we cannot run those tools, so the
+//! published post-synthesis constants are the model (see DESIGN.md,
+//! "Substitutions"). Everything derived from them — totals, scaling to
+//! 32 vaults, comparisons against baseline power envelopes — is
+//! recomputed here.
+
+use serde::{Deserialize, Serialize};
+
+/// An (area, power) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaPower {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl AreaPower {
+    /// Creates a pair.
+    pub fn new(area_mm2: f64, power_w: f64) -> Self {
+        AreaPower { area_mm2, power_w }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: AreaPower) -> AreaPower {
+        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_w: self.power_w + other.power_w }
+    }
+
+    /// Component-wise scale (e.g. per-vault → 32 vaults).
+    #[must_use]
+    pub fn times(self, factor: f64) -> AreaPower {
+        AreaPower { area_mm2: self.area_mm2 * factor, power_w: self.power_w * factor }
+    }
+}
+
+/// One row of the Table 1 breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentRow {
+    /// Component name as printed in Table 1.
+    pub component: &'static str,
+    /// Area and power of the component.
+    pub cost: AreaPower,
+}
+
+/// The GenASM area/power model (28 nm, 1 GHz).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GenAsmPowerModel;
+
+impl GenAsmPowerModel {
+    /// GenASM-DC datapath with 64 PEs.
+    pub fn dc() -> AreaPower {
+        AreaPower::new(0.049, 0.033)
+    }
+
+    /// GenASM-TB datapath.
+    pub fn tb() -> AreaPower {
+        AreaPower::new(0.016, 0.004)
+    }
+
+    /// 8 KB DC-SRAM.
+    pub fn dc_sram() -> AreaPower {
+        AreaPower::new(0.013, 0.009)
+    }
+
+    /// 64 × 1.5 KB TB-SRAMs.
+    pub fn tb_srams() -> AreaPower {
+        AreaPower::new(0.256, 0.055)
+    }
+
+    /// One full accelerator (one vault).
+    pub fn one_vault() -> AreaPower {
+        Self::dc().plus(Self::tb()).plus(Self::dc_sram()).plus(Self::tb_srams())
+    }
+
+    /// All 32 vaults.
+    pub fn all_vaults(vaults: usize) -> AreaPower {
+        Self::one_vault().times(vaults as f64)
+    }
+
+    /// The Table 1 rows in presentation order.
+    pub fn table1() -> Vec<ComponentRow> {
+        vec![
+            ComponentRow { component: "GenASM-DC (64 PEs)", cost: Self::dc() },
+            ComponentRow { component: "GenASM-TB", cost: Self::tb() },
+            ComponentRow { component: "DC-SRAM (8 KB)", cost: Self::dc_sram() },
+            ComponentRow { component: "TB-SRAMs (64 x 1.5 KB)", cost: Self::tb_srams() },
+            ComponentRow { component: "Total - 1 vault", cost: Self::one_vault() },
+            ComponentRow { component: "Total - 32 vaults", cost: Self::all_vaults(32) },
+        ]
+    }
+
+    /// Reference point: one core of the Intel Xeon Gold 6126 the paper
+    /// compares against (conservatively 10.4 W and 32.2 mm² per core,
+    /// §10.1).
+    pub fn xeon_core() -> AreaPower {
+        AreaPower::new(32.2, 10.4)
+    }
+
+    /// The per-vault logic-layer budget the accelerator must fit
+    /// (§9: 3.5–4.4 mm² area and 312 mW power per vault).
+    pub fn vault_budget() -> AreaPower {
+        AreaPower::new(3.5, 0.312)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        let one = GenAsmPowerModel::one_vault();
+        assert!((one.area_mm2 - 0.334).abs() < 1e-3, "area {}", one.area_mm2);
+        assert!((one.power_w - 0.101).abs() < 1e-3, "power {}", one.power_w);
+        let all = GenAsmPowerModel::all_vaults(32);
+        assert!((all.area_mm2 - 10.69).abs() < 0.01);
+        assert!((all.power_w - 3.23).abs() < 0.01);
+    }
+
+    #[test]
+    fn fits_vault_budget() {
+        // §9: logic layer has 3.5-4.4 mm^2 and 312 mW per vault.
+        let one = GenAsmPowerModel::one_vault();
+        let budget = GenAsmPowerModel::vault_budget();
+        assert!(one.area_mm2 < budget.area_mm2);
+        assert!(one.power_w < budget.power_w);
+    }
+
+    #[test]
+    fn far_cheaper_than_a_xeon_core() {
+        let one = GenAsmPowerModel::one_vault();
+        let core = GenAsmPowerModel::xeon_core();
+        assert!(core.area_mm2 / one.area_mm2 > 90.0);
+        assert!(core.power_w / one.power_w > 100.0);
+    }
+
+    #[test]
+    fn table_rows_sum_to_total() {
+        let rows = GenAsmPowerModel::table1();
+        let parts: AreaPower = rows[..4]
+            .iter()
+            .fold(AreaPower::new(0.0, 0.0), |acc, r| acc.plus(r.cost));
+        let total = &rows[4].cost;
+        assert!((parts.area_mm2 - total.area_mm2).abs() < EPS);
+        assert!((parts.power_w - total.power_w).abs() < EPS);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = AreaPower::new(1.0, 2.0);
+        let b = a.plus(AreaPower::new(0.5, 0.5)).times(2.0);
+        assert!((b.area_mm2 - 3.0).abs() < EPS);
+        assert!((b.power_w - 5.0).abs() < EPS);
+    }
+}

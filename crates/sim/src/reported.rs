@@ -1,0 +1,197 @@
+//! Published baseline measurements from the paper (§9–§10).
+//!
+//! The paper compares GenASM against systems we cannot run (FPGA and
+//! ASIC accelerators, a Titan V GPU, a 12-thread Xeon): their published
+//! throughput/power/accuracy numbers are recorded here verbatim so the
+//! experiment harness can print *paper-reported* columns next to the
+//! *reproduced* ones. Everything that can be recomputed (all GenASM
+//! numbers, all software-algorithm baselines, all filter accuracy
+//! numbers) is recomputed elsewhere; this module is only the
+//! transcription of the paper's published measurements.
+
+/// GACT (Darwin) single-array throughput in alignments/sec at 1 GHz,
+/// 64 PEs, by sequence length 1–10 Kbp (Figure 12's endpoints; the
+/// curve is ~1/length between them).
+pub fn gact_long_read_throughput(len_bp: usize) -> f64 {
+    // 55,556 aligns/s at 1 Kbp falling to 6,289 at 10 Kbp: the paper's
+    // figure is consistent with throughput ~ c / length.
+    55_556.0 * 1_000.0 / len_bp as f64
+}
+
+/// GenASM single-accelerator long-read throughput as published
+/// (Figure 12 quotes the 1 Kbp and 10 Kbp endpoints).
+pub fn genasm_long_read_throughput_published(len_bp: usize) -> f64 {
+    236_686.0 * 1_000.0 / len_bp as f64
+}
+
+/// GACT power in watts (single array, §10.2).
+pub const GACT_POWER_W: f64 = 0.2777;
+
+/// GenASM single-accelerator power in watts (Table 1).
+pub const GENASM_POWER_W: f64 = 0.101;
+
+/// GACT area including its 128 KB SRAM is 1.7× GenASM's (§10.2).
+pub const GACT_AREA_RATIO: f64 = 1.7;
+
+/// Average speedup of GenASM over GACT for short reads (Figure 13).
+pub const GACT_SHORT_READ_SPEEDUP: f64 = 7.4;
+
+/// Average speedup of GenASM over GACT for long reads (Figure 12).
+pub const GACT_LONG_READ_SPEEDUP: f64 = 3.9;
+
+/// SillaX (GenAx) short-read throughput: ~50 M alignments/sec at 2 GHz
+/// for 101 bp reads (§10.2); GenASM is 1.9× faster.
+pub const SILLAX_THROUGHPUT: f64 = 50.0e6;
+/// GenASM / SillaX speedup for short reads (§10.2).
+pub const SILLAX_SPEEDUP: f64 = 1.9;
+/// SillaX logic area (mm²) and power (W) vs GenASM's 2.08 mm² / 1.18 W
+/// logic (§10.2).
+pub const SILLAX_LOGIC_AREA_MM2: f64 = 5.64;
+/// SillaX logic power in watts.
+pub const SILLAX_LOGIC_POWER_W: f64 = 6.6;
+/// SillaX total area with its 2.02 MB SRAM (§10.2).
+pub const SILLAX_TOTAL_AREA_MM2: f64 = 9.11;
+
+/// Figure 9 (long reads): speedup of GenASM over the alignment steps
+/// of the software tools, single-thread and 12-thread.
+pub struct SoftwareSpeedup {
+    /// Baseline tool name.
+    pub tool: &'static str,
+    /// Speedup over the single-threaded run.
+    pub t1: f64,
+    /// Speedup over the 12-thread run.
+    pub t12: f64,
+}
+
+/// Long-read alignment-step speedups (Figure 9).
+pub const LONG_READ_SPEEDUPS: [SoftwareSpeedup; 2] = [
+    SoftwareSpeedup { tool: "BWA-MEM", t1: 7173.0, t12: 648.0 },
+    SoftwareSpeedup { tool: "Minimap2", t1: 1126.0, t12: 116.0 },
+];
+
+/// Short-read alignment-step speedups (Figure 10).
+pub const SHORT_READ_SPEEDUPS: [SoftwareSpeedup; 2] = [
+    SoftwareSpeedup { tool: "BWA-MEM", t1: 1390.0, t12: 111.0 },
+    SoftwareSpeedup { tool: "Minimap2", t1: 1839.0, t12: 158.0 },
+];
+
+/// Power consumption of the software baselines' alignment steps in
+/// watts, (single-thread, 12-thread) (§10.2).
+pub const BWA_MEM_POWER_W: (f64, f64) = (58.6, 109.5);
+/// Minimap2 alignment-step power (§10.2).
+pub const MINIMAP2_POWER_W: (f64, f64) = (59.8, 118.9);
+/// GenASM all-32-vault power (Table 1).
+pub const GENASM_FULL_POWER_W: f64 = 3.23;
+
+/// Figure 11: end-to-end pipeline speedups when the alignment step is
+/// replaced by GenASM: (dataset, BWA-MEM pipeline, Minimap2 pipeline).
+pub const PIPELINE_SPEEDUPS: [(&str, f64, f64); 3] = [
+    ("Illumina-250bp", 2.4, 1.9),
+    ("PacBio-15%", 6.5, 3.4),
+    ("ONT-15%", 4.9, 2.1),
+];
+
+/// GASAL2 GPU comparison (§10.2): (read length, dataset size, speedup,
+/// power reduction).
+pub const GASAL2_COMPARISON: [(usize, &str, f64, f64); 9] = [
+    (100, "100K", 9.9, 15.6),
+    (100, "1M", 9.2, 17.3),
+    (100, "10M", 8.5, 17.6),
+    (150, "100K", 15.8, 15.4),
+    (150, "1M", 13.1, 18.0),
+    (150, "10M", 13.4, 18.7),
+    (250, "100K", 21.5, 16.8),
+    (250, "1M", 20.6, 20.2),
+    (250, "10M", 21.1, 20.6),
+];
+
+/// Shouji comparison (§10.3): (read length, threshold, speedup, power
+/// reduction, Shouji false-accept rate, GenASM false-accept rate).
+pub const SHOUJI_COMPARISON: [(usize, usize, f64, f64, f64, f64); 2] = [
+    (100, 5, 3.7, 1.7, 0.04, 0.0002),
+    (250, 15, 1.0, 1.6, 0.17, 0.00002),
+];
+
+/// One Edlib comparison row: (sequence length, speedup range without
+/// traceback, speedup range with traceback, Edlib power W).
+pub type EdlibRow = (usize, (f64, f64), (f64, f64), f64);
+
+/// Edlib comparison (§10.4).
+pub const EDLIB_COMPARISON: [EdlibRow; 2] = [
+    (100_000, (22.0, 716.0), (146.0, 1458.0), 55.3),
+    (1_000_000, (262.0, 5413.0), (627.0, 12501.0), 58.8),
+];
+
+/// ASAP comparison (§10.4): execution time of one accelerator in
+/// microseconds at the two endpoint lengths, and power in watts.
+pub struct AsapComparison {
+    /// (64 bp, 320 bp) execution times for ASAP in µs.
+    pub asap_us: (f64, f64),
+    /// (64 bp, 320 bp) execution times for GenASM in µs.
+    pub genasm_us: (f64, f64),
+    /// ASAP power in watts (GenASM: 0.101 W).
+    pub asap_power_w: f64,
+}
+
+/// ASAP endpoint numbers (§10.4).
+pub const ASAP: AsapComparison =
+    AsapComparison { asap_us: (6.8, 18.8), genasm_us: (0.017, 2.025), asap_power_w: 6.8 };
+
+/// Accuracy analysis (§10.2): fraction of reads whose GenASM score
+/// matches / approaches the baseline tool's score.
+pub struct AccuracyReport {
+    /// Dataset description.
+    pub dataset: &'static str,
+    /// Fraction of reads with identical scores (exact), if reported.
+    pub exact: Option<f64>,
+    /// Fraction within the quoted tolerance.
+    pub within_tolerance: f64,
+    /// The quoted tolerance (fractional score difference).
+    pub tolerance: f64,
+}
+
+/// Published accuracy rows (§10.2).
+pub const ACCURACY: [AccuracyReport; 3] = [
+    AccuracyReport { dataset: "short reads vs BWA-MEM", exact: Some(0.966), within_tolerance: 0.997, tolerance: 0.045 },
+    AccuracyReport { dataset: "long reads 10% vs Minimap2", exact: None, within_tolerance: 0.996, tolerance: 0.004 },
+    AccuracyReport { dataset: "long reads 15% vs Minimap2", exact: None, within_tolerance: 0.997, tolerance: 0.007 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gact_curve_hits_published_endpoints() {
+        assert!((gact_long_read_throughput(1_000) - 55_556.0).abs() < 1.0);
+        let t10k = gact_long_read_throughput(10_000);
+        assert!((t10k - 6_289.0).abs() / 6_289.0 < 0.15, "{t10k}");
+    }
+
+    #[test]
+    fn genasm_curve_hits_published_endpoints() {
+        assert!((genasm_long_read_throughput_published(1_000) - 236_686.0).abs() < 1.0);
+        let t10k = genasm_long_read_throughput_published(10_000);
+        assert!((t10k - 23_669.0).abs() / 23_669.0 < 0.01, "{t10k}");
+    }
+
+    #[test]
+    fn headline_ratios_are_consistent() {
+        // 3.9x throughput and 2.7x power vs GACT (§10.2).
+        let speedup = genasm_long_read_throughput_published(5_000) / gact_long_read_throughput(5_000);
+        assert!((speedup - 4.26).abs() < 0.1); // curve ratio; avg over lengths is 3.9
+        assert!((GACT_POWER_W / GENASM_POWER_W - 2.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn tables_are_fully_populated() {
+        assert_eq!(GASAL2_COMPARISON.len(), 9);
+        assert_eq!(SHOUJI_COMPARISON.len(), 2);
+        assert_eq!(EDLIB_COMPARISON.len(), 2);
+        assert_eq!(PIPELINE_SPEEDUPS.len(), 3);
+        assert_eq!(ACCURACY.len(), 3);
+        for row in &ACCURACY {
+            assert!(row.within_tolerance > 0.99);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! SRAM capacity modelling: what must fit in the 8 KB DC-SRAM and the
+//! per-PE 1.5 KB TB-SRAMs (§7).
+//!
+//! The DC-SRAM holds "the reference text, the pattern bitmasks for the
+//! query read, and the intermediate data generated from PEs (i.e.,
+//! oldR values and MSBs required for shifts)"; the paper sizes it at
+//! 8 KB for a 10 Kbp read at 15% error (11.5 Kbp text region). Each
+//! TB-SRAM absorbs 24 B/cycle of match/insertion/deletion bitvectors
+//! for 64 cycles per window (1.5 KB). This module computes those
+//! requirements for arbitrary configurations so design points can be
+//! checked against their SRAM budgets.
+
+use crate::config::GenAsmHwConfig;
+
+/// Byte requirements of the DC-SRAM contents for one in-flight
+/// alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcSramRequirement {
+    /// 2-bit packed reference text region (`m + k` bases).
+    pub text_bytes: usize,
+    /// 2-bit packed query read (`m` bases).
+    pub query_bytes: usize,
+    /// Pattern bitmasks for the active window: one `W`-bit mask per
+    /// alphabet symbol.
+    pub bitmask_bytes: usize,
+    /// Inter-PE intermediate state: `oldR` and carry MSBs, two `w`-bit
+    /// words per PE.
+    pub intermediate_bytes: usize,
+}
+
+impl DcSramRequirement {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.text_bytes + self.query_bytes + self.bitmask_bytes + self.intermediate_bytes
+    }
+}
+
+/// Computes the DC-SRAM requirement for aligning a read of `m` bases
+/// with threshold `k` on `config`, with a 4-symbol (DNA) alphabet.
+pub fn dc_sram_requirement(m: usize, k: usize, config: &GenAsmHwConfig) -> DcSramRequirement {
+    DcSramRequirement {
+        text_bytes: (m + k).div_ceil(4),
+        query_bytes: m.div_ceil(4),
+        bitmask_bytes: 4 * config.window.div_ceil(8),
+        intermediate_bytes: config.pes * 2 * config.pe_width / 8,
+    }
+}
+
+/// Per-PE TB-SRAM bytes one window requires: three `pe_width`-bit
+/// bitvectors per window cycle.
+pub fn tb_sram_requirement(config: &GenAsmHwConfig) -> usize {
+    config.window * 3 * config.pe_width / 8
+}
+
+/// `true` when the configured SRAM capacities cover the workload.
+pub fn fits(m: usize, k: usize, config: &GenAsmHwConfig) -> bool {
+    dc_sram_requirement(m, k, config).total() <= config.dc_sram_bytes
+        && tb_sram_requirement(config) <= config.tb_sram_bytes_per_pe
+}
+
+/// The largest read (at error rate `rate`) whose working set fits the
+/// configured DC-SRAM.
+pub fn max_read_length(rate: f64, config: &GenAsmHwConfig) -> usize {
+    // text (m(1+rate)/4) + query (m/4) + constants <= capacity.
+    let fixed = dc_sram_requirement(0, 0, config).total();
+    if fixed >= config.dc_sram_bytes {
+        return 0;
+    }
+    let budget = (config.dc_sram_bytes - fixed) as f64;
+    (budget * 4.0 / (2.0 + rate)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workload_fits_the_8kb_dc_sram() {
+        // 10 Kbp read at 15% error: the paper's sizing point.
+        let cfg = GenAsmHwConfig::paper();
+        let req = dc_sram_requirement(10_000, 1_500, &cfg);
+        assert!(
+            req.total() <= cfg.dc_sram_bytes,
+            "{} bytes exceed the 8 KB DC-SRAM",
+            req.total()
+        );
+        // ...and uses most of it (the paper sized the SRAM to the
+        // workload, not 10x above it).
+        assert!(req.total() > cfg.dc_sram_bytes / 2);
+    }
+
+    #[test]
+    fn tb_sram_matches_paper_1_5kb() {
+        let cfg = GenAsmHwConfig::paper();
+        assert_eq!(tb_sram_requirement(&cfg), 1_536);
+        assert!(fits(10_000, 1_500, &cfg));
+    }
+
+    #[test]
+    fn oversized_reads_are_detected() {
+        let cfg = GenAsmHwConfig::paper();
+        assert!(!fits(20_000, 3_000, &cfg), "20 Kbp should overflow the 8 KB DC-SRAM");
+    }
+
+    #[test]
+    fn max_read_length_brackets_the_paper_point() {
+        let cfg = GenAsmHwConfig::paper();
+        let max = max_read_length(0.15, &cfg);
+        assert!(max >= 10_000, "max {max} must cover the paper's 10 Kbp");
+        assert!(max < 16_000, "max {max} should not be far above the sizing point");
+        // Consistency: the bound it reports actually fits.
+        let k = (max as f64 * 0.15) as usize;
+        assert!(fits(max, k, &cfg));
+    }
+
+    #[test]
+    fn wider_windows_need_bigger_tb_srams() {
+        let mut cfg = GenAsmHwConfig::paper();
+        cfg.window = 128;
+        assert_eq!(tb_sram_requirement(&cfg), 3_072);
+        assert!(!fits(10_000, 1_500, &cfg), "W=128 overflows the 1.5 KB TB-SRAM");
+    }
+}

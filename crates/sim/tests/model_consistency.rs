@@ -1,0 +1,97 @@
+//! Cross-module consistency tests for the hardware model: the analytic
+//! model, cycle simulator, energy model, SRAM model, power model, and
+//! design-space explorer must tell one coherent story.
+
+use genasm_sim::analytic::AnalyticModel;
+use genasm_sim::config::GenAsmHwConfig;
+use genasm_sim::energy::EnergyModel;
+use genasm_sim::explore;
+use genasm_sim::memsys::MemorySystem;
+use genasm_sim::power::GenAsmPowerModel;
+use genasm_sim::sram;
+use genasm_sim::systolic::SystolicSim;
+
+#[test]
+fn simulator_and_model_agree_for_square_configurations() {
+    // The closed form credits each PE with `pe_width` bits per cycle;
+    // the simulator charges one row-iteration per PE per cycle. The
+    // two coincide exactly for "square" configurations where
+    // `PEs == W == pe_width` (the paper's 64/64/64 point and its
+    // scaled-down versions), with the fill skew as the overhead term.
+    for (w, o) in [(32usize, 12usize), (48, 16), (64, 24)] {
+        let mut cfg = GenAsmHwConfig::paper();
+        cfg.pes = w;
+        cfg.pe_width = w;
+        cfg.window = w;
+        cfg.overlap = o;
+        cfg.window_error_rows = cfg.stride();
+        cfg.window_overhead_cycles = (w as u64).saturating_sub(1);
+        let model = AnalyticModel::new(cfg);
+        let sim = SystolicSim::new(cfg);
+        for (m, k) in [(1_000usize, 100usize), (10_000, 1_500)] {
+            assert_eq!(
+                model.alignment(m, k).total_cycles,
+                sim.simulate_alignment(m, k).total_cycles,
+                "w={w} o={o} m={m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_is_consistent_with_power_and_throughput() {
+    let cfg = GenAsmHwConfig::paper();
+    let model = AnalyticModel::new(cfg);
+    let energy = EnergyModel::new(cfg);
+    let est = model.alignment(10_000, 1_500);
+    let e = energy.genasm_single(10_000, 1_500);
+    let expected = GenAsmPowerModel::one_vault().power_w / est.single_accel_throughput;
+    assert!((e.joules_per_alignment - expected).abs() / expected < 1e-9);
+}
+
+#[test]
+fn explorer_costs_match_power_model_at_the_paper_point() {
+    let point = explore::evaluate(GenAsmHwConfig::paper());
+    let table1 = GenAsmPowerModel::one_vault();
+    assert!((point.cost.area_mm2 - table1.area_mm2).abs() < 1e-9);
+    assert!((point.cost.power_w - table1.power_w).abs() < 1e-9);
+    assert!(point.fits_budget);
+}
+
+#[test]
+fn sram_budgets_match_the_configured_capacities() {
+    let cfg = GenAsmHwConfig::paper();
+    assert!(sram::tb_sram_requirement(&cfg) <= cfg.tb_sram_bytes_per_pe);
+    assert!(sram::dc_sram_requirement(10_000, 1_500, &cfg).total() <= cfg.dc_sram_bytes);
+    // The explorer's TB-SRAM sizing helper agrees with the SRAM model.
+    assert_eq!(
+        explore::tb_sram_bytes_per_pe(cfg.window, cfg.pe_width),
+        sram::tb_sram_requirement(&cfg)
+    );
+}
+
+#[test]
+fn vault_dispatch_reaches_model_throughput_on_uniform_work() {
+    let cfg = GenAsmHwConfig::paper();
+    let model = AnalyticModel::new(cfg);
+    let memsys = MemorySystem::new(cfg);
+    let est = model.alignment(10_000, 1_500);
+    // 320 identical jobs (10 per vault) at the modelled cycle cost.
+    let jobs = vec![est.total_cycles; 320];
+    let outcome = memsys.dispatch(&jobs);
+    let measured = outcome.throughput;
+    assert!(
+        (measured - est.full_throughput).abs() / est.full_throughput < 1e-9,
+        "dispatch {measured} vs model {}",
+        est.full_throughput
+    );
+}
+
+#[test]
+fn bandwidth_check_uses_the_same_operating_point() {
+    let cfg = GenAsmHwConfig::paper();
+    let memsys = MemorySystem::new(cfg);
+    let headroom = memsys.bandwidth_headroom(10_000, 1_500);
+    // §7: ~4 GB/s needed of 256 GB/s peak → ~60x headroom.
+    assert!(headroom > 50.0 && headroom < 80.0, "{headroom}");
+}

@@ -1,0 +1,50 @@
+//! Edit-distance calculation (use case 3): arbitrary-length sequences
+//! with GenASM's divide-and-conquer windowing, cross-checked against
+//! the Edlib-style baseline.
+//!
+//! Run with: `cargo run --release --example edit_distance`
+
+use genasm::baselines::myers::myers_banded_distance;
+use genasm::core::edit_distance::EditDistanceCalculator;
+use genasm::seq::genome::GenomeBuilder;
+use genasm::seq::mutate::mutate_to_similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let length = 100_000;
+    let template = GenomeBuilder::new(length).seed(5).build().sequence().to_vec();
+    let mut rng = StdRng::seed_from_u64(17);
+    let calc = EditDistanceCalculator::default();
+
+    println!("sequence length: {length} bp\n");
+    println!("{:<11} {:>14} {:>14} {:>12} {:>12}", "similarity", "GenASM dist", "Edlib dist", "GenASM time", "Edlib time");
+    for similarity in [0.60, 0.75, 0.90, 0.99] {
+        let mutated = mutate_to_similarity(&template, similarity, &mut rng);
+
+        let start = Instant::now();
+        let genasm_d = calc.distance(&template, &mutated.seq)?;
+        let genasm_time = start.elapsed();
+
+        let start = Instant::now();
+        let edlib_d = myers_banded_distance(&template, &mutated.seq);
+        let edlib_time = start.elapsed();
+
+        println!(
+            "{:<11} {:>14} {:>14} {:>12.2?} {:>12.2?}",
+            format!("{:.0}%", similarity * 100.0),
+            genasm_d,
+            edlib_d,
+            genasm_time,
+            edlib_time
+        );
+        assert!(genasm_d >= edlib_d, "GenASM must never undercount the true distance");
+    }
+    println!(
+        "\nGenASM's windowed distance is exact for isolated errors and a tight upper bound \
+         otherwise; its runtime is flat across similarity levels while the banded baseline \
+         slows as the distance grows — the Figure 14 shape."
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Long-read alignment (use case 1): simulate PacBio-like 10 Kbp reads
+//! at 15% error, align them with GenASM, validate against the ground
+//! truth, and project hardware throughput with the performance model.
+//!
+//! Run with: `cargo run --release --example long_read_alignment`
+
+use genasm::core::align::{GenAsmAligner, GenAsmConfig};
+use genasm::seq::genome::GenomeBuilder;
+use genasm::seq::profile::ErrorProfile;
+use genasm::seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+use genasm::sim::analytic::AnalyticModel;
+use genasm::sim::config::GenAsmHwConfig;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let read_length = 10_000;
+    let count = 4;
+    let genome = GenomeBuilder::new(100_000).gc_content(0.41).seed(7).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length,
+        count,
+        profile: ErrorProfile::pacbio_15(),
+        seed: 99,
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    let reads = sim.simulate(genome.sequence());
+
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    let start = Instant::now();
+    let mut total_edits = 0usize;
+    for read in &reads {
+        let k = read.true_edits + 64;
+        let end = (read.origin + read.template_len + k).min(genome.len());
+        let region = genome.region(read.origin, end);
+        let alignment = aligner.align(region, &read.seq)?;
+        assert!(
+            alignment.cigar.validates(&region[..alignment.text_consumed], &read.seq),
+            "CIGAR must be a valid transcript"
+        );
+        println!(
+            "read @{:>6}: {:>5} true errors, GenASM found {:>5} edits, CIGAR runs: {}",
+            read.origin,
+            read.true_edits,
+            alignment.edit_distance,
+            alignment.cigar.runs().len()
+        );
+        total_edits += alignment.edit_distance;
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "\nsoftware: aligned {} x {} bp reads in {:.2?} ({:.0} reads/s), {} total edits",
+        reads.len(),
+        read_length,
+        elapsed,
+        reads.len() as f64 / elapsed.as_secs_f64(),
+        total_edits
+    );
+
+    // Hardware projection (the paper's 32-vault configuration).
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let est = model.alignment(read_length, read_length * 15 / 100);
+    println!(
+        "hardware model: {:.0} reads/s on one accelerator, {:.0} reads/s across 32 vaults \
+         ({} cycles per read)",
+        est.single_accel_throughput, est.full_throughput, est.total_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Pre-alignment filtering (use case 2): screen candidate mapping
+//! locations with GenASM-DC before the expensive alignment step, and
+//! compare its accuracy against the Shouji heuristic filter.
+//!
+//! Run with: `cargo run --release --example pre_alignment_filter`
+
+use genasm::baselines::nw::semiglobal_distance;
+use genasm::baselines::shouji::ShoujiFilter;
+use genasm::core::filter::PreAlignmentFilter;
+use genasm::seq::genome::GenomeBuilder;
+use genasm::seq::mutate::mutate_to_similarity;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threshold = 5usize;
+    let read_len = 100usize;
+    let pair_count = 2_000usize;
+
+    let genome = GenomeBuilder::new(80_000).seed(21).build();
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut pairs = Vec::new();
+    for _ in 0..pair_count {
+        let start = rng.gen_range(0..genome.len() - read_len - 16);
+        let region = genome.region(start, start + read_len + 16).to_vec();
+        // Half the candidates are near the true location, half are junk.
+        let similarity = if rng.gen::<bool>() { 0.97 } else { 0.80 };
+        let read = mutate_to_similarity(
+            genome.region(start, start + read_len),
+            similarity,
+            &mut rng,
+        )
+        .seq;
+        pairs.push((region, read));
+    }
+
+    let genasm = PreAlignmentFilter::new(threshold);
+    let shouji = ShoujiFilter::new(threshold);
+
+    let mut stats = [[0usize; 2]; 2]; // [filter][false-accept, false-reject]
+    let mut accepted = [0usize; 2];
+    let mut truly_similar = 0usize;
+    for (region, read) in &pairs {
+        let truth = semiglobal_distance(region, read) <= threshold;
+        truly_similar += usize::from(truth);
+        for (f, accepts) in
+            [genasm.accepts(region, read)?, shouji.accepts(region, read)].iter().enumerate()
+        {
+            accepted[f] += usize::from(*accepts);
+            if *accepts && !truth {
+                stats[f][0] += 1;
+            }
+            if !*accepts && truth {
+                stats[f][1] += 1;
+            }
+        }
+    }
+
+    println!("{pair_count} candidate pairs, {truly_similar} truly similar (E = {threshold})\n");
+    for (f, name) in ["GenASM-DC", "Shouji"].iter().enumerate() {
+        println!(
+            "{name:<10} accepted {:>5} | false accepts {:>4} | false rejects {:>4}",
+            accepted[f], stats[f][0], stats[f][1]
+        );
+    }
+    println!(
+        "\nGenASM-DC computes the exact semiglobal distance, so it makes no filtering \
+         mistakes against the ground truth — the near-zero false-accept rate of §10.3."
+    );
+    Ok(())
+}

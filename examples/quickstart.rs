@@ -1,0 +1,38 @@
+//! Quickstart: align a read against a reference region with GenASM and
+//! inspect the traceback output.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use genasm::core::align::{GenAsmAligner, GenAsmConfig};
+use genasm::core::scoring::Scoring;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A candidate reference region and a read with a few differences.
+    let reference = b"ACGTTTGCATTTACGGTTACATTGCAGGAACGTTAGCCTTGA";
+    let read = b"ACGTTTGCATTTACGGTTACTTTGCAGGAACGTTAGCACTTGA";
+
+    // The paper's configuration: window W = 64, overlap O = 24,
+    // affine-order traceback.
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    let alignment = aligner.align(reference, read)?;
+
+    println!("read length    : {}", read.len());
+    println!("edit distance  : {}", alignment.edit_distance);
+    println!("CIGAR          : {}", alignment.cigar);
+    println!(
+        "affine score   : {} (BWA-MEM scoring)",
+        Scoring::bwa_mem().score_cigar(&alignment.cigar)
+    );
+    println!();
+    println!("{}", alignment.cigar.pretty(&reference[..alignment.text_consumed], read));
+
+    // The same machinery answers pure edit-distance queries (use case 3)
+    // and filtering decisions (use case 2).
+    let distance = genasm::core::edit_distance::EditDistanceCalculator::default()
+        .distance(reference, read)?;
+    println!("\nglobal edit distance: {distance}");
+
+    let filter = genasm::core::filter::PreAlignmentFilter::new(5);
+    println!("passes k=5 pre-alignment filter: {}", filter.accepts(reference, read)?);
+    Ok(())
+}

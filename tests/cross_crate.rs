@@ -1,0 +1,214 @@
+//! Integration tests spanning the workspace crates: GenASM against the
+//! baseline algorithms on simulated data, hardware-model consistency,
+//! and end-to-end pipeline behaviour.
+
+use genasm::baselines::banded::banded_distance;
+use genasm::baselines::gact::{GactAligner, GactConfig};
+use genasm::baselines::gotoh::{GotohAligner, GotohMode};
+use genasm::baselines::myers::{myers_banded_distance, myers_distance};
+use genasm::baselines::nw::nw_distance;
+use genasm::core::align::{AlignmentMode, GenAsmAligner, GenAsmConfig};
+use genasm::core::edit_distance::EditDistanceCalculator;
+use genasm::core::scoring::Scoring;
+use genasm::seq::genome::GenomeBuilder;
+use genasm::seq::profile::ErrorProfile;
+use genasm::seq::readsim::{LengthModel, PaperDataset, ReadSimulator, SimConfig};
+use genasm::sim::analytic::AnalyticModel;
+use genasm::sim::config::GenAsmHwConfig;
+use genasm::sim::systolic::SystolicSim;
+
+fn simulated_pairs(
+    profile: ErrorProfile,
+    read_length: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Vec<u8>, Vec<u8>, usize)> {
+    let genome = GenomeBuilder::new((read_length * 6).max(50_000)).seed(seed).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length,
+        count,
+        profile,
+        seed: seed + 1,
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    sim.simulate(genome.sequence())
+        .into_iter()
+        .map(|r| {
+            let k = r.true_edits + 16;
+            let end = (r.origin + r.template_len + k).min(genome.len());
+            (genome.region(r.origin, end).to_vec(), r.seq, r.true_edits)
+        })
+        .collect()
+}
+
+#[test]
+fn all_edit_distance_engines_agree_on_simulated_reads() {
+    // GenASM (global mode), NW DP, Myers full, Myers banded, and the
+    // byte-banded Ukkonen must produce the same global distance.
+    let genome = GenomeBuilder::new(30_000).seed(1).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 600,
+        count: 15,
+        profile: ErrorProfile::illumina(),
+        seed: 2,
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    let calc = EditDistanceCalculator::default();
+    for read in sim.simulate(genome.sequence()) {
+        let template = read.template(genome.sequence());
+        let dp = nw_distance(&template, &read.seq);
+        assert_eq!(myers_distance(&template, &read.seq), dp);
+        assert_eq!(myers_banded_distance(&template, &read.seq), dp);
+        assert_eq!(banded_distance(&template, &read.seq), dp);
+        let genasm = calc.distance(&template, &read.seq).unwrap();
+        // GenASM is exact for isolated errors; allow the documented
+        // window-approximation slack on clustered ones.
+        assert!(genasm >= dp);
+        assert!(genasm <= dp + 3, "genasm={genasm} dp={dp}");
+    }
+}
+
+#[test]
+fn genasm_and_gact_agree_on_long_reads() {
+    let pairs = simulated_pairs(ErrorProfile::pacbio_10(), 3_000, 4, 11);
+    let genasm = GenAsmAligner::new(GenAsmConfig::default());
+    let gact = GactAligner::new(GactConfig::default());
+    for (region, read, _) in &pairs {
+        let a = genasm.align(region, read).unwrap();
+        let g = gact.align(region, read);
+        assert!(a.cigar.validates(&region[..a.text_consumed], read));
+        assert!(g.cigar.validates(&region[..g.cigar.text_len()], read));
+        // Same tiling idea, different kernels: distances track closely.
+        let hi = a.edit_distance.max(g.edit_distance) as f64;
+        let lo = a.edit_distance.min(g.edit_distance) as f64;
+        assert!(hi / lo.max(1.0) < 1.2, "genasm={} gact={}", a.edit_distance, g.edit_distance);
+    }
+}
+
+#[test]
+fn genasm_scores_match_dp_for_most_short_reads() {
+    // The §10.2 accuracy property on a small batch: nearly all scores
+    // equal the affine-DP optimum.
+    let pairs = simulated_pairs(ErrorProfile::illumina(), 250, 80, 23);
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    let scoring = Scoring::bwa_mem();
+    let dp = GotohAligner::new(scoring, GotohMode::TextSuffixFree);
+    let mut exact = 0;
+    for (region, read, _) in &pairs {
+        let a = aligner.align(region, read).unwrap();
+        if scoring.score_cigar(&a.cigar) == dp.score_only(region, read) {
+            exact += 1;
+        }
+    }
+    assert!(
+        exact * 100 >= pairs.len() * 90,
+        "only {exact}/{} short reads scored optimally",
+        pairs.len()
+    );
+}
+
+#[test]
+fn long_read_alignment_is_close_to_true_error_count() {
+    for dataset in [PaperDataset::PacBio15, PaperDataset::Ont15] {
+        let pairs = simulated_pairs(dataset.profile(), 5_000, 3, 31);
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        for (region, read, true_edits) in &pairs {
+            let a = aligner.align(region, read).unwrap();
+            // The found distance can be below the injected error count
+            // (random edits partially cancel) but must stay in its
+            // neighbourhood and above zero.
+            assert!(a.edit_distance > true_edits / 2);
+            assert!(a.edit_distance < true_edits * 3 / 2);
+        }
+    }
+}
+
+#[test]
+fn hardware_model_matches_cycle_simulation_across_workloads() {
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let sim = SystolicSim::new(GenAsmHwConfig::paper());
+    for (m, k) in [(100usize, 5usize), (250, 13), (1_000, 100), (10_000, 1_500), (100_000, 5_000)] {
+        assert_eq!(
+            model.alignment(m, k).total_cycles,
+            sim.simulate_alignment(m, k).total_cycles,
+            "m={m} k={k}"
+        );
+    }
+}
+
+#[test]
+fn global_mode_handles_every_paper_dataset_profile() {
+    let calc = EditDistanceCalculator::new(
+        GenAsmConfig::default().with_mode(AlignmentMode::Global),
+    );
+    for dataset in PaperDataset::all() {
+        let len = if dataset.is_long() { 1_200 } else { dataset.read_length() };
+        let pairs = simulated_pairs(dataset.profile(), len, 2, 41);
+        for (region, read, _) in &pairs {
+            let d = calc.distance(region, read).unwrap();
+            let dp = nw_distance(region, read);
+            assert!(d >= dp, "{dataset:?}");
+            assert!(
+                d as f64 <= dp as f64 * 1.10 + 4.0,
+                "{dataset:?}: genasm={d} dp={dp}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_maps_long_and_short_reads() {
+    use genasm::mapper::pipeline::{AlignerKind, MapperConfig, ReadMapper};
+    let genome = GenomeBuilder::new(120_000).seed(55).build();
+    for (len, profile, frac) in [
+        (150usize, ErrorProfile::illumina(), 0.08),
+        (1_000, ErrorProfile::pacbio_10(), 0.13),
+    ] {
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: len,
+            count: 10,
+            profile,
+            seed: 66,
+            both_strands: false,
+            length_model: LengthModel::Fixed,
+        });
+        let reads = sim.simulate(genome.sequence());
+        let config = MapperConfig {
+            aligner: AlignerKind::GenAsm,
+            error_fraction: frac,
+            ..MapperConfig::default()
+        };
+        let mapper = ReadMapper::build(genome.sequence(), config);
+        let mut near = 0;
+        for read in &reads {
+            if let (Some(m), _) = mapper.map_read(&read.seq) {
+                if m.position.abs_diff(read.origin) <= 32 {
+                    near += 1;
+                }
+            }
+        }
+        assert!(near >= 8, "len={len}: only {near}/10 mapped near origin");
+    }
+}
+
+#[test]
+fn filter_and_aligner_agree_on_acceptance() {
+    // Every pair the filter accepts at threshold k must align with
+    // distance <= k when anchored at the matching position.
+    use genasm::core::bitap;
+    use genasm::core::filter::PreAlignmentFilter;
+    let pairs = simulated_pairs(ErrorProfile::illumina(), 120, 40, 77);
+    let filter = PreAlignmentFilter::new(8);
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    for (region, read, _) in &pairs {
+        if filter.accepts(region, read).unwrap() {
+            let best = bitap::find_best::<genasm::core::alphabet::Dna>(region, read, 8)
+                .unwrap()
+                .expect("filter accepted, a match must exist");
+            let a = aligner.align(&region[best.position..], read).unwrap();
+            assert!(a.edit_distance <= 8, "distance {} at {}", a.edit_distance, best.position);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Failure-injection tests: every public entry point must reject bad
+//! inputs with a typed error (never a panic) and behave sanely at
+//! boundary sizes.
+
+use genasm::core::align::{AlignmentMode, GenAsmAligner, GenAsmConfig};
+use genasm::core::alphabet::{Ascii, Dna};
+use genasm::core::bitap;
+use genasm::core::dc::window_dc;
+use genasm::core::dc_wide::window_dc_wide;
+use genasm::core::edit_distance::EditDistanceCalculator;
+use genasm::core::error::AlignError;
+use genasm::core::filter::PreAlignmentFilter;
+use genasm::core::pattern::{PatternBitmasks, PatternBitmasks64};
+
+#[test]
+fn empty_inputs_are_typed_errors_everywhere() {
+    let aligner = GenAsmAligner::default();
+    assert!(matches!(aligner.align(b"", b"ACGT"), Err(AlignError::EmptyText)));
+    assert!(matches!(aligner.align(b"ACGT", b""), Err(AlignError::EmptyPattern)));
+    assert!(matches!(
+        EditDistanceCalculator::default().distance(b"", b"A"),
+        Err(AlignError::EmptyText)
+    ));
+    assert!(matches!(
+        PreAlignmentFilter::new(2).accepts(b"", b"ACG"),
+        Err(AlignError::EmptyText)
+    ));
+    assert!(matches!(bitap::find_all::<Dna>(b"ACGT", b"", 1), Err(AlignError::EmptyPattern)));
+    assert!(matches!(window_dc::<Dna>(b"", b"ACGT", 2), Err(AlignError::EmptyText)));
+    assert!(matches!(window_dc_wide::<Dna>(b"ACGT", b"", 2), Err(AlignError::EmptyPattern)));
+}
+
+#[test]
+fn invalid_symbols_report_position_and_byte() {
+    let aligner = GenAsmAligner::default();
+    assert_eq!(
+        aligner.align(b"ACGT", b"ACNT").unwrap_err(),
+        AlignError::InvalidSymbol { pos: 2, byte: b'N' }
+    );
+    assert_eq!(
+        aligner.align(b"AC-T", b"ACGT").unwrap_err(),
+        AlignError::InvalidSymbol { pos: 2, byte: b'-' }
+    );
+    assert_eq!(
+        PatternBitmasks::<Dna>::new(b"AXGT").unwrap_err(),
+        AlignError::InvalidSymbol { pos: 1, byte: b'X' }
+    );
+    assert_eq!(
+        PatternBitmasks64::<Dna>::new(b"acgu").unwrap_err(),
+        AlignError::InvalidSymbol { pos: 3, byte: b'u' }
+    );
+}
+
+#[test]
+fn configuration_errors_are_rejected_before_work() {
+    for (w, o) in [(0usize, 0usize), (2_000, 24), (64, 64), (32, 40)] {
+        let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
+        let err = GenAsmAligner::new(cfg).align(b"ACGT", b"ACGT").unwrap_err();
+        assert!(
+            matches!(err, AlignError::InvalidWindow { .. } | AlignError::InvalidOverlap { .. }),
+            "W={w} O={o}: {err}"
+        );
+    }
+}
+
+#[test]
+fn single_character_inputs_work_everywhere() {
+    let aligner = GenAsmAligner::default();
+    let a = aligner.align(b"A", b"A").unwrap();
+    assert_eq!(a.edit_distance, 0);
+    let a = aligner.align(b"A", b"C").unwrap();
+    assert_eq!(a.edit_distance, 1);
+    assert_eq!(EditDistanceCalculator::default().distance(b"A", b"T").unwrap(), 1);
+    assert_eq!(bitap::find_all::<Dna>(b"A", b"A", 0).unwrap().len(), 1);
+}
+
+#[test]
+fn extreme_thresholds_do_not_overflow() {
+    // k far beyond any possible distance.
+    let hits = bitap::find_all::<Dna>(b"ACGTACGT", b"ACGT", 1_000).unwrap();
+    assert!(!hits.is_empty());
+    assert!(PreAlignmentFilter::new(usize::MAX / 4)
+        .accepts(b"AAAA", b"TTTT")
+        .unwrap());
+}
+
+#[test]
+fn pattern_much_longer_than_text_is_handled() {
+    let aligner = GenAsmAligner::default();
+    let text = b"ACGT";
+    let pattern: Vec<u8> = b"ACGT".iter().copied().cycle().take(500).collect();
+    let a = aligner.align(text, &pattern).unwrap();
+    assert!(a.cigar.validates(text, &pattern));
+    assert_eq!(a.pattern_consumed, 500);
+    // Global mode charges the tail symmetrically.
+    let d = EditDistanceCalculator::default().distance(text, &pattern).unwrap();
+    assert_eq!(d, 496);
+}
+
+#[test]
+fn error_budget_violations_are_reported_not_panicked() {
+    let cfg = GenAsmConfig::default().with_max_window_error(0);
+    let err = GenAsmAligner::new(cfg).align(b"AAAA", b"TTTT").unwrap_err();
+    assert!(matches!(err, AlignError::ExceededErrorBudget { budget: 0 }));
+}
+
+#[test]
+fn sentinel_byte_in_user_input_is_rejected_for_dna() {
+    // 0xFF is reserved internally; DNA inputs containing it fail as an
+    // invalid symbol rather than corrupting global mode.
+    let calc = EditDistanceCalculator::new(
+        GenAsmConfig::default().with_mode(AlignmentMode::Global),
+    );
+    let mut seq = b"ACGT".to_vec();
+    seq.push(0xFF);
+    assert!(matches!(
+        calc.distance(&seq, b"ACGT"),
+        Err(AlignError::InvalidSymbol { .. })
+    ));
+}
+
+#[test]
+fn ascii_alphabet_handles_all_byte_values() {
+    let aligner = GenAsmAligner::default();
+    let text: Vec<u8> = (0u8..=254).collect();
+    let a = aligner.align_with_alphabet::<Ascii>(&text, &text).unwrap();
+    assert_eq!(a.edit_distance, 0);
+}
+
+#[test]
+fn io_errors_surface_from_fasta_and_fastq() {
+    use genasm::seq::fasta::read_fasta;
+    use genasm::seq::fastq::read_fastq;
+    assert!(read_fasta(&b"ACGT no header"[..]).is_err());
+    assert!(read_fastq(&b"@r\nACGT\n+\nI"[..]).is_err());
+}
+
+#[test]
+fn mapper_handles_degenerate_reads() {
+    use genasm::mapper::pipeline::{MapperConfig, ReadMapper};
+    use genasm::seq::genome::GenomeBuilder;
+    let genome = GenomeBuilder::new(5_000).seed(3).build();
+    let mapper = ReadMapper::build(genome.sequence(), MapperConfig::default());
+    // Shorter than the seed length: unmapped, no panic.
+    let (mapping, _) = mapper.map_read(b"ACGT");
+    assert!(mapping.is_none());
+}

@@ -1,0 +1,159 @@
+//! Golden tests: every concrete number and worked example printed in
+//! the paper, checked in one place against this implementation.
+
+use genasm::core::align::{GenAsmAligner, GenAsmConfig};
+use genasm::core::alphabet::Dna;
+use genasm::core::bitap;
+use genasm::core::dc::window_dc;
+use genasm::core::pattern::PatternBitmasks;
+use genasm::core::tb::{window_traceback, TracebackOrder};
+use genasm::sim::analytic::AnalyticModel;
+use genasm::sim::config::GenAsmHwConfig;
+use genasm::sim::power::GenAsmPowerModel;
+use genasm::sim::sram;
+use genasm::sim::systolic::SystolicSim;
+
+/// Figure 3, step 0: the pattern bitmasks of `CTGA`.
+#[test]
+fn figure3_pattern_bitmasks() {
+    let pm = PatternBitmasks::<Dna>::new(b"CTGA").unwrap();
+    let as_bits = |c: u8| format!("{:b}", pm.mask(c).unwrap());
+    assert_eq!(as_bits(b'A'), "1110");
+    assert_eq!(as_bits(b'C'), "0111");
+    assert_eq!(as_bits(b'G'), "1101");
+    assert_eq!(as_bits(b'T'), "1011");
+}
+
+/// Figure 3, steps 1-5: `CTGA` in `CGTGA` with k=1 matches at text
+/// locations 0, 1, and 2, each with distance 1.
+#[test]
+fn figure3_matches() {
+    let matches = bitap::find_all::<Dna>(b"CGTGA", b"CTGA", 1).unwrap();
+    let positions: Vec<(usize, usize)> = matches.iter().map(|m| (m.position, m.distance)).collect();
+    assert_eq!(positions, vec![(0, 1), (1, 1), (2, 1)]);
+}
+
+/// Figure 6: the three traceback walks (deletion at location 0,
+/// substitution at location 1, insertion at location 2).
+#[test]
+fn figure6_tracebacks() {
+    let walks: [(&[u8], &str); 3] = [
+        (b"CGTGA", "1=1D3="), // deletion example
+        (b"GTGA", "1X3="),    // substitution example
+        (b"TGA", "1I3="),     // insertion example
+    ];
+    for (text, expected) in walks {
+        let dc = window_dc::<Dna>(text, b"CTGA", 4).unwrap();
+        let d = dc.edit_distance.unwrap();
+        let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+        let cigar: genasm::core::cigar::Cigar = tb.ops.iter().copied().collect();
+        assert_eq!(cigar.to_string(), expected, "text={:?}", std::str::from_utf8(text));
+    }
+}
+
+/// Table 1: the area/power breakdown and totals.
+#[test]
+fn table1_constants() {
+    let one = GenAsmPowerModel::one_vault();
+    assert!((one.area_mm2 - 0.334).abs() < 1e-3);
+    assert!((one.power_w - 0.101).abs() < 1e-3);
+    let all = GenAsmPowerModel::all_vaults(32);
+    assert!((all.area_mm2 - 10.69).abs() < 0.01);
+    assert!((all.power_w - 3.23).abs() < 0.01);
+}
+
+/// §7: SRAM sizing — 8 KB DC-SRAM for the 10 Kbp/15% workload,
+/// 1.5 KB (24 B/cycle × 64) TB-SRAM per PE, 96 KB total TB-SRAM.
+#[test]
+fn section7_sram_sizing() {
+    let cfg = GenAsmHwConfig::paper();
+    assert!(sram::fits(10_000, 1_500, &cfg));
+    assert_eq!(sram::tb_sram_requirement(&cfg), 1_536);
+    assert_eq!(cfg.tb_sram_total_bytes(), 96 * 1024);
+}
+
+/// §7: per-accelerator DRAM bandwidth 105-142 MB/s; 32 accelerators
+/// need 3.3-4.4 GB/s, far below the 256 GB/s internal peak.
+#[test]
+fn section7_bandwidth_envelope() {
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let mut totals = Vec::new();
+    for (m, k) in [(10_000usize, 1_000usize), (10_000, 1_500)] {
+        let est = model.alignment(m, k);
+        let per_accel = model.dram_bandwidth_bytes(m, k, est.single_accel_throughput);
+        assert!(
+            per_accel / 1e6 > 100.0 && per_accel / 1e6 < 150.0,
+            "{} MB/s out of the published 105-142 range",
+            per_accel / 1e6
+        );
+        totals.push(per_accel * 32.0 / 1e9);
+    }
+    assert!(totals.iter().all(|&t| t > 3.0 && t < 4.6), "{totals:?} GB/s");
+}
+
+/// §6: the memory footprint motivation — ~80 GB unwindowed for a
+/// 10 Kbp read at 15% error vs `W × 3 × W × W` bits windowed.
+#[test]
+fn section6_footprints() {
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let unwindowed_gb = model.footprint_unwindowed_bits(10_000, 1_500) as f64 / 8e9;
+    assert!(unwindowed_gb > 70.0 && unwindowed_gb < 100.0, "{unwindowed_gb} GB");
+    assert_eq!(model.footprint_windowed_bits(), 64 * 3 * 64 * 64);
+}
+
+/// §10.5: the published improvement factors.
+#[test]
+fn section10_5_improvement_factors() {
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let long = model.windowing_speedup(10_000, 1_500);
+    assert!((long - 3662.0).abs() / 3662.0 < 0.02, "{long}");
+    let short100 = model.windowing_speedup(100, 5);
+    let short250 = model.windowing_speedup(250, 13);
+    assert!(short100 > 1.4 && short100 < 1.8, "{short100}");
+    assert!(short250 > 3.5 && short250 < 4.2, "{short250}");
+}
+
+/// Figure 12's two published GenASM anchor points, from both the
+/// analytic model and the cycle-level simulation.
+#[test]
+fn figure12_anchor_points() {
+    let model = AnalyticModel::new(GenAsmHwConfig::paper());
+    let sim = SystolicSim::new(GenAsmHwConfig::paper());
+    for (len, published) in [(1_000usize, 236_686.0f64), (10_000, 23_669.0)] {
+        let k = len * 15 / 100;
+        let analytic = model.alignment(len, k).single_accel_throughput;
+        let simulated = sim.throughput(len, k);
+        assert!((analytic - published).abs() / published < 0.03, "analytic {analytic} vs {published}");
+        assert!((simulated - published).abs() / published < 0.03, "sim {simulated} vs {published}");
+    }
+}
+
+/// §10.2: the (W, O) = (64, 24) setting completes all alignments, and
+/// increasing the window does not change the distance on a
+/// representative batch (the paper's convergence criterion).
+#[test]
+fn section10_2_window_convergence() {
+    use genasm::seq::genome::GenomeBuilder;
+    use genasm::seq::profile::ErrorProfile;
+    use genasm::seq::readsim::{ReadSimulator, SimConfig};
+    let genome = GenomeBuilder::new(40_000).seed(12).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 1_000,
+        count: 8,
+        profile: ErrorProfile::pacbio_10(),
+        seed: 13,
+        ..SimConfig::default()
+    });
+    let w64 = GenAsmAligner::new(GenAsmConfig::default());
+    let w128 = GenAsmAligner::new(GenAsmConfig::default().with_window(128).with_overlap(48));
+    for read in sim.simulate(genome.sequence()) {
+        let region_end = (read.origin + read.template_len + 200).min(genome.len());
+        let region = genome.region(read.origin, region_end);
+        let d64 = w64.align(region, &read.seq).unwrap().edit_distance;
+        let d128 = w128.align(region, &read.seq).unwrap().edit_distance;
+        // Larger windows may only match or improve the approximation,
+        // and at 10% error both are at/near the optimum.
+        assert!(d128 <= d64 + 1, "d128={d128} d64={d64}");
+        assert!(d64 <= d128 + 2, "d64={d64} d128={d128}");
+    }
+}
