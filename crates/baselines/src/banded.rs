@@ -121,7 +121,14 @@ mod tests {
         for (a, b) in cases {
             let d = nw_distance(a, b);
             for k in d..d + 3 {
-                assert_eq!(banded_distance_within(a, b, k), Some(d), "{:?}/{:?} k={}", a, b, k);
+                assert_eq!(
+                    banded_distance_within(a, b, k),
+                    Some(d),
+                    "{:?}/{:?} k={}",
+                    a,
+                    b,
+                    k
+                );
             }
             if d > 0 {
                 assert_eq!(banded_distance_within(a, b, d - 1), None);

@@ -33,7 +33,11 @@ impl Default for GactConfig {
     /// Darwin's published configuration: `T = 320`, `O = 128`, unit
     /// scoring for distance work.
     fn default() -> Self {
-        GactConfig { tile: 320, overlap: 128, scoring: Scoring::unit() }
+        GactConfig {
+            tile: 320,
+            overlap: 128,
+            scoring: Scoring::unit(),
+        }
     }
 }
 
@@ -77,7 +81,10 @@ impl GactAligner {
     /// Panics if `overlap >= tile` or `tile == 0`.
     pub fn new(config: GactConfig) -> Self {
         assert!(config.tile > 0, "tile size must be positive");
-        assert!(config.overlap < config.tile, "overlap must be smaller than the tile");
+        assert!(
+            config.overlap < config.tile,
+            "overlap must be smaller than the tile"
+        );
         GactAligner { config }
     }
 
@@ -130,7 +137,12 @@ impl GactAligner {
         }
 
         let edit_distance = cigar.edit_distance();
-        GactAlignment { cigar, edit_distance, dp_cells, tiles }
+        GactAlignment {
+            cigar,
+            edit_distance,
+            dp_cells,
+            tiles,
+        }
     }
 }
 
@@ -173,7 +185,11 @@ mod tests {
     use crate::nw::nw_distance;
 
     fn small() -> GactAligner {
-        GactAligner::new(GactConfig { tile: 48, overlap: 16, ..GactConfig::default() })
+        GactAligner::new(GactConfig {
+            tile: 48,
+            overlap: 16,
+            ..GactConfig::default()
+        })
     }
 
     #[test]
@@ -187,29 +203,48 @@ mod tests {
 
     #[test]
     fn scattered_errors_found() {
-        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(600).collect();
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(600)
+            .collect();
         let mut pattern = text.clone();
         pattern[100] = if pattern[100] == b'A' { b'C' } else { b'A' };
         pattern.remove(300);
         pattern.insert(450, b'T');
         let r = small().align(&text, &pattern);
         assert!(r.cigar.validates(&text[..r.cigar.text_len()], &pattern));
-        assert_eq!(r.edit_distance, nw_distance(&text[..r.cigar.text_len()], &pattern));
+        assert_eq!(
+            r.edit_distance,
+            nw_distance(&text[..r.cigar.text_len()], &pattern)
+        );
         assert_eq!(r.edit_distance, 3);
     }
 
     #[test]
     fn dp_cells_grow_quadratically_with_tile() {
         let text: Vec<u8> = b"ACGT".iter().copied().cycle().take(400).collect();
-        let small_tiles = GactAligner::new(GactConfig { tile: 32, overlap: 8, ..GactConfig::default() })
-            .align(&text, &text);
-        let big_tiles = GactAligner::new(GactConfig { tile: 64, overlap: 16, ..GactConfig::default() })
-            .align(&text, &text);
+        let small_tiles = GactAligner::new(GactConfig {
+            tile: 32,
+            overlap: 8,
+            ..GactConfig::default()
+        })
+        .align(&text, &text);
+        let big_tiles = GactAligner::new(GactConfig {
+            tile: 64,
+            overlap: 16,
+            ..GactConfig::default()
+        })
+        .align(&text, &text);
         // Same total work area, but bigger tiles do more work per stride:
         // cells/stride = T^2 / (T - O).
         let small_rate = small_tiles.dp_cells as f64 / 400.0;
         let big_rate = big_tiles.dp_cells as f64 / 400.0;
-        assert!(big_rate > small_rate * 1.5, "small={small_rate} big={big_rate}");
+        assert!(
+            big_rate > small_rate * 1.5,
+            "small={small_rate} big={big_rate}"
+        );
     }
 
     #[test]
@@ -222,6 +257,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "overlap must be smaller")]
     fn rejects_bad_config() {
-        GactAligner::new(GactConfig { tile: 32, overlap: 32, ..GactConfig::default() });
+        GactAligner::new(GactConfig {
+            tile: 32,
+            overlap: 32,
+            ..GactConfig::default()
+        });
     }
 }

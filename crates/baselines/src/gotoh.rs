@@ -168,7 +168,11 @@ impl GotohAligner {
         for &op in ops_rev.iter().rev() {
             cigar.push(op);
         }
-        GotohAlignment { score, cigar, text_consumed: end_i }
+        GotohAlignment {
+            score,
+            cigar,
+            text_consumed: end_i,
+        }
     }
 }
 

@@ -64,7 +64,11 @@ fn solve(a: &[u8], b: &[u8], cigar: &mut Cigar) {
             .position(|c| c.eq_ignore_ascii_case(&a[0]))
             .unwrap_or(0);
         cigar.push_run(CigarOp::Ins, pos as u32);
-        cigar.push(if b[pos].eq_ignore_ascii_case(&a[0]) { CigarOp::Match } else { CigarOp::Subst });
+        cigar.push(if b[pos].eq_ignore_ascii_case(&a[0]) {
+            CigarOp::Match
+        } else {
+            CigarOp::Subst
+        });
         cigar.push_run(CigarOp::Ins, (b.len() - pos - 1) as u32);
         return;
     }
@@ -155,7 +159,12 @@ mod tests {
     fn long_sequences_stay_in_linear_memory() {
         // 8 Kbp x 8 Kbp would need ~500 MB as a full traceback matrix;
         // Hirschberg handles it in O(n + m).
-        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(8_000).collect();
+        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(8_000)
+            .collect();
         let mut p = t.clone();
         for pos in [2_000usize, 5_000, 7_500] {
             p[pos] = if p[pos] == b'A' { b'C' } else { b'A' };

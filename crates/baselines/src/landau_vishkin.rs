@@ -40,11 +40,15 @@ pub fn lv_distance_within(a: &[u8], b: &[u8], k: usize) -> Option<usize> {
         // count of consumed a-chars; j = i - d).
         loop {
             let j = i - d;
-            if i < n as isize && j < m as isize && j >= 0 && i >= 0
-                && a[i as usize].eq_ignore_ascii_case(&b[(i - d) as usize]) {
-                    i += 1;
-                    continue;
-                }
+            if i < n as isize
+                && j < m as isize
+                && j >= 0
+                && i >= 0
+                && a[i as usize].eq_ignore_ascii_case(&b[(i - d) as usize])
+            {
+                i += 1;
+                continue;
+            }
             return i;
         }
     };
@@ -167,7 +171,12 @@ mod tests {
 
     #[test]
     fn fast_path_for_similar_long_sequences() {
-        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(50_000).collect();
+        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(50_000)
+            .collect();
         let mut b = a.clone();
         b[25_000] = if b[25_000] == b'A' { b'C' } else { b'A' };
         b.remove(40_000);

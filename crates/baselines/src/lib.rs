@@ -24,9 +24,9 @@
 
 pub mod banded;
 pub mod gact;
+pub mod gotoh;
 pub mod hirschberg;
 pub mod landau_vishkin;
-pub mod gotoh;
 pub mod myers;
 pub mod nw;
 pub mod shd;

@@ -57,7 +57,11 @@ impl MyersPattern {
                 peq[code][i / 64] |= 1u64 << (i % 64);
             }
         }
-        MyersPattern { peq, blocks, len: pattern.len() }
+        MyersPattern {
+            peq,
+            blocks,
+            len: pattern.len(),
+        }
     }
 
     /// Pattern length in characters.
@@ -167,14 +171,17 @@ pub fn myers_distance_preprocessed(text: &[u8], mp: &MyersPattern, mode: Mode) -
     // the true cell at pattern row m is recovered by subtracting the
     // vertical deltas of the padding rows (Pv/Mv bits above m).
     let mut bottom = (blocks * 64) as i64;
-    let pad_mask: u64 = if m.is_multiple_of(64) { 0 } else { !0u64 << (m % 64) };
+    let pad_mask: u64 = if m.is_multiple_of(64) {
+        0
+    } else {
+        !0u64 << (m % 64)
+    };
     let top_carry = match mode {
         Mode::Global => 1,
         Mode::Semiglobal => 0,
     };
     let row_m = |bottom: i64, pv_last: u64, mv_last: u64| {
-        bottom - (pv_last & pad_mask).count_ones() as i64
-            + (mv_last & pad_mask).count_ones() as i64
+        bottom - (pv_last & pad_mask).count_ones() as i64 + (mv_last & pad_mask).count_ones() as i64
     };
     let mut best = m as i64; // column 0: D[m][0] = m in both modes
 
@@ -230,7 +237,7 @@ pub fn myers_banded_within(text: &[u8], pattern: &[u8], k: usize) -> Option<usiz
 
     for (j, &c) in text.iter().enumerate() {
         let j1 = j + 1; // 1-based column
-        // Band rows for this column: (j1 - k) ..= (j1 + k).
+                        // Band rows for this column: (j1 - k) ..= (j1 + k).
         let b_first = if j1 > k { (j1 - k - 1) / 64 } else { 0 };
         let new_last = ((j1 + k).min(m).saturating_sub(1) / 64).min(blocks - 1);
         while b_last < new_last {
@@ -303,19 +310,33 @@ mod tests {
             (b"GATTACAGATTACA", b"GCATGCTGCATGCT"),
         ];
         for (t, p) in cases {
-            assert_eq!(myers_distance(t, p), nw_distance(t, p), "{:?} vs {:?}", t, p);
+            assert_eq!(
+                myers_distance(t, p),
+                nw_distance(t, p),
+                "{:?} vs {:?}",
+                t,
+                p
+            );
         }
     }
 
     #[test]
     fn agrees_with_dp_on_long_multiblock_patterns() {
         // Patterns longer than 64 exercise the block carry chain.
-        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(500).collect();
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(500)
+            .collect();
         let mut pattern = text.clone();
         pattern[100] = b'T';
         pattern.remove(300);
         pattern.insert(400, b'G');
-        assert_eq!(myers_distance(&text, &pattern), nw_distance(&text, &pattern));
+        assert_eq!(
+            myers_distance(&text, &pattern),
+            nw_distance(&text, &pattern)
+        );
     }
 
     #[test]
@@ -393,7 +414,12 @@ mod tests {
 
     #[test]
     fn banded_handles_long_similar_pairs() {
-        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(20_000).collect();
+        let t: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(20_000)
+            .collect();
         let mut p = t.clone();
         for pos in [1_000usize, 7_777, 15_000] {
             p[pos] = if p[pos] == b'A' { b'G' } else { b'A' };

@@ -71,7 +71,11 @@ pub fn nw_align(text: &[u8], pattern: &[u8]) -> (usize, Cigar) {
         if i > 0 && j > 0 {
             let cost = usize::from(!text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]));
             if dp[idx(i, j)] == dp[idx(i - 1, j - 1)] + cost {
-                ops_rev.push(if cost == 0 { CigarOp::Match } else { CigarOp::Subst });
+                ops_rev.push(if cost == 0 {
+                    CigarOp::Match
+                } else {
+                    CigarOp::Subst
+                });
                 i -= 1;
                 j -= 1;
                 continue;
@@ -132,8 +136,11 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric() {
-        let pairs: [(&[u8], &[u8]); 3] =
-            [(b"ACGT", b"AGT"), (b"AAAA", b"AATAA"), (b"GATTACA", b"GCATGCU")];
+        let pairs: [(&[u8], &[u8]); 3] = [
+            (b"ACGT", b"AGT"),
+            (b"AAAA", b"AATAA"),
+            (b"GATTACA", b"GCATGCU"),
+        ];
         for (a, b) in pairs {
             assert_eq!(nw_distance(a, b), nw_distance(b, a));
         }

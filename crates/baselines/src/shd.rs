@@ -140,18 +140,31 @@ mod tests {
 
     #[test]
     fn substitutions_counted_as_runs() {
-        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(100).collect();
+        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA"
+            .iter()
+            .copied()
+            .cycle()
+            .take(100)
+            .collect();
         let mut read = seq.clone();
         read[30] = if read[30] == b'A' { b'C' } else { b'A' };
         read[70] = if read[70] == b'G' { b'T' } else { b'G' };
         let est = shd_estimate(&seq, &read, 3);
-        assert!(est >= 2, "two isolated substitutions are two runs, got {est}");
+        assert!(
+            est >= 2,
+            "two isolated substitutions are two runs, got {est}"
+        );
         assert!(ShdFilter::new(3).accepts(&seq, &read));
     }
 
     #[test]
     fn shifted_read_passes_via_shifted_mask() {
-        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(104).collect();
+        let seq: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA"
+            .iter()
+            .copied()
+            .cycle()
+            .take(104)
+            .collect();
         // Read = text shifted by 2 (deleting the first two characters):
         // the +2 shift mask is all matches.
         let read = seq[2..102].to_vec();
@@ -191,7 +204,9 @@ mod tests {
 
     #[test]
     fn amend_flattens_short_runs() {
-        let mut mask = vec![true, false, true, false, false, true, false, false, false, true];
+        let mut mask = vec![
+            true, false, true, false, false, true, false, false, false, true,
+        ];
         amend(&mut mask);
         // 1-run and 2-run flattened; 3-run kept.
         assert_eq!(

@@ -181,7 +181,12 @@ mod tests {
         // between them too: the strict rule may estimate up to ~2x the
         // true edit count for clustered errors (edge of the published
         // zero-false-reject claim, which holds for isolated errors).
-        let text: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA".iter().copied().cycle().take(100).collect();
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTCAGTA"
+            .iter()
+            .copied()
+            .cycle()
+            .take(100)
+            .collect();
         let mut read = text.clone();
         read[50] = if read[50] == b'A' { b'C' } else { b'A' };
         read[52] = if read[52] == b'G' { b'T' } else { b'G' };
@@ -217,9 +222,18 @@ mod tests {
         }
         let est = filter.estimate(&text, &read);
         let truth = semiglobal_distance(&text, &read);
-        assert!(truth > e, "construction should be truly dissimilar, truth={truth}");
-        assert!(est < truth, "estimate {est} should undercount truth {truth}");
-        assert!(filter.accepts(&text, &read), "this is a false accept by design");
+        assert!(
+            truth > e,
+            "construction should be truly dissimilar, truth={truth}"
+        );
+        assert!(
+            est < truth,
+            "estimate {est} should undercount truth {truth}"
+        );
+        assert!(
+            filter.accepts(&text, &read),
+            "this is a false accept by design"
+        );
     }
 
     #[test]

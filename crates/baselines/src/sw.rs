@@ -101,7 +101,11 @@ pub fn sw_align(text: &[u8], pattern: &[u8], scoring: &Scoring) -> LocalAlignmen
                     state = State::F;
                 } else {
                     let matched = text[i - 1].eq_ignore_ascii_case(&pattern[j - 1]);
-                    ops_rev.push(if matched { CigarOp::Match } else { CigarOp::Subst });
+                    ops_rev.push(if matched {
+                        CigarOp::Match
+                    } else {
+                        CigarOp::Subst
+                    });
                     i -= 1;
                     j -= 1;
                 }
@@ -111,14 +115,22 @@ pub fn sw_align(text: &[u8], pattern: &[u8], scoring: &Scoring) -> LocalAlignmen
                 let extended = j >= 2 && e[at(i, j)] == e[at(i, j - 1)] + ge;
                 let opened = e[at(i, j)] == h[at(i, j - 1)] + go + ge;
                 j -= 1;
-                state = if extended && !opened { State::E } else { State::H };
+                state = if extended && !opened {
+                    State::E
+                } else {
+                    State::H
+                };
             }
             State::F => {
                 ops_rev.push(CigarOp::Del);
                 let extended = i >= 2 && f[at(i, j)] == f[at(i - 1, j)] + ge;
                 let opened = f[at(i, j)] == h[at(i - 1, j)] + go + ge;
                 i -= 1;
-                state = if extended && !opened { State::F } else { State::H };
+                state = if extended && !opened {
+                    State::F
+                } else {
+                    State::H
+                };
             }
         }
     }
@@ -127,7 +139,12 @@ pub fn sw_align(text: &[u8], pattern: &[u8], scoring: &Scoring) -> LocalAlignmen
     for &op in ops_rev.iter().rev() {
         cigar.push(op);
     }
-    LocalAlignment { score, text_range: (i, end_i), pattern_range: (j, end_j), cigar }
+    LocalAlignment {
+        score,
+        text_range: (i, end_i),
+        pattern_range: (j, end_j),
+        cigar,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +156,10 @@ mod tests {
         let r = sw_align(b"GGGGACGTACGTGGGG", b"TTACGTACGTTT", &Scoring::bwa_mem());
         assert_eq!(r.score, 8);
         assert_eq!(r.cigar.to_string(), "8=");
-        assert_eq!(&b"GGGGACGTACGTGGGG"[r.text_range.0..r.text_range.1], b"ACGTACGT");
+        assert_eq!(
+            &b"GGGGACGTACGTGGGG"[r.text_range.0..r.text_range.1],
+            b"ACGTACGT"
+        );
     }
 
     #[test]
@@ -157,7 +177,13 @@ mod tests {
         assert!(r.score > 0);
         let t = &text[r.text_range.0..r.text_range.1];
         let p = &pattern[r.pattern_range.0..r.pattern_range.1];
-        assert!(r.cigar.validates(t, p), "cigar={} t={:?} p={:?}", r.cigar, t, p);
+        assert!(
+            r.cigar.validates(t, p),
+            "cigar={} t={:?} p={:?}",
+            r.cigar,
+            t,
+            p
+        );
     }
 
     #[test]
@@ -174,7 +200,11 @@ mod tests {
     fn local_beats_forced_global_on_noisy_ends() {
         // Noisy prefix/suffix should be excluded by local alignment:
         // the shared core ACGTACG (7 matches) wins.
-        let r = sw_align(b"TTTTTACGTACGTTTTTT", b"GGGGGACGTACGGGGGG", &Scoring::bwa_mem());
+        let r = sw_align(
+            b"TTTTTACGTACGTTTTTT",
+            b"GGGGGACGTACGGGGGG",
+            &Scoring::bwa_mem(),
+        );
         assert_eq!(r.score, 7);
         assert_eq!(r.cigar.to_string(), "7=");
     }

@@ -18,7 +18,10 @@ use genasm_core::scoring::Scoring;
 use proptest::prelude::*;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 1..=max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        1..=max_len,
+    )
 }
 
 proptest! {

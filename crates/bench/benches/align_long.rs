@@ -17,24 +17,32 @@ fn bench_long_read_alignment(c: &mut Criterion) {
         group.throughput(Throughput::Elements(pairs.len() as u64));
 
         let aligner = GenAsmAligner::new(GenAsmConfig::default());
-        group.bench_with_input(BenchmarkId::new("genasm", dataset.name()), &pairs, |b, pairs| {
-            b.iter(|| {
-                for p in pairs {
-                    std::hint::black_box(
-                        aligner.align(&p.region, &p.read).unwrap().edit_distance,
-                    );
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("genasm", dataset.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for p in pairs {
+                        std::hint::black_box(
+                            aligner.align(&p.region, &p.read).unwrap().edit_distance,
+                        );
+                    }
+                })
+            },
+        );
 
         let dp = GotohAligner::new(Scoring::minimap2(), GotohMode::TextSuffixFree);
-        group.bench_with_input(BenchmarkId::new("gotoh_dp", dataset.name()), &pairs, |b, pairs| {
-            b.iter(|| {
-                for p in pairs {
-                    std::hint::black_box(dp.score_only(&p.region, &p.read));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gotoh_dp", dataset.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for p in pairs {
+                        std::hint::black_box(dp.score_only(&p.region, &p.read));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -11,22 +11,28 @@ use genasm_seq::readsim::PaperDataset;
 
 fn bench_short_read_alignment(c: &mut Criterion) {
     let mut group = c.benchmark_group("align_short");
-    for dataset in
-        [PaperDataset::Illumina100, PaperDataset::Illumina150, PaperDataset::Illumina250]
-    {
+    for dataset in [
+        PaperDataset::Illumina100,
+        PaperDataset::Illumina150,
+        PaperDataset::Illumina250,
+    ] {
         let pairs = dataset_pairs(dataset, dataset.read_length(), 50, 0x5047);
         group.throughput(Throughput::Elements(pairs.len() as u64));
 
         let aligner = GenAsmAligner::new(GenAsmConfig::default());
-        group.bench_with_input(BenchmarkId::new("genasm", dataset.name()), &pairs, |b, pairs| {
-            b.iter(|| {
-                for p in pairs {
-                    std::hint::black_box(
-                        aligner.align(&p.region, &p.read).unwrap().edit_distance,
-                    );
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("genasm", dataset.name()),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for p in pairs {
+                        std::hint::black_box(
+                            aligner.align(&p.region, &p.read).unwrap().edit_distance,
+                        );
+                    }
+                })
+            },
+        );
 
         let dp = GotohAligner::new(Scoring::bwa_mem(), GotohMode::TextSuffixFree);
         group.bench_with_input(

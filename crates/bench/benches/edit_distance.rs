@@ -14,9 +14,11 @@ fn bench_edit_distance(c: &mut Criterion) {
     for (s, a, b) in &pairs {
         let label = format!("{:.0}%", s * 100.0);
         let calc = EditDistanceCalculator::default();
-        group.bench_with_input(BenchmarkId::new("genasm", &label), &(a, b), |bench, (a, b)| {
-            bench.iter(|| std::hint::black_box(calc.distance(a, b).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("genasm", &label),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| std::hint::black_box(calc.distance(a, b).unwrap())),
+        );
         group.bench_with_input(
             BenchmarkId::new("edlib_standin", &label),
             &(a, b),

@@ -57,9 +57,7 @@ fn bench_kernels(c: &mut Criterion) {
     let d = dc.edit_distance.unwrap();
     let order = TracebackOrder::affine();
     group.bench_function("window_tb_64_d2", |b| {
-        b.iter(|| {
-            std::hint::black_box(window_traceback(&dc.bitvectors, d, 40, &order).unwrap())
-        })
+        b.iter(|| std::hint::black_box(window_traceback(&dc.bitvectors, d, 40, &order).unwrap()))
     });
 
     group.finish();

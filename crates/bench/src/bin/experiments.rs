@@ -56,11 +56,18 @@ fn main() {
     let selected: Vec<&Experiment> = if arg == "all" {
         experiments.iter().collect()
     } else {
-        let found: Vec<_> = experiments.iter().filter(|(name, _)| *name == arg).collect();
+        let found: Vec<_> = experiments
+            .iter()
+            .filter(|(name, _)| *name == arg)
+            .collect();
         if found.is_empty() {
             eprintln!(
                 "unknown experiment {arg:?}; available: all {}",
-                experiments.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+                experiments
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
             std::process::exit(2);
         }
@@ -163,7 +170,11 @@ fn alignment_figure(
     for &ds in datasets {
         let len = read_length_override.unwrap_or(ds.read_length());
         let pairs = dataset_pairs(ds, len, count, 0xF19 + len as u64);
-        let scoring = if ds.is_long() { Scoring::minimap2() } else { Scoring::bwa_mem() };
+        let scoring = if ds.is_long() {
+            Scoring::minimap2()
+        } else {
+            Scoring::bwa_mem()
+        };
         let dp = dp_sw_rate(&pairs, scoring);
         let sw = genasm_sw_rate(&pairs);
         let k = error_budget(len, ds);
@@ -175,7 +186,11 @@ fn alignment_figure(
             fmt_x(sw / dp),
             fmt_rate(hw_rate),
             fmt_x(hw_rate / dp),
-            format!("{} / {}", fmt_x(paper_rows[0].t12), fmt_x(paper_rows[1].t12)),
+            format!(
+                "{} / {}",
+                fmt_x(paper_rows[0].t12),
+                fmt_x(paper_rows[1].t12)
+            ),
         ]);
     }
     t.note(
@@ -212,8 +227,11 @@ fn fig9() -> Vec<Table> {
 }
 
 fn fig10() -> Vec<Table> {
-    let datasets =
-        [PaperDataset::Illumina100, PaperDataset::Illumina150, PaperDataset::Illumina250];
+    let datasets = [
+        PaperDataset::Illumina100,
+        PaperDataset::Illumina150,
+        PaperDataset::Illumina250,
+    ];
     vec![alignment_figure(
         "Figure 10: short-read alignment throughput (GenASM vs DP software)",
         &datasets,
@@ -260,7 +278,11 @@ fn fig11() -> Vec<Table> {
         let mut totals = Vec::new();
         let mut align_share = 0.0;
         for aligner in [AlignerKind::Gotoh, AlignerKind::GenAsm] {
-            let config = MapperConfig { aligner, error_fraction, ..MapperConfig::default() };
+            let config = MapperConfig {
+                aligner,
+                error_fraction,
+                ..MapperConfig::default()
+            };
             let mapper = ReadMapper::build(&reference, config);
             let refs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
             let (_, timings) = mapper.map_batch(refs);
@@ -360,7 +382,13 @@ fn fig13() -> Vec<Table> {
     let gact_hw = GactHwModel::default();
     let mut t = Table::new(
         "Figure 13: GenASM vs GACT (Darwin), short reads, single accelerator",
-        ["Length", "GACT HW (model)", "GenASM HW (model)", "Speedup", "Paper avg speedup"],
+        [
+            "Length",
+            "GACT HW (model)",
+            "GenASM HW (model)",
+            "Speedup",
+            "Paper avg speedup",
+        ],
     );
     let mut speedups = Vec::new();
     for &m in &[100usize, 150, 200, 250, 300] {
@@ -518,12 +546,36 @@ fn sillax() -> Vec<Table> {
 fn accuracy() -> Vec<Table> {
     let mut t = Table::new(
         "Accuracy analysis (10.2): GenASM score vs DP-optimal affine score",
-        ["Dataset", "Exact score", "Within tolerance", "Tolerance", "Paper"],
+        [
+            "Dataset",
+            "Exact score",
+            "Within tolerance",
+            "Tolerance",
+            "Paper",
+        ],
     );
     let cases = [
-        (PaperDataset::Illumina250, 250usize, 300 * scale(), Scoring::bwa_mem(), 0.045),
-        (PaperDataset::PacBio10, 2_000, 25 * scale(), Scoring::minimap2(), 0.004),
-        (PaperDataset::PacBio15, 2_000, 25 * scale(), Scoring::minimap2(), 0.007),
+        (
+            PaperDataset::Illumina250,
+            250usize,
+            300 * scale(),
+            Scoring::bwa_mem(),
+            0.045,
+        ),
+        (
+            PaperDataset::PacBio10,
+            2_000,
+            25 * scale(),
+            Scoring::minimap2(),
+            0.004,
+        ),
+        (
+            PaperDataset::PacBio15,
+            2_000,
+            25 * scale(),
+            Scoring::minimap2(),
+            0.007,
+        ),
     ];
     for (i, &(ds, len, count, scoring, tolerance)) in cases.iter().enumerate() {
         let pairs = dataset_pairs(ds, len, count, 0xACC + i as u64);
@@ -577,25 +629,41 @@ fn accuracy() -> Vec<Table> {
 fn shouji() -> Vec<Table> {
     let mut t = Table::new(
         "Pre-alignment filtering (10.3): GenASM-DC vs Shouji",
-        ["Dataset", "Filter", "Throughput", "False accept", "False reject", "Paper FAR"],
+        [
+            "Dataset",
+            "Filter",
+            "Throughput",
+            "False accept",
+            "False reject",
+            "Paper FAR",
+        ],
     );
-    let cases = [(100usize, 5usize, 2_000 * scale()), (250, 15, 800 * scale())];
+    let cases = [
+        (100usize, 5usize, 2_000 * scale()),
+        (250, 15, 800 * scale()),
+    ];
     for (ci, &(len, threshold, count)) in cases.iter().enumerate() {
         let pairs = filter_pairs(len, threshold, count, 0x510 + ci as u64);
         // Ground truth via semiglobal DP (the paper uses Edlib).
-        let truth: Vec<bool> =
-            pairs.iter().map(|(r, q)| semiglobal_distance(r, q) <= threshold).collect();
+        let truth: Vec<bool> = pairs
+            .iter()
+            .map(|(r, q)| semiglobal_distance(r, q) <= threshold)
+            .collect();
 
         let genasm_filter = PreAlignmentFilter::new(threshold);
         let start = Instant::now();
-        let genasm_decisions: Vec<bool> =
-            pairs.iter().map(|(r, q)| genasm_filter.accepts(r, q).unwrap_or(false)).collect();
+        let genasm_decisions: Vec<bool> = pairs
+            .iter()
+            .map(|(r, q)| genasm_filter.accepts(r, q).unwrap_or(false))
+            .collect();
         let genasm_rate = pairs.len() as f64 / start.elapsed().as_secs_f64();
 
         let shouji_filter = ShoujiFilter::new(threshold);
         let start = Instant::now();
-        let shouji_decisions: Vec<bool> =
-            pairs.iter().map(|(r, q)| shouji_filter.accepts(r, q)).collect();
+        let shouji_decisions: Vec<bool> = pairs
+            .iter()
+            .map(|(r, q)| shouji_filter.accepts(r, q))
+            .collect();
         let shouji_rate = pairs.len() as f64 / start.elapsed().as_secs_f64();
 
         let rates = |decisions: &[bool]| {
@@ -616,7 +684,10 @@ fn shouji() -> Vec<Table> {
                     }
                 }
             }
-            (fa as f64 / dissimilar.max(1) as f64, fr as f64 / similar.max(1) as f64)
+            (
+                fa as f64 / dissimilar.max(1) as f64,
+                fr as f64 / similar.max(1) as f64,
+            )
         };
         let (g_far, g_frr) = rates(&genasm_decisions);
         let (s_far, s_frr) = rates(&shouji_decisions);
@@ -648,7 +719,13 @@ fn asap() -> Vec<Table> {
     let hw = genasm_hw();
     let mut t = Table::new(
         "ASAP comparison (10.4): edit distance on short sequences",
-        ["Length", "ASAP (published)", "GenASM HW (model)", "Speedup", "Paper speedup range"],
+        [
+            "Length",
+            "ASAP (published)",
+            "GenASM HW (model)",
+            "Speedup",
+            "Paper speedup range",
+        ],
     );
     for &m in &[64usize, 128, 192, 256, 320] {
         let k = (m as f64 * 0.1).ceil() as usize;
@@ -680,11 +757,19 @@ fn ablation_window() -> Vec<Table> {
     let model = genasm_hw();
     let mut t = Table::new(
         "Ablation (10.5 / 6): divide-and-conquer windowing",
-        ["Workload", "Unwindowed DC cycles", "Windowed DC cycles", "Reduction", "Paper"],
+        [
+            "Workload",
+            "Unwindowed DC cycles",
+            "Windowed DC cycles",
+            "Reduction",
+            "Paper",
+        ],
     );
-    for &(m, k, paper) in
-        &[(10_000usize, 1_500usize, "3662x"), (100, 5, "1.6x"), (250, 13, "3.9x")]
-    {
+    for &(m, k, paper) in &[
+        (10_000usize, 1_500usize, "3662x"),
+        (100, 5, "1.6x"),
+        (250, 13, "3.9x"),
+    ] {
         let unwindowed = model.dc_cycles_unwindowed(m, k);
         let speedup = model.windowing_speedup(m, k);
         let windowed = unwindowed as f64 / speedup;
@@ -705,13 +790,27 @@ fn ablation_window() -> Vec<Table> {
     // (W, O) sweep: accuracy of the software aligner vs DP distance.
     let mut sweep = Table::new(
         "Ablation: (W, O) sweep - model throughput vs achieved accuracy",
-        ["W", "O", "HW 32v (model)", "Edit-distance exact", "Avg excess edits"],
+        [
+            "W",
+            "O",
+            "HW 32v (model)",
+            "Edit-distance exact",
+            "Avg excess edits",
+        ],
     );
     // High-error pairs (15% PacBio profile at 250 bp) so small windows
     // and small overlaps actually lose accuracy.
     let pairs = dataset_pairs(PaperDataset::PacBio15, 250, 150 * scale(), 0xAB1);
     let unit_dp = GotohAligner::new(Scoring::unit(), GotohMode::TextSuffixFree);
-    for &(w, o) in &[(16usize, 4usize), (32, 8), (32, 12), (48, 16), (64, 16), (64, 24), (64, 32)] {
+    for &(w, o) in &[
+        (16usize, 4usize),
+        (32, 8),
+        (32, 12),
+        (48, 16),
+        (64, 16),
+        (64, 24),
+        (64, 32),
+    ] {
         let mut cfg = GenAsmHwConfig::paper();
         cfg.window = w;
         cfg.overlap = o;
@@ -723,7 +822,10 @@ fn ablation_window() -> Vec<Table> {
         let mut exact = 0usize;
         let mut excess = 0usize;
         for p in &pairs {
-            let d = aligner.align(&p.region, &p.read).expect("align").edit_distance;
+            let d = aligner
+                .align(&p.region, &p.read)
+                .expect("align")
+                .edit_distance;
             let dp = unit_dp.score_only(&p.region, &p.read).unsigned_abs() as usize;
             if d == dp {
                 exact += 1;
@@ -746,7 +848,12 @@ fn ablation_tb_order() -> Vec<Table> {
     use genasm_core::tb::TracebackOrder;
     let mut t = Table::new(
         "Ablation (6): traceback case order vs affine score",
-        ["Order", "Mean score gap to optimal (BWA)", "Exact-score reads", "Edit distance drift"],
+        [
+            "Order",
+            "Mean score gap to optimal (BWA)",
+            "Exact-score reads",
+            "Edit distance drift",
+        ],
     );
     let pairs = dataset_pairs(PaperDataset::Illumina250, 250, 200 * scale(), 0x7B0);
     let scoring = Scoring::bwa_mem();
@@ -770,7 +877,10 @@ fn ablation_tb_order() -> Vec<Table> {
             if score == optimal {
                 exact += 1;
             }
-            let base = unit_aligner.align(&p.region, &p.read).expect("align").edit_distance;
+            let base = unit_aligner
+                .align(&p.region, &p.read)
+                .expect("align")
+                .edit_distance;
             drift += a.edit_distance.abs_diff(base);
         }
         t.push([
@@ -787,7 +897,13 @@ fn ablation_tb_order() -> Vec<Table> {
 fn ablation_pe() -> Vec<Table> {
     let mut t = Table::new(
         "Ablation (10.5): PE-count and vault-count scaling",
-        ["PEs", "Vaults", "Cycles/10Kbp read", "Throughput", "PE utilization"],
+        [
+            "PEs",
+            "Vaults",
+            "Cycles/10Kbp read",
+            "Throughput",
+            "PE utilization",
+        ],
     );
     for &pes in &[16usize, 32, 64, 128] {
         for &vaults in &[1usize, 8, 32] {

@@ -51,7 +51,9 @@ impl GactHwModel {
 
     /// Number of tiles for a read of `m` bases.
     pub fn tiles(&self, m: usize) -> u64 {
-        (m as u64).div_ceil((self.tile - self.overlap) as u64).max(1)
+        (m as u64)
+            .div_ceil((self.tile - self.overlap) as u64)
+            .max(1)
     }
 
     /// Total cycles to align one read of `m` bases.

@@ -30,7 +30,9 @@ impl Row {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Row { cells: cells.into_iter().map(Into::into).collect() }
+        Row {
+            cells: cells.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -147,6 +149,117 @@ impl Table {
     }
 }
 
+/// A flat machine-readable report: string/number key-value pairs plus
+/// named record arrays, rendered as JSON without any serde dependency.
+/// Benches use it to leave artifacts like `BENCH_engine.json` for
+/// cross-PR performance tracking.
+/// One rendered record: key → already-JSON-encoded value pairs.
+type JsonRecord = Vec<(String, String)>;
+
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+    records: Vec<(String, Vec<JsonRecord>)>,
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        JsonReport::default()
+    }
+
+    /// Adds a top-level string field.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Adds a top-level numeric field.
+    pub fn field_num(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Appends one record (list of key → JSON-rendered value pairs) to
+    /// the named array, creating the array on first use.
+    pub fn record(&mut self, array: &str, pairs: &[(&str, f64)]) -> &mut Self {
+        let rendered: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, v)| {
+                let value = if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "null".into()
+                };
+                (k.to_string(), value)
+            })
+            .collect();
+        match self.records.iter_mut().find(|(name, _)| name == array) {
+            Some((_, rows)) => rows.push(rendered),
+            None => self.records.push((array.to_string(), vec![rendered])),
+        }
+        self
+    }
+
+    /// Renders the whole report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut parts: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("  \"{}\": {}", json_escape(k), v))
+            .collect();
+        for (name, rows) in &self.records {
+            let rendered_rows: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    let inner: Vec<String> = row
+                        .iter()
+                        .map(|(k, v)| format!("\"{}\": {}", json_escape(k), v))
+                        .collect();
+                    format!("    {{{}}}", inner.join(", "))
+                })
+                .collect();
+            parts.push(format!(
+                "  \"{}\": [\n{}\n  ]",
+                json_escape(name),
+                rendered_rows.join(",\n")
+            ));
+        }
+        format!("{{\n{}\n}}\n", parts.join(",\n"))
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
 /// Formats a throughput value compactly (e.g. `1.23M/s`).
 pub fn fmt_rate(per_sec: f64) -> String {
     if per_sec >= 1e6 {
@@ -182,6 +295,33 @@ pub fn fmt_x(factor: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_renders_and_parses_structurally() {
+        let mut report = JsonReport::new();
+        report.field_str("bench", "engine_throughput");
+        report.field_num("jobs", 128.0);
+        report.record("threads", &[("workers", 1.0), ("pairs_per_sec", 1000.5)]);
+        report.record("threads", &[("workers", 4.0), ("pairs_per_sec", f64::NAN)]);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"engine_throughput\""));
+        assert!(json.contains("\"jobs\": 128"));
+        assert!(json.contains("\"pairs_per_sec\": 1000.5"));
+        assert!(
+            json.contains("\"pairs_per_sec\": null"),
+            "non-finite becomes null"
+        );
+        assert_eq!(json.matches("{").count(), json.matches("}").count());
+        assert_eq!(json.matches("[").count(), json.matches("]").count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        let mut report = JsonReport::new();
+        report.field_str("k\"ey", "va\\l\nue");
+        let json = report.to_json();
+        assert!(json.contains(r#""k\"ey": "va\\l\nue""#));
+    }
 
     #[test]
     fn table_renders_text_and_markdown() {

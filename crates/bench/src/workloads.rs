@@ -95,7 +95,12 @@ fn pair_from_read(reference: &[u8], read: SimulatedRead, k: usize) -> AlignmentP
 /// candidate-location pairs do (candidates share seeds, so dissimilar
 /// candidates are *moderately* dissimilar, not random — the regime in
 /// which Shouji's published false-accept rates were measured).
-pub fn filter_pairs(read_length: usize, e: usize, count: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+pub fn filter_pairs(
+    read_length: usize,
+    e: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(Vec<u8>, Vec<u8>)> {
     use genasm_seq::mutate::mutate;
     use genasm_seq::profile::ErrorProfile;
     use rand::rngs::StdRng;
@@ -126,7 +131,11 @@ pub fn filter_pairs(read_length: usize, e: usize, count: usize, seed: u64) -> Ve
 /// Sequence pairs for the edit-distance experiments: one template per
 /// length, mutated to each similarity level (the Edlib dataset shape,
 /// §9).
-pub fn similarity_pairs(length: usize, similarities: &[f64], seed: u64) -> Vec<(f64, Vec<u8>, Vec<u8>)> {
+pub fn similarity_pairs(
+    length: usize,
+    similarities: &[f64],
+    seed: u64,
+) -> Vec<(f64, Vec<u8>, Vec<u8>)> {
     use genasm_seq::mutate::mutate_to_similarity;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -53,7 +53,8 @@ impl Args {
     ///
     /// Returns a message naming the missing option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A parsed numeric option with a default.
@@ -64,7 +65,9 @@ impl Args {
     pub fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("option --{key}: invalid value {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{key}: invalid value {v:?}")),
         }
     }
 }
@@ -75,8 +78,7 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_positionals() {
-        let args =
-            Args::parse(["map", "--ref", "r.fa", "--reads", "q.fq", "extra"]).unwrap();
+        let args = Args::parse(["map", "--ref", "r.fa", "--reads", "q.fq", "extra"]).unwrap();
         assert_eq!(args.command, "map");
         assert_eq!(args.get("ref"), Some("r.fa"));
         assert_eq!(args.get("reads"), Some("q.fq"));

@@ -12,7 +12,11 @@
 //!   pre-alignment filter decisions, one line per read;
 //! * `simulate --genome-size <bp> --count <n> [--length 100]
 //!   [--profile illumina|pacbio10|pacbio15|ont10|ont15] [--seed 0]` —
-//!   write a synthetic reference (`ref.fa`) and reads (`reads.fq`).
+//!   write a synthetic reference (`ref.fa`) and reads (`reads.fq`);
+//! * `batch --ref <fasta> --reads <fastq|fasta> [--threads 0]
+//!   [--kernel genasm|gotoh] [--sam -]` — map reads through the
+//!   multi-threaded batch engine, throughput report on stderr (and
+//!   SAM on stdout when `--sam -` is given).
 
 mod args;
 
@@ -20,6 +24,8 @@ use args::Args;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
+use genasm_core::scoring::Scoring;
+use genasm_engine::{Engine, EngineConfig, GotohKernel};
 use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
 use genasm_mapper::sam;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
@@ -37,6 +43,11 @@ usage: genasm <command> [options]
 
 commands:
   map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]   SAM to stdout
+  batch     --ref <fa> --reads <fq|fa> [--threads 0]
+            [--kernel genasm|gotoh] [--error-rate 0.15]
+            [--sam -]                                        engine-batched mapping,
+                                                             throughput report on stderr,
+                                                             SAM on stdout with --sam -
   align     --ref <fa> --query <fa> [--k <edits>]            per-query alignment summary
   distance  --a <fa> --b <fa>                                global edit distance
   filter    --ref <fa> --reads <fq|fa> --threshold <k>       accept/reject per read
@@ -61,6 +72,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
     match args.command.as_str() {
         "map" => cmd_map(&args),
+        "batch" => cmd_batch(&args),
         "align" => cmd_align(&args),
         "distance" => cmd_distance(&args),
         "filter" => cmd_filter(&args),
@@ -102,13 +114,15 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let reads = load_reads(args.require("reads")?)?;
     let error_rate: f64 = args.number("error-rate", 0.15)?;
 
-    let config = MapperConfig { error_fraction: error_rate, ..MapperConfig::default() };
+    let config = MapperConfig {
+        error_fraction: error_rate,
+        ..MapperConfig::default()
+    };
     let mapper = ReadMapper::build(&reference.seq, config);
 
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    sam::write_header(&mut out, &reference.id, reference.seq.len())
-        .map_err(|e| e.to_string())?;
+    sam::write_header(&mut out, &reference.id, reference.seq.len()).map_err(|e| e.to_string())?;
     let mut mapped = 0usize;
     for (name, seq) in &reads {
         let (mapping, _) = mapper.map_read(seq);
@@ -123,6 +137,75 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     }
     out.flush().map_err(|e| e.to_string())?;
     eprintln!("mapped {mapped}/{} reads", reads.len());
+    Ok(())
+}
+
+fn cmd_batch(args: &Args) -> Result<(), String> {
+    // Validate option values before touching the filesystem so a bad
+    // invocation fails on the actual mistake.
+    let kernel = match args.get("kernel").unwrap_or("genasm") {
+        k @ ("genasm" | "gotoh") => k,
+        other => return Err(format!("unknown kernel {other:?}")),
+    };
+    let error_rate: f64 = args.number("error-rate", 0.15)?;
+    let threads: usize = args.number("threads", 0)?;
+
+    let reference = load_first_fasta(args.require("ref")?)?;
+    let reads = load_reads(args.require("reads")?)?;
+
+    let config = MapperConfig {
+        error_fraction: error_rate,
+        ..MapperConfig::default()
+    };
+    let engine_config = EngineConfig::default()
+        .with_workers(threads)
+        .with_genasm(config.genasm.clone());
+    let engine = match kernel {
+        "genasm" => Engine::new(engine_config),
+        _ => Engine::with_kernel(
+            engine_config,
+            std::sync::Arc::new(GotohKernel::new(Scoring::bwa_mem())),
+        ),
+    };
+
+    let mapper = ReadMapper::build(&reference.seq, config);
+    let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
+    let (mappings, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
+
+    if args.get("sam").is_some() {
+        let stdout = io::stdout();
+        let mut out = BufWriter::new(stdout.lock());
+        sam::write_header(&mut out, &reference.id, reference.seq.len())
+            .map_err(|e| e.to_string())?;
+        for ((name, seq), mapping) in reads.iter().zip(&mappings) {
+            let record = match mapping {
+                Some(m) => sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, m),
+                None => sam::SamRecord::unmapped(name.clone(), seq),
+            };
+            sam::write_record(&mut out, &record).map_err(|e| e.to_string())?;
+        }
+        out.flush().map_err(|e| e.to_string())?;
+    }
+
+    let mapped = mappings.iter().filter(|m| m.is_some()).count();
+    let align_secs = timings.alignment.as_secs_f64();
+    let reads_per_sec = if align_secs > 0.0 {
+        reads.len() as f64 / align_secs
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "kernel={} reads={} mapped={} candidates={}/{} \
+         seed={:.3}s filter={:.3}s align={:.3}s ({reads_per_sec:.0} reads/s in alignment)",
+        engine.kernel_name(),
+        reads.len(),
+        mapped,
+        timings.candidates.1,
+        timings.candidates.0,
+        timings.seeding.as_secs_f64(),
+        timings.filtering.as_secs_f64(),
+        align_secs,
+    );
     Ok(())
 }
 
@@ -158,16 +241,24 @@ fn cmd_distance(args: &Args) -> Result<(), String> {
 fn cmd_filter(args: &Args) -> Result<(), String> {
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
-    let threshold: usize = args.require("threshold")?.parse().map_err(|_| "bad --threshold")?;
+    let threshold: usize = args
+        .require("threshold")?
+        .parse()
+        .map_err(|_| "bad --threshold")?;
     let filter = PreAlignmentFilter::new(threshold);
     let mut accepted = 0usize;
     for (name, seq) in &reads {
-        let decision = filter.decide(&reference.seq, seq).map_err(|e| e.to_string())?;
+        let decision = filter
+            .decide(&reference.seq, seq)
+            .map_err(|e| e.to_string())?;
         accepted += usize::from(decision.accept);
         println!(
             "{name}\t{}\t{}",
             if decision.accept { "accept" } else { "reject" },
-            decision.distance.map(|d| d.to_string()).unwrap_or_else(|| "-".into())
+            decision
+                .distance
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     eprintln!("accepted {accepted}/{} reads", reads.len());
@@ -175,7 +266,10 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<(), String> {
-    let genome_size: usize = args.require("genome-size")?.parse().map_err(|_| "bad --genome-size")?;
+    let genome_size: usize = args
+        .require("genome-size")?
+        .parse()
+        .map_err(|_| "bad --genome-size")?;
     let count: usize = args.require("count")?.parse().map_err(|_| "bad --count")?;
     let length: usize = args.number("length", 100)?;
     let seed: u64 = args.number("seed", 0)?;
@@ -189,7 +283,10 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     };
     let prefix = args.get("out-prefix").unwrap_or("sim");
 
-    let genome = GenomeBuilder::new(genome_size).seed(seed).name(format!("{prefix}_ref")).build();
+    let genome = GenomeBuilder::new(genome_size)
+        .seed(seed)
+        .name(format!("{prefix}_ref"))
+        .build();
     let sim = ReadSimulator::new(SimConfig {
         read_length: length,
         count,
@@ -204,12 +301,18 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
     let ref_file = File::create(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
     write_fasta(
         BufWriter::new(ref_file),
-        &[FastaRecord { id: genome.name().to_string(), seq: genome.sequence().to_vec() }],
+        &[FastaRecord {
+            id: genome.name().to_string(),
+            seq: genome.sequence().to_vec(),
+        }],
     )
     .map_err(|e| e.to_string())?;
     let reads_file = File::create(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
-    genasm_seq::fastq::write_fastq(BufWriter::new(reads_file), &to_fastq_records(&reads, &profile))
-        .map_err(|e| e.to_string())?;
+    genasm_seq::fastq::write_fastq(
+        BufWriter::new(reads_file),
+        &to_fastq_records(&reads, &profile),
+    )
+    .map_err(|e| e.to_string())?;
     eprintln!("wrote {ref_path} ({genome_size} bp) and {reads_path} ({count} reads)");
     Ok(())
 }
@@ -265,6 +368,40 @@ mod tests {
             format!("{prefix}_reads.fq"),
         ])
         .unwrap();
+
+        // The engine-batched path maps the same inputs, on both kernels.
+        for kernel in ["genasm", "gotoh"] {
+            run(vec![
+                "batch".into(),
+                "--ref".into(),
+                format!("{prefix}_ref.fa"),
+                "--reads".into(),
+                format!("{prefix}_reads.fq"),
+                "--threads".into(),
+                "2".into(),
+                "--kernel".into(),
+                kernel.into(),
+            ])
+            .unwrap();
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_rejects_unknown_kernel_before_reading_files() {
+        let err = run(vec![
+            "batch".into(),
+            "--ref".into(),
+            "missing.fa".into(),
+            "--reads".into(),
+            "missing.fq".into(),
+            "--kernel".into(),
+            "smith-waterman".into(),
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("unknown kernel") && err.contains("smith-waterman"),
+            "kernel validation must run before file loading: {err}"
+        );
     }
 }

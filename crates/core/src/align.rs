@@ -16,7 +16,7 @@
 use crate::alphabet::{Alphabet, Dna, WithSentinel, SENTINEL};
 use crate::bitap;
 use crate::cigar::{Cigar, CigarOp};
-use crate::dc::{window_dc, MAX_WINDOW};
+use crate::dc::{window_dc, window_dc_into, DcArena, MAX_WINDOW};
 use crate::dc_sene::window_dc_sene;
 use crate::dc_wide::{window_dc_wide, MAX_WIDE_WINDOW};
 use crate::error::AlignError;
@@ -146,7 +146,10 @@ impl GenAsmConfig {
             return Err(AlignError::InvalidWindow { w: self.window });
         }
         if self.overlap >= self.window {
-            return Err(AlignError::InvalidOverlap { o: self.overlap, w: self.window });
+            return Err(AlignError::InvalidOverlap {
+                o: self.overlap,
+                w: self.window,
+            });
         }
         Ok(())
     }
@@ -182,6 +185,34 @@ pub struct WindowStats {
     pub bitvector_words: usize,
     /// Sum of per-window edit distances (before overlap re-counting).
     pub window_edits: usize,
+}
+
+/// Reusable scratch storage for repeated alignments.
+///
+/// One aligner call runs GenASM-DC once per window; the DC bitvector
+/// rows are by far its dominant allocation. An `AlignArena` carries a
+/// [`DcArena`] across windows *and* across calls, so a worker that
+/// aligns many reads (the batch engine's per-worker state) allocates
+/// nothing in the DC hot loop once warmed up.
+///
+/// Arena reuse applies to the default [`WindowKernel::EdgeStore`]
+/// single-word kernel (`W <= 64`, the paper's hardware configuration);
+/// the SENE and wide kernels fall back to per-window allocation.
+#[derive(Debug, Default)]
+pub struct AlignArena {
+    dc: DcArena,
+}
+
+impl AlignArena {
+    /// An empty arena; storage grows on first use.
+    pub fn new() -> Self {
+        AlignArena::default()
+    }
+
+    /// Total 64-bit words of DC row capacity currently retained.
+    pub fn retained_words(&self) -> usize {
+        self.dc.retained_words()
+    }
 }
 
 /// The GenASM aligner: GenASM-DC + GenASM-TB over overlapping windows.
@@ -238,7 +269,29 @@ impl GenAsmAligner {
         text: &[u8],
         pattern: &[u8],
     ) -> Result<Alignment, AlignError> {
-        self.align_inner::<A>(text, pattern, &mut WindowStats::default())
+        self.align_inner::<A>(
+            text,
+            pattern,
+            &mut WindowStats::default(),
+            &mut AlignArena::new(),
+        )
+    }
+
+    /// [`align`](Self::align) reusing scratch storage from `arena`:
+    /// identical results, but the DC bitvector rows are recycled across
+    /// windows and across calls instead of reallocated. This is the
+    /// entry point the batch engine's workers use.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`align`](Self::align).
+    pub fn align_with_arena(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        arena: &mut AlignArena,
+    ) -> Result<Alignment, AlignError> {
+        self.align_inner::<Dna>(text, pattern, &mut WindowStats::default(), arena)
     }
 
     /// [`align`](Self::align) that also reports window-decomposition
@@ -253,7 +306,8 @@ impl GenAsmAligner {
         pattern: &[u8],
     ) -> Result<(Alignment, WindowStats), AlignError> {
         let mut stats = WindowStats::default();
-        let alignment = self.align_inner::<Dna>(text, pattern, &mut stats)?;
+        let alignment =
+            self.align_inner::<Dna>(text, pattern, &mut stats, &mut AlignArena::new())?;
         Ok((alignment, stats))
     }
 
@@ -286,6 +340,7 @@ impl GenAsmAligner {
         text: &[u8],
         pattern: &[u8],
         stats: &mut WindowStats,
+        arena: &mut AlignArena,
     ) -> Result<Alignment, AlignError> {
         self.config.validate()?;
         if pattern.is_empty() {
@@ -300,7 +355,10 @@ impl GenAsmAligner {
             // it, so reject it here regardless of the alphabet.
             for seq in [text, pattern] {
                 if let Some(pos) = seq.iter().position(|&b| b == SENTINEL) {
-                    return Err(AlignError::InvalidSymbol { pos, byte: SENTINEL });
+                    return Err(AlignError::InvalidSymbol {
+                        pos,
+                        byte: SENTINEL,
+                    });
                 }
             }
         }
@@ -362,44 +420,30 @@ impl GenAsmAligner {
 
             // Window kernel dispatch: single-word for W <= 64 (the
             // hardware configuration), multi-word for wider windows.
-            let (tb, window_distance, stored_words): (WindowTraceback, usize, usize) =
-                if w <= MAX_WINDOW && self.config.kernel == WindowKernel::Sene {
-                    let dc = window_dc_sene::<A>(sub_text, sub_pattern, budget)?;
-                    let d = dc
-                        .edit_distance
-                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                    let tb = window_traceback(
-                        &dc.bitvectors,
-                        d,
-                        consume_limit,
-                        &self.config.order,
-                    )?;
-                    (tb, d, dc.bitvectors.stored_words())
-                } else if w <= MAX_WINDOW {
-                    let dc = window_dc::<A>(sub_text, sub_pattern, budget)?; // line 5
-                    let d = dc
-                        .edit_distance
-                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                    let tb = window_traceback(
-                        &dc.bitvectors,
-                        d,
-                        consume_limit,
-                        &self.config.order,
-                    )?;
-                    (tb, d, dc.bitvectors.stored_words())
-                } else {
-                    let dc = window_dc_wide::<A>(sub_text, sub_pattern, budget)?;
-                    let d = dc
-                        .edit_distance
-                        .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                    let tb = window_traceback(
-                        &dc.bitvectors,
-                        d,
-                        consume_limit,
-                        &self.config.order,
-                    )?;
-                    (tb, d, dc.bitvectors.stored_words())
-                };
+            let (tb, window_distance, stored_words): (WindowTraceback, usize, usize) = if w
+                <= MAX_WINDOW
+                && self.config.kernel == WindowKernel::Sene
+            {
+                let dc = window_dc_sene::<A>(sub_text, sub_pattern, budget)?;
+                let d = dc
+                    .edit_distance
+                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let tb = window_traceback(&dc.bitvectors, d, consume_limit, &self.config.order)?;
+                (tb, d, dc.bitvectors.stored_words())
+            } else if w <= MAX_WINDOW {
+                let d = window_dc_into::<A>(sub_text, sub_pattern, budget, &mut arena.dc)? // line 5
+                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let tb =
+                    window_traceback(arena.dc.bitvectors(), d, consume_limit, &self.config.order)?;
+                (tb, d, arena.dc.bitvectors().stored_words())
+            } else {
+                let dc = window_dc_wide::<A>(sub_text, sub_pattern, budget)?;
+                let d = dc
+                    .edit_distance
+                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let tb = window_traceback(&dc.bitvectors, d, consume_limit, &self.config.order)?;
+                (tb, d, dc.bitvectors.stored_words())
+            };
 
             stats.windows += 1;
             stats.bitvector_words += stored_words;
@@ -422,7 +466,12 @@ impl GenAsmAligner {
         let text_consumed = cigar.text_len();
         let pattern_consumed = cigar.pattern_len();
         debug_assert_eq!(pattern_consumed, m);
-        Ok(Alignment { cigar, edit_distance, text_consumed, pattern_consumed })
+        Ok(Alignment {
+            cigar,
+            edit_distance,
+            text_consumed,
+            pattern_consumed,
+        })
     }
 }
 
@@ -459,12 +508,16 @@ impl GenAsmAligner {
         let (tb, window_distance, stored_words) =
             if sub_pattern.len() <= MAX_WINDOW && sub_text.len() <= MAX_WINDOW {
                 let dc = window_dc::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
-                let d = dc.edit_distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let d = dc
+                    .edit_distance
+                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
                 let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
                 (tb, d, dc.bitvectors.stored_words())
             } else {
                 let dc = window_dc_wide::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
-                let d = dc.edit_distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
+                let d = dc
+                    .edit_distance
+                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
                 let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
                 (tb, d, dc.bitvectors.stored_words())
             };
@@ -573,7 +626,10 @@ mod tests {
         for (w, o) in [(8, 3), (16, 4), (32, 8), (48, 16), (64, 24)] {
             let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
             let a = GenAsmAligner::new(cfg).align(&text, &pattern).unwrap();
-            assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "W={w} O={o}");
+            assert!(
+                a.cigar.validates(&text[..a.text_consumed], &pattern),
+                "W={w} O={o}"
+            );
             assert_eq!(a.edit_distance, 1, "W={w} O={o}");
         }
     }
@@ -621,22 +677,35 @@ mod tests {
 
     #[test]
     fn search_and_align_none_when_absent() {
-        let result = aligner().search_and_align(b"AAAAAAAAAA", b"CGCGCG", 1).unwrap();
+        let result = aligner()
+            .search_and_align(b"AAAAAAAAAA", b"CGCGCG", 1)
+            .unwrap();
         assert!(result.is_none());
     }
 
     #[test]
     fn sene_kernel_matches_edge_kernel_through_the_public_api() {
-        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(500).collect();
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(500)
+            .collect();
         let mut pattern = text.clone();
         pattern[100] = if pattern[100] == b'A' { b'C' } else { b'A' };
         pattern.remove(250);
         pattern.insert(400, b'T');
-        let edges = GenAsmAligner::new(GenAsmConfig::default()).align(&text, &pattern).unwrap();
+        let edges = GenAsmAligner::new(GenAsmConfig::default())
+            .align(&text, &pattern)
+            .unwrap();
         let sene_cfg = GenAsmConfig::default().with_kernel(WindowKernel::Sene);
-        let (sene, stats) =
-            GenAsmAligner::new(sene_cfg).align_with_stats(&text, &pattern).unwrap();
-        assert_eq!(edges.cigar, sene.cigar, "kernels must produce identical alignments");
+        let (sene, stats) = GenAsmAligner::new(sene_cfg)
+            .align_with_stats(&text, &pattern)
+            .unwrap();
+        assert_eq!(
+            edges.cigar, sene.cigar,
+            "kernels must produce identical alignments"
+        );
         let (_, edge_stats) = GenAsmAligner::new(GenAsmConfig::default())
             .align_with_stats(&text, &pattern)
             .unwrap();
@@ -653,19 +722,63 @@ mod tests {
 
     #[test]
     fn wide_windows_align_through_the_public_api() {
-        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(800).collect();
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(800)
+            .collect();
         let mut pattern = text.clone();
         pattern[100] = if pattern[100] == b'A' { b'C' } else { b'A' };
         pattern.remove(400);
         pattern.insert(600, b'G');
-        let narrow = GenAsmAligner::new(GenAsmConfig::default()).align(&text, &pattern).unwrap();
+        let narrow = GenAsmAligner::new(GenAsmConfig::default())
+            .align(&text, &pattern)
+            .unwrap();
         for (w, o) in [(128usize, 48usize), (256, 96)] {
             let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
             let a = GenAsmAligner::new(cfg).align(&text, &pattern).unwrap();
-            assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "W={w}");
+            assert!(
+                a.cigar.validates(&text[..a.text_consumed], &pattern),
+                "W={w}"
+            );
             assert_eq!(a.edit_distance, 3, "W={w}");
         }
         assert_eq!(narrow.edit_distance, 3);
+    }
+
+    #[test]
+    fn arena_alignment_is_identical_and_reuses_storage() {
+        let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(600)
+            .collect();
+        let mut pattern = text.clone();
+        pattern[50] = if pattern[50] == b'A' { b'C' } else { b'A' };
+        pattern.remove(300);
+        pattern.insert(450, b'T');
+        let a = aligner();
+        let mut arena = AlignArena::new();
+        // Results are byte-identical to the allocating path, for every
+        // pattern length, across repeated arena reuse.
+        for len in [40usize, 600, 120, 300] {
+            let fresh = a.align(&text, &pattern[..len]).unwrap();
+            let reused = a
+                .align_with_arena(&text, &pattern[..len], &mut arena)
+                .unwrap();
+            assert_eq!(fresh.cigar, reused.cigar, "len={len}");
+            assert_eq!(fresh.edit_distance, reused.edit_distance, "len={len}");
+        }
+        // A warmed arena stops growing.
+        a.align_with_arena(&text, &pattern, &mut arena).unwrap();
+        let warmed = arena.retained_words();
+        assert!(warmed > 0);
+        for _ in 0..5 {
+            a.align_with_arena(&text, &pattern, &mut arena).unwrap();
+            assert_eq!(arena.retained_words(), warmed);
+        }
     }
 
     #[test]

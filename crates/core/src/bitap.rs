@@ -97,9 +97,7 @@ pub fn find_best<A: Alphabet>(
     k: usize,
 ) -> Result<Option<BitapMatch>, AlignError> {
     let matches = find_all::<A>(text, pattern, k)?;
-    Ok(matches
-        .into_iter()
-        .min_by_key(|m| (m.distance, m.position)))
+    Ok(matches.into_iter().min_by_key(|m| (m.distance, m.position)))
 }
 
 /// Reports whether `pattern` occurs anywhere in `text` with at most `k`
@@ -133,7 +131,12 @@ pub fn matches_within<A: Alphabet>(
         for i in (0..text.len()).rev() {
             let cur_pm = match pm.mask(text[i]) {
                 Some(mask) => mask,
-                None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+                None => {
+                    return Err(AlignError::InvalidSymbol {
+                        pos: i,
+                        byte: text[i],
+                    })
+                }
             };
             std::mem::swap(&mut r, &mut old_r);
             r[0] = (old_r[0] << 1) | cur_pm;
@@ -196,7 +199,12 @@ pub fn find_all_single_word<A: Alphabet>(
     for i in (0..text.len()).rev() {
         let cur_pm = match pm.mask(text[i]) {
             Some(mask) => mask,
-            None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+            None => {
+                return Err(AlignError::InvalidSymbol {
+                    pos: i,
+                    byte: text[i],
+                })
+            }
         };
         std::mem::swap(&mut r, &mut old_r); // lines 10-11: R becomes oldR
         r[0] = (old_r[0] << 1) | cur_pm; // line 13: exact-match bitvector
@@ -210,7 +218,10 @@ pub fn find_all_single_word<A: Alphabet>(
         // Lines 20-22: the minimal d whose MSB cleared is the distance of
         // the best match starting at text position i.
         if let Some(d) = (0..=k).find(|&d| r[d] & msb == 0) {
-            matches.push(BitapMatch { position: i, distance: d });
+            matches.push(BitapMatch {
+                position: i,
+                distance: d,
+            });
         }
     }
     matches.reverse();
@@ -245,7 +256,12 @@ pub fn find_all_multi_word<A: Alphabet>(
     for i in (0..text.len()).rev() {
         let cur_pm = match pm.mask(text[i]) {
             Some(mask) => mask,
-            None => return Err(AlignError::InvalidSymbol { pos: i, byte: text[i] }),
+            None => {
+                return Err(AlignError::InvalidSymbol {
+                    pos: i,
+                    byte: text[i],
+                })
+            }
         };
         std::mem::swap(&mut r, &mut old_r);
 
@@ -267,7 +283,10 @@ pub fn find_all_multi_word<A: Alphabet>(
             r[d].copy_from(&acc);
         }
         if let Some(d) = (0..=k).find(|&d| !r[d].msb()) {
-            matches.push(BitapMatch { position: i, distance: d });
+            matches.push(BitapMatch {
+                position: i,
+                distance: d,
+            });
         }
     }
     matches.reverse();
@@ -286,9 +305,18 @@ mod tests {
         assert_eq!(
             matches,
             vec![
-                BitapMatch { position: 0, distance: 1 },
-                BitapMatch { position: 1, distance: 1 },
-                BitapMatch { position: 2, distance: 1 },
+                BitapMatch {
+                    position: 0,
+                    distance: 1
+                },
+                BitapMatch {
+                    position: 1,
+                    distance: 1
+                },
+                BitapMatch {
+                    position: 2,
+                    distance: 1
+                },
             ]
         );
     }
@@ -296,7 +324,13 @@ mod tests {
     #[test]
     fn exact_match_k0() {
         let matches = find_all::<Dna>(b"ACGTACGT", b"GTAC", 0).unwrap();
-        assert_eq!(matches, vec![BitapMatch { position: 2, distance: 0 }]);
+        assert_eq!(
+            matches,
+            vec![BitapMatch {
+                position: 2,
+                distance: 0
+            }]
+        );
     }
 
     #[test]
@@ -309,7 +343,9 @@ mod tests {
     #[test]
     fn substitution_found_at_k1() {
         // Pattern differs from the text segment by one substitution.
-        assert!(find_all::<Dna>(b"AAACGTAAA", b"ACGA", 0).unwrap().is_empty());
+        assert!(find_all::<Dna>(b"AAACGTAAA", b"ACGA", 0)
+            .unwrap()
+            .is_empty());
         let matches = find_all::<Dna>(b"AAACGTAAA", b"ACGA", 1).unwrap();
         assert!(matches.iter().any(|m| m.position == 2 && m.distance == 1));
     }
@@ -328,7 +364,13 @@ mod tests {
     fn find_best_prefers_lower_distance() {
         // Exact occurrence later in the text must beat an earlier 1-edit one.
         let best = find_best::<Dna>(b"ACGAACGT", b"ACGT", 1).unwrap().unwrap();
-        assert_eq!(best, BitapMatch { position: 4, distance: 0 });
+        assert_eq!(
+            best,
+            BitapMatch {
+                position: 4,
+                distance: 0
+            }
+        );
     }
 
     #[test]
@@ -352,7 +394,10 @@ mod tests {
         text.extend_from_slice(&pattern);
         text.extend_from_slice(b"GGGG");
         let matches = find_all::<Dna>(&text, &pattern, 0).unwrap();
-        assert!(matches.contains(&BitapMatch { position: 4, distance: 0 }));
+        assert!(matches.contains(&BitapMatch {
+            position: 4,
+            distance: 0
+        }));
     }
 
     #[test]
@@ -382,10 +427,22 @@ mod tests {
     fn generic_text_search_over_ascii() {
         let text = b"the quick brown fox jumps over the lazy dog";
         let matches = find_all::<Ascii>(text, b"quick", 0).unwrap();
-        assert_eq!(matches, vec![BitapMatch { position: 4, distance: 0 }]);
+        assert_eq!(
+            matches,
+            vec![BitapMatch {
+                position: 4,
+                distance: 0
+            }]
+        );
         // One substitution ("quack") still matches with k=1.
         let matches = find_all::<Ascii>(text, b"quack", 1).unwrap();
-        assert_eq!(matches, vec![BitapMatch { position: 4, distance: 1 }]);
+        assert_eq!(
+            matches,
+            vec![BitapMatch {
+                position: 4,
+                distance: 1
+            }]
+        );
     }
 
     #[test]
@@ -397,8 +454,14 @@ mod tests {
 
     #[test]
     fn empty_inputs_are_rejected() {
-        assert!(matches!(find_all::<Dna>(b"", b"ACGT", 1), Err(AlignError::EmptyText)));
-        assert!(matches!(find_all::<Dna>(b"ACGT", b"", 1), Err(AlignError::EmptyPattern)));
+        assert!(matches!(
+            find_all::<Dna>(b"", b"ACGT", 1),
+            Err(AlignError::EmptyText)
+        ));
+        assert!(matches!(
+            find_all::<Dna>(b"ACGT", b"", 1),
+            Err(AlignError::EmptyPattern)
+        ));
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl BitVector {
     /// Panics if `len == 0`.
     pub fn zeros(len: usize) -> Self {
         assert!(len > 0, "bitvector length must be positive");
-        BitVector { words: vec![0; len.div_ceil(WORD_BITS)], len }
+        BitVector {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Creates a bitvector with bits `shift..len` set and bits
@@ -112,7 +115,11 @@ impl BitVector {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -123,7 +130,11 @@ impl BitVector {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set_bit(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
 
@@ -134,7 +145,11 @@ impl BitVector {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn clear_bit(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
     }
 
@@ -233,7 +248,12 @@ impl BitVector {
 
     /// Number of zero bits (candidate partial-match positions).
     pub fn count_zeros(&self) -> usize {
-        self.len - self.words.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+        self.len
+            - self
+                .words
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
     }
 
     /// Clears any bits above `len` in the top storage word so equality,

@@ -166,7 +166,9 @@ impl Cigar {
 
     /// Iterates over individual operations (each run expanded).
     pub fn iter_ops(&self) -> impl Iterator<Item = CigarOp> + '_ {
-        self.runs.iter().flat_map(|&(op, len)| std::iter::repeat_n(op, len as usize))
+        self.runs
+            .iter()
+            .flat_map(|&(op, len)| std::iter::repeat_n(op, len as usize))
     }
 
     /// Total number of operations (sum of run lengths).
@@ -325,7 +327,10 @@ impl FromStr for Cigar {
         let mut saw_digit = false;
         for c in s.chars() {
             if let Some(d) = c.to_digit(10) {
-                len = len.checked_mul(10).and_then(|l| l.checked_add(d)).ok_or(ParseCigarError::BadLength)?;
+                len = len
+                    .checked_mul(10)
+                    .and_then(|l| l.checked_add(d))
+                    .ok_or(ParseCigarError::BadLength)?;
                 saw_digit = true;
             } else {
                 let op = CigarOp::try_from(c)?;
@@ -368,10 +373,19 @@ mod tests {
 
     #[test]
     fn push_coalesces_runs() {
-        let cigar: Cigar = [CigarOp::Match, CigarOp::Match, CigarOp::Ins, CigarOp::Ins, CigarOp::Match]
-            .into_iter()
-            .collect();
-        assert_eq!(cigar.runs(), &[(CigarOp::Match, 2), (CigarOp::Ins, 2), (CigarOp::Match, 1)]);
+        let cigar: Cigar = [
+            CigarOp::Match,
+            CigarOp::Match,
+            CigarOp::Ins,
+            CigarOp::Ins,
+            CigarOp::Match,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            cigar.runs(),
+            &[(CigarOp::Match, 2), (CigarOp::Ins, 2), (CigarOp::Match, 1)]
+        );
         assert_eq!(cigar.to_string(), "2=2I1=");
     }
 

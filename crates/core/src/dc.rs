@@ -34,7 +34,7 @@ pub const MAX_WINDOW: usize = 64;
 /// bitvector computed at text iteration `i` (0 = window start) for
 /// distance `d`. For `d = 0` only the match bitvector exists (it *is*
 /// `R[0]`); the gap accessors return all-ones (no match) there.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WindowBitvectors {
     pattern_len: usize,
     text_len: usize,
@@ -139,6 +139,94 @@ pub struct DcWindow {
     pub bitvectors: WindowBitvectors,
 }
 
+/// Reusable storage for GenASM-DC runs.
+///
+/// The dominant allocation of one window is the per-distance bitvector
+/// rows (`O(n_window × d_found)` words across three kinds). A `DcArena`
+/// keeps those row vectors alive between windows so repeated calls to
+/// [`window_dc_into`] — the hot loop of the windowed aligner and of the
+/// batch engine's workers — stop allocating once the arena has warmed
+/// up to the deepest row count seen.
+///
+/// This is the software analogue of the accelerator's statically
+/// provisioned TB-SRAMs (§7): capacity is retained across windows
+/// rather than re-acquired per window.
+#[derive(Debug, Default)]
+pub struct DcArena {
+    bitvectors: WindowBitvectors,
+    /// Retired row vectors available for reuse.
+    spare: Vec<Vec<u64>>,
+    /// Resolved per-text-position pattern bitmasks.
+    text_pm: Vec<u64>,
+    /// The rolling `R[d-1]` / `R[d]` scratch rows.
+    prev_row: Vec<u64>,
+    cur_row: Vec<u64>,
+}
+
+impl DcArena {
+    /// An empty arena; buffers are grown on first use.
+    pub fn new() -> Self {
+        DcArena::default()
+    }
+
+    /// The bitvectors of the most recent [`window_dc_into`] run.
+    pub fn bitvectors(&self) -> &WindowBitvectors {
+        &self.bitvectors
+    }
+
+    /// Consumes the arena, keeping the last run's bitvectors.
+    pub fn into_bitvectors(self) -> WindowBitvectors {
+        self.bitvectors
+    }
+
+    /// Total 64-bit words of row capacity currently retained (live plus
+    /// pooled) — exposed so tests can assert reuse across runs.
+    pub fn retained_words(&self) -> usize {
+        let live: usize = [
+            &self.bitvectors.match_rows,
+            &self.bitvectors.ins_rows,
+            &self.bitvectors.del_rows,
+        ]
+        .into_iter()
+        .flatten()
+        .map(Vec::capacity)
+        .sum();
+        let pooled: usize = self.spare.iter().map(Vec::capacity).sum();
+        live + pooled
+    }
+
+    /// Moves the previous run's rows into the spare pool, keeping the
+    /// pool sorted by capacity so [`fresh_row`](Self::fresh_row) can
+    /// hand out the largest row first. Largest-first matters with
+    /// mixed window sizes: it only grows a row when *no* pooled row is
+    /// big enough, so total retained capacity converges instead of
+    /// creeping as small rows get resized while large ones sit idle.
+    fn recycle(&mut self) {
+        for rows in [
+            &mut self.bitvectors.match_rows,
+            &mut self.bitvectors.ins_rows,
+            &mut self.bitvectors.del_rows,
+        ] {
+            self.spare
+                .extend(rows.drain(..).filter(|r| r.capacity() > 0));
+        }
+        self.spare.sort_unstable_by_key(Vec::capacity);
+    }
+
+    /// A zeroed row of `n` words, reusing the largest pooled row when
+    /// one is present.
+    fn fresh_row(&mut self, n: usize) -> Vec<u64> {
+        match self.spare.pop() {
+            Some(mut row) => {
+                row.clear();
+                row.resize(n, 0);
+                row
+            }
+            None => vec![0u64; n],
+        }
+    }
+}
+
 /// Runs GenASM-DC on one window: searches `pattern` anchored at the
 /// start of `text`, storing the intermediate bitvectors for traceback.
 ///
@@ -173,6 +261,31 @@ pub fn window_dc<A: Alphabet>(
     pattern: &[u8],
     k_max: usize,
 ) -> Result<DcWindow, AlignError> {
+    let mut arena = DcArena::new();
+    let edit_distance = window_dc_into::<A>(text, pattern, k_max, &mut arena)?;
+    Ok(DcWindow {
+        edit_distance,
+        bitvectors: arena.into_bitvectors(),
+    })
+}
+
+/// [`window_dc`] writing into a reusable [`DcArena`]: identical
+/// computation and stored bitvectors, but row storage is recycled from
+/// previous runs, so a warmed-up arena allocates nothing.
+///
+/// On success the stored bitvectors are available through
+/// [`DcArena::bitvectors`] until the next run, ready for
+/// [`window_traceback`](crate::tb::window_traceback).
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`].
+pub fn window_dc_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut DcArena,
+) -> Result<Option<usize>, AlignError> {
     if pattern.is_empty() {
         return Err(AlignError::EmptyPattern);
     }
@@ -187,43 +300,49 @@ pub fn window_dc<A: Alphabet>(
     let n = text.len();
     let msb = 1u64 << (m - 1);
 
+    arena.recycle();
+    arena.bitvectors.pattern_len = m;
+    arena.bitvectors.text_len = n;
+
     // Pattern bitmask per text position, resolved once.
-    let mut text_pm = Vec::with_capacity(n);
+    arena.text_pm.clear();
     for (i, &byte) in text.iter().enumerate() {
         match pm.mask(byte) {
-            Some(mask) => text_pm.push(mask),
+            Some(mask) => arena.text_pm.push(mask),
             None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
         }
     }
 
-    let mut match_rows: Vec<Vec<u64>> = Vec::new();
-    let mut ins_rows: Vec<Vec<u64>> = Vec::new();
-    let mut del_rows: Vec<Vec<u64>> = Vec::new();
-
     // Row d = 0: R[0][i] = (R[0][i+1] << 1) | PM[text[i]], R[0][n] = ones.
     // The match bitvector for d = 0 *is* R[0].
-    let mut prev_row: Vec<u64> = vec![0; n]; // R[d-1][i] for the row below
+    arena.prev_row.clear();
+    arena.prev_row.resize(n, 0);
     {
-        let mut row0 = vec![0u64; n];
+        let mut row0 = arena.fresh_row(n);
         let mut r = u64::MAX;
         for i in (0..n).rev() {
-            r = (r << 1) | text_pm[i];
+            r = (r << 1) | arena.text_pm[i];
             row0[i] = r;
         }
-        match_rows.push(row0.clone());
-        ins_rows.push(Vec::new());
-        del_rows.push(Vec::new());
-        prev_row.copy_from_slice(&row0);
+        arena.prev_row.copy_from_slice(&row0);
+        arena.bitvectors.match_rows.push(row0);
+        arena.bitvectors.ins_rows.push(Vec::new());
+        arena.bitvectors.del_rows.push(Vec::new());
     }
 
-    let mut edit_distance = if prev_row[0] & msb == 0 { Some(0) } else { None };
+    let mut edit_distance = if arena.prev_row[0] & msb == 0 {
+        Some(0)
+    } else {
+        None
+    };
 
     if edit_distance.is_none() {
-        let mut cur_row = vec![0u64; n];
+        arena.cur_row.clear();
+        arena.cur_row.resize(n, 0);
         for d in 1..=k_max {
-            let mut match_row = vec![0u64; n];
-            let mut ins_row = vec![0u64; n];
-            let mut del_row = vec![0u64; n];
+            let mut match_row = arena.fresh_row(n);
+            let mut ins_row = arena.fresh_row(n);
+            let mut del_row = arena.fresh_row(n);
             // Boundary: before any text is consumed, a pattern suffix of
             // length <= d can still match by inserting all of its
             // characters, so R[d] initializes to ones << d (bits 0..d
@@ -235,39 +354,34 @@ pub fn window_dc<A: Alphabet>(
             let init_dm1 = u64::MAX << (d - 1);
             let mut r_next = init_d; // R[d][i+1] (oldR[d])
             for i in (0..n).rev() {
-                let old_r_dm1 = if i + 1 < n { prev_row[i + 1] } else { init_dm1 };
+                let old_r_dm1 = if i + 1 < n {
+                    arena.prev_row[i + 1]
+                } else {
+                    init_dm1
+                };
                 let deletion = old_r_dm1; // Alg. 1 line 15
                 let substitution = old_r_dm1 << 1; // line 16
-                let insertion = prev_row[i] << 1; // line 17
-                let matched = (r_next << 1) | text_pm[i]; // line 18
+                let insertion = arena.prev_row[i] << 1; // line 17
+                let matched = (r_next << 1) | arena.text_pm[i]; // line 18
                 let r = deletion & substitution & insertion & matched; // line 19
                 match_row[i] = matched;
                 ins_row[i] = insertion;
                 del_row[i] = deletion;
-                cur_row[i] = r;
+                arena.cur_row[i] = r;
                 r_next = r;
             }
-            match_rows.push(match_row);
-            ins_rows.push(ins_row);
-            del_rows.push(del_row);
-            std::mem::swap(&mut prev_row, &mut cur_row);
-            if prev_row[0] & msb == 0 {
+            arena.bitvectors.match_rows.push(match_row);
+            arena.bitvectors.ins_rows.push(ins_row);
+            arena.bitvectors.del_rows.push(del_row);
+            std::mem::swap(&mut arena.prev_row, &mut arena.cur_row);
+            if arena.prev_row[0] & msb == 0 {
                 edit_distance = Some(d);
                 break;
             }
         }
     }
 
-    Ok(DcWindow {
-        edit_distance,
-        bitvectors: WindowBitvectors {
-            pattern_len: m,
-            text_len: n,
-            match_rows,
-            ins_rows,
-            del_rows,
-        },
-    })
+    Ok(edit_distance)
 }
 
 /// Convenience wrapper that picks `k_max = pattern.len()`, which always
@@ -373,6 +487,47 @@ mod tests {
         let dc = window_dc::<Dna>(b"ACGTT", b"AGGT", 4).unwrap();
         // d found = 1: rows 0 and 1; n = 5 → 5 * (1 + 3) = 20 words.
         assert_eq!(dc.bitvectors.stored_words(), 20);
+    }
+
+    #[test]
+    fn arena_runs_match_the_allocating_path() {
+        let mut arena = DcArena::new();
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"CGTGA", b"CTGA"),
+            (b"ACGTAC", b"ACGT"),
+            (b"AAAA", b"TTTT"),
+            (b"T", b"AAAA"),
+        ];
+        for (text, pattern) in cases {
+            let fresh = window_dc::<Dna>(text, pattern, pattern.len()).unwrap();
+            let reused = window_dc_into::<Dna>(text, pattern, pattern.len(), &mut arena).unwrap();
+            assert_eq!(fresh.edit_distance, reused);
+            let (a, b) = (&fresh.bitvectors, arena.bitvectors());
+            assert_eq!(a.rows(), b.rows());
+            for d in 0..a.rows() {
+                for i in 0..a.text_len() {
+                    assert_eq!(a.match_at(i, d), b.match_at(i, d));
+                    assert_eq!(a.ins_at(i, d), b.ins_at(i, d));
+                    assert_eq!(a.del_at(i, d), b.del_at(i, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuses_row_capacity() {
+        let mut arena = DcArena::new();
+        window_dc_into::<Dna>(b"AAAA", b"TTTT", 4, &mut arena).unwrap();
+        let warmed = arena.retained_words();
+        assert!(warmed > 0);
+        for _ in 0..10 {
+            window_dc_into::<Dna>(b"AAAA", b"TTTT", 4, &mut arena).unwrap();
+            assert_eq!(
+                arena.retained_words(),
+                warmed,
+                "warm runs must not grow storage"
+            );
+        }
     }
 
     #[test]

@@ -168,7 +168,11 @@ pub fn window_dc_sene<A: Alphabet>(
         }
         r_rows.push(row0);
     }
-    let mut edit_distance = if r_rows[0][0] & msb == 0 { Some(0) } else { None };
+    let mut edit_distance = if r_rows[0][0] & msb == 0 {
+        Some(0)
+    } else {
+        None
+    };
 
     if edit_distance.is_none() {
         for d in 1..=k_max {
@@ -179,10 +183,8 @@ pub fn window_dc_sene<A: Alphabet>(
             let mut r_next = init_d;
             for i in (0..n).rev() {
                 let old_r_dm1 = if i + 1 < n { prev[i + 1] } else { init_dm1 };
-                let r = old_r_dm1
-                    & (old_r_dm1 << 1)
-                    & (prev[i] << 1)
-                    & ((r_next << 1) | text_pm[i]);
+                let r =
+                    old_r_dm1 & (old_r_dm1 << 1) & (prev[i] << 1) & ((r_next << 1) | text_pm[i]);
                 row[i] = r;
                 r_next = r;
             }
@@ -196,7 +198,12 @@ pub fn window_dc_sene<A: Alphabet>(
 
     Ok(SeneDcWindow {
         edit_distance,
-        bitvectors: SeneBitvectors { pattern_len: m, text_len: n, r_rows, text_pm },
+        bitvectors: SeneBitvectors {
+            pattern_len: m,
+            text_len: n,
+            r_rows,
+            text_pm,
+        },
     })
 }
 
@@ -258,8 +265,7 @@ mod tests {
 
     #[test]
     fn figure6_examples_reproduce_under_sene() {
-        let walks: [(&[u8], &str); 3] =
-            [(b"CGTGA", "1=1D3="), (b"GTGA", "1X3="), (b"TGA", "1I3=")];
+        let walks: [(&[u8], &str); 3] = [(b"CGTGA", "1=1D3="), (b"GTGA", "1X3="), (b"TGA", "1I3=")];
         for (text, expected) in walks {
             let sene = window_dc_sene::<Dna>(text, b"CTGA", 4).unwrap();
             let d = sene.edit_distance.unwrap();
@@ -281,7 +287,10 @@ mod tests {
         let sene = window_dc_sene::<Dna>(&text, &pattern, pattern.len()).unwrap();
         let edge_words = edges.bitvectors.stored_words();
         let sene_words = sene.bitvectors.stored_words();
-        assert!(sene_words * 2 < edge_words, "sene {sene_words} vs edges {edge_words}");
+        assert!(
+            sene_words * 2 < edge_words,
+            "sene {sene_words} vs edges {edge_words}"
+        );
         // Asymptotically (many rows): 3x + the d=0 row.
         let rows = sene.bitvectors.rows();
         assert_eq!(sene_words, 64 * rows);

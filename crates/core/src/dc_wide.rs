@@ -155,7 +155,11 @@ pub fn window_dc_wide<A: Alphabet>(
             let mut cur_row = vec![BitVector::zeros(m); n];
             let mut r_next = init_d.clone();
             for i in (0..n).rev() {
-                let old_r_dm1 = if i + 1 < n { &prev_row[i + 1] } else { &init_dm1 };
+                let old_r_dm1 = if i + 1 < n {
+                    &prev_row[i + 1]
+                } else {
+                    &init_dm1
+                };
                 // match = (oldR[d] << 1) | PM
                 let mut matched = BitVector::zeros(m);
                 r_next.shl1_or_into(text_pm[i], &mut matched);
@@ -258,8 +262,8 @@ mod tests {
     fn figure3_example_on_wide_kernel() {
         let dc = window_dc_wide::<Dna>(b"CGTGA", b"CTGA", 4).unwrap();
         assert_eq!(dc.edit_distance, Some(1));
-        let tb = window_traceback(&dc.bitvectors, 1, usize::MAX, &TracebackOrder::affine())
-            .unwrap();
+        let tb =
+            window_traceback(&dc.bitvectors, 1, usize::MAX, &TracebackOrder::affine()).unwrap();
         let cigar: Cigar = tb.ops.iter().copied().collect();
         assert_eq!(cigar.to_string(), "1=1D3=");
     }

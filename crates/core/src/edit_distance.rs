@@ -47,7 +47,9 @@ impl EditDistanceCalculator {
     /// [`AlignmentMode::Global`]: crate::align::AlignmentMode::Global
     pub fn new(config: GenAsmConfig) -> Self {
         let config = config.with_mode(crate::align::AlignmentMode::Global);
-        EditDistanceCalculator { aligner: GenAsmAligner::new(config) }
+        EditDistanceCalculator {
+            aligner: GenAsmAligner::new(config),
+        }
     }
 
     /// The edit distance between `a` (treated as the text) and `b`
@@ -66,7 +68,11 @@ impl EditDistanceCalculator {
     /// # Errors
     ///
     /// Same conditions as [`GenAsmAligner::align`].
-    pub fn distance_with_alphabet<A: Alphabet>(&self, a: &[u8], b: &[u8]) -> Result<usize, AlignError> {
+    pub fn distance_with_alphabet<A: Alphabet>(
+        &self,
+        a: &[u8],
+        b: &[u8],
+    ) -> Result<usize, AlignError> {
         Ok(self.alignment_with_alphabet::<A>(a, b)?.edit_distance)
     }
 
@@ -151,7 +157,12 @@ mod tests {
 
     #[test]
     fn long_sequences_with_scattered_errors() {
-        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(2000).collect();
+        let a: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(2000)
+            .collect();
         let mut b = a.clone();
         // Three substitutions far apart.
         for &pos in &[100usize, 900, 1700] {

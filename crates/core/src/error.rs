@@ -62,10 +62,16 @@ impl fmt::Display for AlignError {
                 write!(f, "overlap {o} is not smaller than window size {w}")
             }
             AlignError::ExceededErrorBudget { budget } => {
-                write!(f, "no alignment found within the per-window error budget {budget}")
+                write!(
+                    f,
+                    "no alignment found within the per-window error budget {budget}"
+                )
             }
             AlignError::ThresholdTooLarge { k, max } => {
-                write!(f, "edit distance threshold {k} exceeds the supported maximum {max}")
+                write!(
+                    f,
+                    "edit distance threshold {k} exceeds the supported maximum {max}"
+                )
             }
         }
     }

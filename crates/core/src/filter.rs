@@ -100,7 +100,10 @@ impl PreAlignmentFilter {
         read: &[u8],
     ) -> Result<FilterDecision, AlignError> {
         let best = bitap::find_best::<A>(reference, read, self.threshold)?;
-        Ok(FilterDecision { accept: best.is_some(), distance: best.map(|b| b.distance) })
+        Ok(FilterDecision {
+            accept: best.is_some(),
+            distance: best.map(|b| b.distance),
+        })
     }
 
     /// Filters a batch of candidate pairs, returning the indices of the

@@ -52,7 +52,7 @@ pub mod pattern;
 pub mod scoring;
 pub mod tb;
 
-pub use align::{Alignment, GenAsmAligner, GenAsmConfig};
+pub use align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};
 pub use cigar::{Cigar, CigarOp};
 pub use error::AlignError;
 pub use scoring::Scoring;

@@ -53,7 +53,11 @@ impl<A: Alphabet> PatternBitmasks<A> {
             let sym = A::index_at(byte, i)?;
             masks[sym].clear_bit(m - 1 - i);
         }
-        Ok(PatternBitmasks { masks, len: m, _alphabet: PhantomData })
+        Ok(PatternBitmasks {
+            masks,
+            len: m,
+            _alphabet: PhantomData,
+        })
     }
 
     /// Pattern length in characters (== bitmask width in bits).
@@ -122,7 +126,11 @@ impl<A: Alphabet> PatternBitmasks64<A> {
             let sym = A::index_at(byte, i)?;
             masks[sym] &= !(1u64 << (m - 1 - i));
         }
-        Ok(PatternBitmasks64 { masks, len: m, _alphabet: PhantomData })
+        Ok(PatternBitmasks64 {
+            masks,
+            len: m,
+            _alphabet: PhantomData,
+        })
     }
 
     /// Pattern length in characters.
@@ -201,7 +209,10 @@ mod tests {
         let pm = PatternBitmasks::<Dna>::new(&pattern).unwrap();
         let m = pattern.len();
         for (i, &b) in pattern.iter().enumerate() {
-            assert!(!pm.mask(b).unwrap().bit(m - 1 - i), "pattern[{i}] must clear its bit");
+            assert!(
+                !pm.mask(b).unwrap().bit(m - 1 - i),
+                "pattern[{i}] must clear its bit"
+            );
         }
     }
 

@@ -45,26 +45,46 @@ pub struct Scoring {
 impl Scoring {
     /// Creates a scoring scheme from explicit parameters.
     pub fn new(match_score: i32, mismatch: i32, gap_open: i32, gap_extend: i32) -> Self {
-        Scoring { match_score, mismatch, gap_open, gap_extend }
+        Scoring {
+            match_score,
+            mismatch,
+            gap_open,
+            gap_extend,
+        }
     }
 
     /// Unit-cost edit distance as a score: match `0`, every edit `-1`,
     /// no gap-open charge. Maximizing this score minimizes edit
     /// distance.
     pub fn unit() -> Self {
-        Scoring { match_score: 0, mismatch: -1, gap_open: 0, gap_extend: -1 }
+        Scoring {
+            match_score: 0,
+            mismatch: -1,
+            gap_open: 0,
+            gap_extend: -1,
+        }
     }
 
     /// BWA-MEM's default short-read scoring (§10.2): match `+1`,
     /// substitution `-4`, gap opening `-6`, gap extension `-1`.
     pub fn bwa_mem() -> Self {
-        Scoring { match_score: 1, mismatch: -4, gap_open: -6, gap_extend: -1 }
+        Scoring {
+            match_score: 1,
+            mismatch: -4,
+            gap_open: -6,
+            gap_extend: -1,
+        }
     }
 
     /// Minimap2's default long-read scoring (§10.2): match `+2`,
     /// substitution `-4`, gap opening `-4`, gap extension `-2`.
     pub fn minimap2() -> Self {
-        Scoring { match_score: 2, mismatch: -4, gap_open: -4, gap_extend: -2 }
+        Scoring {
+            match_score: 2,
+            mismatch: -4,
+            gap_open: -4,
+            gap_extend: -2,
+        }
     }
 
     /// `true` when substitutions cost more than opening a gap, in which
@@ -159,9 +179,15 @@ mod tests {
     #[test]
     fn bwa_and_minimap_presets_match_paper() {
         let b = Scoring::bwa_mem();
-        assert_eq!((b.match_score, b.mismatch, b.gap_open, b.gap_extend), (1, -4, -6, -1));
+        assert_eq!(
+            (b.match_score, b.mismatch, b.gap_open, b.gap_extend),
+            (1, -4, -6, -1)
+        );
         let m = Scoring::minimap2();
-        assert_eq!((m.match_score, m.mismatch, m.gap_open, m.gap_extend), (2, -4, -4, -2));
+        assert_eq!(
+            (m.match_score, m.mismatch, m.gap_open, m.gap_extend),
+            (2, -4, -4, -2)
+        );
     }
 
     #[test]

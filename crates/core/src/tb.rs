@@ -259,7 +259,9 @@ pub fn window_traceback<S: TracebackSource>(
             }
         }
 
-        let case = chosen.ok_or(AlignError::ExceededErrorBudget { budget: edit_distance })?;
+        let case = chosen.ok_or(AlignError::ExceededErrorBudget {
+            budget: edit_distance,
+        })?;
         let op = case.op();
         ops.push(op);
         prev = Some(op);
@@ -374,7 +376,10 @@ mod tests {
             .iter()
             .filter(|&&(op, _)| op == CigarOp::Ins)
             .count();
-        assert_eq!(ins_runs, 1, "affine order should produce one coalesced gap, got {cigar}");
+        assert_eq!(
+            ins_runs, 1,
+            "affine order should produce one coalesced gap, got {cigar}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn semiglobal_distance(a: &[u8], b: &[u8]) -> usize {
 }
 
 fn dna_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 1..=max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        1..=max_len,
+    )
 }
 
 /// A (text, pattern) pair where the pattern is a mutated copy of a text

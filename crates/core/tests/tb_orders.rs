@@ -13,15 +13,27 @@ fn aligner_with(order: TracebackOrder) -> GenAsmAligner {
 
 #[test]
 fn all_preset_orders_produce_valid_minimum_distance_alignments() {
-    let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(300).collect();
+    let text: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+        .iter()
+        .copied()
+        .cycle()
+        .take(300)
+        .collect();
     let mut pattern = text.clone();
     pattern[60] = if pattern[60] == b'A' { b'C' } else { b'A' };
     pattern.remove(150);
     pattern.insert(220, b'T');
 
-    for order in [TracebackOrder::affine(), TracebackOrder::unit(), TracebackOrder::subs_last()] {
+    for order in [
+        TracebackOrder::affine(),
+        TracebackOrder::unit(),
+        TracebackOrder::subs_last(),
+    ] {
         let a = aligner_with(order.clone()).align(&text, &pattern).unwrap();
-        assert!(a.cigar.validates(&text[..a.text_consumed], &pattern), "{order:?}");
+        assert!(
+            a.cigar.validates(&text[..a.text_consumed], &pattern),
+            "{order:?}"
+        );
         assert_eq!(a.edit_distance, 3, "{order:?}");
     }
 }
@@ -35,7 +47,9 @@ fn affine_order_coalesces_gaps_where_unit_order_may_not() {
     for (i, b) in b"GGG".iter().enumerate() {
         pattern.insert(60 + i, *b);
     }
-    let affine = aligner_with(TracebackOrder::affine()).align(&text, &pattern).unwrap();
+    let affine = aligner_with(TracebackOrder::affine())
+        .align(&text, &pattern)
+        .unwrap();
     let ins_runs = affine
         .cigar
         .runs()
@@ -46,8 +60,8 @@ fn affine_order_coalesces_gaps_where_unit_order_may_not() {
     assert_eq!(affine.edit_distance, 3);
     // Affine score under BWA-MEM costs: one gap open, three extends.
     let scoring = Scoring::bwa_mem();
-    let expected = (pattern.len() as i64 - 3) + scoring.gap_open as i64
-        + 3 * scoring.gap_extend as i64;
+    let expected =
+        (pattern.len() as i64 - 3) + scoring.gap_open as i64 + 3 * scoring.gap_extend as i64;
     assert_eq!(scoring.score_cigar(&affine.cigar), expected);
 }
 
@@ -62,8 +76,12 @@ fn subs_last_order_trades_substitutions_for_gaps() {
     pattern.remove(101);
     let gap_friendly = Scoring::new(1, -9, -1, -1);
 
-    let unit = aligner_with(TracebackOrder::unit()).align(&text, &pattern).unwrap();
-    let subs_last = aligner_with(TracebackOrder::subs_last()).align(&text, &pattern).unwrap();
+    let unit = aligner_with(TracebackOrder::unit())
+        .align(&text, &pattern)
+        .unwrap();
+    let subs_last = aligner_with(TracebackOrder::subs_last())
+        .align(&text, &pattern)
+        .unwrap();
     assert_eq!(unit.edit_distance, subs_last.edit_distance);
     assert!(
         gap_friendly.score_cigar(&subs_last.cigar) >= gap_friendly.score_cigar(&unit.cigar),
@@ -77,7 +95,10 @@ fn subs_last_order_trades_substitutions_for_gaps() {
 fn custom_order_without_match_case_is_rejected_gracefully() {
     let order = TracebackOrder::custom(vec![TracebackCase::Subst, TracebackCase::InsOpen]);
     let result = aligner_with(order).align(b"ACGTACGT", b"ACGTACGT");
-    assert!(result.is_err(), "an order that cannot express matches must error");
+    assert!(
+        result.is_err(),
+        "an order that cannot express matches must error"
+    );
 }
 
 #[test]
@@ -98,11 +119,19 @@ fn order_choice_never_changes_the_distance() {
             let pos = (next() % 190) as usize;
             pattern[pos] = b"ACGT"[(next() % 4) as usize];
         }
-        let distances: Vec<usize> =
-            [TracebackOrder::affine(), TracebackOrder::unit(), TracebackOrder::subs_last()]
-                .into_iter()
-                .map(|order| aligner_with(order).align(&text, &pattern).unwrap().edit_distance)
-                .collect();
+        let distances: Vec<usize> = [
+            TracebackOrder::affine(),
+            TracebackOrder::unit(),
+            TracebackOrder::subs_last(),
+        ]
+        .into_iter()
+        .map(|order| {
+            aligner_with(order)
+                .align(&text, &pattern)
+                .unwrap()
+                .edit_distance
+        })
+        .collect();
         assert!(distances.windows(2).all(|w| w[0] == w[1]), "{distances:?}");
     }
 }

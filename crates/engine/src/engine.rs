@@ -1,0 +1,310 @@
+//! The batch engine: scoped worker pool over a chunked atomic work
+//! queue.
+
+use crate::job::Job;
+use crate::kernel::{GenAsmKernel, Kernel};
+use crate::stats::{BatchOutput, BatchStats};
+use crate::stream::EngineStream;
+use genasm_core::align::{Alignment, GenAsmConfig};
+use genasm_core::error::AlignError;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` uses the host's available parallelism.
+    pub workers: usize,
+    /// Jobs a worker claims per queue access; `0` picks a chunk that
+    /// gives each worker ~8 claims per batch (amortizing the atomic
+    /// while bounding tail imbalance).
+    pub chunk: usize,
+    /// Configuration of the default GenASM kernel; ignored when a
+    /// custom kernel is supplied via [`Engine::with_kernel`].
+    pub genasm: GenAsmConfig,
+}
+
+impl EngineConfig {
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-claim chunk size.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk;
+        self
+    }
+
+    /// Sets the GenASM kernel configuration.
+    #[must_use]
+    pub fn with_genasm(mut self, genasm: GenAsmConfig) -> Self {
+        self.genasm = genasm;
+        self
+    }
+
+    /// The effective worker count for a batch of `jobs` jobs.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let configured = if self.workers == 0 { hw } else { self.workers };
+        configured.min(jobs).max(1)
+    }
+
+    /// The effective chunk size for a batch of `jobs` jobs and
+    /// `workers` workers.
+    pub fn effective_chunk(&self, jobs: usize, workers: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        (jobs / (workers * 8)).max(1)
+    }
+}
+
+/// The batch alignment engine. See the crate docs for the full story.
+#[derive(Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    kernel: Arc<dyn Kernel>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("kernel", &self.kernel.name())
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// An engine running the GenASM kernel from `config.genasm`.
+    pub fn new(config: EngineConfig) -> Self {
+        let kernel = Arc::new(GenAsmKernel::new(config.genasm.clone()));
+        Engine { config, kernel }
+    }
+
+    /// An engine running a custom kernel.
+    pub fn with_kernel(config: EngineConfig, kernel: Arc<dyn Kernel>) -> Self {
+        Engine { config, kernel }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The kernel's stable name.
+    pub fn kernel_name(&self) -> &'static str {
+        self.kernel.name()
+    }
+
+    /// The kernel, for sharing with a stream or another engine.
+    pub fn kernel(&self) -> Arc<dyn Kernel> {
+        Arc::clone(&self.kernel)
+    }
+
+    /// Aligns every job, returning per-job results in input order.
+    /// Results are identical to calling the kernel sequentially on
+    /// each job.
+    pub fn align_batch(&self, jobs: &[Job]) -> Vec<Result<Alignment, AlignError>> {
+        self.align_batch_with_stats(jobs).results
+    }
+
+    /// [`align_batch`](Self::align_batch) plus batch statistics.
+    pub fn align_batch_with_stats(&self, jobs: &[Job]) -> BatchOutput {
+        let started = Instant::now();
+        if jobs.is_empty() {
+            return BatchOutput {
+                results: Vec::new(),
+                stats: BatchStats {
+                    wall: started.elapsed(),
+                    ..BatchStats::default()
+                },
+            };
+        }
+        let workers = self.config.effective_workers(jobs.len());
+        let chunk = self.config.effective_chunk(jobs.len(), workers);
+
+        // Workers claim contiguous chunks by bumping this cursor; no
+        // lock is ever taken on the dispatch path.
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<Alignment, AlignError>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        let mut busy = Duration::ZERO;
+        let mut max_job = Duration::ZERO;
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let kernel = &*self.kernel;
+                    scope.spawn(move || {
+                        let mut scratch = kernel.new_scratch();
+                        let mut produced: Vec<(usize, Result<Alignment, AlignError>)> = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        let mut max_job = Duration::ZERO;
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= jobs.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(jobs.len());
+                            for (offset, job) in jobs[start..end].iter().enumerate() {
+                                let t0 = Instant::now();
+                                let result =
+                                    kernel.align(&job.text, &job.pattern, scratch.as_mut());
+                                let took = t0.elapsed();
+                                busy += took;
+                                max_job = max_job.max(took);
+                                produced.push((start + offset, result));
+                            }
+                        }
+                        (produced, busy, max_job)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (produced, worker_busy, worker_max) =
+                    handle.join().expect("engine worker panicked");
+                busy += worker_busy;
+                max_job = max_job.max(worker_max);
+                for (index, result) in produced {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+
+        let results: Vec<Result<Alignment, AlignError>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every job index is claimed exactly once"))
+            .collect();
+        let stats = BatchStats {
+            jobs: jobs.len(),
+            failures: results.iter().filter(|r| r.is_err()).count(),
+            workers,
+            pattern_bases: jobs.iter().map(Job::pattern_bases).sum(),
+            wall: started.elapsed(),
+            busy,
+            max_job,
+        };
+        BatchOutput { results, stats }
+    }
+
+    /// Opens a persistent streaming session: jobs are accepted with
+    /// [`EngineStream::submit`] and start executing immediately on the
+    /// stream's own worker pool; [`EngineStream::drain`] collects
+    /// results in submission order.
+    pub fn stream(&self) -> EngineStream {
+        let workers = match self.config.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
+        EngineStream::spawn(Arc::clone(&self.kernel), workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_core::align::GenAsmAligner;
+
+    fn jobs() -> Vec<Job> {
+        let base: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(400)
+            .collect();
+        (0..37)
+            .map(|i| {
+                let mut pattern = base.clone();
+                let idx = (i * 7) % base.len();
+                pattern[idx] = if pattern[idx] == b'A' { b'C' } else { b'A' };
+                let len = 80 + (i * 13) % 300;
+                Job::new(&base, &pattern[..len])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_alignment() {
+        let jobs = jobs();
+        let aligner = GenAsmAligner::default();
+        for workers in [1usize, 2, 4] {
+            let engine = Engine::new(EngineConfig::default().with_workers(workers));
+            let results = engine.align_batch(&jobs);
+            assert_eq!(results.len(), jobs.len());
+            for (job, result) in jobs.iter().zip(&results) {
+                let expected = aligner.align(&job.text, &job.pattern).unwrap();
+                let got = result.as_ref().unwrap();
+                assert_eq!(&expected, got, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_the_batch() {
+        let jobs = jobs();
+        let engine = Engine::new(EngineConfig::default().with_workers(2));
+        let output = engine.align_batch_with_stats(&jobs);
+        let stats = &output.stats;
+        assert_eq!(stats.jobs, jobs.len());
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(
+            stats.pattern_bases,
+            jobs.iter().map(|j| j.pattern.len()).sum::<usize>()
+        );
+        assert!(stats.pairs_per_sec() > 0.0);
+        assert!(stats.busy >= stats.max_job);
+        assert!(stats.mean_latency() <= stats.max_job);
+    }
+
+    #[test]
+    fn per_job_errors_do_not_poison_the_batch() {
+        let mut jobs = jobs();
+        jobs[5].pattern.clear(); // EmptyPattern
+        jobs[11].text = b"ACGTNNNN".to_vec(); // InvalidSymbol for Dna
+        let engine = Engine::new(EngineConfig::default().with_workers(3));
+        let output = engine.align_batch_with_stats(&jobs);
+        assert_eq!(output.stats.failures, 2);
+        assert!(output.results[5].is_err());
+        assert!(output.results[11].is_err());
+        let ok = output.results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(ok, jobs.len() - 2);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::default();
+        let output = engine.align_batch_with_stats(&[]);
+        assert!(output.results.is_empty());
+        assert_eq!(output.stats.jobs, 0);
+    }
+
+    #[test]
+    fn oversubscribed_worker_count_is_clamped() {
+        let engine = Engine::new(EngineConfig::default().with_workers(64));
+        let two = vec![Job::new(b"ACGT", b"ACGT"), Job::new(b"ACGT", b"ACGA")];
+        let output = engine.align_batch_with_stats(&two);
+        assert_eq!(
+            output.stats.workers, 2,
+            "workers are capped at the job count"
+        );
+        assert_eq!(output.results.len(), 2);
+    }
+}

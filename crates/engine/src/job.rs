@@ -1,0 +1,34 @@
+//! The unit of work the engine schedules.
+
+/// One alignment job: a reference region (text) and a read (pattern),
+/// both owned so jobs can cross thread boundaries and outlive their
+/// producer in the streaming API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// The text (reference region) the pattern is aligned against,
+    /// anchored at its start.
+    pub text: Vec<u8>,
+    /// The pattern (read).
+    pub pattern: Vec<u8>,
+}
+
+impl Job {
+    /// Builds a job from borrowed sequences.
+    pub fn new(text: &[u8], pattern: &[u8]) -> Self {
+        Job {
+            text: text.to_vec(),
+            pattern: pattern.to_vec(),
+        }
+    }
+
+    /// Builds a job from owned sequences without copying.
+    pub fn from_owned(text: Vec<u8>, pattern: Vec<u8>) -> Self {
+        Job { text, pattern }
+    }
+
+    /// Pattern length in bases — the per-job work unit used for
+    /// base-throughput accounting.
+    pub fn pattern_bases(&self) -> usize {
+        self.pattern.len()
+    }
+}

@@ -1,0 +1,209 @@
+//! Pluggable alignment kernels.
+//!
+//! A [`Kernel`] is the computation the engine schedules; the engine
+//! itself only moves jobs and scratch state around. Two kernels ship
+//! in-crate: [`GenAsmKernel`] (the paper's DC + TB windowed aligner)
+//! and [`GotohKernel`] (the affine-gap DP software baseline the paper
+//! compares against), so throughput comparisons run on the identical
+//! harness.
+
+use genasm_baselines::gotoh::{GotohAligner, GotohMode};
+use genasm_core::align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};
+use genasm_core::error::AlignError;
+use genasm_core::scoring::Scoring;
+use std::any::Any;
+
+/// Per-worker mutable state a kernel wants carried between jobs
+/// (arenas, DP matrices). Created once per worker thread, never
+/// shared.
+pub trait KernelScratch: Send {
+    /// Downcast access for the owning kernel.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl KernelScratch for AlignArena {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Scratch for kernels that carry no state.
+#[derive(Debug, Default)]
+pub struct NoScratch;
+
+impl KernelScratch for NoScratch {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An alignment computation the engine can schedule.
+pub trait Kernel: Send + Sync {
+    /// Short stable name, used in stats and bench output.
+    fn name(&self) -> &'static str;
+
+    /// Fresh per-worker scratch state.
+    fn new_scratch(&self) -> Box<dyn KernelScratch>;
+
+    /// Aligns `pattern` against `text` (anchored at the text start).
+    ///
+    /// # Errors
+    ///
+    /// Kernel-specific; the GenASM kernel surfaces
+    /// [`AlignError`] for invalid inputs or exhausted budgets.
+    fn align(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        scratch: &mut dyn KernelScratch,
+    ) -> Result<Alignment, AlignError>;
+}
+
+/// The GenASM windowed aligner (DC + TB) with per-worker arena reuse.
+#[derive(Debug, Clone)]
+pub struct GenAsmKernel {
+    aligner: GenAsmAligner,
+}
+
+impl GenAsmKernel {
+    /// A kernel running the given aligner configuration.
+    pub fn new(config: GenAsmConfig) -> Self {
+        GenAsmKernel {
+            aligner: GenAsmAligner::new(config),
+        }
+    }
+
+    /// The underlying aligner configuration.
+    pub fn config(&self) -> &GenAsmConfig {
+        self.aligner.config()
+    }
+}
+
+impl Default for GenAsmKernel {
+    fn default() -> Self {
+        GenAsmKernel::new(GenAsmConfig::default())
+    }
+}
+
+impl Kernel for GenAsmKernel {
+    fn name(&self) -> &'static str {
+        "genasm"
+    }
+
+    fn new_scratch(&self) -> Box<dyn KernelScratch> {
+        Box::new(AlignArena::new())
+    }
+
+    fn align(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        scratch: &mut dyn KernelScratch,
+    ) -> Result<Alignment, AlignError> {
+        let arena = scratch
+            .as_any_mut()
+            .downcast_mut::<AlignArena>()
+            .expect("GenAsmKernel scratch must be an AlignArena");
+        self.aligner.align_with_arena(text, pattern, arena)
+    }
+}
+
+/// The affine-gap DP baseline (Gotoh), the software aligner the paper
+/// benchmarks GenASM against (§10).
+#[derive(Debug, Clone)]
+pub struct GotohKernel {
+    aligner: GotohAligner,
+}
+
+impl GotohKernel {
+    /// A kernel under the given scoring scheme, with read-alignment
+    /// (text-suffix-free) semantics matching the GenASM kernel's
+    /// semiglobal mode.
+    pub fn new(scoring: Scoring) -> Self {
+        GotohKernel {
+            aligner: GotohAligner::new(scoring, GotohMode::TextSuffixFree),
+        }
+    }
+}
+
+impl Default for GotohKernel {
+    fn default() -> Self {
+        GotohKernel::new(Scoring::bwa_mem())
+    }
+}
+
+impl Kernel for GotohKernel {
+    fn name(&self) -> &'static str {
+        "gotoh"
+    }
+
+    fn new_scratch(&self) -> Box<dyn KernelScratch> {
+        Box::new(NoScratch)
+    }
+
+    fn align(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        _scratch: &mut dyn KernelScratch,
+    ) -> Result<Alignment, AlignError> {
+        if pattern.is_empty() {
+            return Err(AlignError::EmptyPattern);
+        }
+        if text.is_empty() {
+            return Err(AlignError::EmptyText);
+        }
+        let a = self.aligner.align(text, pattern);
+        Ok(Alignment {
+            edit_distance: a.cigar.edit_distance(),
+            text_consumed: a.cigar.text_len(),
+            pattern_consumed: a.cigar.pattern_len(),
+            cigar: a.cigar,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genasm_kernel_matches_direct_aligner() {
+        let kernel = GenAsmKernel::default();
+        let mut scratch = kernel.new_scratch();
+        let direct = GenAsmAligner::default()
+            .align(b"ACGTACGTACGT", b"ACGTACCTACGT")
+            .unwrap();
+        let via_kernel = kernel
+            .align(b"ACGTACGTACGT", b"ACGTACCTACGT", scratch.as_mut())
+            .unwrap();
+        assert_eq!(direct, via_kernel);
+    }
+
+    #[test]
+    fn gotoh_kernel_produces_valid_transcripts() {
+        let kernel = GotohKernel::default();
+        let mut scratch = kernel.new_scratch();
+        let a = kernel
+            .align(b"ACGTACGTACGT", b"ACGTACCTACGT", scratch.as_mut())
+            .unwrap();
+        assert!(a
+            .cigar
+            .validates(b"ACGTACGTACGT"[..a.text_consumed].as_ref(), b"ACGTACCTACGT"));
+        assert_eq!(a.edit_distance, 1);
+    }
+
+    #[test]
+    fn gotoh_kernel_rejects_empty_inputs() {
+        let kernel = GotohKernel::default();
+        let mut scratch = kernel.new_scratch();
+        assert!(matches!(
+            kernel.align(b"ACGT", b"", scratch.as_mut()),
+            Err(AlignError::EmptyPattern)
+        ));
+        assert!(matches!(
+            kernel.align(b"", b"ACGT", scratch.as_mut()),
+            Err(AlignError::EmptyText)
+        ));
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-batch throughput and latency accounting.
+
+use genasm_core::align::Alignment;
+use genasm_core::error::AlignError;
+use std::time::Duration;
+
+/// Throughput and latency figures for one completed batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Jobs whose kernel returned an error.
+    pub failures: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total pattern bases aligned (successful and failed jobs).
+    pub pattern_bases: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+    /// Sum of per-job kernel times across all workers (>= `wall` once
+    /// more than one worker is busy).
+    pub busy: Duration,
+    /// Slowest single job.
+    pub max_job: Duration,
+}
+
+impl BatchStats {
+    /// Jobs per wall-clock second.
+    pub fn pairs_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return f64::INFINITY;
+        }
+        self.jobs as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Pattern bases per wall-clock second.
+    pub fn bases_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return f64::INFINITY;
+        }
+        self.pattern_bases as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Mean per-job kernel latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.jobs == 0 {
+            return Duration::ZERO;
+        }
+        self.busy / self.jobs as u32
+    }
+
+    /// Parallel efficiency: busy time over `workers × wall`; 1.0 means
+    /// every worker computed for the whole batch duration.
+    pub fn utilization(&self) -> f64 {
+        if self.wall.is_zero() || self.workers == 0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (self.wall.as_secs_f64() * self.workers as f64)
+    }
+}
+
+/// A batch's per-job results (input order) plus its stats.
+#[derive(Debug)]
+pub struct BatchOutput {
+    /// One result per job, in the order the jobs were given.
+    pub results: Vec<Result<Alignment, AlignError>>,
+    /// Aggregate batch statistics.
+    pub stats: BatchStats,
+}

@@ -1,0 +1,96 @@
+//! Property tests for the batch engine, centered on arena reuse: a
+//! worker's `AlignArena` is recycled across batches of wildly varying
+//! pattern lengths and must never change results.
+
+use genasm_core::align::{AlignArena, GenAsmAligner, GenAsmConfig};
+use genasm_engine::{Engine, EngineConfig, Job};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        1..=max_len,
+    )
+}
+
+/// A batch of jobs with varying text/pattern lengths (1..=300 /
+/// 1..=250 bases).
+fn job_batch(max_jobs: usize) -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(
+        (dna(300), dna(250)).prop_map(|(text, pattern)| Job::from_owned(text, pattern)),
+        1..=max_jobs,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// One arena reused across batches of varying pattern lengths
+    /// produces results identical to a fresh aligner per pair — the
+    /// arena carries capacity between jobs, never state.
+    #[test]
+    fn arena_reuse_across_batches_never_changes_results(
+        batches in proptest::collection::vec(job_batch(12), 1..=4),
+    ) {
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        let mut arena = AlignArena::new();
+        for batch in &batches {
+            for job in batch {
+                let fresh = aligner.align(&job.text, &job.pattern);
+                let reused = aligner.align_with_arena(&job.text, &job.pattern, &mut arena);
+                match (fresh, reused) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a.cigar, &b.cigar);
+                        prop_assert_eq!(a.edit_distance, b.edit_distance);
+                    }
+                    (Err(a), Err(b)) => {
+                        prop_assert_eq!(format!("{:?}", a), format!("{:?}", b))
+                    }
+                    (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
+                }
+            }
+        }
+    }
+
+    /// Arena capacity converges: after two warm-up passes over a batch
+    /// of varying pattern lengths, re-running the batch allocates no
+    /// further row storage (the largest-first pool means a row only
+    /// grows when no pooled row fits).
+    #[test]
+    fn arena_capacity_stops_growing_on_repeat(batch in job_batch(16)) {
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        let mut arena = AlignArena::new();
+        for _ in 0..2 {
+            for job in &batch {
+                let _ = aligner.align_with_arena(&job.text, &job.pattern, &mut arena);
+            }
+        }
+        let warmed = arena.retained_words();
+        prop_assert!(warmed > 0);
+        for _ in 0..3 {
+            for job in &batch {
+                let _ = aligner.align_with_arena(&job.text, &job.pattern, &mut arena);
+            }
+            prop_assert_eq!(arena.retained_words(), warmed);
+        }
+    }
+
+    /// The engine over the same jobs agrees with the arena-reusing
+    /// sequential path regardless of worker count and batch order.
+    #[test]
+    fn engine_batches_agree_with_sequential(batch in job_batch(20), workers in 1usize..6) {
+        let engine = Engine::new(EngineConfig::default().with_workers(workers));
+        let aligner = GenAsmAligner::new(GenAsmConfig::default());
+        let results = engine.align_batch(&batch);
+        prop_assert_eq!(results.len(), batch.len());
+        for (job, result) in batch.iter().zip(&results) {
+            match (aligner.align(&job.text, &job.pattern), result) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(&a, b),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(format!("{:?}", a), format!("{:?}", b))
+                }
+                (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
+            }
+        }
+    }
+}

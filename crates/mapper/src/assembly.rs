@@ -107,7 +107,11 @@ impl Assembler {
             }
         }
         contigs.sort_by_key(|c| std::cmp::Reverse(c.len()));
-        Assembly { contigs, overlaps_used, singletons }
+        Assembly {
+            contigs,
+            overlaps_used,
+            singletons,
+        }
     }
 }
 
@@ -121,7 +125,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn shredded(template: &[u8], read_len: usize, step: usize, profile: ErrorProfile) -> Vec<Vec<u8>> {
+    fn shredded(
+        template: &[u8],
+        read_len: usize,
+        step: usize,
+        profile: ErrorProfile,
+    ) -> Vec<Vec<u8>> {
         let mut rng = StdRng::seed_from_u64(8);
         let mut reads = Vec::new();
         let mut start = 0;
@@ -134,7 +143,11 @@ mod tests {
 
     #[test]
     fn perfect_reads_reassemble_the_template() {
-        let template = GenomeBuilder::new(1_500).seed(31).build().sequence().to_vec();
+        let template = GenomeBuilder::new(1_500)
+            .seed(31)
+            .build()
+            .sequence()
+            .to_vec();
         let reads = shredded(&template, 300, 100, ErrorProfile::perfect());
         let assembly = Assembler::default().assemble(&reads);
         assert_eq!(assembly.contigs.len(), 1, "expected a single contig");
@@ -146,7 +159,11 @@ mod tests {
 
     #[test]
     fn noisy_reads_reassemble_approximately() {
-        let template = GenomeBuilder::new(1_200).seed(32).build().sequence().to_vec();
+        let template = GenomeBuilder::new(1_200)
+            .seed(32)
+            .build()
+            .sequence()
+            .to_vec();
         let reads = shredded(&template, 300, 100, ErrorProfile::illumina());
         let assembly = Assembler::default().assemble(&reads);
         let longest = &assembly.contigs[0];

@@ -58,7 +58,11 @@ impl KmerIndex {
                 map.entry(key).or_default().push(pos as u32);
             }
         }
-        KmerIndex { k, map, reference_len: reference.len() }
+        KmerIndex {
+            k,
+            map,
+            reference_len: reference.len(),
+        }
     }
 
     /// The seed length.

@@ -13,8 +13,8 @@ pub mod pipeline;
 pub mod sam;
 pub mod seed;
 
-pub use index::KmerIndex;
-pub use pipeline::{AlignerKind, FilterKind, Mapping, MapperConfig, ReadMapper, StageTimings};
 pub use assembly::{Assembler, Assembly};
+pub use index::KmerIndex;
 pub use overlap::{Overlap, OverlapConfig, OverlapFinder};
+pub use pipeline::{AlignerKind, FilterKind, MapperConfig, Mapping, ReadMapper, StageTimings};
 pub use seed::{Candidate, Seeder};

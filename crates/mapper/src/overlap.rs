@@ -232,7 +232,10 @@ mod tests {
         let consecutive = (0..3)
             .filter(|&i| overlaps.iter().any(|o| o.a == i && o.b == i + 1))
             .count();
-        assert!(consecutive >= 2, "only {consecutive}/3 noisy overlaps found");
+        assert!(
+            consecutive >= 2,
+            "only {consecutive}/3 noisy overlaps found"
+        );
         for o in &overlaps {
             assert!(o.error_rate() <= 0.20);
         }
@@ -252,11 +255,17 @@ mod tests {
         let template = GenomeBuilder::new(460).seed(9).build();
         let a = template.region(0, 250).to_vec();
         let b = template.region(210, 460).to_vec();
-        let config = OverlapConfig { min_overlap: 50, ..OverlapConfig::default() };
+        let config = OverlapConfig {
+            min_overlap: 50,
+            ..OverlapConfig::default()
+        };
         let overlaps = OverlapFinder::new(config).find(&[a.clone(), b.clone()]);
         assert!(overlaps.is_empty(), "{overlaps:?}");
         // Lowering the bar finds it.
-        let config = OverlapConfig { min_overlap: 30, ..OverlapConfig::default() };
+        let config = OverlapConfig {
+            min_overlap: 30,
+            ..OverlapConfig::default()
+        };
         let overlaps = OverlapFinder::new(config).find(&[a, b]);
         assert_eq!(overlaps.len(), 1);
     }

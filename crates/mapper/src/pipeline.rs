@@ -11,6 +11,7 @@ use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
+use genasm_engine::{Engine, Job};
 use std::time::{Duration, Instant};
 
 /// Which pre-alignment filter the pipeline uses.
@@ -145,7 +146,11 @@ impl ReadMapper {
     /// Indexes `reference` and prepares the pipeline.
     pub fn build(reference: &[u8], config: MapperConfig) -> Self {
         let index = KmerIndex::build(reference, config.seed_len);
-        ReadMapper { reference: reference.to_vec(), index, config }
+        ReadMapper {
+            reference: reference.to_vec(),
+            index,
+            config,
+        }
     }
 
     /// The pipeline configuration.
@@ -168,7 +173,7 @@ impl ReadMapper {
         if !self.config.both_strands {
             return (forward, timings);
         }
-        let rc: Vec<u8> = read.iter().rev().map(|&b| genasm_core::alphabet::Dna::complement(b)).collect();
+        let rc = reverse_complement(read);
         let (backward, rc_timings) = self.map_oriented(&rc, true);
         timings.accumulate(&rc_timings);
         let best = match (forward, backward) {
@@ -189,30 +194,8 @@ impl ReadMapper {
     /// `reverse`).
     fn map_oriented(&self, read: &[u8], reverse: bool) -> (Option<Mapping>, StageTimings) {
         let mut timings = StageTimings::default();
-        let k = (read.len() as f64 * self.config.error_fraction).ceil() as usize;
-
-        let t0 = Instant::now();
-        let candidates = self.config.seeder.candidates(&self.index, read);
-        timings.seeding = t0.elapsed();
-        timings.candidates.0 = candidates.len();
-
-        let t1 = Instant::now();
-        let surviving: Vec<usize> = candidates
-            .iter()
-            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
-            .filter(|&pos| {
-                let region = self.region(pos, read.len(), k);
-                match self.config.filter {
-                    FilterKind::GenAsm => {
-                        PreAlignmentFilter::new(k).accepts(region, read).unwrap_or(false)
-                    }
-                    FilterKind::Shouji => ShoujiFilter::new(k).accepts(region, read),
-                    FilterKind::None => true,
-                }
-            })
-            .collect();
-        timings.filtering = t1.elapsed();
-        timings.candidates.1 = surviving.len();
+        let k = self.error_budget(read);
+        let surviving = self.seed_and_filter(read, k, &mut timings);
 
         let t2 = Instant::now();
         let mut best: Option<Mapping> = None;
@@ -233,8 +216,7 @@ impl ReadMapper {
                     }
                 }
                 AlignerKind::Gotoh => {
-                    let aligner =
-                        GotohAligner::new(self.config.scoring, GotohMode::TextSuffixFree);
+                    let aligner = GotohAligner::new(self.config.scoring, GotohMode::TextSuffixFree);
                     let a = aligner.align(region, read);
                     Mapping {
                         position: pos,
@@ -274,12 +256,128 @@ impl ReadMapper {
         (mappings, total)
     }
 
+    /// Batch mode: maps many reads with the alignment stage (step 3)
+    /// executed by a [`genasm-engine`](genasm_engine) batch instead of
+    /// one sequential aligner call per candidate.
+    ///
+    /// Seeding and filtering run per read as in [`map_read`]
+    /// (Self::map_read); every surviving candidate across all reads
+    /// and strands becomes one engine [`Job`], the whole job list is
+    /// aligned in one multi-threaded [`Engine::align_batch`] call, and
+    /// each read's best mapping is selected with exactly the
+    /// sequential path's tie-breaking (lowest edit distance, forward
+    /// strand preferred, then lowest position). With the GenASM kernel
+    /// the selected mappings are identical to [`map_read`]'s
+    /// (Self::map_read).
+    ///
+    /// `StageTimings::alignment` reports the batch's wall-clock time,
+    /// so it shrinks as engine workers are added while seeding and
+    /// filtering stay constant.
+    pub fn map_batch_with_engine(
+        &self,
+        reads: &[&[u8]],
+        engine: &Engine,
+    ) -> (Vec<Option<Mapping>>, StageTimings) {
+        let mut timings = StageTimings::default();
+        let mut jobs: Vec<Job> = Vec::new();
+        // (read index, reference position, reverse strand) per job.
+        let mut meta: Vec<(usize, usize, bool)> = Vec::new();
+
+        for (read_idx, read) in reads.iter().enumerate() {
+            let mut oriented: Vec<(Vec<u8>, bool)> = vec![(read.to_vec(), false)];
+            if self.config.both_strands {
+                oriented.push((reverse_complement(read), true));
+            }
+            for (seq, reverse) in &oriented {
+                let k = self.error_budget(seq);
+                for pos in self.seed_and_filter(seq, k, &mut timings) {
+                    jobs.push(Job::new(self.region(pos, seq.len(), k), seq));
+                    meta.push((read_idx, pos, *reverse));
+                }
+            }
+        }
+
+        let t2 = Instant::now();
+        let results = engine.align_batch(&jobs);
+        timings.alignment = t2.elapsed();
+
+        let mut best: Vec<Option<Mapping>> = vec![None; reads.len()];
+        for ((read_idx, pos, reverse), result) in meta.into_iter().zip(results) {
+            let Ok(alignment) = result else { continue };
+            let mapping = Mapping {
+                position: pos,
+                reverse,
+                score: self.config.scoring.score_cigar(&alignment.cigar),
+                edit_distance: alignment.edit_distance,
+                cigar: alignment.cigar,
+            };
+            let key = (
+                mapping.edit_distance,
+                usize::from(mapping.reverse),
+                mapping.position,
+            );
+            let better = match &best[read_idx] {
+                None => true,
+                Some(b) => key < (b.edit_distance, usize::from(b.reverse), b.position),
+            };
+            if better {
+                best[read_idx] = Some(mapping);
+            }
+        }
+        (best, timings)
+    }
+
+    /// The edit-distance budget `k` for one oriented read.
+    fn error_budget(&self, seq: &[u8]) -> usize {
+        (seq.len() as f64 * self.config.error_fraction).ceil() as usize
+    }
+
+    /// Pipeline steps 1–2 for one oriented read: seeding, then the
+    /// configured pre-alignment filter. Returns the surviving
+    /// candidate positions (clamped into the reference) and
+    /// accumulates stage timings and candidate counters. Shared by the
+    /// sequential and engine-batched paths so their candidate sets can
+    /// never diverge.
+    fn seed_and_filter(&self, seq: &[u8], k: usize, timings: &mut StageTimings) -> Vec<usize> {
+        let t0 = Instant::now();
+        let candidates = self.config.seeder.candidates(&self.index, seq);
+        timings.seeding += t0.elapsed();
+        timings.candidates.0 += candidates.len();
+
+        let t1 = Instant::now();
+        let surviving: Vec<usize> = candidates
+            .iter()
+            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
+            .filter(|&pos| {
+                let region = self.region(pos, seq.len(), k);
+                match self.config.filter {
+                    FilterKind::GenAsm => PreAlignmentFilter::new(k)
+                        .accepts(region, seq)
+                        .unwrap_or(false),
+                    FilterKind::Shouji => ShoujiFilter::new(k).accepts(region, seq),
+                    FilterKind::None => true,
+                }
+            })
+            .collect();
+        timings.filtering += t1.elapsed();
+        timings.candidates.1 += surviving.len();
+        surviving
+    }
+
     /// The candidate region for a read of length `m` at `pos`: length
     /// `m + k`, clamped to the reference end.
     fn region(&self, pos: usize, m: usize, k: usize) -> &[u8] {
         let end = (pos + m + k).min(self.reference.len());
         &self.reference[pos..end]
     }
+}
+
+/// The reverse complement of a DNA read.
+fn reverse_complement(read: &[u8]) -> Vec<u8> {
+    read.iter()
+        .rev()
+        .map(|&b| genasm_core::alphabet::Dna::complement(b))
+        .collect()
 }
 
 #[cfg(test)]
@@ -290,7 +388,11 @@ mod tests {
     use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
 
     fn genome() -> Vec<u8> {
-        GenomeBuilder::new(30_000).seed(11).build().sequence().to_vec()
+        GenomeBuilder::new(30_000)
+            .seed(11)
+            .build()
+            .sequence()
+            .to_vec()
     }
 
     #[test]
@@ -319,7 +421,10 @@ mod tests {
         });
         let reads = sim.simulate(&reference);
         for aligner in [AlignerKind::GenAsm, AlignerKind::Gotoh] {
-            let config = MapperConfig { aligner, ..MapperConfig::default() };
+            let config = MapperConfig {
+                aligner,
+                ..MapperConfig::default()
+            };
             let mapper = ReadMapper::build(&reference, config);
             let mut mapped = 0;
             for read in &reads {
@@ -330,7 +435,10 @@ mod tests {
                     }
                 }
             }
-            assert!(mapped >= 18, "aligner {aligner:?}: only {mapped}/20 mapped near origin");
+            assert!(
+                mapped >= 18,
+                "aligner {aligner:?}: only {mapped}/20 mapped near origin"
+            );
         }
     }
 
@@ -374,6 +482,41 @@ mod tests {
         let read = vec![b'A'; 200];
         let (mapping, _) = mapper.map_read(&read);
         assert!(mapping.is_none());
+    }
+
+    #[test]
+    fn engine_batch_mode_matches_sequential_mapping() {
+        use genasm_engine::{Engine, EngineConfig};
+        let reference = genome();
+        let config = MapperConfig::default();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 150,
+            count: 12,
+            profile: ErrorProfile::illumina(),
+            seed: 9,
+            both_strands: true,
+            length_model: LengthModel::Fixed,
+        });
+        let reads = sim.simulate(&reference);
+        let refs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
+
+        let mapper = ReadMapper::build(&reference, config.clone());
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(4)
+                .with_genasm(config.genasm.clone()),
+        );
+        let (batch, timings) = mapper.map_batch_with_engine(&refs, &engine);
+        assert_eq!(batch.len(), reads.len());
+        assert!(timings.candidates.0 >= timings.candidates.1);
+
+        for (read, got) in refs.iter().zip(&batch) {
+            let (want, _) = mapper.map_read(read);
+            assert_eq!(
+                &want, got,
+                "engine batch must reproduce the sequential mapping"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct SamRecord {
 
 impl SamRecord {
     /// Builds a record from a pipeline [`Mapping`].
-    pub fn from_mapping(qname: impl Into<String>, rname: impl Into<String>, read: &[u8], mapping: &Mapping) -> Self {
+    pub fn from_mapping(
+        qname: impl Into<String>,
+        rname: impl Into<String>,
+        read: &[u8],
+        mapping: &Mapping,
+    ) -> Self {
         let mut flag = 0u16;
         if mapping.reverse {
             flag |= FLAG_REVERSE;

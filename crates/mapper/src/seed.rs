@@ -32,7 +32,11 @@ pub struct Seeder {
 impl Default for Seeder {
     /// Stride 8, bin 16, at most 8 candidates.
     fn default() -> Self {
-        Seeder { stride: 8, bin: 16, max_candidates: 8 }
+        Seeder {
+            stride: 8,
+            bin: 16,
+            max_candidates: 8,
+        }
     }
 }
 
@@ -55,7 +59,11 @@ impl Seeder {
             if let Some(hits) = index.lookup(&read[offset..offset + k]) {
                 for &hit in hits {
                     let start = (hit as usize).saturating_sub(offset);
-                    *bins.entry(start / self.bin).or_default().entry(start).or_default() += 1;
+                    *bins
+                        .entry(start / self.bin)
+                        .or_default()
+                        .entry(start)
+                        .or_default() += 1;
                 }
             }
             offset += self.stride;
@@ -102,7 +110,11 @@ mod tests {
         let candidates = Seeder::default().candidates(&index, read);
         assert!(!candidates.is_empty());
         let best = candidates[0];
-        assert!(best.position.abs_diff(1000) <= 16, "best at {}", best.position);
+        assert!(
+            best.position.abs_diff(1000) <= 16,
+            "best at {}",
+            best.position
+        );
     }
 
     #[test]
@@ -114,9 +126,10 @@ mod tests {
             read[pos] = if read[pos] == b'A' { b'C' } else { b'A' };
         }
         let candidates = Seeder::default().candidates(&index, &read);
-        assert!(candidates
-            .iter()
-            .any(|c| c.position.abs_diff(2000) <= 16), "{candidates:?}");
+        assert!(
+            candidates.iter().any(|c| c.position.abs_diff(2000) <= 16),
+            "{candidates:?}"
+        );
     }
 
     #[test]
@@ -130,7 +143,10 @@ mod tests {
     fn candidates_are_vote_ordered_and_capped() {
         let reference: Vec<u8> = b"ACGTACGTACGT".iter().copied().cycle().take(400).collect();
         let index = KmerIndex::build(&reference, 8);
-        let seeder = Seeder { max_candidates: 3, ..Seeder::default() };
+        let seeder = Seeder {
+            max_candidates: 3,
+            ..Seeder::default()
+        };
         let candidates = seeder.candidates(&index, &reference[0..100]);
         assert!(candidates.len() <= 3);
         for pair in candidates.windows(2) {

@@ -7,7 +7,10 @@ use genasm_mapper::seed::Seeder;
 use proptest::prelude::*;
 
 fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), min..=max)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        min..=max,
+    )
 }
 
 proptest! {

@@ -50,10 +50,15 @@ pub fn read_fasta<R: Read>(reader: R) -> io::Result<Vec<FastaRecord>> {
             if let Some(rec) = current.take() {
                 records.push(rec);
             }
-            current = Some(FastaRecord { id: header.to_string(), seq: Vec::new() });
+            current = Some(FastaRecord {
+                id: header.to_string(),
+                seq: Vec::new(),
+            });
         } else {
             match current.as_mut() {
-                Some(rec) => rec.seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
+                Some(rec) => rec
+                    .seq
+                    .extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
                 None => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
@@ -92,8 +97,14 @@ mod tests {
     #[test]
     fn roundtrip() {
         let records = vec![
-            FastaRecord { id: "r1".into(), seq: b"ACGT".repeat(40) },
-            FastaRecord { id: "r2 description".into(), seq: b"GGTTAA".to_vec() },
+            FastaRecord {
+                id: "r1".into(),
+                seq: b"ACGT".repeat(40),
+            },
+            FastaRecord {
+                id: "r2 description".into(),
+                seq: b"GGTTAA".to_vec(),
+            },
         ];
         let mut buf = Vec::new();
         write_fasta(&mut buf, &records).unwrap();
@@ -129,7 +140,10 @@ mod tests {
 
     #[test]
     fn wrapping_at_70_columns() {
-        let records = vec![FastaRecord { id: "x".into(), seq: vec![b'A'; 150] }];
+        let records = vec![FastaRecord {
+            id: "x".into(),
+            seq: vec![b'A'; 150],
+        }];
         let mut buf = Vec::new();
         write_fasta(&mut buf, &records).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -17,7 +17,11 @@ impl FastqRecord {
     /// Creates a record with a uniform quality score (Phred+33).
     pub fn with_uniform_quality(id: impl Into<String>, seq: Vec<u8>, phred: u8) -> Self {
         let qual = vec![phred + 33; seq.len()];
-        FastqRecord { id: id.into(), seq, qual }
+        FastqRecord {
+            id: id.into(),
+            seq,
+            qual,
+        }
     }
 }
 
@@ -55,12 +59,17 @@ pub fn read_fastq<R: Read>(reader: R) -> io::Result<Vec<FastqRecord>> {
         }
         let id = header
             .strip_prefix('@')
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "fastq header must start with @"))?
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "fastq header must start with @")
+            })?
             .to_string();
         let seq = next_line(&mut lines)?.into_bytes();
         let sep = next_line(&mut lines)?;
         if !sep.starts_with('+') {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "fastq separator must start with +"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "fastq separator must start with +",
+            ));
         }
         let qual = next_line(&mut lines)?.into_bytes();
         if qual.len() != seq.len() {
@@ -77,7 +86,10 @@ pub fn read_fastq<R: Read>(reader: R) -> io::Result<Vec<FastqRecord>> {
 fn next_line(lines: &mut impl Iterator<Item = io::Result<String>>) -> io::Result<String> {
     match lines.next() {
         Some(line) => Ok(line?.trim_end().to_string()),
-        None => Err(io::Error::new(io::ErrorKind::InvalidData, "truncated fastq record")),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "truncated fastq record",
+        )),
     }
 }
 
@@ -106,7 +118,11 @@ mod tests {
     fn roundtrip() {
         let records = vec![
             FastqRecord::with_uniform_quality("read1", b"ACGTACGT".to_vec(), 40),
-            FastqRecord { id: "read2".into(), seq: b"GG".to_vec(), qual: b"!~".to_vec() },
+            FastqRecord {
+                id: "read2".into(),
+                seq: b"GG".to_vec(),
+                qual: b"!~".to_vec(),
+            },
         ];
         let mut buf = Vec::new();
         write_fastq(&mut buf, &records).unwrap();

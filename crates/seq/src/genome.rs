@@ -134,7 +134,11 @@ impl GenomeBuilder {
         // i.i.d. background respecting GC content.
         while sequence.len() < self.length {
             let b = if rng.gen::<f64>() < self.gc_content {
-                if rng.gen::<bool>() { b'G' } else { b'C' }
+                if rng.gen::<bool>() {
+                    b'G'
+                } else {
+                    b'C'
+                }
             } else if rng.gen::<bool>() {
                 b'A'
             } else {
@@ -154,7 +158,10 @@ impl GenomeBuilder {
                 sequence[dst..dst + self.repeat_unit].copy_from_slice(&unit);
             }
         }
-        Genome { name: self.name.clone(), sequence }
+        Genome {
+            name: self.name.clone(),
+            sequence,
+        }
     }
 }
 

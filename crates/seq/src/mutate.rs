@@ -24,7 +24,7 @@ pub struct Mutated {
 
 /// A base drawn uniformly from `ACGT`.
 fn random_base<R: Rng>(rng: &mut R) -> u8 {
-    b"ACGT"[rng.gen_range(0..4)]
+    b"ACGT"[rng.gen_range(0..4usize)]
 }
 
 /// A base drawn uniformly from the three bases other than `not`.
@@ -103,7 +103,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn template(len: usize) -> Vec<u8> {
-        b"ACGGTCATTGCAGGTTACAG".iter().copied().cycle().take(len).collect()
+        b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(len)
+            .collect()
     }
 
     #[test]
@@ -121,7 +126,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let t = template(2000);
         let m = mutate(&t, ErrorProfile::pacbio_15(), &mut rng);
-        assert!(m.cigar.validates(&t, &m.seq), "cigar must replay template -> read");
+        assert!(
+            m.cigar.validates(&t, &m.seq),
+            "cigar must replay template -> read"
+        );
         assert_eq!(m.cigar.edit_distance(), m.edits);
     }
 

@@ -43,7 +43,10 @@ impl PackedSeq {
             let code = Dna::index_at(b, i)? as u8;
             data[i / 4] |= code << ((i % 4) * 2);
         }
-        Ok(PackedSeq { data: Bytes::from(data), len: seq.len() })
+        Ok(PackedSeq {
+            data: Bytes::from(data),
+            len: seq.len(),
+        })
     }
 
     /// Number of bases.
@@ -71,7 +74,11 @@ impl PackedSeq {
     /// Panics if `i >= len()`.
     #[inline]
     pub fn code(&self, i: usize) -> u8 {
-        assert!(i < self.len, "base index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "base index {i} out of range for length {}",
+            self.len
+        );
         (self.data[i / 4] >> ((i % 4) * 2)) & 0b11
     }
 
@@ -96,7 +103,10 @@ impl PackedSeq {
     ///
     /// Panics if `start > end` or `end > len()`.
     pub fn slice_to_vec(&self, start: usize, end: usize) -> Vec<u8> {
-        assert!(start <= end && end <= self.len, "range {start}..{end} out of bounds");
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds"
+        );
         (start..end).map(|i| self.get(i)).collect()
     }
 
@@ -114,7 +124,10 @@ impl PackedSeq {
             let code = 0b11 - self.code(self.len - 1 - i);
             data[i / 4] |= code << ((i % 4) * 2);
         }
-        PackedSeq { data: Bytes::from(data), len: self.len }
+        PackedSeq {
+            data: Bytes::from(data),
+            len: self.len,
+        }
     }
 }
 

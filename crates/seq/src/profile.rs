@@ -29,7 +29,11 @@ pub struct ErrorProfile {
 impl ErrorProfile {
     /// An error-free profile.
     pub fn perfect() -> Self {
-        ErrorProfile { substitution: 0.0, insertion: 0.0, deletion: 0.0 }
+        ErrorProfile {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.0,
+        }
     }
 
     /// A profile with total rate `total` split by the PBSIM CLR default

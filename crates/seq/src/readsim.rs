@@ -35,9 +35,7 @@ impl SimulatedRead {
     pub fn template<'a>(&self, reference: &'a [u8]) -> std::borrow::Cow<'a, [u8]> {
         let region = &reference[self.origin..self.origin + self.template_len];
         if self.reverse {
-            std::borrow::Cow::Owned(
-                region.iter().rev().map(|&b| Dna::complement(b)).collect(),
-            )
+            std::borrow::Cow::Owned(region.iter().rev().map(|&b| Dna::complement(b)).collect())
         } else {
             std::borrow::Cow::Borrowed(region)
         }
@@ -213,7 +211,10 @@ impl ReadSimulator {
 /// Converts simulated reads to FASTQ records, with a uniform Phred
 /// quality derived from the error profile
 /// (`Q = -10 log10(total error rate)`).
-pub fn to_fastq_records(reads: &[SimulatedRead], profile: &crate::profile::ErrorProfile) -> Vec<crate::fastq::FastqRecord> {
+pub fn to_fastq_records(
+    reads: &[SimulatedRead],
+    profile: &crate::profile::ErrorProfile,
+) -> Vec<crate::fastq::FastqRecord> {
     let q = if profile.total() > 0.0 {
         (-10.0 * profile.total().log10()).round().clamp(2.0, 60.0) as u8
     } else {
@@ -224,7 +225,12 @@ pub fn to_fastq_records(reads: &[SimulatedRead], profile: &crate::profile::Error
         .enumerate()
         .map(|(i, r)| {
             crate::fastq::FastqRecord::with_uniform_quality(
-                format!("sim_{}_{}{}", i, r.origin, if r.reverse { "_rc" } else { "" }),
+                format!(
+                    "sim_{}_{}{}",
+                    i,
+                    r.origin,
+                    if r.reverse { "_rc" } else { "" }
+                ),
                 r.seq.clone(),
                 q,
             )
@@ -284,7 +290,10 @@ impl PaperDataset {
     pub fn is_long(&self) -> bool {
         matches!(
             self,
-            PaperDataset::PacBio10 | PaperDataset::PacBio15 | PaperDataset::Ont10 | PaperDataset::Ont15
+            PaperDataset::PacBio10
+                | PaperDataset::PacBio15
+                | PaperDataset::Ont10
+                | PaperDataset::Ont15
         )
     }
 
@@ -329,7 +338,11 @@ mod tests {
     use crate::genome::GenomeBuilder;
 
     fn reference() -> Vec<u8> {
-        GenomeBuilder::new(60_000).seed(100).build().sequence().to_vec()
+        GenomeBuilder::new(60_000)
+            .seed(100)
+            .build()
+            .sequence()
+            .to_vec()
     }
 
     #[test]
@@ -364,8 +377,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let reference = reference();
-        let a = PaperDataset::Illumina100.simulator(5, 77).simulate(&reference);
-        let b = PaperDataset::Illumina100.simulator(5, 77).simulate(&reference);
+        let a = PaperDataset::Illumina100
+            .simulator(5, 77)
+            .simulate(&reference);
+        let b = PaperDataset::Illumina100
+            .simulator(5, 77)
+            .simulate(&reference);
         assert_eq!(a, b);
     }
 
@@ -390,7 +407,10 @@ mod tests {
             length_model: LengthModel::Fixed,
         });
         let reads = sim.simulate(&reference);
-        assert!(reads.iter().any(|r| r.reverse), "some reads should be reverse-strand");
+        assert!(
+            reads.iter().any(|r| r.reverse),
+            "some reads should be reverse-strand"
+        );
         for read in reads.iter().filter(|r| r.reverse) {
             let template = read.template(&reference);
             assert!(read.truth_cigar.validates(&template, &read.seq));
@@ -403,7 +423,11 @@ mod tests {
         let sim = ReadSimulator::new(SimConfig {
             read_length: 5_000,
             count: 200,
-            length_model: LengthModel::LogNormal { sigma: 0.3, min: 500, max: 40_000 },
+            length_model: LengthModel::LogNormal {
+                sigma: 0.3,
+                min: 500,
+                max: 40_000,
+            },
             ..SimConfig::default()
         });
         let reads = sim.simulate(&reference);
@@ -413,7 +437,10 @@ mod tests {
         let mut sorted = lens.clone();
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2];
-        assert!((median as f64 / 5_000.0 - 1.0).abs() < 0.25, "median {median}");
+        assert!(
+            (median as f64 / 5_000.0 - 1.0).abs() < 0.25,
+            "median {median}"
+        );
         assert!(lens.iter().all(|&l| l >= 500));
     }
 
@@ -423,7 +450,10 @@ mod tests {
         let sim = ReadSimulator::new(SimConfig {
             read_length: 1_000,
             count: 50,
-            length_model: LengthModel::Uniform { min: 200, max: 2_000 },
+            length_model: LengthModel::Uniform {
+                min: 200,
+                max: 2_000,
+            },
             ..SimConfig::default()
         });
         for read in sim.simulate(&reference) {
@@ -449,7 +479,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "shorter than read length")]
     fn rejects_reference_shorter_than_read() {
-        let sim = ReadSimulator::new(SimConfig { read_length: 100, ..SimConfig::default() });
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 100,
+            ..SimConfig::default()
+        });
         sim.simulate(b"ACGT");
     }
 }

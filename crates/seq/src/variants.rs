@@ -77,7 +77,13 @@ impl Default for VariantProfile {
     /// Human-like rates: 0.1% SNVs, 0.01% indels (≤8 bp), rare 60 bp
     /// inversions.
     fn default() -> Self {
-        VariantProfile { snv: 1e-3, indel: 1e-4, max_indel: 8, inversion: 5e-6, inversion_len: 60 }
+        VariantProfile {
+            snv: 1e-3,
+            indel: 1e-4,
+            max_indel: 8,
+            inversion: 5e-6,
+            inversion_len: 60,
+        }
     }
 }
 
@@ -110,7 +116,7 @@ pub fn apply_variants(reference: &[u8], profile: VariantProfile, seed: u64) -> D
     let mut sequence = Vec::with_capacity(reference.len());
     let mut pos = 0usize;
 
-    let random_base = |rng: &mut StdRng| b"ACGT"[rng.gen_range(0..4)];
+    let random_base = |rng: &mut StdRng| b"ACGT"[rng.gen_range(0..4usize)];
 
     while pos < reference.len() {
         let roll: f64 = rng.gen();
@@ -127,7 +133,9 @@ pub fn apply_variants(reference: &[u8], profile: VariantProfile, seed: u64) -> D
         } else if roll < profile.inversion + profile.indel {
             if rng.gen::<bool>() {
                 // Deletion.
-                let len = rng.gen_range(1..=profile.max_indel).min(reference.len() - pos);
+                let len = rng
+                    .gen_range(1..=profile.max_indel)
+                    .min(reference.len() - pos);
                 variants.push(Variant::Deletion { pos, len });
                 pos += len;
             } else {
@@ -164,14 +172,22 @@ mod tests {
     use crate::genome::GenomeBuilder;
 
     fn reference() -> Vec<u8> {
-        GenomeBuilder::new(200_000).seed(5).build().sequence().to_vec()
+        GenomeBuilder::new(200_000)
+            .seed(5)
+            .build()
+            .sequence()
+            .to_vec()
     }
 
     #[test]
     fn no_variants_is_identity() {
         let reference = reference();
-        let profile =
-            VariantProfile { snv: 0.0, indel: 0.0, inversion: 0.0, ..VariantProfile::default() };
+        let profile = VariantProfile {
+            snv: 0.0,
+            indel: 0.0,
+            inversion: 0.0,
+            ..VariantProfile::default()
+        };
         let donor = apply_variants(&reference, profile, 1);
         assert_eq!(donor.sequence, reference);
         assert!(donor.variants.is_empty());
@@ -181,7 +197,11 @@ mod tests {
     fn rates_are_approximately_respected() {
         let reference = reference();
         let donor = apply_variants(&reference, VariantProfile::default(), 2);
-        let snvs = donor.variants.iter().filter(|v| matches!(v, Variant::Snv { .. })).count();
+        let snvs = donor
+            .variants
+            .iter()
+            .filter(|v| matches!(v, Variant::Snv { .. }))
+            .count();
         let expected = reference.len() as f64 * 1e-3;
         assert!(
             (snvs as f64 - expected).abs() < expected * 0.4,
@@ -204,7 +224,11 @@ mod tests {
     #[test]
     fn snv_ground_truth_matches_sequences() {
         let reference = reference();
-        let profile = VariantProfile { indel: 0.0, inversion: 0.0, ..VariantProfile::default() };
+        let profile = VariantProfile {
+            indel: 0.0,
+            inversion: 0.0,
+            ..VariantProfile::default()
+        };
         let donor = apply_variants(&reference, profile, 4);
         // SNV-only donors keep coordinates aligned.
         assert_eq!(donor.sequence.len(), reference.len());
@@ -250,6 +274,9 @@ mod tests {
                 accepted += 1;
             }
         }
-        assert!(accepted >= 9, "only {accepted}/10 donor reads matched the reference");
+        assert!(
+            accepted >= 9,
+            "only {accepted}/10 donor reads matched the reference"
+        );
     }
 }

@@ -10,7 +10,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 1..=max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        1..=max_len,
+    )
 }
 
 proptest! {

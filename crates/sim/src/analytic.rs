@@ -93,7 +93,9 @@ impl AnalyticModel {
     /// Number of windows for a read of length `m` with edit threshold
     /// `k` (text region `m + k`, stride `W − O`).
     pub fn windows(&self, m: usize, k: usize) -> u64 {
-        ((m + k) as u64).div_ceil(self.config.stride() as u64).max(1)
+        ((m + k) as u64)
+            .div_ceil(self.config.stride() as u64)
+            .max(1)
     }
 
     /// Full prediction for aligning a read of length `m` with edit
@@ -250,7 +252,10 @@ mod tests {
         let est = m.alignment(10_000, 1_500);
         let bw = m.dram_bandwidth_bytes(10_000, 1_500, est.single_accel_throughput);
         let mb = bw / 1e6;
-        assert!(mb > 100.0 && mb < 150.0, "per-accelerator bandwidth {mb} MB/s");
+        assert!(
+            mb > 100.0 && mb < 150.0,
+            "per-accelerator bandwidth {mb} MB/s"
+        );
         let total = bw * 32.0;
         assert!(total < 0.05 * m.config().memory_bw_bytes);
     }

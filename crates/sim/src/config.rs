@@ -114,5 +114,4 @@ mod tests {
         cfg.pes = 0;
         assert!(!cfg.is_valid());
     }
-
 }

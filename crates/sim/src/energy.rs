@@ -50,7 +50,9 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// Creates an energy model over `config`.
     pub fn new(config: GenAsmHwConfig) -> Self {
-        EnergyModel { model: AnalyticModel::new(config) }
+        EnergyModel {
+            model: AnalyticModel::new(config),
+        }
     }
 
     /// Energy per alignment for a single GenASM accelerator on a read

@@ -11,8 +11,8 @@
 //! error rows.
 
 use crate::config::GenAsmHwConfig;
-use crate::systolic::SystolicSim;
 use crate::power::{AreaPower, GenAsmPowerModel};
+use crate::systolic::SystolicSim;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,15 +51,15 @@ pub fn tb_sram_bytes_per_pe(w: usize, pe_width: usize) -> usize {
 /// scale linearly with PE count, SRAMs with their capacity.
 pub fn scaled_cost(config: &GenAsmHwConfig) -> AreaPower {
     let base = GenAsmHwConfig::paper();
-    let pe_factor = config.pes as f64 / base.pes as f64
-        * (config.pe_width as f64 / base.pe_width as f64);
+    let pe_factor =
+        config.pes as f64 / base.pes as f64 * (config.pe_width as f64 / base.pe_width as f64);
     let dc = GenAsmPowerModel::dc().times(pe_factor);
     let tb = GenAsmPowerModel::tb();
-    let dc_sram = GenAsmPowerModel::dc_sram()
-        .times(config.dc_sram_bytes as f64 / base.dc_sram_bytes as f64);
+    let dc_sram =
+        GenAsmPowerModel::dc_sram().times(config.dc_sram_bytes as f64 / base.dc_sram_bytes as f64);
     let required_tb = tb_sram_bytes_per_pe(config.window, config.pe_width) * config.pes;
-    let tb_srams = GenAsmPowerModel::tb_srams()
-        .times(required_tb as f64 / base.tb_sram_total_bytes() as f64);
+    let tb_srams =
+        GenAsmPowerModel::tb_srams().times(required_tb as f64 / base.tb_sram_total_bytes() as f64);
     dc.plus(tb).plus(dc_sram).plus(tb_srams)
 }
 

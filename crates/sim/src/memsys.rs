@@ -65,7 +65,9 @@ impl MemorySystem {
         let mut load = vec![0u64; vaults];
         for &cycles in job_cycles {
             // Shortest-queue assignment (host-side load balancing).
-            let v = (0..vaults).min_by_key(|&v| load[v]).expect("at least one vault");
+            let v = (0..vaults)
+                .min_by_key(|&v| load[v])
+                .expect("at least one vault");
             load[v] += cycles;
         }
         let makespan = load.iter().copied().max().unwrap_or(0);
@@ -75,7 +77,11 @@ impl MemorySystem {
             jobs: job_cycles.len(),
             makespan_cycles: makespan,
             busy_cycles: busy,
-            throughput: if seconds > 0.0 { job_cycles.len() as f64 / seconds } else { 0.0 },
+            throughput: if seconds > 0.0 {
+                job_cycles.len() as f64 / seconds
+            } else {
+                0.0
+            },
             imbalance: if busy == 0 {
                 1.0
             } else {
@@ -84,26 +90,25 @@ impl MemorySystem {
         }
     }
 
-    /// Runs `f` once per vault on real host threads (crossbeam scoped),
-    /// collecting per-vault results — the software-throughput analogue
-    /// of vault parallelism used by the experiment harness.
+    /// Runs `f` once per vault on real host threads (std scoped
+    /// threads), collecting per-vault results — the software-throughput
+    /// analogue of vault parallelism used by the experiment harness.
     pub fn run_per_vault<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let results = Mutex::new(Vec::with_capacity(self.config.vaults));
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for v in 0..self.config.vaults {
                 let f = &f;
                 let results = &results;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let value = f(v);
                     results.lock().push((v, value));
                 });
             }
-        })
-        .expect("vault worker panicked");
+        });
         let mut collected = results.into_inner();
         collected.sort_by_key(|&(v, _)| v);
         collected.into_iter().map(|(_, value)| value).collect()

@@ -28,13 +28,19 @@ impl AreaPower {
     /// Component-wise sum.
     #[must_use]
     pub fn plus(self, other: AreaPower) -> AreaPower {
-        AreaPower { area_mm2: self.area_mm2 + other.area_mm2, power_w: self.power_w + other.power_w }
+        AreaPower {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            power_w: self.power_w + other.power_w,
+        }
     }
 
     /// Component-wise scale (e.g. per-vault → 32 vaults).
     #[must_use]
     pub fn times(self, factor: f64) -> AreaPower {
-        AreaPower { area_mm2: self.area_mm2 * factor, power_w: self.power_w * factor }
+        AreaPower {
+            area_mm2: self.area_mm2 * factor,
+            power_w: self.power_w * factor,
+        }
     }
 }
 
@@ -74,7 +80,10 @@ impl GenAsmPowerModel {
 
     /// One full accelerator (one vault).
     pub fn one_vault() -> AreaPower {
-        Self::dc().plus(Self::tb()).plus(Self::dc_sram()).plus(Self::tb_srams())
+        Self::dc()
+            .plus(Self::tb())
+            .plus(Self::dc_sram())
+            .plus(Self::tb_srams())
     }
 
     /// All 32 vaults.
@@ -85,12 +94,30 @@ impl GenAsmPowerModel {
     /// The Table 1 rows in presentation order.
     pub fn table1() -> Vec<ComponentRow> {
         vec![
-            ComponentRow { component: "GenASM-DC (64 PEs)", cost: Self::dc() },
-            ComponentRow { component: "GenASM-TB", cost: Self::tb() },
-            ComponentRow { component: "DC-SRAM (8 KB)", cost: Self::dc_sram() },
-            ComponentRow { component: "TB-SRAMs (64 x 1.5 KB)", cost: Self::tb_srams() },
-            ComponentRow { component: "Total - 1 vault", cost: Self::one_vault() },
-            ComponentRow { component: "Total - 32 vaults", cost: Self::all_vaults(32) },
+            ComponentRow {
+                component: "GenASM-DC (64 PEs)",
+                cost: Self::dc(),
+            },
+            ComponentRow {
+                component: "GenASM-TB",
+                cost: Self::tb(),
+            },
+            ComponentRow {
+                component: "DC-SRAM (8 KB)",
+                cost: Self::dc_sram(),
+            },
+            ComponentRow {
+                component: "TB-SRAMs (64 x 1.5 KB)",
+                cost: Self::tb_srams(),
+            },
+            ComponentRow {
+                component: "Total - 1 vault",
+                cost: Self::one_vault(),
+            },
+            ComponentRow {
+                component: "Total - 32 vaults",
+                cost: Self::all_vaults(32),
+            },
         ]
     }
 

@@ -65,14 +65,30 @@ pub struct SoftwareSpeedup {
 
 /// Long-read alignment-step speedups (Figure 9).
 pub const LONG_READ_SPEEDUPS: [SoftwareSpeedup; 2] = [
-    SoftwareSpeedup { tool: "BWA-MEM", t1: 7173.0, t12: 648.0 },
-    SoftwareSpeedup { tool: "Minimap2", t1: 1126.0, t12: 116.0 },
+    SoftwareSpeedup {
+        tool: "BWA-MEM",
+        t1: 7173.0,
+        t12: 648.0,
+    },
+    SoftwareSpeedup {
+        tool: "Minimap2",
+        t1: 1126.0,
+        t12: 116.0,
+    },
 ];
 
 /// Short-read alignment-step speedups (Figure 10).
 pub const SHORT_READ_SPEEDUPS: [SoftwareSpeedup; 2] = [
-    SoftwareSpeedup { tool: "BWA-MEM", t1: 1390.0, t12: 111.0 },
-    SoftwareSpeedup { tool: "Minimap2", t1: 1839.0, t12: 158.0 },
+    SoftwareSpeedup {
+        tool: "BWA-MEM",
+        t1: 1390.0,
+        t12: 111.0,
+    },
+    SoftwareSpeedup {
+        tool: "Minimap2",
+        t1: 1839.0,
+        t12: 158.0,
+    },
 ];
 
 /// Power consumption of the software baselines' alignment steps in
@@ -134,8 +150,11 @@ pub struct AsapComparison {
 }
 
 /// ASAP endpoint numbers (§10.4).
-pub const ASAP: AsapComparison =
-    AsapComparison { asap_us: (6.8, 18.8), genasm_us: (0.017, 2.025), asap_power_w: 6.8 };
+pub const ASAP: AsapComparison = AsapComparison {
+    asap_us: (6.8, 18.8),
+    genasm_us: (0.017, 2.025),
+    asap_power_w: 6.8,
+};
 
 /// Accuracy analysis (§10.2): fraction of reads whose GenASM score
 /// matches / approaches the baseline tool's score.
@@ -152,9 +171,24 @@ pub struct AccuracyReport {
 
 /// Published accuracy rows (§10.2).
 pub const ACCURACY: [AccuracyReport; 3] = [
-    AccuracyReport { dataset: "short reads vs BWA-MEM", exact: Some(0.966), within_tolerance: 0.997, tolerance: 0.045 },
-    AccuracyReport { dataset: "long reads 10% vs Minimap2", exact: None, within_tolerance: 0.996, tolerance: 0.004 },
-    AccuracyReport { dataset: "long reads 15% vs Minimap2", exact: None, within_tolerance: 0.997, tolerance: 0.007 },
+    AccuracyReport {
+        dataset: "short reads vs BWA-MEM",
+        exact: Some(0.966),
+        within_tolerance: 0.997,
+        tolerance: 0.045,
+    },
+    AccuracyReport {
+        dataset: "long reads 10% vs Minimap2",
+        exact: None,
+        within_tolerance: 0.996,
+        tolerance: 0.004,
+    },
+    AccuracyReport {
+        dataset: "long reads 15% vs Minimap2",
+        exact: None,
+        within_tolerance: 0.997,
+        tolerance: 0.007,
+    },
 ];
 
 #[cfg(test)]
@@ -178,7 +212,8 @@ mod tests {
     #[test]
     fn headline_ratios_are_consistent() {
         // 3.9x throughput and 2.7x power vs GACT (§10.2).
-        let speedup = genasm_long_read_throughput_published(5_000) / gact_long_read_throughput(5_000);
+        let speedup =
+            genasm_long_read_throughput_published(5_000) / gact_long_read_throughput(5_000);
         assert!((speedup - 4.26).abs() < 0.1); // curve ratio; avg over lengths is 3.9
         assert!((GACT_POWER_W / GENASM_POWER_W - 2.7).abs() < 0.1);
     }

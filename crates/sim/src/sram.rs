@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn oversized_reads_are_detected() {
         let cfg = GenAsmHwConfig::paper();
-        assert!(!fits(20_000, 3_000, &cfg), "20 Kbp should overflow the 8 KB DC-SRAM");
+        assert!(
+            !fits(20_000, 3_000, &cfg),
+            "20 Kbp should overflow the 8 KB DC-SRAM"
+        );
     }
 
     #[test]
@@ -107,7 +110,10 @@ mod tests {
         let cfg = GenAsmHwConfig::paper();
         let max = max_read_length(0.15, &cfg);
         assert!(max >= 10_000, "max {max} must cover the paper's 10 Kbp");
-        assert!(max < 16_000, "max {max} should not be far above the sizing point");
+        assert!(
+            max < 16_000,
+            "max {max} should not be far above the sizing point"
+        );
         // Consistency: the bound it reports actually fits.
         let k = (max as f64 * 0.15) as usize;
         assert!(fits(max, k, &cfg));
@@ -118,6 +124,9 @@ mod tests {
         let mut cfg = GenAsmHwConfig::paper();
         cfg.window = 128;
         assert_eq!(tb_sram_requirement(&cfg), 3_072);
-        assert!(!fits(10_000, 1_500, &cfg), "W=128 overflows the 1.5 KB TB-SRAM");
+        assert!(
+            !fits(10_000, 1_500, &cfg),
+            "W=128 overflows the 1.5 KB TB-SRAM"
+        );
     }
 }

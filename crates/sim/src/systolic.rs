@@ -109,7 +109,9 @@ impl SystolicSim {
             cycle += 1;
             let mut progressed = false;
             for pe in 0..p {
-                let Some(&(d, i)) = queues[pe].get(next_idx[pe]) else { continue };
+                let Some(&(d, i)) = queues[pe].get(next_idx[pe]) else {
+                    continue;
+                };
                 // Dependencies (Algorithm 1 lines 13-19): same row at
                 // i+1 (oldR[d]); row d-1 at i (R[d-1]) and i+1
                 // (oldR[d-1]). Boundary cells (i = n-1 or d = 0) skip
@@ -120,8 +122,7 @@ impl SystolicSim {
                     }
                     ready[dd][ii] < cycle
                 };
-                let ok = dep_ok(d, i + 1)
-                    && (d == 0 || (dep_ok(d - 1, i) && dep_ok(d - 1, i + 1)));
+                let ok = dep_ok(d, i + 1) && (d == 0 || (dep_ok(d - 1, i) && dep_ok(d - 1, i + 1)));
                 if ok {
                     ready[d][i] = cycle;
                     next_idx[pe] += 1;
@@ -137,7 +138,11 @@ impl SystolicSim {
         WindowDcSim {
             cycles: cycle,
             cell_computations,
-            utilization_bp: if cycle == 0 { 0 } else { busy_cycles * 10_000 / (cycle * p as u64) },
+            utilization_bp: if cycle == 0 {
+                0
+            } else {
+                busy_cycles * 10_000 / (cycle * p as u64)
+            },
             tb_sram_write_bytes: cell_computations * 24,
             dc_sram_accesses: 2 * cycle,
         }
@@ -247,6 +252,10 @@ mod tests {
     fn utilization_reported() {
         let w = sim().simulate_window(64, 64);
         // 4096 cells over 127 cycles on 64 PEs: ~50% utilization.
-        assert!(w.utilization_bp > 4_000 && w.utilization_bp < 6_000, "{}", w.utilization_bp);
+        assert!(
+            w.utilization_bp > 4_000 && w.utilization_bp < 6_000,
+            "{}",
+            w.utilization_bp
+        );
     }
 }

@@ -16,17 +16,30 @@ use rand::SeedableRng;
 fn main() {
     // The "unknown" genome to reconstruct.
     let template = GenomeBuilder::new(4_000).gc_content(0.45).seed(101).build();
-    println!("template: {} bp (hidden from the assembler)", template.len());
+    println!(
+        "template: {} bp (hidden from the assembler)",
+        template.len()
+    );
 
     // Shotgun reads: 400 bp, stepping 130 bp, Illumina-like errors.
     let mut rng = StdRng::seed_from_u64(7);
     let mut reads = Vec::new();
     let mut start = 0;
     while start + 400 <= template.len() {
-        reads.push(mutate(template.region(start, start + 400), ErrorProfile::illumina(), &mut rng).seq);
+        reads.push(
+            mutate(
+                template.region(start, start + 400),
+                ErrorProfile::illumina(),
+                &mut rng,
+            )
+            .seq,
+        );
         start += 130;
     }
-    println!("reads   : {} x 400 bp at ~3x coverage, 5% error", reads.len());
+    println!(
+        "reads   : {} x 400 bp at ~3x coverage, 5% error",
+        reads.len()
+    );
 
     // Step 1: overlap finding (GenASM pairwise alignment under the hood).
     let overlaps = OverlapFinder::new(OverlapConfig::default()).find(&reads);

@@ -14,12 +14,19 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let length = 100_000;
-    let template = GenomeBuilder::new(length).seed(5).build().sequence().to_vec();
+    let template = GenomeBuilder::new(length)
+        .seed(5)
+        .build()
+        .sequence()
+        .to_vec();
     let mut rng = StdRng::seed_from_u64(17);
     let calc = EditDistanceCalculator::default();
 
     println!("sequence length: {length} bp\n");
-    println!("{:<11} {:>14} {:>14} {:>12} {:>12}", "similarity", "GenASM dist", "Edlib dist", "GenASM time", "Edlib time");
+    println!(
+        "{:<11} {:>14} {:>14} {:>12} {:>12}",
+        "similarity", "GenASM dist", "Edlib dist", "GenASM time", "Edlib time"
+    );
     for similarity in [0.60, 0.75, 0.90, 0.99] {
         let mutated = mutate_to_similarity(&template, similarity, &mut rng);
 
@@ -39,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             genasm_time,
             edlib_time
         );
-        assert!(genasm_d >= edlib_d, "GenASM must never undercount the true distance");
+        assert!(
+            genasm_d >= edlib_d,
+            "GenASM must never undercount the true distance"
+        );
     }
     println!(
         "\nGenASM's windowed distance is exact for isolated errors and a tight upper bound \

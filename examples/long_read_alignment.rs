@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let region = genome.region(read.origin, end);
         let alignment = aligner.align(region, &read.seq)?;
         assert!(
-            alignment.cigar.validates(&region[..alignment.text_consumed], &read.seq),
+            alignment
+                .cigar
+                .validates(&region[..alignment.text_consumed], &read.seq),
             "CIGAR must be a valid transcript"
         );
         println!(

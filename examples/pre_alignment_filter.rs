@@ -25,12 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let region = genome.region(start, start + read_len + 16).to_vec();
         // Half the candidates are near the true location, half are junk.
         let similarity = if rng.gen::<bool>() { 0.97 } else { 0.80 };
-        let read = mutate_to_similarity(
-            genome.region(start, start + read_len),
-            similarity,
-            &mut rng,
-        )
-        .seq;
+        let read =
+            mutate_to_similarity(genome.region(start, start + read_len), similarity, &mut rng).seq;
         pairs.push((region, read));
     }
 
@@ -43,8 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (region, read) in &pairs {
         let truth = semiglobal_distance(region, read) <= threshold;
         truly_similar += usize::from(truth);
-        for (f, accepts) in
-            [genasm.accepts(region, read)?, shouji.accepts(region, read)].iter().enumerate()
+        for (f, accepts) in [genasm.accepts(region, read)?, shouji.accepts(region, read)]
+            .iter()
+            .enumerate()
         {
             accepted[f] += usize::from(*accepts);
             if *accepts && !truth {

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let motif = b"GDSGG";
     for k in 0..=1 {
         let hits = bitap::find_all::<Protein>(peptide, motif, k)?;
-        println!("protein motif {:?} with <= {k} edits:", String::from_utf8_lossy(motif));
+        println!(
+            "protein motif {:?} with <= {k} edits:",
+            String::from_utf8_lossy(motif)
+        );
         for hit in hits {
             println!("  position {:>2}, distance {}", hit.position, hit.distance);
         }
@@ -35,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b"approximate string matching",
         b"aproximate strinng matching",
     )?;
-    println!("\ntext alignment: {} ({} edits)", alignment.cigar, alignment.edit_distance);
+    println!(
+        "\ntext alignment: {} ({} edits)",
+        alignment.cigar, alignment.edit_distance
+    );
     Ok(())
 }

@@ -24,15 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scoring::bwa_mem().score_cigar(&alignment.cigar)
     );
     println!();
-    println!("{}", alignment.cigar.pretty(&reference[..alignment.text_consumed], read));
+    println!(
+        "{}",
+        alignment
+            .cigar
+            .pretty(&reference[..alignment.text_consumed], read)
+    );
 
     // The same machinery answers pure edit-distance queries (use case 3)
     // and filtering decisions (use case 2).
-    let distance = genasm::core::edit_distance::EditDistanceCalculator::default()
-        .distance(reference, read)?;
+    let distance =
+        genasm::core::edit_distance::EditDistanceCalculator::default().distance(reference, read)?;
     println!("\nglobal edit distance: {distance}");
 
     let filter = genasm::core::filter::PreAlignmentFilter::new(5);
-    println!("passes k=5 pre-alignment filter: {}", filter.accepts(reference, read)?);
+    println!(
+        "passes k=5 pre-alignment filter: {}",
+        filter.accepts(reference, read)?
+    );
     Ok(())
 }

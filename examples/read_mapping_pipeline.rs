@@ -10,7 +10,11 @@ use genasm::seq::profile::ErrorProfile;
 use genasm::seq::readsim::{LengthModel, ReadSimulator, SimConfig};
 
 fn main() {
-    let genome = GenomeBuilder::new(200_000).gc_content(0.41).repeat_fraction(0.05).seed(12).build();
+    let genome = GenomeBuilder::new(200_000)
+        .gc_content(0.41)
+        .repeat_fraction(0.05)
+        .seed(12)
+        .build();
     let sim = ReadSimulator::new(SimConfig {
         read_length: 150,
         count: 200,
@@ -43,7 +47,11 @@ fn main() {
         }
     }
 
-    println!("reference      : {} bp (index: {} distinct 12-mers)", genome.len(), mapper.index().distinct_seeds());
+    println!(
+        "reference      : {} bp (index: {} distinct 12-mers)",
+        genome.len(),
+        mapper.index().distinct_seeds()
+    );
     println!("reads          : {} x 150 bp Illumina profile", reads.len());
     println!("mapped         : {mapped}");
     println!("mapped near origin: {correct}");

@@ -14,13 +14,26 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A reference genome and a donor derived from it with human-like
     // variant rates.
-    let reference = GenomeBuilder::new(300_000).gc_content(0.41).seed(2024).build();
+    let reference = GenomeBuilder::new(300_000)
+        .gc_content(0.41)
+        .seed(2024)
+        .build();
     let donor = apply_variants(reference.sequence(), VariantProfile::default(), 5);
-    let truth_snvs = donor.variants.iter().filter(|v| matches!(v, Variant::Snv { .. })).count();
-    let truth_indels =
-        donor.variants.iter().filter(|v| matches!(v, Variant::Deletion { .. } | Variant::Insertion { .. })).count();
-    let truth_inversions =
-        donor.variants.iter().filter(|v| matches!(v, Variant::Inversion { .. })).count();
+    let truth_snvs = donor
+        .variants
+        .iter()
+        .filter(|v| matches!(v, Variant::Snv { .. }))
+        .count();
+    let truth_indels = donor
+        .variants
+        .iter()
+        .filter(|v| matches!(v, Variant::Deletion { .. } | Variant::Insertion { .. }))
+        .count();
+    let truth_inversions = donor
+        .variants
+        .iter()
+        .filter(|v| matches!(v, Variant::Inversion { .. }))
+        .count();
 
     println!("reference: {} bp", reference.len());
     println!(
@@ -38,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elapsed = start.elapsed();
 
     let (matches, subs, ins, del) = alignment.cigar.op_counts();
-    println!("\naligned in {elapsed:.2?} ({:.1} Mbp/s)", reference.len() as f64 / 1e6 / elapsed.as_secs_f64());
+    println!(
+        "\naligned in {elapsed:.2?} ({:.1} Mbp/s)",
+        reference.len() as f64 / 1e6 / elapsed.as_secs_f64()
+    );
     println!("edit distance: {}", alignment.edit_distance);
     println!("  matches      : {matches}");
     println!("  substitutions: {subs} (injected SNVs: {truth_snvs}; inversions add more)");
@@ -68,6 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             worst = (pos, edits);
         }
     }
-    println!("densest divergence: {} edits within 200 bp around reference position {}", worst.1, worst.0);
+    println!(
+        "densest divergence: {} edits within 200 bp around reference position {}",
+        worst.1, worst.0
+    );
     Ok(())
 }

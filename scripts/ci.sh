@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the GenASM reproduction workspace.
+#
+# Usage: scripts/ci.sh [--with-bench]
+#
+#   --with-bench   additionally run the engine throughput bench, which
+#                  refreshes BENCH_engine.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--with-bench" ]]; then
+    echo "==> cargo bench --bench engine_throughput"
+    cargo bench -p genasm-bench --bench engine_throughput
+fi
+
+echo "==> OK"

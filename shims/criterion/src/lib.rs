@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate: a small wall-clock
+//! micro-benchmark harness with the same API shape (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`, `criterion_main!`).
+//!
+//! Each benchmark warms up briefly, then runs timed passes until a
+//! target measurement time elapses and reports the best per-iteration
+//! time (and throughput when configured). No statistics, plots, or
+//! saved baselines — just honest numbers on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name, an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the identifier.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_per_iter: Option<Duration>,
+    measure_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the best observed per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count that takes
+        // roughly 10ms per timed pass.
+        let calibrate = Instant::now();
+        black_box(routine());
+        let once = calibrate.elapsed().max(Duration::from_nanos(1));
+        let per_pass = ((Duration::from_millis(10).as_nanos() / once.as_nanos()).max(1)) as u64;
+
+        let deadline = Instant::now() + self.measure_time;
+        let mut best = Duration::MAX;
+        loop {
+            let start = Instant::now();
+            for _ in 0..per_pass {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / per_pass as u32;
+            best = best.min(elapsed);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.best_per_iter = Some(best);
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, id: &BenchmarkId, b: &Bencher, throughput: Option<Throughput>) {
+    let name = if group.is_empty() {
+        id.id.clone()
+    } else {
+        format!("{group}/{}", id.id)
+    };
+    match b.best_per_iter {
+        None => println!("{name:<48} (no measurement)"),
+        Some(t) => {
+            let rate = throughput
+                .map(|tp| {
+                    let per_sec = |n: u64| n as f64 / t.as_secs_f64();
+                    match tp {
+                        Throughput::Elements(n) => {
+                            format!("  {:>12.0} elem/s", per_sec(n))
+                        }
+                        Throughput::Bytes(n) => {
+                            format!("  {:>12.0} B/s", per_sec(n))
+                        }
+                    }
+                })
+                .unwrap_or_default();
+            println!("{name:<48} {:>12}/iter{rate}", human(t));
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep offline benches quick: ~120ms measured per benchmark.
+        Criterion {
+            measure_time: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style measurement-time override.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measure_time = t;
+        self
+    }
+
+    /// Builder-style sample-size hint (accepted for API parity).
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure_time: self.measure_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            best_per_iter: None,
+            measure_time: self.measure_time,
+        };
+        f(&mut b);
+        report("", &id, &b, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measure_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (accepted for API parity; the harness is
+    /// time-budgeted instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time override for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measure_time = t;
+        self
+    }
+
+    /// Declares the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            best_per_iter: None,
+            measure_time: self.measure_time,
+        };
+        f(&mut b);
+        report(&self.name, &id, &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            best_per_iter: None,
+            measure_time: self.measure_time,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

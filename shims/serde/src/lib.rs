@@ -1,0 +1,6 @@
+//! Offline stand-in for the `serde` crate: re-exports the no-op derive
+//! macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile. No serialization is
+//! performed anywhere in this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};

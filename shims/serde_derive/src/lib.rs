@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derive macros exist so
+//! `#[derive(Serialize, Deserialize)]` compiles, and expand to nothing
+//! — no code in this workspace performs actual serialization.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,6 +1,7 @@
 //! Umbrella crate re-exporting the GenASM workspace.
-pub use genasm_core as core;
-pub use genasm_seq as seq;
 pub use genasm_baselines as baselines;
-pub use genasm_sim as sim;
+pub use genasm_core as core;
+pub use genasm_engine as engine;
 pub use genasm_mapper as mapper;
+pub use genasm_seq as seq;
+pub use genasm_sim as sim;

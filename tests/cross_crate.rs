@@ -23,7 +23,9 @@ fn simulated_pairs(
     count: usize,
     seed: u64,
 ) -> Vec<(Vec<u8>, Vec<u8>, usize)> {
-    let genome = GenomeBuilder::new((read_length * 6).max(50_000)).seed(seed).build();
+    let genome = GenomeBuilder::new((read_length * 6).max(50_000))
+        .seed(seed)
+        .build();
     let sim = ReadSimulator::new(SimConfig {
         read_length,
         count,
@@ -83,7 +85,12 @@ fn genasm_and_gact_agree_on_long_reads() {
         // Same tiling idea, different kernels: distances track closely.
         let hi = a.edit_distance.max(g.edit_distance) as f64;
         let lo = a.edit_distance.min(g.edit_distance) as f64;
-        assert!(hi / lo.max(1.0) < 1.2, "genasm={} gact={}", a.edit_distance, g.edit_distance);
+        assert!(
+            hi / lo.max(1.0) < 1.2,
+            "genasm={} gact={}",
+            a.edit_distance,
+            g.edit_distance
+        );
     }
 }
 
@@ -129,7 +136,13 @@ fn long_read_alignment_is_close_to_true_error_count() {
 fn hardware_model_matches_cycle_simulation_across_workloads() {
     let model = AnalyticModel::new(GenAsmHwConfig::paper());
     let sim = SystolicSim::new(GenAsmHwConfig::paper());
-    for (m, k) in [(100usize, 5usize), (250, 13), (1_000, 100), (10_000, 1_500), (100_000, 5_000)] {
+    for (m, k) in [
+        (100usize, 5usize),
+        (250, 13),
+        (1_000, 100),
+        (10_000, 1_500),
+        (100_000, 5_000),
+    ] {
         assert_eq!(
             model.alignment(m, k).total_cycles,
             sim.simulate_alignment(m, k).total_cycles,
@@ -140,11 +153,14 @@ fn hardware_model_matches_cycle_simulation_across_workloads() {
 
 #[test]
 fn global_mode_handles_every_paper_dataset_profile() {
-    let calc = EditDistanceCalculator::new(
-        GenAsmConfig::default().with_mode(AlignmentMode::Global),
-    );
+    let calc =
+        EditDistanceCalculator::new(GenAsmConfig::default().with_mode(AlignmentMode::Global));
     for dataset in PaperDataset::all() {
-        let len = if dataset.is_long() { 1_200 } else { dataset.read_length() };
+        let len = if dataset.is_long() {
+            1_200
+        } else {
+            dataset.read_length()
+        };
         let pairs = simulated_pairs(dataset.profile(), len, 2, 41);
         for (region, read, _) in &pairs {
             let d = calc.distance(region, read).unwrap();
@@ -208,7 +224,12 @@ fn filter_and_aligner_agree_on_acceptance() {
                 .unwrap()
                 .expect("filter accepted, a match must exist");
             let a = aligner.align(&region[best.position..], read).unwrap();
-            assert!(a.edit_distance <= 8, "distance {} at {}", a.edit_distance, best.position);
+            assert!(
+                a.edit_distance <= 8,
+                "distance {} at {}",
+                a.edit_distance,
+                best.position
+            );
         }
     }
 }

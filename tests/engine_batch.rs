@@ -1,0 +1,142 @@
+//! Cross-crate integration tests for the batch engine: batched,
+//! multi-threaded results must be byte-identical (edit distance and
+//! CIGAR) to the sequential aligner, across workloads produced by the
+//! seq crate's simulators.
+
+use genasm::core::align::{GenAsmAligner, GenAsmConfig};
+use genasm::engine::{Engine, EngineConfig, GotohKernel, Job};
+use genasm::seq::genome::GenomeBuilder;
+use genasm::seq::profile::ErrorProfile;
+use genasm::seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Randomized (region, read) jobs: reads simulated off a genome with a
+/// realistic error profile, plus fully random pairs of varying length.
+fn randomized_jobs(seed: u64, count: usize) -> Vec<Job> {
+    let genome = GenomeBuilder::new(60_000).seed(seed).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 400,
+        count: count / 2,
+        profile: ErrorProfile::pacbio_10(),
+        seed: seed + 1,
+        both_strands: false,
+        length_model: LengthModel::Uniform { min: 60, max: 900 },
+    });
+    let mut jobs: Vec<Job> = sim
+        .simulate(genome.sequence())
+        .into_iter()
+        .map(|r| {
+            let end = (r.origin + r.template_len + 32).min(genome.len());
+            Job::new(genome.region(r.origin, end), &r.seq)
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    while jobs.len() < count {
+        let text_len = rng.gen_range(1usize..500);
+        let pattern_len = rng.gen_range(1usize..400);
+        let random_seq = |rng: &mut StdRng, n: usize| -> Vec<u8> {
+            (0..n).map(|_| b"ACGT"[rng.gen_range(0usize..4)]).collect()
+        };
+        let text = random_seq(&mut rng, text_len);
+        let pattern = random_seq(&mut rng, pattern_len);
+        jobs.push(Job::from_owned(text, pattern));
+    }
+    jobs
+}
+
+#[test]
+fn batch_results_identical_to_sequential_aligner() {
+    let jobs = randomized_jobs(101, 80);
+    let aligner = GenAsmAligner::new(GenAsmConfig::default());
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig::default().with_workers(workers));
+        let results = engine.align_batch(&jobs);
+        assert_eq!(results.len(), jobs.len());
+        for (i, (job, result)) in jobs.iter().zip(&results).enumerate() {
+            let sequential = aligner.align(&job.text, &job.pattern);
+            match (sequential, result) {
+                (Ok(want), Ok(got)) => {
+                    assert_eq!(
+                        want.cigar, got.cigar,
+                        "job {i} workers {workers}: CIGARs diverge"
+                    );
+                    assert_eq!(want.edit_distance, got.edit_distance, "job {i}");
+                    assert_eq!(want.text_consumed, got.text_consumed, "job {i}");
+                }
+                (Err(want), Err(got)) => {
+                    assert_eq!(format!("{want:?}"), format!("{got:?}"), "job {i}")
+                }
+                (want, got) => {
+                    panic!("job {i} workers {workers}: {want:?} vs {got:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_drain_matches_batch() {
+    let jobs = randomized_jobs(202, 50);
+    let engine = Engine::new(EngineConfig::default().with_workers(4));
+    let batch = engine.align_batch(&jobs);
+    let mut stream = engine.stream();
+    for job in &jobs {
+        stream.submit(job.clone());
+    }
+    let streamed = stream.drain();
+    assert_eq!(batch.len(), streamed.len());
+    for (i, (b, s)) in batch.iter().zip(&streamed).enumerate() {
+        match (b, s) {
+            (Ok(b), Ok(s)) => assert_eq!(b, s, "job {i}"),
+            (Err(b), Err(s)) => assert_eq!(format!("{b:?}"), format!("{s:?}"), "job {i}"),
+            other => panic!("job {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn gotoh_kernel_runs_the_same_harness() {
+    let jobs = randomized_jobs(303, 30);
+    let engine = Engine::with_kernel(
+        EngineConfig::default().with_workers(4),
+        Arc::new(GotohKernel::default()),
+    );
+    let output = engine.align_batch_with_stats(&jobs);
+    assert_eq!(output.stats.failures, 0);
+    for (job, result) in jobs.iter().zip(&output.results) {
+        let a = result.as_ref().unwrap();
+        assert!(a
+            .cigar
+            .validates(&job.text[..a.text_consumed], &job.pattern));
+    }
+}
+
+#[test]
+fn multithreaded_batch_is_not_slower_at_scale() {
+    // A smoke-level throughput property (the full measurement lives in
+    // the engine_throughput bench): with >= 4 workers on a sizable
+    // batch, wall time must not regress past sequential by more than
+    // 50%. On any multicore host it is in fact much faster; the loose
+    // bound keeps single-core CI honest without flaking.
+    let jobs = randomized_jobs(404, 200);
+    let single = Engine::new(EngineConfig::default().with_workers(1));
+    let multi = Engine::new(EngineConfig::default().with_workers(4));
+    let warm = single.align_batch(&jobs); // warm caches and page-in
+    assert_eq!(warm.len(), jobs.len());
+    // Best-of-3 on both sides to shrug off co-tenant scheduler noise.
+    let best_wall = |engine: &Engine| {
+        (0..3)
+            .map(|_| engine.align_batch_with_stats(&jobs).stats.wall)
+            .min()
+            .unwrap()
+    };
+    let t_single = best_wall(&single);
+    let t_multi = best_wall(&multi);
+    assert!(
+        t_multi.as_secs_f64() < t_single.as_secs_f64() * 1.5,
+        "4-worker batch took {t_multi:?} vs sequential {t_single:?}"
+    );
+}

@@ -15,8 +15,14 @@ use genasm::core::pattern::{PatternBitmasks, PatternBitmasks64};
 #[test]
 fn empty_inputs_are_typed_errors_everywhere() {
     let aligner = GenAsmAligner::default();
-    assert!(matches!(aligner.align(b"", b"ACGT"), Err(AlignError::EmptyText)));
-    assert!(matches!(aligner.align(b"ACGT", b""), Err(AlignError::EmptyPattern)));
+    assert!(matches!(
+        aligner.align(b"", b"ACGT"),
+        Err(AlignError::EmptyText)
+    ));
+    assert!(matches!(
+        aligner.align(b"ACGT", b""),
+        Err(AlignError::EmptyPattern)
+    ));
     assert!(matches!(
         EditDistanceCalculator::default().distance(b"", b"A"),
         Err(AlignError::EmptyText)
@@ -25,9 +31,18 @@ fn empty_inputs_are_typed_errors_everywhere() {
         PreAlignmentFilter::new(2).accepts(b"", b"ACG"),
         Err(AlignError::EmptyText)
     ));
-    assert!(matches!(bitap::find_all::<Dna>(b"ACGT", b"", 1), Err(AlignError::EmptyPattern)));
-    assert!(matches!(window_dc::<Dna>(b"", b"ACGT", 2), Err(AlignError::EmptyText)));
-    assert!(matches!(window_dc_wide::<Dna>(b"ACGT", b"", 2), Err(AlignError::EmptyPattern)));
+    assert!(matches!(
+        bitap::find_all::<Dna>(b"ACGT", b"", 1),
+        Err(AlignError::EmptyPattern)
+    ));
+    assert!(matches!(
+        window_dc::<Dna>(b"", b"ACGT", 2),
+        Err(AlignError::EmptyText)
+    ));
+    assert!(matches!(
+        window_dc_wide::<Dna>(b"ACGT", b"", 2),
+        Err(AlignError::EmptyPattern)
+    ));
 }
 
 #[test]
@@ -57,7 +72,10 @@ fn configuration_errors_are_rejected_before_work() {
         let cfg = GenAsmConfig::default().with_window(w).with_overlap(o);
         let err = GenAsmAligner::new(cfg).align(b"ACGT", b"ACGT").unwrap_err();
         assert!(
-            matches!(err, AlignError::InvalidWindow { .. } | AlignError::InvalidOverlap { .. }),
+            matches!(
+                err,
+                AlignError::InvalidWindow { .. } | AlignError::InvalidOverlap { .. }
+            ),
             "W={w} O={o}: {err}"
         );
     }
@@ -70,7 +88,12 @@ fn single_character_inputs_work_everywhere() {
     assert_eq!(a.edit_distance, 0);
     let a = aligner.align(b"A", b"C").unwrap();
     assert_eq!(a.edit_distance, 1);
-    assert_eq!(EditDistanceCalculator::default().distance(b"A", b"T").unwrap(), 1);
+    assert_eq!(
+        EditDistanceCalculator::default()
+            .distance(b"A", b"T")
+            .unwrap(),
+        1
+    );
     assert_eq!(bitap::find_all::<Dna>(b"A", b"A", 0).unwrap().len(), 1);
 }
 
@@ -93,7 +116,9 @@ fn pattern_much_longer_than_text_is_handled() {
     assert!(a.cigar.validates(text, &pattern));
     assert_eq!(a.pattern_consumed, 500);
     // Global mode charges the tail symmetrically.
-    let d = EditDistanceCalculator::default().distance(text, &pattern).unwrap();
+    let d = EditDistanceCalculator::default()
+        .distance(text, &pattern)
+        .unwrap();
     assert_eq!(d, 496);
 }
 
@@ -108,9 +133,8 @@ fn error_budget_violations_are_reported_not_panicked() {
 fn sentinel_byte_in_user_input_is_rejected_for_dna() {
     // 0xFF is reserved internally; DNA inputs containing it fail as an
     // invalid symbol rather than corrupting global mode.
-    let calc = EditDistanceCalculator::new(
-        GenAsmConfig::default().with_mode(AlignmentMode::Global),
-    );
+    let calc =
+        EditDistanceCalculator::new(GenAsmConfig::default().with_mode(AlignmentMode::Global));
     let mut seq = b"ACGT".to_vec();
     seq.push(0xFF);
     assert!(matches!(

@@ -45,9 +45,15 @@ fn figure6_tracebacks() {
     for (text, expected) in walks {
         let dc = window_dc::<Dna>(text, b"CTGA", 4).unwrap();
         let d = dc.edit_distance.unwrap();
-        let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+        let tb =
+            window_traceback(&dc.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
         let cigar: genasm::core::cigar::Cigar = tb.ops.iter().copied().collect();
-        assert_eq!(cigar.to_string(), expected, "text={:?}", std::str::from_utf8(text));
+        assert_eq!(
+            cigar.to_string(),
+            expected,
+            "text={:?}",
+            std::str::from_utf8(text)
+        );
     }
 }
 
@@ -88,7 +94,10 @@ fn section7_bandwidth_envelope() {
         );
         totals.push(per_accel * 32.0 / 1e9);
     }
-    assert!(totals.iter().all(|&t| t > 3.0 && t < 4.6), "{totals:?} GB/s");
+    assert!(
+        totals.iter().all(|&t| t > 3.0 && t < 4.6),
+        "{totals:?} GB/s"
+    );
 }
 
 /// §6: the memory footprint motivation — ~80 GB unwindowed for a
@@ -97,7 +106,10 @@ fn section7_bandwidth_envelope() {
 fn section6_footprints() {
     let model = AnalyticModel::new(GenAsmHwConfig::paper());
     let unwindowed_gb = model.footprint_unwindowed_bits(10_000, 1_500) as f64 / 8e9;
-    assert!(unwindowed_gb > 70.0 && unwindowed_gb < 100.0, "{unwindowed_gb} GB");
+    assert!(
+        unwindowed_gb > 70.0 && unwindowed_gb < 100.0,
+        "{unwindowed_gb} GB"
+    );
     assert_eq!(model.footprint_windowed_bits(), 64 * 3 * 64 * 64);
 }
 
@@ -123,8 +135,14 @@ fn figure12_anchor_points() {
         let k = len * 15 / 100;
         let analytic = model.alignment(len, k).single_accel_throughput;
         let simulated = sim.throughput(len, k);
-        assert!((analytic - published).abs() / published < 0.03, "analytic {analytic} vs {published}");
-        assert!((simulated - published).abs() / published < 0.03, "sim {simulated} vs {published}");
+        assert!(
+            (analytic - published).abs() / published < 0.03,
+            "analytic {analytic} vs {published}"
+        );
+        assert!(
+            (simulated - published).abs() / published < 0.03,
+            "sim {simulated} vs {published}"
+        );
     }
 }
 
