@@ -1,0 +1,284 @@
+//! Lock-step multi-window DC kernel throughput: scalar vs lock-step at
+//! 1/4/8 lanes, full vs distance-only mode, and the end-to-end engine
+//! effect (scalar vs lock-step dispatch at one worker).
+//!
+//! Writes `BENCH_dc_multi.json` at the workspace root alongside
+//! `BENCH_engine.json`. Pass `--smoke` (as `scripts/ci.sh` does) for a
+//! fast verification run with smaller workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use genasm_bench::harness::{measure_throughput, JsonReport};
+use genasm_core::alphabet::Dna;
+use genasm_core::dc::{window_dc_distance_into, window_dc_into, DcArena};
+use genasm_core::dc_multi::{
+    window_dc_multi_distance_into, window_dc_multi_into, MultiDcArena, MultiLane,
+};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, Job};
+use genasm_seq::genome::GenomeBuilder;
+use genasm_seq::profile::ErrorProfile;
+use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Illumina-profile window pairs: 56bp reads against 64bp reference
+/// windows, the shape every interior window of the aligner sees.
+fn window_pairs(count: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let genome = GenomeBuilder::new(60_000).seed(seed).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 56,
+        count,
+        profile: ErrorProfile::illumina(),
+        seed: seed + 1,
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    sim.simulate(genome.sequence())
+        .into_iter()
+        .map(|r| {
+            let end = (r.origin + 64).min(genome.len());
+            (genome.region(r.origin, end).to_vec(), r.seq)
+        })
+        .collect()
+}
+
+/// Engine jobs: 250bp Illumina-profile reads, the BENCH_engine.json
+/// workload.
+fn engine_jobs(count: usize, seed: u64) -> Vec<Job> {
+    let genome = GenomeBuilder::new(60_000).seed(seed).build();
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 250,
+        count,
+        profile: ErrorProfile::illumina(),
+        seed: seed + 1,
+        both_strands: false,
+        length_model: LengthModel::Fixed,
+    });
+    sim.simulate(genome.sequence())
+        .into_iter()
+        .map(|r| {
+            let end = (r.origin + r.template_len + 24).min(genome.len());
+            Job::new(genome.region(r.origin, end), &r.seq)
+        })
+        .collect()
+}
+
+/// Best pairs/sec over `reps` runs of `work`.
+fn best_rate<F: FnMut()>(pairs: usize, reps: usize, mut work: F) -> f64 {
+    (0..reps)
+        .map(|_| measure_throughput(pairs, &mut work).0)
+        .fold(f64::MIN, f64::max)
+}
+
+fn run_lockstep<const L: usize, const STORE: bool>(
+    pairs: &[(Vec<u8>, Vec<u8>)],
+    arena: &mut MultiDcArena<L>,
+) {
+    let mut lanes: Vec<MultiLane> = Vec::with_capacity(L);
+    for chunk in pairs.chunks(L) {
+        lanes.clear();
+        lanes.extend(chunk.iter().map(|(t, p)| MultiLane {
+            text: t,
+            pattern: p,
+            k_max: p.len(),
+        }));
+        if STORE {
+            window_dc_multi_into::<Dna, L>(&lanes, arena);
+        } else {
+            window_dc_multi_distance_into::<Dna, L>(&lanes, arena);
+        }
+        criterion::black_box(arena.outcomes());
+    }
+}
+
+fn bench_dc_multi(c: &mut Criterion) {
+    let smoke = smoke();
+    let reps = if smoke { 2 } else { 3 };
+    let n_windows = if smoke { 512 } else { 8192 };
+    let n_jobs = if smoke { 64 } else { 256 };
+
+    let mut report = JsonReport::new();
+    report.field_str("bench", "dc_multi");
+    report.field_str(
+        "workload",
+        "illumina-profile 56bp windows (kernel) / 250bp reads (engine)",
+    );
+    report.field_num("windows", n_windows as f64);
+    report.field_num("engine_jobs", n_jobs as f64);
+    report.field_num("smoke", f64::from(u8::from(smoke)));
+    report.field_num(
+        "host_parallelism",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64,
+    );
+
+    // ---- Kernel level: full (edge-storing) mode ----------------------
+    let pairs = window_pairs(n_windows, 0xD0C5);
+    let mut scalar_arena = DcArena::new();
+    let scalar_full = best_rate(pairs.len(), reps, || {
+        for (t, p) in &pairs {
+            criterion::black_box(window_dc_into::<Dna>(t, p, p.len(), &mut scalar_arena).unwrap());
+        }
+    });
+    let mut a1 = MultiDcArena::<1>::new();
+    let mut a4 = MultiDcArena::<4>::new();
+    let mut a8 = MultiDcArena::<8>::new();
+    let lockstep_full = [
+        (
+            1usize,
+            best_rate(pairs.len(), reps, || {
+                run_lockstep::<1, true>(&pairs, &mut a1)
+            }),
+        ),
+        (
+            4,
+            best_rate(pairs.len(), reps, || {
+                run_lockstep::<4, true>(&pairs, &mut a4)
+            }),
+        ),
+        (
+            8,
+            best_rate(pairs.len(), reps, || {
+                run_lockstep::<8, true>(&pairs, &mut a8)
+            }),
+        ),
+    ];
+    report.record(
+        "kernel_full",
+        &[
+            ("lanes", 1.0),
+            ("scalar", 1.0),
+            ("pairs_per_sec", scalar_full),
+            ("speedup_vs_scalar", 1.0),
+        ],
+    );
+    for (lanes, rate) in lockstep_full {
+        report.record(
+            "kernel_full",
+            &[
+                ("lanes", lanes as f64),
+                ("scalar", 0.0),
+                ("pairs_per_sec", rate),
+                ("speedup_vs_scalar", rate / scalar_full),
+            ],
+        );
+        println!(
+            "kernel full lockstep x{lanes}: {rate:.0} pairs/s ({:.2}x scalar)",
+            rate / scalar_full
+        );
+    }
+    println!("kernel full scalar: {scalar_full:.0} pairs/s");
+
+    // ---- Kernel level: distance-only mode (the filter workload) ------
+    let scalar_distance = best_rate(pairs.len(), reps, || {
+        for (t, p) in &pairs {
+            criterion::black_box(
+                window_dc_distance_into::<Dna>(t, p, p.len(), &mut scalar_arena).unwrap(),
+            );
+        }
+    });
+    let distance_4 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<4, false>(&pairs, &mut a4)
+    });
+    let distance_8 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<8, false>(&pairs, &mut a8)
+    });
+    for (lanes, rate) in [(1usize, scalar_distance), (4, distance_4), (8, distance_8)] {
+        report.record(
+            "kernel_distance_only",
+            &[
+                ("lanes", lanes as f64),
+                ("pairs_per_sec", rate),
+                ("speedup_vs_full_scalar", rate / scalar_full),
+            ],
+        );
+        println!(
+            "kernel distance-only x{lanes}: {rate:.0} pairs/s ({:.2}x full scalar)",
+            rate / scalar_full
+        );
+    }
+
+    // ---- Engine level: scalar vs lock-step dispatch, one worker ------
+    let jobs = engine_jobs(n_jobs, 0xBE9C);
+    let mut engine_rates = [0.0f64; 2];
+    for (slot, dispatch) in [DcDispatch::Scalar, DcDispatch::Lockstep]
+        .into_iter()
+        .enumerate()
+    {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_dispatch(dispatch),
+        );
+        let warm = engine.align_batch_with_stats(&jobs);
+        assert_eq!(warm.stats.failures, 0, "bench workload must align cleanly");
+        engine_rates[slot] = (0..reps)
+            .map(|_| engine.align_batch_with_stats(&jobs).stats.pairs_per_sec())
+            .fold(f64::MIN, f64::max);
+    }
+    let [scalar_engine, lockstep_engine] = engine_rates;
+    report.record(
+        "engine",
+        &[
+            ("lockstep", 0.0),
+            ("workers", 1.0),
+            ("pairs_per_sec", scalar_engine),
+            ("speedup_vs_scalar", 1.0),
+        ],
+    );
+    report.record(
+        "engine",
+        &[
+            ("lockstep", 1.0),
+            ("workers", 1.0),
+            ("pairs_per_sec", lockstep_engine),
+            ("speedup_vs_scalar", lockstep_engine / scalar_engine),
+        ],
+    );
+    println!(
+        "engine 1 worker: scalar {scalar_engine:.0} pairs/s, lockstep {lockstep_engine:.0} pairs/s ({:.2}x)",
+        lockstep_engine / scalar_engine
+    );
+    // The lock-step PR's shared kernel optimizations (branchless
+    // alphabet LUT, allocation-free pattern masks, zero-fill elision)
+    // also sped up the scalar baseline itself; the pre-PR engine
+    // figure (BENCH_engine.json at the seed of this change) was
+    // ~65k pairs/s at one worker on this host.
+    report.field_num("engine_pairs_per_sec_pre_pr", 64_675.0);
+    report.field_num("engine_speedup_vs_pre_pr", lockstep_engine / 64_675.0);
+
+    // Smoke runs verify the bench executes but keep the committed
+    // full-size artifact intact.
+    if smoke {
+        println!("smoke run: BENCH_dc_multi.json left untouched");
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dc_multi.json");
+        report.write_to(path).expect("writing BENCH_dc_multi.json");
+        println!("wrote {path}");
+    }
+
+    // Console-visible criterion entries for the two headline numbers.
+    let mut group = c.benchmark_group("dc_multi_headline");
+    group.bench_function("engine_scalar_1w", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_dispatch(DcDispatch::Scalar),
+        );
+        b.iter(|| criterion::black_box(engine.align_batch(&jobs)));
+    });
+    group.bench_function("engine_lockstep_1w", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(1)
+                .with_dispatch(DcDispatch::Lockstep),
+        );
+        b.iter(|| criterion::black_box(engine.align_batch(&jobs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc_multi);
+criterion_main!(benches);

@@ -25,7 +25,7 @@ use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
-use genasm_engine::{Engine, EngineConfig, GotohKernel};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel};
 use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
 use genasm_mapper::sam;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
@@ -44,13 +44,17 @@ usage: genasm <command> [options]
 commands:
   map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]   SAM to stdout
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
-            [--kernel genasm|gotoh] [--error-rate 0.15]
+            [--kernel lockstep|scalar|gotoh] [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
                                                              throughput report on stderr,
                                                              SAM on stdout with --sam -
+                                                             (genasm = alias of lockstep;
+                                                             scalar A/Bs the one-window-
+                                                             at-a-time DC path)
   align     --ref <fa> --query <fa> [--k <edits>]            per-query alignment summary
   distance  --a <fa> --b <fa>                                global edit distance
-  filter    --ref <fa> --reads <fq|fa> --threshold <k>       accept/reject per read
+  filter    --ref <fa> --reads <fq|fa> --threshold <k>
+            [--kernel lockstep|scalar]                       accept/reject per read
   simulate  --genome-size <bp> --count <n> [--length 100]
             [--profile illumina|pacbio10|pacbio15|ont10|ont15]
             [--seed 0] [--out-prefix sim]                    write ref.fa + reads.fq
@@ -143,8 +147,8 @@ fn cmd_map(args: &Args) -> Result<(), String> {
 fn cmd_batch(args: &Args) -> Result<(), String> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
-    let kernel = match args.get("kernel").unwrap_or("genasm") {
-        k @ ("genasm" | "gotoh") => k,
+    let kernel = match args.get("kernel").unwrap_or("lockstep") {
+        k @ ("genasm" | "gotoh" | "scalar" | "lockstep") => k,
         other => return Err(format!("unknown kernel {other:?}")),
     };
     let error_rate: f64 = args.number("error-rate", 0.15)?;
@@ -161,7 +165,10 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         .with_workers(threads)
         .with_genasm(config.genasm.clone());
     let engine = match kernel {
-        "genasm" => Engine::new(engine_config),
+        // The two GenASM DC paths produce bit-identical mappings; the
+        // flag exists so they can be A/B'd from the command line.
+        "scalar" => Engine::new(engine_config.with_dispatch(DcDispatch::Scalar)),
+        "genasm" | "lockstep" => Engine::new(engine_config.with_dispatch(DcDispatch::Lockstep)),
         _ => Engine::with_kernel(
             engine_config,
             std::sync::Arc::new(GotohKernel::new(Scoring::bwa_mem())),
@@ -239,6 +246,10 @@ fn cmd_distance(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_filter(args: &Args) -> Result<(), String> {
+    let kernel = match args.get("kernel").unwrap_or("lockstep") {
+        k @ ("scalar" | "lockstep") => k,
+        other => return Err(format!("unknown kernel {other:?}")),
+    };
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
     let threshold: usize = args
@@ -246,11 +257,25 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --threshold")?;
     let filter = PreAlignmentFilter::new(threshold);
+    // Both kernels make identical decisions; lockstep batches up to
+    // four single-word scans per Bitap pass (reads over 64 bases use
+    // the scalar multi-word scan either way).
+    let decisions = match kernel {
+        "lockstep" => {
+            let pairs: Vec<(&[u8], &[u8])> = reads
+                .iter()
+                .map(|(_, seq)| (reference.seq.as_slice(), seq.as_slice()))
+                .collect();
+            filter.decide_many(&pairs)
+        }
+        _ => reads
+            .iter()
+            .map(|(_, seq)| filter.decide(&reference.seq, seq))
+            .collect(),
+    };
     let mut accepted = 0usize;
-    for (name, seq) in &reads {
-        let decision = filter
-            .decide(&reference.seq, seq)
-            .map_err(|e| e.to_string())?;
+    for ((name, _), decision) in reads.iter().zip(decisions) {
+        let decision = decision.map_err(|e| e.to_string())?;
         accepted += usize::from(decision.accept);
         println!(
             "{name}\t{}\t{}",
@@ -369,8 +394,9 @@ mod tests {
         ])
         .unwrap();
 
-        // The engine-batched path maps the same inputs, on both kernels.
-        for kernel in ["genasm", "gotoh"] {
+        // The engine-batched path maps the same inputs, on every kernel
+        // (scalar and lockstep are the A/B pair of the DC dispatch).
+        for kernel in ["genasm", "gotoh", "scalar", "lockstep"] {
             run(vec![
                 "batch".into(),
                 "--ref".into(),
@@ -384,7 +410,40 @@ mod tests {
             ])
             .unwrap();
         }
+
+        // The filter runs on both scan kernels.
+        for kernel in ["scalar", "lockstep"] {
+            run(vec![
+                "filter".into(),
+                "--ref".into(),
+                format!("{prefix}_ref.fa"),
+                "--reads".into(),
+                format!("{prefix}_reads.fq"),
+                "--threshold".into(),
+                "20".into(),
+                "--kernel".into(),
+                kernel.into(),
+            ])
+            .unwrap();
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filter_rejects_unknown_kernel() {
+        let err = run(vec![
+            "filter".into(),
+            "--ref".into(),
+            "missing.fa".into(),
+            "--reads".into(),
+            "missing.fq".into(),
+            "--threshold".into(),
+            "3".into(),
+            "--kernel".into(),
+            "shouji".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown kernel"), "{err}");
     }
 
     #[test]

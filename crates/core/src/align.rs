@@ -16,11 +16,11 @@
 use crate::alphabet::{Alphabet, Dna, WithSentinel, SENTINEL};
 use crate::bitap;
 use crate::cigar::{Cigar, CigarOp};
-use crate::dc::{window_dc, window_dc_into, DcArena, MAX_WINDOW};
-use crate::dc_sene::window_dc_sene;
-use crate::dc_wide::{window_dc_wide, MAX_WIDE_WINDOW};
+use crate::dc::{window_dc_into, DcArena, MAX_WINDOW};
+use crate::dc_sene::window_dc_sene_into;
+use crate::dc_wide::{window_dc_wide_into, WideArena, MAX_WIDE_WINDOW};
 use crate::error::AlignError;
-use crate::tb::{window_traceback, TracebackOrder, WindowTraceback};
+use crate::tb::{window_traceback, TracebackOrder, TracebackSource};
 
 /// Which window kernel stores the traceback state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -195,12 +195,15 @@ pub struct WindowStats {
 /// aligns many reads (the batch engine's per-worker state) allocates
 /// nothing in the DC hot loop once warmed up.
 ///
-/// Arena reuse applies to the default [`WindowKernel::EdgeStore`]
-/// single-word kernel (`W <= 64`, the paper's hardware configuration);
-/// the SENE and wide kernels fall back to per-window allocation.
+/// Arena reuse covers every window kernel: the default
+/// [`WindowKernel::EdgeStore`] single-word kernel and the SENE kernel
+/// share one [`DcArena`] row pool, and wide windows (`W > 64`) recycle
+/// their multi-word rows through an embedded
+/// [`WideArena`](crate::dc_wide::WideArena).
 #[derive(Debug, Default)]
 pub struct AlignArena {
-    dc: DcArena,
+    pub(crate) dc: DcArena,
+    pub(crate) wide: WideArena,
 }
 
 impl AlignArena {
@@ -209,7 +212,9 @@ impl AlignArena {
         AlignArena::default()
     }
 
-    /// Total 64-bit words of DC row capacity currently retained.
+    /// Total 64-bit words of single-word DC row capacity currently
+    /// retained (wide-window rows are tracked separately by
+    /// [`WideArena::retained_rows`](crate::dc_wide::WideArena)).
     pub fn retained_words(&self) -> usize {
         self.dc.retained_words()
     }
@@ -342,14 +347,79 @@ impl GenAsmAligner {
         stats: &mut WindowStats,
         arena: &mut AlignArena,
     ) -> Result<Alignment, AlignError> {
-        self.config.validate()?;
+        let mut walk = WindowWalk::new(&self.config, text, pattern)?;
+        drive_window_walk::<A>(&mut walk, arena)?;
+        *stats = *walk.stats();
+        Ok(walk.finish())
+    }
+}
+
+/// One window of work requested by a [`WindowWalk`]: the sub-text and
+/// sub-pattern slices GenASM-DC should process, the per-window error
+/// budget, and the traceback consume limit (`W − O` for interior
+/// windows, unbounded for the final one).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowRequest<'a> {
+    /// The window's sub-text (reference side).
+    pub sub_text: &'a [u8],
+    /// The window's sub-pattern (read side).
+    pub sub_pattern: &'a [u8],
+    /// Maximum distance rows GenASM-DC may compute for this window.
+    pub budget: usize,
+    /// Characters the traceback may consume (Algorithm 2 line 11).
+    pub consume_limit: usize,
+    /// `true` for the sentinel-terminated final window of global mode,
+    /// which must run through
+    /// [`WindowWalk::apply_global_final`] instead of a plain kernel.
+    pub global_final: bool,
+}
+
+/// Incremental per-window state of one alignment: the Algorithm 2
+/// window loop (`cur_pattern` / `cur_text` cursors, CIGAR accumulation,
+/// overlap bookkeeping) decoupled from the kernel that computes each
+/// window.
+///
+/// [`GenAsmAligner::align`] drives a walk to completion with the scalar
+/// kernels via [`drive_window_walk`]; the batch engine's lock-step
+/// scheduler instead gathers `next_window` requests from several
+/// in-flight walks, runs them through the multi-lane DC kernel, and
+/// feeds each result back with [`apply`](Self::apply). Both paths
+/// execute the identical windowing decisions, so they cannot diverge.
+#[derive(Debug)]
+pub struct WindowWalk<'a> {
+    config: &'a GenAsmConfig,
+    text: &'a [u8],
+    pattern: &'a [u8],
+    cur_pattern: usize, // Algorithm 2 line 1
+    cur_text: usize,
+    cigar: Cigar,
+    stats: WindowStats,
+    /// `(budget, consume_limit)` of the window handed out by the last
+    /// [`next_window`](Self::next_window) call, awaiting `apply`.
+    pending: Option<(usize, usize)>,
+    done: bool,
+}
+
+impl<'a> WindowWalk<'a> {
+    /// Starts a walk, validating the configuration and inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`] raises before its
+    /// first window.
+    pub fn new(
+        config: &'a GenAsmConfig,
+        text: &'a [u8],
+        pattern: &'a [u8],
+    ) -> Result<Self, AlignError> {
+        config.validate()?;
         if pattern.is_empty() {
             return Err(AlignError::EmptyPattern);
         }
         if text.is_empty() {
             return Err(AlignError::EmptyText);
         }
-        if self.config.mode == AlignmentMode::Global {
+        if config.mode == AlignmentMode::Global {
             // Global mode appends the reserved sentinel byte to the
             // final window; a sentinel byte in user input would alias
             // it, so reject it here regardless of the alphabet.
@@ -362,136 +432,155 @@ impl GenAsmAligner {
                 }
             }
         }
-
-        let w = self.config.window;
-        let o = self.config.overlap;
-        let stride = w - o;
-        let m = pattern.len();
-        let n = text.len();
-
-        let mut cur_pattern = 0usize; // Algorithm 2 line 1
-        let mut cur_text = 0usize;
-        let mut cigar = Cigar::new();
-
-        while cur_pattern < m {
-            if cur_text >= n {
-                // Text exhausted: remaining pattern characters can only
-                // be insertions.
-                cigar.push_run(CigarOp::Ins, (m - cur_pattern) as u32);
-                break;
-            }
-            let remaining = m - cur_pattern;
-            let is_final = remaining <= stride;
-
-            // Global mode: the final window is sentinel-terminated so
-            // the minimum-distance traceback is forced through the text
-            // end instead of greedily substituting and stranding a text
-            // tail.
-            if self.config.mode == AlignmentMode::Global && is_final && remaining < w {
-                let (ops, text_used, pattern_used, words, edits) =
-                    self.global_final_window::<A>(text, pattern, cur_text, cur_pattern)?;
-                stats.windows += 1;
-                stats.bitvector_words += words;
-                stats.window_edits += edits;
-                for op in ops {
-                    cigar.push(op);
-                }
-                cur_pattern += pattern_used;
-                cur_text += text_used;
-                if pattern_used == 0 && text_used == 0 {
-                    return Err(AlignError::ExceededErrorBudget { budget: remaining });
-                }
-                continue;
-            }
-
-            let sub_pattern = &pattern[cur_pattern..(cur_pattern + w).min(m)]; // line 3
-            let sub_text = &text[cur_text..(cur_text + w).min(n)]; // line 4
-            let budget = self
-                .config
-                .max_window_error
-                .unwrap_or(sub_pattern.len())
-                .min(sub_pattern.len());
-
-            // Interior windows consume at most W - O characters so the
-            // next window overlaps by O (Algorithm 2 line 11). Once the
-            // remaining pattern fits within one stride this is the final
-            // window and the walk runs until the pattern is exhausted.
-            let consume_limit = if is_final { usize::MAX } else { stride };
-
-            // Window kernel dispatch: single-word for W <= 64 (the
-            // hardware configuration), multi-word for wider windows.
-            let (tb, window_distance, stored_words): (WindowTraceback, usize, usize) = if w
-                <= MAX_WINDOW
-                && self.config.kernel == WindowKernel::Sene
-            {
-                let dc = window_dc_sene::<A>(sub_text, sub_pattern, budget)?;
-                let d = dc
-                    .edit_distance
-                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                let tb = window_traceback(&dc.bitvectors, d, consume_limit, &self.config.order)?;
-                (tb, d, dc.bitvectors.stored_words())
-            } else if w <= MAX_WINDOW {
-                let d = window_dc_into::<A>(sub_text, sub_pattern, budget, &mut arena.dc)? // line 5
-                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                let tb =
-                    window_traceback(arena.dc.bitvectors(), d, consume_limit, &self.config.order)?;
-                (tb, d, arena.dc.bitvectors().stored_words())
-            } else {
-                let dc = window_dc_wide::<A>(sub_text, sub_pattern, budget)?;
-                let d = dc
-                    .edit_distance
-                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                let tb = window_traceback(&dc.bitvectors, d, consume_limit, &self.config.order)?;
-                (tb, d, dc.bitvectors.stored_words())
-            };
-
-            stats.windows += 1;
-            stats.bitvector_words += stored_words;
-            stats.window_edits += window_distance;
-
-            for &op in &tb.ops {
-                cigar.push(op);
-            }
-            cur_pattern += tb.pattern_consumed; // line 31
-            cur_text += tb.text_consumed; // line 32
-
-            if tb.pattern_consumed == 0 && tb.text_consumed == 0 {
-                // No forward progress (possible only with a degenerate
-                // custom traceback order): report rather than loop.
-                return Err(AlignError::ExceededErrorBudget { budget });
-            }
-        }
-
-        let edit_distance = cigar.edit_distance();
-        let text_consumed = cigar.text_len();
-        let pattern_consumed = cigar.pattern_len();
-        debug_assert_eq!(pattern_consumed, m);
-        Ok(Alignment {
-            cigar,
-            edit_distance,
-            text_consumed,
-            pattern_consumed,
+        Ok(WindowWalk {
+            config,
+            text,
+            pattern,
+            cur_pattern: 0,
+            cur_text: 0,
+            cigar: Cigar::new(),
+            stats: WindowStats::default(),
+            pending: None,
+            done: false,
         })
     }
-}
 
-impl GenAsmAligner {
-    /// Runs the sentinel-terminated final window of global mode and
-    /// returns `(ops, real_text_consumed, real_pattern_consumed,
-    /// bitvector_words, window_edits)` with sentinel-touching
-    /// operations stripped.
-    #[allow(clippy::type_complexity)]
-    fn global_final_window<A: Alphabet>(
-        &self,
-        text: &[u8],
-        pattern: &[u8],
-        cur_text: usize,
-        cur_pattern: usize,
-    ) -> Result<(Vec<CigarOp>, usize, usize, usize, usize), AlignError> {
+    /// The walk's aligner configuration.
+    pub fn config(&self) -> &GenAsmConfig {
+        self.config
+    }
+
+    /// `true` once the pattern is fully consumed; `next_window` will
+    /// return `None` and [`finish`](Self::finish) may be called.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Window-decomposition statistics accumulated so far.
+    pub fn stats(&self) -> &WindowStats {
+        &self.stats
+    }
+
+    /// The next window this alignment needs, or `None` when the walk is
+    /// complete. Tail pattern characters left after the text is
+    /// exhausted are charged as insertions internally (they need no
+    /// kernel work).
+    pub fn next_window(&mut self) -> Option<WindowRequest<'a>> {
+        if self.done {
+            return None;
+        }
         let w = self.config.window;
-        let n = text.len();
-        let real_pattern = &pattern[cur_pattern..];
-        let real_text = &text[cur_text..(cur_text + w - 1).min(n)];
+        let stride = w - self.config.overlap;
+        let m = self.pattern.len();
+        let n = self.text.len();
+        if self.cur_pattern >= m {
+            self.done = true;
+            return None;
+        }
+        if self.cur_text >= n {
+            // Text exhausted: remaining pattern characters can only be
+            // insertions.
+            self.cigar
+                .push_run(CigarOp::Ins, (m - self.cur_pattern) as u32);
+            self.cur_pattern = m;
+            self.done = true;
+            return None;
+        }
+        let remaining = m - self.cur_pattern;
+        let is_final = remaining <= stride;
+
+        // Global mode: the final window is sentinel-terminated so the
+        // minimum-distance traceback is forced through the text end
+        // instead of greedily substituting and stranding a text tail.
+        if self.config.mode == AlignmentMode::Global && is_final && remaining < w {
+            return Some(WindowRequest {
+                sub_text: &self.text[self.cur_text..],
+                sub_pattern: &self.pattern[self.cur_pattern..],
+                budget: remaining,
+                consume_limit: usize::MAX,
+                global_final: true,
+            });
+        }
+
+        let sub_pattern = &self.pattern[self.cur_pattern..(self.cur_pattern + w).min(m)]; // line 3
+        let sub_text = &self.text[self.cur_text..(self.cur_text + w).min(n)]; // line 4
+        let budget = self
+            .config
+            .max_window_error
+            .unwrap_or(sub_pattern.len())
+            .min(sub_pattern.len());
+
+        // Interior windows consume at most W - O characters so the
+        // next window overlaps by O (Algorithm 2 line 11). Once the
+        // remaining pattern fits within one stride this is the final
+        // window and the walk runs until the pattern is exhausted.
+        let consume_limit = if is_final { usize::MAX } else { stride };
+        self.pending = Some((budget, consume_limit));
+        Some(WindowRequest {
+            sub_text,
+            sub_pattern,
+            budget,
+            consume_limit,
+            global_final: false,
+        })
+    }
+
+    /// Feeds back the GenASM-DC outcome of the window handed out by the
+    /// last [`next_window`](Self::next_window): runs GenASM-TB over the
+    /// stored bitvectors and advances the cursors.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::ExceededErrorBudget`] when `distance` is `None`
+    /// (no alignment within the window budget) or the traceback makes
+    /// no forward progress (possible only with degenerate custom case
+    /// orders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window request is pending.
+    pub fn apply<S: TracebackSource>(
+        &mut self,
+        distance: Option<usize>,
+        bv: &S,
+    ) -> Result<(), AlignError> {
+        let (budget, consume_limit) = self
+            .pending
+            .take()
+            .expect("apply called without a pending window request");
+        let d = distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
+        let tb = window_traceback(bv, d, consume_limit, &self.config.order)?;
+        self.stats.windows += 1;
+        self.stats.bitvector_words += bv.stored_words();
+        self.stats.window_edits += d;
+        for &op in &tb.ops {
+            self.cigar.push(op);
+        }
+        self.cur_pattern += tb.pattern_consumed; // line 31
+        self.cur_text += tb.text_consumed; // line 32
+        if tb.pattern_consumed == 0 && tb.text_consumed == 0 {
+            // No forward progress: report rather than loop.
+            return Err(AlignError::ExceededErrorBudget { budget });
+        }
+        Ok(())
+    }
+
+    /// Runs the sentinel-terminated final window of global mode
+    /// (requests flagged [`WindowRequest::global_final`]) end to end:
+    /// kernel, traceback, and sentinel-op stripping.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GenAsmAligner::align`] in global mode.
+    pub fn apply_global_final<A: Alphabet>(
+        &mut self,
+        arena: &mut AlignArena,
+    ) -> Result<(), AlignError> {
+        let w = self.config.window;
+        let n = self.text.len();
+        let remaining = self.pattern.len() - self.cur_pattern;
+        let real_pattern = &self.pattern[self.cur_pattern..];
+        let real_text = &self.text[self.cur_text..(self.cur_text + w - 1).min(n)];
 
         let mut sub_pattern = Vec::with_capacity(real_pattern.len() + 1);
         sub_pattern.extend_from_slice(real_pattern);
@@ -505,22 +594,25 @@ impl GenAsmAligner {
             .max_window_error
             .unwrap_or(sub_pattern.len())
             .min(sub_pattern.len());
-        let (tb, window_distance, stored_words) =
-            if sub_pattern.len() <= MAX_WINDOW && sub_text.len() <= MAX_WINDOW {
-                let dc = window_dc::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
-                let d = dc
-                    .edit_distance
+        let (tb, window_distance, stored_words) = if sub_pattern.len() <= MAX_WINDOW
+            && sub_text.len() <= MAX_WINDOW
+        {
+            let d =
+                window_dc_into::<WithSentinel<A>>(&sub_text, &sub_pattern, budget, &mut arena.dc)?
                     .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
-                (tb, d, dc.bitvectors.stored_words())
-            } else {
-                let dc = window_dc_wide::<WithSentinel<A>>(&sub_text, &sub_pattern, budget)?;
-                let d = dc
-                    .edit_distance
-                    .ok_or(AlignError::ExceededErrorBudget { budget })?;
-                let tb = window_traceback(&dc.bitvectors, d, usize::MAX, &self.config.order)?;
-                (tb, d, dc.bitvectors.stored_words())
-            };
+            let tb = window_traceback(arena.dc.bitvectors(), d, usize::MAX, &self.config.order)?;
+            (tb, d, arena.dc.bitvectors().stored_words())
+        } else {
+            let d = window_dc_wide_into::<WithSentinel<A>>(
+                &sub_text,
+                &sub_pattern,
+                budget,
+                &mut arena.wide,
+            )?
+            .ok_or(AlignError::ExceededErrorBudget { budget })?;
+            let tb = window_traceback(arena.wide.bitvectors(), d, usize::MAX, &self.config.order)?;
+            (tb, d, arena.wide.bitvectors().stored_words())
+        };
 
         // Strip operations that touch either sentinel; both sit at the
         // very end of their sequence, so stripping cannot split runs.
@@ -542,8 +634,83 @@ impl GenAsmAligner {
         }
         let text_used = ops.iter().filter(|op| op.consumes_text()).count();
         let pattern_used = ops.iter().filter(|op| op.consumes_pattern()).count();
-        Ok((ops, text_used, pattern_used, stored_words, window_distance))
+
+        self.stats.windows += 1;
+        self.stats.bitvector_words += stored_words;
+        self.stats.window_edits += window_distance;
+        for op in ops {
+            self.cigar.push(op);
+        }
+        self.cur_pattern += pattern_used;
+        self.cur_text += text_used;
+        if pattern_used == 0 && text_used == 0 {
+            return Err(AlignError::ExceededErrorBudget { budget: remaining });
+        }
+        Ok(())
     }
+
+    /// Consumes the finished walk and assembles the [`Alignment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk is not done (`next_window` has not returned
+    /// `None` yet).
+    pub fn finish(self) -> Alignment {
+        assert!(self.done, "finish called on an unfinished window walk");
+        let edit_distance = self.cigar.edit_distance();
+        let text_consumed = self.cigar.text_len();
+        let pattern_consumed = self.cigar.pattern_len();
+        debug_assert_eq!(pattern_consumed, self.pattern.len());
+        Alignment {
+            cigar: self.cigar,
+            edit_distance,
+            text_consumed,
+            pattern_consumed,
+        }
+    }
+}
+
+/// Drives a [`WindowWalk`] to completion with the scalar window
+/// kernels, dispatching each window by the walk's configuration:
+/// single-word edge-store or SENE for `W <= 64`, multi-word for wider
+/// windows — all arena-backed. This is the sequential aligner's loop;
+/// the engine's lock-step scheduler uses it as the straggler fallback
+/// for walks it cannot batch.
+///
+/// # Errors
+///
+/// Same conditions as [`GenAsmAligner::align`].
+pub fn drive_window_walk<A: Alphabet>(
+    walk: &mut WindowWalk<'_>,
+    arena: &mut AlignArena,
+) -> Result<(), AlignError> {
+    while let Some(req) = walk.next_window() {
+        if req.global_final {
+            walk.apply_global_final::<A>(arena)?;
+            continue;
+        }
+        // Window kernel dispatch: single-word for W <= 64 (the
+        // hardware configuration), multi-word for wider windows.
+        let w = walk.config().window;
+        if w <= MAX_WINDOW && walk.config().kernel == WindowKernel::Sene {
+            let d =
+                window_dc_sene_into::<A>(req.sub_text, req.sub_pattern, req.budget, &mut arena.dc)?;
+            let view = arena.dc.sene_view();
+            walk.apply(d, &view)?;
+        } else if w <= MAX_WINDOW {
+            let d = window_dc_into::<A>(req.sub_text, req.sub_pattern, req.budget, &mut arena.dc)?; // line 5
+            walk.apply(d, arena.dc.bitvectors())?;
+        } else {
+            let d = window_dc_wide_into::<A>(
+                req.sub_text,
+                req.sub_pattern,
+                req.budget,
+                &mut arena.wide,
+            )?;
+            walk.apply(d, arena.wide.bitvectors())?;
+        }
+    }
+    Ok(())
 }
 
 impl Default for GenAsmAligner {

@@ -293,6 +293,207 @@ pub fn find_all_multi_word<A: Alphabet>(
     Ok(matches)
 }
 
+// ---------------------------------------------------------------------
+// Lock-step batched scans
+// ---------------------------------------------------------------------
+
+/// Lanes of the lock-step scan: one 256-bit AVX2 vector of `u64`
+/// status words (see [`dc_multi`](crate::dc_multi) for the same choice
+/// in the window kernel).
+const SCAN_LANES: usize = 4;
+
+/// [`matches_within`] over a batch of `(text, pattern)` pairs,
+/// processing up to [`SCAN_LANES`] single-word scans in lock step: the
+/// Bitap rows of independent pairs sit in `[u64; LANES]` slots so one
+/// pass of the text loop advances all of them (the distance-only batch
+/// mode of the pre-alignment-filtering use case, §8).
+///
+/// Every pair's result — including error cases — is identical to
+/// calling [`matches_within`] on it alone. Pairs whose pattern exceeds
+/// 64 characters use the scalar multi-word scan.
+pub fn matches_within_many<A: Alphabet>(
+    pairs: &[(&[u8], &[u8])],
+    k: usize,
+) -> Vec<Result<bool, AlignError>> {
+    batch_scan::<A, SCAN_LANES, true>(pairs, k)
+        .into_iter()
+        .map(|r| r.map(|m| m.is_some()))
+        .collect()
+}
+
+/// [`find_best`] over a batch of pairs, lock-stepped like
+/// [`matches_within_many`]. Per-pair results are identical to
+/// [`find_best`].
+pub fn find_best_many<A: Alphabet>(
+    pairs: &[(&[u8], &[u8])],
+    k: usize,
+) -> Vec<Result<Option<BitapMatch>, AlignError>> {
+    batch_scan::<A, SCAN_LANES, false>(pairs, k)
+}
+
+/// Shared batching driver: groups lock-step-eligible pairs into lanes
+/// and falls back to the scalar scans for the rest.
+fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
+    pairs: &[(&[u8], &[u8])],
+    k: usize,
+) -> Vec<Result<Option<BitapMatch>, AlignError>> {
+    let mut results: Vec<Option<Result<Option<BitapMatch>, AlignError>>> = vec![None; pairs.len()];
+    let mut group: Vec<usize> = Vec::with_capacity(L);
+    let flush =
+        |group: &mut Vec<usize>,
+         results: &mut Vec<Option<Result<Option<BitapMatch>, AlignError>>>| {
+            if group.is_empty() {
+                return;
+            }
+            let lanes: Vec<(&[u8], &[u8])> = group.iter().map(|&idx| pairs[idx]).collect();
+            for (idx, outcome) in group.drain(..).zip(scan_lockstep::<A, L, EARLY>(&lanes, k)) {
+                results[idx] = Some(outcome);
+            }
+        };
+    for (idx, &(text, pattern)) in pairs.iter().enumerate() {
+        if pattern.is_empty() || pattern.len() > 64 || text.is_empty() {
+            // Scalar fallback: multi-word patterns, plus error cases so
+            // the scalar path reports them verbatim.
+            results[idx] = Some(if EARLY {
+                matches_within::<A>(text, pattern, k).map(|hit| {
+                    hit.then_some(BitapMatch {
+                        position: 0,
+                        distance: 0,
+                    })
+                })
+            } else {
+                find_best::<A>(text, pattern, k)
+            });
+        } else {
+            group.push(idx);
+            if group.len() == L {
+                flush(&mut group, &mut results);
+            }
+        }
+    }
+    flush(&mut group, &mut results);
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every pair is scanned exactly once"))
+        .collect()
+}
+
+/// The lock-step scan proper: up to `L` single-word pairs, text loops
+/// aligned at position 0 with the high-index side padded by all-ones
+/// masks (under which every `R[d]` provably idles at its `ones << d`
+/// initialization, so ragged text lengths cost no branches).
+///
+/// With `EARLY`, a lane resolves at its first hit (the
+/// [`matches_within`] contract — the reported position/distance are
+/// the first found, not the minimum); otherwise the full scan runs and
+/// the minimal `(distance, position)` match is reported per lane, the
+/// [`find_best`] contract.
+fn scan_lockstep<A: Alphabet, const L: usize, const EARLY: bool>(
+    lanes: &[(&[u8], &[u8])],
+    k: usize,
+) -> Vec<Result<Option<BitapMatch>, AlignError>> {
+    use crate::dc::boundary_state;
+    assert!(!lanes.is_empty() && lanes.len() <= L);
+    let mut outcomes: Vec<Option<Result<Option<BitapMatch>, AlignError>>> = vec![None; lanes.len()];
+    let mut undecided = lanes.len();
+    let mut pms: Vec<Option<PatternBitmasks64<A>>> = Vec::with_capacity(lanes.len());
+    for (lane, &(_, pattern)) in lanes.iter().enumerate() {
+        match PatternBitmasks64::<A>::new(pattern) {
+            Ok(pm) => pms.push(Some(pm)),
+            Err(e) => {
+                // The same per-pattern error the scalar scan reports.
+                outcomes[lane] = Some(Err(e));
+                undecided -= 1;
+                pms.push(None);
+            }
+        }
+    }
+    if undecided == 0 {
+        return outcomes.into_iter().map(Option::unwrap).collect();
+    }
+    let ks: Vec<usize> = lanes
+        .iter()
+        .map(|&(_, p)| clamp_threshold(k, p.len()))
+        .collect();
+    let msbs: Vec<u64> = lanes.iter().map(|&(_, p)| 1u64 << (p.len() - 1)).collect();
+    let max_n = lanes.iter().map(|&(t, _)| t.len()).max().unwrap();
+    let k_rows = ks.iter().copied().max().unwrap();
+
+    let mut r: Vec<[u64; L]> = (0..=k_rows).map(|d| [boundary_state(d); L]).collect();
+    let mut old_r = r.clone();
+    let mut best: Vec<Option<BitapMatch>> = vec![None; lanes.len()];
+
+    for i in (0..max_n).rev() {
+        // Gather this step's pattern masks; inert lanes (decided, out
+        // of text, or errored) feed all-ones padding.
+        let mut pm = [u64::MAX; L];
+        for (lane, &(text, _)) in lanes.iter().enumerate() {
+            if outcomes[lane].is_some() || i >= text.len() {
+                continue;
+            }
+            match pms[lane]
+                .as_ref()
+                .expect("undecided lane has masks")
+                .mask(text[i])
+            {
+                Some(mask) => pm[lane] = mask,
+                None => {
+                    outcomes[lane] = Some(Err(AlignError::InvalidSymbol {
+                        pos: i,
+                        byte: text[i],
+                    }));
+                    undecided -= 1;
+                }
+            }
+        }
+        if undecided == 0 {
+            break;
+        }
+        std::mem::swap(&mut r, &mut old_r);
+        for lane in 0..L {
+            r[0][lane] = (old_r[0][lane] << 1) | pm[lane];
+        }
+        for d in 1..=k_rows {
+            for lane in 0..L {
+                let deletion = old_r[d - 1][lane];
+                let substitution = deletion << 1;
+                let insertion = r[d - 1][lane] << 1;
+                let matched = (old_r[d][lane] << 1) | pm[lane];
+                r[d][lane] = deletion & substitution & insertion & matched;
+            }
+        }
+        for (lane, &(text, _)) in lanes.iter().enumerate() {
+            if outcomes[lane].is_some() || i >= text.len() {
+                continue;
+            }
+            if let Some(d) = (0..=ks[lane]).find(|&d| r[d][lane] & msbs[lane] == 0) {
+                let hit = BitapMatch {
+                    position: i,
+                    distance: d,
+                };
+                if EARLY {
+                    outcomes[lane] = Some(Ok(Some(hit)));
+                    undecided -= 1;
+                } else {
+                    // The scan walks positions in descending order, so
+                    // on a distance tie the later (smaller) position
+                    // wins — find_best's tie-break.
+                    let better = best[lane].is_none_or(|b| d <= b.distance);
+                    if better {
+                        best[lane] = Some(hit);
+                    }
+                }
+            }
+        }
+    }
+
+    outcomes
+        .into_iter()
+        .zip(best)
+        .map(|(outcome, best)| outcome.unwrap_or(Ok(best)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +651,51 @@ mod tests {
         // Pattern is text plus 2 trailing chars: distance 2 via insertions.
         let best = find_best::<Dna>(b"ACGT", b"ACGTGG", 2).unwrap().unwrap();
         assert_eq!(best.distance, 2);
+    }
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_scans_match_scalar_per_pair() {
+        // Ragged texts and patterns, mixed hit/miss/error lanes, plus a
+        // multi-word lane that must take the scalar fallback.
+        let texts: Vec<Vec<u8>> = (0..9).map(|i| dna(20 + i * 17, 91 + i as u64)).collect();
+        let long_pattern = dna(80, 7);
+        let bad_text = b"ACGTNACGT".to_vec();
+        let mut pairs: Vec<(&[u8], &[u8])> = Vec::new();
+        for (i, t) in texts.iter().enumerate() {
+            let take = 4 + (i * 5) % 18;
+            pairs.push((t.as_slice(), &texts[(i + 3) % texts.len()][..take]));
+            pairs.push((t.as_slice(), &t[t.len() / 3..t.len() / 3 + take.min(12)]));
+        }
+        pairs.push((bad_text.as_slice(), b"ACGT"));
+        pairs.push((texts[0].as_slice(), long_pattern.as_slice()));
+        for k in 0..4usize {
+            let many = matches_within_many::<Dna>(&pairs, k);
+            let best_many = find_best_many::<Dna>(&pairs, k);
+            for (idx, &(t, p)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    many[idx],
+                    matches_within::<Dna>(t, p, k),
+                    "matches_within idx={idx} k={k}"
+                );
+                assert_eq!(
+                    best_many[idx],
+                    find_best::<Dna>(t, p, k),
+                    "find_best idx={idx} k={k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,8 +38,11 @@ pub const MAX_WINDOW: usize = 64;
 pub struct WindowBitvectors {
     pattern_len: usize,
     text_len: usize,
-    /// Row-major storage: rows[d] holds n_window words per kind.
+    /// Row-major storage: match_rows[d] holds n_window words.
     match_rows: Vec<Vec<u64>>,
+    /// Gap rows exist only for `d >= 1`, so they are stored at index
+    /// `d - 1` — row 0 has no insertion/deletion bitvectors and no
+    /// placeholder is materialized for it.
     ins_rows: Vec<Vec<u64>>,
     del_rows: Vec<Vec<u64>>,
 }
@@ -84,7 +87,7 @@ impl WindowBitvectors {
         if d == 0 {
             u64::MAX
         } else {
-            self.ins_rows[d][i]
+            self.ins_rows[d - 1][i]
         }
     }
 
@@ -99,7 +102,7 @@ impl WindowBitvectors {
         if d == 0 {
             u64::MAX
         } else {
-            self.del_rows[d][i]
+            self.del_rows[d - 1][i]
         }
     }
 
@@ -121,9 +124,11 @@ impl WindowBitvectors {
     /// Number of 64-bit bitvector words GenASM-DC wrote for this window
     /// (three kinds per `(i, d)` with `d >= 1`, one for `d = 0`): the
     /// quantity that sizes TB-SRAM traffic in the hardware model.
+    /// Counted from the rows actually materialized, so trimmed storage
+    /// and the accounting can never drift apart.
     pub fn stored_words(&self) -> usize {
-        let gap_rows = self.rows().saturating_sub(1);
-        self.text_len * (1 + 3 * gap_rows)
+        let words = |rows: &[Vec<u64>]| rows.iter().map(Vec::len).sum::<usize>();
+        words(&self.match_rows) + words(&self.ins_rows) + words(&self.del_rows)
     }
 }
 
@@ -154,10 +159,15 @@ pub struct DcWindow {
 #[derive(Debug, Default)]
 pub struct DcArena {
     bitvectors: WindowBitvectors,
+    /// `R` entry rows of the most recent SENE run
+    /// ([`window_dc_sene_into`](crate::dc_sene::window_dc_sene_into));
+    /// recycled through the same spare pool as the edge rows, so one
+    /// arena serves both kernels without doubling its footprint.
+    pub(crate) sene_rows: Vec<Vec<u64>>,
     /// Retired row vectors available for reuse.
     spare: Vec<Vec<u64>>,
     /// Resolved per-text-position pattern bitmasks.
-    text_pm: Vec<u64>,
+    pub(crate) text_pm: Vec<u64>,
     /// The rolling `R[d-1]` / `R[d]` scratch rows.
     prev_row: Vec<u64>,
     cur_row: Vec<u64>,
@@ -186,6 +196,7 @@ impl DcArena {
             &self.bitvectors.match_rows,
             &self.bitvectors.ins_rows,
             &self.bitvectors.del_rows,
+            &self.sene_rows,
         ]
         .into_iter()
         .flatten()
@@ -201,25 +212,50 @@ impl DcArena {
     /// mixed window sizes: it only grows a row when *no* pooled row is
     /// big enough, so total retained capacity converges instead of
     /// creeping as small rows get resized while large ones sit idle.
-    fn recycle(&mut self) {
+    pub(crate) fn recycle(&mut self) {
         for rows in [
             &mut self.bitvectors.match_rows,
             &mut self.bitvectors.ins_rows,
             &mut self.bitvectors.del_rows,
+            &mut self.sene_rows,
         ] {
             self.spare
                 .extend(rows.drain(..).filter(|r| r.capacity() > 0));
         }
-        self.spare.sort_unstable_by_key(Vec::capacity);
+        // Steady state (uniform window sizes) keeps the pool sorted
+        // already; skip the per-window sort then.
+        if !self
+            .spare
+            .windows(2)
+            .all(|w| w[0].capacity() <= w[1].capacity())
+        {
+            self.spare.sort_unstable_by_key(Vec::capacity);
+        }
     }
 
-    /// A zeroed row of `n` words, reusing the largest pooled row when
-    /// one is present.
-    fn fresh_row(&mut self, n: usize) -> Vec<u64> {
+    /// Records the window shape of the current run so row views (edge
+    /// or SENE) can be sized without re-deriving it.
+    pub(crate) fn set_shape(&mut self, pattern_len: usize, text_len: usize) {
+        self.bitvectors.pattern_len = pattern_len;
+        self.bitvectors.text_len = text_len;
+    }
+
+    /// The window shape `(pattern_len, text_len)` of the current run.
+    pub(crate) fn shape(&self) -> (usize, usize) {
+        (self.bitvectors.pattern_len, self.bitvectors.text_len)
+    }
+
+    /// A row of `n` words, reusing the largest pooled row when one is
+    /// present. Every kernel writes each slot of a row before reading
+    /// it, so pooled rows of the right length are handed back as-is
+    /// (stale contents, never read) to skip the zero-fill.
+    pub(crate) fn fresh_row(&mut self, n: usize) -> Vec<u64> {
         match self.spare.pop() {
             Some(mut row) => {
-                row.clear();
-                row.resize(n, 0);
+                if row.len() != n {
+                    row.clear();
+                    row.resize(n, 0);
+                }
                 row
             }
             None => vec![0u64; n],
@@ -286,6 +322,53 @@ pub fn window_dc_into<A: Alphabet>(
     k_max: usize,
     arena: &mut DcArena,
 ) -> Result<Option<usize>, AlignError> {
+    run_window_dc::<A, true>(text, pattern, k_max, arena)
+}
+
+/// Distance-only GenASM-DC: the identical recurrence and edit distance
+/// as [`window_dc_into`], but no intermediate bitvectors are stored —
+/// only the rolling `R[d-1]` / `R[d]` rows live, so the kernel touches
+/// `O(n_window)` words per distance row instead of writing four.
+///
+/// This is the mode the pre-alignment-filtering and
+/// edit-distance-calculation use cases run (paper use cases 2–3, §8):
+/// traceback is never walked there, so the TB-SRAM writes are pure
+/// overhead. After a distance-only run the arena's stored bitvectors
+/// are empty.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`].
+pub fn window_dc_distance_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut DcArena,
+) -> Result<Option<usize>, AlignError> {
+    run_window_dc::<A, false>(text, pattern, k_max, arena)
+}
+
+/// Allocating convenience wrapper over [`window_dc_distance_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`].
+pub fn window_dc_distance<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+) -> Result<Option<usize>, AlignError> {
+    window_dc_distance_into::<A>(text, pattern, k_max, &mut DcArena::new())
+}
+
+/// Resolves the per-text-position pattern bitmasks into
+/// `arena.text_pm`, validating inputs. Shared prologue of the
+/// edge-storing, distance-only, and SENE kernels.
+pub(crate) fn resolve_window<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    arena: &mut DcArena,
+) -> Result<u64, AlignError> {
     if pattern.is_empty() {
         return Err(AlignError::EmptyPattern);
     }
@@ -296,15 +379,8 @@ pub fn window_dc_into<A: Alphabet>(
         return Err(AlignError::InvalidWindow { w: pattern.len() });
     }
     let pm = PatternBitmasks64::<A>::new(pattern)?;
-    let m = pattern.len();
-    let n = text.len();
-    let msb = 1u64 << (m - 1);
-
     arena.recycle();
-    arena.bitvectors.pattern_len = m;
-    arena.bitvectors.text_len = n;
-
-    // Pattern bitmask per text position, resolved once.
+    arena.set_shape(pattern.len(), text.len());
     arena.text_pm.clear();
     for (i, &byte) in text.iter().enumerate() {
         match pm.mask(byte) {
@@ -312,22 +388,51 @@ pub fn window_dc_into<A: Alphabet>(
             None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
         }
     }
+    Ok(1u64 << (pattern.len() - 1))
+}
+
+/// The `R[d]` boundary state before any text is consumed: a pattern
+/// suffix of length `<= d` can still match by inserting all of its
+/// characters, so bits `0..d` are clear. This extends baseline Bitap,
+/// whose all-ones initialization cannot represent insertions past the
+/// text end; the states coincide from the second iteration on, so the
+/// paper's Figure 3 trace is unaffected.
+#[inline]
+pub(crate) fn boundary_state(d: usize) -> u64 {
+    if d < 64 {
+        u64::MAX << d
+    } else {
+        0
+    }
+}
+
+fn run_window_dc<A: Alphabet, const STORE: bool>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut DcArena,
+) -> Result<Option<usize>, AlignError> {
+    let msb = resolve_window::<A>(text, pattern, arena)?;
+    let n = text.len();
 
     // Row d = 0: R[0][i] = (R[0][i+1] << 1) | PM[text[i]], R[0][n] = ones.
-    // The match bitvector for d = 0 *is* R[0].
-    arena.prev_row.clear();
-    arena.prev_row.resize(n, 0);
+    // The match bitvector for d = 0 *is* R[0]; it has no gap rows, so
+    // nothing is pushed to ins_rows/del_rows for it.
+    if arena.prev_row.len() != n {
+        arena.prev_row.clear();
+        arena.prev_row.resize(n, 0);
+    }
     {
-        let mut row0 = arena.fresh_row(n);
         let mut r = u64::MAX;
         for i in (0..n).rev() {
             r = (r << 1) | arena.text_pm[i];
-            row0[i] = r;
+            arena.prev_row[i] = r;
         }
-        arena.prev_row.copy_from_slice(&row0);
-        arena.bitvectors.match_rows.push(row0);
-        arena.bitvectors.ins_rows.push(Vec::new());
-        arena.bitvectors.del_rows.push(Vec::new());
+        if STORE {
+            let mut row0 = arena.fresh_row(n);
+            row0.copy_from_slice(&arena.prev_row);
+            arena.bitvectors.match_rows.push(row0);
+        }
     }
 
     let mut edit_distance = if arena.prev_row[0] & msb == 0 {
@@ -337,21 +442,28 @@ pub fn window_dc_into<A: Alphabet>(
     };
 
     if edit_distance.is_none() {
-        arena.cur_row.clear();
-        arena.cur_row.resize(n, 0);
+        if arena.cur_row.len() != n {
+            arena.cur_row.clear();
+            arena.cur_row.resize(n, 0);
+        }
         for d in 1..=k_max {
-            let mut match_row = arena.fresh_row(n);
-            let mut ins_row = arena.fresh_row(n);
-            let mut del_row = arena.fresh_row(n);
-            // Boundary: before any text is consumed, a pattern suffix of
-            // length <= d can still match by inserting all of its
-            // characters, so R[d] initializes to ones << d (bits 0..d
-            // clear). This extends baseline Bitap, whose all-ones
-            // initialization cannot represent insertions past the text
-            // end; the states coincide from the second iteration on, so
-            // the paper's Figure 3 trace is unaffected.
-            let init_d = if d < 64 { u64::MAX << d } else { 0 };
-            let init_dm1 = u64::MAX << (d - 1);
+            let mut match_row = if STORE {
+                arena.fresh_row(n)
+            } else {
+                Vec::new()
+            };
+            let mut ins_row = if STORE {
+                arena.fresh_row(n)
+            } else {
+                Vec::new()
+            };
+            let mut del_row = if STORE {
+                arena.fresh_row(n)
+            } else {
+                Vec::new()
+            };
+            let init_d = boundary_state(d);
+            let init_dm1 = boundary_state(d - 1);
             let mut r_next = init_d; // R[d][i+1] (oldR[d])
             for i in (0..n).rev() {
                 let old_r_dm1 = if i + 1 < n {
@@ -364,15 +476,19 @@ pub fn window_dc_into<A: Alphabet>(
                 let insertion = arena.prev_row[i] << 1; // line 17
                 let matched = (r_next << 1) | arena.text_pm[i]; // line 18
                 let r = deletion & substitution & insertion & matched; // line 19
-                match_row[i] = matched;
-                ins_row[i] = insertion;
-                del_row[i] = deletion;
+                if STORE {
+                    match_row[i] = matched;
+                    ins_row[i] = insertion;
+                    del_row[i] = deletion;
+                }
                 arena.cur_row[i] = r;
                 r_next = r;
             }
-            arena.bitvectors.match_rows.push(match_row);
-            arena.bitvectors.ins_rows.push(ins_row);
-            arena.bitvectors.del_rows.push(del_row);
+            if STORE {
+                arena.bitvectors.match_rows.push(match_row);
+                arena.bitvectors.ins_rows.push(ins_row);
+                arena.bitvectors.del_rows.push(del_row);
+            }
             std::mem::swap(&mut arena.prev_row, &mut arena.cur_row);
             if arena.prev_row[0] & msb == 0 {
                 edit_distance = Some(d);
@@ -528,6 +644,39 @@ mod tests {
                 "warm runs must not grow storage"
             );
         }
+    }
+
+    #[test]
+    fn distance_only_matches_full_kernel() {
+        let cases: [(&[u8], &[u8], usize); 5] = [
+            (b"CGTGA", b"CTGA", 4),
+            (b"ACGTAC", b"ACGT", 4),
+            (b"AAAA", b"TTTT", 2),
+            (b"AAAA", b"TTTT", 4),
+            (b"T", b"AAAA", 4),
+        ];
+        let mut arena = DcArena::new();
+        for (text, pattern, k) in cases {
+            let full = window_dc::<Dna>(text, pattern, k).unwrap();
+            let fast = window_dc_distance::<Dna>(text, pattern, k).unwrap();
+            assert_eq!(full.edit_distance, fast);
+            let reused = window_dc_distance_into::<Dna>(text, pattern, k, &mut arena).unwrap();
+            assert_eq!(full.edit_distance, reused);
+            assert_eq!(
+                arena.bitvectors().rows(),
+                0,
+                "distance-only runs store no rows"
+            );
+        }
+    }
+
+    #[test]
+    fn row_zero_has_no_gap_placeholders() {
+        let dc = window_dc::<Dna>(b"ACGTT", b"AGGT", 4).unwrap();
+        // d found = 1: two match rows but exactly one gap row per kind.
+        assert_eq!(dc.bitvectors.rows(), 2);
+        assert_eq!(dc.bitvectors.ins_rows.len(), 1);
+        assert_eq!(dc.bitvectors.del_rows.len(), 1);
     }
 
     #[test]

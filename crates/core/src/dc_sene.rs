@@ -20,8 +20,8 @@
 //! walks.
 
 use crate::alphabet::Alphabet;
+use crate::dc::{boundary_state, resolve_window, DcArena};
 use crate::error::AlignError;
-use crate::pattern::PatternBitmasks64;
 use crate::tb::TracebackSource;
 
 /// Stored `R` entries of one window plus the per-position pattern
@@ -38,26 +38,6 @@ pub struct SeneBitvectors {
 }
 
 impl SeneBitvectors {
-    /// The boundary state `R[d][n] = ones << d`.
-    #[inline]
-    fn initial(d: usize) -> u64 {
-        if d < 64 {
-            u64::MAX << d
-        } else {
-            0
-        }
-    }
-
-    /// `R[d][i]`, synthesizing the boundary at `i == text_len`.
-    #[inline]
-    fn r(&self, i: usize, d: usize) -> u64 {
-        if i >= self.text_len {
-            Self::initial(d)
-        } else {
-            self.r_rows[d][i]
-        }
-    }
-
     /// Number of distance rows stored.
     pub fn rows(&self) -> usize {
         self.r_rows.len()
@@ -71,15 +51,58 @@ impl SeneBitvectors {
     pub fn stored_words(&self) -> usize {
         self.text_len * self.rows()
     }
+
+    /// A borrowing view over the stored entries.
+    fn view(&self) -> SeneView<'_> {
+        SeneView {
+            pattern_len: self.pattern_len,
+            text_len: self.text_len,
+            r_rows: &self.r_rows,
+            text_pm: &self.text_pm,
+        }
+    }
 }
 
-impl TracebackSource for SeneBitvectors {
+/// A borrowed SENE traceback source over `R` entry rows living in a
+/// [`DcArena`] (the output of [`window_dc_sene_into`]) or in an owned
+/// [`SeneBitvectors`]. All edge recomputation happens here so the
+/// owned and arena-backed paths cannot diverge.
+#[derive(Debug, Clone, Copy)]
+pub struct SeneView<'a> {
+    pattern_len: usize,
+    text_len: usize,
+    r_rows: &'a [Vec<u64>],
+    text_pm: &'a [u64],
+}
+
+impl SeneView<'_> {
+    /// `R[d][i]`, synthesizing the boundary at `i == text_len`.
+    #[inline]
+    fn r(&self, i: usize, d: usize) -> u64 {
+        if i >= self.text_len {
+            boundary_state(d)
+        } else {
+            self.r_rows[d][i]
+        }
+    }
+
+    /// Number of distance rows stored.
+    pub fn rows(&self) -> usize {
+        self.r_rows.len()
+    }
+}
+
+impl TracebackSource for SeneView<'_> {
     fn pattern_len(&self) -> usize {
         self.pattern_len
     }
 
     fn text_len(&self) -> usize {
         self.text_len
+    }
+
+    fn stored_words(&self) -> usize {
+        self.text_len * self.rows()
     }
 
     fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
@@ -111,6 +134,50 @@ impl TracebackSource for SeneBitvectors {
     }
 }
 
+impl TracebackSource for SeneBitvectors {
+    fn pattern_len(&self) -> usize {
+        self.pattern_len
+    }
+
+    fn text_len(&self) -> usize {
+        self.text_len
+    }
+
+    fn stored_words(&self) -> usize {
+        SeneBitvectors::stored_words(self)
+    }
+
+    fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        self.view().match_bit(i, d, bit)
+    }
+
+    fn ins_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        self.view().ins_bit(i, d, bit)
+    }
+
+    fn del_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        self.view().del_bit(i, d, bit)
+    }
+
+    fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        self.view().subs_bit(i, d, bit)
+    }
+}
+
+impl DcArena {
+    /// A SENE traceback source over the most recent
+    /// [`window_dc_sene_into`] run's rows.
+    pub fn sene_view(&self) -> SeneView<'_> {
+        let (pattern_len, text_len) = self.shape();
+        SeneView {
+            pattern_len,
+            text_len,
+            r_rows: &self.sene_rows,
+            text_pm: &self.text_pm,
+        }
+    }
+}
+
 /// Outcome of the SENE window kernel.
 #[derive(Debug, Clone)]
 pub struct SeneDcWindow {
@@ -135,40 +202,52 @@ pub fn window_dc_sene<A: Alphabet>(
     pattern: &[u8],
     k_max: usize,
 ) -> Result<SeneDcWindow, AlignError> {
-    if pattern.is_empty() {
-        return Err(AlignError::EmptyPattern);
-    }
-    if text.is_empty() {
-        return Err(AlignError::EmptyText);
-    }
-    if pattern.len() > crate::dc::MAX_WINDOW {
-        return Err(AlignError::InvalidWindow { w: pattern.len() });
-    }
-    let pm = PatternBitmasks64::<A>::new(pattern)?;
-    let m = pattern.len();
+    let mut arena = DcArena::new();
+    let edit_distance = window_dc_sene_into::<A>(text, pattern, k_max, &mut arena)?;
+    let (pattern_len, text_len) = arena.shape();
+    Ok(SeneDcWindow {
+        edit_distance,
+        bitvectors: SeneBitvectors {
+            pattern_len,
+            text_len,
+            r_rows: std::mem::take(&mut arena.sene_rows),
+            text_pm: std::mem::take(&mut arena.text_pm),
+        },
+    })
+}
+
+/// [`window_dc_sene`] writing into a reusable [`DcArena`]: identical
+/// computation, but the `R` entry rows are recycled through the same
+/// pool as the edge-storing kernel's rows, so a warmed-up arena
+/// allocates nothing (this closes the ROADMAP item that had the SENE
+/// kernel allocating per window).
+///
+/// On success the stored entries are readable through
+/// [`DcArena::sene_view`] until the next run on the same arena.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`](crate::dc::window_dc).
+pub fn window_dc_sene_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut DcArena,
+) -> Result<Option<usize>, AlignError> {
+    let msb = resolve_window::<A>(text, pattern, arena)?;
     let n = text.len();
-    let msb = 1u64 << (m - 1);
 
-    let mut text_pm = Vec::with_capacity(n);
-    for (i, &byte) in text.iter().enumerate() {
-        match pm.mask(byte) {
-            Some(mask) => text_pm.push(mask),
-            None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
-        }
-    }
-
-    let mut r_rows: Vec<Vec<u64>> = Vec::new();
     // Row 0.
     {
-        let mut row0 = vec![0u64; n];
+        let mut row0 = arena.fresh_row(n);
         let mut r = u64::MAX;
         for i in (0..n).rev() {
-            r = (r << 1) | text_pm[i];
+            r = (r << 1) | arena.text_pm[i];
             row0[i] = r;
         }
-        r_rows.push(row0);
+        arena.sene_rows.push(row0);
     }
-    let mut edit_distance = if r_rows[0][0] & msb == 0 {
+    let mut edit_distance = if arena.sene_rows[0][0] & msb == 0 {
         Some(0)
     } else {
         None
@@ -176,35 +255,29 @@ pub fn window_dc_sene<A: Alphabet>(
 
     if edit_distance.is_none() {
         for d in 1..=k_max {
-            let init_d = SeneBitvectors::initial(d);
-            let init_dm1 = SeneBitvectors::initial(d - 1);
-            let prev = &r_rows[d - 1];
-            let mut row = vec![0u64; n];
+            let init_d = boundary_state(d);
+            let init_dm1 = boundary_state(d - 1);
+            let mut row = arena.fresh_row(n);
+            let prev = &arena.sene_rows[d - 1];
             let mut r_next = init_d;
             for i in (0..n).rev() {
                 let old_r_dm1 = if i + 1 < n { prev[i + 1] } else { init_dm1 };
-                let r =
-                    old_r_dm1 & (old_r_dm1 << 1) & (prev[i] << 1) & ((r_next << 1) | text_pm[i]);
+                let r = old_r_dm1
+                    & (old_r_dm1 << 1)
+                    & (prev[i] << 1)
+                    & ((r_next << 1) | arena.text_pm[i]);
                 row[i] = r;
                 r_next = r;
             }
-            r_rows.push(row);
-            if r_rows[d][0] & msb == 0 {
+            arena.sene_rows.push(row);
+            if arena.sene_rows[d][0] & msb == 0 {
                 edit_distance = Some(d);
                 break;
             }
         }
     }
 
-    Ok(SeneDcWindow {
-        edit_distance,
-        bitvectors: SeneBitvectors {
-            pattern_len: m,
-            text_len: n,
-            r_rows,
-            text_pm,
-        },
-    })
+    Ok(edit_distance)
 }
 
 #[cfg(test)]
@@ -295,6 +368,42 @@ mod tests {
         let rows = sene.bitvectors.rows();
         assert_eq!(sene_words, 64 * rows);
         assert_eq!(edge_words, 64 * (1 + 3 * (rows - 1)));
+    }
+
+    #[test]
+    fn arena_backed_sene_matches_owned_path_and_reuses_rows() {
+        let mut arena = DcArena::new();
+        let mut warmed = 0usize;
+        for round in 0..3 {
+            for seed in 1..12u64 {
+                let text = dna(60, seed.wrapping_mul(31));
+                let mut pattern = text.clone();
+                let p = (seed as usize * 13) % 50;
+                pattern[p] = if pattern[p] == b'C' { b'G' } else { b'C' };
+                let owned = window_dc_sene::<Dna>(&text, &pattern, pattern.len()).unwrap();
+                let reused =
+                    window_dc_sene_into::<Dna>(&text, &pattern, pattern.len(), &mut arena).unwrap();
+                assert_eq!(owned.edit_distance, reused, "seed={seed}");
+                let d = reused.unwrap();
+                let walk_owned =
+                    window_traceback(&owned.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                        .unwrap();
+                let walk_arena =
+                    window_traceback(&arena.sene_view(), d, usize::MAX, &TracebackOrder::affine())
+                        .unwrap();
+                assert_eq!(walk_owned.ops, walk_arena.ops, "seed={seed}");
+                assert_eq!(
+                    owned.bitvectors.stored_words(),
+                    arena.sene_view().stored_words(),
+                    "seed={seed}"
+                );
+            }
+            if round == 0 {
+                warmed = arena.retained_words();
+            } else {
+                assert_eq!(arena.retained_words(), warmed, "warm rounds must not grow");
+            }
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::tb::TracebackSource;
 pub const MAX_WIDE_WINDOW: usize = 1024;
 
 /// Intermediate bitvectors of one wide window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct WideWindowBitvectors {
     pattern_len: usize,
     text_len: usize,
@@ -59,16 +59,21 @@ impl TracebackSource for WideWindowBitvectors {
         self.text_len
     }
 
+    fn stored_words(&self) -> usize {
+        WideWindowBitvectors::stored_words(self)
+    }
+
     fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
         !self.match_rows[d][i].bit(bit)
     }
 
     fn ins_bit(&self, i: usize, d: usize, bit: usize) -> bool {
-        d > 0 && !self.ins_rows[d][i].bit(bit)
+        // Gap rows exist only for d >= 1 and are stored at index d - 1.
+        d > 0 && !self.ins_rows[d - 1][i].bit(bit)
     }
 
     fn del_bit(&self, i: usize, d: usize, bit: usize) -> bool {
-        d > 0 && !self.del_rows[d][i].bit(bit)
+        d > 0 && !self.del_rows[d - 1][i].bit(bit)
     }
 
     fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool {
@@ -76,7 +81,7 @@ impl TracebackSource for WideWindowBitvectors {
         // is bit `b - 1` of the stored deletion vector; bit 0 is the
         // shifted-in 0 (substituting the last pattern character is
         // always a valid chain start).
-        d > 0 && (bit == 0 || !self.del_rows[d][i].bit(bit - 1))
+        d > 0 && (bit == 0 || !self.del_rows[d - 1][i].bit(bit - 1))
     }
 }
 
@@ -87,6 +92,79 @@ pub struct WideDcWindow {
     pub edit_distance: Option<usize>,
     /// Stored bitvectors for traceback.
     pub bitvectors: WideWindowBitvectors,
+}
+
+/// Reusable storage for wide-window GenASM-DC runs: the multi-word
+/// analogue of [`DcArena`](crate::dc::DcArena). Row vectors (and the
+/// [`BitVector`]s inside them) are recycled between windows, so a
+/// warmed-up arena performs no per-cell allocation — only the handful
+/// of per-row boundary vectors are rebuilt.
+#[derive(Debug, Default)]
+pub struct WideArena {
+    bitvectors: WideWindowBitvectors,
+    /// Retired rows available for reuse.
+    spare: Vec<Vec<BitVector>>,
+    /// The rolling `R[d-1]` / `R[d]` scratch rows.
+    prev_row: Vec<BitVector>,
+    cur_row: Vec<BitVector>,
+}
+
+impl WideArena {
+    /// An empty arena; buffers are grown on first use.
+    pub fn new() -> Self {
+        WideArena::default()
+    }
+
+    /// The bitvectors of the most recent [`window_dc_wide_into`] run.
+    pub fn bitvectors(&self) -> &WideWindowBitvectors {
+        &self.bitvectors
+    }
+
+    /// Consumes the arena, keeping the last run's bitvectors.
+    pub fn into_bitvectors(self) -> WideWindowBitvectors {
+        self.bitvectors
+    }
+
+    /// Rows (live plus pooled) currently retained — exposed so tests
+    /// can assert reuse across runs.
+    pub fn retained_rows(&self) -> usize {
+        self.bitvectors.match_rows.len()
+            + self.bitvectors.ins_rows.len()
+            + self.bitvectors.del_rows.len()
+            + self.spare.len()
+    }
+
+    /// Moves the previous run's rows into the spare pool.
+    fn recycle(&mut self) {
+        for rows in [
+            &mut self.bitvectors.match_rows,
+            &mut self.bitvectors.ins_rows,
+            &mut self.bitvectors.del_rows,
+        ] {
+            self.spare.extend(rows.drain(..).filter(|r| !r.is_empty()));
+        }
+    }
+
+    /// A row of `n` bitvectors of width `m` whose every entry will be
+    /// overwritten by the kernel: pooled rows are reshaped in place,
+    /// reallocating an entry only when its width changed.
+    fn fresh_row(&mut self, n: usize, m: usize) -> Vec<BitVector> {
+        let mut row = self.spare.pop().unwrap_or_default();
+        Self::reshape(&mut row, n, m);
+        row
+    }
+
+    fn reshape(row: &mut Vec<BitVector>, n: usize, m: usize) {
+        row.truncate(n);
+        for bv in row.iter_mut() {
+            if bv.len() != m {
+                *bv = BitVector::zeros(m);
+            }
+        }
+        while row.len() < n {
+            row.push(BitVector::zeros(m));
+        }
+    }
 }
 
 /// Runs GenASM-DC on one window of arbitrary width (up to
@@ -101,6 +179,28 @@ pub fn window_dc_wide<A: Alphabet>(
     pattern: &[u8],
     k_max: usize,
 ) -> Result<WideDcWindow, AlignError> {
+    let mut arena = WideArena::new();
+    let edit_distance = window_dc_wide_into::<A>(text, pattern, k_max, &mut arena)?;
+    Ok(WideDcWindow {
+        edit_distance,
+        bitvectors: arena.into_bitvectors(),
+    })
+}
+
+/// [`window_dc_wide`] writing into a reusable [`WideArena`]: identical
+/// computation and stored bitvectors, with row storage recycled from
+/// previous runs (closing the ROADMAP item that had the wide kernel
+/// allocating per window).
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc_wide`].
+pub fn window_dc_wide_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut WideArena,
+) -> Result<Option<usize>, AlignError> {
     if pattern.is_empty() {
         return Err(AlignError::EmptyPattern);
     }
@@ -122,83 +222,72 @@ pub fn window_dc_wide<A: Alphabet>(
         }
     }
 
-    let mut match_rows: Vec<Vec<BitVector>> = Vec::new();
-    let mut ins_rows: Vec<Vec<BitVector>> = Vec::new();
-    let mut del_rows: Vec<Vec<BitVector>> = Vec::new();
+    arena.recycle();
+    arena.bitvectors.pattern_len = m;
+    arena.bitvectors.text_len = n;
+    WideArena::reshape(&mut arena.prev_row, n, m);
+    WideArena::reshape(&mut arena.cur_row, n, m);
 
     // Row 0.
-    let mut prev_row: Vec<BitVector>;
     {
+        let mut row0 = arena.fresh_row(n, m);
         let mut r = BitVector::ones(m);
-        let mut row0 = vec![BitVector::zeros(m); n];
         for i in (0..n).rev() {
-            let mut next = BitVector::zeros(m);
-            r.shl1_or_into(text_pm[i], &mut next);
-            r = next;
-            row0[i] = r.clone();
+            r.shl1_or_into(text_pm[i], &mut row0[i]);
+            r.copy_from(&row0[i]);
+            arena.prev_row[i].copy_from(&row0[i]);
         }
-        match_rows.push(row0.clone());
-        ins_rows.push(Vec::new());
-        del_rows.push(Vec::new());
-        prev_row = row0;
+        arena.bitvectors.match_rows.push(row0);
     }
-    let mut edit_distance = if !prev_row[0].msb() { Some(0) } else { None };
+    let mut edit_distance = if !arena.prev_row[0].msb() {
+        Some(0)
+    } else {
+        None
+    };
 
     if edit_distance.is_none() {
         let mut scratch = BitVector::zeros(m);
         for d in 1..=k_max {
             let init_d = BitVector::ones_shl(m, d);
             let init_dm1 = BitVector::ones_shl(m, d - 1);
-            let mut match_row = vec![BitVector::zeros(m); n];
-            let mut ins_row = vec![BitVector::zeros(m); n];
-            let mut del_row = vec![BitVector::zeros(m); n];
-            let mut cur_row = vec![BitVector::zeros(m); n];
-            let mut r_next = init_d.clone();
+            let mut match_row = arena.fresh_row(n, m);
+            let mut ins_row = arena.fresh_row(n, m);
+            let mut del_row = arena.fresh_row(n, m);
             for i in (0..n).rev() {
                 let old_r_dm1 = if i + 1 < n {
-                    &prev_row[i + 1]
+                    &arena.prev_row[i + 1]
                 } else {
                     &init_dm1
                 };
+                // R[d][i+1] was just written at i + 1 (boundary at n).
+                let (head, tail) = arena.cur_row.split_at_mut(i + 1);
+                let r_next: &BitVector = tail.first().unwrap_or(&init_d);
                 // match = (oldR[d] << 1) | PM
-                let mut matched = BitVector::zeros(m);
-                r_next.shl1_or_into(text_pm[i], &mut matched);
+                r_next.shl1_or_into(text_pm[i], &mut match_row[i]);
                 // insertion = R[d-1][i] << 1
-                let mut insertion = BitVector::zeros(m);
-                prev_row[i].shl1_into(&mut insertion);
-                // R[d] = D & S & I & M
-                let mut r = matched.clone();
-                r.and_assign(&insertion);
+                arena.prev_row[i].shl1_into(&mut ins_row[i]);
+                // deletion = oldR[d-1], unshifted
+                del_row[i].copy_from(old_r_dm1);
+                // R[d] = M & I & S & D
+                let r = &mut head[i];
+                r.copy_from(&match_row[i]);
+                r.and_assign(&ins_row[i]);
                 old_r_dm1.shl1_into(&mut scratch); // substitution
                 r.and_assign(&scratch);
-                r.and_assign(old_r_dm1); // deletion
-                match_row[i] = matched;
-                ins_row[i] = insertion;
-                del_row[i] = old_r_dm1.clone();
-                r_next = r.clone();
-                cur_row[i] = r;
+                r.and_assign(old_r_dm1);
             }
-            match_rows.push(match_row);
-            ins_rows.push(ins_row);
-            del_rows.push(del_row);
-            prev_row = cur_row;
-            if !prev_row[0].msb() {
+            arena.bitvectors.match_rows.push(match_row);
+            arena.bitvectors.ins_rows.push(ins_row);
+            arena.bitvectors.del_rows.push(del_row);
+            std::mem::swap(&mut arena.prev_row, &mut arena.cur_row);
+            if !arena.prev_row[0].msb() {
                 edit_distance = Some(d);
                 break;
             }
         }
     }
 
-    Ok(WideDcWindow {
-        edit_distance,
-        bitvectors: WideWindowBitvectors {
-            pattern_len: m,
-            text_len: n,
-            match_rows,
-            ins_rows,
-            del_rows,
-        },
-    })
+    Ok(edit_distance)
 }
 
 #[cfg(test)]
@@ -266,6 +355,40 @@ mod tests {
             window_traceback(&dc.bitvectors, 1, usize::MAX, &TracebackOrder::affine()).unwrap();
         let cigar: Cigar = tb.ops.iter().copied().collect();
         assert_eq!(cigar.to_string(), "1=1D3=");
+    }
+
+    #[test]
+    fn arena_backed_wide_matches_owned_path_and_reuses_rows() {
+        let mut arena = WideArena::new();
+        let mut warmed = 0usize;
+        for round in 0..3 {
+            for seed in 1..8u64 {
+                let text = dna(150, seed * 17);
+                let mut pattern = text[..140].to_vec();
+                let p = (seed as usize * 19) % 120;
+                pattern[p] = if pattern[p] == b'A' { b'G' } else { b'A' };
+                let owned = window_dc_wide::<Dna>(&text, &pattern, 20).unwrap();
+                let reused = window_dc_wide_into::<Dna>(&text, &pattern, 20, &mut arena).unwrap();
+                assert_eq!(owned.edit_distance, reused, "seed={seed}");
+                let d = reused.unwrap();
+                let walk_owned =
+                    window_traceback(&owned.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                        .unwrap();
+                let walk_arena =
+                    window_traceback(arena.bitvectors(), d, usize::MAX, &TracebackOrder::affine())
+                        .unwrap();
+                assert_eq!(walk_owned.ops, walk_arena.ops, "seed={seed}");
+                assert_eq!(
+                    owned.bitvectors.stored_words(),
+                    arena.bitvectors().stored_words()
+                );
+            }
+            if round == 0 {
+                warmed = arena.retained_rows();
+            } else {
+                assert_eq!(arena.retained_rows(), warmed, "warm rounds must not grow");
+            }
+        }
     }
 
     #[test]

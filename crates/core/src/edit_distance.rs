@@ -10,7 +10,9 @@
 //! (though it can optionally be enabled)".
 
 use crate::align::{Alignment, GenAsmAligner, GenAsmConfig};
-use crate::alphabet::Alphabet;
+use crate::alphabet::{Alphabet, Dna, WithSentinel, SENTINEL};
+use crate::dc::MAX_WINDOW;
+use crate::dc_multi::{window_dc_multi_distance_into, MultiDcArena, MultiLane, DEFAULT_LANES};
 use crate::error::AlignError;
 
 /// Edit-distance calculator over the GenASM windowing machinery.
@@ -75,6 +77,117 @@ impl EditDistanceCalculator {
     ) -> Result<usize, AlignError> {
         Ok(self.alignment_with_alphabet::<A>(a, b)?.edit_distance)
     }
+
+    /// [`distance`](Self::distance) over a batch of `(a, b)` pairs
+    /// (DNA alphabet), routed through the **distance-only lock-step
+    /// kernel** ([`window_dc_multi_distance_into`]): no bitvector
+    /// storage and no traceback walk — the paper's use case 3 runs
+    /// exactly this way ("the traceback output is not generated or
+    /// reported by default").
+    ///
+    /// Pairs with both sequences at most
+    /// [`SINGLE_WINDOW_MAX`](Self::SINGLE_WINDOW_MAX) characters are
+    /// gathered four at a time into one anchored window per pair, each
+    /// sequence padded with a run of [`SENTINEL_PAD`](Self::SENTINEL_PAD)
+    /// sentinel bytes. The padding makes the anchored (text-suffix-free)
+    /// window distance equal the *global* optimum whenever the found
+    /// distance is below the pad length: stranding any text tail forces
+    /// all pattern sentinels to be destroyed (cost ≥ the pad), and
+    /// sentinel columns can be peeled off the DP without changing its
+    /// value (`ed(u·#, v·#) = ed(u, v)`). Pairs that are too large, too
+    /// divergent (distance ≥ the pad), contain sentinel bytes, or run
+    /// under a `max_window_error` budget fall back to the full windowed
+    /// path.
+    ///
+    /// Consequently each result is **exact** (equals the
+    /// Needleman–Wunsch optimum) when the fast path engages, and equals
+    /// [`distance`](Self::distance) otherwise. Since the full path
+    /// reports the edit count of the transcript its affine-order
+    /// traceback walks — which on divergent pairs can exceed the
+    /// optimum — `distance_many` is never larger than
+    /// [`distance`](Self::distance), and the two agree on realistic
+    /// read-error profiles.
+    pub fn distance_many(&self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<usize, AlignError>> {
+        let cfg = self.aligner.config();
+        let mut results: Vec<Option<Result<usize, AlignError>>> = vec![None; pairs.len()];
+        let mut arena = MultiDcArena::<DEFAULT_LANES>::new();
+        let mut bufs: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(DEFAULT_LANES);
+        let mut group: Vec<usize> = Vec::with_capacity(DEFAULT_LANES);
+
+        let flush = |group: &mut Vec<usize>,
+                     bufs: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                     arena: &mut MultiDcArena<DEFAULT_LANES>,
+                     results: &mut Vec<Option<Result<usize, AlignError>>>| {
+            if group.is_empty() {
+                return;
+            }
+            let lanes: Vec<MultiLane> = bufs
+                .iter()
+                .map(|(text, pattern)| MultiLane {
+                    text,
+                    pattern,
+                    // Only distances below the pad certify optimality.
+                    k_max: Self::SENTINEL_PAD - 1,
+                })
+                .collect();
+            window_dc_multi_distance_into::<WithSentinel<Dna>, DEFAULT_LANES>(&lanes, arena);
+            for ((idx, outcome), (a, b)) in group
+                .drain(..)
+                .zip(arena.outcomes().to_vec())
+                .zip(bufs.drain(..))
+            {
+                results[idx] = Some(match outcome {
+                    Ok(Some(d)) => Ok(d),
+                    // Distance at or above the pad: optimality is not
+                    // certified, rerun through the windowed path.
+                    Ok(None) => self.distance(
+                        &a[..a.len() - Self::SENTINEL_PAD],
+                        &b[..b.len() - Self::SENTINEL_PAD],
+                    ),
+                    Err(e) => Err(e),
+                });
+            }
+        };
+
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            let eligible = !a.is_empty()
+                && !b.is_empty()
+                && a.len() <= Self::SINGLE_WINDOW_MAX
+                && b.len() <= Self::SINGLE_WINDOW_MAX
+                && cfg.max_window_error.is_none()
+                && !a.contains(&SENTINEL)
+                && !b.contains(&SENTINEL);
+            if eligible {
+                let pad = |seq: &[u8]| {
+                    let mut buf = Vec::with_capacity(seq.len() + Self::SENTINEL_PAD);
+                    buf.extend_from_slice(seq);
+                    buf.resize(seq.len() + Self::SENTINEL_PAD, SENTINEL);
+                    buf
+                };
+                bufs.push((pad(a), pad(b)));
+                group.push(idx);
+                if group.len() == DEFAULT_LANES {
+                    flush(&mut group, &mut bufs, &mut arena, &mut results);
+                }
+            } else {
+                results[idx] = Some(self.distance(a, b));
+            }
+        }
+        flush(&mut group, &mut bufs, &mut arena, &mut results);
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every pair is computed exactly once"))
+            .collect()
+    }
+
+    /// Sentinel bytes appended to each sequence of a fast-path pair;
+    /// distances up to `SENTINEL_PAD - 1` are certified globally
+    /// optimal (see [`distance_many`](Self::distance_many)).
+    pub const SENTINEL_PAD: usize = 16;
+
+    /// Largest per-sequence length the fast path accepts: sequence plus
+    /// sentinel pad must fit the 64-bit window kernel.
+    pub const SINGLE_WINDOW_MAX: usize = MAX_WINDOW - Self::SENTINEL_PAD;
 
     /// The full alignment (optional traceback output of the use case),
     /// with global semantics: a text suffix not covered by the pattern
@@ -153,6 +266,114 @@ mod tests {
         let alignment = calc().alignment(b"ACGTACGT", b"ACGT").unwrap();
         assert_eq!(alignment.cigar.text_len(), 8);
         assert_eq!(alignment.cigar.pattern_len(), 4);
+    }
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    /// Reference global edit distance, O(m*n) DP.
+    fn nw_distance(a: &[u8], b: &[u8]) -> usize {
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for i in 1..=a.len() {
+            cur[0] = i;
+            for j in 1..=b.len() {
+                let cost = usize::from(a[i - 1] != b[j - 1]);
+                cur[j] = (prev[j - 1] + cost).min(prev[j] + 1).min(cur[j - 1] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn distance_many_is_exact_and_never_above_the_full_path() {
+        let calc = calc();
+        // Mixed sizes: lock-step-eligible small pairs (including ragged
+        // and highly divergent ones) plus large fallback pairs.
+        let mut pairs_owned: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for seed in 1..40u64 {
+            let a = dna(1 + (seed as usize * 13) % 62, seed);
+            let b = dna(1 + (seed as usize * 7) % 39, seed.wrapping_mul(31));
+            pairs_owned.push((a, b));
+        }
+        pairs_owned.push((dna(500, 3), dna(490, 5)));
+        pairs_owned.push((dna(80, 11), dna(70, 11)));
+        let pairs: Vec<(&[u8], &[u8])> = pairs_owned
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let many = calc.distance_many(&pairs);
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            let full = calc.distance(a, b).unwrap();
+            let fast = *many[idx].as_ref().unwrap();
+            let dp = nw_distance(a, b);
+            let max = EditDistanceCalculator::SINGLE_WINDOW_MAX;
+            let engaged =
+                a.len() <= max && b.len() <= max && dp < EditDistanceCalculator::SENTINEL_PAD;
+            if engaged {
+                // The certified fast path is DP-exact, and never worse
+                // than the transcript the full path walks.
+                assert_eq!(fast, dp, "idx={idx} not DP-exact");
+            } else {
+                assert_eq!(fast, full, "idx={idx} fallback must match");
+            }
+            assert!(dp <= fast && fast <= full, "idx={idx} {dp} {fast} {full}");
+        }
+    }
+
+    #[test]
+    fn distance_many_agrees_with_full_path_on_read_like_pairs() {
+        // On realistic (low-error) pairs the full path's transcript is
+        // optimal, so the two entry points agree exactly.
+        let calc = calc();
+        let mut pairs_owned: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for seed in 1..30u64 {
+            let a = dna(10 + (seed as usize * 11) % 50, seed * 7);
+            let mut b = a.clone();
+            let p = (seed as usize * 5) % b.len();
+            b[p] = if b[p] == b'A' { b'G' } else { b'A' };
+            if seed % 3 == 0 && b.len() > 4 {
+                b.remove(p / 2);
+            }
+            pairs_owned.push((a, b));
+        }
+        let pairs: Vec<(&[u8], &[u8])> = pairs_owned
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let many = calc.distance_many(&pairs);
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(many[idx], calc.distance(a, b), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn distance_many_respects_window_error_budget() {
+        let calc = EditDistanceCalculator::new(GenAsmConfig::default().with_max_window_error(2));
+        let a = dna(30, 9);
+        let b = dna(30, 10); // far beyond 2 edits
+        let close = {
+            let mut c = a.clone();
+            c[10] = if c[10] == b'A' { b'C' } else { b'A' };
+            c
+        };
+        let pairs: Vec<(&[u8], &[u8])> = vec![(&a, &b), (&a, &close), (&a, &a)];
+        let many = calc.distance_many(&pairs);
+        for (idx, &(x, y)) in pairs.iter().enumerate() {
+            assert_eq!(many[idx], calc.distance(x, y), "idx={idx}");
+        }
+        assert!(many[0].is_err());
+        assert_eq!(many[2], Ok(0));
     }
 
     #[test]

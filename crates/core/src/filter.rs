@@ -106,20 +106,47 @@ impl PreAlignmentFilter {
         })
     }
 
+    /// [`accepts`](Self::accepts) over a batch of candidate pairs,
+    /// lock-stepping up to four single-word scans per recurrence pass
+    /// (the distance-only batch kernel; see
+    /// [`bitap::matches_within_many`]). Reads longer than 64 characters
+    /// fall back to the scalar multi-word scan per pair. Per-pair
+    /// results, including errors, are identical to
+    /// [`accepts`](Self::accepts).
+    pub fn accepts_many(&self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<bool, AlignError>> {
+        bitap::matches_within_many::<Dna>(pairs, self.threshold)
+    }
+
+    /// [`decide`](Self::decide) over a batch of candidate pairs,
+    /// lock-stepped like [`accepts_many`](Self::accepts_many).
+    pub fn decide_many(&self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<FilterDecision, AlignError>> {
+        bitap::find_best_many::<Dna>(pairs, self.threshold)
+            .into_iter()
+            .map(|r| {
+                r.map(|best| FilterDecision {
+                    accept: best.is_some(),
+                    distance: best.map(|b| b.distance),
+                })
+            })
+            .collect()
+    }
+
     /// Filters a batch of candidate pairs, returning the indices of the
-    /// accepted ones. Convenience for the read-mapping pipeline.
+    /// accepted ones. Convenience for the read-mapping pipeline; runs
+    /// on the lock-step batch kernel.
     ///
     /// # Errors
     ///
     /// Same conditions as [`accepts`](Self::accepts); the first error
-    /// aborts the batch.
+    /// (in input order) aborts the batch.
     pub fn filter_batch<'a, I>(&self, pairs: I) -> Result<Vec<usize>, AlignError>
     where
         I: IntoIterator<Item = (&'a [u8], &'a [u8])>,
     {
+        let pairs: Vec<(&[u8], &[u8])> = pairs.into_iter().collect();
         let mut accepted = Vec::new();
-        for (idx, (reference, read)) in pairs.into_iter().enumerate() {
-            if self.accepts(reference, read)? {
+        for (idx, decision) in self.accepts_many(&pairs).into_iter().enumerate() {
+            if decision? {
                 accepted.push(idx);
             }
         }
@@ -186,6 +213,42 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(accepted, vec![0, 2]);
+    }
+
+    #[test]
+    fn batched_decisions_match_scalar() {
+        let reference: Vec<u8> = b"ACGGTCATTGCAGGTTACAG"
+            .iter()
+            .copied()
+            .cycle()
+            .take(200)
+            .collect();
+        let alt: Vec<u8> = b"TTAGGCAT".iter().copied().cycle().take(120).collect();
+        let long_read: Vec<u8> = reference[10..110].to_vec();
+        let pairs: Vec<(&[u8], &[u8])> = vec![
+            (&reference, &reference[50..90]),
+            (&reference, &alt[..40]),
+            (&alt, &reference[..30]),
+            (&reference, &long_read), // > 64 chars: scalar fallback lane
+            (&reference, &alt[..10]),
+        ];
+        for threshold in [0usize, 2, 5, 9] {
+            let filter = PreAlignmentFilter::new(threshold);
+            let accepts = filter.accepts_many(&pairs);
+            let decides = filter.decide_many(&pairs);
+            for (idx, &(r, q)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    accepts[idx].as_ref().copied().unwrap(),
+                    filter.accepts(r, q).unwrap(),
+                    "accepts idx={idx} threshold={threshold}"
+                );
+                assert_eq!(
+                    decides[idx].as_ref().copied().unwrap(),
+                    filter.decide(r, q).unwrap(),
+                    "decide idx={idx} threshold={threshold}"
+                );
+            }
+        }
     }
 
     #[test]

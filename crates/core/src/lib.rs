@@ -43,6 +43,7 @@ pub mod bitap;
 pub mod bitvec;
 pub mod cigar;
 pub mod dc;
+pub mod dc_multi;
 pub mod dc_sene;
 pub mod dc_wide;
 pub mod edit_distance;

@@ -98,10 +98,18 @@ impl<A: Alphabet> PatternBitmasks<A> {
 /// are kept set so they never spuriously signal a match.
 #[derive(Debug, Clone)]
 pub struct PatternBitmasks64<A: Alphabet> {
-    masks: Vec<u64>,
+    /// Masks for alphabets up to [`INLINE_MASKS`] symbols (DNA, RNA,
+    /// sentinel-extended DNA) live inline so constructing the bitmasks
+    /// in the per-window hot loop performs no heap allocation.
+    inline: [u64; INLINE_MASKS],
+    /// Spill storage for larger alphabets (protein, ASCII).
+    heap: Vec<u64>,
     len: usize,
     _alphabet: PhantomData<A>,
 }
+
+/// Largest alphabet whose single-word masks are stored inline.
+const INLINE_MASKS: usize = 8;
 
 impl<A: Alphabet> PatternBitmasks64<A> {
     /// Pre-processes `pattern` (at most 64 characters) into one `u64`
@@ -121,16 +129,40 @@ impl<A: Alphabet> PatternBitmasks64<A> {
         if m > 64 {
             return Err(AlignError::InvalidWindow { w: m });
         }
-        let mut masks = vec![u64::MAX; A::SIZE];
+        let mut pm = PatternBitmasks64 {
+            inline: [u64::MAX; INLINE_MASKS],
+            heap: if A::SIZE <= INLINE_MASKS {
+                Vec::new()
+            } else {
+                vec![u64::MAX; A::SIZE]
+            },
+            len: m,
+            _alphabet: PhantomData,
+        };
+        let masks = pm.masks_mut();
         for (i, &byte) in pattern.iter().enumerate() {
             let sym = A::index_at(byte, i)?;
             masks[sym] &= !(1u64 << (m - 1 - i));
         }
-        Ok(PatternBitmasks64 {
-            masks,
-            len: m,
-            _alphabet: PhantomData,
-        })
+        Ok(pm)
+    }
+
+    #[inline]
+    fn masks(&self) -> &[u64] {
+        if A::SIZE <= INLINE_MASKS {
+            &self.inline[..A::SIZE]
+        } else {
+            &self.heap
+        }
+    }
+
+    #[inline]
+    fn masks_mut(&mut self) -> &mut [u64] {
+        if A::SIZE <= INLINE_MASKS {
+            &mut self.inline[..A::SIZE]
+        } else {
+            &mut self.heap
+        }
     }
 
     /// Pattern length in characters.
@@ -149,7 +181,7 @@ impl<A: Alphabet> PatternBitmasks64<A> {
     /// alphabet.
     #[inline]
     pub fn mask(&self, byte: u8) -> Option<u64> {
-        A::index(byte).map(|sym| self.masks[sym])
+        A::index(byte).map(|sym| self.masks()[sym])
     }
 
     /// The mask for dense symbol index `sym`.
@@ -159,7 +191,7 @@ impl<A: Alphabet> PatternBitmasks64<A> {
     /// Panics if `sym >= A::SIZE`.
     #[inline]
     pub fn mask_by_index(&self, sym: usize) -> u64 {
-        self.masks[sym]
+        self.masks()[sym]
     }
 }
 

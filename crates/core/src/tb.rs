@@ -31,6 +31,9 @@ pub trait TracebackSource {
     fn pattern_len(&self) -> usize;
     /// Window sub-text length (stored text iterations).
     fn text_len(&self) -> usize;
+    /// 64-bit words this source wrote to TB-SRAM — the quantity the
+    /// hardware model accounts as traceback memory traffic.
+    fn stored_words(&self) -> usize;
     /// `true` if the match bitvector has a 0 at `bit`.
     fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool;
     /// `true` if the insertion bitvector has a 0 at `bit` (`d >= 1`).
@@ -48,6 +51,10 @@ impl TracebackSource for WindowBitvectors {
 
     fn text_len(&self) -> usize {
         WindowBitvectors::text_len(self)
+    }
+
+    fn stored_words(&self) -> usize {
+        WindowBitvectors::stored_words(self)
     }
 
     fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {

@@ -8,8 +8,13 @@ use genasm_core::align::{AlignmentMode, GenAsmAligner, GenAsmConfig};
 use genasm_core::alphabet::Dna;
 use genasm_core::bitap;
 use genasm_core::cigar::Cigar;
+use genasm_core::dc::window_dc;
+use genasm_core::dc_multi::{
+    window_dc_multi_distance_into, window_dc_multi_into, MultiDcArena, MultiLane,
+};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
+use genasm_core::tb::{window_traceback, TracebackOrder};
 use proptest::prelude::*;
 
 /// Reference global (NW) edit distance, O(m*n) DP.
@@ -209,6 +214,95 @@ proptest! {
             // small windows degrade on adversarial homopolymer inputs,
             // which is exactly why the paper ships W = 64.
             prop_assert!(alignment.edit_distance >= dp, "W={} O={}", w, o);
+        }
+    }
+
+    /// Lock-step lanes are bit-identical to the scalar window kernel:
+    /// same distances, same stored bitvectors, same traceback walks —
+    /// across mixed window sizes, ragged lane counts (1..=4 of 4), and
+    /// early-terminating lanes (k budgets that may be exhausted).
+    #[test]
+    fn lockstep_lanes_match_scalar_window_dc(
+        windows in proptest::collection::vec(
+            (dna_seq(64), dna_seq(64), 0usize..66),
+            1..=4,
+        ),
+    ) {
+        let mut arena = MultiDcArena::<4>::new();
+        let lanes: Vec<MultiLane> = windows
+            .iter()
+            .map(|(t, p, k)| MultiLane { text: t, pattern: p, k_max: *k })
+            .collect();
+        window_dc_multi_into::<Dna, 4>(&lanes, &mut arena);
+        for (l, (t, p, k)) in windows.iter().enumerate() {
+            let scalar = window_dc::<Dna>(t, p, *k).unwrap();
+            prop_assert_eq!(&Ok(scalar.edit_distance), &arena.outcomes()[l], "lane {}", l);
+            let view = arena.lane(l);
+            prop_assert_eq!(view.rows(), scalar.bitvectors.rows(), "lane {}", l);
+            for d in 0..view.rows() {
+                for i in 0..t.len() {
+                    prop_assert_eq!(view.match_at(i, d), scalar.bitvectors.match_at(i, d));
+                    prop_assert_eq!(view.ins_at(i, d), scalar.bitvectors.ins_at(i, d));
+                    prop_assert_eq!(view.del_at(i, d), scalar.bitvectors.del_at(i, d));
+                }
+            }
+            if let Some(d) = scalar.edit_distance {
+                let walk_scalar = window_traceback(
+                    &scalar.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+                let walk_lane = window_traceback(
+                    &view, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+                prop_assert_eq!(walk_scalar.ops, walk_lane.ops, "lane {}", l);
+            }
+        }
+        // Distance-only mode reports the identical distances.
+        let mut fast = MultiDcArena::<4>::new();
+        window_dc_multi_distance_into::<Dna, 4>(&lanes, &mut fast);
+        prop_assert_eq!(arena.outcomes(), fast.outcomes());
+    }
+
+    /// Batched filter decisions equal scalar decisions pair by pair.
+    #[test]
+    fn filter_batches_match_scalar(
+        pairs_in in proptest::collection::vec((dna_seq(90), dna_seq(70)), 1..=9),
+        k in 0usize..8,
+    ) {
+        let filter = PreAlignmentFilter::new(k);
+        let pairs: Vec<(&[u8], &[u8])> = pairs_in
+            .iter()
+            .map(|(t, p)| (t.as_slice(), p.as_slice()))
+            .collect();
+        let accepts = filter.accepts_many(&pairs);
+        let decides = filter.decide_many(&pairs);
+        for (idx, &(t, p)) in pairs.iter().enumerate() {
+            prop_assert_eq!(&accepts[idx], &filter.accepts(t, p), "idx {}", idx);
+            prop_assert_eq!(&decides[idx], &filter.decide(t, p), "idx {}", idx);
+        }
+    }
+
+    /// Batched distance-only edit distances: exact (DP-equal) whenever
+    /// the certified fast path engages, never above the full windowed
+    /// path, and identical to it on fallback.
+    #[test]
+    fn distance_many_brackets_correctly(
+        pairs_in in proptest::collection::vec((dna_seq(60), dna_seq(60)), 1..=6),
+    ) {
+        let calc = EditDistanceCalculator::default();
+        let pairs: Vec<(&[u8], &[u8])> = pairs_in
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let many = calc.distance_many(&pairs);
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            let full = calc.distance(a, b).unwrap();
+            let fast = *many[idx].as_ref().unwrap();
+            let dp = nw_distance(a, b);
+            let max = EditDistanceCalculator::SINGLE_WINDOW_MAX;
+            if a.len() <= max && b.len() <= max && dp < EditDistanceCalculator::SENTINEL_PAD {
+                prop_assert_eq!(fast, dp, "idx {} not exact", idx);
+            } else {
+                prop_assert_eq!(fast, full, "idx {} fallback mismatch", idx);
+            }
+            prop_assert!(dp <= fast && fast <= full, "idx {}: {} {} {}", idx, dp, fast, full);
         }
     }
 

@@ -2,7 +2,7 @@
 //! queue.
 
 use crate::job::Job;
-use crate::kernel::{GenAsmKernel, Kernel};
+use crate::kernel::{DcDispatch, GenAsmKernel, Kernel};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
 use genasm_core::align::{Alignment, GenAsmConfig};
@@ -18,11 +18,17 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Jobs a worker claims per queue access; `0` picks a chunk that
     /// gives each worker ~8 claims per batch (amortizing the atomic
-    /// while bounding tail imbalance).
+    /// while bounding tail imbalance), raised to the kernel's
+    /// preferred-chunk floor (the lock-step lane count for the default
+    /// kernel) so batched schedulers can fill their lanes.
     pub chunk: usize,
     /// Configuration of the default GenASM kernel; ignored when a
     /// custom kernel is supplied via [`Engine::with_kernel`].
     pub genasm: GenAsmConfig,
+    /// DC scheduling of the default GenASM kernel (lock-step by
+    /// default; results are bit-identical either way). Ignored for
+    /// custom kernels.
+    pub dispatch: DcDispatch,
 }
 
 impl EngineConfig {
@@ -47,6 +53,13 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the GenASM kernel's DC dispatch mode.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DcDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// The effective worker count for a batch of `jobs` jobs.
     pub fn effective_workers(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
@@ -57,7 +70,10 @@ impl EngineConfig {
     }
 
     /// The effective chunk size for a batch of `jobs` jobs and
-    /// `workers` workers.
+    /// `workers` workers. The engine additionally raises auto-sized
+    /// chunks to the kernel's
+    /// [`preferred_chunk`](crate::kernel::Kernel::preferred_chunk)
+    /// floor so batched schedulers can fill their lanes.
     pub fn effective_chunk(&self, jobs: usize, workers: usize) -> usize {
         if self.chunk > 0 {
             return self.chunk;
@@ -89,9 +105,11 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// An engine running the GenASM kernel from `config.genasm`.
+    /// An engine running the GenASM kernel from `config.genasm` under
+    /// `config.dispatch`.
     pub fn new(config: EngineConfig) -> Self {
-        let kernel = Arc::new(GenAsmKernel::new(config.genasm.clone()));
+        let kernel =
+            Arc::new(GenAsmKernel::new(config.genasm.clone()).with_dispatch(config.dispatch));
         Engine { config, kernel }
     }
 
@@ -135,7 +153,13 @@ impl Engine {
             };
         }
         let workers = self.config.effective_workers(jobs.len());
-        let chunk = self.config.effective_chunk(jobs.len(), workers);
+        let mut chunk = self.config.effective_chunk(jobs.len(), workers);
+        if self.config.chunk == 0 {
+            // Auto-sized chunks respect the kernel's lane floor (1 for
+            // kernels without a batched scheduler, so custom kernels
+            // keep fine-grained work stealing).
+            chunk = chunk.max(self.kernel.preferred_chunk());
+        }
 
         // Workers claim contiguous chunks by bumping this cursor; no
         // lock is ever taken on the dispatch path.
@@ -161,14 +185,28 @@ impl Engine {
                                 break;
                             }
                             let end = (start + chunk).min(jobs.len());
-                            for (offset, job) in jobs[start..end].iter().enumerate() {
-                                let t0 = Instant::now();
-                                let result =
-                                    kernel.align(&job.text, &job.pattern, scratch.as_mut());
+                            let chunk_jobs = &jobs[start..end];
+                            let t0 = Instant::now();
+                            if let Some(results) = kernel.align_chunk(chunk_jobs, scratch.as_mut())
+                            {
+                                // Batched scheduling interleaves jobs
+                                // within the chunk, so per-job latency
+                                // is not separable; account the chunk
+                                // mean (keeps busy >= max_job >= mean).
                                 let took = t0.elapsed();
                                 busy += took;
-                                max_job = max_job.max(took);
-                                produced.push((start + offset, result));
+                                max_job = max_job.max(took / chunk_jobs.len() as u32);
+                                produced.extend((start..end).zip(results));
+                            } else {
+                                for (offset, job) in chunk_jobs.iter().enumerate() {
+                                    let t0 = Instant::now();
+                                    let result =
+                                        kernel.align(&job.text, &job.pattern, scratch.as_mut());
+                                    let took = t0.elapsed();
+                                    busy += took;
+                                    max_job = max_job.max(took);
+                                    produced.push((start + offset, result));
+                                }
                             }
                         }
                         (produced, busy, max_job)

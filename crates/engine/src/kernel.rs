@@ -7,11 +7,28 @@
 //! compares against), so throughput comparisons run on the identical
 //! harness.
 
+use crate::job::Job;
+use crate::lockstep::{self, LockstepScratch};
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_core::align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};
 use genasm_core::error::AlignError;
 use genasm_core::scoring::Scoring;
 use std::any::Any;
+
+/// How the GenASM kernel schedules its GenASM-DC work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum DcDispatch {
+    /// One window at a time per worker — the paper's Algorithm 2 run
+    /// sequentially. The reference path every other mode is tested
+    /// against.
+    Scalar,
+    /// The lock-step window scheduler: up to
+    /// [`lockstep::LANES`](crate::lockstep::LANES) jobs' windows per
+    /// DC pass in SIMD lanes (bit-identical results; see
+    /// [`lockstep`](crate::lockstep)). The engine default.
+    #[default]
+    Lockstep,
+}
 
 /// Per-worker mutable state a kernel wants carried between jobs
 /// (arenas, DP matrices). Created once per worker thread, never
@@ -22,6 +39,12 @@ pub trait KernelScratch: Send {
 }
 
 impl KernelScratch for AlignArena {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl KernelScratch for LockstepScratch {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -57,25 +80,63 @@ pub trait Kernel: Send + Sync {
         pattern: &[u8],
         scratch: &mut dyn KernelScratch,
     ) -> Result<Alignment, AlignError>;
+
+    /// Aligns a whole chunk of jobs in one call when the kernel has a
+    /// batched scheduler (the GenASM kernel's lock-step window mode);
+    /// `None` tells the engine to fall back to per-job
+    /// [`align`](Self::align) calls. Implementations must return one
+    /// result per job, in job order, identical to per-job alignment.
+    fn align_chunk(
+        &self,
+        jobs: &[Job],
+        scratch: &mut dyn KernelScratch,
+    ) -> Option<Vec<Result<Alignment, AlignError>>> {
+        let _ = (jobs, scratch);
+        None
+    }
+
+    /// Smallest work-queue chunk that lets the kernel's batched
+    /// scheduler fill its lanes; the engine raises auto-sized chunks to
+    /// this floor. Kernels without batched scheduling keep the default
+    /// of 1.
+    fn preferred_chunk(&self) -> usize {
+        1
+    }
 }
 
-/// The GenASM windowed aligner (DC + TB) with per-worker arena reuse.
+/// The GenASM windowed aligner (DC + TB) with per-worker arena reuse,
+/// scheduling its DC work per [`DcDispatch`].
 #[derive(Debug, Clone)]
 pub struct GenAsmKernel {
     aligner: GenAsmAligner,
+    dispatch: DcDispatch,
 }
 
 impl GenAsmKernel {
-    /// A kernel running the given aligner configuration.
+    /// A kernel running the given aligner configuration under the
+    /// default (lock-step) dispatch.
     pub fn new(config: GenAsmConfig) -> Self {
         GenAsmKernel {
             aligner: GenAsmAligner::new(config),
+            dispatch: DcDispatch::default(),
         }
+    }
+
+    /// Selects the DC dispatch mode.
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DcDispatch) -> Self {
+        self.dispatch = dispatch;
+        self
     }
 
     /// The underlying aligner configuration.
     pub fn config(&self) -> &GenAsmConfig {
         self.aligner.config()
+    }
+
+    /// The kernel's DC dispatch mode.
+    pub fn dispatch(&self) -> DcDispatch {
+        self.dispatch
     }
 }
 
@@ -87,11 +148,17 @@ impl Default for GenAsmKernel {
 
 impl Kernel for GenAsmKernel {
     fn name(&self) -> &'static str {
-        "genasm"
+        match self.dispatch {
+            DcDispatch::Scalar => "genasm",
+            DcDispatch::Lockstep => "genasm-lockstep",
+        }
     }
 
     fn new_scratch(&self) -> Box<dyn KernelScratch> {
-        Box::new(AlignArena::new())
+        match self.dispatch {
+            DcDispatch::Scalar => Box::new(AlignArena::new()),
+            DcDispatch::Lockstep => Box::new(LockstepScratch::default()),
+        }
     }
 
     fn align(
@@ -100,11 +167,38 @@ impl Kernel for GenAsmKernel {
         pattern: &[u8],
         scratch: &mut dyn KernelScratch,
     ) -> Result<Alignment, AlignError> {
-        let arena = scratch
+        // Accept either scratch shape so streams and engines can share
+        // a kernel regardless of dispatch.
+        let scratch = scratch.as_any_mut();
+        if let Some(arena) = scratch.downcast_mut::<AlignArena>() {
+            self.aligner.align_with_arena(text, pattern, arena)
+        } else if let Some(ls) = scratch.downcast_mut::<LockstepScratch>() {
+            self.aligner.align_with_arena(text, pattern, &mut ls.scalar)
+        } else {
+            panic!("GenAsmKernel scratch must be an AlignArena or LockstepScratch")
+        }
+    }
+
+    fn align_chunk(
+        &self,
+        jobs: &[Job],
+        scratch: &mut dyn KernelScratch,
+    ) -> Option<Vec<Result<Alignment, AlignError>>> {
+        if self.dispatch != DcDispatch::Lockstep {
+            return None;
+        }
+        let ls = scratch
             .as_any_mut()
-            .downcast_mut::<AlignArena>()
-            .expect("GenAsmKernel scratch must be an AlignArena");
-        self.aligner.align_with_arena(text, pattern, arena)
+            .downcast_mut::<LockstepScratch>()
+            .expect("lock-step dispatch requires LockstepScratch");
+        Some(lockstep::align_chunk(self.aligner.config(), jobs, ls))
+    }
+
+    fn preferred_chunk(&self) -> usize {
+        match self.dispatch {
+            DcDispatch::Scalar => 1,
+            DcDispatch::Lockstep => lockstep::LANES,
+        }
     }
 }
 

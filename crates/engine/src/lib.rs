@@ -10,6 +10,13 @@
 //!   region, read) out over a scoped worker pool. Workers claim work
 //!   in chunks from a lock-free atomic cursor, so there is no queue
 //!   lock on the hot path.
+//! * Within a worker, the default [`DcDispatch::Lockstep`] mode keeps
+//!   up to four jobs' window walks in flight and advances their
+//!   GenASM-DC windows together through the SIMD lock-step kernel
+//!   ([`lockstep`], [`genasm_core::dc_multi`]) — the software shape of
+//!   the pipelined PEs interleaving independent alignments.
+//!   [`DcDispatch::Scalar`] selects the one-window-at-a-time reference
+//!   path; both produce bit-identical results.
 //! * Each worker owns a reusable [`AlignArena`](genasm_core::AlignArena)
 //!   (kernel scratch), so the GenASM-DC bitvector storage — the
 //!   dominant allocation of an alignment — is recycled across jobs and
@@ -44,11 +51,13 @@
 pub mod engine;
 pub mod job;
 pub mod kernel;
+pub mod lockstep;
 pub mod stats;
 pub mod stream;
 
 pub use engine::{Engine, EngineConfig};
 pub use job::Job;
-pub use kernel::{GenAsmKernel, GotohKernel, Kernel, KernelScratch};
+pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch};
+pub use lockstep::LockstepScratch;
 pub use stats::{BatchOutput, BatchStats};
 pub use stream::EngineStream;

@@ -1,0 +1,261 @@
+//! The window-level lock-step scheduler: the engine-side half of the
+//! multi-lane DC kernel.
+//!
+//! The scalar engine path keeps one alignment in flight per worker; the
+//! GenASM hardware instead keeps *many* windows in flight at once
+//! (§7). This scheduler reproduces that shape in software: it holds up
+//! to [`LANES`] jobs' [`WindowWalk`]s open simultaneously, gathers each
+//! walk's next ready window into one lock-step batch, runs the batch
+//! through [`window_dc_multi_into`] (one struct-of-arrays pass computes
+//! all lanes), then feeds every lane's stored bitvectors back to its
+//! walk for the scalar traceback and cursor advance. A finished walk
+//! immediately frees its lane for the next job, so lanes stay full
+//! until the chunk drains.
+//!
+//! Because the walks make the identical windowing decisions the
+//! sequential aligner makes, and the lock-step kernel is bit-identical
+//! to the scalar kernel, chunk results are **bit-identical** to
+//! [`GenAsmAligner::align`](genasm_core::GenAsmAligner::align) — the
+//! scheduler only changes *when* windows are computed, never *what*.
+//!
+//! Configurations outside the lock-step kernel's domain (wide windows,
+//! the SENE kernel, global mode) and stragglers (a walk that reaches a
+//! global-final window) fall back to the scalar
+//! [`drive_window_walk`] on the same arena-backed kernels.
+
+use crate::job::Job;
+use genasm_core::align::{
+    drive_window_walk, AlignArena, Alignment, AlignmentMode, GenAsmConfig, WindowKernel, WindowWalk,
+};
+use genasm_core::alphabet::Dna;
+use genasm_core::dc::MAX_WINDOW;
+use genasm_core::dc_multi::{window_dc_multi_into, MultiDcArena, MultiLane, DEFAULT_LANES};
+use genasm_core::error::AlignError;
+
+/// Windows processed per lock-step DC pass.
+pub const LANES: usize = DEFAULT_LANES;
+
+/// Per-worker scratch of the lock-step GenASM kernel: the multi-lane
+/// DC arena plus a scalar arena for fallbacks — both recycled across
+/// jobs, so a warmed-up worker allocates nothing in the DC hot loop.
+#[derive(Debug, Default)]
+pub struct LockstepScratch {
+    pub(crate) multi: MultiDcArena<LANES>,
+    pub(crate) scalar: AlignArena,
+}
+
+/// Whether a configuration can run on the lock-step kernel: semiglobal
+/// single-word edge-store windows (the paper's hardware configuration,
+/// and the engine's default).
+pub(crate) fn lockstep_eligible(config: &GenAsmConfig) -> bool {
+    config.window <= MAX_WINDOW
+        && config.kernel == WindowKernel::EdgeStore
+        && config.mode == AlignmentMode::Semiglobal
+}
+
+/// Aligns one job with the scalar window kernels (the same machinery
+/// [`GenAsmAligner::align_with_arena`](genasm_core::GenAsmAligner)
+/// runs).
+fn align_job_scalar(
+    config: &GenAsmConfig,
+    job: &Job,
+    arena: &mut AlignArena,
+) -> Result<Alignment, AlignError> {
+    let mut walk = WindowWalk::new(config, &job.text, &job.pattern)?;
+    drive_window_walk::<Dna>(&mut walk, arena)?;
+    Ok(walk.finish())
+}
+
+/// One in-flight job: its index in the chunk and its window walk.
+struct Active<'j> {
+    idx: usize,
+    walk: WindowWalk<'j>,
+}
+
+/// Aligns a chunk of jobs through the lock-step window scheduler,
+/// returning per-job results in chunk order. Falls back to the scalar
+/// path wholesale when `config` is outside the lock-step domain.
+// The gather loop indexes `slots` so finished walks can be taken out of
+// their slot mid-iteration; a range loop is the clearest shape for that.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn align_chunk(
+    config: &GenAsmConfig,
+    jobs: &[Job],
+    scratch: &mut LockstepScratch,
+) -> Vec<Result<Alignment, AlignError>> {
+    if !lockstep_eligible(config) {
+        return jobs
+            .iter()
+            .map(|job| align_job_scalar(config, job, &mut scratch.scalar))
+            .collect();
+    }
+
+    let mut results: Vec<Option<Result<Alignment, AlignError>>> = Vec::new();
+    results.resize_with(jobs.len(), || None);
+    let mut slots: Vec<Option<Active<'_>>> = Vec::new();
+    slots.resize_with(LANES, || None);
+    let mut next_job = 0usize;
+    let mut inputs: Vec<MultiLane<'_>> = Vec::with_capacity(LANES);
+    let mut input_slots: Vec<usize> = Vec::with_capacity(LANES);
+
+    loop {
+        // Refill free lanes from the job stream.
+        for slot in slots.iter_mut() {
+            while slot.is_none() && next_job < jobs.len() {
+                let idx = next_job;
+                next_job += 1;
+                let job = &jobs[idx];
+                match WindowWalk::new(config, &job.text, &job.pattern) {
+                    Ok(walk) => *slot = Some(Active { idx, walk }),
+                    Err(e) => results[idx] = Some(Err(e)),
+                }
+            }
+        }
+
+        // Gather each active walk's next ready window.
+        inputs.clear();
+        input_slots.clear();
+        for slot_idx in 0..slots.len() {
+            let Some(active) = slots[slot_idx].as_mut() else {
+                continue;
+            };
+            match active.walk.next_window() {
+                None => {
+                    let Active { idx, walk } = slots[slot_idx].take().expect("slot is active");
+                    results[idx] = Some(Ok(walk.finish()));
+                }
+                Some(req) if req.global_final => {
+                    // Unreachable for eligible configs (semiglobal mode
+                    // never emits a global-final window); drain the
+                    // straggler scalar, defensively.
+                    let Active { idx, mut walk } = slots[slot_idx].take().expect("slot is active");
+                    let outcome = walk
+                        .apply_global_final::<Dna>(&mut scratch.scalar)
+                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, &mut scratch.scalar))
+                        .map(|()| walk.finish());
+                    results[idx] = Some(outcome);
+                }
+                Some(req) => {
+                    inputs.push(MultiLane {
+                        text: req.sub_text,
+                        pattern: req.sub_pattern,
+                        k_max: req.budget,
+                    });
+                    input_slots.push(slot_idx);
+                }
+            }
+        }
+
+        if inputs.is_empty() {
+            if next_job >= jobs.len() && slots.iter().all(Option::is_none) {
+                break;
+            }
+            // Lanes freed this round; refill and regather.
+            continue;
+        }
+
+        // One lock-step DC pass advances every gathered window.
+        window_dc_multi_into::<Dna, LANES>(&inputs, &mut scratch.multi);
+        for (lane, &slot_idx) in input_slots.iter().enumerate() {
+            let outcome = scratch.multi.outcomes()[lane].clone();
+            let active = slots[slot_idx]
+                .as_mut()
+                .expect("lane maps to an active slot");
+            let step = match outcome {
+                Ok(d) => active.walk.apply(d, &scratch.multi.lane(lane)),
+                Err(e) => Err(e),
+            };
+            if let Err(e) = step {
+                let Active { idx, .. } = slots[slot_idx].take().expect("slot is active");
+                results[idx] = Some(Err(e));
+            }
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every job in the chunk is resolved"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use genasm_core::align::GenAsmAligner;
+
+    fn jobs(count: usize, seed: u64) -> Vec<Job> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let base: Vec<u8> = (0..600).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+        (0..count)
+            .map(|i| {
+                let len = 40 + (next() as usize % 400);
+                let mut pattern = base[..len].to_vec();
+                for _ in 0..(next() % 6) {
+                    let idx = next() as usize % pattern.len();
+                    match next() % 3 {
+                        0 => pattern[idx] = b"ACGT"[(next() % 4) as usize],
+                        1 => {
+                            if pattern.len() > 2 {
+                                pattern.remove(idx);
+                            }
+                        }
+                        _ => pattern.insert(idx, b"ACGT"[(next() % 4) as usize]),
+                    }
+                }
+                let text_len = (len + 60 + i % 7).min(base.len());
+                Job::new(&base[..text_len], &pattern)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_chunks_are_bit_identical_to_sequential_alignment() {
+        let config = GenAsmConfig::default();
+        let aligner = GenAsmAligner::new(config.clone());
+        let mut scratch = LockstepScratch::default();
+        for count in [1usize, 3, 4, 5, 11, 32] {
+            let jobs = jobs(count, count as u64 * 39);
+            let results = align_chunk(&config, &jobs, &mut scratch);
+            assert_eq!(results.len(), jobs.len());
+            for (job, result) in jobs.iter().zip(&results) {
+                let expected = aligner.align(&job.text, &job.pattern).unwrap();
+                assert_eq!(&expected, result.as_ref().unwrap(), "count={count}");
+            }
+        }
+    }
+
+    #[test]
+    fn job_errors_resolve_in_place() {
+        let config = GenAsmConfig::default();
+        let mut scratch = LockstepScratch::default();
+        let mut jobs = jobs(6, 17);
+        jobs[1].pattern.clear();
+        jobs[4].text = b"ACGTNN".to_vec();
+        let results = align_chunk(&config, &jobs, &mut scratch);
+        assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
+        assert!(matches!(results[4], Err(AlignError::InvalidSymbol { .. })));
+        for idx in [0usize, 2, 3, 5] {
+            assert!(results[idx].is_ok(), "idx={idx}");
+        }
+    }
+
+    #[test]
+    fn ineligible_configs_fall_back_to_scalar() {
+        let config = GenAsmConfig::default().with_kernel(WindowKernel::Sene);
+        assert!(!lockstep_eligible(&config));
+        let aligner = GenAsmAligner::new(config.clone());
+        let mut scratch = LockstepScratch::default();
+        let jobs = jobs(5, 71);
+        let results = align_chunk(&config, &jobs, &mut scratch);
+        for (job, result) in jobs.iter().zip(&results) {
+            let expected = aligner.align(&job.text, &job.pattern).unwrap();
+            assert_eq!(&expected, result.as_ref().unwrap());
+        }
+    }
+}

@@ -20,7 +20,10 @@ pub struct BatchStats {
     /// Sum of per-job kernel times across all workers (>= `wall` once
     /// more than one worker is busy).
     pub busy: Duration,
-    /// Slowest single job.
+    /// Slowest single job under per-job (scalar) dispatch. Batched
+    /// lock-step chunks interleave their jobs, so there this records
+    /// the largest per-chunk mean instead — a lower bound on the
+    /// slowest job, not its exact latency.
     pub max_job: Duration,
 }
 

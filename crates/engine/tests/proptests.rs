@@ -3,7 +3,7 @@
 //! pattern lengths and must never change results.
 
 use genasm_core::align::{AlignArena, GenAsmAligner, GenAsmConfig};
-use genasm_engine::{Engine, EngineConfig, Job};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, Job};
 use proptest::prelude::*;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -72,6 +72,42 @@ proptest! {
                 let _ = aligner.align_with_arena(&job.text, &job.pattern, &mut arena);
             }
             prop_assert_eq!(arena.retained_words(), warmed);
+        }
+    }
+
+    /// The lock-step window scheduler and the scalar dispatch produce
+    /// byte-identical batch results — alignments and errors alike — on
+    /// arbitrary job mixes (ragged lengths, divergent distances,
+    /// invalid jobs).
+    #[test]
+    fn lockstep_and_scalar_dispatch_agree(mut batch in job_batch(20), workers in 1usize..4) {
+        // Sprinkle in invalid jobs so error lanes are exercised too.
+        if batch.len() > 2 {
+            batch[0].pattern.clear();
+            let mid = batch.len() / 2;
+            batch[mid].text = b"ACGTNACGT".to_vec();
+        }
+        let scalar = Engine::new(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_dispatch(DcDispatch::Scalar),
+        );
+        let lockstep = Engine::new(
+            EngineConfig::default()
+                .with_workers(workers)
+                .with_dispatch(DcDispatch::Lockstep),
+        );
+        let scalar_results = scalar.align_batch(&batch);
+        let lockstep_results = lockstep.align_batch(&batch);
+        prop_assert_eq!(scalar_results.len(), lockstep_results.len());
+        for (idx, (a, b)) in scalar_results.iter().zip(&lockstep_results).enumerate() {
+            match (a, b) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "job {}", idx),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(format!("{:?}", a), format!("{:?}", b), "job {}", idx)
+                }
+                (a, b) => prop_assert!(false, "job {} diverged: {:?} vs {:?}", idx, a, b),
+            }
         }
     }
 

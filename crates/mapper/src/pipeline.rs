@@ -338,6 +338,13 @@ impl ReadMapper {
     /// accumulates stage timings and candidate counters. Shared by the
     /// sequential and engine-batched paths so their candidate sets can
     /// never diverge.
+    ///
+    /// The GenASM filter runs all of a read's candidate regions through
+    /// the batched distance-only scan
+    /// ([`PreAlignmentFilter::accepts_many`]), which lock-steps up to
+    /// four candidates per Bitap pass for reads that fit one machine
+    /// word; decisions are identical to filtering one candidate at a
+    /// time.
     fn seed_and_filter(&self, seq: &[u8], k: usize, timings: &mut StageTimings) -> Vec<usize> {
         let t0 = Instant::now();
         let candidates = self.config.seeder.candidates(&self.index, seq);
@@ -345,20 +352,28 @@ impl ReadMapper {
         timings.candidates.0 += candidates.len();
 
         let t1 = Instant::now();
-        let surviving: Vec<usize> = candidates
+        let positions: Vec<usize> = candidates
             .iter()
             .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
-            .filter(|&pos| {
-                let region = self.region(pos, seq.len(), k);
-                match self.config.filter {
-                    FilterKind::GenAsm => PreAlignmentFilter::new(k)
-                        .accepts(region, seq)
-                        .unwrap_or(false),
-                    FilterKind::Shouji => ShoujiFilter::new(k).accepts(region, seq),
-                    FilterKind::None => true,
-                }
-            })
             .collect();
+        let surviving: Vec<usize> = match self.config.filter {
+            FilterKind::GenAsm => {
+                let pairs: Vec<(&[u8], &[u8])> = positions
+                    .iter()
+                    .map(|&pos| (self.region(pos, seq.len(), k), seq))
+                    .collect();
+                positions
+                    .iter()
+                    .zip(PreAlignmentFilter::new(k).accepts_many(&pairs))
+                    .filter_map(|(&pos, decision)| decision.unwrap_or(false).then_some(pos))
+                    .collect()
+            }
+            FilterKind::Shouji => positions
+                .into_iter()
+                .filter(|&pos| ShoujiFilter::new(k).accepts(self.region(pos, seq.len(), k), seq))
+                .collect(),
+            FilterKind::None => positions,
+        };
         timings.filtering += t1.elapsed();
         timings.candidates.1 += surviving.len();
         surviving

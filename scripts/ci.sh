@@ -3,8 +3,9 @@
 #
 # Usage: scripts/ci.sh [--with-bench]
 #
-#   --with-bench   additionally run the engine throughput bench, which
-#                  refreshes BENCH_engine.json at the repo root.
+#   --with-bench   additionally run the engine throughput and dc_multi
+#                  benches at full size, refreshing BENCH_engine.json
+#                  and BENCH_dc_multi.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,15 +15,23 @@ cargo build --release --workspace
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+echo "==> cargo test -q (core, portable fallback: no lockstep-avx2)"
+cargo test -p genasm-core --no-default-features -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --bench dc_multi -- --smoke"
+cargo bench -p genasm-bench --bench dc_multi -- --smoke
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
     cargo bench -p genasm-bench --bench engine_throughput
+    echo "==> cargo bench --bench dc_multi (full)"
+    cargo bench -p genasm-bench --bench dc_multi
 fi
 
 echo "==> OK"
