@@ -2,8 +2,12 @@
 //!
 //! Subcommands:
 //!
-//! * `map --ref <fasta> --reads <fastq|fasta> [--error-rate 0.15]` —
-//!   map reads against a reference, SAM on stdout;
+//! * `map --ref <fasta> --reads <fastq|fasta> [--error-rate 0.15]
+//!   [--workers 0] [--kernel lockstep|scalar|gotoh] [--shards 0]
+//!   [--pipeline batch|sequential]` — map reads against a reference
+//!   through the engine-backed staged batch pipeline (seed → lock-step
+//!   filter → multi-threaded alignment), SAM on stdout and per-stage
+//!   stats on stderr;
 //! * `align --ref <fasta> --query <fasta> [--k <edits>]` — search and
 //!   align each query in the reference, one summary line each;
 //! * `distance --a <fasta> --b <fasta>` — global edit distance between
@@ -24,9 +28,8 @@ use args::Args;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
-use genasm_core::scoring::Scoring;
-use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel};
-use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
+use genasm_engine::DcDispatch;
+use genasm_mapper::pipeline::{AlignerKind, MapperConfig, ReadMapper, StageTimings};
 use genasm_mapper::sam;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
 use genasm_seq::fastq::read_fastq;
@@ -35,6 +38,7 @@ use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{to_fastq_records, ReadSimulator, SimConfig};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::time::Instant;
 
 const USAGE: &str = "\
 genasm — bitvector-based approximate string matching (GenASM, MICRO 2020)
@@ -42,7 +46,20 @@ genasm — bitvector-based approximate string matching (GenASM, MICRO 2020)
 usage: genasm <command> [options]
 
 commands:
-  map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]   SAM to stdout
+  map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]
+            [--workers 0] [--kernel lockstep|scalar|gotoh]
+            [--shards 0] [--pipeline batch|sequential]       SAM to stdout; per-stage
+                                                             stats (index/seed/filter/
+                                                             align split, filter reject
+                                                             rate) on stderr. Default is
+                                                             the engine-backed batch
+                                                             pipeline: --workers threads
+                                                             (0 = all cores), --shards
+                                                             index shards (0 = auto);
+                                                             --pipeline sequential runs
+                                                             the single-threaded
+                                                             reference path (identical
+                                                             mappings, for A/B runs)
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
             [--kernel lockstep|scalar|gotoh] [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
@@ -113,44 +130,111 @@ fn load_first_fasta(path: &str) -> Result<FastaRecord, String> {
         .ok_or_else(|| format!("{path}: no fasta records"))
 }
 
+/// Maps `--kernel` to the aligner selection and, for GenASM, the DC
+/// dispatch of the engine (`gotoh` swaps the whole alignment step to
+/// the DP baseline; `scalar` A/Bs the one-window-at-a-time DC path).
+fn parse_kernel(args: &Args) -> Result<(AlignerKind, DcDispatch), String> {
+    match args.get("kernel").unwrap_or("lockstep") {
+        "genasm" | "lockstep" => Ok((AlignerKind::GenAsm, DcDispatch::Lockstep)),
+        "scalar" => Ok((AlignerKind::GenAsm, DcDispatch::Scalar)),
+        "gotoh" => Ok((AlignerKind::Gotoh, DcDispatch::Lockstep)),
+        other => Err(format!("unknown kernel {other:?}")),
+    }
+}
+
 fn cmd_map(args: &Args) -> Result<(), String> {
+    // Validate option values before touching the filesystem so a bad
+    // invocation fails on the actual mistake.
+    let (aligner, dispatch) = parse_kernel(args)?;
+    let pipeline = match args.get("pipeline").unwrap_or("batch") {
+        p @ ("batch" | "sequential") => p,
+        other => return Err(format!("unknown pipeline {other:?}")),
+    };
+    let error_rate: f64 = args.number("error-rate", 0.15)?;
+    let workers: usize = args.number("workers", 0)?;
+    let shards: usize = args.number("shards", 0)?;
+
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
-    let error_rate: f64 = args.number("error-rate", 0.15)?;
 
     let config = MapperConfig {
         error_fraction: error_rate,
+        aligner,
+        index_shards: shards,
         ..MapperConfig::default()
     };
+    let t_index = Instant::now();
     let mapper = ReadMapper::build(&reference.seq, config);
+    let index_time = t_index.elapsed();
+
+    let (mappings, timings) = match pipeline {
+        "batch" => {
+            let engine = mapper.engine(workers, dispatch);
+            let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
+            mapper.map_batch_with_engine(&read_refs, &engine)
+        }
+        _ => {
+            let mut total = StageTimings::default();
+            let mappings = reads
+                .iter()
+                .map(|(_, seq)| {
+                    let (mapping, timings) = mapper.map_read(seq);
+                    total.accumulate(&timings);
+                    mapping
+                })
+                .collect();
+            (mappings, total)
+        }
+    };
 
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    sam::write_header(&mut out, &reference.id, reference.seq.len()).map_err(|e| e.to_string())?;
+    let command = format!(
+        "genasm map --pipeline {pipeline} --kernel {} --workers {workers} \
+         --shards {shards} --error-rate {error_rate}",
+        args.get("kernel").unwrap_or("lockstep"),
+    );
+    sam::write_header_with_command(&mut out, &reference.id, reference.seq.len(), Some(&command))
+        .map_err(|e| e.to_string())?;
     let mut mapped = 0usize;
-    for (name, seq) in &reads {
-        let (mapping, _) = mapper.map_read(seq);
+    for ((name, seq), mapping) in reads.iter().zip(&mappings) {
         let record = match mapping {
             Some(m) => {
                 mapped += 1;
-                sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, &m)
+                sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, m)
             }
             None => sam::SamRecord::unmapped(name.clone(), seq),
         };
         sam::write_record(&mut out, &record).map_err(|e| e.to_string())?;
     }
     out.flush().map_err(|e| e.to_string())?;
+
+    let total = timings.total().as_secs_f64();
+    let reads_per_sec = if total > 0.0 {
+        reads.len() as f64 / total
+    } else {
+        f64::INFINITY
+    };
     eprintln!("mapped {mapped}/{} reads", reads.len());
+    eprintln!(
+        "pipeline={pipeline} index={:.3}s ({} shards) seed={:.3}s filter={:.3}s \
+         (rejected {:.1}% of {} candidates) align={:.3}s total={total:.3}s \
+         ({reads_per_sec:.0} reads/s)",
+        index_time.as_secs_f64(),
+        mapper.index().shard_count(),
+        timings.seeding.as_secs_f64(),
+        timings.filtering.as_secs_f64(),
+        timings.reject_rate() * 100.0,
+        timings.candidates.0,
+        timings.alignment.as_secs_f64(),
+    );
     Ok(())
 }
 
 fn cmd_batch(args: &Args) -> Result<(), String> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
-    let kernel = match args.get("kernel").unwrap_or("lockstep") {
-        k @ ("genasm" | "gotoh" | "scalar" | "lockstep") => k,
-        other => return Err(format!("unknown kernel {other:?}")),
-    };
+    let (aligner, dispatch) = parse_kernel(args)?;
     let error_rate: f64 = args.number("error-rate", 0.15)?;
     let threads: usize = args.number("threads", 0)?;
 
@@ -159,23 +243,14 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
 
     let config = MapperConfig {
         error_fraction: error_rate,
+        aligner,
         ..MapperConfig::default()
     };
-    let engine_config = EngineConfig::default()
-        .with_workers(threads)
-        .with_genasm(config.genasm.clone());
-    let engine = match kernel {
-        // The two GenASM DC paths produce bit-identical mappings; the
-        // flag exists so they can be A/B'd from the command line.
-        "scalar" => Engine::new(engine_config.with_dispatch(DcDispatch::Scalar)),
-        "genasm" | "lockstep" => Engine::new(engine_config.with_dispatch(DcDispatch::Lockstep)),
-        _ => Engine::with_kernel(
-            engine_config,
-            std::sync::Arc::new(GotohKernel::new(Scoring::bwa_mem())),
-        ),
-    };
-
     let mapper = ReadMapper::build(&reference.seq, config);
+    // The scalar/lockstep pair produces bit-identical mappings; the
+    // flag exists so the two DC paths can be A/B'd from the command
+    // line.
+    let engine = mapper.engine(threads, dispatch);
     let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
     let (mappings, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
 
@@ -384,13 +459,39 @@ mod tests {
         ])
         .unwrap();
 
-        // Map the simulated reads back (SAM goes to stdout).
+        // Map the simulated reads back (SAM goes to stdout) — the
+        // default engine-backed batch pipeline, then the sequential
+        // reference path and explicit worker/kernel/shard flags.
         run(vec![
             "map".into(),
             "--ref".into(),
             format!("{prefix}_ref.fa"),
             "--reads".into(),
             format!("{prefix}_reads.fq"),
+        ])
+        .unwrap();
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            format!("{prefix}_reads.fq"),
+            "--pipeline".into(),
+            "sequential".into(),
+        ])
+        .unwrap();
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            format!("{prefix}_reads.fq"),
+            "--workers".into(),
+            "2".into(),
+            "--kernel".into(),
+            "scalar".into(),
+            "--shards".into(),
+            "4".into(),
         ])
         .unwrap();
 
@@ -444,6 +545,26 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("unknown kernel"), "{err}");
+    }
+
+    #[test]
+    fn map_rejects_bad_options_before_reading_files() {
+        for (key, value, needle) in [
+            ("--kernel", "smith-waterman", "unknown kernel"),
+            ("--pipeline", "streaming", "unknown pipeline"),
+        ] {
+            let err = run(vec![
+                "map".into(),
+                "--ref".into(),
+                "missing.fa".into(),
+                "--reads".into(),
+                "missing.fq".into(),
+                key.into(),
+                value.into(),
+            ])
+            .unwrap_err();
+            assert!(err.contains(needle), "{key}: {err}");
+        }
     }
 
     #[test]

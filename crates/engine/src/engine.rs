@@ -1,7 +1,7 @@
 //! The batch engine: scoped worker pool over a chunked atomic work
 //! queue.
 
-use crate::job::Job;
+use crate::job::{Job, KeyedResult};
 use crate::kernel::{DcDispatch, GenAsmKernel, Kernel};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
@@ -138,6 +138,19 @@ impl Engine {
     /// each job.
     pub fn align_batch(&self, jobs: &[Job]) -> Vec<Result<Alignment, AlignError>> {
         self.align_batch_with_stats(jobs).results
+    }
+
+    /// [`align_batch`](Self::align_batch), with each result paired
+    /// with its job's [`key`](Job::key). Results come back in input
+    /// order; the keys let a producer that tagged jobs with its own
+    /// coordinates (the read mapper packs *(read, candidate, strand)*
+    /// into the key) route results without a side table or re-sort.
+    pub fn align_batch_keyed(&self, jobs: &[Job]) -> Vec<KeyedResult> {
+        jobs.iter()
+            .map(|job| job.key)
+            .zip(self.align_batch(jobs))
+            .map(|(key, result)| KeyedResult { key, result })
+            .collect()
     }
 
     /// [`align_batch`](Self::align_batch) plus batch statistics.
@@ -324,6 +337,23 @@ mod tests {
         assert!(output.results[11].is_err());
         let ok = output.results.iter().filter(|r| r.is_ok()).count();
         assert_eq!(ok, jobs.len() - 2);
+    }
+
+    #[test]
+    fn keyed_batch_carries_job_tags() {
+        let jobs: Vec<Job> = jobs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| job.with_key(0xABCD_0000 + i as u64))
+            .collect();
+        let engine = Engine::new(EngineConfig::default().with_workers(3));
+        let keyed = engine.align_batch_keyed(&jobs);
+        let plain = engine.align_batch(&jobs);
+        assert_eq!(keyed.len(), jobs.len());
+        for ((job, keyed), plain) in jobs.iter().zip(&keyed).zip(plain) {
+            assert_eq!(keyed.key, job.key);
+            assert_eq!(keyed.result, plain);
+        }
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The unit of work the engine schedules.
 
+use genasm_core::align::Alignment;
+use genasm_core::error::AlignError;
+
 /// One alignment job: a reference region (text) and a read (pattern),
 /// both owned so jobs can cross thread boundaries and outlive their
-/// producer in the streaming API.
+/// producer in the streaming API. The `key` is an opaque caller tag
+/// carried through scheduling untouched, so batch producers (the read
+/// mapper tags jobs with *(read, candidate, strand)*) can route results
+/// without keeping a side table in job order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Job {
     /// The text (reference region) the pattern is aligned against,
@@ -10,20 +16,35 @@ pub struct Job {
     pub text: Vec<u8>,
     /// The pattern (read).
     pub pattern: Vec<u8>,
+    /// Caller-assigned tag returned with the job's result by
+    /// [`Engine::align_batch_keyed`](crate::Engine::align_batch_keyed).
+    pub key: u64,
 }
 
 impl Job {
-    /// Builds a job from borrowed sequences.
+    /// Builds a job from borrowed sequences (key 0).
     pub fn new(text: &[u8], pattern: &[u8]) -> Self {
         Job {
             text: text.to_vec(),
             pattern: pattern.to_vec(),
+            key: 0,
         }
     }
 
-    /// Builds a job from owned sequences without copying.
+    /// Builds a job from owned sequences without copying (key 0).
     pub fn from_owned(text: Vec<u8>, pattern: Vec<u8>) -> Self {
-        Job { text, pattern }
+        Job {
+            text,
+            pattern,
+            key: 0,
+        }
+    }
+
+    /// Tags the job with a caller key.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self
     }
 
     /// Pattern length in bases — the per-job work unit used for
@@ -31,4 +52,13 @@ impl Job {
     pub fn pattern_bases(&self) -> usize {
         self.pattern.len()
     }
+}
+
+/// One job's outcome paired with the job's caller key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedResult {
+    /// The key of the job that produced this result.
+    pub key: u64,
+    /// The alignment outcome.
+    pub result: Result<Alignment, AlignError>,
 }

@@ -56,7 +56,7 @@ pub mod stats;
 pub mod stream;
 
 pub use engine::{Engine, EngineConfig};
-pub use job::Job;
+pub use job::{Job, KeyedResult};
 pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch};
 pub use lockstep::LockstepScratch;
 pub use stats::{BatchOutput, BatchStats};

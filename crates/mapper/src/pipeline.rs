@@ -2,8 +2,20 @@
 //! pre-alignment filtering → read alignment, with pluggable filter and
 //! aligner so the Figure 11 experiment can swap the alignment step
 //! between the software DP baseline and GenASM.
+//!
+//! Two execution shapes share the exact same stages and produce
+//! bit-identical mappings:
+//!
+//! * [`ReadMapper::map_read`] — the sequential reference path, one
+//!   read at a time;
+//! * [`ReadMapper::map_batch_with_engine`] — the staged batch path:
+//!   seed a whole batch of reads (both strands), funnel *every*
+//!   candidate across the batch through the lock-step pre-alignment
+//!   filter in one scan, then align all survivors as key-tagged
+//!   [`Job`]s on a multi-threaded [`Engine`] and resolve each read's
+//!   best mapping from the keyed results.
 
-use crate::index::KmerIndex;
+use crate::index::ShardedIndex;
 use crate::seed::Seeder;
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_baselines::shouji::ShoujiFilter;
@@ -11,7 +23,9 @@ use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
-use genasm_engine::{Engine, Job};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel, Job, KeyedResult};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which pre-alignment filter the pipeline uses.
@@ -56,6 +70,9 @@ pub struct MapperConfig {
     pub genasm: GenAsmConfig,
     /// Whether to also try the reverse-complement strand of each read.
     pub both_strands: bool,
+    /// Shard count of the reference index (`0` = automatic: host
+    /// parallelism rounded to a power of two).
+    pub index_shards: usize,
 }
 
 impl Default for MapperConfig {
@@ -71,6 +88,7 @@ impl Default for MapperConfig {
             scoring: Scoring::bwa_mem(),
             genasm: GenAsmConfig::default(),
             both_strands: true,
+            index_shards: 0,
         }
     }
 }
@@ -109,6 +127,16 @@ impl StageTimings {
         self.seeding + self.filtering + self.alignment
     }
 
+    /// Fraction of examined candidates the filter rejected (0 when no
+    /// candidate was examined).
+    pub fn reject_rate(&self) -> f64 {
+        if self.candidates.0 == 0 {
+            0.0
+        } else {
+            1.0 - self.candidates.1 as f64 / self.candidates.0 as f64
+        }
+    }
+
     /// Accumulates another read's timings.
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.seeding += other.seeding;
@@ -138,14 +166,16 @@ impl StageTimings {
 #[derive(Debug, Clone)]
 pub struct ReadMapper {
     reference: Vec<u8>,
-    index: KmerIndex,
+    index: ShardedIndex,
     config: MapperConfig,
 }
 
 impl ReadMapper {
-    /// Indexes `reference` and prepares the pipeline.
+    /// Indexes `reference` (sharded per `config.index_shards`) and
+    /// prepares the pipeline.
     pub fn build(reference: &[u8], config: MapperConfig) -> Self {
-        let index = KmerIndex::build(reference, config.seed_len);
+        let index =
+            ShardedIndex::build_with_shards(reference, config.seed_len, config.index_shards);
         ReadMapper {
             reference: reference.to_vec(),
             index,
@@ -159,8 +189,28 @@ impl ReadMapper {
     }
 
     /// The underlying index.
-    pub fn index(&self) -> &KmerIndex {
+    pub fn index(&self) -> &ShardedIndex {
         &self.index
+    }
+
+    /// An [`Engine`] whose kernel matches the configured aligner: the
+    /// GenASM kernel under `dispatch` for [`AlignerKind::GenAsm`], the
+    /// Gotoh kernel under the configured scoring for
+    /// [`AlignerKind::Gotoh`] (where `dispatch` is ignored). Use this
+    /// to drive [`map_batch_with_engine`](Self::map_batch_with_engine)
+    /// so the batch path aligns with exactly the aligner the
+    /// sequential path would use.
+    pub fn engine(&self, workers: usize, dispatch: DcDispatch) -> Engine {
+        let config = EngineConfig::default()
+            .with_workers(workers)
+            .with_genasm(self.config.genasm.clone())
+            .with_dispatch(dispatch);
+        match self.config.aligner {
+            AlignerKind::GenAsm => Engine::new(config),
+            AlignerKind::Gotoh => {
+                Engine::with_kernel(config, Arc::new(GotohKernel::new(self.config.scoring)))
+            }
+        }
     }
 
     /// Maps one read: seeding, filtering, then alignment of surviving
@@ -256,53 +306,141 @@ impl ReadMapper {
         (mappings, total)
     }
 
-    /// Batch mode: maps many reads with the alignment stage (step 3)
-    /// executed by a [`genasm-engine`](genasm_engine) batch instead of
-    /// one sequential aligner call per candidate.
+    /// Batch mode: maps many reads through three explicit stages
+    /// instead of recursing read by read.
     ///
-    /// Seeding and filtering run per read as in [`map_read`]
-    /// (Self::map_read); every surviving candidate across all reads
-    /// and strands becomes one engine [`Job`], the whole job list is
-    /// aligned in one multi-threaded [`Engine::align_batch`] call, and
-    /// each read's best mapping is selected with exactly the
-    /// sequential path's tie-breaking (lowest edit distance, forward
-    /// strand preferred, then lowest position). With the GenASM kernel
-    /// the selected mappings are identical to [`map_read`]'s
-    /// (Self::map_read).
+    /// 1. **Seed** — every read (and, when configured, its reverse
+    ///    complement) is seeded against the sharded index; candidate
+    ///    positions for the whole batch are collected up front.
+    /// 2. **Filter** — *all* candidates across all reads and strands
+    ///    funnel through the pre-alignment filter together. The GenASM
+    ///    filter runs one lock-step batch scan per distinct error
+    ///    budget ([`PreAlignmentFilter::accepts_many`], up to four
+    ///    candidates per Bitap pass), so fixed-length read sets filter
+    ///    in a single call.
+    /// 3. **Align** — every survivor becomes one engine [`Job`] tagged
+    ///    with a *(read, candidate, strand)* key; the whole job list is
+    ///    aligned in one multi-threaded
+    ///    [`Engine::align_batch_keyed`] call and each read's best
+    ///    mapping is resolved from the keyed results with exactly the
+    ///    sequential path's tie-breaking (lowest edit distance,
+    ///    forward strand preferred, then lowest position).
     ///
-    /// `StageTimings::alignment` reports the batch's wall-clock time,
-    /// so it shrinks as engine workers are added while seeding and
-    /// filtering stay constant.
+    /// With an engine from [`Self::engine`] the selected mappings are
+    /// bit-identical to [`map_read`](Self::map_read)'s for every
+    /// filter and aligner kind. [`StageTimings`] reports each stage's
+    /// batch wall-clock time, so alignment shrinks as engine workers
+    /// are added while seeding and filtering stay constant.
     pub fn map_batch_with_engine(
         &self,
         reads: &[&[u8]],
         engine: &Engine,
     ) -> (Vec<Option<Mapping>>, StageTimings) {
         let mut timings = StageTimings::default();
-        let mut jobs: Vec<Job> = Vec::new();
-        // (read index, reference position, reverse strand) per job.
-        let mut meta: Vec<(usize, usize, bool)> = Vec::new();
 
+        // Stage 1 — seed the whole batch, both strands.
+        struct Seeded {
+            read: usize,
+            reverse: bool,
+            seq: Vec<u8>,
+            budget: usize,
+            candidates: Vec<usize>,
+        }
+        let t0 = Instant::now();
+        let mut seeded: Vec<Seeded> = Vec::with_capacity(reads.len() * 2);
         for (read_idx, read) in reads.iter().enumerate() {
             let mut oriented: Vec<(Vec<u8>, bool)> = vec![(read.to_vec(), false)];
             if self.config.both_strands {
                 oriented.push((reverse_complement(read), true));
             }
-            for (seq, reverse) in &oriented {
-                let k = self.error_budget(seq);
-                for pos in self.seed_and_filter(seq, k, &mut timings) {
-                    jobs.push(Job::new(self.region(pos, seq.len(), k), seq));
-                    meta.push((read_idx, pos, *reverse));
-                }
+            for (seq, reverse) in oriented {
+                let budget = self.error_budget(&seq);
+                let candidates = self.clamped_candidates(&seq);
+                timings.candidates.0 += candidates.len();
+                seeded.push(Seeded {
+                    read: read_idx,
+                    reverse,
+                    seq,
+                    budget,
+                    candidates,
+                });
             }
         }
+        timings.seeding = t0.elapsed();
 
+        // Stage 2 — one filter pass over every candidate in the batch.
+        let t1 = Instant::now();
+        // Flattened (seeded index, position), batch-wide, in the same
+        // order the sequential path visits candidates per read.
+        let flat: Vec<(usize, usize)> = seeded
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.candidates.iter().map(move |&pos| (i, pos)))
+            .collect();
+        let survivors: Vec<(usize, usize)> = match self.config.filter {
+            FilterKind::GenAsm => {
+                // The filter threshold is the per-read error budget, so
+                // group by budget and lock-step scan each group (one
+                // group for fixed-length read sets).
+                let mut by_budget: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for (flat_idx, &(i, _)) in flat.iter().enumerate() {
+                    by_budget
+                        .entry(seeded[i].budget)
+                        .or_default()
+                        .push(flat_idx);
+                }
+                let mut keep = vec![false; flat.len()];
+                for (budget, flat_indices) in by_budget {
+                    let pairs: Vec<(&[u8], &[u8])> = flat_indices
+                        .iter()
+                        .map(|&flat_idx| {
+                            let (i, pos) = flat[flat_idx];
+                            let s = &seeded[i];
+                            (self.region(pos, s.seq.len(), s.budget), s.seq.as_slice())
+                        })
+                        .collect();
+                    let decisions = PreAlignmentFilter::new(budget).accepts_many(&pairs);
+                    for (&flat_idx, decision) in flat_indices.iter().zip(decisions) {
+                        keep[flat_idx] = decision.unwrap_or(false);
+                    }
+                }
+                flat.iter()
+                    .zip(keep)
+                    .filter_map(|(&entry, keep)| keep.then_some(entry))
+                    .collect()
+            }
+            FilterKind::Shouji => flat
+                .into_iter()
+                .filter(|&(i, pos)| {
+                    let s = &seeded[i];
+                    ShoujiFilter::new(s.budget)
+                        .accepts(self.region(pos, s.seq.len(), s.budget), &s.seq)
+                })
+                .collect(),
+            FilterKind::None => flat,
+        };
+        timings.filtering = t1.elapsed();
+        timings.candidates.1 += survivors.len();
+
+        // Stage 3 — align all survivors as one keyed engine batch.
+        let jobs: Vec<Job> = survivors
+            .iter()
+            .map(|&(i, pos)| {
+                let s = &seeded[i];
+                Job::new(self.region(pos, s.seq.len(), s.budget), &s.seq)
+                    .with_key(pack_key(s.read, pos, s.reverse))
+            })
+            .collect();
+        // Time only the engine call, as `map_read` times only the
+        // aligner: the serial job copies above must not dilute the
+        // multi-worker shrinkage of `StageTimings::alignment`.
         let t2 = Instant::now();
-        let results = engine.align_batch(&jobs);
+        let keyed = engine.align_batch_keyed(&jobs);
         timings.alignment = t2.elapsed();
 
         let mut best: Vec<Option<Mapping>> = vec![None; reads.len()];
-        for ((read_idx, pos, reverse), result) in meta.into_iter().zip(results) {
+        for KeyedResult { key, result } in keyed {
+            let (read_idx, pos, reverse) = unpack_key(key);
             let Ok(alignment) = result else { continue };
             let mapping = Mapping {
                 position: pos,
@@ -347,15 +485,11 @@ impl ReadMapper {
     /// time.
     fn seed_and_filter(&self, seq: &[u8], k: usize, timings: &mut StageTimings) -> Vec<usize> {
         let t0 = Instant::now();
-        let candidates = self.config.seeder.candidates(&self.index, seq);
+        let positions = self.clamped_candidates(seq);
         timings.seeding += t0.elapsed();
-        timings.candidates.0 += candidates.len();
+        timings.candidates.0 += positions.len();
 
         let t1 = Instant::now();
-        let positions: Vec<usize> = candidates
-            .iter()
-            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
-            .collect();
         let surviving: Vec<usize> = match self.config.filter {
             FilterKind::GenAsm => {
                 let pairs: Vec<(&[u8], &[u8])> = positions
@@ -379,12 +513,43 @@ impl ReadMapper {
         surviving
     }
 
+    /// Seeding for one oriented read: candidate positions in seeder
+    /// order, clamped into the reference. Shared by the sequential and
+    /// batch paths so their candidate sets can never diverge.
+    fn clamped_candidates(&self, seq: &[u8]) -> Vec<usize> {
+        self.config
+            .seeder
+            .candidates(&self.index, seq)
+            .iter()
+            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
+            .collect()
+    }
+
     /// The candidate region for a read of length `m` at `pos`: length
     /// `m + k`, clamped to the reference end.
     fn region(&self, pos: usize, m: usize, k: usize) -> &[u8] {
         let end = (pos + m + k).min(self.reference.len());
         &self.reference[pos..end]
     }
+}
+
+/// Packs a batch job's coordinates into an engine [`Job`] key:
+/// read index (31 bits) | candidate position (32 bits) | strand (1).
+/// Hard asserts: silent truncation would route results to the wrong
+/// read.
+fn pack_key(read: usize, pos: usize, reverse: bool) -> u64 {
+    assert!(read < 1 << 31, "batch larger than 2^31 reads");
+    assert!(pos <= u32::MAX as usize, "position exceeds u32");
+    ((read as u64) << 33) | ((pos as u64) << 1) | u64::from(reverse)
+}
+
+/// Inverse of [`pack_key`].
+fn unpack_key(key: u64) -> (usize, usize, bool) {
+    (
+        (key >> 33) as usize,
+        ((key >> 1) & u64::from(u32::MAX)) as usize,
+        key & 1 == 1,
+    )
 }
 
 /// The reverse complement of a DNA read.

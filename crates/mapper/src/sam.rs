@@ -86,10 +86,33 @@ fn mapq_from_edits(edits: usize, read_len: usize) -> u8 {
 /// # Errors
 ///
 /// Returns I/O errors from the underlying writer.
-pub fn write_header<W: Write>(mut w: W, rname: &str, rlen: usize) -> io::Result<()> {
+pub fn write_header<W: Write>(w: W, rname: &str, rlen: usize) -> io::Result<()> {
+    write_header_with_command(w, rname, rlen, None)
+}
+
+/// [`write_header`] with the invoking command line recorded on the
+/// `@PG` line (`CL:` field), so the pipeline/kernel/worker settings
+/// that produced a SAM stream travel with it.
+///
+/// # Errors
+///
+/// Returns I/O errors from the underlying writer.
+pub fn write_header_with_command<W: Write>(
+    mut w: W,
+    rname: &str,
+    rlen: usize,
+    command: Option<&str>,
+) -> io::Result<()> {
     writeln!(w, "@HD\tVN:1.6\tSO:unknown")?;
     writeln!(w, "@SQ\tSN:{rname}\tLN:{rlen}")?;
-    writeln!(w, "@PG\tID:genasm\tPN:genasm-rs")
+    match command {
+        // Tabs and newlines would corrupt the header line.
+        Some(cl) => {
+            let cl = cl.replace(['\t', '\n'], " ");
+            writeln!(w, "@PG\tID:genasm\tPN:genasm-rs\tCL:{cl}")
+        }
+        None => writeln!(w, "@PG\tID:genasm\tPN:genasm-rs"),
+    }
 }
 
 /// Writes one record line.
@@ -186,6 +209,18 @@ mod tests {
         assert_eq!(fields[0], "read1");
         assert_eq!(fields[2], "chr_synth");
         assert_eq!(fields[5], "150=");
+    }
+
+    #[test]
+    fn header_records_command_line() {
+        let mut buf = Vec::new();
+        write_header_with_command(&mut buf, "chr", 100, Some("genasm map\t--workers 4\n")).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let pg = text.lines().find(|l| l.starts_with("@PG")).unwrap();
+        assert!(
+            pg.ends_with("CL:genasm map --workers 4 "),
+            "tabs/newlines must be sanitized: {pg:?}"
+        );
     }
 
     #[test]

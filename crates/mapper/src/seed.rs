@@ -6,7 +6,7 @@
 //! votes are binned together. Candidates are returned most-voted
 //! first, which is what the pre-alignment filter (step 2) consumes.
 
-use crate::index::KmerIndex;
+use crate::index::ShardedIndex;
 
 /// A candidate mapping location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,8 +46,15 @@ impl Seeder {
     /// Votes are binned by `bin` to absorb indel-induced shifts, but
     /// each candidate reports a *representative exact* start — the
     /// most frequent implied start within its bin — so downstream
-    /// anchored alignment starts at the right base.
-    pub fn candidates(&self, index: &KmerIndex, read: &[u8]) -> Vec<Candidate> {
+    /// anchored alignment starts at the right base. Representatives
+    /// from adjacent bins whose starts fall within `bin` bases of the
+    /// group's first (lowest) start are merged — the start with the
+    /// most own-bin votes represents the group, votes combine — so one
+    /// candidate window straddling a bin boundary cannot reach the
+    /// filter and aligner twice. Anchoring the merge window at the
+    /// group's first start keeps merging from chaining: distinct loci
+    /// more than `bin` bases apart always stay separate candidates.
+    pub fn candidates(&self, index: &ShardedIndex, read: &[u8]) -> Vec<Candidate> {
         use std::collections::HashMap;
         let k = index.k();
         if read.len() < k {
@@ -80,9 +87,29 @@ impl Seeder {
                 Candidate { position, votes }
             })
             .collect();
-        candidates.sort_by(|a, b| b.votes.cmp(&a.votes).then(a.position.cmp(&b.position)));
-        candidates.truncate(self.max_candidates);
-        candidates
+        candidates.sort_by_key(|c| c.position);
+        let mut merged: Vec<Candidate> = Vec::with_capacity(candidates.len());
+        let mut anchor = 0usize; // first start of the current group
+        let mut rep_votes = 0usize; // own-bin votes of the current representative
+        for c in candidates {
+            match merged.last_mut() {
+                Some(last) if c.position - anchor < self.bin => {
+                    if c.votes > rep_votes {
+                        rep_votes = c.votes;
+                        last.position = c.position;
+                    }
+                    last.votes += c.votes;
+                }
+                _ => {
+                    anchor = c.position;
+                    rep_votes = c.votes;
+                    merged.push(c);
+                }
+            }
+        }
+        merged.sort_by(|a, b| b.votes.cmp(&a.votes).then(a.position.cmp(&b.position)));
+        merged.truncate(self.max_candidates);
+        merged
     }
 }
 
@@ -105,7 +132,7 @@ mod tests {
     #[test]
     fn exact_read_finds_its_origin() {
         let reference = reference();
-        let index = KmerIndex::build(&reference, 12);
+        let index = ShardedIndex::build(&reference, 12);
         let read = &reference[1000..1150];
         let candidates = Seeder::default().candidates(&index, read);
         assert!(!candidates.is_empty());
@@ -120,7 +147,7 @@ mod tests {
     #[test]
     fn mutated_read_still_finds_origin() {
         let reference = reference();
-        let index = KmerIndex::build(&reference, 12);
+        let index = ShardedIndex::build(&reference, 12);
         let mut read = reference[2000..2200].to_vec();
         for pos in [20usize, 90, 160] {
             read[pos] = if read[pos] == b'A' { b'C' } else { b'A' };
@@ -133,16 +160,59 @@ mod tests {
     }
 
     #[test]
+    fn straddling_bin_boundary_candidates_are_merged() {
+        // A 2-base insertion splits the read's seed hits between
+        // implied starts 15 (bin 0) and 17 (bin 1). Binning alone would
+        // emit both — two near-identical candidate windows that the
+        // filter and aligner would each process twice.
+        let base = reference();
+        let read = base[2000..2120].to_vec();
+        let mut synthetic = base[..15].to_vec();
+        synthetic.extend_from_slice(&read[..60]);
+        synthetic.extend_from_slice(b"GT");
+        synthetic.extend_from_slice(&read[60..]);
+        let index = ShardedIndex::build(&synthetic, 12);
+        let candidates = Seeder::default().candidates(&index, &read);
+        assert_eq!(candidates.len(), 1, "{candidates:?}");
+        assert_eq!(candidates[0].position, 15);
+        assert_eq!(candidates[0].votes, 13, "both bins' votes combine");
+    }
+
+    #[test]
+    fn merging_does_not_chain_across_distant_starts() {
+        // Implied starts 8, 20, and 34 (votes 3, 5, 8): 8 and 20 fall
+        // within one bin-width of the group anchor (8) and merge, but
+        // 34 is 26 > bin away from the anchor and must survive as its
+        // own candidate — a pairwise-adjacent merge would chain all
+        // three into one.
+        let base = reference();
+        let read = base[3000..3150].to_vec();
+        let mut synthetic = base[500..508].to_vec();
+        synthetic.extend_from_slice(&read[..32]);
+        synthetic.extend_from_slice(&base[520..532]);
+        synthetic.extend_from_slice(&read[32..80]);
+        synthetic.extend_from_slice(&base[540..554]);
+        synthetic.extend_from_slice(&read[80..]);
+        let index = ShardedIndex::build(&synthetic, 12);
+        let candidates = Seeder::default().candidates(&index, &read);
+        assert_eq!(candidates.len(), 2, "{candidates:?}");
+        assert!(
+            candidates.iter().any(|c| c.position == 34),
+            "the distant locus must not be swallowed: {candidates:?}"
+        );
+    }
+
+    #[test]
     fn read_shorter_than_seed_yields_nothing() {
         let reference = reference();
-        let index = KmerIndex::build(&reference, 12);
+        let index = ShardedIndex::build(&reference, 12);
         assert!(Seeder::default().candidates(&index, b"ACGT").is_empty());
     }
 
     #[test]
     fn candidates_are_vote_ordered_and_capped() {
         let reference: Vec<u8> = b"ACGTACGTACGT".iter().copied().cycle().take(400).collect();
-        let index = KmerIndex::build(&reference, 8);
+        let index = ShardedIndex::build(&reference, 8);
         let seeder = Seeder {
             max_candidates: 3,
             ..Seeder::default()

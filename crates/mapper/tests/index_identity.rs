@@ -1,0 +1,99 @@
+//! Identity of the sharded packed index with the historical
+//! `HashMap`-based `KmerIndex`.
+//!
+//! The old index was deleted from the production path once parity
+//! held; it survives here as [`NaiveIndex`], a line-for-line fixture
+//! of its behavior (2-bit key encoding, skip-invalid-k-mers,
+//! ascending insertion order), so any future regression of
+//! [`ShardedIndex`] shows up as a diff against the original
+//! semantics.
+
+use genasm_mapper::index::ShardedIndex;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The deleted `KmerIndex`, preserved verbatim as a test fixture.
+struct NaiveIndex {
+    k: usize,
+    map: HashMap<u64, Vec<u32>>,
+}
+
+fn encode_kmer(kmer: &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    for &b in kmer {
+        let code = match b {
+            b'A' | b'a' => 0u64,
+            b'C' | b'c' => 1,
+            b'G' | b'g' => 2,
+            b'T' | b't' => 3,
+            _ => return None,
+        };
+        v = (v << 2) | code;
+    }
+    Some(v)
+}
+
+impl NaiveIndex {
+    fn build(reference: &[u8], k: usize) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (pos, window) in reference.windows(k).enumerate() {
+            if let Some(key) = encode_kmer(window) {
+                map.entry(key).or_default().push(pos as u32);
+            }
+        }
+        NaiveIndex { k, map }
+    }
+
+    fn lookup(&self, seed: &[u8]) -> Option<&[u32]> {
+        if seed.len() != self.k {
+            return None;
+        }
+        let key = encode_kmer(seed)?;
+        self.map.get(&key).map(|v| v.as_slice())
+    }
+
+    fn postings(&self) -> usize {
+        self.map.values().map(|v| v.len()).sum()
+    }
+}
+
+/// DNA with occasional non-ACGT bytes, so invalid-k-mer skipping is
+/// exercised too.
+fn noisy_dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        proptest::sample::select(vec![
+            b'A', b'C', b'G', b'T', b'A', b'C', b'G', b'T', b'a', b'c', b'g', b't', b'N',
+        ]),
+        min..=max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded lookups equal the old index for every present window,
+    /// every absent probe, and the aggregate counters — at every shard
+    /// count.
+    #[test]
+    fn sharded_index_matches_old_kmer_index(
+        reference in noisy_dna(40, 500),
+        probes in proptest::collection::vec(noisy_dna(3, 9), 8),
+        k in 3usize..9,
+        shards in 0usize..33,
+    ) {
+        prop_assume!(k <= reference.len());
+        let old = NaiveIndex::build(&reference, k);
+        let new = ShardedIndex::build_with_shards(&reference, k, shards);
+
+        for start in 0..=(reference.len() - k) {
+            let seed = &reference[start..start + k];
+            prop_assert_eq!(old.lookup(seed), new.lookup(seed), "window at {}", start);
+        }
+        for probe in &probes {
+            prop_assert_eq!(old.lookup(probe), new.lookup(probe), "probe {:?}", probe);
+        }
+        prop_assert_eq!(old.postings(), new.postings());
+        prop_assert_eq!(old.map.len(), new.distinct_seeds());
+        prop_assert_eq!(new.reference_len(), reference.len());
+    }
+}

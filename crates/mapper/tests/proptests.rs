@@ -1,6 +1,6 @@
 //! Property-based tests for the read-mapping substrate.
 
-use genasm_mapper::index::KmerIndex;
+use genasm_mapper::index::ShardedIndex;
 use genasm_mapper::pipeline::{MapperConfig, ReadMapper};
 use genasm_mapper::sam::{md_tag, SamRecord};
 use genasm_mapper::seed::Seeder;
@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn index_is_sound_and_complete(reference in dna(30, 400), k in 3usize..8) {
         prop_assume!(k <= reference.len());
-        let index = KmerIndex::build(&reference, k);
+        let index = ShardedIndex::build(&reference, k);
         // Soundness: reported positions really hold the seed.
         for start in 0..=(reference.len() - k) {
             let seed = &reference[start..start + k];
@@ -39,7 +39,7 @@ proptest! {
     /// position with the top vote count.
     #[test]
     fn seeder_finds_exact_substrings(reference in dna(400, 900), start_frac in 0.0f64..0.6) {
-        let index = KmerIndex::build(&reference, 12);
+        let index = ShardedIndex::build(&reference, 12);
         let start = (reference.len() as f64 * start_frac) as usize;
         let read_len = 120.min(reference.len() - start);
         prop_assume!(read_len >= 40);

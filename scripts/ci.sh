@@ -3,9 +3,10 @@
 #
 # Usage: scripts/ci.sh [--with-bench]
 #
-#   --with-bench   additionally run the engine throughput and dc_multi
-#                  benches at full size, refreshing BENCH_engine.json
-#                  and BENCH_dc_multi.json at the repo root.
+#   --with-bench   additionally run the engine throughput, dc_multi,
+#                  and map_throughput benches at full size, refreshing
+#                  BENCH_engine.json, BENCH_dc_multi.json, and
+#                  BENCH_map.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,10 @@ cargo test --workspace -q
 echo "==> cargo test -q (core, portable fallback: no lockstep-avx2)"
 cargo test -p genasm-core --no-default-features -q
 
+echo "==> cargo test -q (mapper identity suites, portable fallback)"
+cargo test -p genasm-mapper --no-default-features -q \
+    --test batch_identity --test index_identity
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -27,11 +32,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench --bench dc_multi -- --smoke"
 cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
+echo "==> cargo bench --bench map_throughput -- --smoke"
+cargo bench -p genasm-bench --bench map_throughput -- --smoke
+
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
     cargo bench -p genasm-bench --bench engine_throughput
     echo "==> cargo bench --bench dc_multi (full)"
     cargo bench -p genasm-bench --bench dc_multi
+    echo "==> cargo bench --bench map_throughput (full)"
+    cargo bench -p genasm-bench --bench map_throughput
 fi
 
 echo "==> OK"
