@@ -1,6 +1,7 @@
 //! Lock-step multi-window DC kernel throughput: scalar vs lock-step at
-//! 1/4/8 lanes, full vs distance-only mode, and the end-to-end engine
-//! effect (scalar vs lock-step dispatch at one worker).
+//! 1/4/8 lanes, full vs distance-only mode, chunked vs persistent-lane
+//! scheduling (with lane occupancy), and the end-to-end engine effect
+//! (scalar vs chunked vs persistent dispatch at one worker).
 //!
 //! Writes `BENCH_dc_multi.json` at the workspace root alongside
 //! `BENCH_engine.json`. Pass `--smoke` (as `scripts/ci.sh` does) for a
@@ -11,9 +12,10 @@ use genasm_bench::harness::{measure_throughput, JsonReport};
 use genasm_core::alphabet::Dna;
 use genasm_core::dc::{window_dc_distance_into, window_dc_into, DcArena};
 use genasm_core::dc_multi::{
-    window_dc_multi_distance_into, window_dc_multi_into, MultiDcArena, MultiLane,
+    window_dc_multi_distance_into, window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena,
+    MultiLane,
 };
-use genasm_engine::{DcDispatch, Engine, EngineConfig, Job};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, Job, LaneCount};
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -92,6 +94,49 @@ fn run_lockstep<const L: usize, const STORE: bool>(
     }
 }
 
+/// Streams every pair through a persistent-lane [`DcLaneStream`],
+/// refilling each lane the moment it resolves — the full-mode
+/// (edge-storing) kernel under the persistent scheduler.
+fn run_stream<const L: usize>(pairs: &[(Vec<u8>, Vec<u8>)], stream: &mut DcLaneStream<L>) {
+    let mut next = 0usize;
+    let mut resolved = Vec::with_capacity(L);
+    let feed = |stream: &mut DcLaneStream<L>, lane: usize, next: &mut usize| loop {
+        if *next >= pairs.len() {
+            stream.release_lane(lane);
+            return;
+        }
+        let (t, p) = &pairs[*next];
+        *next += 1;
+        match stream.refill_lane::<Dna>(lane, t, p, p.len()) {
+            Ok(LaneLoad::Pending) => return,
+            Ok(LaneLoad::Resolved) => {
+                criterion::black_box(stream.outcome(lane));
+            }
+            Err(_) => {}
+        }
+    };
+    for lane in 0..L {
+        feed(stream, lane, &mut next);
+    }
+    while stream.active_lanes() > 0 {
+        resolved.clear();
+        stream.step(&mut resolved);
+        for &lane in &resolved {
+            criterion::black_box(stream.outcome(lane));
+            feed(stream, lane, &mut next);
+        }
+    }
+}
+
+/// `useful / issued` as a fraction, NaN-free.
+fn occupancy(counters: (u64, u64)) -> f64 {
+    if counters.0 == 0 {
+        0.0
+    } else {
+        counters.1 as f64 / counters.0 as f64
+    }
+}
+
 fn bench_dc_multi(c: &mut Criterion) {
     let smoke = smoke();
     let reps = if smoke { 2 } else { 3 };
@@ -125,26 +170,18 @@ fn bench_dc_multi(c: &mut Criterion) {
     let mut a1 = MultiDcArena::<1>::new();
     let mut a4 = MultiDcArena::<4>::new();
     let mut a8 = MultiDcArena::<8>::new();
-    let lockstep_full = [
-        (
-            1usize,
-            best_rate(pairs.len(), reps, || {
-                run_lockstep::<1, true>(&pairs, &mut a1)
-            }),
-        ),
-        (
-            4,
-            best_rate(pairs.len(), reps, || {
-                run_lockstep::<4, true>(&pairs, &mut a4)
-            }),
-        ),
-        (
-            8,
-            best_rate(pairs.len(), reps, || {
-                run_lockstep::<8, true>(&pairs, &mut a8)
-            }),
-        ),
-    ];
+    let rate1 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<1, true>(&pairs, &mut a1)
+    });
+    let occ1 = occupancy(a1.take_row_counters());
+    let rate4 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<4, true>(&pairs, &mut a4)
+    });
+    let occ4 = occupancy(a4.take_row_counters());
+    let rate8 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<8, true>(&pairs, &mut a8)
+    });
+    let occ8 = occupancy(a8.take_row_counters());
     report.record(
         "kernel_full",
         &[
@@ -152,9 +189,10 @@ fn bench_dc_multi(c: &mut Criterion) {
             ("scalar", 1.0),
             ("pairs_per_sec", scalar_full),
             ("speedup_vs_scalar", 1.0),
+            ("occupancy", 1.0),
         ],
     );
-    for (lanes, rate) in lockstep_full {
+    for (lanes, rate, occ) in [(1usize, rate1, occ1), (4, rate4, occ4), (8, rate8, occ8)] {
         report.record(
             "kernel_full",
             &[
@@ -162,14 +200,50 @@ fn bench_dc_multi(c: &mut Criterion) {
                 ("scalar", 0.0),
                 ("pairs_per_sec", rate),
                 ("speedup_vs_scalar", rate / scalar_full),
+                ("occupancy", occ),
             ],
         );
         println!(
-            "kernel full lockstep x{lanes}: {rate:.0} pairs/s ({:.2}x scalar)",
-            rate / scalar_full
+            "kernel full chunked x{lanes}: {rate:.0} pairs/s ({:.2}x scalar, occupancy {:.1}%)",
+            rate / scalar_full,
+            occ * 100.0
         );
     }
     println!("kernel full scalar: {scalar_full:.0} pairs/s");
+
+    // ---- Kernel level: chunked vs persistent-lane A/B ----------------
+    // The same edge-storing windows through the persistent-lane
+    // stream: lanes refill the moment they resolve, so the row-slot
+    // waste the chunked scheduler pays on divergent window distances
+    // (the `occupancy` gap above) is recovered.
+    let mut s4 = DcLaneStream::<4>::new();
+    let mut s8 = DcLaneStream::<8>::new();
+    let stream4 = best_rate(pairs.len(), reps, || run_stream::<4>(&pairs, &mut s4));
+    let stream4_occ = occupancy(s4.take_row_counters());
+    let stream8 = best_rate(pairs.len(), reps, || run_stream::<8>(&pairs, &mut s8));
+    let stream8_occ = occupancy(s8.take_row_counters());
+    for (lanes, rate, occ, chunked_rate) in [
+        (4usize, stream4, stream4_occ, rate4),
+        (8, stream8, stream8_occ, rate8),
+    ] {
+        report.record(
+            "kernel_stream",
+            &[
+                ("lanes", lanes as f64),
+                ("pairs_per_sec", rate),
+                ("speedup_vs_scalar", rate / scalar_full),
+                ("speedup_vs_chunked", rate / chunked_rate),
+                ("occupancy", occ),
+            ],
+        );
+        println!(
+            "kernel full persistent x{lanes}: {rate:.0} pairs/s ({:.2}x scalar, \
+             {:.2}x chunked, occupancy {:.1}%)",
+            rate / scalar_full,
+            rate / chunked_rate,
+            occ * 100.0
+        );
+    }
 
     // ---- Kernel level: distance-only mode (the filter workload) ------
     let scalar_distance = best_rate(pairs.len(), reps, || {
@@ -200,47 +274,59 @@ fn bench_dc_multi(c: &mut Criterion) {
         );
     }
 
-    // ---- Engine level: scalar vs lock-step dispatch, one worker ------
+    // ---- Engine level: scalar vs chunked vs persistent, one worker ---
     let jobs = engine_jobs(n_jobs, 0xBE9C);
-    let mut engine_rates = [0.0f64; 2];
-    for (slot, dispatch) in [DcDispatch::Scalar, DcDispatch::Lockstep]
-        .into_iter()
-        .enumerate()
-    {
+    // (dispatch, lanes, json `persistent` flag)
+    let engine_configs = [
+        (DcDispatch::Scalar, LaneCount::Four, 0.0),
+        (DcDispatch::Chunked, LaneCount::Four, 0.0),
+        (DcDispatch::Lockstep, LaneCount::Four, 1.0),
+        (DcDispatch::Lockstep, LaneCount::Eight, 1.0),
+    ];
+    let mut engine_rates = [0.0f64; 4];
+    let mut engine_occupancy = [1.0f64; 4];
+    for (slot, &(dispatch, lanes, _)) in engine_configs.iter().enumerate() {
         let engine = Engine::new(
             EngineConfig::default()
                 .with_workers(1)
-                .with_dispatch(dispatch),
+                .with_dispatch(dispatch)
+                .with_lanes(lanes),
         );
         let warm = engine.align_batch_with_stats(&jobs);
         assert_eq!(warm.stats.failures, 0, "bench workload must align cleanly");
-        engine_rates[slot] = (0..reps)
-            .map(|_| engine.align_batch_with_stats(&jobs).stats.pairs_per_sec())
-            .fold(f64::MIN, f64::max);
+        for _ in 0..reps {
+            let stats = engine.align_batch_with_stats(&jobs).stats;
+            engine_rates[slot] = engine_rates[slot].max(stats.pairs_per_sec());
+            engine_occupancy[slot] = stats.lane_occupancy().unwrap_or(1.0);
+        }
     }
-    let [scalar_engine, lockstep_engine] = engine_rates;
-    report.record(
-        "engine",
-        &[
-            ("lockstep", 0.0),
-            ("workers", 1.0),
-            ("pairs_per_sec", scalar_engine),
-            ("speedup_vs_scalar", 1.0),
-        ],
-    );
-    report.record(
-        "engine",
-        &[
-            ("lockstep", 1.0),
-            ("workers", 1.0),
-            ("pairs_per_sec", lockstep_engine),
-            ("speedup_vs_scalar", lockstep_engine / scalar_engine),
-        ],
-    );
-    println!(
-        "engine 1 worker: scalar {scalar_engine:.0} pairs/s, lockstep {lockstep_engine:.0} pairs/s ({:.2}x)",
-        lockstep_engine / scalar_engine
-    );
+    let scalar_engine = engine_rates[0];
+    for (slot, &(dispatch, lanes, persistent)) in engine_configs.iter().enumerate() {
+        let rate = engine_rates[slot];
+        report.record(
+            "engine",
+            &[
+                (
+                    "lockstep",
+                    f64::from(u8::from(dispatch != DcDispatch::Scalar)),
+                ),
+                ("persistent", persistent),
+                ("lanes", lanes.resolve() as f64),
+                ("workers", 1.0),
+                ("pairs_per_sec", rate),
+                ("speedup_vs_scalar", rate / scalar_engine),
+                ("occupancy", engine_occupancy[slot]),
+            ],
+        );
+        println!(
+            "engine 1 worker {dispatch:?} x{}: {rate:.0} pairs/s ({:.2}x scalar, \
+             occupancy {:.1}%)",
+            lanes.resolve(),
+            rate / scalar_engine,
+            engine_occupancy[slot] * 100.0
+        );
+    }
+    let lockstep_engine = engine_rates[2];
     // The lock-step PR's shared kernel optimizations (branchless
     // alphabet LUT, allocation-free pattern masks, zero-fill elision)
     // also sped up the scalar baseline itself; the pre-PR engine

@@ -3,11 +3,12 @@
 //! Subcommands:
 //!
 //! * `map --ref <fasta> --reads <fastq|fasta> [--error-rate 0.15]
-//!   [--workers 0] [--kernel lockstep|scalar|gotoh] [--shards 0]
-//!   [--pipeline batch|sequential]` — map reads against a reference
-//!   through the engine-backed staged batch pipeline (seed → lock-step
-//!   filter → multi-threaded alignment), SAM on stdout and per-stage
-//!   stats on stderr;
+//!   [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
+//!   [--lanes 4|8|auto] [--shards 0] [--pipeline batch|sequential]` —
+//!   map reads against a reference through the engine-backed staged
+//!   batch pipeline (parallel seed + lock-step filter → multi-threaded
+//!   persistent-lane alignment), SAM on stdout and per-stage stats
+//!   (including DC lane occupancy) on stderr;
 //! * `align --ref <fasta> --query <fasta> [--k <edits>]` — search and
 //!   align each query in the reference, one summary line each;
 //! * `distance --a <fasta> --b <fasta>` — global edit distance between
@@ -28,7 +29,7 @@ use args::Args;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
-use genasm_engine::DcDispatch;
+use genasm_engine::{DcDispatch, LaneCount};
 use genasm_mapper::pipeline::{AlignerKind, MapperConfig, ReadMapper, StageTimings};
 use genasm_mapper::sam;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
@@ -47,27 +48,35 @@ usage: genasm <command> [options]
 
 commands:
   map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]
-            [--workers 0] [--kernel lockstep|scalar|gotoh]
-            [--shards 0] [--pipeline batch|sequential]       SAM to stdout; per-stage
+            [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
+            [--lanes 4|8|auto] [--shards 0]
+            [--pipeline batch|sequential]                    SAM to stdout; per-stage
                                                              stats (index/seed/filter/
                                                              align split, filter reject
-                                                             rate) on stderr. Default is
-                                                             the engine-backed batch
+                                                             rate, DC lane occupancy) on
+                                                             stderr. Default is the
+                                                             engine-backed batch
                                                              pipeline: --workers threads
-                                                             (0 = all cores), --shards
-                                                             index shards (0 = auto);
+                                                             (0 = all cores, also shards
+                                                             the seeding stage), --shards
+                                                             index shards (0 = auto),
+                                                             --lanes lock-step lanes
+                                                             (auto = 8 with AVX2);
                                                              --pipeline sequential runs
                                                              the single-threaded
                                                              reference path (identical
                                                              mappings, for A/B runs)
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
-            [--kernel lockstep|scalar|gotoh] [--error-rate 0.15]
+            [--kernel lockstep|chunked|scalar|gotoh]
+            [--lanes 4|8|auto] [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
                                                              throughput report on stderr,
                                                              SAM on stdout with --sam -
-                                                             (genasm = alias of lockstep;
-                                                             scalar A/Bs the one-window-
-                                                             at-a-time DC path)
+                                                             (genasm = alias of lockstep,
+                                                             the persistent-lane
+                                                             scheduler; chunked/scalar
+                                                             A/B the chunk-granularity
+                                                             and one-window DC paths)
   align     --ref <fa> --query <fa> [--k <edits>]            per-query alignment summary
   distance  --a <fa> --b <fa>                                global edit distance
   filter    --ref <fa> --reads <fq|fa> --threshold <k>
@@ -132,13 +141,35 @@ fn load_first_fasta(path: &str) -> Result<FastaRecord, String> {
 
 /// Maps `--kernel` to the aligner selection and, for GenASM, the DC
 /// dispatch of the engine (`gotoh` swaps the whole alignment step to
-/// the DP baseline; `scalar` A/Bs the one-window-at-a-time DC path).
+/// the DP baseline; `scalar` A/Bs the one-window-at-a-time DC path;
+/// `chunked` the chunk-granularity lock-step scheduler).
 fn parse_kernel(args: &Args) -> Result<(AlignerKind, DcDispatch), String> {
     match args.get("kernel").unwrap_or("lockstep") {
         "genasm" | "lockstep" => Ok((AlignerKind::GenAsm, DcDispatch::Lockstep)),
+        "chunked" => Ok((AlignerKind::GenAsm, DcDispatch::Chunked)),
         "scalar" => Ok((AlignerKind::GenAsm, DcDispatch::Scalar)),
         "gotoh" => Ok((AlignerKind::Gotoh, DcDispatch::Lockstep)),
         other => Err(format!("unknown kernel {other:?}")),
+    }
+}
+
+/// Maps `--lanes` to the lock-step lane-width selection (`auto` picks
+/// 8 lanes when AVX2 is detected, else 4).
+fn parse_lanes(args: &Args) -> Result<LaneCount, String> {
+    match args.get("lanes").unwrap_or("auto") {
+        "auto" => Ok(LaneCount::Auto),
+        "4" => Ok(LaneCount::Four),
+        "8" => Ok(LaneCount::Eight),
+        other => Err(format!("unknown lane count {other:?} (use 4, 8 or auto)")),
+    }
+}
+
+/// Renders the alignment stage's lock-step lane occupancy for the
+/// per-stage stderr stats (`-` when no lock-step rows ran).
+fn occupancy_label(timings: &StageTimings) -> String {
+    match timings.lane_occupancy() {
+        Some(occ) => format!("{:.1}%", occ * 100.0),
+        None => "-".to_string(),
     }
 }
 
@@ -146,6 +177,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
     let (aligner, dispatch) = parse_kernel(args)?;
+    let lanes = parse_lanes(args)?;
     let pipeline = match args.get("pipeline").unwrap_or("batch") {
         p @ ("batch" | "sequential") => p,
         other => return Err(format!("unknown pipeline {other:?}")),
@@ -169,7 +201,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
 
     let (mappings, timings) = match pipeline {
         "batch" => {
-            let engine = mapper.engine(workers, dispatch);
+            let engine = mapper.engine_with_lanes(workers, dispatch, lanes);
             let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
             mapper.map_batch_with_engine(&read_refs, &engine)
         }
@@ -218,8 +250,8 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     eprintln!("mapped {mapped}/{} reads", reads.len());
     eprintln!(
         "pipeline={pipeline} index={:.3}s ({} shards) seed={:.3}s filter={:.3}s \
-         (rejected {:.1}% of {} candidates) align={:.3}s total={total:.3}s \
-         ({reads_per_sec:.0} reads/s)",
+         (rejected {:.1}% of {} candidates) align={:.3}s (dc-occupancy {}) \
+         total={total:.3}s ({reads_per_sec:.0} reads/s)",
         index_time.as_secs_f64(),
         mapper.index().shard_count(),
         timings.seeding.as_secs_f64(),
@@ -227,6 +259,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         timings.reject_rate() * 100.0,
         timings.candidates.0,
         timings.alignment.as_secs_f64(),
+        occupancy_label(&timings),
     );
     Ok(())
 }
@@ -235,6 +268,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
     let (aligner, dispatch) = parse_kernel(args)?;
+    let lanes = parse_lanes(args)?;
     let error_rate: f64 = args.number("error-rate", 0.15)?;
     let threads: usize = args.number("threads", 0)?;
 
@@ -247,10 +281,10 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         ..MapperConfig::default()
     };
     let mapper = ReadMapper::build(&reference.seq, config);
-    // The scalar/lockstep pair produces bit-identical mappings; the
-    // flag exists so the two DC paths can be A/B'd from the command
-    // line.
-    let engine = mapper.engine(threads, dispatch);
+    // The scalar/chunked/lockstep triple produces bit-identical
+    // mappings; the flags exist so the DC paths can be A/B'd from the
+    // command line.
+    let engine = mapper.engine_with_lanes(threads, dispatch, lanes);
     let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
     let (mappings, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
 
@@ -278,7 +312,8 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     };
     eprintln!(
         "kernel={} reads={} mapped={} candidates={}/{} \
-         seed={:.3}s filter={:.3}s align={:.3}s ({reads_per_sec:.0} reads/s in alignment)",
+         seed={:.3}s filter={:.3}s align={:.3}s (dc-occupancy {}) \
+         ({reads_per_sec:.0} reads/s in alignment)",
         engine.kernel_name(),
         reads.len(),
         mapped,
@@ -287,6 +322,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         timings.seeding.as_secs_f64(),
         timings.filtering.as_secs_f64(),
         align_secs,
+        occupancy_label(&timings),
     );
     Ok(())
 }
@@ -496,8 +532,9 @@ mod tests {
         .unwrap();
 
         // The engine-batched path maps the same inputs, on every kernel
-        // (scalar and lockstep are the A/B pair of the DC dispatch).
-        for kernel in ["genasm", "gotoh", "scalar", "lockstep"] {
+        // (scalar, chunked and lockstep are the A/B set of the DC
+        // dispatch).
+        for kernel in ["genasm", "gotoh", "scalar", "chunked", "lockstep"] {
             run(vec![
                 "batch".into(),
                 "--ref".into(),
@@ -511,6 +548,31 @@ mod tests {
             ])
             .unwrap();
         }
+
+        // Explicit lane widths thread through to the engine.
+        for lanes in ["4", "8", "auto"] {
+            run(vec![
+                "map".into(),
+                "--ref".into(),
+                format!("{prefix}_ref.fa"),
+                "--reads".into(),
+                format!("{prefix}_reads.fq"),
+                "--lanes".into(),
+                lanes.into(),
+            ])
+            .unwrap();
+        }
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            format!("{prefix}_reads.fq"),
+            "--lanes".into(),
+            "16".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown lane count"), "{err}");
 
         // The filter runs on both scan kernels.
         for kernel in ["scalar", "lockstep"] {

@@ -42,7 +42,7 @@ use crate::alphabet::Alphabet;
 use crate::dc::{boundary_state, MAX_WINDOW};
 use crate::error::AlignError;
 use crate::pattern::PatternBitmasks64;
-use crate::tb::TracebackSource;
+use crate::tb::{edge_store_words, TracebackSource};
 
 /// Lane count the engine's window scheduler uses: four `u64` lanes fill
 /// one 256-bit AVX2 vector, the widest unit ubiquitous on current x86
@@ -95,6 +95,11 @@ pub struct MultiDcArena<const L: usize> {
     meta: Vec<LaneMeta>,
     outcomes: Vec<Result<Option<usize>, AlignError>>,
     max_n: usize,
+    /// Lock-step row-slot accounting across runs: slots computed
+    /// (`L` per full-width row) vs slots that advanced a still
+    /// unresolved window. See [`MultiDcArena::row_counters`].
+    rows_issued: u64,
+    rows_useful: u64,
 }
 
 impl<const L: usize> Default for MultiDcArena<L> {
@@ -110,6 +115,8 @@ impl<const L: usize> Default for MultiDcArena<L> {
             meta: Vec::new(),
             outcomes: Vec::new(),
             max_n: 0,
+            rows_issued: 0,
+            rows_useful: 0,
         }
     }
 }
@@ -146,6 +153,24 @@ impl<const L: usize> MultiDcArena<L> {
     /// pooled) — exposed so tests can assert reuse across runs.
     pub fn retained_rows(&self) -> usize {
         self.match_rows.len() + self.ins_rows.len() + self.del_rows.len() + self.spare.len()
+    }
+
+    /// Lock-step row-slot accounting accumulated across runs:
+    /// `(issued, useful)`, where every full-width lock-step row issues
+    /// `L` lane-slots and a slot is useful when it advanced a window
+    /// that was still unresolved (row 0 is useful for every valid
+    /// lane). The gap between the two is the chunk-granularity waste
+    /// the persistent-lane scheduler ([`DcLaneStream`]) removes.
+    pub fn row_counters(&self) -> (u64, u64) {
+        (self.rows_issued, self.rows_useful)
+    }
+
+    /// Returns and resets the [`row_counters`](Self::row_counters).
+    pub fn take_row_counters(&mut self) -> (u64, u64) {
+        let counters = (self.rows_issued, self.rows_useful);
+        self.rows_issued = 0;
+        self.rows_useful = 0;
+        counters
     }
 
     fn recycle(&mut self) {
@@ -225,16 +250,11 @@ impl<const L: usize> TracebackSource for LaneBitvectors<'_, L> {
     }
 
     fn stored_words(&self) -> usize {
-        // Scalar-equivalent accounting: one word per match cell plus
-        // three per gap-row cell, for this lane's rows only (slots the
-        // lock-step layout computed past this lane's early exit are
-        // never read and are not TB-SRAM traffic in the modeled
-        // hardware).
-        let rows = self.rows();
-        if rows == 0 {
-            return 0;
-        }
-        self.text_len() * (1 + 3 * (rows - 1))
+        // Scalar-equivalent accounting for this lane's rows only:
+        // slots the lock-step layout computed past this lane's early
+        // exit are never read and are not TB-SRAM traffic in the
+        // modeled hardware.
+        edge_store_words(self.text_len(), self.rows())
     }
 
     fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
@@ -379,6 +399,8 @@ fn run_multi<A: Alphabet, const L: usize, const STORE: bool>(
     // is already exhausted).
     let mut resolved = [false; L];
     let mut unresolved = 0usize;
+    arena.rows_issued += L as u64;
+    arena.rows_useful += arena.outcomes.iter().filter(|o| o.is_ok()).count() as u64;
     for lane_idx in 0..lanes.len() {
         let meta = arena.meta[lane_idx];
         if arena.outcomes[lane_idx].is_err() {
@@ -403,11 +425,15 @@ fn run_multi<A: Alphabet, const L: usize, const STORE: bool>(
     let mut d = 0usize;
     while unresolved > 0 {
         d += 1;
+        arena.rows_issued += L as u64;
+        arena.rows_useful += unresolved as u64;
         // Boundary before any text is consumed: ones << d (see
-        // `boundary_state`). The state is lane-independent; padding
-        // positions reproduce it automatically under all-ones masks.
-        let init_d = boundary_state(d);
-        let init_dm1 = boundary_state(d - 1);
+        // `boundary_state`). In the chunked scheduler every lane sits
+        // at the same depth, so the per-lane init arrays broadcast one
+        // state; padding positions reproduce it automatically under
+        // all-ones masks.
+        let init_d = [boundary_state(d); L];
+        let init_dm1 = [boundary_state(d - 1); L];
         let stored = if STORE {
             let match_row = arena.fresh_row(max_n);
             let ins_row = arena.fresh_row(max_n);
@@ -425,8 +451,8 @@ fn run_multi<A: Alphabet, const L: usize, const STORE: bool>(
                     &mut match_row,
                     &mut ins_row,
                     &mut del_row,
-                    init_d,
-                    init_dm1,
+                    &init_d,
+                    &init_dm1,
                 );
                 arena.match_rows.push(match_row);
                 arena.ins_rows.push(ins_row);
@@ -437,8 +463,8 @@ fn run_multi<A: Alphabet, const L: usize, const STORE: bool>(
                     &arena.text_pm,
                     &arena.prev,
                     &mut arena.cur,
-                    init_d,
-                    init_dm1,
+                    &init_d,
+                    &init_dm1,
                 );
             }
         }
@@ -465,9 +491,521 @@ fn run_multi<A: Alphabet, const L: usize, const STORE: bool>(
     }
 }
 
+/// Outcome of a [`DcLaneStream::refill_lane`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneLoad {
+    /// The window needs distance rows: [`DcLaneStream::step`] will
+    /// advance it and report it once it resolves.
+    Pending,
+    /// The window resolved during the refill itself (anchor cleared at
+    /// distance 0, or a zero budget): its outcome and stored row are
+    /// readable immediately.
+    Resolved,
+}
+
+/// Lifecycle of one persistent lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum LaneState {
+    /// No window loaded; the lane's slots compute padding.
+    #[default]
+    Idle,
+    /// A window is being advanced one distance row per step.
+    Active,
+    /// The window resolved; outcome and bitvectors are readable until
+    /// the lane is refilled or released.
+    Resolved,
+}
+
+/// Per-lane bookkeeping of a [`DcLaneStream`].
+#[derive(Debug, Clone, Copy, Default)]
+struct StreamLaneMeta {
+    state: LaneState,
+    n: usize,
+    m: usize,
+    msb: u64,
+    k_max: usize,
+    /// Depth of the lane's newest computed row (`prev` holds `R[d]`).
+    d: usize,
+    /// Global step index of the lane's `d = 1` row — the lane's offset
+    /// into the shared row ring. The lane's row `d >= 1` lives at ring
+    /// slot `start + d - 1`.
+    start: usize,
+    /// Stored rows after resolution (`d_found + 1`, or `k_max + 1`).
+    rows: usize,
+    /// Window distance, `None` when `k_max` was exhausted; meaningful
+    /// only in [`LaneState::Resolved`].
+    outcome: Option<usize>,
+}
+
+/// The persistent-lane streaming GenASM-DC kernel: `L` lanes that each
+/// carry an **independent** window at its own depth, with a
+/// [`refill_lane`](DcLaneStream::refill_lane) entry point so a lane is
+/// reloaded the moment its window resolves — no lane ever idles waiting
+/// for the deepest window of a chunk.
+///
+/// This is the software shape of the accelerator's in-flight window
+/// pool (§7): the hardware keeps its DC pipeline saturated by always
+/// having enough independent windows in flight to cover divergent
+/// window distances. The chunked scheduler
+/// ([`window_dc_multi_into`]) approximates that only at chunk
+/// granularity and wastes the resolved lanes' slots until the chunk
+/// drains; here every [`step`](DcLaneStream::step) advances *every*
+/// loaded lane by one distance row — each lane at its own depth
+/// `d_lane`, with per-lane boundary states — and resolved lanes are
+/// handed back for immediate refill.
+///
+/// Row storage is a shared ring: step `s` stores one full-width
+/// `[u64; L]` row triple (match/insertion/deletion), and a lane
+/// refilled at step `s0` finds its depth-`d` rows at ring slot
+/// `s0 + d - 1` (its *row-storage offset*); the `d = 0` match row is
+/// kept per-lane. Rows retire to a spare pool once every engaged
+/// lane's offset has moved past them, so a warmed-up stream allocates
+/// nothing. Per-lane results — distances, stored bitvectors
+/// ([`DcLaneStream::lane`] implements
+/// [`TracebackSource`]) and input errors — are **bit-identical** to
+/// the scalar [`window_dc_into`](crate::dc::window_dc_into) on the
+/// same window.
+#[derive(Debug)]
+pub struct DcLaneStream<const L: usize> {
+    /// Text positions currently allocated (the longest engaged text).
+    capacity: usize,
+    /// Pattern bitmask per text position, lane-interleaved; padding and
+    /// idle-lane positions hold all-ones.
+    text_pm: Vec<[u64; L]>,
+    /// Rolling rows: `prev[i][lane]` holds lane's `R[d_lane][i]`.
+    prev: Vec<[u64; L]>,
+    cur: Vec<[u64; L]>,
+    /// Per-lane `R[0]` (the `d = 0` match row), written at refill.
+    d0: Vec<[u64; L]>,
+    /// Shared row ring: `rows[s - base]` stores the bitvectors of
+    /// global step `s`.
+    match_rows: Vec<Vec<[u64; L]>>,
+    ins_rows: Vec<Vec<[u64; L]>>,
+    del_rows: Vec<Vec<[u64; L]>>,
+    /// Global step index of `match_rows[0]`.
+    base: usize,
+    /// Retired rows available for reuse.
+    spare: Vec<Vec<[u64; L]>>,
+    meta: [StreamLaneMeta; L],
+    /// Full-width steps completed since creation.
+    steps: usize,
+    rows_issued: u64,
+    rows_useful: u64,
+}
+
+impl<const L: usize> Default for DcLaneStream<L> {
+    fn default() -> Self {
+        DcLaneStream {
+            capacity: 0,
+            text_pm: Vec::new(),
+            prev: Vec::new(),
+            cur: Vec::new(),
+            d0: Vec::new(),
+            match_rows: Vec::new(),
+            ins_rows: Vec::new(),
+            del_rows: Vec::new(),
+            base: 0,
+            spare: Vec::new(),
+            meta: [StreamLaneMeta::default(); L],
+            steps: 0,
+            rows_issued: 0,
+            rows_useful: 0,
+        }
+    }
+}
+
+impl<const L: usize> DcLaneStream<L> {
+    /// An empty stream; buffers are grown on first use.
+    pub fn new() -> Self {
+        DcLaneStream::default()
+    }
+
+    /// Lanes currently advancing a window.
+    pub fn active_lanes(&self) -> usize {
+        self.meta
+            .iter()
+            .filter(|m| m.state == LaneState::Active)
+            .count()
+    }
+
+    /// Lock-step row-slot accounting accumulated across the stream's
+    /// lifetime: `(issued, useful)` — every full-width step issues `L`
+    /// lane-slots, of which the slots advancing a loaded, unresolved
+    /// window are useful. (Per-lane `d = 0` initialization happens
+    /// inside [`refill_lane`](Self::refill_lane) at exact width and is
+    /// not lock-step work, so it is not counted; the chunked kernel's
+    /// full-width row 0 is.)
+    pub fn row_counters(&self) -> (u64, u64) {
+        (self.rows_issued, self.rows_useful)
+    }
+
+    /// Returns and resets the [`row_counters`](Self::row_counters).
+    pub fn take_row_counters(&mut self) -> (u64, u64) {
+        let counters = (self.rows_issued, self.rows_useful);
+        self.rows_issued = 0;
+        self.rows_useful = 0;
+        counters
+    }
+
+    /// The resolved window distance of `lane` (`None` when the lane's
+    /// `k_max` was exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lane is not in the resolved state.
+    pub fn outcome(&self, lane: usize) -> Option<usize> {
+        assert!(
+            self.meta[lane].state == LaneState::Resolved,
+            "lane {lane} has no resolved outcome"
+        );
+        self.meta[lane].outcome
+    }
+
+    /// The stored bitvectors of a resolved lane, as a traceback
+    /// source — bit-identical to the scalar kernel's view of the same
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lane is not in the resolved state.
+    pub fn lane(&self, lane: usize) -> StreamLaneBitvectors<'_, L> {
+        assert!(
+            self.meta[lane].state == LaneState::Resolved,
+            "lane {lane} has no resolved window"
+        );
+        StreamLaneBitvectors { stream: self, lane }
+    }
+
+    /// Unloads `lane` (after its outcome has been consumed, or to
+    /// abandon it), retiring any rows no other lane still needs.
+    pub fn release_lane(&mut self, lane: usize) {
+        self.meta[lane].state = LaneState::Idle;
+        self.retire_rows();
+    }
+
+    /// Loads a window into `lane`, replacing whatever ran there — the
+    /// persistent-lane entry point: call it the moment the lane's
+    /// previous window resolves (and its bitvectors have been
+    /// consumed). On [`LaneLoad::Resolved`] the window resolved during
+    /// the refill itself; on error the lane is left idle.
+    ///
+    /// # Errors
+    ///
+    /// The same input errors, in the same precedence, as the scalar
+    /// [`window_dc`](crate::dc::window_dc): empty pattern, empty text,
+    /// pattern longer than [`MAX_WINDOW`], invalid symbol (first text
+    /// position in ascending order).
+    pub fn refill_lane<A: Alphabet>(
+        &mut self,
+        lane: usize,
+        text: &[u8],
+        pattern: &[u8],
+        k_max: usize,
+    ) -> Result<LaneLoad, AlignError> {
+        assert!(lane < L, "lane {lane} out of range for {L} lanes");
+        // The lane is vacated first so retirement stays correct even
+        // when validation fails below.
+        self.meta[lane].state = LaneState::Idle;
+        let validated: Result<PatternBitmasks64<A>, AlignError> = if pattern.is_empty() {
+            Err(AlignError::EmptyPattern)
+        } else if text.is_empty() {
+            Err(AlignError::EmptyText)
+        } else if pattern.len() > MAX_WINDOW {
+            Err(AlignError::InvalidWindow { w: pattern.len() })
+        } else {
+            PatternBitmasks64::<A>::new(pattern)
+        };
+        let pm = match validated {
+            Ok(pm) => pm,
+            Err(e) => {
+                self.retire_rows();
+                return Err(e);
+            }
+        };
+        let n = text.len();
+        self.ensure_capacity(n);
+        for (i, &byte) in text.iter().enumerate() {
+            match pm.mask(byte) {
+                Some(mask) => self.text_pm[i][lane] = mask,
+                None => {
+                    // Reset the column to padding so the lane stays
+                    // inert; same error the scalar kernel reports.
+                    for row in self.text_pm.iter_mut().take(i) {
+                        row[lane] = u64::MAX;
+                    }
+                    self.retire_rows();
+                    return Err(AlignError::InvalidSymbol { pos: i, byte });
+                }
+            }
+        }
+        for row in self.text_pm[n..].iter_mut() {
+            row[lane] = u64::MAX;
+        }
+
+        // Per-lane row 0 at exact width: R[0][i] = (R[0][i+1] << 1) |
+        // PM, with padding positions idling at boundary_state(0) (all
+        // ones) so the full-width steps read the right boundary at
+        // i = n - 1.
+        for row in self.prev[n..].iter_mut() {
+            row[lane] = u64::MAX;
+        }
+        let mut r = u64::MAX;
+        for i in (0..n).rev() {
+            r = (r << 1) | self.text_pm[i][lane];
+            self.prev[i][lane] = r;
+            self.d0[i][lane] = r;
+        }
+
+        let msb = 1u64 << (pattern.len() - 1);
+        self.meta[lane] = StreamLaneMeta {
+            state: LaneState::Active,
+            n,
+            m: pattern.len(),
+            msb,
+            k_max,
+            d: 0,
+            start: self.steps,
+            rows: 0,
+            outcome: None,
+        };
+        self.retire_rows();
+        let meta = &mut self.meta[lane];
+        if r & msb == 0 {
+            meta.state = LaneState::Resolved;
+            meta.outcome = Some(0);
+            meta.rows = 1;
+            Ok(LaneLoad::Resolved)
+        } else if k_max == 0 {
+            meta.state = LaneState::Resolved;
+            meta.outcome = None;
+            meta.rows = 1;
+            Ok(LaneLoad::Resolved)
+        } else {
+            Ok(LaneLoad::Pending)
+        }
+    }
+
+    /// Advances every active lane by one distance row — each lane at
+    /// its own depth, with per-lane boundary states — and appends the
+    /// lanes that resolved this step to `resolved`. A step with no
+    /// active lane is a no-op.
+    pub fn step(&mut self, resolved: &mut Vec<usize>) {
+        let mut init_d = [u64::MAX; L];
+        let mut init_dm1 = [u64::MAX; L];
+        let mut active = 0usize;
+        for (lane, meta) in self.meta.iter().enumerate() {
+            if meta.state == LaneState::Active {
+                active += 1;
+                init_d[lane] = boundary_state(meta.d + 1);
+                init_dm1[lane] = boundary_state(meta.d);
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        self.rows_issued += L as u64;
+        self.rows_useful += active as u64;
+
+        let mut match_row = self.fresh_row();
+        let mut ins_row = self.fresh_row();
+        let mut del_row = self.fresh_row();
+        dc_row_full::<L>(
+            &self.text_pm,
+            &self.prev,
+            &mut self.cur,
+            &mut match_row,
+            &mut ins_row,
+            &mut del_row,
+            &init_d,
+            &init_dm1,
+        );
+        self.match_rows.push(match_row);
+        self.ins_rows.push(ins_row);
+        self.del_rows.push(del_row);
+        std::mem::swap(&mut self.prev, &mut self.cur);
+        self.steps += 1;
+
+        for (lane, meta) in self.meta.iter_mut().enumerate() {
+            if meta.state != LaneState::Active {
+                continue;
+            }
+            meta.d += 1;
+            if self.prev[0][lane] & meta.msb == 0 {
+                meta.state = LaneState::Resolved;
+                meta.outcome = Some(meta.d);
+                meta.rows = meta.d + 1;
+                resolved.push(lane);
+            } else if meta.d == meta.k_max {
+                meta.state = LaneState::Resolved;
+                meta.outcome = None;
+                meta.rows = meta.d + 1;
+                resolved.push(lane);
+            }
+        }
+    }
+
+    /// Total `[u64; L]` rows currently retained in the ring and the
+    /// spare pool — exposed so tests can assert reuse.
+    pub fn retained_rows(&self) -> usize {
+        self.match_rows.len() + self.ins_rows.len() + self.del_rows.len() + self.spare.len()
+    }
+
+    /// Grows the shared buffers to `n` text positions, preserving the
+    /// padding invariant: positions beyond an engaged lane's text hold
+    /// that lane's boundary state.
+    fn ensure_capacity(&mut self, n: usize) {
+        if n <= self.capacity {
+            return;
+        }
+        let old = self.capacity;
+        self.capacity = n;
+        self.text_pm.resize(n, [u64::MAX; L]);
+        self.prev.resize(n, [0u64; L]);
+        self.cur.resize(n, [0u64; L]);
+        self.d0.resize(n, [0u64; L]);
+        for (lane, meta) in self.meta.iter().enumerate() {
+            if meta.state == LaneState::Active {
+                let boundary = boundary_state(meta.d);
+                for row in self.prev[old..].iter_mut() {
+                    row[lane] = boundary;
+                }
+            }
+        }
+        // Rows already in the ring keep their old length: views only
+        // read `i < n_lane`, and every lane engaged before the growth
+        // has `n_lane <= old`.
+    }
+
+    /// Retires ring rows that every engaged lane's offset has moved
+    /// past.
+    fn retire_rows(&mut self) {
+        let min_start = self
+            .meta
+            .iter()
+            .filter(|m| m.state != LaneState::Idle)
+            .map(|m| m.start)
+            .min()
+            .unwrap_or(self.steps);
+        let retire = min_start
+            .saturating_sub(self.base)
+            .min(self.match_rows.len());
+        if retire == 0 {
+            return;
+        }
+        for rows in [&mut self.match_rows, &mut self.ins_rows, &mut self.del_rows] {
+            self.spare.extend(rows.drain(..retire));
+        }
+        self.base += retire;
+    }
+
+    /// A ring row of `capacity` slots whose every entry the step
+    /// overwrites before any view reads it.
+    fn fresh_row(&mut self) -> Vec<[u64; L]> {
+        let n = self.capacity;
+        match self.spare.pop() {
+            Some(mut row) => {
+                if row.len() != n {
+                    row.clear();
+                    row.resize(n, [0u64; L]);
+                }
+                row
+            }
+            None => vec![[0u64; L]; n],
+        }
+    }
+}
+
+/// One resolved lane of a [`DcLaneStream`], viewed exactly like the
+/// scalar kernel's [`WindowBitvectors`](crate::dc::WindowBitvectors):
+/// same indexing, same derived substitution bitvector, same TB-SRAM
+/// word accounting — so
+/// [`window_traceback`](crate::tb::window_traceback) walks are
+/// bit-identical between the scalar and persistent-lane kernels.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamLaneBitvectors<'a, const L: usize> {
+    stream: &'a DcLaneStream<L>,
+    lane: usize,
+}
+
+impl<const L: usize> StreamLaneBitvectors<'_, L> {
+    /// Distance rows this lane stored (`d = 0..rows()`).
+    pub fn rows(&self) -> usize {
+        self.stream.meta[self.lane].rows
+    }
+
+    /// Ring slot of this lane's depth-`d` row (`d >= 1`).
+    fn slot(&self, d: usize) -> usize {
+        self.stream.meta[self.lane].start + d - 1 - self.stream.base
+    }
+
+    /// Match bitvector at text iteration `i`, distance `d`.
+    pub fn match_at(&self, i: usize, d: usize) -> u64 {
+        debug_assert!(d < self.rows() && i < self.text_len());
+        if d == 0 {
+            self.stream.d0[i][self.lane]
+        } else {
+            self.stream.match_rows[self.slot(d)][i][self.lane]
+        }
+    }
+
+    /// Insertion bitvector at `(i, d)`; all-ones for `d = 0`.
+    pub fn ins_at(&self, i: usize, d: usize) -> u64 {
+        if d == 0 {
+            u64::MAX
+        } else {
+            self.stream.ins_rows[self.slot(d)][i][self.lane]
+        }
+    }
+
+    /// Deletion bitvector at `(i, d)`; all-ones for `d = 0`.
+    pub fn del_at(&self, i: usize, d: usize) -> u64 {
+        if d == 0 {
+            u64::MAX
+        } else {
+            self.stream.del_rows[self.slot(d)][i][self.lane]
+        }
+    }
+}
+
+impl<const L: usize> TracebackSource for StreamLaneBitvectors<'_, L> {
+    fn pattern_len(&self) -> usize {
+        self.stream.meta[self.lane].m
+    }
+
+    fn text_len(&self) -> usize {
+        self.stream.meta[self.lane].n
+    }
+
+    fn stored_words(&self) -> usize {
+        edge_store_words(self.text_len(), self.rows())
+    }
+
+    fn match_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        (self.match_at(i, d) >> bit) & 1 == 0
+    }
+
+    fn ins_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        d > 0 && (self.ins_at(i, d) >> bit) & 1 == 0
+    }
+
+    fn del_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        d > 0 && (self.del_at(i, d) >> bit) & 1 == 0
+    }
+
+    fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool {
+        d > 0 && ((self.del_at(i, d) << 1) >> bit) & 1 == 0
+    }
+}
+
 /// One lock-step distance row in full (edge-storing) mode. Kept free of
 /// bounds checks and branches in the lane dimension so LLVM unrolls and
 /// vectorizes the `L`-wide inner loop.
+///
+/// The boundary inits are **per-lane** arrays: the chunked scheduler
+/// broadcasts one depth to every lane, while the persistent-lane
+/// scheduler ([`DcLaneStream`]) advances each lane at its own depth
+/// `d_lane` and passes `boundary_state(d_lane)` / `boundary_state(d_lane
+/// - 1)` per lane.
 #[allow(clippy::too_many_arguments)]
 fn dc_row_multi<const L: usize, const STORE: bool>(
     pm: &[[u64; L]],
@@ -476,17 +1014,13 @@ fn dc_row_multi<const L: usize, const STORE: bool>(
     match_row: &mut [[u64; L]],
     ins_row: &mut [[u64; L]],
     del_row: &mut [[u64; L]],
-    init_d: u64,
-    init_dm1: u64,
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
 ) {
     let n = pm.len();
-    let mut r_next = [init_d; L];
+    let mut r_next = *init_d;
     for i in (0..n).rev() {
-        let prev_ip1 = if i + 1 < n {
-            prev[i + 1]
-        } else {
-            [init_dm1; L]
-        };
+        let prev_ip1 = if i + 1 < n { prev[i + 1] } else { *init_dm1 };
         let prev_i = prev[i];
         let pm_i = pm[i];
         let mut matched_v = [0u64; L];
@@ -566,8 +1100,8 @@ fn dc_row_full<const L: usize>(
     match_row: &mut [[u64; L]],
     ins_row: &mut [[u64; L]],
     del_row: &mut [[u64; L]],
-    init_d: u64,
-    init_dm1: u64,
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
 ) {
     #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
     {
@@ -596,18 +1130,18 @@ unsafe fn dc_row_full_avx2<const L: usize>(
     match_row: &mut [[u64; L]],
     ins_row: &mut [[u64; L]],
     del_row: &mut [[u64; L]],
-    init_d: u64,
-    init_dm1: u64,
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
 ) {
     use std::arch::x86_64::{
-        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x,
-        _mm256_slli_epi64, _mm256_storeu_si256,
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_slli_epi64,
+        _mm256_storeu_si256,
     };
     let n = pm.len();
     let groups = L / 4;
-    let boundary_d = _mm256_set1_epi64x(init_d as i64);
-    let boundary_dm1 = _mm256_set1_epi64x(init_dm1 as i64);
     for g in 0..groups {
+        let boundary_d = _mm256_loadu_si256(init_d.as_ptr().add(g * 4).cast::<__m256i>());
+        let boundary_dm1 = _mm256_loadu_si256(init_dm1.as_ptr().add(g * 4).cast::<__m256i>());
         let mut r_next = boundary_d;
         for i in (0..n).rev() {
             let load = |row: &[u64; L]| -> __m256i {
@@ -645,8 +1179,8 @@ fn dc_row_distance<const L: usize>(
     pm: &[[u64; L]],
     prev: &[[u64; L]],
     cur: &mut [[u64; L]],
-    init_d: u64,
-    init_dm1: u64,
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
 ) {
     #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
     {
@@ -681,18 +1215,18 @@ unsafe fn dc_row_distance_avx2<const L: usize>(
     pm: &[[u64; L]],
     prev: &[[u64; L]],
     cur: &mut [[u64; L]],
-    init_d: u64,
-    init_dm1: u64,
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
 ) {
     use std::arch::x86_64::{
-        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x,
-        _mm256_slli_epi64, _mm256_storeu_si256,
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_slli_epi64,
+        _mm256_storeu_si256,
     };
     let n = pm.len();
     let groups = L / 4;
-    let boundary_d = _mm256_set1_epi64x(init_d as i64);
-    let boundary_dm1 = _mm256_set1_epi64x(init_dm1 as i64);
     for g in 0..groups {
+        let boundary_d = _mm256_loadu_si256(init_d.as_ptr().add(g * 4).cast::<__m256i>());
+        let boundary_dm1 = _mm256_loadu_si256(init_dm1.as_ptr().add(g * 4).cast::<__m256i>());
         let mut r_next = boundary_d;
         for i in (0..n).rev() {
             let load = |row: &[u64; L]| -> __m256i {
@@ -973,6 +1507,209 @@ mod tests {
                     "seed={seed} lane={l}"
                 );
             }
+        }
+    }
+
+    /// Drains `windows` through a [`DcLaneStream`], refilling each lane
+    /// the moment it resolves, and checks every outcome, stored
+    /// bitvector and traceback against the scalar kernel.
+    // The drain loop indexes `resolved`/`loaded` while the feed macro
+    // mutates them; range loops are the clearest shape for that.
+    #[allow(clippy::needless_range_loop)]
+    fn drain_stream_against_scalar<const L: usize>(
+        stream: &mut DcLaneStream<L>,
+        windows: &[(Vec<u8>, Vec<u8>, usize)],
+    ) {
+        let mut next = 0usize;
+        let mut loaded: [Option<usize>; L] = [None; L];
+        let mut resolved = Vec::new();
+        let check = |stream: &DcLaneStream<L>, lane: usize, window: usize| {
+            let (text, pattern, k_max) = &windows[window];
+            let scalar = window_dc::<Dna>(text, pattern, *k_max).unwrap();
+            assert_eq!(
+                stream.outcome(lane),
+                scalar.edit_distance,
+                "window {window} distance"
+            );
+            let view = stream.lane(lane);
+            assert_eq!(view.rows(), scalar.bitvectors.rows(), "window {window}");
+            for d in 0..view.rows() {
+                for i in 0..scalar.bitvectors.text_len() {
+                    assert_eq!(view.match_at(i, d), scalar.bitvectors.match_at(i, d));
+                    assert_eq!(view.ins_at(i, d), scalar.bitvectors.ins_at(i, d));
+                    assert_eq!(view.del_at(i, d), scalar.bitvectors.del_at(i, d));
+                }
+            }
+            assert_eq!(view.stored_words(), scalar.bitvectors.stored_words());
+            if let Some(d) = scalar.edit_distance {
+                let walk_scalar =
+                    window_traceback(&scalar.bitvectors, d, usize::MAX, &TracebackOrder::affine())
+                        .unwrap();
+                let walk_stream =
+                    window_traceback(&view, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+                assert_eq!(walk_scalar.ops, walk_stream.ops, "window {window}");
+            }
+        };
+        // Feed a lane until it holds a pending window (checking instant
+        // resolutions on the spot) or the queue runs dry.
+        macro_rules! feed {
+            ($lane:expr) => {
+                loop {
+                    if next >= windows.len() {
+                        stream.release_lane($lane);
+                        loaded[$lane] = None;
+                        break;
+                    }
+                    let window = next;
+                    next += 1;
+                    let (text, pattern, k_max) = &windows[window];
+                    match stream.refill_lane::<Dna>($lane, text, pattern, *k_max) {
+                        Ok(LaneLoad::Pending) => {
+                            loaded[$lane] = Some(window);
+                            break;
+                        }
+                        Ok(LaneLoad::Resolved) => check(stream, $lane, window),
+                        Err(e) => {
+                            let scalar = window_dc::<Dna>(text, pattern, *k_max);
+                            assert_eq!(scalar.unwrap_err(), e, "window {window} error");
+                        }
+                    }
+                }
+            };
+        }
+        for lane in 0..L {
+            feed!(lane);
+        }
+        while stream.active_lanes() > 0 {
+            resolved.clear();
+            stream.step(&mut resolved);
+            for i in 0..resolved.len() {
+                let lane = resolved[i];
+                let window = loaded[lane].expect("resolved lane is loaded");
+                check(stream, lane, window);
+                feed!(lane);
+            }
+        }
+        assert_eq!(next, windows.len(), "every window must be drained");
+    }
+
+    /// Windows of ragged sizes, divergent distances, exhausted budgets,
+    /// instant resolutions and invalid inputs, from a deterministic
+    /// generator.
+    fn ragged_windows(count: usize, seed: u64) -> Vec<(Vec<u8>, Vec<u8>, usize)> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| {
+                let n = 4 + (next() as usize % 60);
+                let text = dna(n, next());
+                let m = 1 + (next() as usize % n.min(MAX_WINDOW));
+                let mut pattern = text[..m].to_vec();
+                for _ in 0..(next() % 5) {
+                    let idx = next() as usize % pattern.len();
+                    pattern[idx] = b"ACGT"[(next() % 4) as usize];
+                }
+                let k_max = match next() % 4 {
+                    0 => 0,                     // zero budget: instant resolution
+                    1 => (next() as usize) % 3, // tight budget: often exhausted
+                    _ => pattern.len(),         // always resolves
+                };
+                match next() % 16 {
+                    0 => (Vec::new(), pattern, k_max), // EmptyText
+                    1 => (text, Vec::new(), k_max),    // EmptyPattern
+                    2 => {
+                        let mut bad = text.clone();
+                        let pos = next() as usize % bad.len();
+                        bad[pos] = b'N'; // InvalidSymbol
+                        (bad, pattern, k_max)
+                    }
+                    _ => (text, pattern, k_max),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_matches_scalar_across_ragged_lifetimes() {
+        let mut stream4 = DcLaneStream::<4>::new();
+        let mut stream8 = DcLaneStream::<8>::new();
+        for seed in 1..8u64 {
+            let windows = ragged_windows(37, seed * 0x9E37);
+            drain_stream_against_scalar(&mut stream4, &windows);
+            drain_stream_against_scalar(&mut stream8, &windows);
+        }
+    }
+
+    #[test]
+    fn stream_handles_short_queues_and_empty_tail() {
+        // Fewer windows than lanes: most lanes idle from the start, and
+        // the tail drains with a single active lane.
+        let mut stream = DcLaneStream::<8>::new();
+        for count in [1usize, 2, 3, 7] {
+            let windows = ragged_windows(count, count as u64 * 131);
+            drain_stream_against_scalar(&mut stream, &windows);
+        }
+    }
+
+    #[test]
+    fn stream_occupancy_beats_chunked_on_divergent_windows() {
+        // Windows with wildly divergent distances: the chunked kernel
+        // wastes resolved lanes' slots until the deepest lane finishes;
+        // the persistent stream refills them instead.
+        let windows: Vec<(Vec<u8>, Vec<u8>, usize)> = (0..64u64)
+            .map(|i| {
+                let text = dna(60, i * 7 + 1);
+                let mut pattern = text[..56].to_vec();
+                for e in 0..(i as usize % 14) {
+                    let idx = (e * 13 + 5) % pattern.len();
+                    pattern[idx] = if pattern[idx] == b'A' { b'T' } else { b'A' };
+                }
+                (text, pattern, 56)
+            })
+            .collect();
+
+        let mut chunked = MultiDcArena::<4>::new();
+        for chunk in windows.chunks(4) {
+            let lanes: Vec<MultiLane> = chunk
+                .iter()
+                .map(|(t, p, k)| MultiLane {
+                    text: t,
+                    pattern: p,
+                    k_max: *k,
+                })
+                .collect();
+            window_dc_multi_into::<Dna, 4>(&lanes, &mut chunked);
+        }
+        let (chunked_issued, chunked_useful) = chunked.row_counters();
+        let chunked_occupancy = chunked_useful as f64 / chunked_issued as f64;
+
+        let mut stream = DcLaneStream::<4>::new();
+        drain_stream_against_scalar(&mut stream, &windows);
+        let (issued, useful) = stream.row_counters();
+        let occupancy = useful as f64 / issued as f64;
+        assert!(
+            occupancy > chunked_occupancy,
+            "persistent {occupancy:.3} must beat chunked {chunked_occupancy:.3}"
+        );
+        assert!(occupancy > 0.9, "steady-state occupancy: {occupancy:.3}");
+    }
+
+    #[test]
+    fn stream_recycles_rows_after_warmup() {
+        let mut stream = DcLaneStream::<4>::new();
+        let windows = ragged_windows(24, 0xABCD);
+        drain_stream_against_scalar(&mut stream, &windows);
+        drain_stream_against_scalar(&mut stream, &windows);
+        let warmed = stream.retained_rows();
+        assert!(warmed > 0);
+        for _ in 0..3 {
+            drain_stream_against_scalar(&mut stream, &windows);
+            assert_eq!(stream.retained_rows(), warmed, "warm runs must not grow");
         }
     }
 

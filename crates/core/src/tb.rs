@@ -44,6 +44,20 @@ pub trait TracebackSource {
     fn subs_bit(&self, i: usize, d: usize, bit: usize) -> bool;
 }
 
+/// TB-SRAM words written by an edge-storing window that kept `rows`
+/// distance rows over `text_len` iterations: one word per match cell
+/// plus three per gap-row cell (`d >= 1` stores match, insertion and
+/// deletion). The shared accounting of every edge-store
+/// [`TracebackSource`] — the scalar kernel's view and both lock-step
+/// lane views — so the hardware model charges identical traffic no
+/// matter which kernel computed the window.
+pub fn edge_store_words(text_len: usize, rows: usize) -> usize {
+    if rows == 0 {
+        return 0;
+    }
+    text_len * (1 + 3 * (rows - 1))
+}
+
 impl TracebackSource for WindowBitvectors {
     fn pattern_len(&self) -> usize {
         WindowBitvectors::pattern_len(self)

@@ -2,7 +2,7 @@
 //! queue.
 
 use crate::job::{Job, KeyedResult};
-use crate::kernel::{DcDispatch, GenAsmKernel, Kernel};
+use crate::kernel::{DcDispatch, GenAsmKernel, Kernel, LaneCount};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
 use genasm_core::align::{Alignment, GenAsmConfig};
@@ -25,10 +25,14 @@ pub struct EngineConfig {
     /// Configuration of the default GenASM kernel; ignored when a
     /// custom kernel is supplied via [`Engine::with_kernel`].
     pub genasm: GenAsmConfig,
-    /// DC scheduling of the default GenASM kernel (lock-step by
-    /// default; results are bit-identical either way). Ignored for
-    /// custom kernels.
+    /// DC scheduling of the default GenASM kernel (persistent
+    /// lock-step by default; results are bit-identical in every mode).
+    /// Ignored for custom kernels.
     pub dispatch: DcDispatch,
+    /// Lock-step lane width of the default GenASM kernel (`Auto`
+    /// resolves to 8 lanes when AVX2 is detected, else 4). Ignored for
+    /// custom kernels and scalar dispatch.
+    pub lanes: LaneCount,
 }
 
 impl EngineConfig {
@@ -57,6 +61,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DcDispatch) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Sets the GenASM kernel's lock-step lane width.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: LaneCount) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -108,8 +119,11 @@ impl Engine {
     /// An engine running the GenASM kernel from `config.genasm` under
     /// `config.dispatch`.
     pub fn new(config: EngineConfig) -> Self {
-        let kernel =
-            Arc::new(GenAsmKernel::new(config.genasm.clone()).with_dispatch(config.dispatch));
+        let kernel = Arc::new(
+            GenAsmKernel::new(config.genasm.clone())
+                .with_dispatch(config.dispatch)
+                .with_lanes(config.lanes),
+        );
         Engine { config, kernel }
     }
 
@@ -146,11 +160,22 @@ impl Engine {
     /// coordinates (the read mapper packs *(read, candidate, strand)*
     /// into the key) route results without a side table or re-sort.
     pub fn align_batch_keyed(&self, jobs: &[Job]) -> Vec<KeyedResult> {
-        jobs.iter()
+        self.align_batch_keyed_with_stats(jobs).0
+    }
+
+    /// [`align_batch_keyed`](Self::align_batch_keyed) plus batch
+    /// statistics, so batch producers (the read mapper) can surface
+    /// engine-level figures like lane occupancy without a separate
+    /// unkeyed call.
+    pub fn align_batch_keyed_with_stats(&self, jobs: &[Job]) -> (Vec<KeyedResult>, BatchStats) {
+        let output = self.align_batch_with_stats(jobs);
+        let keyed = jobs
+            .iter()
             .map(|job| job.key)
-            .zip(self.align_batch(jobs))
+            .zip(output.results)
             .map(|(key, result)| KeyedResult { key, result })
-            .collect()
+            .collect();
+        (keyed, output.stats)
     }
 
     /// [`align_batch`](Self::align_batch) plus batch statistics.
@@ -181,6 +206,8 @@ impl Engine {
         slots.resize_with(jobs.len(), || None);
         let mut busy = Duration::ZERO;
         let mut max_job = Duration::ZERO;
+        let mut dc_rows_issued = 0u64;
+        let mut dc_rows_useful = 0u64;
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -222,15 +249,18 @@ impl Engine {
                                 }
                             }
                         }
-                        (produced, busy, max_job)
+                        let lane_rows = kernel.take_lane_rows(scratch.as_mut());
+                        (produced, busy, max_job, lane_rows)
                     })
                 })
                 .collect();
             for handle in handles {
-                let (produced, worker_busy, worker_max) =
+                let (produced, worker_busy, worker_max, (issued, useful)) =
                     handle.join().expect("engine worker panicked");
                 busy += worker_busy;
                 max_job = max_job.max(worker_max);
+                dc_rows_issued += issued;
+                dc_rows_useful += useful;
                 for (index, result) in produced {
                     slots[index] = Some(result);
                 }
@@ -249,6 +279,8 @@ impl Engine {
             wall: started.elapsed(),
             busy,
             max_job,
+            dc_rows_issued,
+            dc_rows_useful,
         };
         BatchOutput { results, stats }
     }

@@ -22,12 +22,63 @@ pub enum DcDispatch {
     /// sequentially. The reference path every other mode is tested
     /// against.
     Scalar,
-    /// The lock-step window scheduler: up to
-    /// [`lockstep::LANES`](crate::lockstep::LANES) jobs' windows per
-    /// DC pass in SIMD lanes (bit-identical results; see
+    /// The chunk-granularity lock-step scheduler (the PR 2 shape):
+    /// each lock-step batch runs until its deepest window resolves, so
+    /// early-resolving lanes idle. Kept as the persistent scheduler's
+    /// A/B baseline.
+    Chunked,
+    /// The persistent-lane streaming scheduler: lanes advance
+    /// independent windows at their own depths and are refilled the
+    /// moment they resolve (bit-identical results; see
     /// [`lockstep`](crate::lockstep)). The engine default.
     #[default]
     Lockstep,
+}
+
+/// How many `u64` lanes the lock-step schedulers run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum LaneCount {
+    /// 8 lanes when AVX2 is detected at runtime (two 256-bit vectors
+    /// per recurrence step), else 4. With persistent refill the wider
+    /// configuration no longer loses rows to divergent window
+    /// distances, so it is the default.
+    #[default]
+    Auto,
+    /// Always 4 lanes (one 256-bit vector per step).
+    Four,
+    /// Always 8 lanes.
+    Eight,
+}
+
+impl LaneCount {
+    /// The concrete lane width this selection resolves to on this
+    /// host.
+    pub fn resolve(self) -> usize {
+        match self {
+            LaneCount::Four => 4,
+            LaneCount::Eight => 8,
+            LaneCount::Auto => {
+                if avx2_available() {
+                    8
+                } else {
+                    4
+                }
+            }
+        }
+    }
+}
+
+/// Runtime AVX2 detection, honoring the `lockstep-avx2` feature gate
+/// that controls whether the explicit AVX2 row kernels are compiled.
+fn avx2_available() -> bool {
+    #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "lockstep-avx2", target_arch = "x86_64")))]
+    {
+        false
+    }
 }
 
 /// Per-worker mutable state a kernel wants carried between jobs
@@ -102,23 +153,38 @@ pub trait Kernel: Send + Sync {
     fn preferred_chunk(&self) -> usize {
         1
     }
+
+    /// Returns and resets the kernel's lock-step row-slot counters
+    /// accumulated in `scratch`: `(issued, useful)` lane-slots. The
+    /// engine sums these across workers into
+    /// [`BatchStats`](crate::BatchStats) so lane occupancy is a
+    /// measured, regression-trackable number. Kernels without lock-step
+    /// scheduling report `(0, 0)`.
+    fn take_lane_rows(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
+        let _ = scratch;
+        (0, 0)
+    }
 }
 
 /// The GenASM windowed aligner (DC + TB) with per-worker arena reuse,
-/// scheduling its DC work per [`DcDispatch`].
+/// scheduling its DC work per [`DcDispatch`] at a [`LaneCount`]-chosen
+/// lane width.
 #[derive(Debug, Clone)]
 pub struct GenAsmKernel {
     aligner: GenAsmAligner,
     dispatch: DcDispatch,
+    lanes: LaneCount,
 }
 
 impl GenAsmKernel {
     /// A kernel running the given aligner configuration under the
-    /// default (lock-step) dispatch.
+    /// default (persistent lock-step) dispatch at the auto-detected
+    /// lane width.
     pub fn new(config: GenAsmConfig) -> Self {
         GenAsmKernel {
             aligner: GenAsmAligner::new(config),
             dispatch: DcDispatch::default(),
+            lanes: LaneCount::default(),
         }
     }
 
@@ -126,6 +192,13 @@ impl GenAsmKernel {
     #[must_use]
     pub fn with_dispatch(mut self, dispatch: DcDispatch) -> Self {
         self.dispatch = dispatch;
+        self
+    }
+
+    /// Selects the lock-step lane width.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: LaneCount) -> Self {
+        self.lanes = lanes;
         self
     }
 
@@ -137,6 +210,11 @@ impl GenAsmKernel {
     /// The kernel's DC dispatch mode.
     pub fn dispatch(&self) -> DcDispatch {
         self.dispatch
+    }
+
+    /// The concrete lane width the kernel's lock-step schedulers run.
+    pub fn lane_width(&self) -> usize {
+        self.lanes.resolve()
     }
 }
 
@@ -150,6 +228,7 @@ impl Kernel for GenAsmKernel {
     fn name(&self) -> &'static str {
         match self.dispatch {
             DcDispatch::Scalar => "genasm",
+            DcDispatch::Chunked => "genasm-chunked",
             DcDispatch::Lockstep => "genasm-lockstep",
         }
     }
@@ -157,7 +236,7 @@ impl Kernel for GenAsmKernel {
     fn new_scratch(&self) -> Box<dyn KernelScratch> {
         match self.dispatch {
             DcDispatch::Scalar => Box::new(AlignArena::new()),
-            DcDispatch::Lockstep => Box::new(LockstepScratch::default()),
+            DcDispatch::Chunked | DcDispatch::Lockstep => Box::new(LockstepScratch::default()),
         }
     }
 
@@ -184,20 +263,45 @@ impl Kernel for GenAsmKernel {
         jobs: &[Job],
         scratch: &mut dyn KernelScratch,
     ) -> Option<Vec<Result<Alignment, AlignError>>> {
-        if self.dispatch != DcDispatch::Lockstep {
+        if self.dispatch == DcDispatch::Scalar {
             return None;
         }
         let ls = scratch
             .as_any_mut()
             .downcast_mut::<LockstepScratch>()
             .expect("lock-step dispatch requires LockstepScratch");
-        Some(lockstep::align_chunk(self.aligner.config(), jobs, ls))
+        let config = self.aligner.config();
+        Some(match (self.dispatch, self.lane_width()) {
+            (DcDispatch::Chunked, 8) => {
+                lockstep::align_chunk_chunked(config, jobs, &mut ls.multi8, &mut ls.scalar)
+            }
+            (DcDispatch::Chunked, _) => {
+                lockstep::align_chunk_chunked(config, jobs, &mut ls.multi4, &mut ls.scalar)
+            }
+            (_, 8) => {
+                lockstep::align_chunk_streaming(config, jobs, &mut ls.stream8, &mut ls.scalar)
+            }
+            (_, _) => {
+                lockstep::align_chunk_streaming(config, jobs, &mut ls.stream4, &mut ls.scalar)
+            }
+        })
     }
 
     fn preferred_chunk(&self) -> usize {
         match self.dispatch {
             DcDispatch::Scalar => 1,
-            DcDispatch::Lockstep => lockstep::LANES,
+            // The chunked scheduler fills one lock-step batch per pass.
+            DcDispatch::Chunked => self.lane_width(),
+            // Persistent lanes amortize their drain tail over the
+            // chunk, so claim several batches' worth per queue access.
+            DcDispatch::Lockstep => 4 * self.lane_width(),
+        }
+    }
+
+    fn take_lane_rows(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
+        match scratch.as_any_mut().downcast_mut::<LockstepScratch>() {
+            Some(ls) => ls.take_row_counters(),
+            None => (0, 0),
         }
     }
 }

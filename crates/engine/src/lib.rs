@@ -11,12 +11,17 @@
 //!   in chunks from a lock-free atomic cursor, so there is no queue
 //!   lock on the hot path.
 //! * Within a worker, the default [`DcDispatch::Lockstep`] mode keeps
-//!   up to four jobs' window walks in flight and advances their
-//!   GenASM-DC windows together through the SIMD lock-step kernel
-//!   ([`lockstep`], [`genasm_core::dc_multi`]) — the software shape of
-//!   the pipelined PEs interleaving independent alignments.
-//!   [`DcDispatch::Scalar`] selects the one-window-at-a-time reference
-//!   path; both produce bit-identical results.
+//!   a persistent lane per SIMD slot (4, or 8 under AVX2 — see
+//!   [`LaneCount`]) and streams jobs' window walks through them: each
+//!   lane advances an independent window at its own depth and is
+//!   refilled the moment it resolves ([`lockstep`],
+//!   [`genasm_core::dc_multi`]) — the software shape of the pipelined
+//!   PEs' in-flight window pool. [`DcDispatch::Chunked`] keeps the
+//!   chunk-granularity scheduler as an A/B baseline and
+//!   [`DcDispatch::Scalar`] the one-window-at-a-time reference path;
+//!   all three produce bit-identical results, and
+//!   [`BatchStats::lane_occupancy`] reports the row-slot waste each
+//!   mode incurs.
 //! * Each worker owns a reusable [`AlignArena`](genasm_core::AlignArena)
 //!   (kernel scratch), so the GenASM-DC bitvector storage — the
 //!   dominant allocation of an alignment — is recycled across jobs and
@@ -57,7 +62,7 @@ pub mod stream;
 
 pub use engine::{Engine, EngineConfig};
 pub use job::{Job, KeyedResult};
-pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch};
+pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, LaneCount};
 pub use lockstep::LockstepScratch;
 pub use stats::{BatchOutput, BatchStats};
 pub use stream::EngineStream;

@@ -1,27 +1,32 @@
-//! The window-level lock-step scheduler: the engine-side half of the
-//! multi-lane DC kernel.
+//! The window-level lock-step schedulers: the engine-side half of the
+//! multi-lane DC kernels.
 //!
 //! The scalar engine path keeps one alignment in flight per worker; the
-//! GenASM hardware instead keeps *many* windows in flight at once
-//! (§7). This scheduler reproduces that shape in software: it holds up
-//! to [`LANES`] jobs' [`WindowWalk`]s open simultaneously, gathers each
-//! walk's next ready window into one lock-step batch, runs the batch
-//! through [`window_dc_multi_into`] (one struct-of-arrays pass computes
-//! all lanes), then feeds every lane's stored bitvectors back to its
-//! walk for the scalar traceback and cursor advance. A finished walk
-//! immediately frees its lane for the next job, so lanes stay full
-//! until the chunk drains.
+//! GenASM hardware instead keeps *many* windows in flight at once (§7).
+//! Two schedulers reproduce that shape in software, both bit-identical
+//! to [`GenAsmAligner::align`](genasm_core::GenAsmAligner::align) —
+//! scheduling only changes *when* windows are computed, never *what*:
 //!
-//! Because the walks make the identical windowing decisions the
-//! sequential aligner makes, and the lock-step kernel is bit-identical
-//! to the scalar kernel, chunk results are **bit-identical** to
-//! [`GenAsmAligner::align`](genasm_core::GenAsmAligner::align) — the
-//! scheduler only changes *when* windows are computed, never *what*.
+//! * **Chunked** ([`align_chunk_chunked`], the PR 2 scheduler, kept as
+//!   the A/B baseline): gathers each in-flight walk's next ready window
+//!   into one lock-step batch and runs the batch to completion through
+//!   [`window_dc_multi_into`]. Every batch runs until its *deepest*
+//!   window resolves, so lanes whose windows resolved early idle —
+//!   measured on this host, ~30% of lock-step row slots are wasted on
+//!   divergent window distances.
+//! * **Persistent** ([`align_chunk_streaming`], the default): drives a
+//!   [`DcLaneStream`] whose lanes each advance at their own depth, and
+//!   refills a lane with the next ready window *the moment it
+//!   resolves* — drawn from a rolling queue over every in-flight
+//!   [`WindowWalk`] in the worker's claimed job range, not just the
+//!   `L` currently on lanes. No lane ever waits for a deeper
+//!   neighbour, so row-slot occupancy stays near 1 until the tail
+//!   drains.
 //!
-//! Configurations outside the lock-step kernel's domain (wide windows,
+//! Configurations outside the lock-step kernels' domain (wide windows,
 //! the SENE kernel, global mode) and stragglers (a walk that reaches a
-//! global-final window) fall back to the scalar
-//! [`drive_window_walk`] on the same arena-backed kernels.
+//! global-final window) fall back to the scalar [`drive_window_walk`]
+//! on the same arena-backed kernels.
 
 use crate::job::Job;
 use genasm_core::align::{
@@ -29,22 +34,48 @@ use genasm_core::align::{
 };
 use genasm_core::alphabet::Dna;
 use genasm_core::dc::MAX_WINDOW;
-use genasm_core::dc_multi::{window_dc_multi_into, MultiDcArena, MultiLane, DEFAULT_LANES};
+use genasm_core::dc_multi::{
+    window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena, MultiLane, DEFAULT_LANES,
+};
 use genasm_core::error::AlignError;
 
-/// Windows processed per lock-step DC pass.
+/// Windows processed per lock-step DC pass under the default (4-lane)
+/// configuration; see [`LaneCount`](crate::kernel::LaneCount) for the
+/// 8-lane AVX2 configuration.
 pub const LANES: usize = DEFAULT_LANES;
 
-/// Per-worker scratch of the lock-step GenASM kernel: the multi-lane
-/// DC arena plus a scalar arena for fallbacks — both recycled across
-/// jobs, so a warmed-up worker allocates nothing in the DC hot loop.
+/// Per-worker scratch of the lock-step GenASM kernel: persistent-lane
+/// streams and chunked arenas at both supported lane widths, plus a
+/// scalar arena for fallbacks — all recycled across jobs, so a
+/// warmed-up worker allocates nothing in the DC hot loop. Only the
+/// width the kernel's lane configuration selects ever grows; the other
+/// stays empty.
 #[derive(Debug, Default)]
 pub struct LockstepScratch {
-    pub(crate) multi: MultiDcArena<LANES>,
+    pub(crate) stream4: DcLaneStream<4>,
+    pub(crate) stream8: DcLaneStream<8>,
+    pub(crate) multi4: MultiDcArena<4>,
+    pub(crate) multi8: MultiDcArena<8>,
     pub(crate) scalar: AlignArena,
 }
 
-/// Whether a configuration can run on the lock-step kernel: semiglobal
+impl LockstepScratch {
+    /// Returns and resets the lock-step row-slot counters accumulated
+    /// by every scheduler this scratch has run: `(issued, useful)`.
+    pub fn take_row_counters(&mut self) -> (u64, u64) {
+        let parts = [
+            self.stream4.take_row_counters(),
+            self.stream8.take_row_counters(),
+            self.multi4.take_row_counters(),
+            self.multi8.take_row_counters(),
+        ];
+        parts
+            .iter()
+            .fold((0, 0), |(i, u), &(pi, pu)| (i + pi, u + pu))
+    }
+}
+
+/// Whether a configuration can run on the lock-step kernels: semiglobal
 /// single-word edge-store windows (the paper's hardware configuration,
 /// and the engine's default).
 pub(crate) fn lockstep_eligible(config: &GenAsmConfig) -> bool {
@@ -72,31 +103,171 @@ struct Active<'j> {
     walk: WindowWalk<'j>,
 }
 
-/// Aligns a chunk of jobs through the lock-step window scheduler,
+/// The persistent-lane streaming scheduler state for one chunk of
+/// jobs, bundled so the feed/resolve steps can be methods instead of
+/// functions with eight parameters.
+struct StreamRun<'j, 's, const L: usize> {
+    config: &'j GenAsmConfig,
+    jobs: &'j [Job],
+    stream: &'s mut DcLaneStream<L>,
+    scalar: &'s mut AlignArena,
+    slots: Vec<Option<Active<'j>>>,
+    results: Vec<Option<Result<Alignment, AlignError>>>,
+    next_job: usize,
+}
+
+impl<'j, const L: usize> StreamRun<'j, '_, L> {
+    /// Applies the resolved outcome of `lane` to its walk; on a
+    /// traceback error the job is resolved in place and the lane's
+    /// walk is dropped.
+    fn resolve(&mut self, lane: usize) {
+        let outcome = self.stream.outcome(lane);
+        let view = self.stream.lane(lane);
+        let active = self.slots[lane].as_mut().expect("resolved lane has a walk");
+        if let Err(e) = active.walk.apply(outcome, &view) {
+            let Active { idx, .. } = self.slots[lane].take().expect("slot is active");
+            self.results[idx] = Some(Err(e));
+        }
+    }
+
+    /// Tops `lane` up from the rolling ready queue: the lane's own
+    /// walk's next window when it has one, else the next job from the
+    /// chunk — looping through instant resolutions, finished walks and
+    /// error jobs until the lane holds a pending window or the queue
+    /// runs dry (then the lane is released and idles through the tail).
+    fn feed(&mut self, lane: usize) {
+        loop {
+            if self.slots[lane].is_none() {
+                // Pull the next job into this lane.
+                let mut pulled = false;
+                while self.next_job < self.jobs.len() {
+                    let idx = self.next_job;
+                    self.next_job += 1;
+                    let job = &self.jobs[idx];
+                    match WindowWalk::new(self.config, &job.text, &job.pattern) {
+                        Ok(walk) => {
+                            self.slots[lane] = Some(Active { idx, walk });
+                            pulled = true;
+                            break;
+                        }
+                        Err(e) => self.results[idx] = Some(Err(e)),
+                    }
+                }
+                if !pulled {
+                    self.stream.release_lane(lane);
+                    return;
+                }
+            }
+            let active = self.slots[lane].as_mut().expect("lane was just filled");
+            match active.walk.next_window() {
+                None => {
+                    let Active { idx, walk } = self.slots[lane].take().expect("slot is active");
+                    self.results[idx] = Some(Ok(walk.finish()));
+                }
+                Some(req) if req.global_final => {
+                    // Unreachable for eligible configs (semiglobal mode
+                    // never emits a global-final window); drain the
+                    // straggler scalar, defensively.
+                    let Active { idx, mut walk } = self.slots[lane].take().expect("slot is active");
+                    let outcome = walk
+                        .apply_global_final::<Dna>(self.scalar)
+                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, self.scalar))
+                        .map(|()| walk.finish());
+                    self.results[idx] = Some(outcome);
+                }
+                Some(req) => {
+                    match self.stream.refill_lane::<Dna>(
+                        lane,
+                        req.sub_text,
+                        req.sub_pattern,
+                        req.budget,
+                    ) {
+                        Ok(LaneLoad::Pending) => return,
+                        Ok(LaneLoad::Resolved) => self.resolve(lane),
+                        Err(e) => {
+                            let Active { idx, .. } =
+                                self.slots[lane].take().expect("slot is active");
+                            self.results[idx] = Some(Err(e));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Aligns a chunk of jobs through the **persistent-lane** streaming
+/// scheduler, returning per-job results in chunk order. Falls back to
+/// the scalar path wholesale when `config` is outside the lock-step
+/// domain. Results are bit-identical to the scalar and chunked paths.
+pub(crate) fn align_chunk_streaming<const L: usize>(
+    config: &GenAsmConfig,
+    jobs: &[Job],
+    stream: &mut DcLaneStream<L>,
+    scalar: &mut AlignArena,
+) -> Vec<Result<Alignment, AlignError>> {
+    if !lockstep_eligible(config) {
+        return jobs
+            .iter()
+            .map(|job| align_job_scalar(config, job, scalar))
+            .collect();
+    }
+
+    let mut run = StreamRun {
+        config,
+        jobs,
+        stream,
+        scalar,
+        slots: std::iter::repeat_with(|| None).take(L).collect(),
+        results: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
+        next_job: 0,
+    };
+    for lane in 0..L {
+        run.feed(lane);
+    }
+    let mut resolved = Vec::with_capacity(L);
+    while run.stream.active_lanes() > 0 {
+        resolved.clear();
+        run.stream.step(&mut resolved);
+        for &lane in &resolved {
+            run.resolve(lane);
+            run.feed(lane);
+        }
+    }
+
+    run.results
+        .into_iter()
+        .map(|slot| slot.expect("every job in the chunk is resolved"))
+        .collect()
+}
+
+/// Aligns a chunk of jobs through the **chunked** lock-step scheduler
+/// (the PR 2 shape, kept as the persistent scheduler's A/B baseline),
 /// returning per-job results in chunk order. Falls back to the scalar
 /// path wholesale when `config` is outside the lock-step domain.
 // The gather loop indexes `slots` so finished walks can be taken out of
 // their slot mid-iteration; a range loop is the clearest shape for that.
 #[allow(clippy::needless_range_loop)]
-pub(crate) fn align_chunk(
+pub(crate) fn align_chunk_chunked<const L: usize>(
     config: &GenAsmConfig,
     jobs: &[Job],
-    scratch: &mut LockstepScratch,
+    multi: &mut MultiDcArena<L>,
+    scalar: &mut AlignArena,
 ) -> Vec<Result<Alignment, AlignError>> {
     if !lockstep_eligible(config) {
         return jobs
             .iter()
-            .map(|job| align_job_scalar(config, job, &mut scratch.scalar))
+            .map(|job| align_job_scalar(config, job, scalar))
             .collect();
     }
 
     let mut results: Vec<Option<Result<Alignment, AlignError>>> = Vec::new();
     results.resize_with(jobs.len(), || None);
     let mut slots: Vec<Option<Active<'_>>> = Vec::new();
-    slots.resize_with(LANES, || None);
+    slots.resize_with(L, || None);
     let mut next_job = 0usize;
-    let mut inputs: Vec<MultiLane<'_>> = Vec::with_capacity(LANES);
-    let mut input_slots: Vec<usize> = Vec::with_capacity(LANES);
+    let mut inputs: Vec<MultiLane<'_>> = Vec::with_capacity(L);
+    let mut input_slots: Vec<usize> = Vec::with_capacity(L);
 
     loop {
         // Refill free lanes from the job stream.
@@ -125,13 +296,12 @@ pub(crate) fn align_chunk(
                     results[idx] = Some(Ok(walk.finish()));
                 }
                 Some(req) if req.global_final => {
-                    // Unreachable for eligible configs (semiglobal mode
-                    // never emits a global-final window); drain the
+                    // Unreachable for eligible configs; drain the
                     // straggler scalar, defensively.
                     let Active { idx, mut walk } = slots[slot_idx].take().expect("slot is active");
                     let outcome = walk
-                        .apply_global_final::<Dna>(&mut scratch.scalar)
-                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, &mut scratch.scalar))
+                        .apply_global_final::<Dna>(scalar)
+                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, scalar))
                         .map(|()| walk.finish());
                     results[idx] = Some(outcome);
                 }
@@ -155,14 +325,14 @@ pub(crate) fn align_chunk(
         }
 
         // One lock-step DC pass advances every gathered window.
-        window_dc_multi_into::<Dna, LANES>(&inputs, &mut scratch.multi);
+        window_dc_multi_into::<Dna, L>(&inputs, multi);
         for (lane, &slot_idx) in input_slots.iter().enumerate() {
-            let outcome = scratch.multi.outcomes()[lane].clone();
+            let outcome = multi.outcomes()[lane].clone();
             let active = slots[slot_idx]
                 .as_mut()
                 .expect("lane maps to an active slot");
             let step = match outcome {
-                Ok(d) => active.walk.apply(d, &scratch.multi.lane(lane)),
+                Ok(d) => active.walk.apply(d, &multi.lane(lane)),
                 Err(e) => Err(e),
             };
             if let Err(e) = step {
@@ -215,13 +385,34 @@ mod tests {
     }
 
     #[test]
-    fn lockstep_chunks_are_bit_identical_to_sequential_alignment() {
+    fn streaming_chunks_are_bit_identical_to_sequential_alignment() {
         let config = GenAsmConfig::default();
         let aligner = GenAsmAligner::new(config.clone());
         let mut scratch = LockstepScratch::default();
         for count in [1usize, 3, 4, 5, 11, 32] {
             let jobs = jobs(count, count as u64 * 39);
-            let results = align_chunk(&config, &jobs, &mut scratch);
+            let results =
+                align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+            assert_eq!(results.len(), jobs.len());
+            for (job, result) in jobs.iter().zip(&results) {
+                let expected = aligner.align(&job.text, &job.pattern).unwrap();
+                assert_eq!(&expected, result.as_ref().unwrap(), "count={count}");
+            }
+            let eight =
+                align_chunk_streaming(&config, &jobs, &mut scratch.stream8, &mut scratch.scalar);
+            assert_eq!(results, eight, "count={count} at 8 lanes");
+        }
+    }
+
+    #[test]
+    fn chunked_chunks_are_bit_identical_to_sequential_alignment() {
+        let config = GenAsmConfig::default();
+        let aligner = GenAsmAligner::new(config.clone());
+        let mut scratch = LockstepScratch::default();
+        for count in [1usize, 3, 4, 5, 11, 32] {
+            let jobs = jobs(count, count as u64 * 39);
+            let results =
+                align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
             assert_eq!(results.len(), jobs.len());
             for (job, result) in jobs.iter().zip(&results) {
                 let expected = aligner.align(&job.text, &job.pattern).unwrap();
@@ -231,18 +422,39 @@ mod tests {
     }
 
     #[test]
-    fn job_errors_resolve_in_place() {
+    fn job_errors_resolve_in_place_on_both_schedulers() {
         let config = GenAsmConfig::default();
         let mut scratch = LockstepScratch::default();
         let mut jobs = jobs(6, 17);
         jobs[1].pattern.clear();
         jobs[4].text = b"ACGTNN".to_vec();
-        let results = align_chunk(&config, &jobs, &mut scratch);
-        assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
-        assert!(matches!(results[4], Err(AlignError::InvalidSymbol { .. })));
-        for idx in [0usize, 2, 3, 5] {
-            assert!(results[idx].is_ok(), "idx={idx}");
+        let streaming =
+            align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+        let chunked = align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
+        for results in [&streaming, &chunked] {
+            assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
+            assert!(matches!(results[4], Err(AlignError::InvalidSymbol { .. })));
+            for idx in [0usize, 2, 3, 5] {
+                assert!(results[idx].is_ok(), "idx={idx}");
+            }
         }
+    }
+
+    #[test]
+    fn streaming_wastes_fewer_row_slots_than_chunked() {
+        let config = GenAsmConfig::default();
+        let mut scratch = LockstepScratch::default();
+        let jobs = jobs(48, 333);
+        align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
+        let (chunked_issued, chunked_useful) = scratch.take_row_counters();
+        align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+        let (stream_issued, stream_useful) = scratch.take_row_counters();
+        let chunked_occ = chunked_useful as f64 / chunked_issued as f64;
+        let stream_occ = stream_useful as f64 / stream_issued as f64;
+        assert!(
+            stream_occ > chunked_occ,
+            "persistent occupancy {stream_occ:.3} must beat chunked {chunked_occ:.3}"
+        );
     }
 
     #[test]
@@ -252,7 +464,8 @@ mod tests {
         let aligner = GenAsmAligner::new(config.clone());
         let mut scratch = LockstepScratch::default();
         let jobs = jobs(5, 71);
-        let results = align_chunk(&config, &jobs, &mut scratch);
+        let results =
+            align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
         for (job, result) in jobs.iter().zip(&results) {
             let expected = aligner.align(&job.text, &job.pattern).unwrap();
             assert_eq!(&expected, result.as_ref().unwrap());

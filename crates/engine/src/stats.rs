@@ -25,6 +25,15 @@ pub struct BatchStats {
     /// the largest per-chunk mean instead — a lower bound on the
     /// slowest job, not its exact latency.
     pub max_job: Duration,
+    /// Lock-step DC lane-slots issued across all workers (every
+    /// full-width recurrence row issues one slot per lane). Zero under
+    /// scalar dispatch and for kernels without lock-step scheduling.
+    pub dc_rows_issued: u64,
+    /// The subset of issued lane-slots that advanced a loaded, still
+    /// unresolved window — the rows that did useful work. The gap to
+    /// `dc_rows_issued` is the waste from divergent window distances
+    /// (chunked dispatch) and tail drain.
+    pub dc_rows_useful: u64,
 }
 
 impl BatchStats {
@@ -50,6 +59,20 @@ impl BatchStats {
             return Duration::ZERO;
         }
         self.busy / self.jobs as u32
+    }
+
+    /// Lock-step lane occupancy: useful row-slots over issued
+    /// row-slots, `None` when no lock-step rows ran (scalar dispatch,
+    /// non-lock-step kernels). 1.0 means every lane of every lock-step
+    /// recurrence row advanced an unresolved window; the chunked
+    /// scheduler loses ~30% of slots to divergent window distances,
+    /// which the persistent-lane scheduler recovers.
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        if self.dc_rows_issued == 0 {
+            None
+        } else {
+            Some(self.dc_rows_useful as f64 / self.dc_rows_issued as f64)
+        }
     }
 
     /// Parallel efficiency: busy time over `workers × wall`; 1.0 means

@@ -3,7 +3,7 @@
 //! pattern lengths and must never change results.
 
 use genasm_core::align::{AlignArena, GenAsmAligner, GenAsmConfig};
-use genasm_engine::{DcDispatch, Engine, EngineConfig, Job};
+use genasm_engine::{DcDispatch, Engine, EngineConfig, Job, LaneCount};
 use proptest::prelude::*;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -75,12 +75,15 @@ proptest! {
         }
     }
 
-    /// The lock-step window scheduler and the scalar dispatch produce
-    /// byte-identical batch results — alignments and errors alike — on
-    /// arbitrary job mixes (ragged lengths, divergent distances,
-    /// invalid jobs).
+    /// Every DC dispatch mode — scalar, chunked lock-step, and the
+    /// persistent-lane streaming scheduler — produces byte-identical
+    /// batch results at both lock-step lane widths, on arbitrary job
+    /// mixes (ragged lengths, divergent distances, invalid jobs).
     #[test]
-    fn lockstep_and_scalar_dispatch_agree(mut batch in job_batch(20), workers in 1usize..4) {
+    fn all_dispatch_modes_and_lane_widths_agree(
+        mut batch in job_batch(20),
+        workers in 1usize..4,
+    ) {
         // Sprinkle in invalid jobs so error lanes are exercised too.
         if batch.len() > 2 {
             batch[0].pattern.clear();
@@ -92,21 +95,45 @@ proptest! {
                 .with_workers(workers)
                 .with_dispatch(DcDispatch::Scalar),
         );
-        let lockstep = Engine::new(
-            EngineConfig::default()
-                .with_workers(workers)
-                .with_dispatch(DcDispatch::Lockstep),
-        );
         let scalar_results = scalar.align_batch(&batch);
-        let lockstep_results = lockstep.align_batch(&batch);
-        prop_assert_eq!(scalar_results.len(), lockstep_results.len());
-        for (idx, (a, b)) in scalar_results.iter().zip(&lockstep_results).enumerate() {
-            match (a, b) {
-                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "job {}", idx),
-                (Err(a), Err(b)) => {
-                    prop_assert_eq!(format!("{:?}", a), format!("{:?}", b), "job {}", idx)
+        let scalar_stats = scalar.align_batch_with_stats(&batch).stats;
+        prop_assert_eq!(scalar_stats.lane_occupancy(), None, "scalar runs no lock-step rows");
+        for dispatch in [DcDispatch::Chunked, DcDispatch::Lockstep] {
+            for lanes in [LaneCount::Four, LaneCount::Eight, LaneCount::Auto] {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .with_workers(workers)
+                        .with_dispatch(dispatch)
+                        .with_lanes(lanes),
+                );
+                let output = engine.align_batch_with_stats(&batch);
+                prop_assert_eq!(scalar_results.len(), output.results.len());
+                for (idx, (a, b)) in scalar_results.iter().zip(&output.results).enumerate() {
+                    match (a, b) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            a, b, "job {} {:?} {:?}", idx, dispatch, lanes
+                        ),
+                        (Err(a), Err(b)) => {
+                            prop_assert_eq!(
+                                format!("{:?}", a),
+                                format!("{:?}", b),
+                                "job {} {:?} {:?}", idx, dispatch, lanes
+                            )
+                        }
+                        (a, b) => prop_assert!(
+                            false,
+                            "job {} diverged under {:?} {:?}: {:?} vs {:?}",
+                            idx, dispatch, lanes, a, b
+                        ),
+                    }
                 }
-                (a, b) => prop_assert!(false, "job {} diverged: {:?} vs {:?}", idx, a, b),
+                // Lock-step row-slot accounting is internally
+                // consistent (a streaming batch whose windows all
+                // resolve at refill legitimately issues zero rows).
+                prop_assert!(
+                    output.stats.dc_rows_issued >= output.stats.dc_rows_useful,
+                    "issued >= useful"
+                );
             }
         }
     }

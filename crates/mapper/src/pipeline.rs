@@ -16,15 +16,15 @@
 //!   best mapping from the keyed results.
 
 use crate::index::ShardedIndex;
-use crate::seed::Seeder;
+use crate::seed::{SeedScratch, Seeder};
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_baselines::shouji::ShoujiFilter;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
-use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel, Job, KeyedResult};
-use std::collections::BTreeMap;
+use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel, Job, KeyedResult, LaneCount};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -119,6 +119,11 @@ pub struct StageTimings {
     pub alignment: Duration,
     /// Candidates examined, candidates surviving the filter.
     pub candidates: (usize, usize),
+    /// Lock-step DC lane-slots `(issued, useful)` reported by the
+    /// alignment engine — zero in the sequential path and under scalar
+    /// dispatch. See
+    /// [`BatchStats::lane_occupancy`](genasm_engine::BatchStats::lane_occupancy).
+    pub dc_rows: (u64, u64),
 }
 
 impl StageTimings {
@@ -137,6 +142,16 @@ impl StageTimings {
         }
     }
 
+    /// Lock-step lane occupancy of the alignment stage: useful DC
+    /// row-slots over issued, `None` when no lock-step rows ran.
+    pub fn lane_occupancy(&self) -> Option<f64> {
+        if self.dc_rows.0 == 0 {
+            None
+        } else {
+            Some(self.dc_rows.1 as f64 / self.dc_rows.0 as f64)
+        }
+    }
+
     /// Accumulates another read's timings.
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.seeding += other.seeding;
@@ -144,7 +159,20 @@ impl StageTimings {
         self.alignment += other.alignment;
         self.candidates.0 += other.candidates.0;
         self.candidates.1 += other.candidates.1;
+        self.dc_rows.0 += other.dc_rows.0;
+        self.dc_rows.1 += other.dc_rows.1;
     }
+}
+
+/// One oriented read after the batch path's fused seed-and-filter
+/// stage: its sequence, error budget, and the candidate positions that
+/// survived the pre-alignment filter (in seeder order).
+struct Seeded {
+    read: usize,
+    reverse: bool,
+    seq: Vec<u8>,
+    budget: usize,
+    survivors: Vec<usize>,
 }
 
 /// The read mapper.
@@ -201,10 +229,22 @@ impl ReadMapper {
     /// so the batch path aligns with exactly the aligner the
     /// sequential path would use.
     pub fn engine(&self, workers: usize, dispatch: DcDispatch) -> Engine {
+        self.engine_with_lanes(workers, dispatch, LaneCount::default())
+    }
+
+    /// [`engine`](Self::engine) with an explicit lock-step lane width
+    /// (the CLI's `--lanes` flag).
+    pub fn engine_with_lanes(
+        &self,
+        workers: usize,
+        dispatch: DcDispatch,
+        lanes: LaneCount,
+    ) -> Engine {
         let config = EngineConfig::default()
             .with_workers(workers)
             .with_genasm(self.config.genasm.clone())
-            .with_dispatch(dispatch);
+            .with_dispatch(dispatch)
+            .with_lanes(lanes);
         match self.config.aligner {
             AlignerKind::GenAsm => Engine::new(config),
             AlignerKind::Gotoh => {
@@ -245,7 +285,8 @@ impl ReadMapper {
     fn map_oriented(&self, read: &[u8], reverse: bool) -> (Option<Mapping>, StageTimings) {
         let mut timings = StageTimings::default();
         let k = self.error_budget(read);
-        let surviving = self.seed_and_filter(read, k, &mut timings);
+        let mut scratch = SeedScratch::default();
+        let surviving = self.seed_and_filter(read, k, &mut timings, &mut scratch);
 
         let t2 = Instant::now();
         let mut best: Option<Mapping> = None;
@@ -306,31 +347,35 @@ impl ReadMapper {
         (mappings, total)
     }
 
-    /// Batch mode: maps many reads through three explicit stages
-    /// instead of recursing read by read.
+    /// Batch mode: maps many reads through explicit stages instead of
+    /// recursing read by read.
     ///
-    /// 1. **Seed** — every read (and, when configured, its reverse
-    ///    complement) is seeded against the sharded index; candidate
-    ///    positions for the whole batch are collected up front.
-    /// 2. **Filter** — *all* candidates across all reads and strands
-    ///    funnel through the pre-alignment filter together. The GenASM
-    ///    filter runs one lock-step batch scan per distinct error
-    ///    budget ([`PreAlignmentFilter::accepts_many`], up to four
-    ///    candidates per Bitap pass), so fixed-length read sets filter
-    ///    in a single call.
-    /// 3. **Align** — every survivor becomes one engine [`Job`] tagged
+    /// 1. **Seed + filter** — the batch's reads are sharded across the
+    ///    engine's worker count: each worker seeds a read (and, when
+    ///    configured, its reverse complement) against the sharded
+    ///    index — lookups are read-only over flat arrays — and
+    ///    immediately funnels that read's candidates through the
+    ///    pre-alignment filter (the GenASM filter's lock-step
+    ///    [`PreAlignmentFilter::accepts_many`] scan), so seeds stream
+    ///    into the filter without a full-batch barrier. Each read's
+    ///    candidate list is produced wholly by one worker and merged
+    ///    in read order, so results are deterministic and identical at
+    ///    any worker count.
+    /// 2. **Align** — every survivor becomes one engine [`Job`] tagged
     ///    with a *(read, candidate, strand)* key; the whole job list is
     ///    aligned in one multi-threaded
-    ///    [`Engine::align_batch_keyed`] call and each read's best
-    ///    mapping is resolved from the keyed results with exactly the
-    ///    sequential path's tie-breaking (lowest edit distance,
+    ///    [`Engine::align_batch_keyed_with_stats`] call and each read's
+    ///    best mapping is resolved from the keyed results with exactly
+    ///    the sequential path's tie-breaking (lowest edit distance,
     ///    forward strand preferred, then lowest position).
     ///
     /// With an engine from [`Self::engine`] the selected mappings are
     /// bit-identical to [`map_read`](Self::map_read)'s for every
     /// filter and aligner kind. [`StageTimings`] reports each stage's
-    /// batch wall-clock time, so alignment shrinks as engine workers
-    /// are added while seeding and filtering stay constant.
+    /// batch wall-clock time — the fused seed-and-filter pass's wall
+    /// time is split between `seeding` and `filtering` in proportion
+    /// to the workers' accumulated per-stage busy time — so both
+    /// halves of the pipeline now shrink as workers are added.
     pub fn map_batch_with_engine(
         &self,
         reads: &[&[u8]],
@@ -338,105 +383,52 @@ impl ReadMapper {
     ) -> (Vec<Option<Mapping>>, StageTimings) {
         let mut timings = StageTimings::default();
 
-        // Stage 1 — seed the whole batch, both strands.
-        struct Seeded {
-            read: usize,
-            reverse: bool,
-            seq: Vec<u8>,
-            budget: usize,
-            candidates: Vec<usize>,
-        }
+        // Stage 1 — seed and filter every read, sharded across the
+        // engine's workers.
         let t0 = Instant::now();
-        let mut seeded: Vec<Seeded> = Vec::with_capacity(reads.len() * 2);
-        for (read_idx, read) in reads.iter().enumerate() {
-            let mut oriented: Vec<(Vec<u8>, bool)> = vec![(read.to_vec(), false)];
-            if self.config.both_strands {
-                oriented.push((reverse_complement(read), true));
-            }
-            for (seq, reverse) in oriented {
-                let budget = self.error_budget(&seq);
-                let candidates = self.clamped_candidates(&seq);
-                timings.candidates.0 += candidates.len();
-                seeded.push(Seeded {
-                    read: read_idx,
-                    reverse,
-                    seq,
-                    budget,
-                    candidates,
-                });
-            }
-        }
-        timings.seeding = t0.elapsed();
-
-        // Stage 2 — one filter pass over every candidate in the batch.
-        let t1 = Instant::now();
-        // Flattened (seeded index, position), batch-wide, in the same
-        // order the sequential path visits candidates per read.
-        let flat: Vec<(usize, usize)> = seeded
-            .iter()
-            .enumerate()
-            .flat_map(|(i, s)| s.candidates.iter().map(move |&pos| (i, pos)))
-            .collect();
-        let survivors: Vec<(usize, usize)> = match self.config.filter {
-            FilterKind::GenAsm => {
-                // The filter threshold is the per-read error budget, so
-                // group by budget and lock-step scan each group (one
-                // group for fixed-length read sets).
-                let mut by_budget: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-                for (flat_idx, &(i, _)) in flat.iter().enumerate() {
-                    by_budget
-                        .entry(seeded[i].budget)
-                        .or_default()
-                        .push(flat_idx);
-                }
-                let mut keep = vec![false; flat.len()];
-                for (budget, flat_indices) in by_budget {
-                    let pairs: Vec<(&[u8], &[u8])> = flat_indices
-                        .iter()
-                        .map(|&flat_idx| {
-                            let (i, pos) = flat[flat_idx];
-                            let s = &seeded[i];
-                            (self.region(pos, s.seq.len(), s.budget), s.seq.as_slice())
-                        })
-                        .collect();
-                    let decisions = PreAlignmentFilter::new(budget).accepts_many(&pairs);
-                    for (&flat_idx, decision) in flat_indices.iter().zip(decisions) {
-                        keep[flat_idx] = decision.unwrap_or(false);
-                    }
-                }
-                flat.iter()
-                    .zip(keep)
-                    .filter_map(|(&entry, keep)| keep.then_some(entry))
-                    .collect()
-            }
-            FilterKind::Shouji => flat
-                .into_iter()
-                .filter(|&(i, pos)| {
-                    let s = &seeded[i];
-                    ShoujiFilter::new(s.budget)
-                        .accepts(self.region(pos, s.seq.len(), s.budget), &s.seq)
-                })
-                .collect(),
-            FilterKind::None => flat,
+        let workers = engine.config().effective_workers(reads.len().max(1));
+        let (seeded, stage_busy) = if workers <= 1 || reads.len() <= 1 {
+            let mut busy = StageTimings::default();
+            let mut scratch = SeedScratch::default();
+            let seeded = reads
+                .iter()
+                .enumerate()
+                .flat_map(|(idx, read)| self.seed_filter_read(idx, read, &mut busy, &mut scratch))
+                .collect();
+            (seeded, busy)
+        } else {
+            self.seed_filter_parallel(reads, workers)
         };
-        timings.filtering = t1.elapsed();
-        timings.candidates.1 += survivors.len();
+        let stage_wall = t0.elapsed();
+        // Attribute the fused pass's wall time to the two stages in
+        // proportion to the workers' accumulated busy time, keeping
+        // `total()` equal to the pipeline's real wall clock.
+        let busy_total = stage_busy.seeding + stage_busy.filtering;
+        timings.seeding = if busy_total.is_zero() {
+            stage_wall
+        } else {
+            stage_wall.mul_f64(stage_busy.seeding.as_secs_f64() / busy_total.as_secs_f64())
+        };
+        timings.filtering = stage_wall.saturating_sub(timings.seeding);
+        timings.candidates = stage_busy.candidates;
 
-        // Stage 3 — align all survivors as one keyed engine batch.
-        let jobs: Vec<Job> = survivors
+        // Stage 2 — align all survivors as one keyed engine batch.
+        let jobs: Vec<Job> = seeded
             .iter()
-            .map(|&(i, pos)| {
-                let s = &seeded[i];
-                Job::new(self.region(pos, s.seq.len(), s.budget), &s.seq)
-                    .with_key(pack_key(s.read, pos, s.reverse))
+            .flat_map(|s| {
+                s.survivors.iter().map(|&pos| {
+                    Job::new(self.region(pos, s.seq.len(), s.budget), &s.seq)
+                        .with_key(pack_key(s.read, pos, s.reverse))
+                })
             })
             .collect();
         // Time only the engine call, as `map_read` times only the
         // aligner: the serial job copies above must not dilute the
         // multi-worker shrinkage of `StageTimings::alignment`.
         let t2 = Instant::now();
-        let keyed = engine.align_batch_keyed(&jobs);
+        let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&jobs);
         timings.alignment = t2.elapsed();
+        timings.dc_rows = (align_stats.dc_rows_issued, align_stats.dc_rows_useful);
 
         let mut best: Vec<Option<Mapping>> = vec![None; reads.len()];
         for KeyedResult { key, result } in keyed {
@@ -470,6 +462,85 @@ impl ReadMapper {
         (seq.len() as f64 * self.config.error_fraction).ceil() as usize
     }
 
+    /// Stages 1–2 for one read of a batch: both orientations seeded and
+    /// filtered, candidate work shared with the sequential path via
+    /// [`seed_and_filter`](Self::seed_and_filter) so the two shapes can
+    /// never diverge.
+    fn seed_filter_read(
+        &self,
+        read_idx: usize,
+        read: &[u8],
+        timings: &mut StageTimings,
+        scratch: &mut SeedScratch,
+    ) -> Vec<Seeded> {
+        let mut out = Vec::with_capacity(1 + usize::from(self.config.both_strands));
+        let mut oriented: Vec<(Vec<u8>, bool)> = vec![(read.to_vec(), false)];
+        if self.config.both_strands {
+            oriented.push((reverse_complement(read), true));
+        }
+        for (seq, reverse) in oriented {
+            let budget = self.error_budget(&seq);
+            let survivors = self.seed_and_filter(&seq, budget, timings, scratch);
+            out.push(Seeded {
+                read: read_idx,
+                reverse,
+                seq,
+                budget,
+                survivors,
+            });
+        }
+        out
+    }
+
+    /// The batch seed-and-filter stage sharded across `workers` scoped
+    /// threads. Reads are claimed from an atomic cursor; each read is
+    /// processed wholly by one worker and the per-read outputs are
+    /// merged back in read order, so the result is identical at any
+    /// worker count. Returns the seeded reads plus the workers'
+    /// accumulated busy timings (seeding/filtering sums and candidate
+    /// counters).
+    fn seed_filter_parallel(&self, reads: &[&[u8]], workers: usize) -> (Vec<Seeded>, StageTimings) {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Vec<Seeded>>> = Vec::new();
+        slots.resize_with(reads.len(), || None);
+        let mut busy = StageTimings::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut scratch = SeedScratch::default();
+                        let mut local = StageTimings::default();
+                        let mut produced: Vec<(usize, Vec<Seeded>)> = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= reads.len() {
+                                break;
+                            }
+                            produced.push((
+                                idx,
+                                self.seed_filter_read(idx, reads[idx], &mut local, &mut scratch),
+                            ));
+                        }
+                        (produced, local)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (produced, local) = handle.join().expect("seed worker panicked");
+                busy.accumulate(&local);
+                for (idx, seeded) in produced {
+                    slots[idx] = Some(seeded);
+                }
+            }
+        });
+        let seeded = slots
+            .into_iter()
+            .flat_map(|slot| slot.expect("every read index is claimed exactly once"))
+            .collect();
+        (seeded, busy)
+    }
+
     /// Pipeline steps 1–2 for one oriented read: seeding, then the
     /// configured pre-alignment filter. Returns the surviving
     /// candidate positions (clamped into the reference) and
@@ -483,9 +554,15 @@ impl ReadMapper {
     /// four candidates per Bitap pass for reads that fit one machine
     /// word; decisions are identical to filtering one candidate at a
     /// time.
-    fn seed_and_filter(&self, seq: &[u8], k: usize, timings: &mut StageTimings) -> Vec<usize> {
+    fn seed_and_filter(
+        &self,
+        seq: &[u8],
+        k: usize,
+        timings: &mut StageTimings,
+        scratch: &mut SeedScratch,
+    ) -> Vec<usize> {
         let t0 = Instant::now();
-        let positions = self.clamped_candidates(seq);
+        let positions = self.clamped_candidates(seq, scratch);
         timings.seeding += t0.elapsed();
         timings.candidates.0 += positions.len();
 
@@ -516,10 +593,12 @@ impl ReadMapper {
     /// Seeding for one oriented read: candidate positions in seeder
     /// order, clamped into the reference. Shared by the sequential and
     /// batch paths so their candidate sets can never diverge.
-    fn clamped_candidates(&self, seq: &[u8]) -> Vec<usize> {
+    fn clamped_candidates(&self, seq: &[u8], scratch: &mut SeedScratch) -> Vec<usize> {
+        let mut candidates = Vec::new();
         self.config
             .seeder
-            .candidates(&self.index, seq)
+            .candidates_into(&self.index, seq, scratch, &mut candidates);
+        candidates
             .iter()
             .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
             .collect()

@@ -17,6 +17,17 @@ pub struct Candidate {
     pub votes: usize,
 }
 
+/// Reusable scratch for [`Seeder::candidates_into`]: the vote and bin
+/// buffers, recycled across reads so a seeding worker allocates
+/// nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct SeedScratch {
+    /// Implied read starts, one per index hit.
+    starts: Vec<usize>,
+    /// Per-bin representatives before adjacent-bin merging.
+    binned: Vec<Candidate>,
+}
+
 /// The seeding stage.
 #[derive(Debug, Clone, Copy)]
 pub struct Seeder {
@@ -55,44 +66,84 @@ impl Seeder {
     /// group's first start keeps merging from chaining: distinct loci
     /// more than `bin` bases apart always stay separate candidates.
     pub fn candidates(&self, index: &ShardedIndex, read: &[u8]) -> Vec<Candidate> {
-        use std::collections::HashMap;
+        let mut scratch = SeedScratch::default();
+        let mut out = Vec::new();
+        self.candidates_into(index, read, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`candidates`](Self::candidates) writing into `out`, reusing the
+    /// vote buffers in `scratch` — identical results, but a worker that
+    /// seeds many reads (the batch mapper's parallel seeding stage)
+    /// allocates nothing after warm-up. Votes are collected flat and
+    /// sorted rather than hashed, so the result is deterministic by
+    /// construction.
+    pub fn candidates_into(
+        &self,
+        index: &ShardedIndex,
+        read: &[u8],
+        scratch: &mut SeedScratch,
+        out: &mut Vec<Candidate>,
+    ) {
+        out.clear();
         let k = index.k();
         if read.len() < k {
-            return Vec::new();
+            return;
         }
-        let mut bins: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+        let starts = &mut scratch.starts;
+        starts.clear();
         let mut offset = 0;
         while offset + k <= read.len() {
             if let Some(hits) = index.lookup(&read[offset..offset + k]) {
-                for &hit in hits {
-                    let start = (hit as usize).saturating_sub(offset);
-                    *bins
-                        .entry(start / self.bin)
-                        .or_default()
-                        .entry(start)
-                        .or_default() += 1;
-                }
+                starts.extend(
+                    hits.iter()
+                        .map(|&hit| (hit as usize).saturating_sub(offset)),
+                );
             }
             offset += self.stride;
         }
-        let mut candidates: Vec<Candidate> = bins
-            .into_values()
-            .map(|starts| {
-                let votes: usize = starts.values().sum();
-                let position = starts
-                    .into_iter()
-                    .max_by_key(|&(start, count)| (count, std::cmp::Reverse(start)))
-                    .map(|(start, _)| start)
-                    .unwrap_or(0);
-                Candidate { position, votes }
-            })
-            .collect();
-        candidates.sort_by_key(|c| c.position);
-        let mut merged: Vec<Candidate> = Vec::with_capacity(candidates.len());
+        starts.sort_unstable();
+
+        // Collapse runs of equal implied starts, grouped by bin: each
+        // bin's votes sum and its representative is the most frequent
+        // exact start (ties to the lowest, which ascending iteration
+        // gives for free). Bins emerge in ascending representative
+        // order because bin ranges are disjoint.
+        let binned = &mut scratch.binned;
+        binned.clear();
+        let mut current_bin = usize::MAX;
+        let mut rep_count = 0usize;
+        let mut i = 0usize;
+        while i < starts.len() {
+            let start = starts[i];
+            let mut j = i + 1;
+            while j < starts.len() && starts[j] == start {
+                j += 1;
+            }
+            let count = j - i;
+            let bin = start / self.bin;
+            if bin != current_bin || binned.is_empty() {
+                current_bin = bin;
+                rep_count = count;
+                binned.push(Candidate {
+                    position: start,
+                    votes: count,
+                });
+            } else {
+                let last = binned.last_mut().expect("bin group is open");
+                last.votes += count;
+                if count > rep_count {
+                    rep_count = count;
+                    last.position = start;
+                }
+            }
+            i = j;
+        }
+
         let mut anchor = 0usize; // first start of the current group
         let mut rep_votes = 0usize; // own-bin votes of the current representative
-        for c in candidates {
-            match merged.last_mut() {
+        for &c in binned.iter() {
+            match out.last_mut() {
                 Some(last) if c.position - anchor < self.bin => {
                     if c.votes > rep_votes {
                         rep_votes = c.votes;
@@ -103,13 +154,12 @@ impl Seeder {
                 _ => {
                     anchor = c.position;
                     rep_votes = c.votes;
-                    merged.push(c);
+                    out.push(c);
                 }
             }
         }
-        merged.sort_by(|a, b| b.votes.cmp(&a.votes).then(a.position.cmp(&b.position)));
-        merged.truncate(self.max_candidates);
-        merged
+        out.sort_by(|a, b| b.votes.cmp(&a.votes).then(a.position.cmp(&b.position)));
+        out.truncate(self.max_candidates);
     }
 }
 
@@ -200,6 +250,21 @@ mod tests {
             candidates.iter().any(|c| c.position == 34),
             "the distant locus must not be swallowed: {candidates:?}"
         );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_candidates() {
+        let reference = reference();
+        let index = ShardedIndex::build(&reference, 12);
+        let seeder = Seeder::default();
+        let mut scratch = SeedScratch::default();
+        let mut out = Vec::new();
+        for start in (0..3500).step_by(137) {
+            let read = &reference[start..(start + 180).min(reference.len())];
+            let fresh = seeder.candidates(&index, read);
+            seeder.candidates_into(&index, read, &mut scratch, &mut out);
+            assert_eq!(fresh, out, "start={start}");
+        }
     }
 
     #[test]

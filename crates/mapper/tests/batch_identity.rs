@@ -75,7 +75,7 @@ proptest! {
                 let mapper = ReadMapper::build(&reference, config);
                 let sequential: Vec<_> =
                     read_refs.iter().map(|r| mapper.map_read(r).0).collect();
-                for dispatch in [DcDispatch::Lockstep, DcDispatch::Scalar] {
+                for dispatch in [DcDispatch::Lockstep, DcDispatch::Chunked, DcDispatch::Scalar] {
                     let engine = mapper.engine(2, dispatch);
                     let (batch, timings) =
                         mapper.map_batch_with_engine(&read_refs, &engine);
@@ -91,6 +91,43 @@ proptest! {
                     if aligner == AlignerKind::Gotoh {
                         break; // dispatch only affects the GenASM kernel
                     }
+                }
+            }
+        }
+    }
+
+    /// The parallel seed-and-filter stage is deterministic: the batch
+    /// pipeline returns identical mappings *and* identical candidate
+    /// counters at 1, 2 and 8 workers (reads are claimed from an
+    /// atomic cursor, so thread interleaving varies between runs — the
+    /// read-order merge must hide it), and identical to the sequential
+    /// path.
+    #[test]
+    fn parallel_seeding_is_deterministic_across_worker_counts(
+        reference in dna(2_000, 3_000),
+        seed in any::<u64>(),
+    ) {
+        let reads = derive_reads(&reference, seed);
+        let read_refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
+        let mapper = ReadMapper::build(
+            &reference,
+            MapperConfig {
+                both_strands: true,
+                index_shards: 4,
+                ..MapperConfig::default()
+            },
+        );
+        let sequential: Vec<_> = read_refs.iter().map(|r| mapper.map_read(r).0).collect();
+        let mut baseline: Option<(Vec<_>, (usize, usize))> = None;
+        for workers in [1usize, 2, 8] {
+            let engine = mapper.engine(workers, DcDispatch::Lockstep);
+            let (batch, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
+            prop_assert_eq!(&sequential, &batch, "workers={}", workers);
+            match &baseline {
+                None => baseline = Some((batch, timings.candidates)),
+                Some((mappings, candidates)) => {
+                    prop_assert_eq!(mappings, &batch, "workers={}", workers);
+                    prop_assert_eq!(*candidates, timings.candidates, "workers={}", workers);
                 }
             }
         }

@@ -10,6 +10,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fails when a committed bench artifact is missing a required field —
+# catches a bench edit that silently drops a tracked figure (e.g. the
+# lane-occupancy numbers the persistent-lane scheduler is judged by).
+check_bench_fields() {
+    local file="$1"
+    shift
+    [[ -f "$file" ]] || { echo "missing bench artifact $file" >&2; exit 1; }
+    local field
+    for field in "$@"; do
+        grep -q "\"$field\"" "$file" \
+            || { echo "$file: missing required field \"$field\"" >&2; exit 1; }
+    done
+}
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -34,6 +48,13 @@ cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
 echo "==> cargo bench --bench map_throughput -- --smoke"
 cargo bench -p genasm-bench --bench map_throughput -- --smoke
+
+echo "==> bench artifact field check"
+check_bench_fields BENCH_engine.json pairs_per_sec workers
+check_bench_fields BENCH_dc_multi.json \
+    kernel_full kernel_stream engine pairs_per_sec occupancy speedup_vs_chunked
+check_bench_fields BENCH_map.json \
+    pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
