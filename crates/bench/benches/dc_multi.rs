@@ -1,7 +1,9 @@
 //! Lock-step multi-window DC kernel throughput: scalar vs lock-step at
 //! 1/4/8 lanes, full vs distance-only mode, chunked vs persistent-lane
 //! scheduling (with lane occupancy), and the end-to-end engine effect
-//! (scalar vs chunked vs persistent dispatch at one worker).
+//! (scalar vs chunked vs persistent dispatch at one worker, each with
+//! its full-alignment vs distance-only-scan A/B — the two halves of
+//! the mapper's two-phase execution model).
 //!
 //! Writes `BENCH_dc_multi.json` at the workspace root alongside
 //! `BENCH_engine.json`. Pass `--smoke` (as `scripts/ci.sh` does) for a
@@ -15,7 +17,7 @@ use genasm_core::dc_multi::{
     window_dc_multi_distance_into, window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena,
     MultiLane,
 };
-use genasm_engine::{DcDispatch, Engine, EngineConfig, Job, LaneCount};
+use genasm_engine::{DcDispatch, DistanceJob, Engine, EngineConfig, Job, LaneCount};
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -283,8 +285,21 @@ fn bench_dc_multi(c: &mut Criterion) {
         (DcDispatch::Lockstep, LaneCount::Four, 1.0),
         (DcDispatch::Lockstep, LaneCount::Eight, 1.0),
     ];
+    // Phase-1 counterparts of the same jobs: the distance-only scans
+    // the two-phase mapper resolves candidates on (budget = the 15%
+    // error fraction the mapper would use).
+    let djobs: Vec<DistanceJob> = jobs
+        .iter()
+        .map(|job| {
+            let k = (job.pattern.len() as f64 * 0.15).ceil() as usize;
+            DistanceJob::new(&job.text, &job.pattern, k)
+        })
+        .collect();
     let mut engine_rates = [0.0f64; 4];
-    let mut engine_occupancy = [1.0f64; 4];
+    let mut engine_occupancy = [f64::NAN; 4];
+    let mut engine_tb_rows = [0.0f64; 4];
+    let mut engine_distance_secs = [f64::MAX; 4];
+    let mut engine_distance_rates = [0.0f64; 4];
     for (slot, &(dispatch, lanes, _)) in engine_configs.iter().enumerate() {
         let engine = Engine::new(
             EngineConfig::default()
@@ -297,7 +312,17 @@ fn bench_dc_multi(c: &mut Criterion) {
         for _ in 0..reps {
             let stats = engine.align_batch_with_stats(&jobs).stats;
             engine_rates[slot] = engine_rates[slot].max(stats.pairs_per_sec());
-            engine_occupancy[slot] = stats.lane_occupancy().unwrap_or(1.0);
+            engine_occupancy[slot] = stats.lane_occupancy().unwrap_or(f64::NAN);
+            engine_tb_rows[slot] = stats.tb_rows as f64;
+            // The distance-only half of the A/B: identical pairs, no
+            // row storage, no traceback. Phase-1 scans always run the
+            // persistent-lane occurrence stream under both lock-step
+            // dispatches (DcDispatch only selects the full-mode
+            // scheduler); only the Scalar row's distance figure is the
+            // per-job block metric.
+            let (_, dstats) = engine.distance_batch_keyed(&djobs);
+            engine_distance_secs[slot] = engine_distance_secs[slot].min(dstats.wall.as_secs_f64());
+            engine_distance_rates[slot] = engine_distance_rates[slot].max(dstats.pairs_per_sec());
         }
     }
     let scalar_engine = engine_rates[0];
@@ -316,14 +341,23 @@ fn bench_dc_multi(c: &mut Criterion) {
                 ("pairs_per_sec", rate),
                 ("speedup_vs_scalar", rate / scalar_engine),
                 ("occupancy", engine_occupancy[slot]),
+                ("tb_rows", engine_tb_rows[slot]),
+                ("distance_secs", engine_distance_secs[slot]),
+                ("distance_pairs_per_sec", engine_distance_rates[slot]),
+                (
+                    "distance_speedup_vs_full",
+                    engine_distance_rates[slot] / rate,
+                ),
             ],
         );
         println!(
             "engine 1 worker {dispatch:?} x{}: {rate:.0} pairs/s ({:.2}x scalar, \
-             occupancy {:.1}%)",
+             occupancy {:.1}%); distance-only {:.0} pairs/s ({:.2}x full)",
             lanes.resolve(),
             rate / scalar_engine,
-            engine_occupancy[slot] * 100.0
+            engine_occupancy[slot] * 100.0,
+            engine_distance_rates[slot],
+            engine_distance_rates[slot] / rate
         );
     }
     let lockstep_engine = engine_rates[2];

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use genasm_bench::harness::JsonReport;
-use genasm_engine::{Engine, EngineConfig, GotohKernel, Job};
+use genasm_engine::{DistanceJob, Engine, EngineConfig, GotohKernel, Job};
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -66,6 +66,15 @@ fn bench_worker_scaling(c: &mut Criterion) {
     );
     let mut single_thread_rate = f64::NAN;
 
+    // Phase-1 counterparts of the batch: the distance-only scans the
+    // two-phase mapper resolves candidates on.
+    let distance_batch: Vec<DistanceJob> = batch
+        .iter()
+        .map(|job| {
+            let k = (job.pattern.len() as f64 * 0.15).ceil() as usize;
+            DistanceJob::new(&job.text, &job.pattern, k)
+        })
+        .collect();
     for workers in tracked_worker_counts() {
         let engine = Engine::new(EngineConfig::default().with_workers(workers));
         // Measured out-of-band (not inside the criterion timing loop)
@@ -75,9 +84,19 @@ fn bench_worker_scaling(c: &mut Criterion) {
             warm.stats.failures == 0,
             "bench workload must align cleanly"
         );
+        let tb_rows = warm.stats.tb_rows as f64;
         let best = (0..3)
             .map(|_| engine.align_batch_with_stats(&batch).stats.pairs_per_sec())
             .fold(f64::MIN, f64::max);
+        let distance_secs = (0..3)
+            .map(|_| {
+                engine
+                    .distance_batch_keyed(&distance_batch)
+                    .1
+                    .wall
+                    .as_secs_f64()
+            })
+            .fold(f64::MAX, f64::min);
         if workers == 1 {
             single_thread_rate = best;
         }
@@ -94,6 +113,8 @@ fn bench_worker_scaling(c: &mut Criterion) {
                         f64::NAN
                     },
                 ),
+                ("tb_rows", tb_rows),
+                ("distance_secs", distance_secs),
             ],
         );
 

@@ -287,7 +287,7 @@ fn fig11() -> Vec<Table> {
             let refs: Vec<&[u8]> = reads.iter().map(|r| r.seq.as_slice()).collect();
             let (_, timings) = mapper.map_batch(refs);
             if aligner == AlignerKind::Gotoh {
-                align_share = timings.alignment.as_secs_f64() / timings.total().as_secs_f64();
+                align_share = timings.align_total().as_secs_f64() / timings.total().as_secs_f64();
             }
             totals.push(timings.total());
         }

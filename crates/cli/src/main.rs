@@ -30,7 +30,7 @@ use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_engine::{DcDispatch, LaneCount};
-use genasm_mapper::pipeline::{AlignerKind, MapperConfig, ReadMapper, StageTimings};
+use genasm_mapper::pipeline::{AlignMode, AlignerKind, MapperConfig, ReadMapper, StageTimings};
 use genasm_mapper::sam;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
 use genasm_seq::fastq::read_fastq;
@@ -50,10 +50,12 @@ commands:
   map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]
             [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
             [--lanes 4|8|auto] [--shards 0]
+            [--align-mode two-phase|full]
             [--pipeline batch|sequential]                    SAM to stdout; per-stage
                                                              stats (index/seed/filter/
-                                                             align split, filter reject
-                                                             rate, DC lane occupancy) on
+                                                             distance/traceback split,
+                                                             filter reject rate, tb-rows,
+                                                             DC lane occupancy) on
                                                              stderr. Default is the
                                                              engine-backed batch
                                                              pipeline: --workers threads
@@ -62,13 +64,20 @@ commands:
                                                              index shards (0 = auto),
                                                              --lanes lock-step lanes
                                                              (auto = 8 with AVX2);
+                                                             --align-mode two-phase
+                                                             (default) resolves
+                                                             candidates distance-only
+                                                             and tracebacks winners
+                                                             only; full aligns every
+                                                             survivor (bit-identical);
                                                              --pipeline sequential runs
                                                              the single-threaded
                                                              reference path (identical
                                                              mappings, for A/B runs)
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
             [--kernel lockstep|chunked|scalar|gotoh]
-            [--lanes 4|8|auto] [--error-rate 0.15]
+            [--lanes 4|8|auto] [--align-mode two-phase|full]
+            [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
                                                              throughput report on stderr,
                                                              SAM on stdout with --sam -
@@ -164,6 +173,19 @@ fn parse_lanes(args: &Args) -> Result<LaneCount, String> {
     }
 }
 
+/// Maps `--align-mode` to the batch alignment execution model
+/// (two-phase distance-first resolution by default; both modes produce
+/// bit-identical mappings).
+fn parse_align_mode(args: &Args) -> Result<AlignMode, String> {
+    match args.get("align-mode").unwrap_or("two-phase") {
+        "two-phase" => Ok(AlignMode::TwoPhase),
+        "full" => Ok(AlignMode::Full),
+        other => Err(format!(
+            "unknown align mode {other:?} (use two-phase or full)"
+        )),
+    }
+}
+
 /// Renders the alignment stage's lock-step lane occupancy for the
 /// per-stage stderr stats (`-` when no lock-step rows ran).
 fn occupancy_label(timings: &StageTimings) -> String {
@@ -178,6 +200,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     // invocation fails on the actual mistake.
     let (aligner, dispatch) = parse_kernel(args)?;
     let lanes = parse_lanes(args)?;
+    let align_mode = parse_align_mode(args)?;
     let pipeline = match args.get("pipeline").unwrap_or("batch") {
         p @ ("batch" | "sequential") => p,
         other => return Err(format!("unknown pipeline {other:?}")),
@@ -193,6 +216,7 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         error_fraction: error_rate,
         aligner,
         index_shards: shards,
+        align_mode,
         ..MapperConfig::default()
     };
     let t_index = Instant::now();
@@ -222,9 +246,10 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
     let command = format!(
-        "genasm map --pipeline {pipeline} --kernel {} --workers {workers} \
+        "genasm map --pipeline {pipeline} --kernel {} --align-mode {} --workers {workers} \
          --shards {shards} --error-rate {error_rate}",
         args.get("kernel").unwrap_or("lockstep"),
+        args.get("align-mode").unwrap_or("two-phase"),
     );
     sam::write_header_with_command(&mut out, &reference.id, reference.seq.len(), Some(&command))
         .map_err(|e| e.to_string())?;
@@ -250,7 +275,8 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     eprintln!("mapped {mapped}/{} reads", reads.len());
     eprintln!(
         "pipeline={pipeline} index={:.3}s ({} shards) seed={:.3}s filter={:.3}s \
-         (rejected {:.1}% of {} candidates) align={:.3}s (dc-occupancy {}) \
+         (rejected {:.1}% of {} candidates) distance={:.3}s ({} scans) \
+         traceback={:.3}s ({} alignments, {} tb-rows, dc-occupancy {}) \
          total={total:.3}s ({reads_per_sec:.0} reads/s)",
         index_time.as_secs_f64(),
         mapper.index().shard_count(),
@@ -258,7 +284,11 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         timings.filtering.as_secs_f64(),
         timings.reject_rate() * 100.0,
         timings.candidates.0,
-        timings.alignment.as_secs_f64(),
+        timings.distance.as_secs_f64(),
+        timings.distance_jobs,
+        timings.traceback.as_secs_f64(),
+        timings.traceback_jobs,
+        timings.tb_rows.1,
         occupancy_label(&timings),
     );
     Ok(())
@@ -269,6 +299,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     // invocation fails on the actual mistake.
     let (aligner, dispatch) = parse_kernel(args)?;
     let lanes = parse_lanes(args)?;
+    let align_mode = parse_align_mode(args)?;
     let error_rate: f64 = args.number("error-rate", 0.15)?;
     let threads: usize = args.number("threads", 0)?;
 
@@ -278,6 +309,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let config = MapperConfig {
         error_fraction: error_rate,
         aligner,
+        align_mode,
         ..MapperConfig::default()
     };
     let mapper = ReadMapper::build(&reference.seq, config);
@@ -304,7 +336,7 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     }
 
     let mapped = mappings.iter().filter(|m| m.is_some()).count();
-    let align_secs = timings.alignment.as_secs_f64();
+    let align_secs = timings.align_total().as_secs_f64();
     let reads_per_sec = if align_secs > 0.0 {
         reads.len() as f64 / align_secs
     } else {
@@ -312,8 +344,8 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     };
     eprintln!(
         "kernel={} reads={} mapped={} candidates={}/{} \
-         seed={:.3}s filter={:.3}s align={:.3}s (dc-occupancy {}) \
-         ({reads_per_sec:.0} reads/s in alignment)",
+         seed={:.3}s filter={:.3}s distance={:.3}s traceback={:.3}s \
+         ({} tb-rows, dc-occupancy {}) ({reads_per_sec:.0} reads/s in alignment)",
         engine.kernel_name(),
         reads.len(),
         mapped,
@@ -321,7 +353,9 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         timings.candidates.0,
         timings.seeding.as_secs_f64(),
         timings.filtering.as_secs_f64(),
-        align_secs,
+        timings.distance.as_secs_f64(),
+        timings.traceback.as_secs_f64(),
+        timings.tb_rows.1,
         occupancy_label(&timings),
     );
     Ok(())
@@ -549,6 +583,21 @@ mod tests {
             .unwrap();
         }
 
+        // Both align modes run (and an unknown one is rejected before
+        // any file is read).
+        for mode in ["two-phase", "full"] {
+            run(vec![
+                "map".into(),
+                "--ref".into(),
+                format!("{prefix}_ref.fa"),
+                "--reads".into(),
+                format!("{prefix}_reads.fq"),
+                "--align-mode".into(),
+                mode.into(),
+            ])
+            .unwrap();
+        }
+
         // Explicit lane widths thread through to the engine.
         for lanes in ["4", "8", "auto"] {
             run(vec![
@@ -614,6 +663,7 @@ mod tests {
         for (key, value, needle) in [
             ("--kernel", "smith-waterman", "unknown kernel"),
             ("--pipeline", "streaming", "unknown pipeline"),
+            ("--align-mode", "three-phase", "unknown align mode"),
         ] {
             let err = run(vec![
                 "map".into(),

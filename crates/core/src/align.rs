@@ -20,7 +20,7 @@ use crate::dc::{window_dc_into, DcArena, MAX_WINDOW};
 use crate::dc_sene::window_dc_sene_into;
 use crate::dc_wide::{window_dc_wide_into, WideArena, MAX_WIDE_WINDOW};
 use crate::error::AlignError;
-use crate::tb::{window_traceback, TracebackOrder, TracebackSource};
+use crate::tb::{window_traceback, TbWalker, TracebackOrder, TracebackSource};
 
 /// Which window kernel stores the traceback state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -185,6 +185,10 @@ pub struct WindowStats {
     pub bitvector_words: usize,
     /// Sum of per-window edit distances (before overlap re-counting).
     pub window_edits: usize,
+    /// Distance rows the traceback walks had available (`d + 1` per
+    /// walked window) — the row-level measure of TB-SRAM pressure the
+    /// two-phase mapper reduces by tracing only per-read winners.
+    pub tb_rows: usize,
 }
 
 /// Reusable scratch storage for repeated alignments.
@@ -310,9 +314,25 @@ impl GenAsmAligner {
         text: &[u8],
         pattern: &[u8],
     ) -> Result<(Alignment, WindowStats), AlignError> {
+        self.align_with_arena_and_stats(text, pattern, &mut AlignArena::new())
+    }
+
+    /// [`align_with_arena`](Self::align_with_arena) that also reports
+    /// window-decomposition statistics — the entry point the engine's
+    /// scalar dispatch uses so traceback-row accounting survives the
+    /// kernel boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`align`](Self::align).
+    pub fn align_with_arena_and_stats(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        arena: &mut AlignArena,
+    ) -> Result<(Alignment, WindowStats), AlignError> {
         let mut stats = WindowStats::default();
-        let alignment =
-            self.align_inner::<Dna>(text, pattern, &mut stats, &mut AlignArena::new())?;
+        let alignment = self.align_inner::<Dna>(text, pattern, &mut stats, arena)?;
         Ok((alignment, stats))
     }
 
@@ -397,6 +417,10 @@ pub struct WindowWalk<'a> {
     /// `(budget, consume_limit)` of the window handed out by the last
     /// [`next_window`](Self::next_window) call, awaiting `apply`.
     pending: Option<(usize, usize)>,
+    /// Budget of the window whose traceback was begun but not yet
+    /// completed (the [`begin_traceback`](Self::begin_traceback) /
+    /// [`complete_traceback`](Self::complete_traceback) split).
+    pending_budget: Option<usize>,
     done: bool,
 }
 
@@ -441,6 +465,7 @@ impl<'a> WindowWalk<'a> {
             cigar: Cigar::new(),
             stats: WindowStats::default(),
             pending: None,
+            pending_budget: None,
             done: false,
         })
     }
@@ -527,7 +552,9 @@ impl<'a> WindowWalk<'a> {
 
     /// Feeds back the GenASM-DC outcome of the window handed out by the
     /// last [`next_window`](Self::next_window): runs GenASM-TB over the
-    /// stored bitvectors and advances the cursors.
+    /// stored bitvectors and advances the cursors. Equivalent to
+    /// [`begin_traceback`](Self::begin_traceback) + a full
+    /// [`TbWalker::run`] + [`complete_traceback`](Self::complete_traceback).
     ///
     /// # Errors
     ///
@@ -544,15 +571,75 @@ impl<'a> WindowWalk<'a> {
         distance: Option<usize>,
         bv: &S,
     ) -> Result<(), AlignError> {
+        let mut walker = self.begin_traceback(distance, bv)?;
+        walker.run(bv, &self.config.order)?;
+        self.complete_traceback(walker, bv.stored_words())
+    }
+
+    /// First half of [`apply`](Self::apply): consumes the pending
+    /// window request and hands back a [`TbWalker`] positioned at the
+    /// window's resolved distance. The engine's lock-step scheduler
+    /// collects walkers from every window that resolved in one DC pass
+    /// and drains them as a batch, so the TB case checks of different
+    /// jobs run back-to-back instead of interleaved with kernel work;
+    /// the caller finishes the window with
+    /// [`complete_traceback`](Self::complete_traceback).
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::ExceededErrorBudget`] when `distance` is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window request is pending.
+    pub fn begin_traceback<S: TracebackSource>(
+        &mut self,
+        distance: Option<usize>,
+        bv: &S,
+    ) -> Result<TbWalker, AlignError> {
         let (budget, consume_limit) = self
             .pending
             .take()
-            .expect("apply called without a pending window request");
-        let d = distance.ok_or(AlignError::ExceededErrorBudget { budget })?;
-        let tb = window_traceback(bv, d, consume_limit, &self.config.order)?;
+            .expect("begin_traceback called without a pending window request");
+        match distance {
+            Some(d) => {
+                self.pending_budget = Some(budget);
+                Ok(TbWalker::new(bv, d, consume_limit))
+            }
+            None => Err(AlignError::ExceededErrorBudget { budget }),
+        }
+    }
+
+    /// Second half of [`apply`](Self::apply): folds a finished walker's
+    /// output into the CIGAR, cursors and stats. `stored_words` is the
+    /// window's TB-SRAM word count
+    /// ([`TracebackSource::stored_words`]).
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::ExceededErrorBudget`] when the traceback made no
+    /// forward progress (possible only with degenerate custom case
+    /// orders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no [`begin_traceback`](Self::begin_traceback) call is
+    /// outstanding.
+    pub fn complete_traceback(
+        &mut self,
+        walker: TbWalker,
+        stored_words: usize,
+    ) -> Result<(), AlignError> {
+        let budget = self
+            .pending_budget
+            .take()
+            .expect("complete_traceback called without a begun traceback");
+        let d = walker.edit_distance();
+        let tb = walker.finish();
         self.stats.windows += 1;
-        self.stats.bitvector_words += bv.stored_words();
+        self.stats.bitvector_words += stored_words;
         self.stats.window_edits += d;
+        self.stats.tb_rows += d + 1;
         for &op in &tb.ops {
             self.cigar.push(op);
         }
@@ -638,6 +725,7 @@ impl<'a> WindowWalk<'a> {
         self.stats.windows += 1;
         self.stats.bitvector_words += stored_words;
         self.stats.window_edits += window_distance;
+        self.stats.tb_rows += window_distance + 1;
         for op in ops {
             self.cigar.push(op);
         }
@@ -717,6 +805,86 @@ impl Default for GenAsmAligner {
     fn default() -> Self {
         GenAsmAligner::new(GenAsmConfig::default())
     }
+}
+
+/// Distance-only anchored semiglobal scan: the minimum edits at which
+/// `pattern` (whole, un-windowed) matches a prefix of `text`, computed
+/// by the single-word kernel for patterns up to
+/// [`MAX_WINDOW`](crate::dc::MAX_WINDOW) and the multi-word wide kernel
+/// up to [`MAX_WIDE_WINDOW`] — no row storage, no TB-SRAM traffic.
+/// Returns `None` when the distance exceeds `k_max`.
+///
+/// Like the windowed aligner's transcript, any anchored alignment of
+/// the pair witnesses this distance, so the value is a **lower bound**
+/// of the full [`GenAsmAligner::align`] edit distance. It is the exact
+/// (tightest) anchored bound; the two-phase mapper's phase 1 instead
+/// runs the cheaper block-decomposed
+/// [`block_occurrence_distance_into`], whose per-block scans descend
+/// only to each block's local distance.
+///
+/// # Errors
+///
+/// The window kernels' input errors (empty pattern/text, invalid
+/// symbol), plus [`AlignError::InvalidWindow`] for patterns longer than
+/// [`MAX_WIDE_WINDOW`] (callers fall back to the windowed aligner
+/// there).
+pub fn anchored_distance_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut AlignArena,
+) -> Result<Option<usize>, AlignError> {
+    if pattern.len() <= MAX_WINDOW {
+        crate::dc::window_dc_distance_into::<A>(text, pattern, k_max, &mut arena.dc)
+    } else {
+        crate::dc_wide::window_dc_wide_distance_into::<A>(text, pattern, k_max, &mut arena.wide)
+    }
+}
+
+/// The two-phase mapper's **phase-1 metric**: the sum over `pattern`'s
+/// disjoint [`MAX_WINDOW`]-character blocks of each block's minimum
+/// unanchored occurrence distance in `text`
+/// ([`occurrence_distance_into`](crate::dc::occurrence_distance_into)),
+/// `None` when the sum exceeds `k_max`.
+///
+/// **Lower-bound guarantee:** for any valid alignment of `pattern`
+/// against a prefix of `text` — in particular the windowed
+/// [`GenAsmAligner::align`] transcript — each block's slice of the
+/// transcript is an occurrence of that block somewhere in `text`, and
+/// the blocks are disjoint, so the summed minima never exceed the
+/// alignment's edit distance. That is what lets per-read best
+/// resolution run on these values *before* any traceback, with a
+/// bounded verification round closing the gap exactly.
+///
+/// Works for patterns of any length (every block fits the single-word
+/// kernel), runs iterative-deepening depth per block (cheap on
+/// low-error reads), and is the scalar reference the engine's
+/// persistent-lane distance stream is tested against.
+///
+/// # Errors
+///
+/// The window kernel's input errors (empty pattern, empty text,
+/// invalid symbol).
+pub fn block_occurrence_distance_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut AlignArena,
+) -> Result<Option<usize>, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    let mut sum = 0usize;
+    for block in pattern.chunks(MAX_WINDOW) {
+        match crate::dc::occurrence_distance_into::<A>(text, block, k_max, &mut arena.dc)? {
+            Some(d) => sum += d,
+            None => return Ok(None),
+        }
+        if sum > k_max {
+            return Ok(None);
+        }
+    }
+    Ok(Some(sum))
 }
 
 #[cfg(test)]

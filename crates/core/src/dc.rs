@@ -500,6 +500,83 @@ fn run_window_dc<A: Alphabet, const STORE: bool>(
     Ok(edit_distance)
 }
 
+/// Distance-only **unanchored occurrence** scan: the minimum edits at
+/// which `pattern` (up to [`MAX_WINDOW`] characters) occurs *anywhere*
+/// in `text`, or `None` past `k_max`. The identical rows as
+/// [`window_dc_distance_into`], resolved at the first row with a clear
+/// MSB at *any* text position instead of position 0 — iterative
+/// deepening, so the cost is `O(n · (distance + 1))` rows rather than
+/// the `O(n · k)` of the threshold-first Bitap scan
+/// ([`bitap::find_best`](crate::bitap::find_best)).
+///
+/// This is the per-block primitive of the two-phase mapper's phase-1
+/// metric: a read's disjoint 64-character blocks each scan the
+/// candidate region, and the summed block distances lower-bound any
+/// alignment's edit distance (each block's slice of a transcript is an
+/// occurrence of that block).
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc`].
+pub fn occurrence_distance_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut DcArena,
+) -> Result<Option<usize>, AlignError> {
+    let msb = resolve_window::<A>(text, pattern, arena)?;
+    let n = text.len();
+
+    if arena.prev_row.len() != n {
+        arena.prev_row.clear();
+        arena.prev_row.resize(n, 0);
+    }
+    // Row d = 0, folding an AND over the row as it is produced: the
+    // accumulator's MSB is clear iff some position's is — the
+    // "occurred anywhere" test without a second pass.
+    let mut acc = u64::MAX;
+    {
+        let mut r = u64::MAX;
+        for i in (0..n).rev() {
+            r = (r << 1) | arena.text_pm[i];
+            arena.prev_row[i] = r;
+            acc &= r;
+        }
+    }
+    if acc & msb == 0 {
+        return Ok(Some(0));
+    }
+
+    if arena.cur_row.len() != n {
+        arena.cur_row.clear();
+        arena.cur_row.resize(n, 0);
+    }
+    for d in 1..=k_max {
+        let init_dm1 = boundary_state(d - 1);
+        let mut r_next = boundary_state(d);
+        acc = u64::MAX;
+        for i in (0..n).rev() {
+            let old_r_dm1 = if i + 1 < n {
+                arena.prev_row[i + 1]
+            } else {
+                init_dm1
+            };
+            let r = old_r_dm1
+                & (old_r_dm1 << 1)
+                & (arena.prev_row[i] << 1)
+                & ((r_next << 1) | arena.text_pm[i]);
+            arena.cur_row[i] = r;
+            acc &= r;
+            r_next = r;
+        }
+        std::mem::swap(&mut arena.prev_row, &mut arena.cur_row);
+        if acc & msb == 0 {
+            return Ok(Some(d));
+        }
+    }
+    Ok(None)
+}
+
 /// Convenience wrapper that picks `k_max = pattern.len()`, which always
 /// finds an alignment for non-empty inputs.
 ///
@@ -517,6 +594,57 @@ pub fn window_dc_unbounded<A: Alphabet>(
 mod tests {
     use super::*;
     use crate::alphabet::Dna;
+
+    /// The unanchored occurrence scan equals the minimum anchored
+    /// distance over every text suffix — its definition, computed the
+    /// slow way.
+    #[test]
+    fn occurrence_distance_is_the_minimum_over_suffixes() {
+        let mut arena = DcArena::new();
+        let mut state = 0x9E37u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..25 {
+            let n = 8 + (next() as usize % 70);
+            let text: Vec<u8> = (0..n).map(|_| b"ACGT"[(next() % 4) as usize]).collect();
+            let m = 1 + (next() as usize % 40.min(n));
+            let start = next() as usize % (n - m + 1);
+            let mut pattern = text[start..start + m].to_vec();
+            for _ in 0..(next() % 4) {
+                let idx = next() as usize % pattern.len();
+                pattern[idx] = b"ACGT"[(next() % 4) as usize];
+            }
+            for k_max in [0usize, 1, 3, pattern.len()] {
+                let fast =
+                    occurrence_distance_into::<Dna>(&text, &pattern, k_max, &mut arena).unwrap();
+                let slow = (0..n)
+                    .filter_map(|i| window_dc_distance::<Dna>(&text[i..], &pattern, k_max).unwrap())
+                    .min();
+                assert_eq!(fast, slow, "case={case} k={k_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn occurrence_distance_rejects_bad_inputs() {
+        let mut arena = DcArena::new();
+        assert!(matches!(
+            occurrence_distance_into::<Dna>(b"ACGT", b"", 1, &mut arena),
+            Err(AlignError::EmptyPattern)
+        ));
+        assert!(matches!(
+            occurrence_distance_into::<Dna>(b"", b"ACGT", 1, &mut arena),
+            Err(AlignError::EmptyText)
+        ));
+        assert!(matches!(
+            occurrence_distance_into::<Dna>(b"ACNT", b"ACGT", 1, &mut arena),
+            Err(AlignError::InvalidSymbol { pos: 2, byte: b'N' })
+        ));
+    }
 
     /// Replays the Figure 3 trace and checks the stored intermediate
     /// bitvectors against the figure's printed values.

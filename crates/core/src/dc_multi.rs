@@ -591,6 +591,16 @@ pub struct DcLaneStream<const L: usize> {
     steps: usize,
     rows_issued: u64,
     rows_useful: u64,
+    /// `false` runs the stream in **distance-only** mode: the identical
+    /// recurrence and per-lane outcomes, but no row triple is pushed to
+    /// the ring — the two-phase mapper's phase-1 kernel, where
+    /// traceback is never walked ([`Self::lane`] is not available).
+    store: bool,
+    /// `true` resolves a lane at the first row with a clear MSB at
+    /// *any* text position (the unanchored occurrence scan of
+    /// [`occurrence_distance_into`](crate::dc::occurrence_distance_into))
+    /// instead of position 0 only.
+    unanchored: bool,
 }
 
 impl<const L: usize> Default for DcLaneStream<L> {
@@ -610,14 +620,45 @@ impl<const L: usize> Default for DcLaneStream<L> {
             steps: 0,
             rows_issued: 0,
             rows_useful: 0,
+            store: true,
+            unanchored: false,
         }
     }
 }
 
 impl<const L: usize> DcLaneStream<L> {
-    /// An empty stream; buffers are grown on first use.
+    /// An empty full-mode (edge-storing) stream; buffers are grown on
+    /// first use.
     pub fn new() -> Self {
         DcLaneStream::default()
+    }
+
+    /// An empty **distance-only** stream: per-lane distances identical
+    /// to the full-mode stream (and to the scalar
+    /// [`window_dc_distance_into`](crate::dc::window_dc_distance_into))
+    /// but nothing is written to the row ring, so no TB-SRAM traffic is
+    /// modeled and [`Self::lane`] must not be called.
+    pub fn distance_only() -> Self {
+        DcLaneStream {
+            store: false,
+            ..DcLaneStream::default()
+        }
+    }
+
+    /// An empty **unanchored occurrence** stream: distance-only lanes
+    /// that resolve at the first depth where the lane's pattern occurs
+    /// *anywhere* in its text — per-lane results identical to the
+    /// scalar
+    /// [`occurrence_distance_into`](crate::dc::occurrence_distance_into).
+    /// This is the kernel behind the two-phase mapper's phase-1 block
+    /// scans: every lane carries one read block against one candidate
+    /// region, each at its own depth, refilled the moment it resolves.
+    pub fn occurrence_scan() -> Self {
+        DcLaneStream {
+            store: false,
+            unanchored: true,
+            ..DcLaneStream::default()
+        }
     }
 
     /// Lanes currently advancing a window.
@@ -669,6 +710,10 @@ impl<const L: usize> DcLaneStream<L> {
     ///
     /// Panics when the lane is not in the resolved state.
     pub fn lane(&self, lane: usize) -> StreamLaneBitvectors<'_, L> {
+        assert!(
+            self.store,
+            "lane views are not available on a distance-only stream"
+        );
         assert!(
             self.meta[lane].state == LaneState::Resolved,
             "lane {lane} has no resolved window"
@@ -750,11 +795,17 @@ impl<const L: usize> DcLaneStream<L> {
             row[lane] = u64::MAX;
         }
         let mut r = u64::MAX;
+        let mut acc = u64::MAX;
         for i in (0..n).rev() {
             r = (r << 1) | self.text_pm[i][lane];
             self.prev[i][lane] = r;
             self.d0[i][lane] = r;
+            acc &= r;
         }
+        // Anchored streams resolve on position 0's state; the
+        // unanchored occurrence scan on the AND over every position
+        // (its MSB is clear iff some position's is).
+        let probe = if self.unanchored { acc } else { r };
 
         let msb = 1u64 << (pattern.len() - 1);
         self.meta[lane] = StreamLaneMeta {
@@ -769,16 +820,17 @@ impl<const L: usize> DcLaneStream<L> {
             outcome: None,
         };
         self.retire_rows();
+        let rows0 = usize::from(self.store);
         let meta = &mut self.meta[lane];
-        if r & msb == 0 {
+        if probe & msb == 0 {
             meta.state = LaneState::Resolved;
             meta.outcome = Some(0);
-            meta.rows = 1;
+            meta.rows = rows0;
             Ok(LaneLoad::Resolved)
         } else if k_max == 0 {
             meta.state = LaneState::Resolved;
             meta.outcome = None;
-            meta.rows = 1;
+            meta.rows = rows0;
             Ok(LaneLoad::Resolved)
         } else {
             Ok(LaneLoad::Pending)
@@ -806,39 +858,54 @@ impl<const L: usize> DcLaneStream<L> {
         self.rows_issued += L as u64;
         self.rows_useful += active as u64;
 
-        let mut match_row = self.fresh_row();
-        let mut ins_row = self.fresh_row();
-        let mut del_row = self.fresh_row();
-        dc_row_full::<L>(
-            &self.text_pm,
-            &self.prev,
-            &mut self.cur,
-            &mut match_row,
-            &mut ins_row,
-            &mut del_row,
-            &init_d,
-            &init_dm1,
-        );
-        self.match_rows.push(match_row);
-        self.ins_rows.push(ins_row);
-        self.del_rows.push(del_row);
+        if self.store {
+            let mut match_row = self.fresh_row();
+            let mut ins_row = self.fresh_row();
+            let mut del_row = self.fresh_row();
+            dc_row_full::<L>(
+                &self.text_pm,
+                &self.prev,
+                &mut self.cur,
+                &mut match_row,
+                &mut ins_row,
+                &mut del_row,
+                &init_d,
+                &init_dm1,
+            );
+            self.match_rows.push(match_row);
+            self.ins_rows.push(ins_row);
+            self.del_rows.push(del_row);
+        } else {
+            dc_row_distance::<L>(&self.text_pm, &self.prev, &mut self.cur, &init_d, &init_dm1);
+        }
         std::mem::swap(&mut self.prev, &mut self.cur);
         self.steps += 1;
 
+        let stored = self.store;
+        let unanchored = self.unanchored;
         for (lane, meta) in self.meta.iter_mut().enumerate() {
             if meta.state != LaneState::Active {
                 continue;
             }
             meta.d += 1;
-            if self.prev[0][lane] & meta.msb == 0 {
+            let probe = if unanchored {
+                let mut acc = u64::MAX;
+                for row in self.prev[..meta.n].iter() {
+                    acc &= row[lane];
+                }
+                acc
+            } else {
+                self.prev[0][lane]
+            };
+            if probe & meta.msb == 0 {
                 meta.state = LaneState::Resolved;
                 meta.outcome = Some(meta.d);
-                meta.rows = meta.d + 1;
+                meta.rows = if stored { meta.d + 1 } else { 0 };
                 resolved.push(lane);
             } else if meta.d == meta.k_max {
                 meta.state = LaneState::Resolved;
                 meta.outcome = None;
-                meta.rows = meta.d + 1;
+                meta.rows = if stored { meta.d + 1 } else { 0 };
                 resolved.push(lane);
             }
         }
@@ -1254,7 +1321,7 @@ unsafe fn dc_row_distance_avx2<const L: usize>(
 mod tests {
     use super::*;
     use crate::alphabet::Dna;
-    use crate::dc::{window_dc, DcArena, WindowBitvectors};
+    use crate::dc::{window_dc, window_dc_distance, DcArena, WindowBitvectors};
     use crate::tb::{window_traceback, TracebackOrder};
 
     fn dna(len: usize, seed: u64) -> Vec<u8> {
@@ -1710,6 +1777,68 @@ mod tests {
         for _ in 0..3 {
             drain_stream_against_scalar(&mut stream, &windows);
             assert_eq!(stream.retained_rows(), warmed, "warm runs must not grow");
+        }
+    }
+
+    #[test]
+    // The drain loop indexes `resolved` while the feed macro mutates
+    // lane state; a range loop is the clearest shape for that.
+    #[allow(clippy::needless_range_loop)]
+    fn distance_only_stream_matches_scalar_and_stores_nothing() {
+        let mut stream = DcLaneStream::<4>::distance_only();
+        for seed in 1..8u64 {
+            let windows = ragged_windows(29, seed * 0x51D3);
+            let mut next = 0usize;
+            let mut loaded: [Option<usize>; 4] = [None; 4];
+            let mut resolved = Vec::new();
+            let check = |stream: &DcLaneStream<4>, window: usize, lane: usize| {
+                let (text, pattern, k_max) = &windows[window];
+                let scalar = window_dc_distance::<Dna>(text, pattern, *k_max).unwrap();
+                assert_eq!(stream.outcome(lane), scalar, "window {window}");
+            };
+            macro_rules! feed {
+                ($lane:expr) => {
+                    loop {
+                        if next >= windows.len() {
+                            stream.release_lane($lane);
+                            loaded[$lane] = None;
+                            break;
+                        }
+                        let window = next;
+                        next += 1;
+                        let (text, pattern, k_max) = &windows[window];
+                        match stream.refill_lane::<Dna>($lane, text, pattern, *k_max) {
+                            Ok(LaneLoad::Pending) => {
+                                loaded[$lane] = Some(window);
+                                break;
+                            }
+                            Ok(LaneLoad::Resolved) => check(&stream, window, $lane),
+                            Err(e) => {
+                                let scalar = window_dc_distance::<Dna>(text, pattern, *k_max);
+                                assert_eq!(scalar.unwrap_err(), e, "window {window} error");
+                            }
+                        }
+                    }
+                };
+            }
+            for lane in 0..4 {
+                feed!(lane);
+            }
+            while stream.active_lanes() > 0 {
+                resolved.clear();
+                stream.step(&mut resolved);
+                for i in 0..resolved.len() {
+                    let lane = resolved[i];
+                    check(&stream, loaded[lane].expect("loaded"), lane);
+                    feed!(lane);
+                }
+            }
+            assert_eq!(next, windows.len());
+            assert_eq!(
+                stream.retained_rows(),
+                0,
+                "distance-only streams never touch the row ring"
+            );
         }
     }
 

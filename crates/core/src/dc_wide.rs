@@ -107,6 +107,10 @@ pub struct WideArena {
     /// The rolling `R[d-1]` / `R[d]` scratch rows.
     prev_row: Vec<BitVector>,
     cur_row: Vec<BitVector>,
+    /// Flat word-array rolling rows of the distance-only scan
+    /// (`n × words` u64s each) — the scan's only storage.
+    dist_prev: Vec<u64>,
+    dist_cur: Vec<u64>,
 }
 
 impl WideArena {
@@ -290,6 +294,136 @@ pub fn window_dc_wide_into<A: Alphabet>(
     Ok(edit_distance)
 }
 
+/// The multi-word boundary state `ones << d` over `m` pattern bits,
+/// evaluated per word: word `w` covers bits `64w .. 64w + 63`. Bits at
+/// or above `m` are left set — the recurrence only ever shifts upward
+/// and ANDs, so they can never influence a bit below `m`.
+#[inline]
+fn boundary_word(d: usize, w: usize) -> u64 {
+    let lo = w * 64;
+    if d >= lo + 64 {
+        0
+    } else if d <= lo {
+        u64::MAX
+    } else {
+        u64::MAX << (d - lo)
+    }
+}
+
+/// Distance-only wide-window GenASM-DC: the identical recurrence and
+/// edit distance as [`window_dc_wide_into`], but no intermediate
+/// bitvectors are stored — only two rolling rows of flat `u64` words
+/// live, and each recurrence cell is one fused pass (shift-with-carry
+/// plus ANDs) instead of per-[`BitVector`] operations. This completes
+/// the distance-only mode across the window kernels (the multi-word
+/// arm of [`anchored_distance_into`](crate::align::anchored_distance_into),
+/// the exact whole-pattern anchored bound) for callers that need the
+/// tight anchored distance without TB-SRAM writes; the two-phase
+/// mapper's phase 1 instead runs the cheaper block-decomposed
+/// [`block_occurrence_distance_into`](crate::align::block_occurrence_distance_into)
+/// over single-word blocks. After a distance-only run the arena's
+/// stored bitvectors are empty.
+///
+/// # Errors
+///
+/// Same conditions as [`window_dc_wide`].
+pub fn window_dc_wide_distance_into<A: Alphabet>(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut WideArena,
+) -> Result<Option<usize>, AlignError> {
+    if pattern.is_empty() {
+        return Err(AlignError::EmptyPattern);
+    }
+    if text.is_empty() {
+        return Err(AlignError::EmptyText);
+    }
+    if pattern.len() > MAX_WIDE_WINDOW {
+        return Err(AlignError::InvalidWindow { w: pattern.len() });
+    }
+    let pm = PatternBitmasks::<A>::new(pattern)?;
+    let m = pattern.len();
+    let n = text.len();
+    let words = m.div_ceil(64);
+    let msb_word = (m - 1) / 64;
+    let msb_bit = (m - 1) % 64;
+
+    let mut text_pm: Vec<&[u64]> = Vec::with_capacity(n);
+    for (i, &byte) in text.iter().enumerate() {
+        match pm.mask(byte) {
+            Some(mask) => text_pm.push(mask.as_words()),
+            None => return Err(AlignError::InvalidSymbol { pos: i, byte }),
+        }
+    }
+
+    arena.recycle();
+    arena.bitvectors.pattern_len = m;
+    arena.bitvectors.text_len = n;
+    arena.dist_prev.clear();
+    arena.dist_prev.resize(n * words, 0);
+    arena.dist_cur.clear();
+    arena.dist_cur.resize(n * words, 0);
+    let prev = &mut arena.dist_prev;
+    let cur = &mut arena.dist_cur;
+
+    // Row 0: R[0][i] = (R[0][i+1] << 1) | PM, boundary all-ones at n.
+    {
+        let mut r = vec![u64::MAX; words];
+        for i in (0..n).rev() {
+            let pm_i = text_pm[i];
+            let mut carry = 0u64;
+            for w in 0..words {
+                let shifted = (r[w] << 1) | carry;
+                carry = r[w] >> 63;
+                r[w] = shifted | pm_i[w];
+            }
+            prev[i * words..(i + 1) * words].copy_from_slice(&r);
+        }
+    }
+    if prev[msb_word] >> msb_bit & 1 == 0 {
+        return Ok(Some(0));
+    }
+
+    for d in 1..=k_max {
+        for i in (0..n).rev() {
+            let pm_i = text_pm[i];
+            // The cell's neighbours: oldR[d-1][i+1] (deletion,
+            // unshifted) from `prev` and R[d][i+1] (just written) from
+            // `cur`, both replaced by boundary states at i = n - 1.
+            let next = (i + 1 < n).then_some((i + 1) * words);
+            // Fused pass: every component's shift-with-carry and the
+            // AND chain in one word loop.
+            let mut del_carry = 0u64;
+            let mut ins_carry = 0u64;
+            let mut mat_carry = 0u64;
+            for w in 0..words {
+                let del = match next {
+                    Some(base) => prev[base + w],
+                    None => boundary_word(d - 1, w),
+                };
+                let ins_src = prev[i * words + w];
+                let rn = match next {
+                    Some(base) => cur[base + w],
+                    None => boundary_word(d, w),
+                };
+                let sub = (del << 1) | del_carry;
+                del_carry = del >> 63;
+                let ins = (ins_src << 1) | ins_carry;
+                ins_carry = ins_src >> 63;
+                let mat = (rn << 1) | mat_carry | pm_i[w];
+                mat_carry = rn >> 63;
+                cur[i * words + w] = del & sub & ins & mat;
+            }
+        }
+        std::mem::swap(prev, cur);
+        if prev[msb_word] >> msb_bit & 1 == 0 {
+            return Ok(Some(d));
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +523,54 @@ mod tests {
                 assert_eq!(arena.retained_rows(), warmed, "warm rounds must not grow");
             }
         }
+    }
+
+    #[test]
+    fn distance_only_matches_stored_kernel_and_interleaves_with_it() {
+        let mut arena = WideArena::new();
+        for seed in 1..12u64 {
+            let text = dna(80 + (seed as usize * 29) % 300, seed * 3);
+            let take = 60 + (seed as usize * 37) % (text.len() - 60);
+            let mut pattern = text[..take].to_vec();
+            for e in 0..(seed as usize % 5) {
+                let idx = (e * 31 + 7) % pattern.len();
+                pattern[idx] = if pattern[idx] == b'A' { b'T' } else { b'A' };
+            }
+            for k_max in [2usize, 8, pattern.len()] {
+                let stored = window_dc_wide::<Dna>(&text, &pattern, k_max).unwrap();
+                // Interleave distance-only and stored runs through one
+                // arena so row recycling across modes is exercised.
+                let distance =
+                    window_dc_wide_distance_into::<Dna>(&text, &pattern, k_max, &mut arena)
+                        .unwrap();
+                assert_eq!(distance, stored.edit_distance, "seed={seed} k={k_max}");
+                let restored =
+                    window_dc_wide_into::<Dna>(&text, &pattern, k_max, &mut arena).unwrap();
+                assert_eq!(restored, stored.edit_distance, "seed={seed} k={k_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_only_rejects_bad_inputs_like_stored_kernel() {
+        let mut arena = WideArena::new();
+        assert!(matches!(
+            window_dc_wide_distance_into::<Dna>(b"ACGT", b"", 1, &mut arena),
+            Err(AlignError::EmptyPattern)
+        ));
+        assert!(matches!(
+            window_dc_wide_distance_into::<Dna>(b"", b"ACGT", 1, &mut arena),
+            Err(AlignError::EmptyText)
+        ));
+        assert!(matches!(
+            window_dc_wide_distance_into::<Dna>(b"ACNT", b"ACGT", 1, &mut arena),
+            Err(AlignError::InvalidSymbol { pos: 2, byte: b'N' })
+        ));
+        let big = vec![b'A'; MAX_WIDE_WINDOW + 1];
+        assert!(matches!(
+            window_dc_wide_distance_into::<Dna>(&big, &big, 1, &mut arena),
+            Err(AlignError::InvalidWindow { .. })
+        ));
     }
 
     #[test]

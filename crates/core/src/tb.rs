@@ -216,45 +216,86 @@ pub struct WindowTraceback {
     pub errors_used: usize,
 }
 
-/// Walks the stored window bitvectors and produces the window's
-/// traceback output (Algorithm 2, lines 6–30).
+/// The GenASM-TB walk of one window as an explicit, resumable state
+/// machine (Algorithm 2, lines 6–30) — the traceback mirror of
+/// [`WindowWalk`](crate::align::WindowWalk).
 ///
-/// `edit_distance` is the window distance reported by GenASM-DC;
-/// `consume_limit` is `W − O` for interior windows (line 11) or
-/// `usize::MAX` for the final window, where the walk runs until the
-/// sub-pattern is exhausted.
-///
-/// # Errors
-///
-/// Returns [`AlignError::ExceededErrorBudget`] if no case in `order`
-/// applies at some step — impossible for the complete case orders
-/// ([`TracebackOrder::affine`], [`TracebackOrder::unit`],
-/// [`TracebackOrder::subs_last`]) when `edit_distance` came from
-/// [`window_dc`](crate::dc::window_dc) on the same window, but possible
-/// for custom orders that omit cases.
-pub fn window_traceback<S: TracebackSource>(
-    bv: &S,
+/// [`window_traceback`] drives a walker to completion in one call (the
+/// sequential shape); the engine's lock-step scheduler instead
+/// *collects* walkers from every window that resolved in the same DC
+/// pass and drains them back-to-back from a queue, so the per-window
+/// case checks of different jobs run batched instead of interleaved
+/// with kernel work. Both shapes execute the identical case decisions,
+/// so they cannot diverge.
+#[derive(Debug, Clone)]
+pub struct TbWalker {
+    /// Position of the 0 being processed (first sub-pattern char last).
+    pattern_i: isize,
+    text_i: usize,
+    /// Window text length, captured from the traceback source.
+    text_len: usize,
+    cur_error: usize,
+    /// The window distance the walk started from.
     edit_distance: usize,
     consume_limit: usize,
-    order: &TracebackOrder,
-) -> Result<WindowTraceback, AlignError> {
-    let m = bv.pattern_len();
-    let n = bv.text_len();
+    text_consumed: usize,
+    pattern_consumed: usize,
+    prev: Option<CigarOp>,
+    ops: Vec<CigarOp>,
+}
 
-    let mut pattern_i = m as isize - 1; // position of the 0 being processed
-    let mut text_i = 0usize;
-    let mut cur_error = edit_distance;
-    let mut text_consumed = 0usize;
-    let mut pattern_consumed = 0usize;
-    let mut prev: Option<CigarOp> = None;
-    let mut ops = Vec::new();
+impl TbWalker {
+    /// Starts a walk over `bv`, from the window distance GenASM-DC
+    /// reported. `consume_limit` is `W − O` for interior windows
+    /// (Algorithm 2 line 11) or `usize::MAX` for the final window.
+    pub fn new<S: TracebackSource>(bv: &S, edit_distance: usize, consume_limit: usize) -> Self {
+        TbWalker {
+            pattern_i: bv.pattern_len() as isize - 1,
+            text_i: 0,
+            text_len: bv.text_len(),
+            cur_error: edit_distance,
+            edit_distance,
+            consume_limit,
+            text_consumed: 0,
+            pattern_consumed: 0,
+            prev: None,
+            ops: Vec::new(),
+        }
+    }
 
-    while pattern_i >= 0
-        && text_i < n
-        && text_consumed < consume_limit
-        && pattern_consumed < consume_limit
-    {
-        let bit = pattern_i as usize;
+    /// The window distance the walk started from.
+    pub fn edit_distance(&self) -> usize {
+        self.edit_distance
+    }
+
+    /// `true` once the walk has consumed its sub-pattern, its sub-text,
+    /// or its consume limit; [`finish`](Self::finish) may be called.
+    pub fn is_done(&self) -> bool {
+        self.pattern_i < 0
+            || self.text_i >= self.text_len
+            || self.text_consumed >= self.consume_limit
+            || self.pattern_consumed >= self.consume_limit
+    }
+
+    /// Performs one case check + operation emission (Algorithm 2 lines
+    /// 13–30). A no-op on a finished walk.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::ExceededErrorBudget`] if no case in `order`
+    /// applies — impossible for the complete case orders when the walk
+    /// started from [`window_dc`](crate::dc::window_dc)'s distance on
+    /// the same window, but possible for custom orders that omit cases.
+    pub fn step<S: TracebackSource>(
+        &mut self,
+        bv: &S,
+        order: &TracebackOrder,
+    ) -> Result<(), AlignError> {
+        if self.is_done() {
+            return Ok(());
+        }
+        let bit = self.pattern_i as usize;
+        let (text_i, cur_error, prev) = (self.text_i, self.cur_error, self.prev);
         let mut chosen: Option<TracebackCase> = None;
 
         for &case in order.cases() {
@@ -281,32 +322,81 @@ pub fn window_traceback<S: TracebackSource>(
         }
 
         let case = chosen.ok_or(AlignError::ExceededErrorBudget {
-            budget: edit_distance,
+            budget: self.edit_distance,
         })?;
         let op = case.op();
-        ops.push(op);
-        prev = Some(op);
+        self.ops.push(op);
+        self.prev = Some(op);
 
         // Index updates (Algorithm 2 lines 25-30).
         if op.is_edit() {
-            cur_error -= 1;
+            self.cur_error -= 1;
         }
         if op.consumes_text() {
-            text_i += 1;
-            text_consumed += 1;
+            self.text_i += 1;
+            self.text_consumed += 1;
         }
         if op.consumes_pattern() {
-            pattern_i -= 1;
-            pattern_consumed += 1;
+            self.pattern_i -= 1;
+            self.pattern_consumed += 1;
         }
+        Ok(())
     }
 
-    Ok(WindowTraceback {
-        ops,
-        text_consumed,
-        pattern_consumed,
-        errors_used: edit_distance - cur_error,
-    })
+    /// Drives the walk to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn run<S: TracebackSource>(
+        &mut self,
+        bv: &S,
+        order: &TracebackOrder,
+    ) -> Result<(), AlignError> {
+        while !self.is_done() {
+            self.step(bv, order)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the finished walk and assembles the window's traceback
+    /// output.
+    pub fn finish(self) -> WindowTraceback {
+        WindowTraceback {
+            ops: self.ops,
+            text_consumed: self.text_consumed,
+            pattern_consumed: self.pattern_consumed,
+            errors_used: self.edit_distance - self.cur_error,
+        }
+    }
+}
+
+/// Walks the stored window bitvectors and produces the window's
+/// traceback output (Algorithm 2, lines 6–30): a [`TbWalker`] driven to
+/// completion in one call.
+///
+/// `edit_distance` is the window distance reported by GenASM-DC;
+/// `consume_limit` is `W − O` for interior windows (line 11) or
+/// `usize::MAX` for the final window, where the walk runs until the
+/// sub-pattern is exhausted.
+///
+/// # Errors
+///
+/// Returns [`AlignError::ExceededErrorBudget`] if no case in `order`
+/// applies at some step — impossible for the complete case orders
+/// ([`TracebackOrder::affine`], [`TracebackOrder::unit`],
+/// [`TracebackOrder::subs_last`]) when `edit_distance` came from
+/// [`window_dc`](crate::dc::window_dc) on the same window, but possible
+/// for custom orders that omit cases.
+pub fn window_traceback<S: TracebackSource>(
+    bv: &S,
+    edit_distance: usize,
+    consume_limit: usize,
+    order: &TracebackOrder,
+) -> Result<WindowTraceback, AlignError> {
+    let mut walker = TbWalker::new(bv, edit_distance, consume_limit);
+    walker.run(bv, order)?;
+    Ok(walker.finish())
 }
 
 #[cfg(test)]
@@ -428,6 +518,26 @@ mod tests {
             window_traceback(&dc.bitvectors, d, usize::MAX, &TracebackOrder::subs_last()).unwrap();
         let cigar: Cigar = tb.ops.iter().copied().collect();
         assert!(cigar.validates(&text[..tb.text_consumed], pattern));
+    }
+
+    #[test]
+    fn stepwise_walker_matches_one_shot_walk() {
+        let text = b"ACGGTCATGCAATTGCAGTC";
+        let pattern = b"ACGTCATGAATTGCAGTC";
+        let dc = window_dc::<Dna>(text, pattern, pattern.len()).unwrap();
+        let d = dc.edit_distance.unwrap();
+        let order = TracebackOrder::affine();
+        let one_shot = window_traceback(&dc.bitvectors, d, usize::MAX, &order).unwrap();
+        let mut walker = TbWalker::new(&dc.bitvectors, d, usize::MAX);
+        let mut steps = 0usize;
+        while !walker.is_done() {
+            walker.step(&dc.bitvectors, &order).unwrap();
+            steps += 1;
+        }
+        assert_eq!(walker.edit_distance(), d);
+        let stepped = walker.finish();
+        assert_eq!(one_shot, stepped);
+        assert_eq!(steps, one_shot.ops.len());
     }
 
     #[test]

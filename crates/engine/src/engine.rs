@@ -1,8 +1,8 @@
 //! The batch engine: scoped worker pool over a chunked atomic work
 //! queue.
 
-use crate::job::{Job, KeyedResult};
-use crate::kernel::{DcDispatch, GenAsmKernel, Kernel, LaneCount};
+use crate::job::{DistanceJob, Job, KeyedDistance, KeyedResult};
+use crate::kernel::{DcDispatch, GenAsmKernel, Kernel, KernelScratch, LaneCount};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
 use genasm_core::align::{Alignment, GenAsmConfig};
@@ -100,6 +100,18 @@ pub struct Engine {
     kernel: Arc<dyn Kernel>,
 }
 
+/// Aggregate worker-pool meters one pooled batch collects besides its
+/// results: the inputs every [`BatchStats`] flavor assembles from.
+struct PoolMeters {
+    workers: usize,
+    busy: Duration,
+    max_job: Duration,
+    /// Lock-step lane-slots `(issued, useful)`.
+    dc_rows: (u64, u64),
+    /// Traceback `(windows walked, rows available)`.
+    tb: (u64, u64),
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
@@ -157,8 +169,8 @@ impl Engine {
     /// [`align_batch`](Self::align_batch), with each result paired
     /// with its job's [`key`](Job::key). Results come back in input
     /// order; the keys let a producer that tagged jobs with its own
-    /// coordinates (the read mapper packs *(read, candidate, strand)*
-    /// into the key) route results without a side table or re-sort.
+    /// coordinates (the read mapper keys jobs by candidate-table
+    /// index) route results without a side table or re-sort.
     pub fn align_batch_keyed(&self, jobs: &[Job]) -> Vec<KeyedResult> {
         self.align_batch_keyed_with_stats(jobs).0
     }
@@ -190,8 +202,140 @@ impl Engine {
                 },
             };
         }
-        let workers = self.config.effective_workers(jobs.len());
-        let mut chunk = self.config.effective_chunk(jobs.len(), workers);
+        let (results, meters) = self.run_pool(
+            jobs.len(),
+            |kernel, scratch, range, produced, busy, max_job| {
+                let chunk_jobs = &jobs[range.clone()];
+                let t0 = Instant::now();
+                if let Some(results) = kernel.align_chunk(chunk_jobs, scratch) {
+                    // Batched scheduling interleaves jobs within the
+                    // chunk, so per-job latency is not separable;
+                    // account the chunk mean (keeps busy >= max_job >=
+                    // mean).
+                    let took = t0.elapsed();
+                    *busy += took;
+                    *max_job = (*max_job).max(took / chunk_jobs.len() as u32);
+                    produced.extend(range.zip(results));
+                } else {
+                    for (offset, job) in chunk_jobs.iter().enumerate() {
+                        let t0 = Instant::now();
+                        let result = kernel.align(&job.text, &job.pattern, scratch);
+                        let took = t0.elapsed();
+                        *busy += took;
+                        *max_job = (*max_job).max(took);
+                        produced.push((range.start + offset, result));
+                    }
+                }
+            },
+        );
+
+        let stats = BatchStats {
+            jobs: jobs.len(),
+            failures: results.iter().filter(|r| r.is_err()).count(),
+            workers: meters.workers,
+            pattern_bases: jobs.iter().map(Job::pattern_bases).sum(),
+            wall: started.elapsed(),
+            busy: meters.busy,
+            max_job: meters.max_job,
+            dc_rows_issued: meters.dc_rows.0,
+            dc_rows_useful: meters.dc_rows.1,
+            tb_windows: meters.tb.0,
+            tb_rows: meters.tb.1,
+            dc_distance_jobs: 0,
+        };
+        BatchOutput { results, stats }
+    }
+
+    /// **Phase 1** of the two-phase alignment path: scans every
+    /// [`DistanceJob`] through the kernel's distance-only machinery (the
+    /// GenASM kernel's persistent-lane distance stream — no row
+    /// storage, no TB-SRAM) on the same worker pool and work queue as
+    /// [`align_batch`](Self::align_batch), returning per-job distances
+    /// paired with the jobs' keys, in input order.
+    ///
+    /// Each `Ok(Some(d))` is the kernel's distance for the pair, a
+    /// lower bound of (normally equal to) the full alignment's edit
+    /// distance; `Ok(None)` certifies the distance exceeds the job's
+    /// `k_max`. Producers resolve per-read winners on these values and
+    /// submit only winners to [`align_batch_keyed`](Self::align_batch_keyed)
+    /// for traceback.
+    pub fn distance_batch_keyed(&self, jobs: &[DistanceJob]) -> (Vec<KeyedDistance>, BatchStats) {
+        let started = Instant::now();
+        if jobs.is_empty() {
+            let stats = BatchStats {
+                wall: started.elapsed(),
+                ..BatchStats::default()
+            };
+            return (Vec::new(), stats);
+        }
+        let (scanned, meters) = self.run_pool(
+            jobs.len(),
+            |kernel, scratch, range, produced, busy, max_job| {
+                let chunk_jobs = &jobs[range.clone()];
+                let t0 = Instant::now();
+                if let Some(results) = kernel.distance_chunk(chunk_jobs, scratch) {
+                    let took = t0.elapsed();
+                    *busy += took;
+                    *max_job = (*max_job).max(took / chunk_jobs.len() as u32);
+                    produced.extend(range.zip(results));
+                } else {
+                    for (offset, job) in chunk_jobs.iter().enumerate() {
+                        let t0 = Instant::now();
+                        let result = kernel.distance(&job.text, &job.pattern, job.k_max, scratch);
+                        let took = t0.elapsed();
+                        *busy += took;
+                        *max_job = (*max_job).max(took);
+                        produced.push((range.start + offset, result));
+                    }
+                }
+            },
+        );
+
+        let results: Vec<KeyedDistance> = jobs
+            .iter()
+            .map(|job| job.key)
+            .zip(scanned)
+            .map(|(key, result)| KeyedDistance { key, result })
+            .collect();
+        let stats = BatchStats {
+            jobs: jobs.len(),
+            failures: results.iter().filter(|r| r.result.is_err()).count(),
+            workers: meters.workers,
+            pattern_bases: jobs.iter().map(DistanceJob::pattern_bases).sum(),
+            wall: started.elapsed(),
+            busy: meters.busy,
+            max_job: meters.max_job,
+            dc_rows_issued: meters.dc_rows.0,
+            dc_rows_useful: meters.dc_rows.1,
+            tb_windows: meters.tb.0,
+            tb_rows: meters.tb.1,
+            dc_distance_jobs: jobs.len() as u64,
+        };
+        (results, stats)
+    }
+
+    /// The shared worker-pool driver behind
+    /// [`align_batch_with_stats`](Self::align_batch_with_stats) and
+    /// [`distance_batch_keyed`](Self::distance_batch_keyed): scoped
+    /// workers claim contiguous index chunks from a lock-free atomic
+    /// cursor and run `work` on each claimed range, producing one
+    /// result per index; per-worker kernel scratch, busy/latency
+    /// accounting and the lane-row / traceback counters are collected
+    /// identically for every batch flavor.
+    fn run_pool<R, W>(&self, count: usize, work: W) -> (Vec<R>, PoolMeters)
+    where
+        R: Send,
+        W: Fn(
+                &dyn Kernel,
+                &mut dyn KernelScratch,
+                std::ops::Range<usize>,
+                &mut Vec<(usize, R)>,
+                &mut Duration,
+                &mut Duration,
+            ) + Sync,
+    {
+        let workers = self.config.effective_workers(count);
+        let mut chunk = self.config.effective_chunk(count, workers);
         if self.config.chunk == 0 {
             // Auto-sized chunks respect the kernel's lane floor (1 for
             // kernels without a batched scheduler, so custom kernels
@@ -202,87 +346,68 @@ impl Engine {
         // Workers claim contiguous chunks by bumping this cursor; no
         // lock is ever taken on the dispatch path.
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<Result<Alignment, AlignError>>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
-        let mut busy = Duration::ZERO;
-        let mut max_job = Duration::ZERO;
-        let mut dc_rows_issued = 0u64;
-        let mut dc_rows_useful = 0u64;
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(count, || None);
+        let mut meters = PoolMeters {
+            workers,
+            busy: Duration::ZERO,
+            max_job: Duration::ZERO,
+            dc_rows: (0, 0),
+            tb: (0, 0),
+        };
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let cursor = &cursor;
                     let kernel = &*self.kernel;
+                    let work = &work;
                     scope.spawn(move || {
                         let mut scratch = kernel.new_scratch();
-                        let mut produced: Vec<(usize, Result<Alignment, AlignError>)> = Vec::new();
+                        let mut produced: Vec<(usize, R)> = Vec::new();
                         let mut busy = Duration::ZERO;
                         let mut max_job = Duration::ZERO;
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= jobs.len() {
+                            if start >= count {
                                 break;
                             }
-                            let end = (start + chunk).min(jobs.len());
-                            let chunk_jobs = &jobs[start..end];
-                            let t0 = Instant::now();
-                            if let Some(results) = kernel.align_chunk(chunk_jobs, scratch.as_mut())
-                            {
-                                // Batched scheduling interleaves jobs
-                                // within the chunk, so per-job latency
-                                // is not separable; account the chunk
-                                // mean (keeps busy >= max_job >= mean).
-                                let took = t0.elapsed();
-                                busy += took;
-                                max_job = max_job.max(took / chunk_jobs.len() as u32);
-                                produced.extend((start..end).zip(results));
-                            } else {
-                                for (offset, job) in chunk_jobs.iter().enumerate() {
-                                    let t0 = Instant::now();
-                                    let result =
-                                        kernel.align(&job.text, &job.pattern, scratch.as_mut());
-                                    let took = t0.elapsed();
-                                    busy += took;
-                                    max_job = max_job.max(took);
-                                    produced.push((start + offset, result));
-                                }
-                            }
+                            let end = (start + chunk).min(count);
+                            work(
+                                kernel,
+                                scratch.as_mut(),
+                                start..end,
+                                &mut produced,
+                                &mut busy,
+                                &mut max_job,
+                            );
                         }
                         let lane_rows = kernel.take_lane_rows(scratch.as_mut());
-                        (produced, busy, max_job, lane_rows)
+                        let tb = kernel.take_tb_counters(scratch.as_mut());
+                        (produced, busy, max_job, lane_rows, tb)
                     })
                 })
                 .collect();
             for handle in handles {
-                let (produced, worker_busy, worker_max, (issued, useful)) =
+                let (produced, worker_busy, worker_max, (issued, useful), (windows, rows)) =
                     handle.join().expect("engine worker panicked");
-                busy += worker_busy;
-                max_job = max_job.max(worker_max);
-                dc_rows_issued += issued;
-                dc_rows_useful += useful;
+                meters.busy += worker_busy;
+                meters.max_job = meters.max_job.max(worker_max);
+                meters.dc_rows.0 += issued;
+                meters.dc_rows.1 += useful;
+                meters.tb.0 += windows;
+                meters.tb.1 += rows;
                 for (index, result) in produced {
                     slots[index] = Some(result);
                 }
             }
         });
 
-        let results: Vec<Result<Alignment, AlignError>> = slots
+        let results = slots
             .into_iter()
-            .map(|slot| slot.expect("every job index is claimed exactly once"))
+            .map(|slot| slot.expect("every index is claimed exactly once"))
             .collect();
-        let stats = BatchStats {
-            jobs: jobs.len(),
-            failures: results.iter().filter(|r| r.is_err()).count(),
-            workers,
-            pattern_bases: jobs.iter().map(Job::pattern_bases).sum(),
-            wall: started.elapsed(),
-            busy,
-            max_job,
-            dc_rows_issued,
-            dc_rows_useful,
-        };
-        BatchOutput { results, stats }
+        (results, meters)
     }
 
     /// Opens a persistent streaming session: jobs are accepted with
@@ -385,6 +510,79 @@ mod tests {
         for ((job, keyed), plain) in jobs.iter().zip(&keyed).zip(plain) {
             assert_eq!(keyed.key, job.key);
             assert_eq!(keyed.result, plain);
+        }
+    }
+
+    #[test]
+    fn distance_batch_lower_bounds_alignment_and_carries_keys() {
+        let djobs: Vec<DistanceJob> = jobs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                DistanceJob::new(&job.text, &job.pattern, job.pattern.len())
+                    .with_key(0x5EED_0000 + i as u64)
+            })
+            .collect();
+        let full_jobs: Vec<Job> = djobs
+            .iter()
+            .map(|d| Job::from_owned(d.text.clone(), d.pattern.clone()))
+            .collect();
+        for workers in [1usize, 3] {
+            let engine = Engine::new(EngineConfig::default().with_workers(workers));
+            let (distances, stats) = engine.distance_batch_keyed(&djobs);
+            let full = engine.align_batch(&full_jobs);
+            assert_eq!(distances.len(), djobs.len());
+            assert_eq!(stats.dc_distance_jobs, djobs.len() as u64);
+            assert_eq!(stats.tb_rows, 0, "phase 1 walks no tracebacks");
+            for ((keyed, job), result) in distances.iter().zip(&djobs).zip(&full) {
+                assert_eq!(keyed.key, job.key);
+                let d = keyed.result.as_ref().unwrap().expect("budget covers m");
+                let e = result.as_ref().unwrap().edit_distance;
+                assert!(d <= e, "workers={workers}: distance {d} vs alignment {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_batch_respects_budgets_and_scalar_dispatch() {
+        let djobs: Vec<DistanceJob> = jobs()
+            .into_iter()
+            .map(|job| DistanceJob::new(&job.text, &job.pattern, 0))
+            .collect();
+        let lockstep = Engine::new(EngineConfig::default().with_workers(2));
+        let scalar = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_dispatch(DcDispatch::Scalar),
+        );
+        let (a, _) = lockstep.distance_batch_keyed(&djobs);
+        let (b, _) = scalar.distance_batch_keyed(&djobs);
+        assert_eq!(a, b, "dispatch must not change distances");
+        assert!(
+            a.iter().any(|k| k.result == Ok(None)),
+            "tight budgets must exhaust on mutated jobs"
+        );
+    }
+
+    #[test]
+    fn batch_stats_report_traceback_volume() {
+        let jobs = jobs();
+        for dispatch in [
+            DcDispatch::Lockstep,
+            DcDispatch::Chunked,
+            DcDispatch::Scalar,
+        ] {
+            let engine = Engine::new(
+                EngineConfig::default()
+                    .with_workers(2)
+                    .with_dispatch(dispatch),
+            );
+            let output = engine.align_batch_with_stats(&jobs);
+            assert!(
+                output.stats.tb_windows > 0,
+                "{dispatch:?} must count walked windows"
+            );
+            assert!(output.stats.tb_rows >= output.stats.tb_windows);
         }
     }
 

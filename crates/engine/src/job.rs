@@ -7,7 +7,7 @@ use genasm_core::error::AlignError;
 /// both owned so jobs can cross thread boundaries and outlive their
 /// producer in the streaming API. The `key` is an opaque caller tag
 /// carried through scheduling untouched, so batch producers (the read
-/// mapper tags jobs with *(read, candidate, strand)*) can route results
+/// mapper tags jobs with candidate-table indices) can route results
 /// without keeping a side table in job order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Job {
@@ -61,4 +61,59 @@ pub struct KeyedResult {
     pub key: u64,
     /// The alignment outcome.
     pub result: Result<Alignment, AlignError>,
+}
+
+/// One **phase-1** unit of work of the two-phase alignment path: a
+/// distance-only anchored scan of `pattern` against `text`, bounded by
+/// `k_max` distance rows. No traceback state is ever stored for a
+/// distance job — the mapper resolves each read's best candidate on
+/// these distances and only per-read winners become full [`Job`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceJob {
+    /// The text (reference region) the pattern is scanned against,
+    /// anchored at its start.
+    pub text: Vec<u8>,
+    /// The pattern (read).
+    pub pattern: Vec<u8>,
+    /// Distance-row budget: scans report `None` past this depth.
+    pub k_max: usize,
+    /// Caller-assigned tag returned with the job's result by
+    /// [`Engine::distance_batch_keyed`](crate::Engine::distance_batch_keyed).
+    pub key: u64,
+}
+
+impl DistanceJob {
+    /// Builds a distance job from borrowed sequences (key 0).
+    pub fn new(text: &[u8], pattern: &[u8], k_max: usize) -> Self {
+        DistanceJob {
+            text: text.to_vec(),
+            pattern: pattern.to_vec(),
+            k_max,
+            key: 0,
+        }
+    }
+
+    /// Tags the job with a caller key.
+    #[must_use]
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Pattern length in bases — the per-job work unit used for
+    /// base-throughput accounting.
+    pub fn pattern_bases(&self) -> usize {
+        self.pattern.len()
+    }
+}
+
+/// One distance job's outcome paired with the job's caller key.
+/// `Ok(None)` means the anchored distance exceeds the job's `k_max`
+/// (so `k_max + 1` is a valid lower bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyedDistance {
+    /// The key of the job that produced this result.
+    pub key: u64,
+    /// The distance outcome.
+    pub result: Result<Option<usize>, AlignError>,
 }

@@ -7,7 +7,7 @@
 //! compares against), so throughput comparisons run on the identical
 //! harness.
 
-use crate::job::Job;
+use crate::job::{DistanceJob, Job};
 use crate::lockstep::{self, LockstepScratch};
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_core::align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};
@@ -146,6 +146,48 @@ pub trait Kernel: Send + Sync {
         None
     }
 
+    /// Distance-only (phase-1) scan of one job: a certified **lower
+    /// bound** of [`align`](Self::align)'s edit distance on the same
+    /// pair — normally equal to it on realistic reads — with `Ok(None)`
+    /// certifying the bound exceeds `k_max`. This is the contract the
+    /// two-phase mapper's distance-first resolution relies on. The
+    /// GenASM kernel computes the block-decomposed occurrence bound
+    /// ([`block_occurrence_distance_into`](genasm_core::align::block_occurrence_distance_into):
+    /// disjoint 64-character pattern blocks, each scanned for its
+    /// cheapest occurrence anywhere in the text, summed); the default
+    /// implementation runs the full alignment as the exact oracle,
+    /// ignoring `k_max`.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-specific, matching [`align`](Self::align)'s conditions.
+    fn distance(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        k_max: usize,
+        scratch: &mut dyn KernelScratch,
+    ) -> Result<Option<usize>, AlignError> {
+        let _ = k_max;
+        self.align(text, pattern, scratch)
+            .map(|a| Some(a.edit_distance))
+    }
+
+    /// Scans a whole chunk of distance jobs in one call when the
+    /// kernel has a batched distance scheduler (the GenASM kernel's
+    /// persistent-lane distance-only stream); `None` tells the engine
+    /// to fall back to per-job [`distance`](Self::distance) calls.
+    /// Implementations must return one result per job, in job order,
+    /// identical to per-job scanning.
+    fn distance_chunk(
+        &self,
+        jobs: &[DistanceJob],
+        scratch: &mut dyn KernelScratch,
+    ) -> Option<Vec<Result<Option<usize>, AlignError>>> {
+        let _ = (jobs, scratch);
+        None
+    }
+
     /// Smallest work-queue chunk that lets the kernel's batched
     /// scheduler fill its lanes; the engine raises auto-sized chunks to
     /// this floor. Kernels without batched scheduling keep the default
@@ -161,6 +203,18 @@ pub trait Kernel: Send + Sync {
     /// measured, regression-trackable number. Kernels without lock-step
     /// scheduling report `(0, 0)`.
     fn take_lane_rows(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
+        let _ = scratch;
+        (0, 0)
+    }
+
+    /// Returns and resets the kernel's traceback counters accumulated
+    /// in `scratch`: `(windows walked, rows available to those walks)`.
+    /// The engine sums these into
+    /// [`BatchStats::{tb_windows,tb_rows}`](crate::BatchStats) so the
+    /// traceback volume each execution mode issues is a measured,
+    /// regression-trackable number. Kernels without TB accounting
+    /// report `(0, 0)`.
+    fn take_tb_counters(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
         let _ = scratch;
         (0, 0)
     }
@@ -234,10 +288,10 @@ impl Kernel for GenAsmKernel {
     }
 
     fn new_scratch(&self) -> Box<dyn KernelScratch> {
-        match self.dispatch {
-            DcDispatch::Scalar => Box::new(AlignArena::new()),
-            DcDispatch::Chunked | DcDispatch::Lockstep => Box::new(LockstepScratch::default()),
-        }
+        // Every dispatch shares the LockstepScratch shape: scalar
+        // dispatch uses only its embedded arena and TB counters, so
+        // traceback accounting works identically across modes.
+        Box::new(LockstepScratch::default())
     }
 
     fn align(
@@ -252,7 +306,16 @@ impl Kernel for GenAsmKernel {
         if let Some(arena) = scratch.downcast_mut::<AlignArena>() {
             self.aligner.align_with_arena(text, pattern, arena)
         } else if let Some(ls) = scratch.downcast_mut::<LockstepScratch>() {
-            self.aligner.align_with_arena(text, pattern, &mut ls.scalar)
+            // The scalar driver folds traceback accounting into the
+            // scratch counters even when the walk fails mid-alignment,
+            // so tb stats agree across dispatch modes.
+            lockstep::align_job_scalar(
+                self.aligner.config(),
+                text,
+                pattern,
+                &mut ls.scalar,
+                &mut ls.tb,
+            )
         } else {
             panic!("GenAsmKernel scratch must be an AlignArena or LockstepScratch")
         }
@@ -271,19 +334,64 @@ impl Kernel for GenAsmKernel {
             .downcast_mut::<LockstepScratch>()
             .expect("lock-step dispatch requires LockstepScratch");
         let config = self.aligner.config();
+        let LockstepScratch {
+            stream4,
+            stream8,
+            multi4,
+            multi8,
+            scalar,
+            tb,
+            ..
+        } = ls;
         Some(match (self.dispatch, self.lane_width()) {
             (DcDispatch::Chunked, 8) => {
-                lockstep::align_chunk_chunked(config, jobs, &mut ls.multi8, &mut ls.scalar)
+                lockstep::align_chunk_chunked(config, jobs, multi8, scalar, tb)
             }
             (DcDispatch::Chunked, _) => {
-                lockstep::align_chunk_chunked(config, jobs, &mut ls.multi4, &mut ls.scalar)
+                lockstep::align_chunk_chunked(config, jobs, multi4, scalar, tb)
             }
-            (_, 8) => {
-                lockstep::align_chunk_streaming(config, jobs, &mut ls.stream8, &mut ls.scalar)
-            }
-            (_, _) => {
-                lockstep::align_chunk_streaming(config, jobs, &mut ls.stream4, &mut ls.scalar)
-            }
+            (_, 8) => lockstep::align_chunk_streaming(config, jobs, stream8, scalar, tb),
+            (_, _) => lockstep::align_chunk_streaming(config, jobs, stream4, scalar, tb),
+        })
+    }
+
+    fn distance(
+        &self,
+        text: &[u8],
+        pattern: &[u8],
+        k_max: usize,
+        scratch: &mut dyn KernelScratch,
+    ) -> Result<Option<usize>, AlignError> {
+        let scratch = scratch.as_any_mut();
+        if let Some(arena) = scratch.downcast_mut::<AlignArena>() {
+            lockstep::distance_job_scalar(text, pattern, k_max, arena)
+        } else if let Some(ls) = scratch.downcast_mut::<LockstepScratch>() {
+            lockstep::distance_job_scalar(text, pattern, k_max, &mut ls.scalar)
+        } else {
+            panic!("GenAsmKernel scratch must be an AlignArena or LockstepScratch")
+        }
+    }
+
+    // Phase-1 scans have no chunk-granularity variant: both lock-step
+    // dispatches run the persistent-lane occurrence stream (DcDispatch
+    // selects the *full-mode* scheduler only), and scalar dispatch
+    // falls back to the per-job block metric.
+    fn distance_chunk(
+        &self,
+        jobs: &[DistanceJob],
+        scratch: &mut dyn KernelScratch,
+    ) -> Option<Vec<Result<Option<usize>, AlignError>>> {
+        if self.dispatch == DcDispatch::Scalar {
+            return None;
+        }
+        let ls = scratch
+            .as_any_mut()
+            .downcast_mut::<LockstepScratch>()
+            .expect("lock-step dispatch requires LockstepScratch");
+        Some(if self.lane_width() == 8 {
+            lockstep::distance_chunk_streaming(jobs, &mut ls.dstream8)
+        } else {
+            lockstep::distance_chunk_streaming(jobs, &mut ls.dstream4)
         })
     }
 
@@ -301,6 +409,13 @@ impl Kernel for GenAsmKernel {
     fn take_lane_rows(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
         match scratch.as_any_mut().downcast_mut::<LockstepScratch>() {
             Some(ls) => ls.take_row_counters(),
+            None => (0, 0),
+        }
+    }
+
+    fn take_tb_counters(&self, scratch: &mut dyn KernelScratch) -> (u64, u64) {
+        match scratch.as_any_mut().downcast_mut::<LockstepScratch>() {
+            Some(ls) => ls.tb.take(),
             None => (0, 0),
         }
     }

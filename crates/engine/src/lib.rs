@@ -61,8 +61,8 @@ pub mod stats;
 pub mod stream;
 
 pub use engine::{Engine, EngineConfig};
-pub use job::{Job, KeyedResult};
+pub use job::{DistanceJob, Job, KeyedDistance, KeyedResult};
 pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, LaneCount};
 pub use lockstep::LockstepScratch;
-pub use stats::{BatchOutput, BatchStats};
+pub use stats::{lane_occupancy_ratio, BatchOutput, BatchStats};
 pub use stream::EngineStream;

@@ -28,9 +28,10 @@
 //! global-final window) fall back to the scalar [`drive_window_walk`]
 //! on the same arena-backed kernels.
 
-use crate::job::Job;
+use crate::job::{DistanceJob, Job};
 use genasm_core::align::{
-    drive_window_walk, AlignArena, Alignment, AlignmentMode, GenAsmConfig, WindowKernel, WindowWalk,
+    block_occurrence_distance_into, drive_window_walk, AlignArena, Alignment, AlignmentMode,
+    GenAsmConfig, WindowKernel, WindowStats, WindowWalk,
 };
 use genasm_core::alphabet::Dna;
 use genasm_core::dc::MAX_WINDOW;
@@ -38,25 +39,71 @@ use genasm_core::dc_multi::{
     window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena, MultiLane, DEFAULT_LANES,
 };
 use genasm_core::error::AlignError;
+use genasm_core::tb::{TbWalker, TracebackSource};
 
 /// Windows processed per lock-step DC pass under the default (4-lane)
 /// configuration; see [`LaneCount`](crate::kernel::LaneCount) for the
 /// 8-lane AVX2 configuration.
 pub const LANES: usize = DEFAULT_LANES;
 
+/// Traceback accounting a worker accumulates across jobs: windows
+/// walked and the distance rows those walks had available (`d + 1` per
+/// window). The engine sums these into
+/// [`BatchStats::{tb_windows,tb_rows}`](crate::BatchStats) so the
+/// two-phase mapper's traceback-row reduction is a measured number.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct TbCounters {
+    pub(crate) windows: u64,
+    pub(crate) rows: u64,
+}
+
+impl TbCounters {
+    /// Folds one retired walk's window stats in.
+    fn absorb(&mut self, stats: &WindowStats) {
+        self.windows += stats.windows as u64;
+        self.rows += stats.tb_rows as u64;
+    }
+
+    /// Returns and resets the counters as `(windows, rows)`.
+    pub(crate) fn take(&mut self) -> (u64, u64) {
+        let taken = (self.windows, self.rows);
+        *self = TbCounters::default();
+        taken
+    }
+}
+
 /// Per-worker scratch of the lock-step GenASM kernel: persistent-lane
-/// streams and chunked arenas at both supported lane widths, plus a
-/// scalar arena for fallbacks — all recycled across jobs, so a
-/// warmed-up worker allocates nothing in the DC hot loop. Only the
-/// width the kernel's lane configuration selects ever grows; the other
-/// stays empty.
-#[derive(Debug, Default)]
+/// streams and chunked arenas at both supported lane widths (full mode
+/// plus the distance-only streams the two-phase mapper's phase 1
+/// runs), a scalar arena for fallbacks, and the worker's traceback
+/// counters — all recycled across jobs, so a warmed-up worker
+/// allocates nothing in the DC hot loop. Only the width the kernel's
+/// lane configuration selects ever grows; the other stays empty.
+#[derive(Debug)]
 pub struct LockstepScratch {
     pub(crate) stream4: DcLaneStream<4>,
     pub(crate) stream8: DcLaneStream<8>,
     pub(crate) multi4: MultiDcArena<4>,
     pub(crate) multi8: MultiDcArena<8>,
+    pub(crate) dstream4: DcLaneStream<4>,
+    pub(crate) dstream8: DcLaneStream<8>,
     pub(crate) scalar: AlignArena,
+    pub(crate) tb: TbCounters,
+}
+
+impl Default for LockstepScratch {
+    fn default() -> Self {
+        LockstepScratch {
+            stream4: DcLaneStream::new(),
+            stream8: DcLaneStream::new(),
+            multi4: MultiDcArena::new(),
+            multi8: MultiDcArena::new(),
+            dstream4: DcLaneStream::occurrence_scan(),
+            dstream8: DcLaneStream::occurrence_scan(),
+            scalar: AlignArena::new(),
+            tb: TbCounters::default(),
+        }
+    }
 }
 
 impl LockstepScratch {
@@ -68,6 +115,8 @@ impl LockstepScratch {
             self.stream8.take_row_counters(),
             self.multi4.take_row_counters(),
             self.multi8.take_row_counters(),
+            self.dstream4.take_row_counters(),
+            self.dstream8.take_row_counters(),
         ];
         parts
             .iter()
@@ -84,16 +133,22 @@ pub(crate) fn lockstep_eligible(config: &GenAsmConfig) -> bool {
         && config.mode == AlignmentMode::Semiglobal
 }
 
-/// Aligns one job with the scalar window kernels (the same machinery
+/// Aligns one pair with the scalar window kernels (the same machinery
 /// [`GenAsmAligner::align_with_arena`](genasm_core::GenAsmAligner)
-/// runs).
-fn align_job_scalar(
+/// runs), folding the walk's traceback accounting into `tb` — the
+/// windows walked before a mid-alignment failure included, so
+/// traceback counters agree across dispatch modes.
+pub(crate) fn align_job_scalar(
     config: &GenAsmConfig,
-    job: &Job,
+    text: &[u8],
+    pattern: &[u8],
     arena: &mut AlignArena,
+    tb: &mut TbCounters,
 ) -> Result<Alignment, AlignError> {
-    let mut walk = WindowWalk::new(config, &job.text, &job.pattern)?;
-    drive_window_walk::<Dna>(&mut walk, arena)?;
+    let mut walk = WindowWalk::new(config, text, pattern)?;
+    let driven = drive_window_walk::<Dna>(&mut walk, arena);
+    tb.absorb(walk.stats());
+    driven?;
     Ok(walk.finish())
 }
 
@@ -101,6 +156,13 @@ fn align_job_scalar(
 struct Active<'j> {
     idx: usize,
     walk: WindowWalk<'j>,
+}
+
+/// One traceback waiting in the drain queue: the lane whose window
+/// resolved and the [`TbWalker`] positioned at its distance.
+struct TbTask {
+    lane: usize,
+    walker: TbWalker,
 }
 
 /// The persistent-lane streaming scheduler state for one chunk of
@@ -111,23 +173,67 @@ struct StreamRun<'j, 's, const L: usize> {
     jobs: &'j [Job],
     stream: &'s mut DcLaneStream<L>,
     scalar: &'s mut AlignArena,
+    tb: &'s mut TbCounters,
     slots: Vec<Option<Active<'j>>>,
     results: Vec<Option<Result<Alignment, AlignError>>>,
     next_job: usize,
 }
 
 impl<'j, const L: usize> StreamRun<'j, '_, L> {
-    /// Applies the resolved outcome of `lane` to its walk; on a
-    /// traceback error the job is resolved in place and the lane's
-    /// walk is dropped.
-    fn resolve(&mut self, lane: usize) {
+    /// Resolves the job in `lane` with an error, retiring its walk.
+    fn fail(&mut self, lane: usize, e: AlignError) {
+        let Active { idx, walk } = self.slots[lane].take().expect("slot is active");
+        self.tb.absorb(walk.stats());
+        self.results[idx] = Some(Err(e));
+    }
+
+    /// First half of resolving `lane`: checks the DC outcome and
+    /// appends the window's traceback walker to the drain `queue` (on
+    /// a DC failure the job is resolved in place instead).
+    fn collect_traceback(&mut self, lane: usize, queue: &mut Vec<TbTask>) {
         let outcome = self.stream.outcome(lane);
         let view = self.stream.lane(lane);
         let active = self.slots[lane].as_mut().expect("resolved lane has a walk");
-        if let Err(e) = active.walk.apply(outcome, &view) {
-            let Active { idx, .. } = self.slots[lane].take().expect("slot is active");
-            self.results[idx] = Some(Err(e));
+        match active.walk.begin_traceback(outcome, &view) {
+            Ok(walker) => queue.push(TbTask { lane, walker }),
+            Err(e) => self.fail(lane, e),
         }
+    }
+
+    /// Second half: drains the queue, running every collected walker's
+    /// case checks back-to-back — the traceback analogue of a lock-step
+    /// DC pass. Workers thereby batch the TB work of all windows that
+    /// resolved in the same step instead of serializing a walk inside
+    /// each alignment before touching the next lane.
+    fn drain_tracebacks(&mut self, queue: &mut Vec<TbTask>) {
+        for TbTask { lane, mut walker } in queue.drain(..) {
+            let (walked, stored_words) = {
+                let view = self.stream.lane(lane);
+                (
+                    walker.run(&view, &self.config.order),
+                    TracebackSource::stored_words(&view),
+                )
+            };
+            let step = walked.and_then(|()| {
+                self.slots[lane]
+                    .as_mut()
+                    .expect("traced lane has a walk")
+                    .walk
+                    .complete_traceback(walker, stored_words)
+            });
+            if let Err(e) = step {
+                self.fail(lane, e);
+            }
+        }
+    }
+
+    /// Immediate resolve for windows that settle during refill, reusing
+    /// the caller's (drained) task queue: the lane's bitvectors are
+    /// consumed before the next refill, so the walk cannot stay queued.
+    fn resolve_inline(&mut self, lane: usize, queue: &mut Vec<TbTask>) {
+        debug_assert!(queue.is_empty(), "inline resolves run on a drained queue");
+        self.collect_traceback(lane, queue);
+        self.drain_tracebacks(queue);
     }
 
     /// Tops `lane` up from the rolling ready queue: the lane's own
@@ -135,7 +241,9 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
     /// chunk — looping through instant resolutions, finished walks and
     /// error jobs until the lane holds a pending window or the queue
     /// runs dry (then the lane is released and idles through the tail).
-    fn feed(&mut self, lane: usize) {
+    /// `queue` is the worker's drained traceback queue, borrowed for
+    /// instant resolutions.
+    fn feed(&mut self, lane: usize, queue: &mut Vec<TbTask>) {
         loop {
             if self.slots[lane].is_none() {
                 // Pull the next job into this lane.
@@ -162,6 +270,7 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
             match active.walk.next_window() {
                 None => {
                     let Active { idx, walk } = self.slots[lane].take().expect("slot is active");
+                    self.tb.absorb(walk.stats());
                     self.results[idx] = Some(Ok(walk.finish()));
                 }
                 Some(req) if req.global_final => {
@@ -169,11 +278,11 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                     // never emits a global-final window); drain the
                     // straggler scalar, defensively.
                     let Active { idx, mut walk } = self.slots[lane].take().expect("slot is active");
-                    let outcome = walk
+                    let driven = walk
                         .apply_global_final::<Dna>(self.scalar)
-                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, self.scalar))
-                        .map(|()| walk.finish());
-                    self.results[idx] = Some(outcome);
+                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, self.scalar));
+                    self.tb.absorb(walk.stats());
+                    self.results[idx] = Some(driven.map(|()| walk.finish()));
                 }
                 Some(req) => {
                     match self.stream.refill_lane::<Dna>(
@@ -183,12 +292,8 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                         req.budget,
                     ) {
                         Ok(LaneLoad::Pending) => return,
-                        Ok(LaneLoad::Resolved) => self.resolve(lane),
-                        Err(e) => {
-                            let Active { idx, .. } =
-                                self.slots[lane].take().expect("slot is active");
-                            self.results[idx] = Some(Err(e));
-                        }
+                        Ok(LaneLoad::Resolved) => self.resolve_inline(lane, queue),
+                        Err(e) => self.fail(lane, e),
                     }
                 }
             }
@@ -200,16 +305,23 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
 /// scheduler, returning per-job results in chunk order. Falls back to
 /// the scalar path wholesale when `config` is outside the lock-step
 /// domain. Results are bit-identical to the scalar and chunked paths.
+///
+/// Tracebacks are deferred into a per-step drain queue: every window
+/// that resolves in one DC step enqueues its [`TbWalker`], the queue
+/// is drained in one batch of back-to-back case-check loops, and only
+/// then are the freed lanes refilled — so TB work is batched across
+/// jobs rather than interleaved into each lane's kernel schedule.
 pub(crate) fn align_chunk_streaming<const L: usize>(
     config: &GenAsmConfig,
     jobs: &[Job],
     stream: &mut DcLaneStream<L>,
     scalar: &mut AlignArena,
+    tb: &mut TbCounters,
 ) -> Vec<Result<Alignment, AlignError>> {
     if !lockstep_eligible(config) {
         return jobs
             .iter()
-            .map(|job| align_job_scalar(config, job, scalar))
+            .map(|job| align_job_scalar(config, &job.text, &job.pattern, scalar, tb))
             .collect();
     }
 
@@ -218,20 +330,27 @@ pub(crate) fn align_chunk_streaming<const L: usize>(
         jobs,
         stream,
         scalar,
+        tb,
         slots: std::iter::repeat_with(|| None).take(L).collect(),
         results: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
         next_job: 0,
     };
+    let mut tb_queue: Vec<TbTask> = Vec::with_capacity(L);
     for lane in 0..L {
-        run.feed(lane);
+        run.feed(lane, &mut tb_queue);
     }
     let mut resolved = Vec::with_capacity(L);
     while run.stream.active_lanes() > 0 {
         resolved.clear();
         run.stream.step(&mut resolved);
+        // Collect every traceback this step produced, drain them as one
+        // batch, then refill the freed lanes.
         for &lane in &resolved {
-            run.resolve(lane);
-            run.feed(lane);
+            run.collect_traceback(lane, &mut tb_queue);
+        }
+        run.drain_tracebacks(&mut tb_queue);
+        for &lane in &resolved {
+            run.feed(lane, &mut tb_queue);
         }
     }
 
@@ -253,11 +372,12 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
     jobs: &[Job],
     multi: &mut MultiDcArena<L>,
     scalar: &mut AlignArena,
+    tb: &mut TbCounters,
 ) -> Vec<Result<Alignment, AlignError>> {
     if !lockstep_eligible(config) {
         return jobs
             .iter()
-            .map(|job| align_job_scalar(config, job, scalar))
+            .map(|job| align_job_scalar(config, &job.text, &job.pattern, scalar, tb))
             .collect();
     }
 
@@ -293,17 +413,18 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
             match active.walk.next_window() {
                 None => {
                     let Active { idx, walk } = slots[slot_idx].take().expect("slot is active");
+                    tb.absorb(walk.stats());
                     results[idx] = Some(Ok(walk.finish()));
                 }
                 Some(req) if req.global_final => {
                     // Unreachable for eligible configs; drain the
                     // straggler scalar, defensively.
                     let Active { idx, mut walk } = slots[slot_idx].take().expect("slot is active");
-                    let outcome = walk
+                    let driven = walk
                         .apply_global_final::<Dna>(scalar)
-                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, scalar))
-                        .map(|()| walk.finish());
-                    results[idx] = Some(outcome);
+                        .and_then(|()| drive_window_walk::<Dna>(&mut walk, scalar));
+                    tb.absorb(walk.stats());
+                    results[idx] = Some(driven.map(|()| walk.finish()));
                 }
                 Some(req) => {
                     inputs.push(MultiLane {
@@ -336,7 +457,8 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
                 Err(e) => Err(e),
             };
             if let Err(e) = step {
-                let Active { idx, .. } = slots[slot_idx].take().expect("slot is active");
+                let Active { idx, walk } = slots[slot_idx].take().expect("slot is active");
+                tb.absorb(walk.stats());
                 results[idx] = Some(Err(e));
             }
         }
@@ -345,6 +467,199 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
     results
         .into_iter()
         .map(|slot| slot.expect("every job in the chunk is resolved"))
+        .collect()
+}
+
+/// Distance-only (phase 1) scan of one job with the scalar kernel: the
+/// block-decomposed occurrence bound
+/// ([`block_occurrence_distance_into`]) — disjoint 64-character
+/// pattern blocks, each scanned for its minimum occurrence anywhere in
+/// the text, summed. The reference the lock-step chunk scheduler is
+/// tested against.
+pub(crate) fn distance_job_scalar(
+    text: &[u8],
+    pattern: &[u8],
+    k_max: usize,
+    arena: &mut AlignArena,
+) -> Result<Option<usize>, AlignError> {
+    block_occurrence_distance_into::<Dna>(text, pattern, k_max, arena)
+}
+
+/// Per-job accumulation state of the block-decomposed distance scan.
+/// Block outcomes can arrive out of order (a job's blocks occupy
+/// different lanes), but the job's result must match the scalar
+/// reference, which folds blocks strictly in order — e.g. an early
+/// block exhausting the budget short-circuits to `Ok(None)` before a
+/// later block's validation error is ever observed. Outcomes are
+/// therefore buffered per block and folded only as the ordered prefix
+/// completes.
+#[derive(Debug, Clone, Default)]
+struct BlockSum {
+    /// Buffered per-block outcomes, in block order.
+    outcomes: Vec<Option<Result<Option<usize>, AlignError>>>,
+    /// Blocks folded so far (the ordered prefix).
+    folded: usize,
+    /// Sum of folded block distances.
+    sum: usize,
+    /// `true` once the job resolved (all blocks folded, budget
+    /// exceeded, or error): its remaining blocks are skipped.
+    decided: bool,
+}
+
+/// Runs a chunk of distance jobs through the **persistent-lane
+/// occurrence stream**: every job's disjoint 64-character pattern
+/// blocks become independent lane windows scanning the job's text,
+/// each lane at its own depth, refilled the moment it resolves — no
+/// row ring, no TB-SRAM. Per-job results (the summed block distances,
+/// `None` past the job's budget) come back in chunk order, identical
+/// to [`distance_job_scalar`] on each job alone.
+pub(crate) fn distance_chunk_streaming<const L: usize>(
+    jobs: &[DistanceJob],
+    stream: &mut DcLaneStream<L>,
+) -> Vec<Result<Option<usize>, AlignError>> {
+    let mut results: Vec<Option<Result<Option<usize>, AlignError>>> = vec![None; jobs.len()];
+    let mut sums: Vec<BlockSum> = jobs
+        .iter()
+        .map(|job| BlockSum {
+            outcomes: vec![None; job.pattern.len().div_ceil(MAX_WINDOW)],
+            ..BlockSum::default()
+        })
+        .collect();
+    // Empty patterns have no blocks; resolve them up front with the
+    // scalar metric's error.
+    for (idx, job) in jobs.iter().enumerate() {
+        if job.pattern.is_empty() {
+            results[idx] = Some(Err(AlignError::EmptyPattern));
+            sums[idx].decided = true;
+        }
+    }
+
+    // The rolling block queue: (job, block) pairs in job order.
+    let mut next_job = 0usize;
+    let mut next_block = 0usize;
+    // The (job, block) each lane currently carries.
+    let mut loaded: [Option<(usize, usize)>; L] = [None; L];
+
+    /// Buffers one block outcome and folds the job's completed ordered
+    /// prefix, mirroring the scalar reference's in-order short-circuit
+    /// rules exactly.
+    fn absorb(
+        idx: usize,
+        block: usize,
+        outcome: Result<Option<usize>, AlignError>,
+        jobs: &[DistanceJob],
+        sums: &mut [BlockSum],
+        results: &mut [Option<Result<Option<usize>, AlignError>>],
+    ) {
+        let state = &mut sums[idx];
+        if state.decided {
+            return;
+        }
+        state.outcomes[block] = Some(outcome);
+        while !state.decided {
+            let Some(next) = state.outcomes.get(state.folded).cloned().flatten() else {
+                break;
+            };
+            match next {
+                Ok(Some(d)) => {
+                    state.sum += d;
+                    state.folded += 1;
+                    if state.sum > jobs[idx].k_max {
+                        state.decided = true;
+                        results[idx] = Some(Ok(None));
+                    } else if state.folded == state.outcomes.len() {
+                        state.decided = true;
+                        results[idx] = Some(Ok(Some(state.sum)));
+                    }
+                }
+                // A block past the budget caps the sum past it too.
+                Ok(None) => {
+                    state.decided = true;
+                    results[idx] = Some(Ok(None));
+                }
+                Err(e) => {
+                    state.decided = true;
+                    results[idx] = Some(Err(e));
+                }
+            }
+        }
+    }
+
+    // Tops `lane` up from the block queue, skipping blocks of decided
+    // jobs and looping through instant resolutions until the lane
+    // holds a pending scan or the queue runs dry.
+    macro_rules! feed {
+        ($lane:expr) => {
+            loop {
+                // Advance to the next undecided job's next block.
+                while next_job < jobs.len()
+                    && (sums[next_job].decided
+                        || next_block * MAX_WINDOW >= jobs[next_job].pattern.len())
+                {
+                    next_job += 1;
+                    next_block = 0;
+                }
+                if next_job >= jobs.len() {
+                    stream.release_lane($lane);
+                    loaded[$lane] = None;
+                    break;
+                }
+                let idx = next_job;
+                let block_no = next_block;
+                let job = &jobs[idx];
+                let block_start = block_no * MAX_WINDOW;
+                let block =
+                    &job.pattern[block_start..(block_start + MAX_WINDOW).min(job.pattern.len())];
+                next_block += 1;
+                match stream.refill_lane::<Dna>($lane, &job.text, block, job.k_max) {
+                    Ok(LaneLoad::Pending) => {
+                        loaded[$lane] = Some((idx, block_no));
+                        break;
+                    }
+                    Ok(LaneLoad::Resolved) => {
+                        let outcome = Ok(stream.outcome($lane));
+                        absorb(idx, block_no, outcome, jobs, &mut sums, &mut results);
+                    }
+                    Err(e) => absorb(idx, block_no, Err(e), jobs, &mut sums, &mut results),
+                }
+            }
+        };
+    }
+
+    // The drain loops index `loaded`/`resolved` while the feed macro
+    // mutates lane state; range loops are the clearest shape for that.
+    #[allow(clippy::needless_range_loop)]
+    for lane in 0..L {
+        feed!(lane);
+    }
+    let mut resolved = Vec::with_capacity(L);
+    while stream.active_lanes() > 0 {
+        resolved.clear();
+        stream.step(&mut resolved);
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..resolved.len() {
+            let lane = resolved[i];
+            let (idx, block_no) = loaded[lane].expect("resolved lane is loaded");
+            let outcome = Ok(stream.outcome(lane));
+            absorb(idx, block_no, outcome, jobs, &mut sums, &mut results);
+            feed!(lane);
+        }
+        // A resolution can decide a job early (budget exceeded or
+        // error); its sibling blocks still in flight on other lanes
+        // would burn rows to no purpose, so hand those lanes fresh
+        // work immediately — the scalar reference short-circuits after
+        // the deciding block the same way.
+        #[allow(clippy::needless_range_loop)]
+        for lane in 0..L {
+            if loaded[lane].is_some_and(|(idx, _)| sums[idx].decided) {
+                feed!(lane);
+            }
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every distance job in the chunk is resolved"))
         .collect()
 }
 
@@ -391,15 +706,25 @@ mod tests {
         let mut scratch = LockstepScratch::default();
         for count in [1usize, 3, 4, 5, 11, 32] {
             let jobs = jobs(count, count as u64 * 39);
-            let results =
-                align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+            let results = align_chunk_streaming(
+                &config,
+                &jobs,
+                &mut scratch.stream4,
+                &mut scratch.scalar,
+                &mut scratch.tb,
+            );
             assert_eq!(results.len(), jobs.len());
             for (job, result) in jobs.iter().zip(&results) {
                 let expected = aligner.align(&job.text, &job.pattern).unwrap();
                 assert_eq!(&expected, result.as_ref().unwrap(), "count={count}");
             }
-            let eight =
-                align_chunk_streaming(&config, &jobs, &mut scratch.stream8, &mut scratch.scalar);
+            let eight = align_chunk_streaming(
+                &config,
+                &jobs,
+                &mut scratch.stream8,
+                &mut scratch.scalar,
+                &mut scratch.tb,
+            );
             assert_eq!(results, eight, "count={count} at 8 lanes");
         }
     }
@@ -411,8 +736,13 @@ mod tests {
         let mut scratch = LockstepScratch::default();
         for count in [1usize, 3, 4, 5, 11, 32] {
             let jobs = jobs(count, count as u64 * 39);
-            let results =
-                align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
+            let results = align_chunk_chunked(
+                &config,
+                &jobs,
+                &mut scratch.multi4,
+                &mut scratch.scalar,
+                &mut scratch.tb,
+            );
             assert_eq!(results.len(), jobs.len());
             for (job, result) in jobs.iter().zip(&results) {
                 let expected = aligner.align(&job.text, &job.pattern).unwrap();
@@ -428,9 +758,20 @@ mod tests {
         let mut jobs = jobs(6, 17);
         jobs[1].pattern.clear();
         jobs[4].text = b"ACGTNN".to_vec();
-        let streaming =
-            align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
-        let chunked = align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
+        let streaming = align_chunk_streaming(
+            &config,
+            &jobs,
+            &mut scratch.stream4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
+        let chunked = align_chunk_chunked(
+            &config,
+            &jobs,
+            &mut scratch.multi4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
         for results in [&streaming, &chunked] {
             assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
             assert!(matches!(results[4], Err(AlignError::InvalidSymbol { .. })));
@@ -445,9 +786,21 @@ mod tests {
         let config = GenAsmConfig::default();
         let mut scratch = LockstepScratch::default();
         let jobs = jobs(48, 333);
-        align_chunk_chunked(&config, &jobs, &mut scratch.multi4, &mut scratch.scalar);
+        align_chunk_chunked(
+            &config,
+            &jobs,
+            &mut scratch.multi4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
         let (chunked_issued, chunked_useful) = scratch.take_row_counters();
-        align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+        align_chunk_streaming(
+            &config,
+            &jobs,
+            &mut scratch.stream4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
         let (stream_issued, stream_useful) = scratch.take_row_counters();
         let chunked_occ = chunked_useful as f64 / chunked_issued as f64;
         let stream_occ = stream_useful as f64 / stream_issued as f64;
@@ -458,14 +811,147 @@ mod tests {
     }
 
     #[test]
+    fn distance_chunks_match_scalar_distance_scans() {
+        let mut scratch = LockstepScratch::default();
+        let mut check = |djobs: &[DistanceJob]| {
+            let four = distance_chunk_streaming(djobs, &mut scratch.dstream4);
+            let eight = distance_chunk_streaming(djobs, &mut scratch.dstream8);
+            assert_eq!(four, eight, "lane widths must agree");
+            for (job, got) in djobs.iter().zip(&four) {
+                let want =
+                    distance_job_scalar(&job.text, &job.pattern, job.k_max, &mut scratch.scalar);
+                assert_eq!(&want, got, "pattern len {}", job.pattern.len());
+            }
+        };
+
+        // Single-block jobs with divergent distances + budgets.
+        let short: Vec<DistanceJob> = jobs(17, 91)
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let m = job.pattern.len().min(60);
+                let k = match i % 3 {
+                    0 => 0,
+                    1 => 2,
+                    _ => m,
+                };
+                DistanceJob::new(&job.text[..job.text.len().min(64)], &job.pattern[..m], k)
+            })
+            .collect();
+        check(&short);
+
+        // Mixed: multi-block (long) patterns interleaved with
+        // single-block ones, plus error jobs resolved in place.
+        let mut mixed: Vec<DistanceJob> = jobs(9, 123)
+            .into_iter()
+            .map(|job| {
+                let k = job.pattern.len() / 4;
+                DistanceJob::new(&job.text, &job.pattern, k)
+            })
+            .collect();
+        mixed[2].pattern.clear(); // EmptyPattern
+        mixed[5].text = b"ACGTNACGT".to_vec(); // InvalidSymbol
+        check(&mixed);
+
+        // The in-order short-circuit rule: an early block exhausting
+        // the budget must yield Ok(None) even when a *later* block
+        // carries a validation error that a lane may hit first — the
+        // scalar reference never evaluates blocks past the decision.
+        let text: Vec<u8> = b"ACGGTCAT".iter().copied().cycle().take(120).collect();
+        let mut divergent = vec![b'A'; 80]; // block 0: A^64, far from `text`
+        divergent[70] = b'N'; // block 1 invalid
+        let ordered = vec![
+            DistanceJob::new(&text, &divergent, 1),
+            DistanceJob::new(&text, &text[..100], 100), // healthy neighbour
+        ];
+        check(&ordered);
+        assert!(matches!(
+            distance_job_scalar(&text, &divergent, 1, &mut scratch.scalar),
+            Ok(None)
+        ));
+    }
+
+    #[test]
+    fn distance_scans_lower_bound_full_alignment() {
+        let config = GenAsmConfig::default();
+        let aligner = GenAsmAligner::new(config.clone());
+        let mut scratch = LockstepScratch::default();
+        let batch = jobs(24, 7);
+        let djobs: Vec<DistanceJob> = batch
+            .iter()
+            .map(|job| DistanceJob::new(&job.text, &job.pattern, job.pattern.len()))
+            .collect();
+        let distances = distance_chunk_streaming(&djobs, &mut scratch.dstream4);
+        for (job, d) in batch.iter().zip(&distances) {
+            let full = aligner.align(&job.text, &job.pattern).unwrap();
+            let d = d.as_ref().unwrap().expect("unbounded budget resolves");
+            assert!(
+                d <= full.edit_distance,
+                "distance {d} must lower-bound the windowed alignment's {}",
+                full.edit_distance
+            );
+        }
+    }
+
+    #[test]
+    fn traceback_counters_track_walked_windows() {
+        let config = GenAsmConfig::default();
+        let mut scratch = LockstepScratch::default();
+        let batch = jobs(12, 55);
+        align_chunk_streaming(
+            &config,
+            &batch,
+            &mut scratch.stream4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
+        let (stream_windows, stream_rows) = scratch.tb.take();
+        assert!(stream_windows > 0 && stream_rows >= stream_windows);
+        // The chunked and scalar paths walk the identical windows.
+        align_chunk_chunked(
+            &config,
+            &batch,
+            &mut scratch.multi4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
+        let chunked = scratch.tb.take();
+        assert_eq!((stream_windows, stream_rows), chunked);
+        for job in &batch {
+            align_job_scalar(
+                &config,
+                &job.text,
+                &job.pattern,
+                &mut scratch.scalar,
+                &mut scratch.tb,
+            )
+            .unwrap();
+        }
+        let scalar = scratch.tb.take();
+        assert_eq!((stream_windows, stream_rows), scalar);
+        // Distance-only scans never touch the counters.
+        let djobs: Vec<DistanceJob> = batch
+            .iter()
+            .map(|j| DistanceJob::new(&j.text, &j.pattern, j.pattern.len()))
+            .collect();
+        distance_chunk_streaming(&djobs, &mut scratch.dstream4);
+        assert_eq!(scratch.tb.take(), (0, 0));
+    }
+
+    #[test]
     fn ineligible_configs_fall_back_to_scalar() {
         let config = GenAsmConfig::default().with_kernel(WindowKernel::Sene);
         assert!(!lockstep_eligible(&config));
         let aligner = GenAsmAligner::new(config.clone());
         let mut scratch = LockstepScratch::default();
         let jobs = jobs(5, 71);
-        let results =
-            align_chunk_streaming(&config, &jobs, &mut scratch.stream4, &mut scratch.scalar);
+        let results = align_chunk_streaming(
+            &config,
+            &jobs,
+            &mut scratch.stream4,
+            &mut scratch.scalar,
+            &mut scratch.tb,
+        );
         for (job, result) in jobs.iter().zip(&results) {
             let expected = aligner.align(&job.text, &job.pattern).unwrap();
             assert_eq!(&expected, result.as_ref().unwrap());

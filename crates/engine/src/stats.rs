@@ -34,6 +34,16 @@ pub struct BatchStats {
     /// `dc_rows_issued` is the waste from divergent window distances
     /// (chunked dispatch) and tail drain.
     pub dc_rows_useful: u64,
+    /// Windows whose traceback was walked across the batch. Zero for
+    /// distance-only batches and kernels without TB accounting.
+    pub tb_windows: u64,
+    /// Distance rows the walked tracebacks had available (`d + 1` per
+    /// walked window) — the TB-SRAM row pressure the two-phase mapper
+    /// cuts by tracing only per-read winners.
+    pub tb_rows: u64,
+    /// Distance-only (phase-1) jobs this batch ran; zero for full
+    /// alignment batches.
+    pub dc_distance_jobs: u64,
 }
 
 impl BatchStats {
@@ -68,11 +78,7 @@ impl BatchStats {
     /// scheduler loses ~30% of slots to divergent window distances,
     /// which the persistent-lane scheduler recovers.
     pub fn lane_occupancy(&self) -> Option<f64> {
-        if self.dc_rows_issued == 0 {
-            None
-        } else {
-            Some(self.dc_rows_useful as f64 / self.dc_rows_issued as f64)
-        }
+        lane_occupancy_ratio(self.dc_rows_issued, self.dc_rows_useful)
     }
 
     /// Parallel efficiency: busy time over `workers × wall`; 1.0 means
@@ -85,6 +91,19 @@ impl BatchStats {
     }
 }
 
+/// Lock-step lane occupancy as a ratio — the one shared guard against
+/// a 0/0 NaN when no lock-step rows ran. Every occupancy figure
+/// ([`BatchStats::lane_occupancy`], the mapper's stage timings, the
+/// bench JSONs) derives from this helper so the accounting cannot
+/// silently diverge between layers.
+pub fn lane_occupancy_ratio(issued: u64, useful: u64) -> Option<f64> {
+    if issued == 0 {
+        None
+    } else {
+        Some(useful as f64 / issued as f64)
+    }
+}
+
 /// A batch's per-job results (input order) plus its stats.
 #[derive(Debug)]
 pub struct BatchOutput {
@@ -92,4 +111,25 @@ pub struct BatchOutput {
     pub results: Vec<Result<Alignment, AlignError>>,
     /// Aggregate batch statistics.
     pub stats: BatchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar and Gotoh batches issue no lock-step rows; the occupancy
+    /// accessor must report `None` instead of a 0/0 NaN that could leak
+    /// into bench JSON.
+    #[test]
+    fn lane_occupancy_guards_zero_rows() {
+        let stats = BatchStats::default();
+        assert_eq!(stats.dc_rows_issued, 0);
+        assert_eq!(stats.lane_occupancy(), None);
+        let some = BatchStats {
+            dc_rows_issued: 8,
+            dc_rows_useful: 6,
+            ..BatchStats::default()
+        };
+        assert_eq!(some.lane_occupancy(), Some(0.75));
+    }
 }

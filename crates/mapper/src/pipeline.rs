@@ -1,7 +1,7 @@
-//! The four-step read-mapping pipeline (Figure 1): seeding →
-//! pre-alignment filtering → read alignment, with pluggable filter and
-//! aligner so the Figure 11 experiment can swap the alignment step
-//! between the software DP baseline and GenASM.
+//! The read-mapping pipeline (Figure 1): seeding → pre-alignment
+//! filtering → read alignment, with pluggable filter and aligner so
+//! the Figure 11 experiment can swap the alignment step between the
+//! software DP baseline and GenASM.
 //!
 //! Two execution shapes share the exact same stages and produce
 //! bit-identical mappings:
@@ -11,9 +11,20 @@
 //! * [`ReadMapper::map_batch_with_engine`] — the staged batch path:
 //!   seed a whole batch of reads (both strands), funnel *every*
 //!   candidate across the batch through the lock-step pre-alignment
-//!   filter in one scan, then align all survivors as key-tagged
-//!   [`Job`]s on a multi-threaded [`Engine`] and resolve each read's
-//!   best mapping from the keyed results.
+//!   filter in one scan, then resolve and align the survivors on a
+//!   multi-threaded [`Engine`].
+//!
+//! The batch path's alignment step itself has two execution models
+//! ([`AlignMode`]). The default **two-phase** model mirrors the
+//! paper's GenASM-DC / GenASM-TB split at pipeline granularity: every
+//! filter survivor first runs a **distance-only** scan
+//! ([`Engine::distance_batch_keyed`] — no row storage, no TB-SRAM),
+//! per-read best resolution happens on those distances, and only each
+//! read's winner re-runs in full mode and walks traceback. Because the
+//! phase-1 distance is a lower bound of the full windowed alignment's
+//! edit distance, a bounded second verification round makes the final
+//! mappings provably bit-identical to the **full** model (which aligns
+//! every survivor with traceback storage, the pre-two-phase shape).
 
 use crate::index::ShardedIndex;
 use crate::seed::{SeedScratch, Seeder};
@@ -23,7 +34,9 @@ use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
-use genasm_engine::{DcDispatch, Engine, EngineConfig, GotohKernel, Job, KeyedResult, LaneCount};
+use genasm_engine::{
+    DcDispatch, DistanceJob, Engine, EngineConfig, GotohKernel, Job, KeyedResult, LaneCount,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,6 +63,24 @@ pub enum AlignerKind {
     Gotoh,
 }
 
+/// Execution model of the batch pipeline's alignment step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlignMode {
+    /// Distance-first candidate resolution with deferred, batched
+    /// traceback: every filter survivor runs the distance-only
+    /// lock-step kernel, per-read best resolution happens on the
+    /// distances, and only winners re-run in full (TB-storing) mode.
+    /// Bit-identical to [`AlignMode::Full`]; traceback rows drop by
+    /// roughly the candidate-to-winner ratio. Applies to the GenASM
+    /// aligner (the Gotoh baseline has no distance-only mode and
+    /// always runs single-phase).
+    #[default]
+    TwoPhase,
+    /// Full TB-storing alignment of every filter survivor (the
+    /// single-phase shape).
+    Full,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct MapperConfig {
@@ -73,6 +104,9 @@ pub struct MapperConfig {
     /// Shard count of the reference index (`0` = automatic: host
     /// parallelism rounded to a power of two).
     pub index_shards: usize,
+    /// Execution model of the batch alignment step (two-phase by
+    /// default; mappings are bit-identical in both modes).
+    pub align_mode: AlignMode,
 }
 
 impl Default for MapperConfig {
@@ -89,6 +123,7 @@ impl Default for MapperConfig {
             genasm: GenAsmConfig::default(),
             both_strands: true,
             index_shards: 0,
+            align_mode: AlignMode::default(),
         }
     }
 }
@@ -115,8 +150,13 @@ pub struct StageTimings {
     pub seeding: Duration,
     /// Pre-alignment filtering time.
     pub filtering: Duration,
-    /// Alignment time.
-    pub alignment: Duration,
+    /// Phase-1 wall time: the distance-only candidate scans of the
+    /// two-phase path. Zero in full mode and the sequential path.
+    pub distance: Duration,
+    /// Full-mode (TB-storing) alignment wall time: all of the align
+    /// step in full mode; only the per-read winners' alignments in
+    /// two-phase mode.
+    pub traceback: Duration,
     /// Candidates examined, candidates surviving the filter.
     pub candidates: (usize, usize),
     /// Lock-step DC lane-slots `(issued, useful)` reported by the
@@ -124,12 +164,27 @@ pub struct StageTimings {
     /// dispatch. See
     /// [`BatchStats::lane_occupancy`](genasm_engine::BatchStats::lane_occupancy).
     pub dc_rows: (u64, u64),
+    /// Traceback volume `(windows walked, distance rows those walks
+    /// had)` — the number two-phase execution shrinks by tracing only
+    /// per-read winners.
+    pub tb_rows: (u64, u64),
+    /// Distance-only (phase-1) scans issued.
+    pub distance_jobs: u64,
+    /// Full-mode alignments issued (every survivor in full mode; the
+    /// resolved winners plus verification re-runs in two-phase mode).
+    pub traceback_jobs: u64,
 }
 
 impl StageTimings {
     /// Sum of all stage times.
     pub fn total(&self) -> Duration {
-        self.seeding + self.filtering + self.alignment
+        self.seeding + self.filtering + self.distance + self.traceback
+    }
+
+    /// The whole alignment step's wall time: distance plus traceback
+    /// phases (the pre-split `alignment` bucket).
+    pub fn align_total(&self) -> Duration {
+        self.distance + self.traceback
     }
 
     /// Fraction of examined candidates the filter rejected (0 when no
@@ -145,22 +200,23 @@ impl StageTimings {
     /// Lock-step lane occupancy of the alignment stage: useful DC
     /// row-slots over issued, `None` when no lock-step rows ran.
     pub fn lane_occupancy(&self) -> Option<f64> {
-        if self.dc_rows.0 == 0 {
-            None
-        } else {
-            Some(self.dc_rows.1 as f64 / self.dc_rows.0 as f64)
-        }
+        genasm_engine::lane_occupancy_ratio(self.dc_rows.0, self.dc_rows.1)
     }
 
     /// Accumulates another read's timings.
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.seeding += other.seeding;
         self.filtering += other.filtering;
-        self.alignment += other.alignment;
+        self.distance += other.distance;
+        self.traceback += other.traceback;
         self.candidates.0 += other.candidates.0;
         self.candidates.1 += other.candidates.1;
         self.dc_rows.0 += other.dc_rows.0;
         self.dc_rows.1 += other.dc_rows.1;
+        self.tb_rows.0 += other.tb_rows.0;
+        self.tb_rows.1 += other.tb_rows.1;
+        self.distance_jobs += other.distance_jobs;
+        self.traceback_jobs += other.traceback_jobs;
     }
 }
 
@@ -173,6 +229,26 @@ struct Seeded {
     seq: Vec<u8>,
     budget: usize,
     survivors: Vec<usize>,
+}
+
+/// One filter-surviving candidate in the batch path's flat candidate
+/// table: the coordinates both alignment phases and the resolution
+/// need. Engine job keys are indices into this table.
+struct Cand<'a> {
+    read: usize,
+    reverse: bool,
+    pos: usize,
+    seq: &'a [u8],
+    budget: usize,
+}
+
+/// Folds one engine batch's lane and traceback accounting into the
+/// pipeline timings.
+fn absorb_engine_stats(timings: &mut StageTimings, stats: &genasm_engine::BatchStats) {
+    timings.dc_rows.0 += stats.dc_rows_issued;
+    timings.dc_rows.1 += stats.dc_rows_useful;
+    timings.tb_rows.0 += stats.tb_windows;
+    timings.tb_rows.1 += stats.tb_rows;
 }
 
 /// The read mapper.
@@ -295,20 +371,26 @@ impl ReadMapper {
             let mapping = match self.config.aligner {
                 AlignerKind::GenAsm => {
                     let aligner = GenAsmAligner::new(self.config.genasm.clone());
-                    match aligner.align(region, read) {
-                        Ok(a) => Mapping {
-                            position: pos,
-                            reverse,
-                            score: self.config.scoring.score_cigar(&a.cigar),
-                            edit_distance: a.edit_distance,
-                            cigar: a.cigar,
-                        },
+                    match aligner.align_with_stats(region, read) {
+                        Ok((a, stats)) => {
+                            timings.tb_rows.0 += stats.windows as u64;
+                            timings.tb_rows.1 += stats.tb_rows as u64;
+                            timings.traceback_jobs += 1;
+                            Mapping {
+                                position: pos,
+                                reverse,
+                                score: self.config.scoring.score_cigar(&a.cigar),
+                                edit_distance: a.edit_distance,
+                                cigar: a.cigar,
+                            }
+                        }
                         Err(_) => continue,
                     }
                 }
                 AlignerKind::Gotoh => {
                     let aligner = GotohAligner::new(self.config.scoring, GotohMode::TextSuffixFree);
                     let a = aligner.align(region, read);
+                    timings.traceback_jobs += 1;
                     Mapping {
                         position: pos,
                         reverse,
@@ -328,7 +410,7 @@ impl ReadMapper {
                 best = Some(mapping);
             }
         }
-        timings.alignment = t2.elapsed();
+        timings.traceback = t2.elapsed();
         (best, timings)
     }
 
@@ -361,21 +443,43 @@ impl ReadMapper {
     ///    candidate list is produced wholly by one worker and merged
     ///    in read order, so results are deterministic and identical at
     ///    any worker count.
-    /// 2. **Align** — every survivor becomes one engine [`Job`] tagged
-    ///    with a *(read, candidate, strand)* key; the whole job list is
-    ///    aligned in one multi-threaded
-    ///    [`Engine::align_batch_keyed_with_stats`] call and each read's
-    ///    best mapping is resolved from the keyed results with exactly
-    ///    the sequential path's tie-breaking (lowest edit distance,
-    ///    forward strand preferred, then lowest position).
+    /// 2. **Distance** (two-phase mode) — contested reads' survivors
+    ///    become key-tagged [`DistanceJob`]s and run the engine's
+    ///    distance-only machinery ([`Engine::distance_batch_keyed`]):
+    ///    no row storage, no TB-SRAM, the persistent-lane occurrence
+    ///    stream under lock-step dispatch. Uncontested reads (a single
+    ///    survivor) skip the scan entirely — with one candidate there
+    ///    is nothing to resolve.
+    /// 3. **Resolve** — per-read best resolution happens on the
+    ///    distances, *before* any traceback, with deterministic
+    ///    tie-breaking identical to the full path's ordering (lowest
+    ///    edit distance, forward strand preferred, then lowest
+    ///    position). Ties are kept: every candidate achieving its
+    ///    read's minimum advances.
+    /// 4. **Traceback** — only the resolved winners re-run in full
+    ///    (TB-storing) mode through
+    ///    [`Engine::align_batch_keyed_with_stats`] and walk traceback.
+    ///    Because each phase-1 distance is a *lower bound* of the full
+    ///    windowed alignment's edit distance, one bounded verification
+    ///    round — re-aligning any candidate whose bound still permits
+    ///    beating the winners' realized distances, normally none —
+    ///    makes the final mappings provably identical to aligning
+    ///    everything.
+    ///
+    /// In [`AlignMode::Full`] (and for the Gotoh aligner, which has no
+    /// distance-only mode) stages 2–4 collapse into the single-phase
+    /// shape: every survivor aligns in full mode and resolution runs
+    /// on the complete results.
     ///
     /// With an engine from [`Self::engine`] the selected mappings are
     /// bit-identical to [`map_read`](Self::map_read)'s for every
-    /// filter and aligner kind. [`StageTimings`] reports each stage's
-    /// batch wall-clock time — the fused seed-and-filter pass's wall
-    /// time is split between `seeding` and `filtering` in proportion
-    /// to the workers' accumulated per-stage busy time — so both
-    /// halves of the pipeline now shrink as workers are added.
+    /// filter, aligner and align-mode combination. [`StageTimings`]
+    /// reports each stage's batch wall-clock time — the fused
+    /// seed-and-filter pass's wall time is split between `seeding` and
+    /// `filtering` in proportion to the workers' accumulated per-stage
+    /// busy time, and the align step's wall splits into `distance` and
+    /// `traceback` — plus the traceback volume (`tb_rows`) each mode
+    /// issued.
     pub fn map_batch_with_engine(
         &self,
         reads: &[&[u8]],
@@ -412,31 +516,162 @@ impl ReadMapper {
         timings.filtering = stage_wall.saturating_sub(timings.seeding);
         timings.candidates = stage_busy.candidates;
 
-        // Stage 2 — align all survivors as one keyed engine batch.
-        let jobs: Vec<Job> = seeded
+        // Flatten the survivors into one candidate table; engine keys
+        // are plain candidate indices, so results route back without a
+        // side table.
+        let cands: Vec<Cand<'_>> = seeded
             .iter()
             .flat_map(|s| {
-                s.survivors.iter().map(|&pos| {
-                    Job::new(self.region(pos, s.seq.len(), s.budget), &s.seq)
-                        .with_key(pack_key(s.read, pos, s.reverse))
+                s.survivors.iter().map(|&pos| Cand {
+                    read: s.read,
+                    reverse: s.reverse,
+                    pos,
+                    seq: &s.seq,
+                    budget: s.budget,
                 })
             })
             .collect();
-        // Time only the engine call, as `map_read` times only the
-        // aligner: the serial job copies above must not dilute the
-        // multi-worker shrinkage of `StageTimings::alignment`.
-        let t2 = Instant::now();
-        let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&jobs);
-        timings.alignment = t2.elapsed();
-        timings.dc_rows = (align_stats.dc_rows_issued, align_stats.dc_rows_useful);
-
         let mut best: Vec<Option<Mapping>> = vec![None; reads.len()];
+
+        let two_phase = self.config.align_mode == AlignMode::TwoPhase
+            && self.config.aligner == AlignerKind::GenAsm;
+        if !two_phase {
+            // Single-phase: align every survivor in full mode.
+            // Time only the engine call, as `map_read` times only the
+            // aligner: the serial job copies must not dilute the
+            // multi-worker shrinkage of the stage wall.
+            let jobs = self.full_jobs(&cands, (0..cands.len()).collect());
+            let t2 = Instant::now();
+            let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&jobs);
+            timings.traceback = t2.elapsed();
+            timings.traceback_jobs = jobs.len() as u64;
+            absorb_engine_stats(&mut timings, &align_stats);
+            self.fold_keyed(&cands, keyed, &mut best);
+            return (best, timings);
+        }
+
+        // Stage 2 — distance-only scans (phase 1). Only contested
+        // reads need them: a read with a single filter survivor has no
+        // resolution to run, so its candidate goes straight to
+        // traceback (bound 0, trivially a lower bound).
+        let mut cand_count = vec![0usize; reads.len()];
+        for c in &cands {
+            cand_count[c.read] += 1;
+        }
+        let mut bound = vec![0usize; cands.len()];
+        let contested: Vec<usize> = (0..cands.len())
+            .filter(|&idx| cand_count[cands[idx].read] > 1)
+            .collect();
+        if !contested.is_empty() {
+            let djobs: Vec<DistanceJob> = contested
+                .iter()
+                .map(|&idx| {
+                    let c = &cands[idx];
+                    DistanceJob::new(self.region(c.pos, c.seq.len(), c.budget), c.seq, c.budget)
+                        .with_key(idx as u64)
+                })
+                .collect();
+            // Time only the engine call, as in full mode: the serial
+            // job copies must not dilute the stage's multi-worker
+            // shrinkage.
+            let t2 = Instant::now();
+            let (distances, dstats) = engine.distance_batch_keyed(&djobs);
+            timings.distance = t2.elapsed();
+            timings.distance_jobs = djobs.len() as u64;
+            absorb_engine_stats(&mut timings, &dstats);
+            // Each candidate's `bound` is a certified lower bound of
+            // its full alignment's edit distance: the scanned
+            // distance, `k + 1` when the scan exhausted its budget,
+            // and 0 (align unconditionally) when the scan failed.
+            for kd in &distances {
+                bound[kd.key as usize] = match &kd.result {
+                    Ok(Some(d)) => *d,
+                    Ok(None) => cands[kd.key as usize].budget + 1,
+                    Err(_) => 0,
+                };
+            }
+        }
+
+        // Stage 3 — per-read best resolution on the bounds.
+        let mut min_bound = vec![usize::MAX; reads.len()];
+        for (idx, c) in cands.iter().enumerate() {
+            min_bound[c.read] = min_bound[c.read].min(bound[idx]);
+        }
+        let winners: Vec<usize> = (0..cands.len())
+            .filter(|&idx| bound[idx] == min_bound[cands[idx].read])
+            .collect();
+
+        // Stage 4 — traceback: full-mode alignment of the winners
+        // only.
+        let mut aligned = vec![false; cands.len()];
+        for &idx in &winners {
+            aligned[idx] = true;
+        }
+        let winner_jobs = self.full_jobs(&cands, winners);
+        let t3 = Instant::now();
+        let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&winner_jobs);
+        timings.traceback = t3.elapsed();
+        timings.traceback_jobs = winner_jobs.len() as u64;
+        absorb_engine_stats(&mut timings, &align_stats);
+        self.fold_keyed(&cands, keyed, &mut best);
+
+        // Verification round: a winner's realized distance can exceed
+        // its bound (the windowed walk is a heuristic), so re-align any
+        // candidate whose lower bound still permits beating — or
+        // tying — the realized best. Unaligned candidates then satisfy
+        // `E(c) >= bound(c) > realized best`, which proves the final
+        // selection identical to aligning every survivor. On realistic
+        // workloads bounds are exact and this round is empty.
+        let verify: Vec<usize> = (0..cands.len())
+            .filter(|&idx| {
+                !aligned[idx]
+                    && bound[idx]
+                        <= best[cands[idx].read]
+                            .as_ref()
+                            .map_or(usize::MAX, |b| b.edit_distance)
+            })
+            .collect();
+        if !verify.is_empty() {
+            let verify_jobs = self.full_jobs(&cands, verify);
+            let t4 = Instant::now();
+            let (keyed, verify_stats) = engine.align_batch_keyed_with_stats(&verify_jobs);
+            timings.traceback += t4.elapsed();
+            timings.traceback_jobs += verify_jobs.len() as u64;
+            absorb_engine_stats(&mut timings, &verify_stats);
+            self.fold_keyed(&cands, keyed, &mut best);
+        }
+        (best, timings)
+    }
+
+    /// Full-mode engine jobs for the given candidate indices, keyed by
+    /// candidate index.
+    fn full_jobs(&self, cands: &[Cand<'_>], indices: Vec<usize>) -> Vec<Job> {
+        indices
+            .into_iter()
+            .map(|idx| {
+                let c = &cands[idx];
+                Job::new(self.region(c.pos, c.seq.len(), c.budget), c.seq).with_key(idx as u64)
+            })
+            .collect()
+    }
+
+    /// Folds keyed full-alignment results into the per-read best
+    /// mappings with the sequential path's tie-breaking (lowest edit
+    /// distance, forward strand preferred, then lowest position).
+    /// Failed alignments are skipped, exactly as `map_read` skips
+    /// them.
+    fn fold_keyed(
+        &self,
+        cands: &[Cand<'_>],
+        keyed: Vec<KeyedResult>,
+        best: &mut [Option<Mapping>],
+    ) {
         for KeyedResult { key, result } in keyed {
-            let (read_idx, pos, reverse) = unpack_key(key);
+            let c = &cands[key as usize];
             let Ok(alignment) = result else { continue };
             let mapping = Mapping {
-                position: pos,
-                reverse,
+                position: c.pos,
+                reverse: c.reverse,
                 score: self.config.scoring.score_cigar(&alignment.cigar),
                 edit_distance: alignment.edit_distance,
                 cigar: alignment.cigar,
@@ -446,15 +681,14 @@ impl ReadMapper {
                 usize::from(mapping.reverse),
                 mapping.position,
             );
-            let better = match &best[read_idx] {
+            let better = match &best[c.read] {
                 None => true,
                 Some(b) => key < (b.edit_distance, usize::from(b.reverse), b.position),
             };
             if better {
-                best[read_idx] = Some(mapping);
+                best[c.read] = Some(mapping);
             }
         }
-        (best, timings)
     }
 
     /// The edit-distance budget `k` for one oriented read.
@@ -610,25 +844,6 @@ impl ReadMapper {
         let end = (pos + m + k).min(self.reference.len());
         &self.reference[pos..end]
     }
-}
-
-/// Packs a batch job's coordinates into an engine [`Job`] key:
-/// read index (31 bits) | candidate position (32 bits) | strand (1).
-/// Hard asserts: silent truncation would route results to the wrong
-/// read.
-fn pack_key(read: usize, pos: usize, reverse: bool) -> u64 {
-    assert!(read < 1 << 31, "batch larger than 2^31 reads");
-    assert!(pos <= u32::MAX as usize, "position exceeds u32");
-    ((read as u64) << 33) | ((pos as u64) << 1) | u64::from(reverse)
-}
-
-/// Inverse of [`pack_key`].
-fn unpack_key(key: u64) -> (usize, usize, bool) {
-    (
-        (key >> 33) as usize,
-        ((key >> 1) & u64::from(u32::MAX)) as usize,
-        key & 1 == 1,
-    )
 }
 
 /// The reverse complement of a DNA read.

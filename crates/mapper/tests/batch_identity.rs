@@ -6,7 +6,7 @@
 //! on the portable (non-AVX2) lock-step rows.
 
 use genasm_engine::DcDispatch;
-use genasm_mapper::pipeline::{AlignerKind, FilterKind, MapperConfig, ReadMapper};
+use genasm_mapper::pipeline::{AlignMode, AlignerKind, FilterKind, MapperConfig, ReadMapper};
 use proptest::prelude::*;
 
 fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -65,31 +65,37 @@ proptest! {
         let read_refs: Vec<&[u8]> = reads.iter().map(|r| r.as_slice()).collect();
         for filter in [FilterKind::GenAsm, FilterKind::Shouji, FilterKind::None] {
             for aligner in [AlignerKind::GenAsm, AlignerKind::Gotoh] {
-                let config = MapperConfig {
-                    filter,
-                    aligner,
-                    both_strands: true,
-                    index_shards: 4,
-                    ..MapperConfig::default()
-                };
-                let mapper = ReadMapper::build(&reference, config);
-                let sequential: Vec<_> =
-                    read_refs.iter().map(|r| mapper.map_read(r).0).collect();
-                for dispatch in [DcDispatch::Lockstep, DcDispatch::Chunked, DcDispatch::Scalar] {
-                    let engine = mapper.engine(2, dispatch);
-                    let (batch, timings) =
-                        mapper.map_batch_with_engine(&read_refs, &engine);
-                    prop_assert_eq!(
-                        &sequential,
-                        &batch,
-                        "filter={:?} aligner={:?} dispatch={:?}",
+                for align_mode in [AlignMode::TwoPhase, AlignMode::Full] {
+                    let config = MapperConfig {
                         filter,
                         aligner,
-                        dispatch
-                    );
-                    prop_assert!(timings.candidates.1 <= timings.candidates.0);
-                    if aligner == AlignerKind::Gotoh {
-                        break; // dispatch only affects the GenASM kernel
+                        both_strands: true,
+                        index_shards: 4,
+                        align_mode,
+                        ..MapperConfig::default()
+                    };
+                    let mapper = ReadMapper::build(&reference, config);
+                    let sequential: Vec<_> =
+                        read_refs.iter().map(|r| mapper.map_read(r).0).collect();
+                    for dispatch in
+                        [DcDispatch::Lockstep, DcDispatch::Chunked, DcDispatch::Scalar]
+                    {
+                        let engine = mapper.engine(2, dispatch);
+                        let (batch, timings) =
+                            mapper.map_batch_with_engine(&read_refs, &engine);
+                        prop_assert_eq!(
+                            &sequential,
+                            &batch,
+                            "filter={:?} aligner={:?} mode={:?} dispatch={:?}",
+                            filter,
+                            aligner,
+                            align_mode,
+                            dispatch
+                        );
+                        prop_assert!(timings.candidates.1 <= timings.candidates.0);
+                        if aligner == AlignerKind::Gotoh {
+                            break; // dispatch only affects the GenASM kernel
+                        }
                     }
                 }
             }

@@ -1,0 +1,82 @@
+//! SAM emission through the batch pipeline: the byte stream rendered
+//! from two-phase batch mappings must equal the sequential `map_read`
+//! path's byte-for-byte — headers, flags, positions, reverse-strand
+//! CIGARs, MAPQ and tags included.
+
+use genasm_engine::DcDispatch;
+use genasm_mapper::pipeline::{AlignMode, MapperConfig, ReadMapper};
+use genasm_mapper::sam;
+use genasm_seq::genome::GenomeBuilder;
+use genasm_seq::profile::ErrorProfile;
+use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
+
+/// Renders one mapping set as a complete SAM byte stream.
+fn render_sam(
+    rname: &str,
+    rlen: usize,
+    reads: &[(String, Vec<u8>)],
+    mappings: &[Option<genasm_mapper::pipeline::Mapping>],
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    sam::write_header(&mut buf, rname, rlen).unwrap();
+    for ((name, seq), mapping) in reads.iter().zip(mappings) {
+        let record = match mapping {
+            Some(m) => sam::SamRecord::from_mapping(name.clone(), rname.to_string(), seq, m),
+            None => sam::SamRecord::unmapped(name.clone(), seq),
+        };
+        sam::write_record(&mut buf, &record).unwrap();
+    }
+    buf
+}
+
+#[test]
+fn two_phase_batch_sam_is_byte_identical_to_sequential() {
+    let genome = GenomeBuilder::new(40_000).seed(0x5A11).build();
+    // Simulated reads on both strands (reverse-strand CIGARs included)
+    // plus one unmappable read so the unmapped record shape is covered.
+    let sim = ReadSimulator::new(SimConfig {
+        read_length: 150,
+        count: 24,
+        profile: ErrorProfile::illumina(),
+        seed: 0x5A12,
+        both_strands: true,
+        length_model: LengthModel::Fixed,
+    });
+    let mut reads: Vec<(String, Vec<u8>)> = sim
+        .simulate(genome.sequence())
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (format!("read{i}"), r.seq))
+        .collect();
+    reads.push(("homopolymer".to_string(), vec![b'A'; 150]));
+
+    let mapper = ReadMapper::build(
+        genome.sequence(),
+        MapperConfig {
+            align_mode: AlignMode::TwoPhase,
+            ..MapperConfig::default()
+        },
+    );
+    let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
+
+    let sequential: Vec<_> = read_refs.iter().map(|r| mapper.map_read(r).0).collect();
+    let want = render_sam("chr_synth", genome.len(), &reads, &sequential);
+    assert!(
+        sequential.iter().flatten().any(|m| m.reverse),
+        "workload must include reverse-strand mappings"
+    );
+    assert!(
+        sequential.iter().any(Option::is_none),
+        "workload must include an unmapped read"
+    );
+
+    for workers in [1usize, 4] {
+        let engine = mapper.engine(workers, DcDispatch::Lockstep);
+        let (batch, _) = mapper.map_batch_with_engine(&read_refs, &engine);
+        let got = render_sam("chr_synth", genome.len(), &reads, &batch);
+        assert_eq!(
+            want, got,
+            "two-phase batch SAM must be byte-identical (workers={workers})"
+        );
+    }
+}

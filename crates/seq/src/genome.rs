@@ -75,6 +75,7 @@ pub struct GenomeBuilder {
     gc_content: f64,
     repeat_fraction: f64,
     repeat_unit: usize,
+    repeat_divergence: f64,
     seed: u64,
     name: String,
 }
@@ -87,6 +88,7 @@ impl GenomeBuilder {
             gc_content: 0.41, // GRCh38-like
             repeat_fraction: 0.0,
             repeat_unit: 300,
+            repeat_divergence: 0.0,
             seed: 0,
             name: "synthetic".to_string(),
         }
@@ -110,6 +112,19 @@ impl GenomeBuilder {
     #[must_use]
     pub fn repeat_unit(mut self, unit: usize) -> Self {
         self.repeat_unit = unit.max(10);
+        self
+    }
+
+    /// Sets the per-base substitution rate applied to each repeat copy
+    /// (clamped to `0..=0.5`). Real repeat families are not exact
+    /// duplicates — segmental duplications diverge by a few percent —
+    /// and the divergence is what separates a read's true locus from
+    /// its paralogs during mapping: with exact copies every candidate
+    /// ties, with diverged copies the wrong loci carry measurably more
+    /// edits.
+    #[must_use]
+    pub fn repeat_divergence(mut self, rate: f64) -> Self {
+        self.repeat_divergence = rate.clamp(0.0, 0.5);
         self
     }
 
@@ -147,14 +162,28 @@ impl GenomeBuilder {
             sequence.push(b);
         }
         // Scatter repeated segments: copy an earlier unit to a later
-        // position, emulating segmental duplications.
+        // position, emulating segmental duplications; each copy then
+        // diverges by per-base substitutions at the configured rate.
         if self.repeat_fraction > 0.0 && self.length > 2 * self.repeat_unit {
             let copies = ((self.length as f64 * self.repeat_fraction) / self.repeat_unit as f64)
                 .floor() as usize;
             for _ in 0..copies {
                 let src = rng.gen_range(0..self.length - self.repeat_unit);
                 let dst = rng.gen_range(0..self.length - self.repeat_unit);
-                let unit: Vec<u8> = sequence[src..src + self.repeat_unit].to_vec();
+                let mut unit: Vec<u8> = sequence[src..src + self.repeat_unit].to_vec();
+                if self.repeat_divergence > 0.0 {
+                    for base in unit.iter_mut() {
+                        if rng.gen::<f64>() < self.repeat_divergence {
+                            let alternatives: [u8; 3] = match *base {
+                                b'A' => [b'C', b'G', b'T'],
+                                b'C' => [b'A', b'G', b'T'],
+                                b'G' => [b'A', b'C', b'T'],
+                                _ => [b'A', b'C', b'G'],
+                            };
+                            *base = alternatives[rng.gen_range(0..3usize)];
+                        }
+                    }
+                }
                 sequence[dst..dst + self.repeat_unit].copy_from_slice(&unit);
             }
         }
@@ -214,6 +243,40 @@ mod tests {
             set.len()
         };
         assert!(distinct(&repetitive) < distinct(&plain));
+    }
+
+    #[test]
+    fn diverged_repeats_stay_similar_but_not_identical() {
+        let exact = GenomeBuilder::new(60_000)
+            .seed(7)
+            .repeat_fraction(0.4)
+            .repeat_unit(200)
+            .build();
+        let diverged = GenomeBuilder::new(60_000)
+            .seed(7)
+            .repeat_fraction(0.4)
+            .repeat_unit(200)
+            .repeat_divergence(0.08)
+            .build();
+        let distinct = |g: &Genome| {
+            let mut set = std::collections::HashSet::new();
+            for w in g.sequence().windows(32) {
+                set.insert(w.to_vec());
+            }
+            set.len()
+        };
+        // Divergence breaks exact 32-mer duplication (more distinct
+        // k-mers than exact copies) without erasing the repeat
+        // structure entirely (still fewer than a repeat-free genome).
+        let plain = GenomeBuilder::new(60_000).seed(7).build();
+        let (d_exact, d_div, d_plain) = (distinct(&exact), distinct(&diverged), distinct(&plain));
+        assert!(d_exact < d_div, "divergence must break exact copies");
+        assert!(d_div < d_plain, "repeat structure must survive");
+        // Bases are still pure ACGT.
+        assert!(diverged
+            .sequence()
+            .iter()
+            .all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
     }
 
     #[test]

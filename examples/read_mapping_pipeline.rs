@@ -59,7 +59,8 @@ fn main() {
     println!("stage timings (accumulated):");
     println!("  seeding   : {:?}", total_timings.seeding);
     println!("  filtering : {:?}", total_timings.filtering);
-    println!("  alignment : {:?}", total_timings.alignment);
+    println!("  distance  : {:?}", total_timings.distance);
+    println!("  traceback : {:?}", total_timings.traceback);
     println!(
         "  candidates: {} examined -> {} survived the GenASM-DC filter",
         total_timings.candidates.0, total_timings.candidates.1

@@ -35,7 +35,7 @@ cargo test -p genasm-core --no-default-features -q
 
 echo "==> cargo test -q (mapper identity suites, portable fallback)"
 cargo test -p genasm-mapper --no-default-features -q \
-    --test batch_identity --test index_identity
+    --test batch_identity --test index_identity --test two_phase --test sam_identity
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -50,11 +50,14 @@ echo "==> cargo bench --bench map_throughput -- --smoke"
 cargo bench -p genasm-bench --bench map_throughput -- --smoke
 
 echo "==> bench artifact field check"
-check_bench_fields BENCH_engine.json pairs_per_sec workers
+check_bench_fields BENCH_engine.json \
+    pairs_per_sec workers tb_rows distance_secs
 check_bench_fields BENCH_dc_multi.json \
-    kernel_full kernel_stream engine pairs_per_sec occupancy speedup_vs_chunked
+    kernel_full kernel_stream engine pairs_per_sec occupancy speedup_vs_chunked \
+    tb_rows distance_secs
 check_bench_fields BENCH_map.json \
-    pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds
+    pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds \
+    two_phase tb_rows distance_secs traceback_secs
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
