@@ -10,14 +10,16 @@
 //! fast verification run with smaller workloads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use genasm_bench::harness::{measure_throughput, JsonReport};
+use genasm_bench::harness::{histogram_fields, measure_throughput, JsonReport};
 use genasm_core::alphabet::Dna;
 use genasm_core::dc::{window_dc_distance_into, window_dc_into, DcArena};
 use genasm_core::dc_multi::{
     window_dc_multi_distance_into, window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena,
     MultiLane,
 };
+use genasm_engine::obs::JOB_LATENCY_HISTOGRAM;
 use genasm_engine::{DcDispatch, DistanceJob, Engine, EngineConfig, Job, LaneCount};
+use genasm_obs::Telemetry;
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -368,6 +370,21 @@ fn bench_dc_multi(c: &mut Criterion) {
     // ~65k pairs/s at one worker on this host.
     report.field_num("engine_pairs_per_sec_pre_pr", 64_675.0);
     report.field_num("engine_speedup_vs_pre_pr", lockstep_engine / 64_675.0);
+
+    // True per-job latency percentiles under the persistent-lane
+    // scheduler at one worker, from the engine's own instrumentation,
+    // through the shared snapshot serializer.
+    let telemetry = Telemetry::with_flags(true, false);
+    let obs_engine = Engine::new(
+        EngineConfig::default()
+            .with_workers(1)
+            .with_dispatch(DcDispatch::Lockstep),
+    )
+    .with_telemetry(telemetry.clone());
+    let out = obs_engine.align_batch_with_stats(&jobs);
+    assert_eq!(out.stats.failures, 0, "latency pass must align cleanly");
+    let snapshot = telemetry.metrics.snapshot();
+    histogram_fields(&mut report, &snapshot, JOB_LATENCY_HISTOGRAM, "job_latency");
 
     // Smoke runs verify the bench executes but keep the committed
     // full-size artifact intact.

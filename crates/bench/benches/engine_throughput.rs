@@ -7,8 +7,10 @@
 //! trajectory to compare against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use genasm_bench::harness::JsonReport;
+use genasm_bench::harness::{histogram_fields, JsonReport};
+use genasm_engine::obs::{CHUNK_LATENCY_HISTOGRAM, JOB_LATENCY_HISTOGRAM};
 use genasm_engine::{DistanceJob, Engine, EngineConfig, GotohKernel, Job};
+use genasm_obs::Telemetry;
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -128,6 +130,25 @@ fn bench_worker_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // True per-job and per-chunk latency percentiles from a
+    // telemetry-enabled single-worker pass (one worker so queueing
+    // delay does not smear the per-job figures), recorded by the
+    // engine's own instrumentation and serialized through the shared
+    // snapshot serializer.
+    let telemetry = Telemetry::with_flags(true, false);
+    let obs_engine =
+        Engine::new(EngineConfig::default().with_workers(1)).with_telemetry(telemetry.clone());
+    let out = obs_engine.align_batch_with_stats(&batch);
+    assert_eq!(out.stats.failures, 0, "latency pass must align cleanly");
+    let snapshot = telemetry.metrics.snapshot();
+    histogram_fields(&mut report, &snapshot, JOB_LATENCY_HISTOGRAM, "job_latency");
+    histogram_fields(
+        &mut report,
+        &snapshot,
+        CHUNK_LATENCY_HISTOGRAM,
+        "chunk_latency",
+    );
 
     // Land the artifact at the workspace root (cargo bench runs with
     // the package directory as CWD).

@@ -15,9 +15,12 @@
 //! than their full-mode counterparts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use genasm_bench::harness::JsonReport;
+use genasm_bench::harness::{histogram_fields, JsonReport};
 use genasm_engine::DcDispatch;
-use genasm_mapper::pipeline::{AlignMode, MapperConfig, ReadMapper, StageTimings};
+use genasm_mapper::pipeline::{
+    AlignMode, MapperConfig, ReadMapper, StageTimings, READ_LATENCY_HISTOGRAM,
+};
+use genasm_obs::Telemetry;
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
@@ -35,6 +38,55 @@ fn one_rate<F: FnOnce()>(reads: usize, work: F) -> f64 {
 }
 
 const N_CONFIGS: usize = 6;
+
+/// Appends one normalized `pipeline` row. Every row carries the
+/// identical field set so consumers need no per-row schema detection;
+/// ratios that do not exist for a configuration (the lane occupancies
+/// when no lock-step rows ran, e.g. the sequential and scalar rows)
+/// are `null` — a documented "did not run" marker, distinct from 0.
+#[allow(clippy::too_many_arguments)]
+fn pipeline_row(
+    report: &mut JsonReport,
+    batch: f64,
+    workers: f64,
+    lockstep: f64,
+    persistent: f64,
+    two_phase: f64,
+    rate: f64,
+    sequential_rate: f64,
+    timings: &StageTimings,
+) {
+    report.record(
+        "pipeline",
+        &[
+            ("batch", batch),
+            ("workers", workers),
+            ("lockstep", lockstep),
+            ("persistent", persistent),
+            ("two_phase", two_phase),
+            ("reads_per_sec", rate),
+            ("speedup_vs_sequential", rate / sequential_rate),
+            ("seed_seconds", timings.seeding.as_secs_f64()),
+            ("filter_seconds", timings.filtering.as_secs_f64()),
+            ("align_seconds", timings.align_total().as_secs_f64()),
+            ("distance_secs", timings.distance.as_secs_f64()),
+            ("traceback_secs", timings.traceback.as_secs_f64()),
+            ("occupancy", timings.lane_occupancy().unwrap_or(f64::NAN)),
+            ("tb_rows", timings.tb_rows.1 as f64),
+            ("distance_jobs", timings.distance_jobs as f64),
+            ("traceback_jobs", timings.traceback_jobs as f64),
+            ("candidates", timings.candidates.0 as f64),
+            ("survivors", timings.candidates.1 as f64),
+            ("reject_rate", timings.reject_rate()),
+            ("filter_rows_issued", timings.filter_rows.0 as f64),
+            ("filter_rows_useful", timings.filter_rows.1 as f64),
+            (
+                "filter_occupancy",
+                timings.filter_occupancy().unwrap_or(f64::NAN),
+            ),
+        ],
+    );
+}
 
 fn bench_map_throughput(c: &mut Criterion) {
     let smoke = smoke();
@@ -200,21 +252,16 @@ fn bench_map_throughput(c: &mut Criterion) {
         }
     }
 
-    report.record(
-        "pipeline",
-        &[
-            ("batch", 0.0),
-            ("workers", 1.0),
-            ("lockstep", 0.0),
-            ("persistent", 0.0),
-            ("two_phase", 0.0),
-            ("reads_per_sec", sequential_rate),
-            ("speedup_vs_sequential", 1.0),
-            ("occupancy", f64::NAN),
-            ("tb_rows", sequential_timings.tb_rows.1 as f64),
-            ("distance_secs", 0.0),
-            ("traceback_secs", sequential_timings.traceback.as_secs_f64()),
-        ],
+    pipeline_row(
+        &mut report,
+        0.0,
+        1.0,
+        0.0,
+        0.0,
+        0.0,
+        sequential_rate,
+        sequential_rate,
+        &sequential_timings,
     );
     println!("sequential: {sequential_rate:.0} reads/s");
     for (((workers, dispatch, two_phase), rate), timings) in
@@ -222,27 +269,16 @@ fn bench_map_throughput(c: &mut Criterion) {
     {
         let lockstep = f64::from(u8::from(*dispatch != DcDispatch::Scalar));
         let persistent = f64::from(u8::from(*dispatch == DcDispatch::Lockstep));
-        let occ = timings.lane_occupancy().unwrap_or(f64::NAN);
-        report.record(
-            "pipeline",
-            &[
-                ("batch", 1.0),
-                ("workers", *workers as f64),
-                ("lockstep", lockstep),
-                ("persistent", persistent),
-                ("two_phase", f64::from(u8::from(*two_phase))),
-                ("reads_per_sec", rate),
-                ("speedup_vs_sequential", rate / sequential_rate),
-                ("occupancy", occ),
-                ("seed_seconds", timings.seeding.as_secs_f64()),
-                ("filter_seconds", timings.filtering.as_secs_f64()),
-                ("align_seconds", timings.align_total().as_secs_f64()),
-                ("distance_secs", timings.distance.as_secs_f64()),
-                ("traceback_secs", timings.traceback.as_secs_f64()),
-                ("tb_rows", timings.tb_rows.1 as f64),
-                ("distance_jobs", timings.distance_jobs as f64),
-                ("traceback_jobs", timings.traceback_jobs as f64),
-            ],
+        pipeline_row(
+            &mut report,
+            1.0,
+            *workers as f64,
+            lockstep,
+            persistent,
+            f64::from(u8::from(*two_phase)),
+            rate,
+            sequential_rate,
+            timings,
         );
         println!(
             "batch {workers}w {dispatch:?}{}: {rate:.0} reads/s ({:.2}x sequential, \
@@ -256,6 +292,76 @@ fn bench_map_throughput(c: &mut Criterion) {
             timings.tb_rows.1
         );
     }
+
+    // ---- Per-read latency percentiles --------------------------------
+    // Recorded by the instrumented pipeline itself: a telemetry-enabled
+    // sequential pass gives exact per-read wall times (the batch path
+    // would amortize the batch wall across reads).
+    let latency_telemetry = Telemetry::with_flags(true, false);
+    let latency_mapper = ReadMapper::build(
+        genome.sequence(),
+        MapperConfig {
+            align_mode: AlignMode::Full,
+            ..MapperConfig::default()
+        },
+    )
+    .with_telemetry(latency_telemetry.clone());
+    for r in &read_refs {
+        criterion::black_box(latency_mapper.map_read(r));
+    }
+    let latency_snapshot = latency_telemetry.metrics.snapshot();
+    histogram_fields(
+        &mut report,
+        &latency_snapshot,
+        READ_LATENCY_HISTOGRAM,
+        "read_latency",
+    );
+
+    // ---- Telemetry overhead A/B --------------------------------------
+    // The same 1-worker persistent-lane two-phase configuration with
+    // telemetry fully off (the default mapper/engine, atomic-flag
+    // gated) and fully on (metrics + span tracing), interleaved
+    // best-of-reps. The disabled path is the product path: it must not
+    // cost measurable throughput against the identically-configured
+    // main-loop measurement above (0.5x bounds generously for the
+    // shared-CPU container's ±20% wall-clock jitter).
+    let on_telemetry = Telemetry::with_flags(true, true);
+    let on_mapper = ReadMapper::build(genome.sequence(), MapperConfig::default())
+        .with_telemetry(on_telemetry.clone());
+    let on_engine = on_mapper
+        .engine(1, DcDispatch::Lockstep)
+        .with_telemetry(on_telemetry.clone());
+    let off_engine = two_phase_mapper.engine(1, DcDispatch::Lockstep);
+    let mut off_rate = f64::MIN;
+    let mut on_rate = f64::MIN;
+    for _ in 0..reps {
+        off_rate = off_rate.max(one_rate(n_reads, || {
+            criterion::black_box(two_phase_mapper.map_batch_with_engine(&read_refs, &off_engine));
+        }));
+        on_rate = on_rate.max(one_rate(n_reads, || {
+            criterion::black_box(on_mapper.map_batch_with_engine(&read_refs, &on_engine));
+        }));
+        // Drain the span sink between repetitions so the enabled run
+        // measures steady-state recording, not sink growth.
+        on_telemetry.tracer.take_events();
+    }
+    report.field_num("telemetry_off_reads_per_sec", off_rate);
+    report.field_num("telemetry_on_reads_per_sec", on_rate);
+    report.field_num("telemetry_overhead", 1.0 - on_rate / off_rate);
+    let main_slot = batch_configs
+        .iter()
+        .position(|&(w, d, tp)| w == 1 && d == DcDispatch::Lockstep && tp)
+        .expect("the A/B configuration is one of the measured configs");
+    let main_rate = batch_rates[main_slot];
+    assert!(
+        off_rate >= 0.5 * main_rate,
+        "telemetry-disabled path regressed: {off_rate:.0} vs main-loop {main_rate:.0} reads/s"
+    );
+    println!(
+        "telemetry A/B: off {off_rate:.0} reads/s, on {on_rate:.0} reads/s \
+         (overhead {:.1}%)",
+        (1.0 - on_rate / off_rate) * 100.0
+    );
 
     // Smoke runs verify the bench executes but keep the committed
     // full-size artifact intact.

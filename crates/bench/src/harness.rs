@@ -1,5 +1,6 @@
 //! Measurement and table-printing utilities for the experiments.
 
+use genasm_obs::Snapshot;
 use std::time::{Duration, Instant};
 
 /// Measures the wall-clock throughput of `work` over `items` items:
@@ -260,6 +261,35 @@ impl JsonReport {
     }
 }
 
+/// Serializes one telemetry histogram's summary into the report as
+/// `<prefix>_count`, `<prefix>_mean_us`, `<prefix>_p50_us`,
+/// `<prefix>_p90_us`, `<prefix>_p99_us`, `<prefix>_p999_us` and
+/// `<prefix>_max_us` top-level fields. All three bench artifacts emit
+/// their latency percentiles through this one serializer so the JSON
+/// schema stays uniform across `BENCH_engine.json`,
+/// `BENCH_dc_multi.json` and `BENCH_map.json`. A histogram absent
+/// from the snapshot (telemetry disabled, or nothing recorded) writes
+/// a zero count and null percentiles rather than omitting the fields.
+pub fn histogram_fields(report: &mut JsonReport, snapshot: &Snapshot, name: &str, prefix: &str) {
+    match snapshot.histogram(name) {
+        Some(h) => {
+            report.field_num(&format!("{prefix}_count"), h.count as f64);
+            report.field_num(&format!("{prefix}_mean_us"), h.mean());
+            report.field_num(&format!("{prefix}_p50_us"), h.p50() as f64);
+            report.field_num(&format!("{prefix}_p90_us"), h.p90() as f64);
+            report.field_num(&format!("{prefix}_p99_us"), h.p99() as f64);
+            report.field_num(&format!("{prefix}_p999_us"), h.p999() as f64);
+            report.field_num(&format!("{prefix}_max_us"), h.max as f64);
+        }
+        None => {
+            report.field_num(&format!("{prefix}_count"), 0.0);
+            for suffix in ["mean", "p50", "p90", "p99", "p999", "max"] {
+                report.field_num(&format!("{prefix}_{suffix}_us"), f64::NAN);
+            }
+        }
+    }
+}
+
 /// Formats a throughput value compactly (e.g. `1.23M/s`).
 pub fn fmt_rate(per_sec: f64) -> String {
     if per_sec >= 1e6 {
@@ -321,6 +351,30 @@ mod tests {
         report.field_str("k\"ey", "va\\l\nue");
         let json = report.to_json();
         assert!(json.contains(r#""k\"ey": "va\\l\nue""#));
+    }
+
+    #[test]
+    fn histogram_fields_serialize_uniformly() {
+        use genasm_obs::MetricsRegistry;
+        let metrics = MetricsRegistry::new(true);
+        let h = metrics.histogram("lat");
+        for v in [10u64, 20, 40] {
+            h.record(v);
+        }
+        let snap = metrics.snapshot();
+        let mut report = JsonReport::new();
+        histogram_fields(&mut report, &snap, "lat", "job_latency");
+        let json = report.to_json();
+        assert!(json.contains("\"job_latency_count\": 3"), "{json}");
+        assert!(json.contains("\"job_latency_p50_us\""), "{json}");
+        assert!(json.contains("\"job_latency_max_us\": 40"), "{json}");
+        // Absent histograms render a zero count and null percentiles
+        // instead of dropping the fields from the schema.
+        let mut empty = JsonReport::new();
+        histogram_fields(&mut empty, &snap, "missing", "x");
+        let json = empty.to_json();
+        assert!(json.contains("\"x_count\": 0"), "{json}");
+        assert!(json.contains("\"x_p50_us\": null"), "{json}");
     }
 
     #[test]

@@ -2,14 +2,20 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand, `--key value` options, and
-/// positional arguments.
+/// Options that are boolean switches: present or absent, never
+/// followed by a value.
+const BOOL_FLAGS: &[&str] = &["quiet"];
+
+/// Parsed command line: a subcommand, `--key value` options, boolean
+/// `--flag` switches, and positional arguments.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: String,
     /// `--key value` options.
     pub options: HashMap<String, String>,
+    /// Boolean `--flag` switches that were present.
+    pub flags: Vec<String>,
     /// Positional arguments after the subcommand.
     pub positional: Vec<String>,
 }
@@ -19,7 +25,8 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns a message when a `--flag` is missing its value.
+    /// Returns a message when a valued `--flag` is missing its value
+    /// (switches in [`BOOL_FLAGS`] take none).
     pub fn parse<I, S>(raw: I) -> Result<Args, String>
     where
         I: IntoIterator<Item = S>,
@@ -29,6 +36,10 @@ impl Args {
         let mut iter = raw.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
+                if BOOL_FLAGS.contains(&key) {
+                    args.flags.push(key.to_string());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| format!("option --{key} requires a value"))?;
@@ -45,6 +56,11 @@ impl Args {
     /// A string option.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// `true` when the boolean switch `--key` was present.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
     }
 
     /// A required string option.
@@ -88,6 +104,17 @@ mod tests {
     #[test]
     fn missing_value_is_an_error() {
         assert!(Args::parse(["map", "--ref"]).is_err());
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let args = Args::parse(["map", "--quiet", "--ref", "r.fa"]).unwrap();
+        assert!(args.flag("quiet"));
+        assert!(!args.flag("verbose"));
+        assert_eq!(args.get("ref"), Some("r.fa"));
+        // A trailing boolean flag needs no value either.
+        let args = Args::parse(["map", "--ref", "r.fa", "--quiet"]).unwrap();
+        assert!(args.flag("quiet"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   SAM on stdout when `--sam -` is given).
 
 mod args;
+mod stats;
 
 use args::Args;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
@@ -32,6 +33,7 @@ use genasm_core::filter::PreAlignmentFilter;
 use genasm_engine::{DcDispatch, LaneCount};
 use genasm_mapper::pipeline::{AlignMode, AlignerKind, MapperConfig, ReadMapper, StageTimings};
 use genasm_mapper::sam;
+use genasm_obs::Telemetry;
 use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
 use genasm_seq::fastq::read_fastq;
 use genasm_seq::genome::GenomeBuilder;
@@ -93,6 +95,14 @@ commands:
   simulate  --genome-size <bp> --count <n> [--length 100]
             [--profile illumina|pacbio10|pacbio15|ont10|ont15]
             [--seed 0] [--out-prefix sim]                    write ref.fa + reads.fq
+
+telemetry (map, batch and filter):
+  --metrics human|json    stderr report format: name = value lines (default) or one
+                          JSON snapshot of the same counters/gauges/histograms
+  --quiet                 suppress the stderr report entirely
+  --trace-out <path>      write a Chrome trace-event JSON of per-worker stage spans
+                          (claim/dc/tb/drain, seed/filter/distance/resolve/traceback)
+                          — load it in Perfetto or chrome://tracing
 ";
 
 fn main() {
@@ -186,15 +196,6 @@ fn parse_align_mode(args: &Args) -> Result<AlignMode, String> {
     }
 }
 
-/// Renders the alignment stage's lock-step lane occupancy for the
-/// per-stage stderr stats (`-` when no lock-step rows ran).
-fn occupancy_label(timings: &StageTimings) -> String {
-    match timings.lane_occupancy() {
-        Some(occ) => format!("{:.1}%", occ * 100.0),
-        None => "-".to_string(),
-    }
-}
-
 fn cmd_map(args: &Args) -> Result<(), String> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
@@ -208,6 +209,10 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let error_rate: f64 = args.number("error-rate", 0.15)?;
     let workers: usize = args.number("workers", 0)?;
     let shards: usize = args.number("shards", 0)?;
+    let quiet = args.flag("quiet");
+    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let trace_out = args.get("trace-out");
+    let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
 
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
@@ -220,12 +225,14 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         ..MapperConfig::default()
     };
     let t_index = Instant::now();
-    let mapper = ReadMapper::build(&reference.seq, config);
+    let mapper = ReadMapper::build(&reference.seq, config).with_telemetry(telemetry.clone());
     let index_time = t_index.elapsed();
 
     let (mappings, timings) = match pipeline {
         "batch" => {
-            let engine = mapper.engine_with_lanes(workers, dispatch, lanes);
+            let engine = mapper
+                .engine_with_lanes(workers, dispatch, lanes)
+                .with_telemetry(telemetry.clone());
             let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
             mapper.map_batch_with_engine(&read_refs, &engine)
         }
@@ -266,31 +273,27 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     }
     out.flush().map_err(|e| e.to_string())?;
 
+    if let Some(path) = trace_out {
+        telemetry
+            .tracer
+            .export_to(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let metrics = &telemetry.metrics;
+    metrics.counter("map.reads").add(reads.len() as u64);
+    metrics.counter("map.mapped").add(mapped as u64);
+    stats::gauge_us(metrics, "map.index_us", index_time);
+    metrics
+        .gauge("map.index_shards")
+        .set(mapper.index().shard_count() as u64);
+    stats::record_stage_timings(metrics, &timings);
     let total = timings.total().as_secs_f64();
-    let reads_per_sec = if total > 0.0 {
-        reads.len() as f64 / total
-    } else {
-        f64::INFINITY
-    };
-    eprintln!("mapped {mapped}/{} reads", reads.len());
-    eprintln!(
-        "pipeline={pipeline} index={:.3}s ({} shards) seed={:.3}s filter={:.3}s \
-         (rejected {:.1}% of {} candidates) distance={:.3}s ({} scans) \
-         traceback={:.3}s ({} alignments, {} tb-rows, dc-occupancy {}) \
-         total={total:.3}s ({reads_per_sec:.0} reads/s)",
-        index_time.as_secs_f64(),
-        mapper.index().shard_count(),
-        timings.seeding.as_secs_f64(),
-        timings.filtering.as_secs_f64(),
-        timings.reject_rate() * 100.0,
-        timings.candidates.0,
-        timings.distance.as_secs_f64(),
-        timings.distance_jobs,
-        timings.traceback.as_secs_f64(),
-        timings.traceback_jobs,
-        timings.tb_rows.1,
-        occupancy_label(&timings),
-    );
+    if total > 0.0 {
+        metrics
+            .gauge("map.reads_per_sec")
+            .set((reads.len() as f64 / total) as u64);
+    }
+    stats::emit(metrics, quiet, metrics_mode);
     Ok(())
 }
 
@@ -302,6 +305,10 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     let align_mode = parse_align_mode(args)?;
     let error_rate: f64 = args.number("error-rate", 0.15)?;
     let threads: usize = args.number("threads", 0)?;
+    let quiet = args.flag("quiet");
+    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let trace_out = args.get("trace-out");
+    let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
 
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
@@ -312,11 +319,13 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         align_mode,
         ..MapperConfig::default()
     };
-    let mapper = ReadMapper::build(&reference.seq, config);
+    let mapper = ReadMapper::build(&reference.seq, config).with_telemetry(telemetry.clone());
     // The scalar/chunked/lockstep triple produces bit-identical
     // mappings; the flags exist so the DC paths can be A/B'd from the
     // command line.
-    let engine = mapper.engine_with_lanes(threads, dispatch, lanes);
+    let engine = mapper
+        .engine_with_lanes(threads, dispatch, lanes)
+        .with_telemetry(telemetry.clone());
     let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
     let (mappings, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
 
@@ -335,29 +344,24 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
         out.flush().map_err(|e| e.to_string())?;
     }
 
+    if let Some(path) = trace_out {
+        telemetry
+            .tracer
+            .export_to(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
     let mapped = mappings.iter().filter(|m| m.is_some()).count();
+    let metrics = &telemetry.metrics;
+    metrics.counter("map.reads").add(reads.len() as u64);
+    metrics.counter("map.mapped").add(mapped as u64);
+    stats::record_stage_timings(metrics, &timings);
     let align_secs = timings.align_total().as_secs_f64();
-    let reads_per_sec = if align_secs > 0.0 {
-        reads.len() as f64 / align_secs
-    } else {
-        f64::INFINITY
-    };
-    eprintln!(
-        "kernel={} reads={} mapped={} candidates={}/{} \
-         seed={:.3}s filter={:.3}s distance={:.3}s traceback={:.3}s \
-         ({} tb-rows, dc-occupancy {}) ({reads_per_sec:.0} reads/s in alignment)",
-        engine.kernel_name(),
-        reads.len(),
-        mapped,
-        timings.candidates.1,
-        timings.candidates.0,
-        timings.seeding.as_secs_f64(),
-        timings.filtering.as_secs_f64(),
-        timings.distance.as_secs_f64(),
-        timings.traceback.as_secs_f64(),
-        timings.tb_rows.1,
-        occupancy_label(&timings),
-    );
+    if align_secs > 0.0 {
+        metrics
+            .gauge("map.align_reads_per_sec")
+            .set((reads.len() as f64 / align_secs) as u64);
+    }
+    stats::emit(metrics, quiet, metrics_mode);
     Ok(())
 }
 
@@ -395,6 +399,10 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         k @ ("scalar" | "lockstep") => k,
         other => return Err(format!("unknown kernel {other:?}")),
     };
+    let quiet = args.flag("quiet");
+    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let trace_out = args.get("trace-out");
+    let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
     let reference = load_first_fasta(args.require("ref")?)?;
     let reads = load_reads(args.require("reads")?)?;
     let threshold: usize = args
@@ -402,22 +410,35 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --threshold")?;
     let filter = PreAlignmentFilter::new(threshold);
+    let mut spans = telemetry
+        .tracer
+        .is_enabled()
+        .then(|| telemetry.tracer.buffer(0));
+    if let Some(s) = spans.as_mut() {
+        s.begin("filter");
+    }
     // Both kernels make identical decisions; lockstep batches up to
     // four single-word scans per Bitap pass (reads over 64 bases use
-    // the scalar multi-word scan either way).
+    // the scalar multi-word scan either way). Only the lock-step
+    // kernel has row-slot accounting to report.
+    let mut rows = genasm_core::bitap::ScanMetrics::default();
     let decisions = match kernel {
         "lockstep" => {
             let pairs: Vec<(&[u8], &[u8])> = reads
                 .iter()
                 .map(|(_, seq)| (reference.seq.as_slice(), seq.as_slice()))
                 .collect();
-            filter.decide_many(&pairs)
+            filter.decide_many_counted(&pairs, &mut rows)
         }
         _ => reads
             .iter()
             .map(|(_, seq)| filter.decide(&reference.seq, seq))
             .collect(),
     };
+    if let Some(s) = spans.as_mut() {
+        s.end("filter");
+        s.flush();
+    }
     let mut accepted = 0usize;
     for ((name, _), decision) in reads.iter().zip(decisions) {
         let decision = decision.map_err(|e| e.to_string())?;
@@ -431,7 +452,29 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
                 .unwrap_or_else(|| "-".into())
         );
     }
-    eprintln!("accepted {accepted}/{} reads", reads.len());
+    if let Some(path) = trace_out {
+        telemetry
+            .tracer
+            .export_to(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
+    let metrics = &telemetry.metrics;
+    metrics.counter("filter.reads").add(reads.len() as u64);
+    metrics.counter("filter.accepted").add(accepted as u64);
+    let reject_rate = if reads.is_empty() {
+        0.0
+    } else {
+        1.0 - accepted as f64 / reads.len() as f64
+    };
+    stats::gauge_ratio_bp(metrics, "filter.reject_rate_bp", Some(reject_rate));
+    metrics.gauge("filter.rows_issued").set(rows.rows_issued);
+    metrics.gauge("filter.rows_useful").set(rows.rows_useful);
+    stats::gauge_ratio_bp(
+        metrics,
+        "filter.occupancy_bp",
+        (rows.rows_issued > 0).then(|| rows.rows_useful as f64 / rows.rows_issued as f64),
+    );
+    stats::emit(metrics, quiet, metrics_mode);
     Ok(())
 }
 
@@ -638,6 +681,109 @@ mod tests {
             ])
             .unwrap();
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_flags_produce_traces_and_quiet_runs() {
+        let dir = std::env::temp_dir().join(format!("genasm_cli_tele_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        run(vec![
+            "simulate".into(),
+            "--genome-size".into(),
+            "20000".into(),
+            "--count".into(),
+            "4".into(),
+            "--length".into(),
+            "60".into(),
+            "--seed".into(),
+            "7".into(),
+            "--out-prefix".into(),
+            prefix.clone(),
+        ])
+        .unwrap();
+        let reference = format!("{prefix}_ref.fa");
+        let reads = format!("{prefix}_reads.fq");
+
+        // map writes a balanced, non-empty Chrome trace.
+        let trace = format!("{prefix}_map_trace.json");
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            reference.clone(),
+            "--reads".into(),
+            reads.clone(),
+            "--trace-out".into(),
+            trace.clone(),
+            "--metrics".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(body.contains("\"traceEvents\""), "{body}");
+        let begins = body.matches("\"ph\": \"B\"").count();
+        assert!(begins > 0, "trace has no begin events: {body}");
+        assert_eq!(begins, body.matches("\"ph\": \"E\"").count(), "{body}");
+        assert!(body.contains("seed_filter"), "{body}");
+
+        // --quiet runs produce no report but still map (sequential and
+        // batch paths both accept the telemetry flags).
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            reference.clone(),
+            "--reads".into(),
+            reads.clone(),
+            "--pipeline".into(),
+            "sequential".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let btrace = format!("{prefix}_batch_trace.json");
+        run(vec![
+            "batch".into(),
+            "--ref".into(),
+            reference.clone(),
+            "--reads".into(),
+            reads.clone(),
+            "--quiet".into(),
+            "--trace-out".into(),
+            btrace.clone(),
+        ])
+        .unwrap();
+        assert!(std::fs::metadata(&btrace).unwrap().len() > 0);
+
+        // filter records its span and accepts the flags too.
+        let ftrace = format!("{prefix}_filter_trace.json");
+        run(vec![
+            "filter".into(),
+            "--ref".into(),
+            reference.clone(),
+            "--reads".into(),
+            reads.clone(),
+            "--threshold".into(),
+            "20".into(),
+            "--metrics".into(),
+            "json".into(),
+            "--trace-out".into(),
+            ftrace.clone(),
+        ])
+        .unwrap();
+        assert!(std::fs::read_to_string(&ftrace).unwrap().contains("filter"));
+
+        // A bad metrics mode is rejected before any file is read.
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            "missing.fa".into(),
+            "--reads".into(),
+            "missing.fq".into(),
+            "--metrics".into(),
+            "csv".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown metrics mode"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

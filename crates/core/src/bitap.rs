@@ -302,6 +302,35 @@ pub fn find_all_multi_word<A: Alphabet>(
 /// in the window kernel).
 const SCAN_LANES: usize = 4;
 
+/// Row-slot accounting for the batch scans, mirroring the
+/// `dc_rows_issued` / `dc_rows_useful` convention of the align-stage
+/// lane streams: every lock-step text step issues one slot per lane
+/// per recurrence row, and a slot is *useful* when its lane was
+/// loaded with a still-undecided pair at that text position. The gap
+/// is the padding cost of ragged text lengths, early-resolved lanes,
+/// and partially filled groups. Multi-word scalar-fallback pairs
+/// (patterns over 64 characters) count one slot per recurrence word
+/// actually computed (`text steps × rows × ceil(m/64)` words), with
+/// issued = useful — a scalar scan pads nothing — so the row *volume*
+/// of a scan is meaningful on any workload while the issued-useful
+/// gap stays a pure lock-step padding measure. Error pairs contribute
+/// nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanMetrics {
+    /// Lane-slots issued (lanes × recurrence rows, per text step).
+    pub rows_issued: u64,
+    /// Issued slots that advanced a loaded, undecided pair.
+    pub rows_useful: u64,
+}
+
+impl ScanMetrics {
+    /// Fold another scan's counts into this one.
+    pub fn absorb(&mut self, other: ScanMetrics) {
+        self.rows_issued += other.rows_issued;
+        self.rows_useful += other.rows_useful;
+    }
+}
+
 /// [`matches_within`] over a batch of `(text, pattern)` pairs,
 /// processing up to [`SCAN_LANES`] single-word scans in lock step: the
 /// Bitap rows of independent pairs sit in `[u64; LANES]` slots so one
@@ -315,7 +344,20 @@ pub fn matches_within_many<A: Alphabet>(
     pairs: &[(&[u8], &[u8])],
     k: usize,
 ) -> Vec<Result<bool, AlignError>> {
-    batch_scan::<A, SCAN_LANES, true>(pairs, k)
+    let mut metrics = ScanMetrics::default();
+    matches_within_many_counted::<A>(pairs, k, &mut metrics)
+}
+
+/// [`matches_within_many`] that additionally reports lock-step
+/// row-slot accounting into `metrics` (accumulated, not reset), so
+/// the pre-alignment filter stage can surface the same occupancy
+/// figures the align stage already does.
+pub fn matches_within_many_counted<A: Alphabet>(
+    pairs: &[(&[u8], &[u8])],
+    k: usize,
+    metrics: &mut ScanMetrics,
+) -> Vec<Result<bool, AlignError>> {
+    batch_scan::<A, SCAN_LANES, true>(pairs, k, metrics)
         .into_iter()
         .map(|r| r.map(|m| m.is_some()))
         .collect()
@@ -328,7 +370,18 @@ pub fn find_best_many<A: Alphabet>(
     pairs: &[(&[u8], &[u8])],
     k: usize,
 ) -> Vec<Result<Option<BitapMatch>, AlignError>> {
-    batch_scan::<A, SCAN_LANES, false>(pairs, k)
+    let mut metrics = ScanMetrics::default();
+    find_best_many_counted::<A>(pairs, k, &mut metrics)
+}
+
+/// [`find_best_many`] with row-slot accounting, as
+/// [`matches_within_many_counted`].
+pub fn find_best_many_counted<A: Alphabet>(
+    pairs: &[(&[u8], &[u8])],
+    k: usize,
+    metrics: &mut ScanMetrics,
+) -> Vec<Result<Option<BitapMatch>, AlignError>> {
+    batch_scan::<A, SCAN_LANES, false>(pairs, k, metrics)
 }
 
 /// Shared batching driver: groups lock-step-eligible pairs into lanes
@@ -336,25 +389,29 @@ pub fn find_best_many<A: Alphabet>(
 fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
     pairs: &[(&[u8], &[u8])],
     k: usize,
+    metrics: &mut ScanMetrics,
 ) -> Vec<Result<Option<BitapMatch>, AlignError>> {
     let mut results: Vec<Option<Result<Option<BitapMatch>, AlignError>>> = vec![None; pairs.len()];
     let mut group: Vec<usize> = Vec::with_capacity(L);
-    let flush =
-        |group: &mut Vec<usize>,
-         results: &mut Vec<Option<Result<Option<BitapMatch>, AlignError>>>| {
-            if group.is_empty() {
-                return;
-            }
-            let lanes: Vec<(&[u8], &[u8])> = group.iter().map(|&idx| pairs[idx]).collect();
-            for (idx, outcome) in group.drain(..).zip(scan_lockstep::<A, L, EARLY>(&lanes, k)) {
-                results[idx] = Some(outcome);
-            }
-        };
+    let flush = |group: &mut Vec<usize>,
+                 results: &mut Vec<Option<Result<Option<BitapMatch>, AlignError>>>,
+                 metrics: &mut ScanMetrics| {
+        if group.is_empty() {
+            return;
+        }
+        let lanes: Vec<(&[u8], &[u8])> = group.iter().map(|&idx| pairs[idx]).collect();
+        for (idx, outcome) in group
+            .drain(..)
+            .zip(scan_lockstep::<A, L, EARLY>(&lanes, k, metrics))
+        {
+            results[idx] = Some(outcome);
+        }
+    };
     for (idx, &(text, pattern)) in pairs.iter().enumerate() {
         if pattern.is_empty() || pattern.len() > 64 || text.is_empty() {
             // Scalar fallback: multi-word patterns, plus error cases so
             // the scalar path reports them verbatim.
-            results[idx] = Some(if EARLY {
+            let outcome = if EARLY {
                 matches_within::<A>(text, pattern, k).map(|hit| {
                     hit.then_some(BitapMatch {
                         position: 0,
@@ -363,15 +420,26 @@ fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
                 })
             } else {
                 find_best::<A>(text, pattern, k)
-            });
+            };
+            if outcome.is_ok() {
+                // The multi-word scan runs every text step to the end
+                // (no early exit), so its recurrence-word volume is
+                // exact: steps x rows x words, fully useful.
+                let words = pattern.len().div_ceil(64) as u64;
+                let rows = (clamp_threshold(k, pattern.len()) + 1) as u64;
+                let slots = text.len() as u64 * rows * words;
+                metrics.rows_issued += slots;
+                metrics.rows_useful += slots;
+            }
+            results[idx] = Some(outcome);
         } else {
             group.push(idx);
             if group.len() == L {
-                flush(&mut group, &mut results);
+                flush(&mut group, &mut results, metrics);
             }
         }
     }
-    flush(&mut group, &mut results);
+    flush(&mut group, &mut results, metrics);
     results
         .into_iter()
         .map(|slot| slot.expect("every pair is scanned exactly once"))
@@ -391,6 +459,7 @@ fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
 fn scan_lockstep<A: Alphabet, const L: usize, const EARLY: bool>(
     lanes: &[(&[u8], &[u8])],
     k: usize,
+    metrics: &mut ScanMetrics,
 ) -> Vec<Result<Option<BitapMatch>, AlignError>> {
     use crate::dc::boundary_state;
     assert!(!lanes.is_empty() && lanes.len() <= L);
@@ -448,6 +517,15 @@ fn scan_lockstep<A: Alphabet, const L: usize, const EARLY: bool>(
         }
         if undecided == 0 {
             break;
+        }
+        // Row-slot accounting: this step computes `k_rows + 1` rows
+        // across all `L` lanes; a slot is useful when its lane holds a
+        // loaded, still-undecided pair at this text position.
+        metrics.rows_issued += ((k_rows + 1) * L) as u64;
+        for (lane, &(text, _)) in lanes.iter().enumerate() {
+            if outcomes[lane].is_none() && i < text.len() {
+                metrics.rows_useful += (ks[lane] + 1) as u64;
+            }
         }
         std::mem::swap(&mut r, &mut old_r);
         for lane in 0..L {
@@ -696,6 +774,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The counted scans report consistent row-slot accounting: issued
+    /// bounds useful, counters accumulate across calls, multi-word
+    /// scalar-fallback pairs count their exact word volume, and a full
+    /// lane group of equal-length never-resolving pairs reaches 100%
+    /// occupancy.
+    #[test]
+    fn counted_scans_report_row_slots() {
+        let texts: Vec<Vec<u8>> = (0..4).map(|_| b"AAAAAAAAAAAAAAAA".to_vec()).collect();
+        let full_group: Vec<(&[u8], &[u8])> = texts
+            .iter()
+            .map(|t| (t.as_slice(), b"TTTT".as_slice()))
+            .collect();
+        let mut metrics = ScanMetrics::default();
+        let results = matches_within_many_counted::<Dna>(&full_group, 1, &mut metrics);
+        assert!(results.iter().all(|r| r == &Ok(false)));
+        // 4 equal-length lanes, none resolving: every issued slot is
+        // useful (16 steps x 2 rows x 4 lanes).
+        assert_eq!(metrics.rows_issued, 16 * 2 * 4);
+        assert_eq!(metrics.rows_useful, metrics.rows_issued);
+
+        // A second call accumulates rather than resets.
+        let before = metrics;
+        let _ = matches_within_many_counted::<Dna>(&full_group[..1], 1, &mut metrics);
+        assert!(metrics.rows_issued > before.rows_issued);
+        // A partially filled group pads the missing lanes: issued
+        // exceeds useful.
+        assert!(metrics.rows_useful < metrics.rows_issued);
+
+        // Multi-word scalar fallbacks count their exact recurrence-word
+        // volume, fully useful (a scalar scan pads nothing); error
+        // pairs contribute nothing.
+        let long = dna(80, 3);
+        let scalar_pairs: Vec<(&[u8], &[u8])> =
+            vec![(texts[0].as_slice(), long.as_slice()), (b"", b"ACGT")];
+        let mut scalar_metrics = ScanMetrics::default();
+        let _ = matches_within_many_counted::<Dna>(&scalar_pairs, 1, &mut scalar_metrics);
+        // 16 text steps x (k=1 -> 2 rows) x ceil(80/64)=2 words.
+        assert_eq!(scalar_metrics.rows_issued, 16 * 2 * 2);
+        assert_eq!(scalar_metrics.rows_useful, scalar_metrics.rows_issued);
+
+        // find_best's counted variant accounts the same way.
+        let mut best_metrics = ScanMetrics::default();
+        let _ = find_best_many_counted::<Dna>(&full_group, 1, &mut best_metrics);
+        assert_eq!(best_metrics.rows_issued, 16 * 2 * 4);
     }
 
     #[test]

@@ -117,10 +117,34 @@ impl PreAlignmentFilter {
         bitap::matches_within_many::<Dna>(pairs, self.threshold)
     }
 
+    /// [`accepts_many`](Self::accepts_many) that additionally
+    /// accumulates lock-step row-slot accounting into `metrics` (see
+    /// [`bitap::ScanMetrics`]) — the filter-stage occupancy figures
+    /// the mapper surfaces next to the align stage's.
+    pub fn accepts_many_counted(
+        &self,
+        pairs: &[(&[u8], &[u8])],
+        metrics: &mut bitap::ScanMetrics,
+    ) -> Vec<Result<bool, AlignError>> {
+        bitap::matches_within_many_counted::<Dna>(pairs, self.threshold, metrics)
+    }
+
     /// [`decide`](Self::decide) over a batch of candidate pairs,
     /// lock-stepped like [`accepts_many`](Self::accepts_many).
     pub fn decide_many(&self, pairs: &[(&[u8], &[u8])]) -> Vec<Result<FilterDecision, AlignError>> {
-        bitap::find_best_many::<Dna>(pairs, self.threshold)
+        let mut metrics = bitap::ScanMetrics::default();
+        self.decide_many_counted(pairs, &mut metrics)
+    }
+
+    /// [`decide_many`](Self::decide_many) that additionally accumulates
+    /// lock-step row-slot accounting into `metrics` (see
+    /// [`bitap::ScanMetrics`]).
+    pub fn decide_many_counted(
+        &self,
+        pairs: &[(&[u8], &[u8])],
+        metrics: &mut bitap::ScanMetrics,
+    ) -> Vec<Result<FilterDecision, AlignError>> {
+        bitap::find_best_many_counted::<Dna>(pairs, self.threshold, metrics)
             .into_iter()
             .map(|r| {
                 r.map(|best| FilterDecision {

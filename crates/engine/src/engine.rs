@@ -3,10 +3,13 @@
 
 use crate::job::{DistanceJob, Job, KeyedDistance, KeyedResult};
 use crate::kernel::{DcDispatch, GenAsmKernel, Kernel, KernelScratch, LaneCount};
+use crate::lockstep::LockstepScratch;
+use crate::obs::{WorkerObs, CHUNK_LATENCY_HISTOGRAM, JOB_LATENCY_HISTOGRAM};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
 use genasm_core::align::{Alignment, GenAsmConfig};
 use genasm_core::error::AlignError;
+use genasm_obs::{Histogram, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -98,6 +101,7 @@ impl EngineConfig {
 pub struct Engine {
     config: EngineConfig,
     kernel: Arc<dyn Kernel>,
+    telemetry: Telemetry,
 }
 
 /// Aggregate worker-pool meters one pooled batch collects besides its
@@ -117,6 +121,7 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("config", &self.config)
             .field("kernel", &self.kernel.name())
+            .field("telemetry", &self.telemetry)
             .finish()
     }
 }
@@ -136,12 +141,37 @@ impl Engine {
                 .with_dispatch(config.dispatch)
                 .with_lanes(config.lanes),
         );
-        Engine { config, kernel }
+        Engine {
+            config,
+            kernel,
+            telemetry: Telemetry::default(),
+        }
     }
 
     /// An engine running a custom kernel.
     pub fn with_kernel(config: EngineConfig, kernel: Arc<dyn Kernel>) -> Self {
-        Engine { config, kernel }
+        Engine {
+            config,
+            kernel,
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Attaches a telemetry handle: workers record spans
+    /// (claim/dc/tb/drain, trace tids `1 + worker`), true per-job and
+    /// per-chunk latency histograms
+    /// ([`JOB_LATENCY_HISTOGRAM`]/[`CHUNK_LATENCY_HISTOGRAM`]) and
+    /// `engine.jobs`/`engine.batches` counters into it. The default
+    /// handle is fully disabled, costing one atomic load per batch.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The engine's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The engine configuration.
@@ -202,6 +232,7 @@ impl Engine {
                 },
             };
         }
+        let (chunk_hist, job_hist) = self.batch_histograms(jobs.len());
         let (results, meters) = self.run_pool(
             jobs.len(),
             |kernel, scratch, range, produced, busy, max_job| {
@@ -209,12 +240,16 @@ impl Engine {
                 let t0 = Instant::now();
                 if let Some(results) = kernel.align_chunk(chunk_jobs, scratch) {
                     // Batched scheduling interleaves jobs within the
-                    // chunk, so per-job latency is not separable;
-                    // account the chunk mean (keeps busy >= max_job >=
-                    // mean).
+                    // chunk, so the wall-clock chunk mean is a lower
+                    // bound for max_job (kept for compatibility); the
+                    // exact per-job latencies land in the telemetry
+                    // histogram via the scheduler's WorkerObs.
                     let took = t0.elapsed();
                     *busy += took;
                     *max_job = (*max_job).max(took / chunk_jobs.len() as u32);
+                    if let Some(h) = &chunk_hist {
+                        h.record_duration(took);
+                    }
                     produced.extend(range.zip(results));
                 } else {
                     for (offset, job) in chunk_jobs.iter().enumerate() {
@@ -223,7 +258,13 @@ impl Engine {
                         let took = t0.elapsed();
                         *busy += took;
                         *max_job = (*max_job).max(took);
+                        if let Some(h) = &job_hist {
+                            h.record_duration(took);
+                        }
                         produced.push((range.start + offset, result));
+                    }
+                    if let Some(h) = &chunk_hist {
+                        h.record_duration(t0.elapsed());
                     }
                 }
             },
@@ -268,6 +309,7 @@ impl Engine {
             };
             return (Vec::new(), stats);
         }
+        let (chunk_hist, _) = self.batch_histograms(jobs.len());
         let (scanned, meters) = self.run_pool(
             jobs.len(),
             |kernel, scratch, range, produced, busy, max_job| {
@@ -277,6 +319,9 @@ impl Engine {
                     let took = t0.elapsed();
                     *busy += took;
                     *max_job = (*max_job).max(took / chunk_jobs.len() as u32);
+                    if let Some(h) = &chunk_hist {
+                        h.record_duration(took);
+                    }
                     produced.extend(range.zip(results));
                 } else {
                     for (offset, job) in chunk_jobs.iter().enumerate() {
@@ -286,6 +331,9 @@ impl Engine {
                         *busy += took;
                         *max_job = (*max_job).max(took);
                         produced.push((range.start + offset, result));
+                    }
+                    if let Some(h) = &chunk_hist {
+                        h.record_duration(t0.elapsed());
                     }
                 }
             },
@@ -312,6 +360,23 @@ impl Engine {
             dc_distance_jobs: jobs.len() as u64,
         };
         (results, stats)
+    }
+
+    /// Batch-level metric handles: bumps the `engine.batches` /
+    /// `engine.jobs` counters and returns the chunk- and job-latency
+    /// histogram handles, or `(None, None)` when metrics are disabled
+    /// (so the hot loop pays nothing, not even a registry lookup).
+    fn batch_histograms(&self, jobs: usize) -> (Option<Histogram>, Option<Histogram>) {
+        if !self.telemetry.metrics.is_enabled() {
+            return (None, None);
+        }
+        let metrics = &self.telemetry.metrics;
+        metrics.counter("engine.batches").incr();
+        metrics.counter("engine.jobs").add(jobs as u64);
+        (
+            Some(metrics.histogram(CHUNK_LATENCY_HISTOGRAM)),
+            Some(metrics.histogram(JOB_LATENCY_HISTOGRAM)),
+        )
     }
 
     /// The shared worker-pool driver behind
@@ -358,17 +423,36 @@ impl Engine {
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let cursor = &cursor;
                     let kernel = &*self.kernel;
                     let work = &work;
+                    let telemetry = &self.telemetry;
                     scope.spawn(move || {
+                        // Trace tid 0 is the coordinator (the mapper);
+                        // engine workers claim 1 + worker_index.
+                        let tid = 1 + worker as u32;
                         let mut scratch = kernel.new_scratch();
+                        if let Some(ls) = scratch.as_any_mut().downcast_mut::<LockstepScratch>() {
+                            ls.obs = WorkerObs::new(telemetry, tid);
+                        }
+                        // Queue-access markers; the per-chunk work shows
+                        // up as the scheduler's dc/tb/drain spans.
+                        let mut claims = telemetry
+                            .tracer
+                            .is_enabled()
+                            .then(|| telemetry.tracer.buffer(tid));
                         let mut produced: Vec<(usize, R)> = Vec::new();
                         let mut busy = Duration::ZERO;
                         let mut max_job = Duration::ZERO;
                         loop {
+                            if let Some(c) = claims.as_mut() {
+                                c.begin("claim");
+                            }
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if let Some(c) = claims.as_mut() {
+                                c.end("claim");
+                            }
                             if start >= count {
                                 break;
                             }
@@ -584,6 +668,77 @@ mod tests {
             );
             assert!(output.stats.tb_rows >= output.stats.tb_windows);
         }
+    }
+
+    #[test]
+    fn telemetry_records_jobs_spans_and_latencies() {
+        use crate::obs::{CHUNK_LATENCY_HISTOGRAM, JOB_LATENCY_HISTOGRAM};
+        let jobs = jobs();
+        let telemetry = Telemetry::enabled();
+        let engine =
+            Engine::new(EngineConfig::default().with_workers(2)).with_telemetry(telemetry.clone());
+        let results = engine.align_batch(&jobs);
+        assert!(results.iter().all(Result::is_ok));
+
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(snapshot.counter("engine.batches"), Some(1));
+        assert_eq!(snapshot.counter("engine.jobs"), Some(jobs.len() as u64));
+        // Every job retires through a scheduler lane exactly once, so
+        // the per-job histogram holds the true per-job latencies — not
+        // a chunk-mean lower bound.
+        let job_hist = snapshot
+            .histogram(JOB_LATENCY_HISTOGRAM)
+            .expect("job latency histogram exists");
+        assert_eq!(job_hist.count, jobs.len() as u64);
+        assert!(job_hist.p50() <= job_hist.p99());
+        let chunk_hist = snapshot
+            .histogram(CHUNK_LATENCY_HISTOGRAM)
+            .expect("chunk latency histogram exists");
+        assert!(chunk_hist.count > 0);
+
+        // Workers emitted claim spans plus scheduler dc/tb spans, all
+        // begin/end balanced.
+        let events = telemetry.tracer.take_events();
+        assert!(!events.is_empty());
+        let mut names: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+        for event in &events {
+            assert!(event.tid >= 1, "engine workers use tids >= 1");
+            let slot = names.entry(event.name).or_default();
+            match event.phase {
+                genasm_obs::Phase::Begin => slot.0 += 1,
+                genasm_obs::Phase::End => slot.1 += 1,
+            }
+        }
+        for (name, (begins, ends)) in &names {
+            assert_eq!(begins, ends, "span {name} must balance");
+        }
+        assert!(names.contains_key("claim"));
+        assert!(names.contains_key("dc"));
+        assert!(names.contains_key("tb"));
+
+        // A second batch on the same telemetry accumulates.
+        engine.align_batch(&jobs);
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(snapshot.counter("engine.batches"), Some(2));
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let jobs = jobs();
+        let telemetry = Telemetry::off();
+        let engine =
+            Engine::new(EngineConfig::default().with_workers(2)).with_telemetry(telemetry.clone());
+        engine.align_batch(&jobs);
+        engine.distance_batch_keyed(
+            &jobs
+                .iter()
+                .map(|j| DistanceJob::new(&j.text, &j.pattern, j.pattern.len()))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(telemetry.tracer.event_count(), 0);
+        let snapshot = telemetry.metrics.snapshot();
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.histograms.is_empty());
     }
 
     #[test]

@@ -341,17 +341,18 @@ impl Kernel for GenAsmKernel {
             multi8,
             scalar,
             tb,
+            obs,
             ..
         } = ls;
         Some(match (self.dispatch, self.lane_width()) {
             (DcDispatch::Chunked, 8) => {
-                lockstep::align_chunk_chunked(config, jobs, multi8, scalar, tb)
+                lockstep::align_chunk_chunked(config, jobs, multi8, scalar, tb, obs)
             }
             (DcDispatch::Chunked, _) => {
-                lockstep::align_chunk_chunked(config, jobs, multi4, scalar, tb)
+                lockstep::align_chunk_chunked(config, jobs, multi4, scalar, tb, obs)
             }
-            (_, 8) => lockstep::align_chunk_streaming(config, jobs, stream8, scalar, tb),
-            (_, _) => lockstep::align_chunk_streaming(config, jobs, stream4, scalar, tb),
+            (_, 8) => lockstep::align_chunk_streaming(config, jobs, stream8, scalar, tb, obs),
+            (_, _) => lockstep::align_chunk_streaming(config, jobs, stream4, scalar, tb, obs),
         })
     }
 
@@ -388,11 +389,19 @@ impl Kernel for GenAsmKernel {
             .as_any_mut()
             .downcast_mut::<LockstepScratch>()
             .expect("lock-step dispatch requires LockstepScratch");
-        Some(if self.lane_width() == 8 {
+        // Distance-only scans are pure DC: one span covers the chunk.
+        if let Some(o) = ls.obs.as_mut() {
+            o.spans.begin("dc");
+        }
+        let results = if self.lane_width() == 8 {
             lockstep::distance_chunk_streaming(jobs, &mut ls.dstream8)
         } else {
             lockstep::distance_chunk_streaming(jobs, &mut ls.dstream4)
-        })
+        };
+        if let Some(o) = ls.obs.as_mut() {
+            o.spans.end("dc");
+        }
+        Some(results)
     }
 
     fn preferred_chunk(&self) -> usize {

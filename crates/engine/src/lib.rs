@@ -57,6 +57,7 @@ pub mod engine;
 pub mod job;
 pub mod kernel;
 pub mod lockstep;
+pub mod obs;
 pub mod stats;
 pub mod stream;
 
@@ -64,5 +65,6 @@ pub use engine::{Engine, EngineConfig};
 pub use job::{DistanceJob, Job, KeyedDistance, KeyedResult};
 pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, LaneCount};
 pub use lockstep::LockstepScratch;
+pub use obs::WorkerObs;
 pub use stats::{lane_occupancy_ratio, BatchOutput, BatchStats};
 pub use stream::EngineStream;

@@ -29,6 +29,7 @@
 //! on the same arena-backed kernels.
 
 use crate::job::{DistanceJob, Job};
+use crate::obs::{retire_job, stamp_job, WorkerObs};
 use genasm_core::align::{
     block_occurrence_distance_into, drive_window_walk, AlignArena, Alignment, AlignmentMode,
     GenAsmConfig, WindowKernel, WindowStats, WindowWalk,
@@ -40,6 +41,7 @@ use genasm_core::dc_multi::{
 };
 use genasm_core::error::AlignError;
 use genasm_core::tb::{TbWalker, TracebackSource};
+use std::time::Instant;
 
 /// Windows processed per lock-step DC pass under the default (4-lane)
 /// configuration; see [`LaneCount`](crate::kernel::LaneCount) for the
@@ -89,6 +91,11 @@ pub struct LockstepScratch {
     pub(crate) dstream8: DcLaneStream<8>,
     pub(crate) scalar: AlignArena,
     pub(crate) tb: TbCounters,
+    /// Per-worker telemetry installed by the engine when its
+    /// [`Telemetry`](genasm_obs::Telemetry) has anything enabled;
+    /// `None` (the default) keeps every scheduler's instrumentation
+    /// down to one `Option` check.
+    pub(crate) obs: Option<WorkerObs>,
 }
 
 impl Default for LockstepScratch {
@@ -102,6 +109,7 @@ impl Default for LockstepScratch {
             dstream8: DcLaneStream::occurrence_scan(),
             scalar: AlignArena::new(),
             tb: TbCounters::default(),
+            obs: None,
         }
     }
 }
@@ -152,10 +160,13 @@ pub(crate) fn align_job_scalar(
     Ok(walk.finish())
 }
 
-/// One in-flight job: its index in the chunk and its window walk.
+/// One in-flight job: its index in the chunk and its window walk,
+/// plus its entry timestamp when per-job latency is being measured
+/// (`None` when telemetry is off — no clock reads on the plain path).
 struct Active<'j> {
     idx: usize,
     walk: WindowWalk<'j>,
+    started: Option<Instant>,
 }
 
 /// One traceback waiting in the drain queue: the lane whose window
@@ -174,16 +185,21 @@ struct StreamRun<'j, 's, const L: usize> {
     stream: &'s mut DcLaneStream<L>,
     scalar: &'s mut AlignArena,
     tb: &'s mut TbCounters,
+    obs: &'s mut Option<WorkerObs>,
     slots: Vec<Option<Active<'j>>>,
     results: Vec<Option<Result<Alignment, AlignError>>>,
     next_job: usize,
+    /// When tracing, the instant the rolling job queue first ran dry —
+    /// the start of the tail-drain phase the "drain" span covers.
+    drained_at: Option<Instant>,
 }
 
 impl<'j, const L: usize> StreamRun<'j, '_, L> {
     /// Resolves the job in `lane` with an error, retiring its walk.
     fn fail(&mut self, lane: usize, e: AlignError) {
-        let Active { idx, walk } = self.slots[lane].take().expect("slot is active");
+        let Active { idx, walk, started } = self.slots[lane].take().expect("slot is active");
         self.tb.absorb(walk.stats());
+        retire_job(self.obs, started);
         self.results[idx] = Some(Err(e));
     }
 
@@ -254,7 +270,8 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                     let job = &self.jobs[idx];
                     match WindowWalk::new(self.config, &job.text, &job.pattern) {
                         Ok(walk) => {
-                            self.slots[lane] = Some(Active { idx, walk });
+                            let started = stamp_job(self.obs);
+                            self.slots[lane] = Some(Active { idx, walk, started });
                             pulled = true;
                             break;
                         }
@@ -262,6 +279,11 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                     }
                 }
                 if !pulled {
+                    if self.drained_at.is_none()
+                        && self.obs.as_ref().is_some_and(|o| o.spans.is_enabled())
+                    {
+                        self.drained_at = Some(Instant::now());
+                    }
                     self.stream.release_lane(lane);
                     return;
                 }
@@ -269,19 +291,26 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
             let active = self.slots[lane].as_mut().expect("lane was just filled");
             match active.walk.next_window() {
                 None => {
-                    let Active { idx, walk } = self.slots[lane].take().expect("slot is active");
+                    let Active { idx, walk, started } =
+                        self.slots[lane].take().expect("slot is active");
                     self.tb.absorb(walk.stats());
+                    retire_job(self.obs, started);
                     self.results[idx] = Some(Ok(walk.finish()));
                 }
                 Some(req) if req.global_final => {
                     // Unreachable for eligible configs (semiglobal mode
                     // never emits a global-final window); drain the
                     // straggler scalar, defensively.
-                    let Active { idx, mut walk } = self.slots[lane].take().expect("slot is active");
+                    let Active {
+                        idx,
+                        mut walk,
+                        started,
+                    } = self.slots[lane].take().expect("slot is active");
                     let driven = walk
                         .apply_global_final::<Dna>(self.scalar)
                         .and_then(|()| drive_window_walk::<Dna>(&mut walk, self.scalar));
                     self.tb.absorb(walk.stats());
+                    retire_job(self.obs, started);
                     self.results[idx] = Some(driven.map(|()| walk.finish()));
                 }
                 Some(req) => {
@@ -317,46 +346,92 @@ pub(crate) fn align_chunk_streaming<const L: usize>(
     stream: &mut DcLaneStream<L>,
     scalar: &mut AlignArena,
     tb: &mut TbCounters,
+    obs: &mut Option<WorkerObs>,
 ) -> Vec<Result<Alignment, AlignError>> {
     if !lockstep_eligible(config) {
-        return jobs
-            .iter()
-            .map(|job| align_job_scalar(config, &job.text, &job.pattern, scalar, tb))
-            .collect();
+        return align_chunk_fallback(config, jobs, scalar, tb, obs);
     }
 
+    let tracing = obs.as_ref().is_some_and(|o| o.spans.is_enabled());
     let mut run = StreamRun {
         config,
         jobs,
         stream,
         scalar,
         tb,
+        obs,
         slots: std::iter::repeat_with(|| None).take(L).collect(),
         results: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
         next_job: 0,
+        drained_at: None,
     };
     let mut tb_queue: Vec<TbTask> = Vec::with_capacity(L);
     for lane in 0..L {
         run.feed(lane, &mut tb_queue);
     }
     let mut resolved = Vec::with_capacity(L);
+    // When tracing, a "dc" span covers each contiguous run of DC steps
+    // (from the first step after a refill until a lane resolves) —
+    // per-step spans would be far too fine to read in a trace viewer.
+    let mut dc_started: Option<Instant> = None;
     while run.stream.active_lanes() > 0 {
+        if tracing && dc_started.is_none() {
+            dc_started = Some(Instant::now());
+        }
         resolved.clear();
         run.stream.step(&mut resolved);
+        if resolved.is_empty() {
+            continue;
+        }
+        if let Some(o) = run.obs.as_mut() {
+            if let Some(t0) = dc_started.take() {
+                o.spans.span_from("dc", t0);
+            }
+            o.spans.begin("tb");
+        }
         // Collect every traceback this step produced, drain them as one
         // batch, then refill the freed lanes.
         for &lane in &resolved {
             run.collect_traceback(lane, &mut tb_queue);
         }
         run.drain_tracebacks(&mut tb_queue);
+        if let Some(o) = run.obs.as_mut() {
+            o.spans.end("tb");
+        }
         for &lane in &resolved {
             run.feed(lane, &mut tb_queue);
         }
+    }
+    // The tail drain — from the moment the job queue ran dry until the
+    // last lane resolved — recorded retroactively as one span.
+    if let (Some(t0), Some(o)) = (run.drained_at, run.obs.as_mut()) {
+        o.spans.span_from("drain", t0);
     }
 
     run.results
         .into_iter()
         .map(|slot| slot.expect("every job in the chunk is resolved"))
+        .collect()
+}
+
+/// Scalar wholesale fallback for configurations outside the lock-step
+/// domain, shared by both chunk schedulers; per-job latencies are
+/// still recorded when telemetry asks for them (here each job really
+/// does run start-to-finish on its own).
+fn align_chunk_fallback(
+    config: &GenAsmConfig,
+    jobs: &[Job],
+    scalar: &mut AlignArena,
+    tb: &mut TbCounters,
+    obs: &mut Option<WorkerObs>,
+) -> Vec<Result<Alignment, AlignError>> {
+    jobs.iter()
+        .map(|job| {
+            let started = stamp_job(obs);
+            let result = align_job_scalar(config, &job.text, &job.pattern, scalar, tb);
+            retire_job(obs, started);
+            result
+        })
         .collect()
 }
 
@@ -373,12 +448,10 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
     multi: &mut MultiDcArena<L>,
     scalar: &mut AlignArena,
     tb: &mut TbCounters,
+    obs: &mut Option<WorkerObs>,
 ) -> Vec<Result<Alignment, AlignError>> {
     if !lockstep_eligible(config) {
-        return jobs
-            .iter()
-            .map(|job| align_job_scalar(config, &job.text, &job.pattern, scalar, tb))
-            .collect();
+        return align_chunk_fallback(config, jobs, scalar, tb, obs);
     }
 
     let mut results: Vec<Option<Result<Alignment, AlignError>>> = Vec::new();
@@ -397,7 +470,10 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
                 next_job += 1;
                 let job = &jobs[idx];
                 match WindowWalk::new(config, &job.text, &job.pattern) {
-                    Ok(walk) => *slot = Some(Active { idx, walk }),
+                    Ok(walk) => {
+                        let started = stamp_job(obs);
+                        *slot = Some(Active { idx, walk, started });
+                    }
                     Err(e) => results[idx] = Some(Err(e)),
                 }
             }
@@ -412,19 +488,26 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
             };
             match active.walk.next_window() {
                 None => {
-                    let Active { idx, walk } = slots[slot_idx].take().expect("slot is active");
+                    let Active { idx, walk, started } =
+                        slots[slot_idx].take().expect("slot is active");
                     tb.absorb(walk.stats());
                     results[idx] = Some(Ok(walk.finish()));
+                    retire_job(obs, started);
                 }
                 Some(req) if req.global_final => {
                     // Unreachable for eligible configs; drain the
                     // straggler scalar, defensively.
-                    let Active { idx, mut walk } = slots[slot_idx].take().expect("slot is active");
+                    let Active {
+                        idx,
+                        mut walk,
+                        started,
+                    } = slots[slot_idx].take().expect("slot is active");
                     let driven = walk
                         .apply_global_final::<Dna>(scalar)
                         .and_then(|()| drive_window_walk::<Dna>(&mut walk, scalar));
                     tb.absorb(walk.stats());
                     results[idx] = Some(driven.map(|()| walk.finish()));
+                    retire_job(obs, started);
                 }
                 Some(req) => {
                     inputs.push(MultiLane {
@@ -446,7 +529,14 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
         }
 
         // One lock-step DC pass advances every gathered window.
+        if let Some(o) = obs.as_mut() {
+            o.spans.begin("dc");
+        }
         window_dc_multi_into::<Dna, L>(&inputs, multi);
+        if let Some(o) = obs.as_mut() {
+            o.spans.end("dc");
+            o.spans.begin("tb");
+        }
         for (lane, &slot_idx) in input_slots.iter().enumerate() {
             let outcome = multi.outcomes()[lane].clone();
             let active = slots[slot_idx]
@@ -457,10 +547,14 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
                 Err(e) => Err(e),
             };
             if let Err(e) = step {
-                let Active { idx, walk } = slots[slot_idx].take().expect("slot is active");
+                let Active { idx, walk, started } = slots[slot_idx].take().expect("slot is active");
                 tb.absorb(walk.stats());
                 results[idx] = Some(Err(e));
+                retire_job(obs, started);
             }
+        }
+        if let Some(o) = obs.as_mut() {
+            o.spans.end("tb");
         }
     }
 
@@ -712,6 +806,7 @@ mod tests {
                 &mut scratch.stream4,
                 &mut scratch.scalar,
                 &mut scratch.tb,
+                &mut scratch.obs,
             );
             assert_eq!(results.len(), jobs.len());
             for (job, result) in jobs.iter().zip(&results) {
@@ -724,6 +819,7 @@ mod tests {
                 &mut scratch.stream8,
                 &mut scratch.scalar,
                 &mut scratch.tb,
+                &mut scratch.obs,
             );
             assert_eq!(results, eight, "count={count} at 8 lanes");
         }
@@ -742,6 +838,7 @@ mod tests {
                 &mut scratch.multi4,
                 &mut scratch.scalar,
                 &mut scratch.tb,
+                &mut scratch.obs,
             );
             assert_eq!(results.len(), jobs.len());
             for (job, result) in jobs.iter().zip(&results) {
@@ -764,6 +861,7 @@ mod tests {
             &mut scratch.stream4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         let chunked = align_chunk_chunked(
             &config,
@@ -771,6 +869,7 @@ mod tests {
             &mut scratch.multi4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         for results in [&streaming, &chunked] {
             assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
@@ -792,6 +891,7 @@ mod tests {
             &mut scratch.multi4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         let (chunked_issued, chunked_useful) = scratch.take_row_counters();
         align_chunk_streaming(
@@ -800,6 +900,7 @@ mod tests {
             &mut scratch.stream4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         let (stream_issued, stream_useful) = scratch.take_row_counters();
         let chunked_occ = chunked_useful as f64 / chunked_issued as f64;
@@ -904,6 +1005,7 @@ mod tests {
             &mut scratch.stream4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         let (stream_windows, stream_rows) = scratch.tb.take();
         assert!(stream_windows > 0 && stream_rows >= stream_windows);
@@ -914,6 +1016,7 @@ mod tests {
             &mut scratch.multi4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         let chunked = scratch.tb.take();
         assert_eq!((stream_windows, stream_rows), chunked);
@@ -951,6 +1054,7 @@ mod tests {
             &mut scratch.stream4,
             &mut scratch.scalar,
             &mut scratch.tb,
+            &mut scratch.obs,
         );
         for (job, result) in jobs.iter().zip(&results) {
             let expected = aligner.align(&job.text, &job.pattern).unwrap();

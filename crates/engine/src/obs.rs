@@ -1,0 +1,75 @@
+//! Per-worker telemetry state for the engine's schedulers.
+//!
+//! The engine installs a [`WorkerObs`] into each worker's
+//! [`LockstepScratch`](crate::LockstepScratch) when its
+//! [`Telemetry`](genasm_obs::Telemetry) handle has anything enabled,
+//! giving the lock-step schedulers a span buffer (tagged with the
+//! worker's trace tid) and the true per-job latency histogram without
+//! widening the [`Kernel`](crate::Kernel) trait. When telemetry is
+//! fully disabled — the default — no `WorkerObs` exists and the
+//! schedulers' instrumentation reduces to an `Option` check.
+
+use genasm_obs::{Histogram, SpanBuffer, Telemetry};
+use std::time::Instant;
+
+/// Name of the true per-job latency histogram the engine records
+/// (microseconds; one observation per retired full-alignment job).
+pub const JOB_LATENCY_HISTOGRAM: &str = "engine.job_latency_us";
+
+/// Name of the per-chunk latency histogram (microseconds; one
+/// observation per claimed work-queue chunk).
+pub const CHUNK_LATENCY_HISTOGRAM: &str = "engine.chunk_latency_us";
+
+/// Telemetry state one engine worker threads through its scratch.
+#[derive(Debug)]
+pub struct WorkerObs {
+    /// Span buffer tagged with the worker's trace tid; events flush
+    /// into the shared tracer when the scratch drops at batch end.
+    pub spans: SpanBuffer,
+    /// True per-job latency histogram
+    /// ([`JOB_LATENCY_HISTOGRAM`]): jobs are stamped when they enter
+    /// a scheduler lane and recorded when they retire, so lock-step
+    /// interleaving no longer hides individual job latency behind a
+    /// chunk mean.
+    pub job_latency: Histogram,
+}
+
+impl WorkerObs {
+    /// Builds worker state for trace thread `tid`, or `None` when the
+    /// telemetry handle has nothing enabled (the schedulers then skip
+    /// all instrumentation via one `Option` check).
+    pub fn new(telemetry: &Telemetry, tid: u32) -> Option<Self> {
+        if !telemetry.is_enabled() {
+            return None;
+        }
+        Some(WorkerObs {
+            spans: telemetry.tracer.buffer(tid),
+            job_latency: telemetry.metrics.histogram(JOB_LATENCY_HISTOGRAM),
+        })
+    }
+
+    /// `true` when per-job latencies should be stamped (metrics half
+    /// enabled) — callers skip the `Instant::now()` otherwise.
+    #[inline]
+    pub fn time_jobs(&self) -> bool {
+        self.job_latency.is_enabled()
+    }
+}
+
+/// Stamp a job's start time if (and only if) an enabled `WorkerObs`
+/// wants per-job latencies; pairs with [`retire_job`].
+#[inline]
+pub(crate) fn stamp_job(obs: &Option<WorkerObs>) -> Option<Instant> {
+    match obs {
+        Some(o) if o.time_jobs() => Some(Instant::now()),
+        _ => None,
+    }
+}
+
+/// Record a retiring job's latency when it was stamped.
+#[inline]
+pub(crate) fn retire_job(obs: &mut Option<WorkerObs>, started: Option<Instant>) {
+    if let (Some(o), Some(t0)) = (obs.as_mut(), started) {
+        o.job_latency.record_duration(t0.elapsed());
+    }
+}

@@ -23,7 +23,13 @@ pub struct BatchStats {
     /// Slowest single job under per-job (scalar) dispatch. Batched
     /// lock-step chunks interleave their jobs, so there this records
     /// the largest per-chunk mean instead — a lower bound on the
-    /// slowest job, not its exact latency.
+    /// slowest job. For exact per-job latencies (and percentiles)
+    /// under any dispatch, attach a [`Telemetry`](genasm_obs::Telemetry)
+    /// handle via [`Engine::with_telemetry`](crate::Engine::with_telemetry):
+    /// the schedulers stamp each job as it enters a lane and record
+    /// its true latency into the
+    /// [`JOB_LATENCY_HISTOGRAM`](crate::obs::JOB_LATENCY_HISTOGRAM)
+    /// when it retires.
     pub max_job: Duration,
     /// Lock-step DC lane-slots issued across all workers (every
     /// full-width recurrence row issues one slot per lane). Zero under

@@ -31,15 +31,24 @@ use crate::seed::{SeedScratch, Seeder};
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_baselines::shouji::ShoujiFilter;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
+use genasm_core::bitap::ScanMetrics;
 use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
 use genasm_engine::{
     DcDispatch, DistanceJob, Engine, EngineConfig, GotohKernel, Job, KeyedResult, LaneCount,
 };
+use genasm_obs::{SpanBuffer, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Name of the per-read end-to-end latency histogram the mapper
+/// records (microseconds). The sequential path records each read's
+/// true wall time; the batch path records the batch wall divided by
+/// its read count — an amortized per-read figure, since batched reads
+/// have no individual wall clock.
+pub const READ_LATENCY_HISTOGRAM: &str = "map.read_latency_us";
 
 /// Which pre-alignment filter the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -173,6 +182,15 @@ pub struct StageTimings {
     /// Full-mode alignments issued (every survivor in full mode; the
     /// resolved winners plus verification re-runs in two-phase mode).
     pub traceback_jobs: u64,
+    /// Filter-stage Bitap row-slots `(issued, useful)` from the
+    /// pre-alignment scans ([`genasm_core::bitap::ScanMetrics`]): the
+    /// same issued/useful convention as the align stage's `dc_rows`,
+    /// so the filter's lane occupancy is a first-class, comparable
+    /// figure. Reads over 64 bases scan on the multi-word fallback,
+    /// whose exact recurrence-word volume counts as issued = useful
+    /// (occupancy 1.0 — a scalar scan pads nothing). Zero when the
+    /// GenASM filter is not selected.
+    pub filter_rows: (u64, u64),
 }
 
 impl StageTimings {
@@ -203,6 +221,14 @@ impl StageTimings {
         genasm_engine::lane_occupancy_ratio(self.dc_rows.0, self.dc_rows.1)
     }
 
+    /// Lane occupancy of the pre-alignment filter stage: useful
+    /// row-slots over issued, `None` when no filter rows ran
+    /// (non-GenASM filter). Exactly 1.0 when every pair scanned on
+    /// the pad-free multi-word fallback.
+    pub fn filter_occupancy(&self) -> Option<f64> {
+        genasm_engine::lane_occupancy_ratio(self.filter_rows.0, self.filter_rows.1)
+    }
+
     /// Accumulates another read's timings.
     pub fn accumulate(&mut self, other: &StageTimings) {
         self.seeding += other.seeding;
@@ -217,6 +243,8 @@ impl StageTimings {
         self.tb_rows.1 += other.tb_rows.1;
         self.distance_jobs += other.distance_jobs;
         self.traceback_jobs += other.traceback_jobs;
+        self.filter_rows.0 += other.filter_rows.0;
+        self.filter_rows.1 += other.filter_rows.1;
     }
 }
 
@@ -272,6 +300,7 @@ pub struct ReadMapper {
     reference: Vec<u8>,
     index: ShardedIndex,
     config: MapperConfig,
+    telemetry: Telemetry,
 }
 
 impl ReadMapper {
@@ -284,7 +313,29 @@ impl ReadMapper {
             reference: reference.to_vec(),
             index,
             config,
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Attaches a telemetry handle: the pipeline records per-read
+    /// end-to-end latencies into [`READ_LATENCY_HISTOGRAM`] and emits
+    /// stage spans — the coordinator (trace tid 0) marks
+    /// seed_filter/distance/resolve/traceback, the batch seed workers
+    /// (tids `100 + worker`) mark each oriented read's seed and filter
+    /// scans. Share the same handle with the engine
+    /// ([`Engine::with_telemetry`](genasm_engine::Engine::with_telemetry))
+    /// to interleave the engine workers' claim/dc/tb/drain spans in
+    /// one trace. The default handle is fully disabled and costs one
+    /// atomic load per batch.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The mapper's telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The pipeline configuration.
@@ -335,12 +386,32 @@ impl ReadMapper {
     /// edit distance, ties broken by forward strand then position) and
     /// per-stage timings.
     pub fn map_read(&self, read: &[u8]) -> (Option<Mapping>, StageTimings) {
-        let (forward, mut timings) = self.map_oriented(read, false);
+        let started = self.telemetry.metrics.is_enabled().then(Instant::now);
+        let result = self.map_read_inner(read);
+        if let Some(t0) = started {
+            // Sequential mapping has a true per-read wall clock; record
+            // it end to end (seeding through traceback, both strands).
+            self.telemetry
+                .metrics
+                .histogram(READ_LATENCY_HISTOGRAM)
+                .record_duration(t0.elapsed());
+        }
+        result
+    }
+
+    /// [`map_read`](Self::map_read) minus the telemetry wrapper.
+    fn map_read_inner(&self, read: &[u8]) -> (Option<Mapping>, StageTimings) {
+        let mut spans = self
+            .telemetry
+            .tracer
+            .is_enabled()
+            .then(|| self.telemetry.tracer.buffer(0));
+        let (forward, mut timings) = self.map_oriented(read, false, &mut spans);
         if !self.config.both_strands {
             return (forward, timings);
         }
         let rc = reverse_complement(read);
-        let (backward, rc_timings) = self.map_oriented(&rc, true);
+        let (backward, rc_timings) = self.map_oriented(&rc, true, &mut spans);
         timings.accumulate(&rc_timings);
         let best = match (forward, backward) {
             (None, b) => b,
@@ -358,13 +429,21 @@ impl ReadMapper {
 
     /// Maps one read orientation (the read as given, labelled with
     /// `reverse`).
-    fn map_oriented(&self, read: &[u8], reverse: bool) -> (Option<Mapping>, StageTimings) {
+    fn map_oriented(
+        &self,
+        read: &[u8],
+        reverse: bool,
+        spans: &mut Option<SpanBuffer>,
+    ) -> (Option<Mapping>, StageTimings) {
         let mut timings = StageTimings::default();
         let k = self.error_budget(read);
         let mut scratch = SeedScratch::default();
-        let surviving = self.seed_and_filter(read, k, &mut timings, &mut scratch);
+        let surviving = self.seed_and_filter(read, k, &mut timings, &mut scratch, spans);
 
         let t2 = Instant::now();
+        if let Some(s) = spans.as_mut() {
+            s.begin("traceback");
+        }
         let mut best: Option<Mapping> = None;
         for pos in surviving {
             let region = self.region(pos, read.len(), k);
@@ -409,6 +488,9 @@ impl ReadMapper {
             if better {
                 best = Some(mapping);
             }
+        }
+        if let Some(s) = spans.as_mut() {
+            s.end("traceback");
         }
         timings.traceback = t2.elapsed();
         (best, timings)
@@ -485,24 +567,63 @@ impl ReadMapper {
         reads: &[&[u8]],
         engine: &Engine,
     ) -> (Vec<Option<Mapping>>, StageTimings) {
+        let started = (self.telemetry.metrics.is_enabled() && !reads.is_empty()).then(Instant::now);
+        let out = self.map_batch_engine_inner(reads, engine);
+        if let Some(t0) = started {
+            // Batched reads have no individual wall clock; record the
+            // batch wall divided by the read count once per read (the
+            // amortized figure READ_LATENCY_HISTOGRAM documents).
+            let hist = self.telemetry.metrics.histogram(READ_LATENCY_HISTOGRAM);
+            let per_read = t0.elapsed().div_f64(reads.len() as f64);
+            for _ in reads {
+                hist.record_duration(per_read);
+            }
+        }
+        out
+    }
+
+    /// [`map_batch_with_engine`](Self::map_batch_with_engine) minus
+    /// the telemetry wrapper.
+    fn map_batch_engine_inner(
+        &self,
+        reads: &[&[u8]],
+        engine: &Engine,
+    ) -> (Vec<Option<Mapping>>, StageTimings) {
         let mut timings = StageTimings::default();
+        // Coordinator stage spans trace as tid 0.
+        let mut coord = self
+            .telemetry
+            .tracer
+            .is_enabled()
+            .then(|| self.telemetry.tracer.buffer(0));
 
         // Stage 1 — seed and filter every read, sharded across the
         // engine's workers.
         let t0 = Instant::now();
+        if let Some(c) = coord.as_mut() {
+            c.begin("seed_filter");
+        }
         let workers = engine.config().effective_workers(reads.len().max(1));
         let (seeded, stage_busy) = if workers <= 1 || reads.len() <= 1 {
             let mut busy = StageTimings::default();
             let mut scratch = SeedScratch::default();
-            let seeded = reads
-                .iter()
-                .enumerate()
-                .flat_map(|(idx, read)| self.seed_filter_read(idx, read, &mut busy, &mut scratch))
-                .collect();
+            let mut seeded = Vec::new();
+            for (idx, read) in reads.iter().enumerate() {
+                seeded.extend(self.seed_filter_read(
+                    idx,
+                    read,
+                    &mut busy,
+                    &mut scratch,
+                    &mut coord,
+                ));
+            }
             (seeded, busy)
         } else {
             self.seed_filter_parallel(reads, workers)
         };
+        if let Some(c) = coord.as_mut() {
+            c.end("seed_filter");
+        }
         let stage_wall = t0.elapsed();
         // Attribute the fused pass's wall time to the two stages in
         // proportion to the workers' accumulated busy time, keeping
@@ -515,6 +636,7 @@ impl ReadMapper {
         };
         timings.filtering = stage_wall.saturating_sub(timings.seeding);
         timings.candidates = stage_busy.candidates;
+        timings.filter_rows = stage_busy.filter_rows;
 
         // Flatten the survivors into one candidate table; engine keys
         // are plain candidate indices, so results route back without a
@@ -542,7 +664,13 @@ impl ReadMapper {
             // multi-worker shrinkage of the stage wall.
             let jobs = self.full_jobs(&cands, (0..cands.len()).collect());
             let t2 = Instant::now();
+            if let Some(c) = coord.as_mut() {
+                c.begin("traceback");
+            }
             let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&jobs);
+            if let Some(c) = coord.as_mut() {
+                c.end("traceback");
+            }
             timings.traceback = t2.elapsed();
             timings.traceback_jobs = jobs.len() as u64;
             absorb_engine_stats(&mut timings, &align_stats);
@@ -575,7 +703,13 @@ impl ReadMapper {
             // job copies must not dilute the stage's multi-worker
             // shrinkage.
             let t2 = Instant::now();
+            if let Some(c) = coord.as_mut() {
+                c.begin("distance");
+            }
             let (distances, dstats) = engine.distance_batch_keyed(&djobs);
+            if let Some(c) = coord.as_mut() {
+                c.end("distance");
+            }
             timings.distance = t2.elapsed();
             timings.distance_jobs = djobs.len() as u64;
             absorb_engine_stats(&mut timings, &dstats);
@@ -593,6 +727,9 @@ impl ReadMapper {
         }
 
         // Stage 3 — per-read best resolution on the bounds.
+        if let Some(c) = coord.as_mut() {
+            c.begin("resolve");
+        }
         let mut min_bound = vec![usize::MAX; reads.len()];
         for (idx, c) in cands.iter().enumerate() {
             min_bound[c.read] = min_bound[c.read].min(bound[idx]);
@@ -600,6 +737,9 @@ impl ReadMapper {
         let winners: Vec<usize> = (0..cands.len())
             .filter(|&idx| bound[idx] == min_bound[cands[idx].read])
             .collect();
+        if let Some(c) = coord.as_mut() {
+            c.end("resolve");
+        }
 
         // Stage 4 — traceback: full-mode alignment of the winners
         // only.
@@ -609,7 +749,13 @@ impl ReadMapper {
         }
         let winner_jobs = self.full_jobs(&cands, winners);
         let t3 = Instant::now();
+        if let Some(c) = coord.as_mut() {
+            c.begin("traceback");
+        }
         let (keyed, align_stats) = engine.align_batch_keyed_with_stats(&winner_jobs);
+        if let Some(c) = coord.as_mut() {
+            c.end("traceback");
+        }
         timings.traceback = t3.elapsed();
         timings.traceback_jobs = winner_jobs.len() as u64;
         absorb_engine_stats(&mut timings, &align_stats);
@@ -634,7 +780,13 @@ impl ReadMapper {
         if !verify.is_empty() {
             let verify_jobs = self.full_jobs(&cands, verify);
             let t4 = Instant::now();
+            if let Some(c) = coord.as_mut() {
+                c.begin("verify");
+            }
             let (keyed, verify_stats) = engine.align_batch_keyed_with_stats(&verify_jobs);
+            if let Some(c) = coord.as_mut() {
+                c.end("verify");
+            }
             timings.traceback += t4.elapsed();
             timings.traceback_jobs += verify_jobs.len() as u64;
             absorb_engine_stats(&mut timings, &verify_stats);
@@ -706,6 +858,7 @@ impl ReadMapper {
         read: &[u8],
         timings: &mut StageTimings,
         scratch: &mut SeedScratch,
+        spans: &mut Option<SpanBuffer>,
     ) -> Vec<Seeded> {
         let mut out = Vec::with_capacity(1 + usize::from(self.config.both_strands));
         let mut oriented: Vec<(Vec<u8>, bool)> = vec![(read.to_vec(), false)];
@@ -714,7 +867,7 @@ impl ReadMapper {
         }
         for (seq, reverse) in oriented {
             let budget = self.error_budget(&seq);
-            let survivors = self.seed_and_filter(&seq, budget, timings, scratch);
+            let survivors = self.seed_and_filter(&seq, budget, timings, scratch, spans);
             out.push(Seeded {
                 read: read_idx,
                 reverse,
@@ -740,9 +893,16 @@ impl ReadMapper {
         let mut busy = StageTimings::default();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let cursor = &cursor;
+                    let tracer = &self.telemetry.tracer;
                     scope.spawn(move || {
+                        // Seed workers trace in their own tid namespace
+                        // (100 + worker), clear of the coordinator (0)
+                        // and the engine workers (1 + worker).
+                        let mut spans = tracer
+                            .is_enabled()
+                            .then(|| tracer.buffer(100 + worker as u32));
                         let mut scratch = SeedScratch::default();
                         let mut local = StageTimings::default();
                         let mut produced: Vec<(usize, Vec<Seeded>)> = Vec::new();
@@ -753,7 +913,13 @@ impl ReadMapper {
                             }
                             produced.push((
                                 idx,
-                                self.seed_filter_read(idx, reads[idx], &mut local, &mut scratch),
+                                self.seed_filter_read(
+                                    idx,
+                                    reads[idx],
+                                    &mut local,
+                                    &mut scratch,
+                                    &mut spans,
+                                ),
                             ));
                         }
                         (produced, local)
@@ -794,22 +960,36 @@ impl ReadMapper {
         k: usize,
         timings: &mut StageTimings,
         scratch: &mut SeedScratch,
+        spans: &mut Option<SpanBuffer>,
     ) -> Vec<usize> {
         let t0 = Instant::now();
+        if let Some(s) = spans.as_mut() {
+            s.begin("seed");
+        }
         let positions = self.clamped_candidates(seq, scratch);
+        if let Some(s) = spans.as_mut() {
+            s.end("seed");
+        }
         timings.seeding += t0.elapsed();
         timings.candidates.0 += positions.len();
 
         let t1 = Instant::now();
+        if let Some(s) = spans.as_mut() {
+            s.begin("filter");
+        }
         let surviving: Vec<usize> = match self.config.filter {
             FilterKind::GenAsm => {
                 let pairs: Vec<(&[u8], &[u8])> = positions
                     .iter()
                     .map(|&pos| (self.region(pos, seq.len(), k), seq))
                     .collect();
+                let mut rows = ScanMetrics::default();
+                let decisions = PreAlignmentFilter::new(k).accepts_many_counted(&pairs, &mut rows);
+                timings.filter_rows.0 += rows.rows_issued;
+                timings.filter_rows.1 += rows.rows_useful;
                 positions
                     .iter()
-                    .zip(PreAlignmentFilter::new(k).accepts_many(&pairs))
+                    .zip(decisions)
                     .filter_map(|(&pos, decision)| decision.unwrap_or(false).then_some(pos))
                     .collect()
             }
@@ -819,6 +999,9 @@ impl ReadMapper {
                 .collect(),
             FilterKind::None => positions,
         };
+        if let Some(s) = spans.as_mut() {
+            s.end("filter");
+        }
         timings.filtering += t1.elapsed();
         timings.candidates.1 += surviving.len();
         surviving
@@ -983,6 +1166,13 @@ mod tests {
         let (batch, timings) = mapper.map_batch_with_engine(&refs, &engine);
         assert_eq!(batch.len(), reads.len());
         assert!(timings.candidates.0 >= timings.candidates.1);
+        // The workers' filter row-slot accounting must survive the
+        // busy-time merge into the batch timings.
+        assert!(
+            timings.filter_rows.0 > 0,
+            "batch path dropped filter row accounting"
+        );
+        assert!(timings.filter_occupancy().is_some());
 
         for (read, got) in refs.iter().zip(&batch) {
             let (want, _) = mapper.map_read(read);
@@ -991,6 +1181,99 @@ mod tests {
                 "engine batch must reproduce the sequential mapping"
             );
         }
+    }
+
+    #[test]
+    fn filter_rows_are_counted_and_occupancy_is_sane() {
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        // Lock-step filter lanes require single-word reads (<= 64
+        // bases); the padding gap only exists on this path.
+        let read = &reference[12_000..12_060];
+        let (_, timings) = mapper.map_read(read);
+        let (issued, useful) = timings.filter_rows;
+        assert!(issued > 0, "the GenASM filter must issue lock-step rows");
+        assert!(useful > 0 && useful <= issued);
+        let occ = timings.filter_occupancy().expect("rows ran");
+        assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        // A non-lock-step filter reports no rows, and occupancy stays
+        // None instead of dividing by zero.
+        let none = ReadMapper::build(
+            &reference,
+            MapperConfig {
+                filter: FilterKind::None,
+                ..MapperConfig::default()
+            },
+        );
+        let (_, timings) = none.map_read(read);
+        assert_eq!(timings.filter_rows, (0, 0));
+        assert!(timings.filter_occupancy().is_none());
+        // Long reads fall back to the scalar multi-word scan pair by
+        // pair: exact word volume, fully useful (occupancy 1.0).
+        let (_, timings) = mapper.map_read(&reference[12_000..12_150]);
+        let (issued, useful) = timings.filter_rows;
+        assert!(issued > 0, "multi-word fallback rows must be counted");
+        assert_eq!(useful, issued);
+        assert_eq!(timings.filter_occupancy(), Some(1.0));
+    }
+
+    #[test]
+    fn telemetry_records_read_latency_and_stage_spans() {
+        use genasm_obs::Telemetry;
+        let reference = genome();
+        let telemetry = Telemetry::enabled();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default())
+            .with_telemetry(telemetry.clone());
+        let engine = mapper
+            .engine(2, DcDispatch::default())
+            .with_telemetry(telemetry.clone());
+        let reads: Vec<&[u8]> = vec![
+            &reference[100..250],
+            &reference[5_000..5_150],
+            &reference[9_000..9_160],
+        ];
+        let (mappings, _) = mapper.map_batch_with_engine(&reads, &engine);
+        assert!(mappings.iter().all(Option::is_some));
+
+        // One amortized latency observation per batched read.
+        let snapshot = telemetry.metrics.snapshot();
+        let hist = snapshot
+            .histogram(READ_LATENCY_HISTOGRAM)
+            .expect("read latency histogram exists");
+        assert_eq!(hist.count, reads.len() as u64);
+
+        // Sequential mapping adds true per-read observations.
+        mapper.map_read(reads[0]);
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(
+            snapshot.histogram(READ_LATENCY_HISTOGRAM).unwrap().count,
+            reads.len() as u64 + 1
+        );
+
+        // Stage spans are present and balanced per name.
+        let events = telemetry.tracer.take_events();
+        let mut names: std::collections::BTreeMap<&str, (u64, u64)> = Default::default();
+        for event in &events {
+            let slot = names.entry(event.name).or_default();
+            match event.phase {
+                genasm_obs::Phase::Begin => slot.0 += 1,
+                genasm_obs::Phase::End => slot.1 += 1,
+            }
+        }
+        for (name, (begins, ends)) in &names {
+            assert_eq!(begins, ends, "span {name} must balance");
+        }
+        for required in ["seed_filter", "resolve", "traceback", "seed", "filter"] {
+            assert!(names.contains_key(required), "missing {required} spans");
+        }
+
+        // A disabled mapper records nothing.
+        let off = Telemetry::off();
+        let quiet =
+            ReadMapper::build(&reference, MapperConfig::default()).with_telemetry(off.clone());
+        quiet.map_read(reads[0]);
+        assert_eq!(off.tracer.event_count(), 0);
+        assert!(off.metrics.snapshot().histograms.is_empty());
     }
 
     #[test]

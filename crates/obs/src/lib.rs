@@ -1,0 +1,65 @@
+//! Unified telemetry for the GenASM reproduction: a metrics registry
+//! (counters, gauges, log2 latency histograms with quantile
+//! estimation) and a span recorder exporting Chrome trace-event JSON.
+//!
+//! Both halves share the same design constraints:
+//!
+//! - **Zero external dependencies** (std only), consistent with the
+//!   workspace's no-crates.io rule.
+//! - **Near-zero cost when disabled**: every hot-path write is gated
+//!   on one relaxed atomic-bool load (metrics) or a plain bool cached
+//!   at buffer creation (spans); disabled paths never allocate and
+//!   never call `Instant::now()`.
+//! - **Lock-free hot paths when enabled**: counters and histograms
+//!   write cache-padded per-thread stripes merged only at snapshot
+//!   time; span buffers are thread-owned `Vec`s flushed at batch end.
+//!
+//! The [`Telemetry`] handle bundles the two so pipeline layers can
+//! thread one cheaply-clonable value; `Telemetry::default()` is fully
+//! disabled, which is what every constructor uses until a CLI flag or
+//! bench opts in.
+
+mod metrics;
+mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
+pub use span::{spanned, Phase, SpanBuffer, TraceEvent, Tracer};
+
+/// The umbrella handle a pipeline layer threads through: a metrics
+/// registry plus a tracer. Cloning shares both. `Default` is fully
+/// disabled — safe to embed in any constructor.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Counters / gauges / histograms.
+    pub metrics: MetricsRegistry,
+    /// Span recorder (Chrome trace export).
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    /// Fully disabled telemetry (same as `Default`).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Telemetry with both metrics and tracing enabled.
+    pub fn enabled() -> Self {
+        Self {
+            metrics: MetricsRegistry::enabled(),
+            tracer: Tracer::enabled(),
+        }
+    }
+
+    /// Telemetry with an explicit per-half switch.
+    pub fn with_flags(metrics: bool, tracing: bool) -> Self {
+        Self {
+            metrics: MetricsRegistry::new(metrics),
+            tracer: Tracer::new(tracing),
+        }
+    }
+
+    /// `true` when either half records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.tracer.is_enabled()
+    }
+}

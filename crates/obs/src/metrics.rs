@@ -1,0 +1,714 @@
+//! Named counters, gauges, and log2-bucketed latency histograms.
+//!
+//! Hot-path writes (counter adds, histogram records) touch one of
+//! [`STRIPES`] cache-line-padded shards picked per thread, so
+//! concurrent workers never contend on a shared line; shards are only
+//! merged when a [`Snapshot`] is taken. Every write is gated on one
+//! relaxed atomic-bool load, so a disabled registry costs a predicted
+//! branch and nothing else — no allocation, no stores.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Per-thread shard count. Writes hash threads onto stripes; snapshot
+/// sums them. 16 covers the worker counts the engine actually runs.
+const STRIPES: usize = 16;
+
+/// Histogram bucket count: bucket `b >= 1` covers `[2^(b-1), 2^b - 1]`
+/// (bucket 0 holds exact zeros), so 65 buckets span the whole `u64`
+/// range at a fixed 2x resolution.
+const BUCKETS: usize = 65;
+
+/// One cache line per stripe so relaxed adds from different workers
+/// never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Stable per-thread stripe assignment (round-robin on first use).
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+/// Log2 bucket index of a recorded value: its bit length.
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Smallest value a bucket can hold.
+fn bucket_lo(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+/// Largest value a bucket can hold.
+fn bucket_hi(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+#[derive(Default)]
+struct CounterInner {
+    stripes: [PaddedU64; STRIPES],
+}
+
+struct HistogramInner {
+    /// Per-stripe bucket tallies, merged at snapshot time.
+    buckets: Vec<[AtomicU64; BUCKETS]>,
+    counts: [PaddedU64; STRIPES],
+    sums: [PaddedU64; STRIPES],
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: (0..STRIPES)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+            counts: Default::default(),
+            sums: Default::default(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+struct RegistryInner {
+    /// Shared with every handle so one relaxed load gates each write.
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<BTreeMap<String, Arc<CounterInner>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramInner>>>,
+}
+
+/// A handle to one named counter. Cloning is cheap; adds are relaxed
+/// stripe increments and no-ops while the registry is disabled.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    /// Add `n` to the counter (no-op while disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one (no-op while disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter").finish_non_exhaustive()
+    }
+}
+
+/// A handle to one named gauge (a last-write-wins value).
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the gauge (no-op while disabled).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.inner.store(value, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").finish_non_exhaustive()
+    }
+}
+
+/// A handle to one named log2-bucketed histogram. Values are unitless
+/// `u64`s; latency call sites record microseconds by convention
+/// (`*_us` names) via [`Histogram::record_duration`].
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Record one observation (no-op while disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.record_in_stripe(value, stripe_index());
+    }
+
+    /// Record a duration as whole microseconds (no-op while disabled).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// Record into an explicit stripe — the primitive `record` routes
+    /// through, exposed so tests can prove shard merging is
+    /// order/placement-insensitive.
+    pub fn record_in_stripe(&self, value: u64, stripe: usize) {
+        let stripe = stripe % STRIPES;
+        let inner = &self.inner;
+        inner.buckets[stripe][bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.counts[stripe].0.fetch_add(1, Ordering::Relaxed);
+        inner.sums[stripe].0.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// `true` while the owning registry is enabled — lets call sites
+    /// skip the `Instant::now()` needed to have something to record.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time view of one histogram with estimated quantiles.
+///
+/// Quantiles interpolate linearly inside the rank's log2 bucket, with
+/// the bucket edges clamped to the observed min/max — so a histogram
+/// whose values all share one bucket reports that bucket's true range
+/// and single-valued histograms report exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    buckets: Box<[u64; BUCKETS]>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let lo = bucket_lo(b).max(self.min);
+                let hi = bucket_hi(b).min(self.max).max(lo);
+                let within = (rank - cum) as f64 / n as f64;
+                let est = lo as f64 + within * (hi - lo) as f64;
+                return est.round() as u64;
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// Mean recorded value; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// p50 estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    /// p90 estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+    /// p99 estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+    /// p99.9 estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+/// Point-in-time merge of every registered metric (shards summed).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name (sorted).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name (sorted).
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots by name (sorted).
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Look up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Render as a JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum, min, max, mean, p50, p90,
+    /// p99, p999}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_scalar_map(&mut out, &self.counters);
+        out.push_str("},\n  \"gauges\": {");
+        push_scalar_map(&mut out, &self.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_json_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Render as aligned human-readable `key = value` lines.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "{name}: count={} mean={:.1} p50={} p90={} p99={} p999={} max={}\n",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.p999(),
+                h.max,
+            ));
+        }
+        out
+    }
+}
+
+fn push_scalar_map(out: &mut String, entries: &[(String, u64)]) {
+    for (i, (name, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_json_string(out, name);
+        out.push_str(&format!(": {v}"));
+    }
+    if !entries.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A registry of named metrics. Cloning shares the same underlying
+/// registry; `Default` is a fresh **disabled** registry, so plumbing a
+/// registry through a layer costs nothing until someone enables it.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh registry, enabled or disabled.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            inner: Arc::new(RegistryInner {
+                enabled: Arc::new(AtomicBool::new(enabled)),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Fresh enabled registry.
+    pub fn enabled() -> Self {
+        Self::new(true)
+    }
+
+    /// `true` when writes through this registry's handles record.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on/off; affects all outstanding handles.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.inner.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Register (or fetch) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        let inner = map.entry(name.to_string()).or_default().clone();
+        Counter {
+            enabled: self.enabled_flag(),
+            inner,
+        }
+    }
+
+    /// Register (or fetch) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        let inner = map.entry(name.to_string()).or_default().clone();
+        Gauge {
+            enabled: self.enabled_flag(),
+            inner,
+        }
+    }
+
+    /// Register (or fetch) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().unwrap();
+        let inner = map.entry(name.to_string()).or_default().clone();
+        Histogram {
+            enabled: self.enabled_flag(),
+            inner,
+        }
+    }
+
+    fn enabled_flag(&self) -> Arc<AtomicBool> {
+        self.inner.enabled.clone()
+    }
+
+    /// Merge all shards and return a point-in-time [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| {
+                let total = c
+                    .stripes
+                    .iter()
+                    .map(|s| s.0.load(Ordering::Relaxed))
+                    .sum::<u64>();
+                (name.clone(), total)
+            })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| {
+                let mut buckets = Box::new([0u64; BUCKETS]);
+                for stripe in &h.buckets {
+                    for (b, n) in stripe.iter().enumerate() {
+                        buckets[b] += n.load(Ordering::Relaxed);
+                    }
+                }
+                let count = h
+                    .counts
+                    .iter()
+                    .map(|s| s.0.load(Ordering::Relaxed))
+                    .sum::<u64>();
+                let sum = h
+                    .sums
+                    .iter()
+                    .map(|s| s.0.load(Ordering::Relaxed))
+                    .sum::<u64>();
+                let min = h.min.load(Ordering::Relaxed);
+                let snapshot = HistogramSnapshot {
+                    count,
+                    sum,
+                    min: if count == 0 { 0 } else { min },
+                    max: h.max.load(Ordering::Relaxed),
+                    buckets,
+                };
+                (name.clone(), snapshot)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_lo(b)), b);
+            assert_eq!(bucket_index(bucket_hi(b)), b);
+        }
+    }
+
+    /// Single-distinct-value histograms report that value exactly at
+    /// every quantile: the bucket edges clamp to observed min/max.
+    #[test]
+    fn quantiles_exact_for_single_value() {
+        for value in [0u64, 1, 7, 100, 4096, 1_000_000] {
+            let reg = MetricsRegistry::enabled();
+            let h = reg.histogram("h");
+            for _ in 0..250 {
+                h.record(value);
+            }
+            let snap = reg.snapshot();
+            let h = snap.histogram("h").unwrap();
+            assert_eq!(h.count, 250);
+            assert_eq!(h.min, value);
+            assert_eq!(h.max, value);
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), value, "q={q} value={value}");
+            }
+        }
+    }
+
+    /// Two well-separated clusters land their quantiles on the right
+    /// cluster: p50 on the low one, p99/p999 on the high one.
+    #[test]
+    fn quantiles_split_two_clusters() {
+        let reg = MetricsRegistry::enabled();
+        let h = reg.histogram("h");
+        for _ in 0..100 {
+            h.record(1);
+        }
+        for _ in 0..100 {
+            h.record(1024);
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 200);
+        assert_eq!(h.sum, 100 + 100 * 1024);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 1024);
+        assert_eq!(h.p999(), 1024);
+        assert_eq!(h.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let reg = MetricsRegistry::enabled();
+        let _ = reg.histogram("empty");
+        let snap = reg.snapshot();
+        let h = snap.histogram("empty").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    /// A disabled registry records nothing, and re-enabling makes the
+    /// same handles live again (the flag is shared, not copied).
+    #[test]
+    fn disabled_registry_drops_writes() {
+        let reg = MetricsRegistry::default();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("c");
+        let g = reg.gauge("g");
+        let h = reg.histogram("h");
+        c.add(5);
+        g.set(9);
+        h.record(123);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(0));
+        assert_eq!(snap.gauge("g"), Some(0));
+        assert_eq!(snap.histogram("h").unwrap().count, 0);
+        reg.set_enabled(true);
+        c.add(5);
+        assert_eq!(reg.snapshot().counter("c"), Some(5));
+    }
+
+    /// Counter stripes written from many threads sum correctly at
+    /// snapshot time.
+    #[test]
+    fn counter_merges_across_threads() {
+        let reg = MetricsRegistry::enabled();
+        let c = reg.counter("jobs");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("jobs"), Some(8000));
+    }
+
+    #[test]
+    fn snapshot_json_is_shaped() {
+        let reg = MetricsRegistry::enabled();
+        reg.counter("a.count").add(3);
+        reg.gauge("b.gauge").set(7);
+        reg.histogram("c.lat_us").record(42);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"a.count\": 3"));
+        assert!(json.contains("\"b.gauge\": 7"));
+        assert!(json.contains("\"p50\": 42"));
+        assert!(json.contains("\"p999\": 42"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Shard merging is order- and placement-insensitive: the same
+        /// multiset of values, recorded into arbitrary stripes in an
+        /// arbitrary order, snapshots identically (count, sum, min,
+        /// max, and every quantile).
+        #[test]
+        fn shard_merge_is_order_insensitive(
+            values in proptest::collection::vec((0u64..1_000_000, 0usize..64), 1..200),
+            rotate in 0usize..200,
+        ) {
+            let a = MetricsRegistry::enabled();
+            let ha = a.histogram("h");
+            for (value, stripe) in &values {
+                ha.record_in_stripe(*value, *stripe);
+            }
+            // Same multiset: rotated order, permuted stripe choice.
+            let b = MetricsRegistry::enabled();
+            let hb = b.histogram("h");
+            let shift = rotate % values.len();
+            for (value, stripe) in values[shift..].iter().chain(&values[..shift]) {
+                hb.record_in_stripe(*value, stripe.wrapping_mul(7).wrapping_add(3));
+            }
+            let sa = a.snapshot();
+            let sb = b.snapshot();
+            let (ha, hb) = (sa.histogram("h").unwrap(), sb.histogram("h").unwrap());
+            prop_assert_eq!(ha, hb);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                prop_assert_eq!(ha.quantile(q), hb.quantile(q));
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Low-overhead span recording with Chrome trace-event JSON export.
+//!
+//! Each worker thread owns a [`SpanBuffer`] — a plain `Vec` it pushes
+//! begin/end events into with no locking — and flushes it into the
+//! shared [`Tracer`] sink when its batch ends. The export is the
+//! Chrome trace-event format (`{"traceEvents": [...]}`), loadable
+//! directly in Perfetto or `chrome://tracing`; events carry the stage
+//! name, a worker id as `tid`, and microsecond timestamps relative to
+//! the tracer's epoch. A disabled tracer hands out inert buffers that
+//! never call `Instant::now()` and never allocate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Event phase in the Chrome trace-event model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"ph": "B"`).
+    Begin,
+    /// Span end (`"ph": "E"`).
+    End,
+}
+
+/// One recorded begin/end event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stage name (e.g. `"dc"`, `"tb"`, `"seed"`).
+    pub name: &'static str,
+    /// Worker/thread id the event belongs to.
+    pub tid: u32,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Microseconds since the tracer epoch.
+    pub ts_us: u64,
+}
+
+struct TracerInner {
+    enabled: AtomicBool,
+    epoch: Instant,
+    sink: Mutex<Vec<TraceEvent>>,
+}
+
+/// Shared trace recorder. Cloning shares the same sink; `Default` is
+/// a fresh **disabled** tracer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.event_count())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Fresh tracer; the epoch (trace time zero) is `Instant::now()`.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(enabled),
+                epoch: Instant::now(),
+                sink: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Fresh enabled tracer.
+    pub fn enabled() -> Self {
+        Self::new(true)
+    }
+
+    /// `true` when buffers created from this tracer record events.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Create a per-thread buffer tagged with `tid`. The buffer
+    /// snapshots the enabled flag: a buffer created while the tracer
+    /// is disabled stays inert for its whole life (zero allocation).
+    pub fn buffer(&self, tid: u32) -> SpanBuffer {
+        SpanBuffer {
+            tracer: self.inner.clone(),
+            tid,
+            enabled: self.is_enabled(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Events flushed into the sink so far.
+    pub fn event_count(&self) -> usize {
+        self.inner.sink.lock().unwrap().len()
+    }
+
+    /// Drain the sink, returning all flushed events (ts-sorted).
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        let mut events = std::mem::take(&mut *self.inner.sink.lock().unwrap());
+        events.sort_by_key(|e| e.ts_us);
+        events
+    }
+
+    /// Render the sink as Chrome trace-event JSON without draining it.
+    pub fn export_json(&self) -> String {
+        let mut events: Vec<TraceEvent> = self.inner.sink.lock().unwrap().clone();
+        events.sort_by_key(|e| e.ts_us);
+        let mut out = String::from("{\"traceEvents\": [");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ph = match e.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+            };
+            out.push_str(&format!(
+                "\n  {{\"name\": \"{}\", \"cat\": \"genasm\", \"ph\": \"{}\", \"ts\": {}, \"pid\": 0, \"tid\": {}}}",
+                e.name, ph, e.ts_us, e.tid
+            ));
+        }
+        if !events.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Write the Chrome trace-event JSON to `path`.
+    pub fn export_to(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.export_json())
+    }
+}
+
+/// A per-thread event buffer. Push-only and lock-free until
+/// [`SpanBuffer::flush`] moves the events into the tracer sink (also
+/// done on drop). When the owning tracer was disabled at creation,
+/// every method is a branch on a plain bool and nothing else.
+pub struct SpanBuffer {
+    tracer: Arc<TracerInner>,
+    tid: u32,
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl SpanBuffer {
+    /// `true` when this buffer records (tracer was enabled at creation).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a span begin for `name` at now.
+    #[inline]
+    pub fn begin(&mut self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        self.push(name, Phase::Begin, Instant::now());
+    }
+
+    /// Record a span end for `name` at now. Ends must pair with the
+    /// most recent unmatched begin on this buffer's thread (Chrome
+    /// trace B/E events form a per-tid stack).
+    #[inline]
+    pub fn end(&mut self, name: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        self.push(name, Phase::End, Instant::now());
+    }
+
+    /// Record a complete span retroactively: begin at `started`, end
+    /// at now. Useful for tail phases only identifiable in hindsight
+    /// (e.g. the drain tail after the last job was claimed).
+    #[inline]
+    pub fn span_from(&mut self, name: &'static str, started: Instant) {
+        if !self.enabled {
+            return;
+        }
+        self.push(name, Phase::Begin, started);
+        self.push(name, Phase::End, Instant::now());
+    }
+
+    /// Events buffered (not yet flushed).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Capacity of the underlying event storage — stays 0 for the
+    /// whole life of a buffer created from a disabled tracer (the
+    /// no-allocation guarantee the no-op tests pin down).
+    pub fn capacity(&self) -> usize {
+        self.events.capacity()
+    }
+
+    /// `true` when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Move buffered events into the tracer sink.
+    pub fn flush(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut sink = self.tracer.sink.lock().unwrap();
+        sink.append(&mut self.events);
+    }
+
+    fn push(&mut self, name: &'static str, phase: Phase, at: Instant) {
+        let ts_us = at.saturating_duration_since(self.tracer.epoch).as_micros() as u64;
+        self.events.push(TraceEvent {
+            name,
+            tid: self.tid,
+            phase,
+            ts_us,
+        });
+    }
+}
+
+impl Drop for SpanBuffer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl std::fmt::Debug for SpanBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanBuffer")
+            .field("tid", &self.tid)
+            .field("enabled", &self.enabled)
+            .field("buffered", &self.events.len())
+            .finish()
+    }
+}
+
+/// Record a span covering a closure's execution, via an `Option`-style
+/// guard-free helper (begin before, end after, result returned).
+pub fn spanned<T>(buf: &mut SpanBuffer, name: &'static str, f: impl FnOnce() -> T) -> T {
+    buf.begin(name);
+    let out = f();
+    buf.end(name);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_pairs_flush_in_order() {
+        let tracer = Tracer::enabled();
+        let mut buf = tracer.buffer(3);
+        buf.begin("outer");
+        buf.begin("inner");
+        buf.end("inner");
+        buf.end("outer");
+        assert_eq!(buf.len(), 4);
+        buf.flush();
+        assert!(buf.is_empty());
+        let events = tracer.take_events();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.tid == 3));
+        let begins = events.iter().filter(|e| e.phase == Phase::Begin).count();
+        assert_eq!(begins, 2);
+    }
+
+    #[test]
+    fn span_from_emits_balanced_pair_with_earlier_start() {
+        let tracer = Tracer::enabled();
+        let started = Instant::now();
+        let mut buf = tracer.buffer(0);
+        buf.span_from("drain", started);
+        buf.flush();
+        let events = tracer.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].phase, Phase::Begin);
+        assert_eq!(events[1].phase, Phase::End);
+        assert!(events[0].ts_us <= events[1].ts_us);
+    }
+
+    #[test]
+    fn buffers_auto_flush_on_drop() {
+        let tracer = Tracer::enabled();
+        {
+            let mut buf = tracer.buffer(1);
+            buf.begin("claim");
+            buf.end("claim");
+        }
+        assert_eq!(tracer.event_count(), 2);
+    }
+
+    /// The no-op guarantee: a buffer from a disabled tracer records
+    /// nothing and never allocates, no matter how it is used.
+    #[test]
+    fn disabled_tracer_buffers_are_inert() {
+        let tracer = Tracer::default();
+        assert!(!tracer.is_enabled());
+        let mut buf = tracer.buffer(7);
+        for _ in 0..10_000 {
+            buf.begin("dc");
+            buf.end("dc");
+            buf.span_from("tb", Instant::now());
+            spanned(&mut buf, "x", || ());
+        }
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.capacity(), 0, "disabled buffers must never allocate");
+        buf.flush();
+        assert_eq!(tracer.event_count(), 0);
+        assert_eq!(tracer.export_json(), "{\"traceEvents\": []}\n");
+    }
+}

@@ -1,0 +1,180 @@
+//! Golden test for the Chrome trace-event export: the emitted JSON
+//! must be structurally well-formed (checked by a minimal
+//! recursive-descent parser, since the workspace has no JSON dep),
+//! must carry every field Perfetto's importer needs, and the B/E
+//! events must form balanced, properly nested per-tid stacks.
+
+use genasm_obs::{spanned, Phase, Telemetry};
+
+/// Minimal JSON well-formedness checker. Returns the rest of the
+/// input after one complete value, or panics with a location.
+fn skip_value(s: &[u8]) -> &[u8] {
+    let s = skip_ws(s);
+    match s.first() {
+        Some(b'{') => {
+            let mut s = skip_ws(&s[1..]);
+            if s.first() == Some(&b'}') {
+                return &s[1..];
+            }
+            loop {
+                s = skip_string(skip_ws(s));
+                s = skip_ws(s);
+                assert_eq!(s.first(), Some(&b':'), "expected ':' in object");
+                s = skip_value(&s[1..]);
+                s = skip_ws(s);
+                match s.first() {
+                    Some(b',') => s = &s[1..],
+                    Some(b'}') => return &s[1..],
+                    other => panic!("expected ',' or '}}', got {other:?}"),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut s = skip_ws(&s[1..]);
+            if s.first() == Some(&b']') {
+                return &s[1..];
+            }
+            loop {
+                s = skip_value(s);
+                s = skip_ws(s);
+                match s.first() {
+                    Some(b',') => s = &s[1..],
+                    Some(b']') => return &s[1..],
+                    other => panic!("expected ',' or ']', got {other:?}"),
+                }
+            }
+        }
+        Some(b'"') => skip_string(s),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let mut i = 1;
+            while i < s.len()
+                && (s[i].is_ascii_digit() || matches!(s[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                i += 1;
+            }
+            &s[i..]
+        }
+        Some(b't') => s.strip_prefix(b"true".as_slice()).expect("bad literal"),
+        Some(b'f') => s.strip_prefix(b"false".as_slice()).expect("bad literal"),
+        Some(b'n') => s.strip_prefix(b"null".as_slice()).expect("bad literal"),
+        other => panic!("unexpected start of value: {other:?}"),
+    }
+}
+
+fn skip_string(s: &[u8]) -> &[u8] {
+    assert_eq!(s.first(), Some(&b'"'), "expected string");
+    let mut i = 1;
+    while i < s.len() {
+        match s[i] {
+            b'\\' => i += 2,
+            b'"' => return &s[i + 1..],
+            _ => i += 1,
+        }
+    }
+    panic!("unterminated string");
+}
+
+fn skip_ws(mut s: &[u8]) -> &[u8] {
+    while let Some(c) = s.first() {
+        if c.is_ascii_whitespace() {
+            s = &s[1..];
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn assert_well_formed_json(text: &str) {
+    let rest = skip_value(text.as_bytes());
+    assert!(
+        skip_ws(rest).is_empty(),
+        "trailing garbage after JSON value"
+    );
+}
+
+/// Build a small multi-worker trace and check the export end to end.
+#[test]
+fn export_is_well_formed_chrome_trace_with_balanced_spans() {
+    let telemetry = Telemetry::enabled();
+    // Coordinator on tid 0, two "workers" on tids 1 and 2, each with
+    // nested spans like the engine emits (claim around dc/tb runs).
+    let mut coord = telemetry.tracer.buffer(0);
+    coord.begin("map_batch");
+    for tid in [1u32, 2] {
+        let mut buf = telemetry.tracer.buffer(tid);
+        for _ in 0..3 {
+            buf.begin("claim");
+            buf.end("claim");
+            spanned(&mut buf, "dc", || std::hint::black_box(0));
+            spanned(&mut buf, "tb", || std::hint::black_box(0));
+        }
+        buf.flush();
+    }
+    coord.end("map_batch");
+    coord.flush();
+
+    let json = telemetry.tracer.export_json();
+    assert_well_formed_json(&json);
+    assert!(
+        json.starts_with("{\"traceEvents\": ["),
+        "must be the Chrome trace-event envelope"
+    );
+    // Every event object carries the fields Perfetto's importer keys
+    // on: name, ph, ts, pid, tid.
+    for field in ["\"name\"", "\"ph\"", "\"ts\"", "\"pid\"", "\"tid\""] {
+        let events = json.matches("{\"name\"").count();
+        assert_eq!(
+            json.matches(field).count(),
+            events,
+            "every event must carry {field}"
+        );
+    }
+
+    // Balanced and properly nested: replay each tid's events as a
+    // stack; every E must match the top B.
+    let events = telemetry.tracer.take_events();
+    assert_eq!(events.len(), 2 + 2 * 3 * 6);
+    let mut stacks: std::collections::BTreeMap<u32, Vec<&str>> = Default::default();
+    for e in &events {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            Phase::Begin => stack.push(e.name),
+            Phase::End => {
+                let open = stack.pop().expect("E without matching B");
+                assert_eq!(open, e.name, "spans must nest per tid");
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "tid {tid} left unbalanced spans {stack:?}"
+        );
+    }
+
+    // Timestamps are monotone within the export (Perfetto sorts by
+    // ts; we pre-sort so the file is directly readable).
+    assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+}
+
+/// Disabled telemetry end to end: no events, empty-but-valid export,
+/// histograms untouched.
+#[test]
+fn disabled_telemetry_is_a_no_op() {
+    let telemetry = Telemetry::off();
+    let mut buf = telemetry.tracer.buffer(1);
+    spanned(&mut buf, "dc", || ());
+    buf.flush();
+    telemetry.metrics.histogram("h").record(99);
+    telemetry.metrics.counter("c").add(4);
+    assert_eq!(telemetry.tracer.event_count(), 0);
+    assert_eq!(buf.capacity(), 0);
+    let snap = telemetry.metrics.snapshot();
+    assert_eq!(snap.counter("c"), Some(0));
+    assert_eq!(snap.histogram("h").unwrap().count, 0);
+    let json = telemetry.tracer.export_json();
+    assert_well_formed_json(&json);
+    // Snapshot JSON of the disabled registry is still well-formed.
+    assert_well_formed_json(&snap.to_json());
+}

@@ -43,6 +43,22 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> map --trace-out smoke (Chrome trace must be non-empty and balanced)"
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+target/release/genasm simulate --genome-size 20000 --count 8 --length 100 \
+    --seed 11 --out-prefix "$tracedir/t" 2>/dev/null
+target/release/genasm map --ref "$tracedir/t_ref.fa" --reads "$tracedir/t_reads.fq" \
+    --trace-out "$tracedir/trace.json" --quiet >/dev/null
+[[ -s "$tracedir/trace.json" ]] \
+    || { echo "map --trace-out wrote an empty trace" >&2; exit 1; }
+grep -q '"traceEvents"' "$tracedir/trace.json" \
+    || { echo "trace is not Chrome trace-event JSON" >&2; exit 1; }
+begins=$(grep -c '"ph": "B"' "$tracedir/trace.json" || true)
+ends=$(grep -c '"ph": "E"' "$tracedir/trace.json" || true)
+[[ "$begins" -gt 0 && "$begins" -eq "$ends" ]] \
+    || { echo "trace spans unbalanced: $begins begins vs $ends ends" >&2; exit 1; }
+
 echo "==> cargo bench --bench dc_multi -- --smoke"
 cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
@@ -51,13 +67,17 @@ cargo bench -p genasm-bench --bench map_throughput -- --smoke
 
 echo "==> bench artifact field check"
 check_bench_fields BENCH_engine.json \
-    pairs_per_sec workers tb_rows distance_secs
+    pairs_per_sec workers tb_rows distance_secs \
+    job_latency_p50_us job_latency_p99_us chunk_latency_p50_us
 check_bench_fields BENCH_dc_multi.json \
     kernel_full kernel_stream engine pairs_per_sec occupancy speedup_vs_chunked \
-    tb_rows distance_secs
+    tb_rows distance_secs job_latency_p50_us job_latency_p99_us
 check_bench_fields BENCH_map.json \
     pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds \
-    two_phase tb_rows distance_secs traceback_secs
+    two_phase tb_rows distance_secs traceback_secs \
+    candidates survivors reject_rate filter_rows_issued filter_rows_useful \
+    filter_occupancy read_latency_p50_us read_latency_p99_us \
+    telemetry_off_reads_per_sec telemetry_on_reads_per_sec telemetry_overhead
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
