@@ -16,15 +16,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use genasm_bench::harness::{histogram_fields, JsonReport};
-use genasm_engine::DcDispatch;
+use genasm_engine::{CancelToken, DcDispatch};
 use genasm_mapper::pipeline::{
-    AlignMode, MapperConfig, ReadMapper, StageTimings, READ_LATENCY_HISTOGRAM,
+    AlignMode, MapperConfig, ReadMapper, ReadOutcome, StageTimings, READ_LATENCY_HISTOGRAM,
 };
 use genasm_obs::Telemetry;
 use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{LengthModel, ReadSimulator, SimConfig};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
     std::env::args().any(|a| a == "--smoke")
@@ -361,6 +361,60 @@ fn bench_map_throughput(c: &mut Criterion) {
         "telemetry A/B: off {off_rate:.0} reads/s, on {on_rate:.0} reads/s \
          (overhead {:.1}%)",
         (1.0 - on_rate / off_rate) * 100.0
+    );
+
+    // ---- Containment overhead A/B ------------------------------------
+    // The fault-containment plumbing (per-chunk catch_unwind, the
+    // resilient per-read outcome assembly, and — for the "on" leg — a
+    // cancellation token consulted at every claim boundary) must cost
+    // ~nothing on the happy path. This binary builds without the
+    // `chaos` feature, so the "off" leg is also the proof that a
+    // default build carries no failpoint code. Same 1-worker
+    // persistent-lane two-phase configuration as the telemetry A/B.
+    let deadline_engine = two_phase_mapper
+        .engine(1, DcDispatch::Lockstep)
+        .with_cancel(CancelToken::with_deadline(Duration::from_secs(3600)));
+    let (outcomes, _) = two_phase_mapper.map_batch_resilient(&read_refs, &deadline_engine);
+    let resolved: Vec<_> = outcomes
+        .into_iter()
+        .map(ReadOutcome::into_mapping)
+        .collect();
+    assert_eq!(
+        resolved, sequential,
+        "the resilient path must stay bit-identical on a fault-free run"
+    );
+    let mut containment_off_rate = f64::MIN;
+    let mut containment_on_rate = f64::MIN;
+    for _ in 0..reps {
+        containment_off_rate = containment_off_rate.max(one_rate(n_reads, || {
+            criterion::black_box(two_phase_mapper.map_batch_with_engine(&read_refs, &off_engine));
+        }));
+        containment_on_rate = containment_on_rate.max(one_rate(n_reads, || {
+            criterion::black_box(
+                two_phase_mapper.map_batch_resilient(&read_refs, &deadline_engine),
+            );
+        }));
+    }
+    report.field_num("containment_off_reads_per_sec", containment_off_rate);
+    report.field_num("containment_on_reads_per_sec", containment_on_rate);
+    report.field_num(
+        "containment_overhead",
+        1.0 - containment_on_rate / containment_off_rate,
+    );
+    assert!(
+        containment_off_rate >= 0.5 * main_rate,
+        "containment-off path regressed: {containment_off_rate:.0} vs \
+         main-loop {main_rate:.0} reads/s"
+    );
+    assert!(
+        containment_on_rate >= 0.5 * containment_off_rate,
+        "deadline-token plumbing is too expensive: on {containment_on_rate:.0} vs \
+         off {containment_off_rate:.0} reads/s"
+    );
+    println!(
+        "containment A/B: off {containment_off_rate:.0} reads/s, \
+         on {containment_on_rate:.0} reads/s (overhead {:.1}%)",
+        (1.0 - containment_on_rate / containment_off_rate) * 100.0
     );
 
     // Smoke runs verify the bench executes but keep the committed

@@ -1,0 +1,305 @@
+//! Seeded, deterministic fault injection for the GenASM pipeline.
+//!
+//! A [`FaultPlan`] is a pure function from `(site, key)` to an optional
+//! [`Fault`]: whether a given failpoint fires for a given job key is
+//! decided by hashing the plan seed together with the site name and the
+//! key, so the same plan always poisons the same jobs — across runs,
+//! thread schedules, and chunk shapes. That determinism is what makes
+//! the containment invariant testable: a test can install a plan,
+//! predict exactly which keys are affected with [`FaultPlan::fault_at`],
+//! and assert that every *other* read's output is bit-identical to the
+//! fault-free run.
+//!
+//! The crate is std-only and dependency-free. Consumers (engine, seq)
+//! depend on it optionally behind their own default-off `chaos`
+//! features; with the feature disabled no chaos symbol exists in the
+//! binary at all, so the happy path provably pays nothing.
+//!
+//! Failpoints are registered process-globally with [`install`] and
+//! removed with [`clear`]. Because the registry is global, tests that
+//! install plans must serialize themselves (the bundled suites share a
+//! mutex per test binary).
+
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Well-known failpoint site names. Sites are plain strings so
+/// downstream crates can add their own without touching this crate,
+/// but the bundled consumers all use these constants.
+pub mod sites {
+    /// Inside kernel job execution on an engine worker: the fault
+    /// panics with the job key in the message. Keyed by job key.
+    pub const ENGINE_KERNEL_PANIC: &str = "engine.kernel.panic";
+    /// At an engine worker's chunk-claim boundary: the fault sleeps,
+    /// simulating a stuck worker so deadline handling can be tested.
+    /// Keyed by the first job index of the claimed chunk.
+    pub const ENGINE_WORKER_DELAY: &str = "engine.worker.delay";
+    /// Per FASTQ record during parsing: the fault makes the record
+    /// read as truncated. Keyed by record index.
+    pub const FASTQ_TRUNCATE: &str = "seq.fastq.truncate";
+}
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic with a message naming the site and key.
+    Panic,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Report the input as truncated at this point (parser sites).
+    Truncate,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    site: &'static str,
+    fault: Fault,
+    /// Fires for `num` out of every `den` keys (hash-selected).
+    num: u64,
+    den: u64,
+}
+
+/// A seeded, deterministic set of failpoint rules.
+///
+/// Selection is stateless: `fires(site, key)` hashes
+/// `seed ^ hash(site) ^ key` with splitmix64 and fires when the result
+/// modulo `den` is below `num`. Two plans with the same seed and rules
+/// are interchangeable.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Arms `site` with `fault`, firing for `num` out of every `den`
+    /// keys. `den` must be nonzero and `num <= den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den` — a malformed ratio in a
+    /// test plan is a bug in the test, not a runtime condition.
+    #[must_use]
+    pub fn with_fault(mut self, site: &'static str, fault: Fault, num: u64, den: u64) -> Self {
+        assert!(den > 0, "fault ratio denominator must be nonzero");
+        assert!(
+            num <= den,
+            "fault ratio numerator must not exceed denominator"
+        );
+        self.rules.push(Rule {
+            site,
+            fault,
+            num,
+            den,
+        });
+        self
+    }
+
+    /// Arms a panic fault (convenience for the most common rule).
+    #[must_use]
+    pub fn panic_at(self, site: &'static str, num: u64, den: u64) -> Self {
+        self.with_fault(site, Fault::Panic, num, den)
+    }
+
+    /// The fault that fires at `(site, key)`, if any. Pure and
+    /// deterministic; tests use this to predict affected keys.
+    #[must_use]
+    pub fn fault_at(&self, site: &str, key: u64) -> Option<Fault> {
+        for rule in &self.rules {
+            if rule.site == site && selects(self.seed, rule.site, key, rule.num, rule.den) {
+                return Some(rule.fault.clone());
+            }
+        }
+        None
+    }
+
+    /// Whether a panic fault fires at `(site, key)`.
+    #[must_use]
+    pub fn would_panic(&self, site: &str, key: u64) -> bool {
+        matches!(self.fault_at(site, key), Some(Fault::Panic))
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn site_hash(site: &str) -> u64 {
+    // FNV-1a over the site name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in site.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn selects(seed: u64, site: &str, key: u64, num: u64, den: u64) -> bool {
+    splitmix64(seed ^ site_hash(site) ^ key) % den < num
+}
+
+fn registry() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static REGISTRY: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `plan` as the process-global fault plan, replacing any
+/// previous plan. Returns the previous plan, if one was installed.
+pub fn install(plan: FaultPlan) -> Option<Arc<FaultPlan>> {
+    let mut slot = registry().write().unwrap_or_else(|e| e.into_inner());
+    slot.replace(Arc::new(plan))
+}
+
+/// Removes the process-global fault plan. Returns the removed plan.
+pub fn clear() -> Option<Arc<FaultPlan>> {
+    let mut slot = registry().write().unwrap_or_else(|e| e.into_inner());
+    slot.take()
+}
+
+/// The currently installed plan, if any.
+#[must_use]
+pub fn current() -> Option<Arc<FaultPlan>> {
+    registry().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// The fault armed at `(site, key)` under the installed plan, without
+/// acting on it. Parser sites use this to synthesize errors instead of
+/// panicking.
+#[must_use]
+pub fn fault_at(site: &str, key: u64) -> Option<Fault> {
+    current().and_then(|plan| plan.fault_at(site, key))
+}
+
+/// Evaluates the failpoint at `(site, key)` and acts on it: panics for
+/// [`Fault::Panic`], sleeps for [`Fault::Delay`], returns for
+/// [`Fault::Truncate`] (callers that honor truncation query
+/// [`fault_at`] instead). No-op when no plan is installed.
+///
+/// # Panics
+///
+/// Panics (by design) when the installed plan arms a panic fault at
+/// this site and key.
+pub fn check(site: &str, key: u64) {
+    match fault_at(site, key) {
+        Some(Fault::Panic) => panic!("chaos: injected panic at {site} key {key}"),
+        Some(Fault::Delay(d)) => std::thread::sleep(d),
+        Some(Fault::Truncate) | None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global registry.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_site_scoped() {
+        let plan = FaultPlan::new(42).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 4);
+        let fired: Vec<u64> = (0..256)
+            .filter(|&k| plan.would_panic(sites::ENGINE_KERNEL_PANIC, k))
+            .collect();
+        // Same plan, same answers.
+        let again: Vec<u64> = (0..256)
+            .filter(|&k| plan.would_panic(sites::ENGINE_KERNEL_PANIC, k))
+            .collect();
+        assert_eq!(fired, again);
+        // Roughly 1/4 of keys fire (hash selection, generous bounds).
+        assert!(
+            fired.len() > 256 / 8 && fired.len() < 256 / 2,
+            "{}",
+            fired.len()
+        );
+        // Other sites are untouched.
+        assert!((0..256).all(|k| plan.fault_at(sites::FASTQ_TRUNCATE, k).is_none()));
+    }
+
+    #[test]
+    fn different_seeds_select_different_keys() {
+        let a = FaultPlan::new(1).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 2);
+        let b = FaultPlan::new(2).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 2);
+        let fa: Vec<bool> = (0..128)
+            .map(|k| a.would_panic(sites::ENGINE_KERNEL_PANIC, k))
+            .collect();
+        let fb: Vec<bool> = (0..128)
+            .map(|k| b.would_panic(sites::ENGINE_KERNEL_PANIC, k))
+            .collect();
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn ratio_bounds() {
+        let all = FaultPlan::new(7).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 1);
+        assert!((0..64).all(|k| all.would_panic(sites::ENGINE_KERNEL_PANIC, k)));
+        let none = FaultPlan::new(7).panic_at(sites::ENGINE_KERNEL_PANIC, 0, 1);
+        assert!((0..64).all(|k| !none.would_panic(sites::ENGINE_KERNEL_PANIC, k)));
+    }
+
+    #[test]
+    fn install_clear_roundtrip() {
+        let _g = guard();
+        clear();
+        assert!(current().is_none());
+        assert!(fault_at(sites::ENGINE_KERNEL_PANIC, 3).is_none());
+        install(FaultPlan::new(9).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 1));
+        assert_eq!(fault_at(sites::ENGINE_KERNEL_PANIC, 3), Some(Fault::Panic));
+        let removed = clear();
+        assert!(removed.is_some());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn check_acts_on_delay_and_noops_without_plan() {
+        let _g = guard();
+        clear();
+        // No plan installed: must not panic.
+        check(sites::ENGINE_KERNEL_PANIC, 0);
+        install(FaultPlan::new(5).with_fault(
+            sites::ENGINE_WORKER_DELAY,
+            Fault::Delay(Duration::from_millis(1)),
+            1,
+            1,
+        ));
+        let start = std::time::Instant::now();
+        check(sites::ENGINE_WORKER_DELAY, 0);
+        assert!(start.elapsed() >= Duration::from_millis(1));
+        clear();
+    }
+
+    #[test]
+    #[should_panic(expected = "chaos: injected panic")]
+    fn check_panics_when_armed() {
+        let _g = guard();
+        clear();
+        install(FaultPlan::new(11).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 1));
+        // Ensure the plan is cleared even though this test panics, so a
+        // poisoned-but-armed registry can't leak into sibling tests:
+        // the registry lock recovers from poisoning and `guard()`
+        // serializes installers, but a leftover plan would still fire.
+        struct Cleanup;
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                clear();
+            }
+        }
+        let _c = Cleanup;
+        check(sites::ENGINE_KERNEL_PANIC, 1);
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 /// Options that are boolean switches: present or absent, never
 /// followed by a value.
-const BOOL_FLAGS: &[&str] = &["quiet"];
+const BOOL_FLAGS: &[&str] = &["quiet", "strict", "lenient"];
 
 /// Parsed command line: a subcommand, `--key value` options, boolean
 /// `--flag` switches, and positional arguments.
@@ -115,6 +115,10 @@ mod tests {
         // A trailing boolean flag needs no value either.
         let args = Args::parse(["map", "--ref", "r.fa", "--quiet"]).unwrap();
         assert!(args.flag("quiet"));
+        // The parse-mode switches are boolean too.
+        let args = Args::parse(["map", "--lenient", "--ref", "r.fa", "--strict"]).unwrap();
+        assert!(args.flag("lenient"));
+        assert!(args.flag("strict"));
     }
 
     #[test]

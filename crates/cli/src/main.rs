@@ -30,18 +30,21 @@ use args::Args;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
 use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
-use genasm_engine::{DcDispatch, LaneCount};
-use genasm_mapper::pipeline::{AlignMode, AlignerKind, MapperConfig, ReadMapper, StageTimings};
+use genasm_engine::{CancelToken, DcDispatch, LaneCount};
+use genasm_mapper::pipeline::{
+    AlignMode, AlignerKind, MapperConfig, ReadMapper, ReadOutcome, StageTimings,
+};
 use genasm_mapper::sam;
-use genasm_obs::Telemetry;
-use genasm_seq::fasta::{read_fasta, write_fasta, FastaRecord};
-use genasm_seq::fastq::read_fastq;
+use genasm_obs::{MetricsRegistry, Telemetry};
+use genasm_seq::fasta::{read_fasta_with, write_fasta, FastaRecord};
+use genasm_seq::fastq::read_fastq_with;
 use genasm_seq::genome::GenomeBuilder;
+use genasm_seq::parse::{FastxError, ParseMode, ParseReport};
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{to_fastq_records, ReadSimulator, SimConfig};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 genasm — bitvector-based approximate string matching (GenASM, MICRO 2020)
@@ -96,6 +99,15 @@ commands:
             [--profile illumina|pacbio10|pacbio15|ont10|ont15]
             [--seed 0] [--out-prefix sim]                    write ref.fa + reads.fq
 
+robustness (map and batch; see docs/ROBUSTNESS.md):
+  --strict                fail on the first malformed input record (default)
+  --lenient               skip malformed records, count them per class into the
+                          map.errors.* counters, and keep mapping the rest
+  --deadline-ms <ms>      wall-clock budget for the mapping batch; on expiry the
+                          resolved reads are emitted normally and the rest are
+                          flagged unmapped with XE:Z:deadline (kernel-panicked
+                          reads are quarantined as XE:Z:poisoned either way)
+
 telemetry (map, batch and filter):
   --metrics human|json    stderr report format: name = value lines (default) or one
                           JSON snapshot of the same counters/gauges/histograms
@@ -103,22 +115,58 @@ telemetry (map, batch and filter):
   --trace-out <path>      write a Chrome trace-event JSON of per-worker stage spans
                           (claim/dc/tb/drain, seed/filter/distance/resolve/traceback)
                           — load it in Perfetto or chrome://tracing
+
+exit codes:
+  0  success        2  bad usage (unknown command/option/value)
+  3  I/O failure    4  malformed input data (strict mode)
 ";
+
+/// A classified CLI failure: the variant picks the process exit code,
+/// so scripts can tell a bad invocation (2) from a filesystem failure
+/// (3) and from malformed input data (4).
+#[derive(Debug)]
+enum CliError {
+    /// Bad usage: unknown command, option, or option value.
+    Usage(String),
+    /// The filesystem or an output stream failed.
+    Io(String),
+    /// Input data was malformed (strict-mode parse failure, or content
+    /// a kernel cannot process).
+    Parse(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Parse(_) => 4,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Parse(m) => m,
+        }
+    }
+}
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(raw) {
         Ok(()) => {}
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
+        Err(err) => {
+            eprintln!("error: {}", err.message());
+            if matches!(err, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            std::process::exit(err.exit_code());
         }
     }
 }
 
-fn run(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(raw)?;
+fn run(raw: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(raw).map_err(CliError::Usage)?;
     match args.command.as_str() {
         "map" => cmd_map(&args),
         "batch" => cmd_batch(&args),
@@ -126,36 +174,124 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "distance" => cmd_distance(&args),
         "filter" => cmd_filter(&args),
         "simulate" => cmd_simulate(&args),
-        "" => Err("no command given".to_string()),
-        other => Err(format!("unknown command {other:?}")),
+        "" => Err(CliError::Usage("no command given".to_string())),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
 
-/// Loads sequences from FASTA or FASTQ by extension.
-fn load_reads(path: &str) -> Result<Vec<(String, Vec<u8>)>, String> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+/// Classifies a reader failure: stream breakage is I/O (exit 3),
+/// malformed content is a parse failure (exit 4).
+fn classify_fastx(path: &str, e: FastxError) -> CliError {
+    match e {
+        FastxError::Io(e) => CliError::Io(format!("{path}: {e}")),
+        FastxError::Parse(e) => CliError::Parse(format!("{path}: {e}")),
+    }
+}
+
+/// Maps `--strict`/`--lenient` to the input parse policy (strict by
+/// default).
+fn parse_mode(args: &Args) -> Result<ParseMode, CliError> {
+    match (args.flag("strict"), args.flag("lenient")) {
+        (true, true) => Err(CliError::Usage(
+            "--strict and --lenient are mutually exclusive".into(),
+        )),
+        (_, true) => Ok(ParseMode::Lenient),
+        _ => Ok(ParseMode::Strict),
+    }
+}
+
+/// Named reads as the CLI consumes them: `(id, sequence)` pairs.
+type NamedReads = Vec<(String, Vec<u8>)>;
+
+/// Loads sequences from FASTA or FASTQ by extension under the given
+/// parse policy, returning the records plus the parse report (what a
+/// lenient pass skipped and soft-flagged).
+fn load_reads(path: &str, mode: ParseMode) -> Result<(NamedReads, ParseReport), CliError> {
+    let file = File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     if path.ends_with(".fq") || path.ends_with(".fastq") {
-        Ok(read_fastq(file)
-            .map_err(|e| format!("{path}: {e}"))?
-            .into_iter()
-            .map(|r| (r.id, r.seq))
-            .collect())
+        let parse = read_fastq_with(file, mode).map_err(|e| classify_fastx(path, e))?;
+        let reads = parse.records.into_iter().map(|r| (r.id, r.seq)).collect();
+        Ok((reads, parse.report))
     } else {
-        Ok(read_fasta(file)
-            .map_err(|e| format!("{path}: {e}"))?
-            .into_iter()
-            .map(|r| (r.id, r.seq))
-            .collect())
+        let parse = read_fasta_with(file, mode).map_err(|e| classify_fastx(path, e))?;
+        let reads = parse.records.into_iter().map(|r| (r.id, r.seq)).collect();
+        Ok((reads, parse.report))
     }
 }
 
-fn load_first_fasta(path: &str) -> Result<FastaRecord, String> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    read_fasta(file)
-        .map_err(|e| format!("{path}: {e}"))?
+fn load_first_fasta(path: &str) -> Result<FastaRecord, CliError> {
+    let file = File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    read_fasta_with(file, ParseMode::Strict)
+        .map_err(|e| classify_fastx(path, e))?
+        .records
         .into_iter()
         .next()
-        .ok_or_else(|| format!("{path}: no fasta records"))
+        .ok_or_else(|| CliError::Parse(format!("{path}: no fasta records")))
+}
+
+/// Records a lenient parse's skip and soft-error counts into the
+/// `map.errors.*` counters and warns on stderr when records were
+/// dropped. Strict runs never reach here with nonzero counts, so the
+/// counters read zero there by construction.
+fn record_parse_report(metrics: &MetricsRegistry, path: &str, report: &ParseReport) {
+    metrics
+        .counter("map.errors.skipped")
+        .add(report.skipped as u64);
+    metrics
+        .counter("map.errors.truncated")
+        .add(report.truncated as u64);
+    metrics
+        .counter("map.errors.length_mismatch")
+        .add(report.length_mismatch as u64);
+    metrics
+        .counter("map.errors.bad_separator")
+        .add(report.bad_separator as u64);
+    metrics
+        .counter("map.errors.empty_sequence")
+        .add(report.empty_sequence as u64);
+    metrics
+        .counter("map.errors.missing_header")
+        .add(report.missing_header as u64);
+    metrics
+        .counter("map.errors.soft_non_acgt")
+        .add(report.soft_non_acgt as u64);
+    if report.skipped > 0 {
+        eprintln!(
+            "warning: {path}: skipped {} malformed record(s); first: {}",
+            report.skipped,
+            report
+                .errors
+                .first()
+                .map_or_else(String::new, |e| e.to_string())
+        );
+    }
+}
+
+/// Renders one read outcome of the resilient batch path as a SAM
+/// record: faulted reads emit unmapped records tagged with a reason
+/// code (`XE:Z:poisoned` / `XE:Z:deadline`), and a partial mapping cut
+/// off by the deadline is emitted but carries the `deadline` tag too.
+fn outcome_record(name: &str, rname: &str, seq: &[u8], outcome: &ReadOutcome) -> sam::SamRecord {
+    match outcome {
+        ReadOutcome::Mapped(m) => sam::SamRecord::from_mapping(name, rname, seq, m),
+        ReadOutcome::Unmapped => sam::SamRecord::unmapped(name, seq),
+        ReadOutcome::Poisoned { .. } => sam::SamRecord::unmapped_with_reason(name, seq, "poisoned"),
+        ReadOutcome::Incomplete { partial: None } => {
+            sam::SamRecord::unmapped_with_reason(name, seq, "deadline")
+        }
+        ReadOutcome::Incomplete { partial: Some(m) } => {
+            let mut rec = sam::SamRecord::from_mapping(name, rname, seq, m);
+            rec.tags.push("XE:Z:deadline".to_string());
+            rec
+        }
+    }
+}
+
+/// Parses `--deadline-ms` into a cancellation token (0 or absent =
+/// none).
+fn parse_deadline(args: &Args) -> Result<Option<CancelToken>, CliError> {
+    let ms: u64 = args.number("deadline-ms", 0).map_err(CliError::Usage)?;
+    Ok((ms > 0).then(|| CancelToken::with_deadline(Duration::from_millis(ms))))
 }
 
 /// Maps `--kernel` to the aligner selection and, for GenASM, the DC
@@ -196,26 +332,32 @@ fn parse_align_mode(args: &Args) -> Result<AlignMode, String> {
     }
 }
 
-fn cmd_map(args: &Args) -> Result<(), String> {
+fn cmd_map(args: &Args) -> Result<(), CliError> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
-    let (aligner, dispatch) = parse_kernel(args)?;
-    let lanes = parse_lanes(args)?;
-    let align_mode = parse_align_mode(args)?;
+    let (aligner, dispatch) = parse_kernel(args).map_err(CliError::Usage)?;
+    let lanes = parse_lanes(args).map_err(CliError::Usage)?;
+    let align_mode = parse_align_mode(args).map_err(CliError::Usage)?;
     let pipeline = match args.get("pipeline").unwrap_or("batch") {
         p @ ("batch" | "sequential") => p,
-        other => return Err(format!("unknown pipeline {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown pipeline {other:?}"))),
     };
-    let error_rate: f64 = args.number("error-rate", 0.15)?;
-    let workers: usize = args.number("workers", 0)?;
-    let shards: usize = args.number("shards", 0)?;
+    let error_rate: f64 = args.number("error-rate", 0.15).map_err(CliError::Usage)?;
+    let workers: usize = args.number("workers", 0).map_err(CliError::Usage)?;
+    let shards: usize = args.number("shards", 0).map_err(CliError::Usage)?;
+    let mode = parse_mode(args)?;
+    let deadline = parse_deadline(args)?;
     let quiet = args.flag("quiet");
-    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let metrics_mode = stats::parse_metrics_mode(args).map_err(CliError::Usage)?;
     let trace_out = args.get("trace-out");
     let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
 
-    let reference = load_first_fasta(args.require("ref")?)?;
-    let reads = load_reads(args.require("reads")?)?;
+    let reference = load_first_fasta(args.require("ref").map_err(CliError::Usage)?)?;
+    let reads_path = args.require("reads").map_err(CliError::Usage)?;
+    let (reads, report) = load_reads(reads_path, mode)?;
+    if mode == ParseMode::Lenient {
+        record_parse_report(&telemetry.metrics, reads_path, &report);
+    }
 
     let config = MapperConfig {
         error_fraction: error_rate,
@@ -228,25 +370,33 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     let mapper = ReadMapper::build(&reference.seq, config).with_telemetry(telemetry.clone());
     let index_time = t_index.elapsed();
 
-    let (mappings, timings) = match pipeline {
+    let (outcomes, timings) = match pipeline {
         "batch" => {
-            let engine = mapper
+            let mut engine = mapper
                 .engine_with_lanes(workers, dispatch, lanes)
                 .with_telemetry(telemetry.clone());
+            if let Some(token) = deadline {
+                engine = engine.with_cancel(token);
+            }
             let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
-            mapper.map_batch_with_engine(&read_refs, &engine)
+            mapper.map_batch_resilient(&read_refs, &engine)
         }
         _ => {
+            // The sequential reference path has no engine and thus no
+            // deadline or panic containment; every read resolves.
             let mut total = StageTimings::default();
-            let mappings = reads
+            let outcomes = reads
                 .iter()
                 .map(|(_, seq)| {
                     let (mapping, timings) = mapper.map_read(seq);
                     total.accumulate(&timings);
-                    mapping
+                    match mapping {
+                        Some(m) => ReadOutcome::Mapped(m),
+                        None => ReadOutcome::Unmapped,
+                    }
                 })
                 .collect();
-            (mappings, total)
+            (outcomes, total)
         }
     };
 
@@ -259,25 +409,20 @@ fn cmd_map(args: &Args) -> Result<(), String> {
         args.get("align-mode").unwrap_or("two-phase"),
     );
     sam::write_header_with_command(&mut out, &reference.id, reference.seq.len(), Some(&command))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     let mut mapped = 0usize;
-    for ((name, seq), mapping) in reads.iter().zip(&mappings) {
-        let record = match mapping {
-            Some(m) => {
-                mapped += 1;
-                sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, m)
-            }
-            None => sam::SamRecord::unmapped(name.clone(), seq),
-        };
-        sam::write_record(&mut out, &record).map_err(|e| e.to_string())?;
+    for ((name, seq), outcome) in reads.iter().zip(&outcomes) {
+        mapped += usize::from(outcome.mapping().is_some());
+        let record = outcome_record(name, &reference.id, seq, outcome);
+        sam::write_record(&mut out, &record).map_err(|e| CliError::Io(e.to_string()))?;
     }
-    out.flush().map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| CliError::Io(e.to_string()))?;
 
     if let Some(path) = trace_out {
         telemetry
             .tracer
             .export_to(path)
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     }
     let metrics = &telemetry.metrics;
     metrics.counter("map.reads").add(reads.len() as u64);
@@ -297,21 +442,27 @@ fn cmd_map(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_batch(args: &Args) -> Result<(), String> {
+fn cmd_batch(args: &Args) -> Result<(), CliError> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
-    let (aligner, dispatch) = parse_kernel(args)?;
-    let lanes = parse_lanes(args)?;
-    let align_mode = parse_align_mode(args)?;
-    let error_rate: f64 = args.number("error-rate", 0.15)?;
-    let threads: usize = args.number("threads", 0)?;
+    let (aligner, dispatch) = parse_kernel(args).map_err(CliError::Usage)?;
+    let lanes = parse_lanes(args).map_err(CliError::Usage)?;
+    let align_mode = parse_align_mode(args).map_err(CliError::Usage)?;
+    let error_rate: f64 = args.number("error-rate", 0.15).map_err(CliError::Usage)?;
+    let threads: usize = args.number("threads", 0).map_err(CliError::Usage)?;
+    let mode = parse_mode(args)?;
+    let deadline = parse_deadline(args)?;
     let quiet = args.flag("quiet");
-    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let metrics_mode = stats::parse_metrics_mode(args).map_err(CliError::Usage)?;
     let trace_out = args.get("trace-out");
     let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
 
-    let reference = load_first_fasta(args.require("ref")?)?;
-    let reads = load_reads(args.require("reads")?)?;
+    let reference = load_first_fasta(args.require("ref").map_err(CliError::Usage)?)?;
+    let reads_path = args.require("reads").map_err(CliError::Usage)?;
+    let (reads, report) = load_reads(reads_path, mode)?;
+    if mode == ParseMode::Lenient {
+        record_parse_report(&telemetry.metrics, reads_path, &report);
+    }
 
     let config = MapperConfig {
         error_fraction: error_rate,
@@ -323,34 +474,34 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     // The scalar/chunked/lockstep triple produces bit-identical
     // mappings; the flags exist so the DC paths can be A/B'd from the
     // command line.
-    let engine = mapper
+    let mut engine = mapper
         .engine_with_lanes(threads, dispatch, lanes)
         .with_telemetry(telemetry.clone());
+    if let Some(token) = deadline {
+        engine = engine.with_cancel(token);
+    }
     let read_refs: Vec<&[u8]> = reads.iter().map(|(_, seq)| seq.as_slice()).collect();
-    let (mappings, timings) = mapper.map_batch_with_engine(&read_refs, &engine);
+    let (outcomes, timings) = mapper.map_batch_resilient(&read_refs, &engine);
 
     if args.get("sam").is_some() {
         let stdout = io::stdout();
         let mut out = BufWriter::new(stdout.lock());
         sam::write_header(&mut out, &reference.id, reference.seq.len())
-            .map_err(|e| e.to_string())?;
-        for ((name, seq), mapping) in reads.iter().zip(&mappings) {
-            let record = match mapping {
-                Some(m) => sam::SamRecord::from_mapping(name.clone(), reference.id.clone(), seq, m),
-                None => sam::SamRecord::unmapped(name.clone(), seq),
-            };
-            sam::write_record(&mut out, &record).map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        for ((name, seq), outcome) in reads.iter().zip(&outcomes) {
+            let record = outcome_record(name, &reference.id, seq, outcome);
+            sam::write_record(&mut out, &record).map_err(|e| CliError::Io(e.to_string()))?;
         }
-        out.flush().map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| CliError::Io(e.to_string()))?;
     }
 
     if let Some(path) = trace_out {
         telemetry
             .tracer
             .export_to(path)
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     }
-    let mapped = mappings.iter().filter(|m| m.is_some()).count();
+    let mapped = outcomes.iter().filter(|o| o.mapping().is_some()).count();
     let metrics = &telemetry.metrics;
     metrics.counter("map.reads").add(reads.len() as u64);
     metrics.counter("map.mapped").add(mapped as u64);
@@ -365,15 +516,18 @@ fn cmd_batch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_align(args: &Args) -> Result<(), String> {
-    let reference = load_first_fasta(args.require("ref")?)?;
-    let queries = load_reads(args.require("query")?)?;
+fn cmd_align(args: &Args) -> Result<(), CliError> {
+    let reference = load_first_fasta(args.require("ref").map_err(CliError::Usage)?)?;
+    let (queries, _) = load_reads(
+        args.require("query").map_err(CliError::Usage)?,
+        ParseMode::Strict,
+    )?;
     let aligner = GenAsmAligner::new(GenAsmConfig::default());
     for (name, seq) in &queries {
-        let k = args.number("k", seq.len() / 5)?;
+        let k = args.number("k", seq.len() / 5).map_err(CliError::Usage)?;
         match aligner
             .search_and_align(&reference.seq, seq, k)
-            .map_err(|e| e.to_string())?
+            .map_err(|e| CliError::Parse(format!("{name}: {e}")))?
         {
             Some((pos, alignment)) => println!(
                 "{name}\tpos={pos}\tedits={}\tcigar={}",
@@ -385,30 +539,36 @@ fn cmd_align(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_distance(args: &Args) -> Result<(), String> {
-    let a = load_first_fasta(args.require("a")?)?;
-    let b = load_first_fasta(args.require("b")?)?;
+fn cmd_distance(args: &Args) -> Result<(), CliError> {
+    let a = load_first_fasta(args.require("a").map_err(CliError::Usage)?)?;
+    let b = load_first_fasta(args.require("b").map_err(CliError::Usage)?)?;
     let calc = EditDistanceCalculator::default();
-    let d = calc.distance(&a.seq, &b.seq).map_err(|e| e.to_string())?;
+    let d = calc
+        .distance(&a.seq, &b.seq)
+        .map_err(|e| CliError::Parse(e.to_string()))?;
     println!("{d}");
     Ok(())
 }
 
-fn cmd_filter(args: &Args) -> Result<(), String> {
+fn cmd_filter(args: &Args) -> Result<(), CliError> {
     let kernel = match args.get("kernel").unwrap_or("lockstep") {
         k @ ("scalar" | "lockstep") => k,
-        other => return Err(format!("unknown kernel {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown kernel {other:?}"))),
     };
     let quiet = args.flag("quiet");
-    let metrics_mode = stats::parse_metrics_mode(args)?;
+    let metrics_mode = stats::parse_metrics_mode(args).map_err(CliError::Usage)?;
     let trace_out = args.get("trace-out");
     let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
-    let reference = load_first_fasta(args.require("ref")?)?;
-    let reads = load_reads(args.require("reads")?)?;
+    let reference = load_first_fasta(args.require("ref").map_err(CliError::Usage)?)?;
+    let (reads, _) = load_reads(
+        args.require("reads").map_err(CliError::Usage)?,
+        ParseMode::Strict,
+    )?;
     let threshold: usize = args
-        .require("threshold")?
+        .require("threshold")
+        .map_err(CliError::Usage)?
         .parse()
-        .map_err(|_| "bad --threshold")?;
+        .map_err(|_| CliError::Usage("bad --threshold".into()))?;
     let filter = PreAlignmentFilter::new(threshold);
     let mut spans = telemetry
         .tracer
@@ -441,7 +601,7 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     }
     let mut accepted = 0usize;
     for ((name, _), decision) in reads.iter().zip(decisions) {
-        let decision = decision.map_err(|e| e.to_string())?;
+        let decision = decision.map_err(|e| CliError::Parse(format!("{name}: {e}")))?;
         accepted += usize::from(decision.accept);
         println!(
             "{name}\t{}\t{}",
@@ -456,7 +616,7 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
         telemetry
             .tracer
             .export_to(path)
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     }
     let metrics = &telemetry.metrics;
     metrics.counter("filter.reads").add(reads.len() as u64);
@@ -478,23 +638,36 @@ fn cmd_filter(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &Args) -> Result<(), String> {
+fn cmd_simulate(args: &Args) -> Result<(), CliError> {
     let genome_size: usize = args
-        .require("genome-size")?
+        .require("genome-size")
+        .map_err(CliError::Usage)?
         .parse()
-        .map_err(|_| "bad --genome-size")?;
-    let count: usize = args.require("count")?.parse().map_err(|_| "bad --count")?;
-    let length: usize = args.number("length", 100)?;
-    let seed: u64 = args.number("seed", 0)?;
+        .map_err(|_| CliError::Usage("bad --genome-size".into()))?;
+    let count: usize = args
+        .require("count")
+        .map_err(CliError::Usage)?
+        .parse()
+        .map_err(|_| CliError::Usage("bad --count".into()))?;
+    let length: usize = args.number("length", 100).map_err(CliError::Usage)?;
+    let seed: u64 = args.number("seed", 0).map_err(CliError::Usage)?;
     let profile = match args.get("profile").unwrap_or("illumina") {
         "illumina" => ErrorProfile::illumina(),
         "pacbio10" => ErrorProfile::pacbio_10(),
         "pacbio15" => ErrorProfile::pacbio_15(),
         "ont10" => ErrorProfile::ont_10(),
         "ont15" => ErrorProfile::ont_15(),
-        other => return Err(format!("unknown profile {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown profile {other:?}"))),
     };
     let prefix = args.get("out-prefix").unwrap_or("sim");
+    // The output prefix may name a directory that does not exist yet;
+    // create it instead of failing the first file write.
+    if let Some(parent) = std::path::Path::new(&format!("{prefix}_ref.fa")).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::Io(format!("{}: {e}", parent.display())))?;
+        }
+    }
 
     let genome = GenomeBuilder::new(genome_size)
         .seed(seed)
@@ -511,7 +684,7 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
 
     let ref_path = format!("{prefix}_ref.fa");
     let reads_path = format!("{prefix}_reads.fq");
-    let ref_file = File::create(&ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+    let ref_file = File::create(&ref_path).map_err(|e| CliError::Io(format!("{ref_path}: {e}")))?;
     write_fasta(
         BufWriter::new(ref_file),
         &[FastaRecord {
@@ -519,13 +692,14 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
             seq: genome.sequence().to_vec(),
         }],
     )
-    .map_err(|e| e.to_string())?;
-    let reads_file = File::create(&reads_path).map_err(|e| format!("{reads_path}: {e}"))?;
+    .map_err(|e| CliError::Io(format!("{ref_path}: {e}")))?;
+    let reads_file =
+        File::create(&reads_path).map_err(|e| CliError::Io(format!("{reads_path}: {e}")))?;
     genasm_seq::fastq::write_fastq(
         BufWriter::new(reads_file),
         &to_fastq_records(&reads, &profile),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::Io(format!("{reads_path}: {e}")))?;
     eprintln!("wrote {ref_path} ({genome_size} bp) and {reads_path} ({count} reads)");
     Ok(())
 }
@@ -664,7 +838,8 @@ mod tests {
             "16".into(),
         ])
         .unwrap_err();
-        assert!(err.contains("unknown lane count"), "{err}");
+        assert!(err.message().contains("unknown lane count"), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
 
         // The filter runs on both scan kernels.
         for kernel in ["scalar", "lockstep"] {
@@ -783,7 +958,7 @@ mod tests {
             "csv".into(),
         ])
         .unwrap_err();
-        assert!(err.contains("unknown metrics mode"), "{err}");
+        assert!(err.message().contains("unknown metrics mode"), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -801,7 +976,7 @@ mod tests {
             "shouji".into(),
         ])
         .unwrap_err();
-        assert!(err.contains("unknown kernel"), "{err}");
+        assert!(err.message().contains("unknown kernel"), "{err:?}");
     }
 
     #[test]
@@ -821,7 +996,8 @@ mod tests {
                 value.into(),
             ])
             .unwrap_err();
-            assert!(err.contains(needle), "{key}: {err}");
+            assert!(err.message().contains(needle), "{key}: {err:?}");
+            assert_eq!(err.exit_code(), 2, "{key}");
         }
     }
 
@@ -838,8 +1014,143 @@ mod tests {
         ])
         .unwrap_err();
         assert!(
-            err.contains("unknown kernel") && err.contains("smith-waterman"),
-            "kernel validation must run before file loading: {err}"
+            err.message().contains("unknown kernel") && err.message().contains("smith-waterman"),
+            "kernel validation must run before file loading: {err:?}"
         );
+    }
+
+    #[test]
+    fn error_classes_pick_distinct_exit_codes() {
+        // Usage: unknown command.
+        let err = run(vec!["frobnicate".into()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(matches!(err, CliError::Usage(_)));
+        // I/O: a file that does not exist.
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            "/nonexistent/ref.fa".into(),
+            "--reads".into(),
+            "/nonexistent/reads.fq".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(matches!(err, CliError::Io(_)));
+        // Parse: malformed input data in strict mode.
+        let dir = std::env::temp_dir().join(format!("genasm_cli_exit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let reference = dir.join("ref.fa");
+        let reads = dir.join("reads.fq");
+        std::fs::write(&reference, ">chr\nACGTACGTACGTACGTACGT\n").unwrap();
+        std::fs::write(&reads, "@r1\nACGT\n+\nII\n").unwrap(); // qual too short
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            reference.to_string_lossy().into_owned(),
+            "--reads".into(),
+            reads.to_string_lossy().into_owned(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err:?}");
+        assert!(matches!(err, CliError::Parse(_)));
+        assert!(err.message().contains("quality length"), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_mode_maps_the_good_records_and_counts_the_bad() {
+        let dir = std::env::temp_dir().join(format!("genasm_cli_lenient_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        run(vec![
+            "simulate".into(),
+            "--genome-size".into(),
+            "20000".into(),
+            "--count".into(),
+            "4".into(),
+            "--length".into(),
+            "100".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out-prefix".into(),
+            prefix.clone(),
+        ])
+        .unwrap();
+        // Damage the reads file: append a truncated record.
+        let reads = format!("{prefix}_reads.fq");
+        let mut body = std::fs::read_to_string(&reads).unwrap();
+        body.push_str("@truncated\nACGTACGT\n");
+        std::fs::write(&reads, body).unwrap();
+
+        // Strict fails with a parse error...
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            reads.clone(),
+            "--strict".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err:?}");
+        // ...lenient maps the intact records.
+        run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            reads.clone(),
+            "--lenient".into(),
+        ])
+        .unwrap();
+        // Both flags at once is a usage error.
+        let err = run(vec![
+            "map".into(),
+            "--ref".into(),
+            format!("{prefix}_ref.fa"),
+            "--reads".into(),
+            reads.clone(),
+            "--strict".into(),
+            "--lenient".into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_flag_runs_and_degrades_gracefully() {
+        let dir = std::env::temp_dir().join(format!("genasm_cli_deadline_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        run(vec![
+            "simulate".into(),
+            "--genome-size".into(),
+            "20000".into(),
+            "--count".into(),
+            "4".into(),
+            "--length".into(),
+            "100".into(),
+            "--seed".into(),
+            "9".into(),
+            "--out-prefix".into(),
+            prefix.clone(),
+        ])
+        .unwrap();
+        // A generous deadline completes normally; both map and batch
+        // accept the flag.
+        for cmd in ["map", "batch"] {
+            run(vec![
+                cmd.into(),
+                "--ref".into(),
+                format!("{prefix}_ref.fa"),
+                "--reads".into(),
+                format!("{prefix}_reads.fq"),
+                "--deadline-ms".into(),
+                "60000".into(),
+            ])
+            .unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,18 +1,73 @@
 //! The batch engine: scoped worker pool over a chunked atomic work
 //! queue.
 
-use crate::job::{DistanceJob, Job, KeyedDistance, KeyedResult};
+use crate::job::{DistanceJob, Job, JobError, KeyedDistance, KeyedResult};
 use crate::kernel::{DcDispatch, GenAsmKernel, Kernel, KernelScratch, LaneCount};
 use crate::lockstep::LockstepScratch;
 use crate::obs::{WorkerObs, CHUNK_LATENCY_HISTOGRAM, JOB_LATENCY_HISTOGRAM};
 use crate::stats::{BatchOutput, BatchStats};
 use crate::stream::EngineStream;
 use genasm_core::align::{Alignment, GenAsmConfig};
-use genasm_core::error::AlignError;
 use genasm_obs::{Histogram, Telemetry};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation handle, optionally carrying an absolute
+/// deadline. Clones share the same flag, so a token given to an engine
+/// (via [`EngineConfig::with_cancel`]) can be fired from any thread;
+/// the deadline is resolved to an absolute [`Instant`] at construction
+/// so one token bounds an entire multi-batch pipeline run (the mapper
+/// issues several engine calls per batch against the same token).
+///
+/// Workers consult the token only at chunk-claim boundaries — never in
+/// the kernel hot loop — so cancellation granularity is one chunk and
+/// the happy-path cost is one branch per claim (zero when no token is
+/// configured).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`cancel`](Self::cancel).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally expires `budget` from now.
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Instant::now().checked_add(budget),
+        }
+    }
+
+    /// Fires the token: every holder observes expiry from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called (ignores the
+    /// deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// Whether the token has fired or its deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -36,6 +91,13 @@ pub struct EngineConfig {
     /// resolves to 8 lanes when AVX2 is detected, else 4). Ignored for
     /// custom kernels and scalar dispatch.
     pub lanes: LaneCount,
+    /// Optional cancellation token / deadline. When it expires
+    /// mid-batch, workers stop claiming new chunks and the batch
+    /// returns partial results: unclaimed jobs come back as
+    /// [`JobError::Cancelled`] and
+    /// [`BatchStats::deadline_hit`](crate::BatchStats) is set. `None`
+    /// (the default) costs nothing.
+    pub cancel: Option<CancelToken>,
 }
 
 impl EngineConfig {
@@ -72,6 +134,22 @@ impl EngineConfig {
     pub fn with_lanes(mut self, lanes: LaneCount) -> Self {
         self.lanes = lanes;
         self
+    }
+
+    /// Attaches a cancellation token (see [`CancelToken`]).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Attaches a fresh token expiring `budget` from now — the
+    /// one-liner for "bound this engine's work by a wall-clock
+    /// budget". The deadline is absolute, so every batch the engine
+    /// runs shares it.
+    #[must_use]
+    pub fn with_deadline(self, budget: Duration) -> Self {
+        self.with_cancel(CancelToken::with_deadline(budget))
     }
 
     /// The effective worker count for a batch of `jobs` jobs.
@@ -114,6 +192,31 @@ struct PoolMeters {
     dc_rows: (u64, u64),
     /// Traceback `(windows walked, rows available)`.
     tb: (u64, u64),
+    /// The batch's cancellation token expired before every chunk was
+    /// claimed; unclaimed slots stayed `None`.
+    deadline_hit: bool,
+}
+
+/// Counts [`JobError::Panicked`] slots in a batch's error iterator.
+fn count_poisoned<'a>(errors: impl Iterator<Item = Option<&'a JobError>>) -> u64 {
+    errors.flatten().filter(|e| e.is_panic()).count() as u64
+}
+
+/// Counts [`JobError::Cancelled`] slots in a batch's error iterator.
+fn count_cancelled<'a>(errors: impl Iterator<Item = Option<&'a JobError>>) -> u64 {
+    errors.flatten().filter(|e| e.is_cancelled()).count() as u64
+}
+
+/// Renders a caught panic payload for [`JobError::Panicked`]; string
+/// payloads (the overwhelmingly common case) come through verbatim.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl std::fmt::Debug for Engine {
@@ -174,6 +277,16 @@ impl Engine {
         &self.telemetry
     }
 
+    /// Attaches a cancellation token to an already-built engine (the
+    /// builder-style twin of [`EngineConfig::with_cancel`], for
+    /// callers that construct engines through a factory like the
+    /// mapper's `engine_with_lanes`).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = Some(cancel);
+        self
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -191,8 +304,11 @@ impl Engine {
 
     /// Aligns every job, returning per-job results in input order.
     /// Results are identical to calling the kernel sequentially on
-    /// each job.
-    pub fn align_batch(&self, jobs: &[Job]) -> Vec<Result<Alignment, AlignError>> {
+    /// each job. Failures are contained per job: a kernel panic
+    /// poisons only its own slot ([`JobError::Panicked`]) and a
+    /// deadline expiry marks only unclaimed slots
+    /// ([`JobError::Cancelled`]) — the rest of the batch completes.
+    pub fn align_batch(&self, jobs: &[Job]) -> Vec<Result<Alignment, JobError>> {
         self.align_batch_with_stats(jobs).results
     }
 
@@ -233,7 +349,7 @@ impl Engine {
             };
         }
         let (chunk_hist, job_hist) = self.batch_histograms(jobs.len());
-        let (results, meters) = self.run_pool(
+        let (slots, meters) = self.run_pool(
             jobs.len(),
             |kernel, scratch, range, produced, busy, max_job| {
                 let chunk_jobs = &jobs[range.clone()];
@@ -250,9 +366,12 @@ impl Engine {
                     if let Some(h) = &chunk_hist {
                         h.record_duration(took);
                     }
-                    produced.extend(range.zip(results));
+                    produced
+                        .extend(range.zip(results.into_iter().map(|r| r.map_err(JobError::from))));
                 } else {
                     for (offset, job) in chunk_jobs.iter().enumerate() {
+                        #[cfg(feature = "chaos")]
+                        genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
                         let t0 = Instant::now();
                         let result = kernel.align(&job.text, &job.pattern, scratch);
                         let took = t0.elapsed();
@@ -261,14 +380,27 @@ impl Engine {
                         if let Some(h) = &job_hist {
                             h.record_duration(took);
                         }
-                        produced.push((range.start + offset, result));
+                        produced.push((range.start + offset, result.map_err(JobError::from)));
                     }
                     if let Some(h) = &chunk_hist {
                         h.record_duration(t0.elapsed());
                     }
                 }
             },
+            |kernel, scratch, index| {
+                let job = &jobs[index];
+                #[cfg(feature = "chaos")]
+                genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
+                kernel
+                    .align(&job.text, &job.pattern, scratch)
+                    .map_err(JobError::from)
+            },
+            |message| Err(JobError::Panicked { message }),
         );
+        let results: Vec<Result<Alignment, JobError>> = slots
+            .into_iter()
+            .map(|slot| slot.unwrap_or(Err(JobError::Cancelled)))
+            .collect();
 
         let stats = BatchStats {
             jobs: jobs.len(),
@@ -283,7 +415,11 @@ impl Engine {
             tb_windows: meters.tb.0,
             tb_rows: meters.tb.1,
             dc_distance_jobs: 0,
+            jobs_poisoned: count_poisoned(results.iter().map(|r| r.as_ref().err())),
+            jobs_cancelled: count_cancelled(results.iter().map(|r| r.as_ref().err())),
+            deadline_hit: meters.deadline_hit,
         };
+        self.record_containment(&stats);
         BatchOutput { results, stats }
     }
 
@@ -310,7 +446,7 @@ impl Engine {
             return (Vec::new(), stats);
         }
         let (chunk_hist, _) = self.batch_histograms(jobs.len());
-        let (scanned, meters) = self.run_pool(
+        let (slots, meters) = self.run_pool(
             jobs.len(),
             |kernel, scratch, range, produced, busy, max_job| {
                 let chunk_jobs = &jobs[range.clone()];
@@ -322,27 +458,43 @@ impl Engine {
                     if let Some(h) = &chunk_hist {
                         h.record_duration(took);
                     }
-                    produced.extend(range.zip(results));
+                    produced
+                        .extend(range.zip(results.into_iter().map(|r| r.map_err(JobError::from))));
                 } else {
                     for (offset, job) in chunk_jobs.iter().enumerate() {
+                        #[cfg(feature = "chaos")]
+                        genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
                         let t0 = Instant::now();
                         let result = kernel.distance(&job.text, &job.pattern, job.k_max, scratch);
                         let took = t0.elapsed();
                         *busy += took;
                         *max_job = (*max_job).max(took);
-                        produced.push((range.start + offset, result));
+                        produced.push((range.start + offset, result.map_err(JobError::from)));
                     }
                     if let Some(h) = &chunk_hist {
                         h.record_duration(t0.elapsed());
                     }
                 }
             },
+            |kernel, scratch, index| {
+                let job = &jobs[index];
+                #[cfg(feature = "chaos")]
+                genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
+                kernel
+                    .distance(&job.text, &job.pattern, job.k_max, scratch)
+                    .map_err(JobError::from)
+            },
+            |message| Err(JobError::Panicked { message }),
         );
 
         let results: Vec<KeyedDistance> = jobs
             .iter()
             .map(|job| job.key)
-            .zip(scanned)
+            .zip(
+                slots
+                    .into_iter()
+                    .map(|slot| slot.unwrap_or(Err(JobError::Cancelled))),
+            )
             .map(|(key, result)| KeyedDistance { key, result })
             .collect();
         let stats = BatchStats {
@@ -358,7 +510,11 @@ impl Engine {
             tb_windows: meters.tb.0,
             tb_rows: meters.tb.1,
             dc_distance_jobs: jobs.len() as u64,
+            jobs_poisoned: count_poisoned(results.iter().map(|r| r.result.as_ref().err())),
+            jobs_cancelled: count_cancelled(results.iter().map(|r| r.result.as_ref().err())),
+            deadline_hit: meters.deadline_hit,
         };
+        self.record_containment(&stats);
         (results, stats)
     }
 
@@ -379,6 +535,29 @@ impl Engine {
         )
     }
 
+    /// Bumps the containment counters (`engine.jobs_poisoned`,
+    /// `engine.jobs_cancelled`) when a batch quarantined or skipped
+    /// jobs; free on clean batches and disabled telemetry.
+    fn record_containment(&self, stats: &BatchStats) {
+        if stats.jobs_poisoned == 0 && stats.jobs_cancelled == 0 {
+            return;
+        }
+        if !self.telemetry.metrics.is_enabled() {
+            return;
+        }
+        let metrics = &self.telemetry.metrics;
+        if stats.jobs_poisoned > 0 {
+            metrics
+                .counter("engine.jobs_poisoned")
+                .add(stats.jobs_poisoned);
+        }
+        if stats.jobs_cancelled > 0 {
+            metrics
+                .counter("engine.jobs_cancelled")
+                .add(stats.jobs_cancelled);
+        }
+    }
+
     /// The shared worker-pool driver behind
     /// [`align_batch_with_stats`](Self::align_batch_with_stats) and
     /// [`distance_batch_keyed`](Self::distance_batch_keyed): scoped
@@ -387,7 +566,29 @@ impl Engine {
     /// result per index; per-worker kernel scratch, busy/latency
     /// accounting and the lane-row / traceback counters are collected
     /// identically for every batch flavor.
-    fn run_pool<R, W>(&self, count: usize, work: W) -> (Vec<R>, PoolMeters)
+    ///
+    /// Fault containment happens here, once, for every batch flavor:
+    ///
+    /// * Each chunk runs under [`catch_unwind`]. A panicking chunk
+    ///   discards the worker's scratch (arenas touched by a panic are
+    ///   never reused — the next chunk gets a fresh one) and is then
+    ///   re-run one job at a time via `solo`, each job under its own
+    ///   `catch_unwind`, so only the job(s) that actually panic are
+    ///   quarantined through `poisoned`; their chunk-mates complete
+    ///   normally.
+    /// * When the config carries a [`CancelToken`], it is consulted
+    ///   before every chunk claim. On expiry the worker stops
+    ///   claiming; unclaimed slots come back `None` and
+    ///   [`PoolMeters::deadline_hit`] is set. Claimed chunks always
+    ///   run to completion — results already computed are never
+    ///   thrown away.
+    fn run_pool<R, W, S, P>(
+        &self,
+        count: usize,
+        work: W,
+        solo: S,
+        poisoned: P,
+    ) -> (Vec<Option<R>>, PoolMeters)
     where
         R: Send,
         W: Fn(
@@ -398,6 +599,8 @@ impl Engine {
                 &mut Duration,
                 &mut Duration,
             ) + Sync,
+        S: Fn(&dyn Kernel, &mut dyn KernelScratch, usize) -> R + Sync,
+        P: Fn(String) -> R + Sync,
     {
         let workers = self.config.effective_workers(count);
         let mut chunk = self.config.effective_chunk(count, workers);
@@ -419,23 +622,34 @@ impl Engine {
             max_job: Duration::ZERO,
             dc_rows: (0, 0),
             tb: (0, 0),
+            deadline_hit: false,
         };
+        let cancelled = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let cursor = &cursor;
+                    let cancelled = &cancelled;
                     let kernel = &*self.kernel;
                     let work = &work;
+                    let solo = &solo;
+                    let poisoned = &poisoned;
+                    let cancel = self.config.cancel.as_ref();
                     let telemetry = &self.telemetry;
                     scope.spawn(move || {
                         // Trace tid 0 is the coordinator (the mapper);
                         // engine workers claim 1 + worker_index.
                         let tid = 1 + worker as u32;
-                        let mut scratch = kernel.new_scratch();
-                        if let Some(ls) = scratch.as_any_mut().downcast_mut::<LockstepScratch>() {
-                            ls.obs = WorkerObs::new(telemetry, tid);
-                        }
+                        let make_scratch = || {
+                            let mut scratch = kernel.new_scratch();
+                            if let Some(ls) = scratch.as_any_mut().downcast_mut::<LockstepScratch>()
+                            {
+                                ls.obs = WorkerObs::new(telemetry, tid);
+                            }
+                            scratch
+                        };
+                        let mut scratch = make_scratch();
                         // Queue-access markers; the per-chunk work shows
                         // up as the scheduler's dc/tb/drain spans.
                         let mut claims = telemetry
@@ -446,6 +660,10 @@ impl Engine {
                         let mut busy = Duration::ZERO;
                         let mut max_job = Duration::ZERO;
                         loop {
+                            if cancel.is_some_and(CancelToken::expired) {
+                                cancelled.store(true, Ordering::Relaxed);
+                                break;
+                            }
                             if let Some(c) = claims.as_mut() {
                                 c.begin("claim");
                             }
@@ -456,15 +674,56 @@ impl Engine {
                             if start >= count {
                                 break;
                             }
-                            let end = (start + chunk).min(count);
-                            work(
-                                kernel,
-                                scratch.as_mut(),
-                                start..end,
-                                &mut produced,
-                                &mut busy,
-                                &mut max_job,
+                            #[cfg(feature = "chaos")]
+                            genasm_chaos::check(
+                                genasm_chaos::sites::ENGINE_WORKER_DELAY,
+                                start as u64,
                             );
+                            let end = (start + chunk).min(count);
+                            let before = produced.len();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                work(
+                                    kernel,
+                                    scratch.as_mut(),
+                                    start..end,
+                                    &mut produced,
+                                    &mut busy,
+                                    &mut max_job,
+                                )
+                            }));
+                            if outcome.is_err() {
+                                // The chunk panicked: its scratch may
+                                // hold torn state, so it is discarded
+                                // and the chunk re-runs one job at a
+                                // time on a fresh one — isolating the
+                                // job(s) that actually panic while
+                                // their chunk-mates complete.
+                                scratch = make_scratch();
+                                let already: Vec<usize> =
+                                    produced[before..].iter().map(|(i, _)| *i).collect();
+                                for index in start..end {
+                                    if already.contains(&index) {
+                                        continue;
+                                    }
+                                    let t0 = Instant::now();
+                                    let retried = catch_unwind(AssertUnwindSafe(|| {
+                                        solo(kernel, scratch.as_mut(), index)
+                                    }));
+                                    let took = t0.elapsed();
+                                    busy += took;
+                                    max_job = max_job.max(took);
+                                    match retried {
+                                        Ok(result) => produced.push((index, result)),
+                                        Err(payload) => {
+                                            scratch = make_scratch();
+                                            produced.push((
+                                                index,
+                                                poisoned(panic_message(payload.as_ref())),
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
                         }
                         let lane_rows = kernel.take_lane_rows(scratch.as_mut());
                         let tb = kernel.take_tb_counters(scratch.as_mut());
@@ -487,11 +746,8 @@ impl Engine {
             }
         });
 
-        let results = slots
-            .into_iter()
-            .map(|slot| slot.expect("every index is claimed exactly once"))
-            .collect();
-        (results, meters)
+        meters.deadline_hit = cancelled.load(Ordering::Relaxed);
+        (slots, meters)
     }
 
     /// Opens a persistent streaming session: jobs are accepted with
@@ -739,6 +995,192 @@ mod tests {
         let snapshot = telemetry.metrics.snapshot();
         assert!(snapshot.counters.is_empty());
         assert!(snapshot.histograms.is_empty());
+    }
+
+    /// A kernel that panics on jobs whose pattern length matches a
+    /// trigger — deterministic, so the engine's per-job retry panics
+    /// again and quarantines exactly the triggering jobs.
+    struct PanickyKernel {
+        inner: GenAsmKernel,
+        trigger_len: usize,
+    }
+
+    impl Kernel for PanickyKernel {
+        fn name(&self) -> &'static str {
+            "panicky"
+        }
+        fn new_scratch(&self) -> Box<dyn KernelScratch> {
+            self.inner.new_scratch()
+        }
+        fn align(
+            &self,
+            text: &[u8],
+            pattern: &[u8],
+            scratch: &mut dyn KernelScratch,
+        ) -> Result<Alignment, genasm_core::error::AlignError> {
+            assert!(
+                pattern.len() != self.trigger_len,
+                "injected test panic (len {})",
+                pattern.len()
+            );
+            self.inner.align(text, pattern, scratch)
+        }
+    }
+
+    /// Suppresses panic-hook spam for panics this test suite injects
+    /// on purpose, leaving every other panic's report untouched.
+    fn silence_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected test panic"));
+                if !injected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn kernel_panics_poison_only_their_own_jobs() {
+        silence_injected_panics();
+        let jobs = jobs();
+        let trigger_len = 93; // 80 + (1 * 13) % 300: job index 1's pattern length
+        let triggered: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.pattern.len() == trigger_len)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!triggered.is_empty(), "trigger must hit at least one job");
+        let clean = Engine::new(EngineConfig::default().with_workers(3));
+        let expected = clean.align_batch(&jobs);
+        for workers in [1usize, 3] {
+            let engine = Engine::with_kernel(
+                EngineConfig::default().with_workers(workers),
+                Arc::new(PanickyKernel {
+                    inner: GenAsmKernel::new(GenAsmConfig::default()),
+                    trigger_len,
+                }),
+            );
+            let output = engine.align_batch_with_stats(&jobs);
+            assert_eq!(output.stats.jobs_poisoned, triggered.len() as u64);
+            assert!(!output.stats.deadline_hit);
+            for (i, result) in output.results.iter().enumerate() {
+                if triggered.contains(&i) {
+                    match result {
+                        Err(JobError::Panicked { message }) => {
+                            assert!(message.contains("injected test panic"), "{message}");
+                        }
+                        other => panic!("job {i} should be poisoned, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(
+                        result, &expected[i],
+                        "workers={workers}: job {i} must be untouched by its chunk-mate's panic"
+                    );
+                }
+            }
+            // The engine (and its workers' rebuilt scratch) keeps
+            // serving after poisoned batches.
+            let again = engine.align_batch_with_stats(&jobs);
+            assert_eq!(again.stats.jobs_poisoned, triggered.len() as u64);
+        }
+    }
+
+    #[test]
+    fn poisoned_jobs_land_in_telemetry_counters() {
+        silence_injected_panics();
+        let jobs = jobs();
+        let trigger_len = 93; // matches jobs() index 1, as above
+        let telemetry = Telemetry::enabled();
+        let engine = Engine::with_kernel(
+            EngineConfig::default().with_workers(2),
+            Arc::new(PanickyKernel {
+                inner: GenAsmKernel::new(GenAsmConfig::default()),
+                trigger_len,
+            }),
+        )
+        .with_telemetry(telemetry.clone());
+        let output = engine.align_batch_with_stats(&jobs);
+        assert!(output.stats.jobs_poisoned > 0);
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(
+            snapshot.counter("engine.jobs_poisoned"),
+            Some(output.stats.jobs_poisoned)
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_batch_returns_all_cancelled_without_running() {
+        let jobs = jobs();
+        let token = CancelToken::new();
+        token.cancel();
+        let engine = Engine::new(EngineConfig::default().with_workers(2).with_cancel(token));
+        let output = engine.align_batch_with_stats(&jobs);
+        assert_eq!(output.results.len(), jobs.len());
+        assert!(output
+            .results
+            .iter()
+            .all(|r| r == &Err(JobError::Cancelled)));
+        assert!(output.stats.deadline_hit);
+        assert_eq!(output.stats.jobs_cancelled, jobs.len() as u64);
+        assert_eq!(output.stats.failures, jobs.len());
+        // Distance batches honor the same token.
+        let djobs: Vec<DistanceJob> = jobs
+            .iter()
+            .map(|j| DistanceJob::new(&j.text, &j.pattern, j.pattern.len()))
+            .collect();
+        let (distances, stats) = engine.distance_batch_keyed(&djobs);
+        assert!(distances
+            .iter()
+            .all(|k| k.result == Err(JobError::Cancelled)));
+        assert!(stats.deadline_hit);
+    }
+
+    #[test]
+    fn generous_deadline_leaves_the_batch_untouched() {
+        let jobs = jobs();
+        let plain = Engine::new(EngineConfig::default().with_workers(2));
+        let bounded = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_deadline(Duration::from_secs(3600)),
+        );
+        let a = plain.align_batch(&jobs);
+        let b = bounded.align_batch_with_stats(&jobs);
+        assert_eq!(
+            a, b.results,
+            "an unexpired deadline must not change results"
+        );
+        assert!(!b.stats.deadline_hit);
+        assert_eq!(b.stats.jobs_cancelled, 0);
+        assert_eq!(b.stats.jobs_poisoned, 0);
+    }
+
+    #[test]
+    fn cancel_token_expiry_semantics() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.expired());
+        assert!(token.deadline().is_none());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert!(token.expired());
+        let deadline = CancelToken::with_deadline(Duration::ZERO);
+        assert!(!deadline.is_cancelled(), "deadline expiry is not cancel()");
+        assert!(deadline.expired());
+        let far = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!far.expired());
+        // Clones share the flag.
+        let clone = far.clone();
+        far.cancel();
+        assert!(clone.expired());
     }
 
     #[test]

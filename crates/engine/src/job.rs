@@ -54,13 +54,74 @@ impl Job {
     }
 }
 
+/// Why one job produced no alignment. The per-job granularity is the
+/// fault-containment contract: a panicking or cancelled job is
+/// quarantined into its own `Err` slot while the rest of the batch
+/// completes and drains normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The kernel rejected the job's inputs (the ordinary per-job
+    /// error path; see [`AlignError`]).
+    Align(AlignError),
+    /// The kernel panicked while executing this job. The worker caught
+    /// the unwind, discarded and rebuilt its scratch arenas, and
+    /// completed the rest of its work; only this job is poisoned.
+    Panicked {
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// The batch's deadline expired or its [`CancelToken`]
+    /// (crate::CancelToken) fired before this job was claimed. The
+    /// job never ran; results for claimed jobs are still returned.
+    Cancelled,
+}
+
+impl JobError {
+    /// The underlying kernel error, when this is an ordinary
+    /// [`Align`](Self::Align) failure.
+    pub fn as_align(&self) -> Option<&AlignError> {
+        match self {
+            JobError::Align(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether the job was quarantined after a kernel panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, JobError::Panicked { .. })
+    }
+
+    /// Whether the job was skipped by a deadline or cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, JobError::Cancelled)
+    }
+}
+
+impl From<AlignError> for JobError {
+    fn from(e: AlignError) -> Self {
+        JobError::Align(e)
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Align(e) => write!(f, "{e}"),
+            JobError::Panicked { message } => write!(f, "kernel panicked: {message}"),
+            JobError::Cancelled => write!(f, "cancelled before execution (deadline expired)"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// One job's outcome paired with the job's caller key.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyedResult {
     /// The key of the job that produced this result.
     pub key: u64,
     /// The alignment outcome.
-    pub result: Result<Alignment, AlignError>,
+    pub result: Result<Alignment, JobError>,
 }
 
 /// One **phase-1** unit of work of the two-phase alignment path: a
@@ -115,5 +176,5 @@ pub struct KeyedDistance {
     /// The key of the job that produced this result.
     pub key: u64,
     /// The distance outcome.
-    pub result: Result<Option<usize>, AlignError>,
+    pub result: Result<Option<usize>, JobError>,
 }

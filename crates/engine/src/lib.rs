@@ -38,6 +38,16 @@
 //! [`GenAsmAligner::align`](genasm_core::GenAsmAligner::align) path:
 //! scheduling only decides *who* runs a job, never *how*.
 //!
+//! Failures are contained per job ([`JobError`]): a kernel panic is
+//! caught at the chunk boundary, the worker's arenas are discarded and
+//! rebuilt, and only the panicking job is quarantined while the rest
+//! of the batch completes. An optional [`CancelToken`] / deadline
+//! ([`EngineConfig::with_deadline`]) is checked at chunk-claim
+//! boundaries — never in the kernel hot loop — and on expiry the batch
+//! returns partial results with unclaimed jobs marked
+//! [`JobError::Cancelled`]. See `docs/ROBUSTNESS.md` for the full
+//! containment story.
+//!
 //! # Quick example
 //!
 //! ```
@@ -61,8 +71,8 @@ pub mod obs;
 pub mod stats;
 pub mod stream;
 
-pub use engine::{Engine, EngineConfig};
-pub use job::{DistanceJob, Job, KeyedDistance, KeyedResult};
+pub use engine::{CancelToken, Engine, EngineConfig};
+pub use job::{DistanceJob, Job, JobError, KeyedDistance, KeyedResult};
 pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, LaneCount};
 pub use lockstep::LockstepScratch;
 pub use obs::WorkerObs;

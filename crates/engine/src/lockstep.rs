@@ -268,6 +268,8 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                     let idx = self.next_job;
                     self.next_job += 1;
                     let job = &self.jobs[idx];
+                    #[cfg(feature = "chaos")]
+                    genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
                     match WindowWalk::new(self.config, &job.text, &job.pattern) {
                         Ok(walk) => {
                             let started = stamp_job(self.obs);
@@ -427,6 +429,8 @@ fn align_chunk_fallback(
 ) -> Vec<Result<Alignment, AlignError>> {
     jobs.iter()
         .map(|job| {
+            #[cfg(feature = "chaos")]
+            genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
             let started = stamp_job(obs);
             let result = align_job_scalar(config, &job.text, &job.pattern, scalar, tb);
             retire_job(obs, started);
@@ -469,6 +473,8 @@ pub(crate) fn align_chunk_chunked<const L: usize>(
                 let idx = next_job;
                 next_job += 1;
                 let job = &jobs[idx];
+                #[cfg(feature = "chaos")]
+                genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
                 match WindowWalk::new(config, &job.text, &job.pattern) {
                     Ok(walk) => {
                         let started = stamp_job(obs);
@@ -701,6 +707,8 @@ pub(crate) fn distance_chunk_streaming<const L: usize>(
                 let idx = next_job;
                 let block_no = next_block;
                 let job = &jobs[idx];
+                #[cfg(feature = "chaos")]
+                genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
                 let block_start = block_no * MAX_WINDOW;
                 let block =
                     &job.pattern[block_start..(block_start + MAX_WINDOW).min(job.pattern.len())];

@@ -1,7 +1,7 @@
 //! Per-batch throughput and latency accounting.
 
+use crate::job::JobError;
 use genasm_core::align::Alignment;
-use genasm_core::error::AlignError;
 use std::time::Duration;
 
 /// Throughput and latency figures for one completed batch.
@@ -50,6 +50,15 @@ pub struct BatchStats {
     /// Distance-only (phase-1) jobs this batch ran; zero for full
     /// alignment batches.
     pub dc_distance_jobs: u64,
+    /// Jobs quarantined after a kernel panic
+    /// ([`JobError::Panicked`]); included in `failures`.
+    pub jobs_poisoned: u64,
+    /// Jobs skipped by a deadline or cancellation
+    /// ([`JobError::Cancelled`]); included in `failures`.
+    pub jobs_cancelled: u64,
+    /// Whether the batch's deadline/cancellation fired before every
+    /// job was claimed (the batch returned partial results).
+    pub deadline_hit: bool,
 }
 
 impl BatchStats {
@@ -114,7 +123,7 @@ pub fn lane_occupancy_ratio(issued: u64, useful: u64) -> Option<f64> {
 #[derive(Debug)]
 pub struct BatchOutput {
     /// One result per job, in the order the jobs were given.
-    pub results: Vec<Result<Alignment, AlignError>>,
+    pub results: Vec<Result<Alignment, JobError>>,
     /// Aggregate batch statistics.
     pub stats: BatchStats,
 }

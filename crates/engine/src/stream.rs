@@ -1,11 +1,11 @@
 //! The streaming `submit`/`drain` session: a persistent worker pool
 //! that starts executing jobs the moment they are submitted.
 
-use crate::job::Job;
+use crate::job::{Job, JobError};
 use crate::kernel::Kernel;
 use genasm_core::align::Alignment;
-use genasm_core::error::AlignError;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -13,7 +13,7 @@ use std::thread::JoinHandle;
 /// only for queue pops and result stores — kernels run outside it).
 struct StreamState {
     queue: VecDeque<(usize, Job)>,
-    results: Vec<Option<Result<Alignment, AlignError>>>,
+    results: Vec<Option<Result<Alignment, JobError>>>,
     completed: usize,
     shutdown: bool,
 }
@@ -87,7 +87,9 @@ impl EngineStream {
 
     /// Waits for all submitted jobs and returns their results in
     /// submission order, resetting the session for the next round.
-    pub fn drain(&mut self) -> Vec<Result<Alignment, AlignError>> {
+    /// A kernel panic poisons only its own job
+    /// ([`JobError::Panicked`]); the session and its workers survive.
+    pub fn drain(&mut self) -> Vec<Result<Alignment, JobError>> {
         let mut state = self.shared.state.lock().expect("stream state poisoned");
         while state.completed < self.submitted {
             state = self.shared.done.wait(state).expect("stream state poisoned");
@@ -132,7 +134,26 @@ fn worker_loop(shared: &Shared, kernel: &dyn Kernel) {
                 state = shared.work.wait(state).expect("stream state poisoned");
             }
         };
-        let result = kernel.align(&job.text, &job.pattern, scratch.as_mut());
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
+            kernel.align(&job.text, &job.pattern, scratch.as_mut())
+        })) {
+            Ok(result) => result.map_err(JobError::from),
+            Err(payload) => {
+                // The panicked job's arenas may hold torn state; the
+                // worker rebuilds its scratch and keeps serving.
+                scratch = kernel.new_scratch();
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(JobError::Panicked { message })
+            }
+        };
         let mut state = shared.state.lock().expect("stream state poisoned");
         state.results[index] = Some(result);
         state.completed += 1;

@@ -1,0 +1,178 @@
+//! Deterministic fault-injection tests for the engine's containment
+//! contract (compiled only with `--features chaos`):
+//!
+//! * an injected kernel panic poisons exactly the armed jobs — every
+//!   other job's result is bit-identical to a fault-free run;
+//! * a stuck worker (injected chunk-claim delay) plus a deadline
+//!   yields partial results, never a crash or a hang;
+//! * containment is deterministic across worker counts.
+//!
+//! The chaos registry is process-global, so every test serializes on
+//! one mutex and clears the plan through a drop guard (panics in a
+//! test must not leak an armed plan into its siblings).
+#![cfg(feature = "chaos")]
+
+use genasm_chaos::{sites, Fault, FaultPlan};
+use genasm_engine::{Engine, EngineConfig, Job, JobError};
+use genasm_seq::genome::GenomeBuilder;
+use std::sync::{Mutex, MutexGuard, Once};
+use std::time::Duration;
+
+/// Serializes tests that install plans into the global registry.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Keeps injected panics out of test output: the default hook prints a
+/// backtrace per panic, which would bury real failures under dozens of
+/// intentional ones.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("chaos:"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("chaos:"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Clears the installed plan when the test ends, pass or fail.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        genasm_chaos::clear();
+    }
+}
+
+/// A batch of alignable jobs keyed by index over a synthetic genome.
+fn jobs(n: usize) -> Vec<Job> {
+    let genome = GenomeBuilder::new(20_000).seed(1234).build();
+    (0..n)
+        .map(|i| {
+            let start = 37 * i;
+            let text = genome.region(start, start + 220);
+            let pattern = genome.region(start + 11, start + 161);
+            Job::new(text, pattern).with_key(i as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn injected_kernel_panics_poison_exactly_the_armed_jobs() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let jobs = jobs(48);
+    let config = EngineConfig::default().with_workers(2);
+    let engine = Engine::new(config.clone());
+    let baseline = engine.align_batch(&jobs);
+    assert!(baseline.iter().all(Result::is_ok), "baseline must be clean");
+
+    let plan = FaultPlan::new(0xC0FFEE).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 4);
+    let armed: Vec<bool> = jobs
+        .iter()
+        .map(|j| plan.would_panic(sites::ENGINE_KERNEL_PANIC, j.key))
+        .collect();
+    let armed_count = armed.iter().filter(|&&a| a).count();
+    assert!(
+        armed_count > 0 && armed_count < jobs.len(),
+        "plan must arm a strict subset ({armed_count} of {})",
+        jobs.len()
+    );
+
+    genasm_chaos::install(plan);
+    let _cleanup = PlanGuard;
+    let output = Engine::new(config).align_batch_with_stats(&jobs);
+
+    for (i, result) in output.results.iter().enumerate() {
+        if armed[i] {
+            match result {
+                Err(JobError::Panicked { message }) => {
+                    assert!(message.contains("chaos:"), "job {i}: {message:?}");
+                }
+                other => panic!("armed job {i} was not quarantined: {other:?}"),
+            }
+        } else {
+            // The containment invariant: unaffected jobs are
+            // bit-identical to the fault-free run.
+            assert_eq!(result, &baseline[i], "job {i} diverged");
+        }
+    }
+    assert_eq!(output.stats.jobs_poisoned, armed_count as u64);
+    assert_eq!(output.stats.jobs_cancelled, 0);
+    assert!(!output.stats.deadline_hit);
+}
+
+#[test]
+fn containment_is_deterministic_across_worker_counts() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let jobs = jobs(32);
+    genasm_chaos::install(FaultPlan::new(7).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 3));
+    let _cleanup = PlanGuard;
+
+    let solo = Engine::new(EngineConfig::default().with_workers(1)).align_batch(&jobs);
+    let pooled = Engine::new(EngineConfig::default().with_workers(3)).align_batch(&jobs);
+    // Same plan, same jobs: the poisoned set and every surviving
+    // alignment are independent of the thread schedule.
+    assert_eq!(solo, pooled);
+    assert!(solo.iter().any(|r| matches!(r, Err(e) if e.is_panic())));
+}
+
+#[test]
+fn stuck_worker_with_deadline_returns_partial_results() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let jobs = jobs(64);
+    let baseline = Engine::new(EngineConfig::default().with_workers(1)).align_batch(&jobs);
+
+    // Every chunk claim sleeps 20ms against a 5ms deadline: after the
+    // first claimed chunk completes, the next claim check must see the
+    // token expired and leave the tail unclaimed.
+    genasm_chaos::install(FaultPlan::new(3).with_fault(
+        sites::ENGINE_WORKER_DELAY,
+        Fault::Delay(Duration::from_millis(20)),
+        1,
+        1,
+    ));
+    let _cleanup = PlanGuard;
+    let config = EngineConfig::default()
+        .with_workers(1)
+        .with_chunk(8)
+        .with_deadline(Duration::from_millis(5));
+    let output = Engine::new(config).align_batch_with_stats(&jobs);
+
+    assert_eq!(output.results.len(), jobs.len());
+    let cancelled = output
+        .results
+        .iter()
+        .filter(|r| matches!(r, Err(e) if e.is_cancelled()))
+        .count();
+    assert!(cancelled > 0, "the deadline must strand unclaimed jobs");
+    assert!(output.stats.deadline_hit);
+    assert_eq!(output.stats.jobs_cancelled, cancelled as u64);
+    for (i, result) in output.results.iter().enumerate() {
+        match result {
+            // Claimed chunks ran to completion and stayed correct.
+            Ok(_) => assert_eq!(result, &baseline[i], "job {i} diverged"),
+            Err(e) => assert!(e.is_cancelled(), "job {i}: unexpected {e:?}"),
+        }
+    }
+}

@@ -36,7 +36,8 @@ use genasm_core::cigar::Cigar;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
 use genasm_engine::{
-    DcDispatch, DistanceJob, Engine, EngineConfig, GotohKernel, Job, KeyedResult, LaneCount,
+    CancelToken, DcDispatch, DistanceJob, Engine, EngineConfig, GotohKernel, Job, JobError,
+    KeyedResult, LaneCount,
 };
 use genasm_obs::{SpanBuffer, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -49,6 +50,16 @@ use std::time::{Duration, Instant};
 /// its read count — an amortized per-read figure, since batched reads
 /// have no individual wall clock.
 pub const READ_LATENCY_HISTOGRAM: &str = "map.read_latency_us";
+
+/// Counter: reads the resilient batch path marked
+/// [`ReadOutcome::Poisoned`] because a kernel panicked on one of their
+/// candidates.
+pub const READS_POISONED_COUNTER: &str = "map.reads_poisoned";
+
+/// Counter: reads the resilient batch path marked
+/// [`ReadOutcome::Incomplete`] because the engine's deadline expired
+/// (or its token was cancelled) before they fully resolved.
+pub const READS_DEADLINE_DROPPED_COUNTER: &str = "map.reads_deadline_dropped";
 
 /// Which pre-alignment filter the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -150,6 +161,104 @@ pub struct Mapping {
     pub edit_distance: usize,
     /// Affine score of the alignment under the configured scoring.
     pub score: i64,
+}
+
+/// Per-read outcome of the resilient batch path
+/// ([`ReadMapper::map_batch_resilient`]): what the pipeline produced
+/// for the read, or why it could not.
+///
+/// The fault variants carry precedence: a kernel panic on any of a
+/// read's candidates makes the whole read [`Poisoned`](Self::Poisoned)
+/// (its other candidates may have aligned, but the set is no longer
+/// provably complete), and a deadline expiry makes it
+/// [`Incomplete`](Self::Incomplete) with whatever mapping had resolved
+/// by then.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read mapped; the pipeline ran every stage for it.
+    Mapped(Mapping),
+    /// The pipeline ran every stage and found no mapping.
+    Unmapped,
+    /// A kernel panicked while aligning one of the read's candidates;
+    /// the panic was contained to this read (its batch-mates are
+    /// unaffected) and the read must be treated as unmapped.
+    Poisoned {
+        /// The panic payload, for diagnostics.
+        message: String,
+    },
+    /// The engine's deadline expired (or its [`CancelToken`] fired)
+    /// before the read fully resolved.
+    Incomplete {
+        /// The best mapping resolved before the cutoff, when any stage
+        /// completed for this read. Not guaranteed to be the mapping a
+        /// full run would select.
+        partial: Option<Mapping>,
+    },
+}
+
+impl ReadOutcome {
+    /// The mapping, when the read fully resolved ([`Self::Mapped`]
+    /// only — a partial mapping is not a resolved one).
+    pub fn mapping(&self) -> Option<&Mapping> {
+        match self {
+            ReadOutcome::Mapped(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Collapses to the lossy `Option<Mapping>` shape of
+    /// [`ReadMapper::map_batch_with_engine`]: the mapping for
+    /// [`Self::Mapped`], the partial for [`Self::Incomplete`], `None`
+    /// otherwise.
+    pub fn into_mapping(self) -> Option<Mapping> {
+        match self {
+            ReadOutcome::Mapped(m) => Some(m),
+            ReadOutcome::Incomplete { partial } => partial,
+            _ => None,
+        }
+    }
+
+    /// Whether the read hit a fault (panic or deadline) rather than
+    /// resolving normally.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            ReadOutcome::Poisoned { .. } | ReadOutcome::Incomplete { .. }
+        )
+    }
+}
+
+/// Per-read fault state accumulated while a batch runs: which reads
+/// were poisoned by a kernel panic and which were cut off by the
+/// deadline. Poisoning wins over dropping when both happen.
+#[derive(Debug)]
+struct BatchFaults {
+    poisoned: Vec<Option<String>>,
+    dropped: Vec<bool>,
+}
+
+impl BatchFaults {
+    fn new(reads: usize) -> Self {
+        BatchFaults {
+            poisoned: vec![None; reads],
+            dropped: vec![false; reads],
+        }
+    }
+
+    /// Marks `read` poisoned, keeping the first panic's message.
+    fn poison(&mut self, read: usize, message: &str) {
+        if self.poisoned[read].is_none() {
+            self.poisoned[read] = Some(message.to_string());
+        }
+    }
+
+    fn drop_deadline(&mut self, read: usize) {
+        self.dropped[read] = true;
+    }
+
+    fn is_faulted(&self, read: usize) -> bool {
+        self.poisoned[read].is_some() || self.dropped[read]
+    }
 }
 
 /// Wall-clock time spent in each pipeline stage.
@@ -567,6 +676,39 @@ impl ReadMapper {
         reads: &[&[u8]],
         engine: &Engine,
     ) -> (Vec<Option<Mapping>>, StageTimings) {
+        let (outcomes, timings) = self.map_batch_resilient(reads, engine);
+        let mappings = outcomes
+            .into_iter()
+            .map(ReadOutcome::into_mapping)
+            .collect();
+        (mappings, timings)
+    }
+
+    /// The fault-tolerant batch path: identical stages and mappings to
+    /// [`map_batch_with_engine`](Self::map_batch_with_engine), but each
+    /// read resolves to a [`ReadOutcome`] instead of a bare
+    /// `Option<Mapping>`, so faults are reportable per read instead of
+    /// silently reading as "unmapped":
+    ///
+    /// * a kernel panic on any candidate is contained by the engine to
+    ///   that job and surfaces here as [`ReadOutcome::Poisoned`] on the
+    ///   owning read — every other read's outcome is bit-identical to
+    ///   a fault-free run;
+    /// * when the engine's [`CancelToken`] (see
+    ///   [`EngineConfig::with_deadline`]) expires mid-batch, the batch
+    ///   returns early with [`ReadOutcome::Incomplete`] for the reads
+    ///   that had not fully resolved — carrying any partial mapping —
+    ///   instead of blocking past its budget. The seed stage checks
+    ///   the token at read-claim boundaries, the engine at chunk-claim
+    ///   boundaries; neither pays a per-base cost.
+    ///
+    /// Faulted reads are counted into [`READS_POISONED_COUNTER`] and
+    /// [`READS_DEADLINE_DROPPED_COUNTER`] when telemetry is enabled.
+    pub fn map_batch_resilient(
+        &self,
+        reads: &[&[u8]],
+        engine: &Engine,
+    ) -> (Vec<ReadOutcome>, StageTimings) {
         let started = (self.telemetry.metrics.is_enabled() && !reads.is_empty()).then(Instant::now);
         let out = self.map_batch_engine_inner(reads, engine);
         if let Some(t0) = started {
@@ -588,8 +730,10 @@ impl ReadMapper {
         &self,
         reads: &[&[u8]],
         engine: &Engine,
-    ) -> (Vec<Option<Mapping>>, StageTimings) {
+    ) -> (Vec<ReadOutcome>, StageTimings) {
         let mut timings = StageTimings::default();
+        let mut faults = BatchFaults::new(reads.len());
+        let cancel = engine.config().cancel.clone();
         // Coordinator stage spans trace as tid 0.
         let mut coord = self
             .telemetry
@@ -598,17 +742,23 @@ impl ReadMapper {
             .then(|| self.telemetry.tracer.buffer(0));
 
         // Stage 1 — seed and filter every read, sharded across the
-        // engine's workers.
+        // engine's workers. The cancel token is checked at read-claim
+        // boundaries: reads not yet claimed when it expires stay
+        // unseeded and resolve to `Incomplete`.
         let t0 = Instant::now();
         if let Some(c) = coord.as_mut() {
             c.begin("seed_filter");
         }
         let workers = engine.config().effective_workers(reads.len().max(1));
-        let (seeded, stage_busy) = if workers <= 1 || reads.len() <= 1 {
+        let (seeded, stage_busy, seeded_ok) = if workers <= 1 || reads.len() <= 1 {
             let mut busy = StageTimings::default();
             let mut scratch = SeedScratch::default();
             let mut seeded = Vec::new();
+            let mut ok = vec![false; reads.len()];
             for (idx, read) in reads.iter().enumerate() {
+                if cancel.as_ref().is_some_and(CancelToken::expired) {
+                    break;
+                }
                 seeded.extend(self.seed_filter_read(
                     idx,
                     read,
@@ -616,11 +766,17 @@ impl ReadMapper {
                     &mut scratch,
                     &mut coord,
                 ));
+                ok[idx] = true;
             }
-            (seeded, busy)
+            (seeded, busy, ok)
         } else {
-            self.seed_filter_parallel(reads, workers)
+            self.seed_filter_parallel(reads, workers, cancel.as_ref())
         };
+        for (idx, &ok) in seeded_ok.iter().enumerate() {
+            if !ok {
+                faults.drop_deadline(idx);
+            }
+        }
         if let Some(c) = coord.as_mut() {
             c.end("seed_filter");
         }
@@ -674,8 +830,8 @@ impl ReadMapper {
             timings.traceback = t2.elapsed();
             timings.traceback_jobs = jobs.len() as u64;
             absorb_engine_stats(&mut timings, &align_stats);
-            self.fold_keyed(&cands, keyed, &mut best);
-            return (best, timings);
+            self.fold_keyed(&cands, keyed, &mut best, &mut faults);
+            return (self.assemble_outcomes(best, faults), timings);
         }
 
         // Stage 2 — distance-only scans (phase 1). Only contested
@@ -716,12 +872,22 @@ impl ReadMapper {
             // Each candidate's `bound` is a certified lower bound of
             // its full alignment's edit distance: the scanned
             // distance, `k + 1` when the scan exhausted its budget,
-            // and 0 (align unconditionally) when the scan failed.
+            // and 0 (align unconditionally) when the scan failed. A
+            // panicked or cancelled scan additionally faults its read.
             for kd in &distances {
-                bound[kd.key as usize] = match &kd.result {
+                let idx = kd.key as usize;
+                bound[idx] = match &kd.result {
                     Ok(Some(d)) => *d,
-                    Ok(None) => cands[kd.key as usize].budget + 1,
-                    Err(_) => 0,
+                    Ok(None) => cands[idx].budget + 1,
+                    Err(JobError::Panicked { message }) => {
+                        faults.poison(cands[idx].read, message);
+                        0
+                    }
+                    Err(JobError::Cancelled) => {
+                        faults.drop_deadline(cands[idx].read);
+                        0
+                    }
+                    Err(JobError::Align(_)) => 0,
                 };
             }
         }
@@ -734,8 +900,15 @@ impl ReadMapper {
         for (idx, c) in cands.iter().enumerate() {
             min_bound[c.read] = min_bound[c.read].min(bound[idx]);
         }
+        // Faulted reads' candidates are dropped here: a poisoned read
+        // is no longer provably resolvable and a deadline-dropped one
+        // would only be cancelled again, so neither spends traceback
+        // work. On a fault-free run no read is faulted and the winner
+        // set is exactly the unfiltered one.
         let winners: Vec<usize> = (0..cands.len())
-            .filter(|&idx| bound[idx] == min_bound[cands[idx].read])
+            .filter(|&idx| {
+                bound[idx] == min_bound[cands[idx].read] && !faults.is_faulted(cands[idx].read)
+            })
             .collect();
         if let Some(c) = coord.as_mut() {
             c.end("resolve");
@@ -759,7 +932,7 @@ impl ReadMapper {
         timings.traceback = t3.elapsed();
         timings.traceback_jobs = winner_jobs.len() as u64;
         absorb_engine_stats(&mut timings, &align_stats);
-        self.fold_keyed(&cands, keyed, &mut best);
+        self.fold_keyed(&cands, keyed, &mut best, &mut faults);
 
         // Verification round: a winner's realized distance can exceed
         // its bound (the windowed walk is a heuristic), so re-align any
@@ -771,6 +944,7 @@ impl ReadMapper {
         let verify: Vec<usize> = (0..cands.len())
             .filter(|&idx| {
                 !aligned[idx]
+                    && !faults.is_faulted(cands[idx].read)
                     && bound[idx]
                         <= best[cands[idx].read]
                             .as_ref()
@@ -790,9 +964,55 @@ impl ReadMapper {
             timings.traceback += t4.elapsed();
             timings.traceback_jobs += verify_jobs.len() as u64;
             absorb_engine_stats(&mut timings, &verify_stats);
-            self.fold_keyed(&cands, keyed, &mut best);
+            self.fold_keyed(&cands, keyed, &mut best, &mut faults);
         }
-        (best, timings)
+        (self.assemble_outcomes(best, faults), timings)
+    }
+
+    /// Folds the per-read mappings and fault state into final
+    /// [`ReadOutcome`]s (poisoning wins over deadline-dropping) and
+    /// bumps the fault counters when telemetry is enabled.
+    fn assemble_outcomes(
+        &self,
+        best: Vec<Option<Mapping>>,
+        faults: BatchFaults,
+    ) -> Vec<ReadOutcome> {
+        let mut poisoned = 0u64;
+        let mut dropped = 0u64;
+        let outcomes: Vec<ReadOutcome> = best
+            .into_iter()
+            .zip(faults.poisoned)
+            .zip(faults.dropped)
+            .map(|((mapping, poison), drop)| match (poison, drop) {
+                (Some(message), _) => {
+                    poisoned += 1;
+                    ReadOutcome::Poisoned { message }
+                }
+                (None, true) => {
+                    dropped += 1;
+                    ReadOutcome::Incomplete { partial: mapping }
+                }
+                (None, false) => match mapping {
+                    Some(m) => ReadOutcome::Mapped(m),
+                    None => ReadOutcome::Unmapped,
+                },
+            })
+            .collect();
+        if self.telemetry.metrics.is_enabled() {
+            if poisoned > 0 {
+                self.telemetry
+                    .metrics
+                    .counter(READS_POISONED_COUNTER)
+                    .add(poisoned);
+            }
+            if dropped > 0 {
+                self.telemetry
+                    .metrics
+                    .counter(READS_DEADLINE_DROPPED_COUNTER)
+                    .add(dropped);
+            }
+        }
+        outcomes
     }
 
     /// Full-mode engine jobs for the given candidate indices, keyed by
@@ -810,17 +1030,30 @@ impl ReadMapper {
     /// Folds keyed full-alignment results into the per-read best
     /// mappings with the sequential path's tie-breaking (lowest edit
     /// distance, forward strand preferred, then lowest position).
-    /// Failed alignments are skipped, exactly as `map_read` skips
-    /// them.
+    /// Per-job alignment failures are skipped, exactly as `map_read`
+    /// skips them; panicked jobs poison their read and cancelled jobs
+    /// mark it deadline-dropped.
     fn fold_keyed(
         &self,
         cands: &[Cand<'_>],
         keyed: Vec<KeyedResult>,
         best: &mut [Option<Mapping>],
+        faults: &mut BatchFaults,
     ) {
         for KeyedResult { key, result } in keyed {
             let c = &cands[key as usize];
-            let Ok(alignment) = result else { continue };
+            let alignment = match result {
+                Ok(alignment) => alignment,
+                Err(JobError::Panicked { message }) => {
+                    faults.poison(c.read, &message);
+                    continue;
+                }
+                Err(JobError::Cancelled) => {
+                    faults.drop_deadline(c.read);
+                    continue;
+                }
+                Err(JobError::Align(_)) => continue,
+            };
             let mapping = Mapping {
                 position: c.pos,
                 reverse: c.reverse,
@@ -883,10 +1116,17 @@ impl ReadMapper {
     /// threads. Reads are claimed from an atomic cursor; each read is
     /// processed wholly by one worker and the per-read outputs are
     /// merged back in read order, so the result is identical at any
-    /// worker count. Returns the seeded reads plus the workers'
+    /// worker count. The cancel token is checked at each read claim:
+    /// workers stop claiming once it expires, leaving the remaining
+    /// reads unseeded. Returns the seeded reads, the workers'
     /// accumulated busy timings (seeding/filtering sums and candidate
-    /// counters).
-    fn seed_filter_parallel(&self, reads: &[&[u8]], workers: usize) -> (Vec<Seeded>, StageTimings) {
+    /// counters), and a per-read flag of which reads were seeded.
+    fn seed_filter_parallel(
+        &self,
+        reads: &[&[u8]],
+        workers: usize,
+        cancel: Option<&CancelToken>,
+    ) -> (Vec<Seeded>, StageTimings, Vec<bool>) {
         let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<Vec<Seeded>>> = Vec::new();
         slots.resize_with(reads.len(), || None);
@@ -907,6 +1147,9 @@ impl ReadMapper {
                         let mut local = StageTimings::default();
                         let mut produced: Vec<(usize, Vec<Seeded>)> = Vec::new();
                         loop {
+                            if cancel.is_some_and(CancelToken::expired) {
+                                break;
+                            }
                             let idx = cursor.fetch_add(1, Ordering::Relaxed);
                             if idx >= reads.len() {
                                 break;
@@ -934,11 +1177,15 @@ impl ReadMapper {
                 }
             }
         });
-        let seeded = slots
-            .into_iter()
-            .flat_map(|slot| slot.expect("every read index is claimed exactly once"))
-            .collect();
-        (seeded, busy)
+        let mut seeded_ok = vec![false; reads.len()];
+        let mut seeded = Vec::new();
+        for (idx, slot) in slots.into_iter().enumerate() {
+            if let Some(s) = slot {
+                seeded_ok[idx] = true;
+                seeded.extend(s);
+            }
+        }
+        (seeded, busy, seeded_ok)
     }
 
     /// Pipeline steps 1–2 for one oriented read: seeding, then the
@@ -1274,6 +1521,88 @@ mod tests {
         quiet.map_read(reads[0]);
         assert_eq!(off.tracer.event_count(), 0);
         assert!(off.metrics.snapshot().histograms.is_empty());
+    }
+
+    #[test]
+    fn resilient_outcomes_match_plain_batch_when_fault_free() {
+        use genasm_engine::{Engine, EngineConfig};
+        let reference = genome();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(3)
+                .with_genasm(mapper.config().genasm.clone()),
+        );
+        let reads: Vec<&[u8]> = vec![
+            &reference[100..250],
+            &reference[5_000..5_150],
+            &reference[9_000..9_160],
+        ];
+        let (outcomes, _) = mapper.map_batch_resilient(&reads, &engine);
+        let (mappings, _) = mapper.map_batch_with_engine(&reads, &engine);
+        assert_eq!(outcomes.len(), mappings.len());
+        for (outcome, mapping) in outcomes.iter().zip(&mappings) {
+            assert!(
+                !outcome.is_fault(),
+                "fault on a fault-free run: {outcome:?}"
+            );
+            assert_eq!(outcome.mapping(), mapping.as_ref());
+        }
+    }
+
+    #[test]
+    fn pre_expired_deadline_yields_incomplete_outcomes() {
+        use genasm_engine::{CancelToken, Engine, EngineConfig};
+        use genasm_obs::Telemetry;
+        let reference = genome();
+        let telemetry = Telemetry::enabled();
+        let mapper = ReadMapper::build(&reference, MapperConfig::default())
+            .with_telemetry(telemetry.clone());
+        let token = CancelToken::new();
+        token.cancel();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_genasm(mapper.config().genasm.clone())
+                .with_cancel(token),
+        );
+        let reads: Vec<&[u8]> = vec![&reference[100..250], &reference[5_000..5_150]];
+        let (outcomes, _) = mapper.map_batch_resilient(&reads, &engine);
+        assert_eq!(outcomes.len(), reads.len());
+        for outcome in &outcomes {
+            assert_eq!(
+                outcome,
+                &ReadOutcome::Incomplete { partial: None },
+                "a pre-expired deadline must drop every read, not crash"
+            );
+            assert_eq!(outcome.clone().into_mapping(), None);
+        }
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(
+            snapshot.counter(READS_DEADLINE_DROPPED_COUNTER),
+            Some(reads.len() as u64)
+        );
+        assert_eq!(snapshot.counter(READS_POISONED_COUNTER), None);
+
+        // A generous deadline resolves everything, identically to an
+        // un-deadlined run.
+        let generous = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_genasm(mapper.config().genasm.clone())
+                .with_deadline(Duration::from_secs(3600)),
+        );
+        let (outcomes, _) = mapper.map_batch_resilient(&reads, &generous);
+        assert!(outcomes.iter().all(|o| !o.is_fault()));
+        let plain = Engine::new(
+            EngineConfig::default()
+                .with_workers(2)
+                .with_genasm(mapper.config().genasm.clone()),
+        );
+        let (want, _) = mapper.map_batch_with_engine(&reads, &plain);
+        for (outcome, mapping) in outcomes.iter().zip(&want) {
+            assert_eq!(outcome.mapping(), mapping.as_ref());
+        }
     }
 
     #[test]

@@ -72,6 +72,18 @@ impl SamRecord {
             tags: Vec::new(),
         }
     }
+
+    /// Builds an unmapped record carrying a reason code in an `XE:Z:`
+    /// tag — how the resilient pipeline distinguishes "the aligner
+    /// found nothing" from "the read was quarantined" (`poisoned`) or
+    /// "the deadline cut it off" (`deadline`) in SAM output.
+    pub fn unmapped_with_reason(qname: impl Into<String>, read: &[u8], reason: &str) -> Self {
+        let mut rec = SamRecord::unmapped(qname, read);
+        // Tabs and newlines would corrupt the tag field.
+        let reason = reason.replace(['\t', '\n'], " ");
+        rec.tags.push(format!("XE:Z:{reason}"));
+        rec
+    }
 }
 
 /// A simple Phred-scaled mapping quality from the edit rate: exact
@@ -240,6 +252,18 @@ mod tests {
         assert_eq!(rec.flag & FLAG_UNMAPPED, FLAG_UNMAPPED);
         assert_eq!(rec.cigar, "*");
         assert_eq!(rec.pos, 0);
+    }
+
+    #[test]
+    fn unmapped_reason_lands_in_xe_tag() {
+        let rec = SamRecord::unmapped_with_reason("r", b"ACGT", "deadline");
+        assert_eq!(rec.flag & FLAG_UNMAPPED, FLAG_UNMAPPED);
+        assert!(rec.tags.iter().any(|t| t == "XE:Z:deadline"));
+        // Field-corrupting characters are sanitized.
+        let rec = SamRecord::unmapped_with_reason("r", b"AC", "panicked:\tindex out\nof bounds");
+        assert!(rec.tags[0].starts_with("XE:Z:"));
+        assert!(!rec.tags[0].contains('\t'));
+        assert!(!rec.tags[0].contains('\n'));
     }
 
     #[test]

@@ -2,7 +2,11 @@
 //!
 //! Supports multi-line records, comments, and CRLF line endings —
 //! enough to exchange references and reads with external tools.
+//! [`read_fasta`] is the strict `io::Result` wrapper;
+//! [`read_fasta_with`] adds structured [`FastxError`]s, a
+//! strict/lenient [`ParseMode`], and a [`ParseReport`].
 
+use crate::parse::{has_non_acgt, FastxError, ParseError, ParseErrorKind, ParseMode, ParseReport};
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// One FASTA record.
@@ -37,41 +41,132 @@ pub struct FastaRecord {
 /// # }
 /// ```
 pub fn read_fasta<R: Read>(reader: R) -> io::Result<Vec<FastaRecord>> {
+    read_fasta_with(reader, ParseMode::Strict)
+        .map(|parse| parse.records)
+        .map_err(FastxError::into_io)
+}
+
+/// A FASTA parse: the records that parsed, plus what was skipped or
+/// soft-flagged.
+#[derive(Debug)]
+pub struct FastaParse {
+    /// Records that parsed cleanly, in input order.
+    pub records: Vec<FastaRecord>,
+    /// What a lenient pass skipped and soft-flagged (always clean of
+    /// skips in strict mode — strict fails instead).
+    pub report: ParseReport,
+}
+
+/// Reads all records from a FASTA source under the given
+/// [`ParseMode`].
+///
+/// In `Strict` mode the first malformed construct — sequence data
+/// before any `>` header, or a header with no sequence at all — aborts
+/// with [`FastxError::Parse`]. In `Lenient` mode the offending lines
+/// (or the empty record) are skipped and counted in the
+/// [`ParseReport`], one [`ParseErrorKind::MissingHeader`] per
+/// contiguous run of out-of-place lines. Sequences containing non-ACGT
+/// bases are kept in both modes and counted as soft errors.
+///
+/// # Errors
+///
+/// [`FastxError::Io`] when the underlying reader fails (both modes);
+/// [`FastxError::Parse`] for the first malformed construct (strict
+/// mode only).
+pub fn read_fasta_with<R: Read>(reader: R, mode: ParseMode) -> Result<FastaParse, FastxError> {
     let reader = BufReader::new(reader);
     let mut records = Vec::new();
-    let mut current: Option<FastaRecord> = None;
-    for line in reader.lines() {
+    let mut report = ParseReport::default();
+    let mut record_index = 0usize;
+    // The open record: (record, header's 1-based line number).
+    let mut current: Option<(FastaRecord, usize)> = None;
+    // Whether the previous line was orphan data (so a run of them
+    // counts as one MissingHeader skip).
+    let mut in_orphan_run = false;
+
+    let flush = |current: &mut Option<(FastaRecord, usize)>,
+                 records: &mut Vec<FastaRecord>,
+                 report: &mut ParseReport,
+                 record_index: &mut usize|
+     -> Result<(), FastxError> {
+        let Some((rec, header_line)) = current.take() else {
+            return Ok(());
+        };
+        let error_kind = if rec.seq.is_empty() {
+            Some(ParseErrorKind::EmptySequence)
+        } else {
+            None
+        };
+        match error_kind {
+            None => {
+                if has_non_acgt(&rec.seq) {
+                    report.soft_non_acgt += 1;
+                }
+                report.records += 1;
+                records.push(rec);
+            }
+            Some(kind) => {
+                let error = ParseError {
+                    record: *record_index,
+                    line: header_line,
+                    kind,
+                };
+                match mode {
+                    ParseMode::Strict => return Err(FastxError::Parse(error)),
+                    ParseMode::Lenient => report.count_skip(error),
+                }
+            }
+        }
+        *record_index += 1;
+        Ok(())
+    };
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1; // 1-based
         let line = line?;
         let line = line.trim_end();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
         if let Some(header) = line.strip_prefix('>') {
-            if let Some(rec) = current.take() {
-                records.push(rec);
-            }
-            current = Some(FastaRecord {
-                id: header.to_string(),
-                seq: Vec::new(),
-            });
+            in_orphan_run = false;
+            flush(&mut current, &mut records, &mut report, &mut record_index)?;
+            current = Some((
+                FastaRecord {
+                    id: header.to_string(),
+                    seq: Vec::new(),
+                },
+                line_no,
+            ));
         } else {
             match current.as_mut() {
-                Some(rec) => rec
+                Some((rec, _)) => rec
                     .seq
                     .extend(line.bytes().filter(|b| !b.is_ascii_whitespace())),
                 None => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        "sequence data before first fasta header",
-                    ))
+                    // Sequence data before any header.
+                    if in_orphan_run {
+                        continue;
+                    }
+                    in_orphan_run = true;
+                    let error = ParseError {
+                        record: record_index,
+                        line: line_no,
+                        kind: ParseErrorKind::MissingHeader,
+                    };
+                    match mode {
+                        ParseMode::Strict => return Err(FastxError::Parse(error)),
+                        ParseMode::Lenient => {
+                            report.count_skip(error);
+                            record_index += 1;
+                        }
+                    }
                 }
             }
         }
     }
-    if let Some(rec) = current.take() {
-        records.push(rec);
-    }
-    Ok(records)
+    flush(&mut current, &mut records, &mut report, &mut record_index)?;
+    Ok(FastaParse { records, report })
 }
 
 /// Writes records in FASTA format with 70-column line wrapping.
@@ -131,6 +226,41 @@ mod tests {
     #[test]
     fn data_before_header_is_an_error() {
         assert!(read_fasta(&b"ACGT\n>late\nAC\n"[..]).is_err());
+    }
+
+    #[test]
+    fn lenient_mode_skips_orphan_runs_and_empty_records() {
+        // Two orphan lines (one run), a headerless `late` record that
+        // parses, and an empty record.
+        let input = b"ACGT\nGGTT\n>late\nAC\n>empty\n>ok\nTT\n";
+        let parse = read_fasta_with(&input[..], ParseMode::Lenient).unwrap();
+        assert_eq!(parse.records.len(), 2);
+        assert_eq!(parse.records[0].id, "late");
+        assert_eq!(parse.records[1].id, "ok");
+        assert_eq!(parse.report.missing_header, 1, "one skip per orphan run");
+        assert_eq!(parse.report.empty_sequence, 1);
+        assert_eq!(parse.report.skipped, 2);
+    }
+
+    #[test]
+    fn strict_mode_reports_the_orphan_line() {
+        let err = read_fasta_with(&b">a\nAC\n"[..], ParseMode::Strict);
+        assert!(err.is_ok());
+        let err = read_fasta_with(&b"ACGT\n"[..], ParseMode::Strict).unwrap_err();
+        match err {
+            FastxError::Parse(e) => {
+                assert_eq!(e.line, 1);
+                assert_eq!(e.kind, ParseErrorKind::MissingHeader);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_acgt_references_are_kept_but_soft_counted() {
+        let parse = read_fasta_with(&b">a\nACGTN\n>b\nACGT\n"[..], ParseMode::Strict).unwrap();
+        assert_eq!(parse.records.len(), 2);
+        assert_eq!(parse.report.soft_non_acgt, 1);
     }
 
     #[test]

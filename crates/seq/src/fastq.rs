@@ -1,5 +1,12 @@
 //! Minimal FASTQ reading and writing (4-line records).
+//!
+//! Two reading flavors: [`read_fastq`] (strict, `io::Result`, the
+//! original signature) and [`read_fastq_with`] (structured
+//! [`FastxError`]s plus a strict/lenient [`ParseMode`] and a
+//! [`ParseReport`] counting what a lenient pass skipped). CRLF line
+//! endings are tolerated everywhere.
 
+use crate::parse::{has_non_acgt, FastxError, ParseError, ParseErrorKind, ParseMode, ParseReport};
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// One FASTQ record.
@@ -14,6 +21,32 @@ pub struct FastqRecord {
 }
 
 impl FastqRecord {
+    /// Creates a record, validating that the quality string length
+    /// matches the sequence length and that the sequence is non-empty
+    /// — the invariants every consumer of [`FastqRecord`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseErrorKind::LengthMismatch`] when `qual.len() !=
+    /// seq.len()`, [`ParseErrorKind::EmptySequence`] when `seq` is
+    /// empty.
+    pub fn new(id: impl Into<String>, seq: Vec<u8>, qual: Vec<u8>) -> Result<Self, ParseErrorKind> {
+        if seq.is_empty() {
+            return Err(ParseErrorKind::EmptySequence);
+        }
+        if qual.len() != seq.len() {
+            return Err(ParseErrorKind::LengthMismatch {
+                seq: seq.len(),
+                qual: qual.len(),
+            });
+        }
+        Ok(FastqRecord {
+            id: id.into(),
+            seq,
+            qual,
+        })
+    }
+
     /// Creates a record with a uniform quality score (Phred+33).
     pub fn with_uniform_quality(id: impl Into<String>, seq: Vec<u8>, phred: u8) -> Self {
         let qual = vec![phred + 33; seq.len()];
@@ -25,13 +58,14 @@ impl FastqRecord {
     }
 }
 
-/// Reads all records from a FASTQ source.
+/// Reads all records from a FASTQ source, strictly.
 ///
 /// # Errors
 ///
 /// Returns I/O errors from the reader and `InvalidData` for malformed
 /// records (missing lines, separator not `+`, or quality length
-/// differing from sequence length).
+/// differing from sequence length). For structured errors and a
+/// lenient skip-and-count mode, use [`read_fastq_with`].
 ///
 /// # Examples
 ///
@@ -45,52 +79,158 @@ impl FastqRecord {
 /// # }
 /// ```
 pub fn read_fastq<R: Read>(reader: R) -> io::Result<Vec<FastqRecord>> {
-    let reader = BufReader::new(reader);
-    let mut lines = reader.lines();
-    let mut records = Vec::new();
-    loop {
-        let header = match lines.next() {
-            None => break,
-            Some(line) => line?,
-        };
-        let header = header.trim_end();
-        if header.is_empty() {
-            continue;
-        }
-        let id = header
-            .strip_prefix('@')
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, "fastq header must start with @")
-            })?
-            .to_string();
-        let seq = next_line(&mut lines)?.into_bytes();
-        let sep = next_line(&mut lines)?;
-        if !sep.starts_with('+') {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "fastq separator must start with +",
-            ));
-        }
-        let qual = next_line(&mut lines)?.into_bytes();
-        if qual.len() != seq.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "fastq quality length differs from sequence length",
-            ));
-        }
-        records.push(FastqRecord { id, seq, qual });
-    }
-    Ok(records)
+    read_fastq_with(reader, ParseMode::Strict)
+        .map(|parse| parse.records)
+        .map_err(FastxError::into_io)
 }
 
-fn next_line(lines: &mut impl Iterator<Item = io::Result<String>>) -> io::Result<String> {
-    match lines.next() {
-        Some(line) => Ok(line?.trim_end().to_string()),
-        None => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "truncated fastq record",
-        )),
+/// A FASTQ parse: the records that parsed, plus what was skipped or
+/// soft-flagged.
+#[derive(Debug)]
+pub struct FastqParse {
+    /// Records that parsed cleanly, in input order.
+    pub records: Vec<FastqRecord>,
+    /// What a lenient pass skipped and soft-flagged (always clean of
+    /// skips in strict mode — strict fails instead).
+    pub report: ParseReport,
+}
+
+/// Reads all records from a FASTQ source under the given
+/// [`ParseMode`].
+///
+/// In `Strict` mode the first malformed record aborts the parse with
+/// [`FastxError::Parse`] naming the record, line, and kind. In
+/// `Lenient` mode malformed records are skipped and counted in the
+/// returned [`ParseReport`], and the parser resynchronizes at the next
+/// `@`-headed record boundary. Sequences containing non-ACGT bases are
+/// kept in both modes and counted as soft errors.
+///
+/// # Errors
+///
+/// [`FastxError::Io`] when the underlying reader fails (both modes);
+/// [`FastxError::Parse`] for the first malformed record (strict mode
+/// only).
+pub fn read_fastq_with<R: Read>(reader: R, mode: ParseMode) -> Result<FastqParse, FastxError> {
+    let lines: Vec<String> = BufReader::new(reader).lines().collect::<io::Result<_>>()?;
+    let mut records = Vec::new();
+    let mut report = ParseReport::default();
+    let mut pos = 0usize; // 0-based index into `lines`
+    let mut record_index = 0usize;
+
+    // Takes the next line (trimmed of trailing whitespace, so CRLF is
+    // tolerated), or None at end of input.
+    fn take<'a>(lines: &'a [String], pos: &mut usize) -> Option<&'a str> {
+        let line = lines.get(*pos)?;
+        *pos += 1;
+        Some(line.trim_end())
     }
+
+    'records: loop {
+        // Skip blank lines between records.
+        while lines.get(pos).is_some_and(|l| l.trim_end().is_empty()) {
+            pos += 1;
+        }
+        if pos >= lines.len() {
+            break;
+        }
+        let header_line = pos + 1; // 1-based
+        let header = take(&lines, &mut pos).expect("bounds checked above");
+        let Some(id) = header.strip_prefix('@') else {
+            // Out-of-place data where a header should be: one error
+            // per contiguous run of such lines.
+            let error = ParseError {
+                record: record_index,
+                line: header_line,
+                kind: ParseErrorKind::MissingHeader,
+            };
+            record_index += 1;
+            match mode {
+                ParseMode::Strict => return Err(FastxError::Parse(error)),
+                ParseMode::Lenient => {
+                    report.count_skip(error);
+                    while lines.get(pos).is_some_and(|l| {
+                        let t = l.trim_end();
+                        !t.is_empty() && !t.starts_with('@')
+                    }) {
+                        pos += 1;
+                    }
+                    continue 'records;
+                }
+            }
+        };
+        let id = id.to_string();
+
+        // A deterministic truncate-input failpoint: the armed record
+        // reads as if the input ended mid-record.
+        #[cfg(feature = "chaos")]
+        let chaos_truncated = matches!(
+            genasm_chaos::fault_at(genasm_chaos::sites::FASTQ_TRUNCATE, record_index as u64),
+            Some(genasm_chaos::Fault::Truncate)
+        );
+        #[cfg(not(feature = "chaos"))]
+        let chaos_truncated = false;
+
+        // The three body lines are positional — FASTQ records are
+        // exactly four lines; a missing one is a truncation.
+        let fail = |report: &mut ParseReport, line: usize, kind: ParseErrorKind| {
+            let error = ParseError {
+                record: record_index,
+                line,
+                kind,
+            };
+            match mode {
+                ParseMode::Strict => Err(FastxError::Parse(error)),
+                ParseMode::Lenient => {
+                    report.count_skip(error);
+                    Ok(())
+                }
+            }
+        };
+        let body = (|pos: &mut usize| {
+            if chaos_truncated {
+                return Err((header_line, ParseErrorKind::TruncatedRecord));
+            }
+            let seq_line = *pos + 1;
+            let seq = take(&lines, pos)
+                .ok_or((seq_line, ParseErrorKind::TruncatedRecord))?
+                .as_bytes()
+                .to_vec();
+            let sep_line = *pos + 1;
+            let sep = take(&lines, pos).ok_or((sep_line, ParseErrorKind::TruncatedRecord))?;
+            if !sep.starts_with('+') {
+                return Err((sep_line, ParseErrorKind::BadSeparator));
+            }
+            let qual_line = *pos + 1;
+            let qual = take(&lines, pos)
+                .ok_or((qual_line, ParseErrorKind::TruncatedRecord))?
+                .as_bytes()
+                .to_vec();
+            FastqRecord::new(id.clone(), seq, qual).map_err(|kind| (qual_line, kind))
+        })(&mut pos);
+
+        match body {
+            Ok(record) => {
+                if has_non_acgt(&record.seq) {
+                    report.soft_non_acgt += 1;
+                }
+                report.records += 1;
+                records.push(record);
+            }
+            Err((line, kind)) => {
+                fail(&mut report, line, kind)?;
+                // Lenient resync: drop the malformed record's
+                // remaining lines up to the next record boundary.
+                while lines.get(pos).is_some_and(|l| {
+                    let t = l.trim_end();
+                    !t.is_empty() && !t.starts_with('@')
+                }) {
+                    pos += 1;
+                }
+            }
+        }
+        record_index += 1;
+    }
+    Ok(FastqParse { records, report })
 }
 
 /// Writes records in FASTQ format.
@@ -147,5 +287,61 @@ mod tests {
     fn blank_lines_between_records_are_skipped() {
         let input = b"@a\nAC\n+\nII\n\n@b\nGT\n+\nII\n";
         assert_eq!(read_fastq(&input[..]).unwrap().len(), 2);
+    }
+
+    /// Regression: quality/sequence length disagreement is rejected at
+    /// construction, not silently carried downstream.
+    #[test]
+    fn record_construction_validates_lengths() {
+        assert!(FastqRecord::new("r", b"ACGT".to_vec(), b"IIII".to_vec()).is_ok());
+        assert_eq!(
+            FastqRecord::new("r", b"ACGT".to_vec(), b"II".to_vec()),
+            Err(ParseErrorKind::LengthMismatch { seq: 4, qual: 2 })
+        );
+        assert_eq!(
+            FastqRecord::new("r", Vec::new(), Vec::new()),
+            Err(ParseErrorKind::EmptySequence)
+        );
+    }
+
+    #[test]
+    fn strict_mode_names_record_line_and_kind() {
+        let input = b"@a\nACGT\n+\nIIII\n@b\nACGT\n+\nIII\n";
+        let err = read_fastq_with(&input[..], ParseMode::Strict).unwrap_err();
+        match err {
+            FastxError::Parse(e) => {
+                assert_eq!(e.record, 1);
+                assert_eq!(e.line, 8);
+                assert_eq!(e.kind, ParseErrorKind::LengthMismatch { seq: 4, qual: 3 });
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts() {
+        // Record 1 has a bad separator, record 2 is fine, record 3 is
+        // truncated at EOF.
+        let input = b"@a\nACGT\n+\nIIII\n@b\nACGT\n-\nIIII\n@c\nGGTT\n+\nIIII\n@d\nACGT\n";
+        let parse = read_fastq_with(&input[..], ParseMode::Lenient).unwrap();
+        assert_eq!(parse.records.len(), 2);
+        assert_eq!(parse.records[0].id, "a");
+        assert_eq!(parse.records[1].id, "c");
+        let report = &parse.report;
+        assert_eq!(report.records, 2);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.bad_separator, 1);
+        assert_eq!(report.truncated, 1);
+        assert_eq!(report.errors.len(), 2);
+    }
+
+    #[test]
+    fn non_acgt_reads_are_kept_but_soft_counted() {
+        let input = b"@a\nACGN\n+\nIIII\n@b\nACGT\n+\nIIII\n";
+        for mode in [ParseMode::Strict, ParseMode::Lenient] {
+            let parse = read_fastq_with(&input[..], mode).unwrap();
+            assert_eq!(parse.records.len(), 2);
+            assert_eq!(parse.report.soft_non_acgt, 1);
+        }
     }
 }

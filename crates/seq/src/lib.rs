@@ -30,11 +30,13 @@ pub mod fastq;
 pub mod genome;
 pub mod mutate;
 pub mod packed;
+pub mod parse;
 pub mod profile;
 pub mod readsim;
 pub mod variants;
 
 pub use genome::{Genome, GenomeBuilder};
 pub use packed::PackedSeq;
+pub use parse::{FastxError, ParseError, ParseErrorKind, ParseMode, ParseReport};
 pub use profile::ErrorProfile;
 pub use readsim::{ReadSimulator, SimConfig, SimulatedRead};

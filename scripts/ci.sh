@@ -37,6 +37,14 @@ echo "==> cargo test -q (mapper identity suites, portable fallback)"
 cargo test -p genasm-mapper --no-default-features -q \
     --test batch_identity --test index_identity --test two_phase --test sam_identity
 
+echo "==> chaos suites (--features chaos: deterministic fault injection)"
+# The workspace build above is the proof the default build carries no
+# chaos code; these runs prove the containment invariant holds when
+# the failpoints are compiled in and armed at fixed seeds.
+cargo test -p genasm-engine --features chaos -q --test chaos
+cargo test -p genasm-chaos -q
+cargo test --features chaos -q --test chaos_containment
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -59,6 +67,33 @@ ends=$(grep -c '"ph": "E"' "$tracedir/trace.json" || true)
 [[ "$begins" -gt 0 && "$begins" -eq "$ends" ]] \
     || { echo "trace spans unbalanced: $begins begins vs $ends ends" >&2; exit 1; }
 
+echo "==> lenient-mode error counters surface in --metrics json"
+# Damage the simulated reads (a truncated trailing record), then map
+# leniently: the run must succeed, and every map.errors.* counter the
+# docs promise must appear in the JSON metrics report (which goes to
+# stderr; --quiet would suppress metrics collection entirely).
+printf '@truncated\nACGTACGT\n' >> "$tracedir/t_reads.fq"
+target/release/genasm map --ref "$tracedir/t_ref.fa" --reads "$tracedir/t_reads.fq" \
+    --lenient --metrics json >/dev/null 2> "$tracedir/metrics.json"
+for field in map.errors.skipped map.errors.truncated map.errors.length_mismatch \
+             map.errors.bad_separator map.errors.empty_sequence \
+             map.errors.missing_header map.errors.soft_non_acgt; do
+    grep -q "\"$field\"" "$tracedir/metrics.json" \
+        || { echo "--metrics json: missing counter \"$field\"" >&2; exit 1; }
+done
+grep -q '"map.errors.truncated": 1' "$tracedir/metrics.json" \
+    || { echo "--metrics json: truncated record was not counted" >&2; exit 1; }
+# The same damaged input must fail fast in strict mode with the
+# malformed-data exit code (4).
+if target/release/genasm map --ref "$tracedir/t_ref.fa" --reads "$tracedir/t_reads.fq" \
+    --strict --quiet >/dev/null 2>&1; then
+    echo "strict mode accepted a truncated record" >&2; exit 1
+fi
+rc=0
+target/release/genasm map --ref "$tracedir/t_ref.fa" --reads "$tracedir/t_reads.fq" \
+    --strict --quiet >/dev/null 2>&1 || rc=$?
+[[ "$rc" -eq 4 ]] || { echo "strict parse failure exited $rc, want 4" >&2; exit 1; }
+
 echo "==> cargo bench --bench dc_multi -- --smoke"
 cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
@@ -77,7 +112,8 @@ check_bench_fields BENCH_map.json \
     two_phase tb_rows distance_secs traceback_secs \
     candidates survivors reject_rate filter_rows_issued filter_rows_useful \
     filter_occupancy read_latency_p50_us read_latency_p99_us \
-    telemetry_off_reads_per_sec telemetry_on_reads_per_sec telemetry_overhead
+    telemetry_off_reads_per_sec telemetry_on_reads_per_sec telemetry_overhead \
+    containment_off_reads_per_sec containment_on_reads_per_sec containment_overhead
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"

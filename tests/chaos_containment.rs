@@ -1,0 +1,260 @@
+//! The containment invariant, end to end (compiled only with
+//! `--features chaos`): under any seeded fault plan, reads the
+//! resilient pipeline does **not** mark as faulted produce SAM output
+//! bit-identical to a fault-free run, faults are counted in the
+//! telemetry registry, and injected parser faults degrade a lenient
+//! parse instead of killing it.
+//!
+//! The chaos registry is process-global, so every test serializes on
+//! one mutex and clears the plan through a drop guard.
+#![cfg(feature = "chaos")]
+
+use genasm::engine::{CancelToken, DcDispatch};
+use genasm::mapper::sam::{self, SamRecord};
+use genasm::mapper::{MapperConfig, ReadMapper, ReadOutcome};
+use genasm::seq::fastq::read_fastq_with;
+use genasm::seq::genome::{Genome, GenomeBuilder};
+use genasm::seq::ParseMode;
+use genasm_chaos::{sites, Fault, FaultPlan};
+use genasm_mapper::pipeline::{READS_DEADLINE_DROPPED_COUNTER, READS_POISONED_COUNTER};
+use genasm_obs::Telemetry;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, Once};
+use std::time::Duration;
+
+/// Serializes tests that install plans into the global registry.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Keeps the intentional kernel panics out of the test output.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("chaos:"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("chaos:"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// Clears the installed plan when the test ends, pass or fail.
+struct PlanGuard;
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        genasm_chaos::clear();
+    }
+}
+
+/// A genome plus a read set with clean, noisy, and unmappable reads —
+/// enough variety that faults can land in every pipeline stage.
+fn fixture() -> (Genome, Vec<Vec<u8>>) {
+    let genome = GenomeBuilder::new(30_000).seed(2020).build();
+    let mut reads: Vec<Vec<u8>> = (0..18)
+        .map(|i| {
+            let start = 61 + 1_543 * i;
+            let mut read = genome.region(start, start + 150).to_vec();
+            // A couple of substitutions on odd reads so alignment has
+            // real edits to trace back.
+            if i % 2 == 1 {
+                read[40] = match read[40] {
+                    b'A' => b'C',
+                    _ => b'A',
+                };
+            }
+            read
+        })
+        .collect();
+    // One read that seeds nowhere: the pipeline must pass it through
+    // as Unmapped in both runs.
+    reads.push(vec![b'T'; 150]);
+    (genome, reads)
+}
+
+/// Renders one read's outcome the way the CLI does, so "bit-identical
+/// SAM output" is checked on actual SAM bytes.
+fn sam_line(index: usize, read: &[u8], outcome: &ReadOutcome) -> String {
+    let name = format!("read{index}");
+    let rec = match outcome {
+        ReadOutcome::Mapped(m) => SamRecord::from_mapping(name, "chr_synth", read, m),
+        ReadOutcome::Unmapped => SamRecord::unmapped(name, read),
+        ReadOutcome::Poisoned { .. } => SamRecord::unmapped_with_reason(name, read, "poisoned"),
+        ReadOutcome::Incomplete { partial: None } => {
+            SamRecord::unmapped_with_reason(name, read, "deadline")
+        }
+        ReadOutcome::Incomplete { partial: Some(m) } => {
+            let mut rec = SamRecord::from_mapping(name, "chr_synth", read, m);
+            rec.tags.push("XE:Z:deadline".to_string());
+            rec
+        }
+    };
+    let mut buf = Vec::new();
+    sam::write_record(&mut buf, &rec).expect("in-memory write");
+    String::from_utf8(buf).expect("SAM is ASCII")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// For any plan seed: the batch completes, and every read the
+    /// pipeline did not flag as faulted renders the exact same SAM
+    /// bytes as the fault-free run.
+    #[test]
+    fn unaffected_reads_are_bit_identical_under_any_fault_plan(plan_seed in any::<u64>()) {
+        let _serial = chaos_lock();
+        quiet_injected_panics();
+        genasm_chaos::clear();
+
+        let (genome, reads) = fixture();
+        let refs: Vec<&[u8]> = reads.iter().map(Vec::as_slice).collect();
+        let mapper = ReadMapper::build(genome.sequence(), MapperConfig::default());
+        let engine = mapper.engine(2, DcDispatch::default());
+
+        let (baseline, _) = mapper.map_batch_resilient(&refs, &engine);
+        prop_assert!(baseline.iter().all(|o| !o.is_fault()));
+
+        genasm_chaos::install(FaultPlan::new(plan_seed).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 6));
+        let _cleanup = PlanGuard;
+        let (faulted, _) = mapper.map_batch_resilient(&refs, &engine);
+        genasm_chaos::clear();
+
+        prop_assert_eq!(faulted.len(), reads.len());
+        for (i, outcome) in faulted.iter().enumerate() {
+            if outcome.is_fault() {
+                continue; // quarantined: reported, not compared
+            }
+            prop_assert_eq!(
+                sam_line(i, &reads[i], outcome),
+                sam_line(i, &reads[i], &baseline[i]),
+                "read {} diverged from the fault-free run", i
+            );
+        }
+    }
+}
+
+#[test]
+fn poisoned_reads_are_counted_in_the_metrics_registry() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let (genome, reads) = fixture();
+    let refs: Vec<&[u8]> = reads.iter().map(Vec::as_slice).collect();
+    let mapper = ReadMapper::build(genome.sequence(), MapperConfig::default())
+        .with_telemetry(Telemetry::enabled());
+    let engine = mapper.engine(2, DcDispatch::default());
+
+    // Arm every kernel job: every read that reaches alignment is
+    // quarantined, none crash the batch.
+    genasm_chaos::install(FaultPlan::new(99).panic_at(sites::ENGINE_KERNEL_PANIC, 1, 1));
+    let _cleanup = PlanGuard;
+    let (outcomes, _) = mapper.map_batch_resilient(&refs, &engine);
+    genasm_chaos::clear();
+
+    let poisoned = outcomes
+        .iter()
+        .filter(|o| matches!(o, ReadOutcome::Poisoned { .. }))
+        .count();
+    assert!(poisoned > 0, "an all-jobs panic plan must poison reads");
+    let snapshot = mapper.telemetry().metrics.snapshot();
+    assert_eq!(
+        snapshot.counter(READS_POISONED_COUNTER),
+        Some(poisoned as u64)
+    );
+    assert_eq!(snapshot.counter(READS_DEADLINE_DROPPED_COUNTER), None);
+}
+
+#[test]
+fn stuck_workers_against_a_deadline_degrade_gracefully() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let (genome, reads) = fixture();
+    let refs: Vec<&[u8]> = reads.iter().map(Vec::as_slice).collect();
+    let mapper = ReadMapper::build(genome.sequence(), MapperConfig::default());
+
+    let baseline_engine = mapper.engine(2, DcDispatch::default());
+    let (baseline, _) = mapper.map_batch_resilient(&refs, &baseline_engine);
+
+    // Every chunk claim stalls 20ms against a 2ms budget: the batch
+    // must still return one outcome per read, with the cut-off tail
+    // flagged Incomplete rather than wedging or crashing.
+    genasm_chaos::install(FaultPlan::new(4).with_fault(
+        sites::ENGINE_WORKER_DELAY,
+        Fault::Delay(Duration::from_millis(20)),
+        1,
+        1,
+    ));
+    let _cleanup = PlanGuard;
+    let engine = mapper
+        .engine(2, DcDispatch::default())
+        .with_cancel(CancelToken::with_deadline(Duration::from_millis(2)));
+    let (outcomes, _) = mapper.map_batch_resilient(&refs, &engine);
+    genasm_chaos::clear();
+
+    assert_eq!(outcomes.len(), reads.len());
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            ReadOutcome::Incomplete { .. } => {}
+            other => assert_eq!(
+                sam_line(i, &reads[i], other),
+                sam_line(i, &reads[i], &baseline[i]),
+                "read {i} resolved under the deadline but diverged"
+            ),
+        }
+    }
+}
+
+#[test]
+fn injected_parser_truncation_is_survivable_in_lenient_mode() {
+    let _serial = chaos_lock();
+    quiet_injected_panics();
+    genasm_chaos::clear();
+
+    let fastq: String = (0..8)
+        .map(|i| format!("@r{i}\nACGTACGTACGT\n+\nIIIIIIIIIIII\n"))
+        .collect();
+
+    // Arm every record: a lenient parse returns empty-but-counted, a
+    // strict parse fails fast with a structured error.
+    genasm_chaos::install(FaultPlan::new(12).with_fault(
+        sites::FASTQ_TRUNCATE,
+        Fault::Truncate,
+        1,
+        1,
+    ));
+    let _cleanup = PlanGuard;
+
+    let parse = read_fastq_with(fastq.as_bytes(), ParseMode::Lenient).expect("lenient survives");
+    assert!(parse.records.is_empty());
+    assert_eq!(parse.report.truncated, 8);
+    assert_eq!(parse.report.skipped, 8);
+
+    assert!(read_fastq_with(fastq.as_bytes(), ParseMode::Strict).is_err());
+
+    // A partial plan drops exactly the armed records and keeps the
+    // rest, ids intact.
+    let plan = FaultPlan::new(13).with_fault(sites::FASTQ_TRUNCATE, Fault::Truncate, 1, 2);
+    let kept: Vec<String> = (0..8u64)
+        .filter(|&i| plan.fault_at(sites::FASTQ_TRUNCATE, i).is_none())
+        .map(|i| format!("r{i}"))
+        .collect();
+    assert!(!kept.is_empty() && kept.len() < 8, "want a strict subset");
+    genasm_chaos::install(plan);
+    let parse = read_fastq_with(fastq.as_bytes(), ParseMode::Lenient).expect("lenient survives");
+    let ids: Vec<String> = parse.records.iter().map(|r| r.id.clone()).collect();
+    assert_eq!(ids, kept);
+    assert_eq!(parse.report.truncated, 8 - kept.len());
+}
