@@ -16,6 +16,8 @@
 //! the exact semiglobal distance instead, which is the accuracy
 //! comparison of §10.3 (reproduced by `experiments shouji`).
 
+use genasm_core::bitap::ScanMetrics;
+
 /// Sliding-window width used by Shouji (4 columns, per the original
 /// design).
 pub const SHOUJI_WINDOW: usize = 4;
@@ -55,6 +57,33 @@ impl ShoujiFilter {
     /// `true` when the estimate is within the threshold.
     pub fn accepts(&self, text: &[u8], pattern: &[u8]) -> bool {
         self.estimate(text, pattern) <= self.threshold
+    }
+
+    /// [`accepts`](Self::accepts) over a batch of `(text, pattern)`
+    /// candidate pairs, accumulating the filter's work volume into
+    /// `metrics` using the Bitap scans' issued/useful row-slot
+    /// convention ([`ScanMetrics`]): one slot per neighborhood-map
+    /// cell built — `(2E + 1)` diagonals × the padded column width —
+    /// all useful, since Shouji builds its map exactly once per pair
+    /// with no lock-step padding. Decisions are identical to calling
+    /// [`accepts`](Self::accepts) per pair.
+    pub fn accepts_many_counted(
+        &self,
+        pairs: &[(&[u8], &[u8])],
+        metrics: &mut ScanMetrics,
+    ) -> Vec<bool> {
+        pairs
+            .iter()
+            .map(|&(text, pattern)| {
+                if !pattern.is_empty() {
+                    let diags = (2 * self.threshold + 1) as u64;
+                    let width = (pattern.len() + 2 * (SHOUJI_WINDOW - 1)) as u64;
+                    metrics.rows_issued += diags * width;
+                    metrics.rows_useful += diags * width;
+                }
+                self.accepts(text, pattern)
+            })
+            .collect()
     }
 }
 

@@ -32,7 +32,7 @@ use genasm_core::edit_distance::EditDistanceCalculator;
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_engine::{CancelToken, DcDispatch, LaneCount};
 use genasm_mapper::pipeline::{
-    AlignMode, AlignerKind, MapperConfig, ReadMapper, ReadOutcome, StageTimings,
+    AlignMode, AlignerKind, FilterMode, MapperConfig, ReadMapper, ReadOutcome, StageTimings,
 };
 use genasm_mapper::sam;
 use genasm_obs::{MetricsRegistry, Telemetry};
@@ -56,11 +56,13 @@ commands:
             [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
             [--lanes 4|8|auto] [--shards 0]
             [--align-mode two-phase|full]
+            [--filter-mode cascade|legacy]
             [--pipeline batch|sequential]                    SAM to stdout; per-stage
                                                              stats (index/seed/filter/
                                                              distance/traceback split,
                                                              filter reject rate, tb-rows,
-                                                             DC lane occupancy) on
+                                                             DC lane occupancy, cascade
+                                                             tier counts) on
                                                              stderr. Default is the
                                                              engine-backed batch
                                                              pipeline: --workers threads
@@ -75,6 +77,15 @@ commands:
                                                              and tracebacks winners
                                                              only; full aligns every
                                                              survivor (bit-identical);
+                                                             --filter-mode cascade
+                                                             (default) screens
+                                                             candidates through the
+                                                             escalating tier-0/tier-1
+                                                             cascade and reuses the
+                                                             distance bound downstream;
+                                                             legacy runs the flat
+                                                             lock-step filter scan
+                                                             (bit-identical mappings);
                                                              --pipeline sequential runs
                                                              the single-threaded
                                                              reference path (identical
@@ -82,6 +93,7 @@ commands:
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
             [--kernel lockstep|chunked|scalar|gotoh]
             [--lanes 4|8|auto] [--align-mode two-phase|full]
+            [--filter-mode cascade|legacy]
             [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
                                                              throughput report on stderr,
@@ -332,12 +344,28 @@ fn parse_align_mode(args: &Args) -> Result<AlignMode, String> {
     }
 }
 
+/// Maps `--filter-mode` to the pre-alignment filter engine: the
+/// escalating cascade (default) screens candidates tier by tier and
+/// carries the distance bound into the resolve stage; `legacy` runs
+/// the flat lock-step scan as the identity oracle. Both modes produce
+/// bit-identical mappings — the flag exists for A/B runs.
+fn parse_filter_mode(args: &Args) -> Result<FilterMode, String> {
+    match args.get("filter-mode").unwrap_or("cascade") {
+        "cascade" => Ok(FilterMode::Cascade),
+        "legacy" => Ok(FilterMode::Legacy),
+        other => Err(format!(
+            "unknown filter mode {other:?} (use cascade or legacy)"
+        )),
+    }
+}
+
 fn cmd_map(args: &Args) -> Result<(), CliError> {
     // Validate option values before touching the filesystem so a bad
     // invocation fails on the actual mistake.
     let (aligner, dispatch) = parse_kernel(args).map_err(CliError::Usage)?;
     let lanes = parse_lanes(args).map_err(CliError::Usage)?;
     let align_mode = parse_align_mode(args).map_err(CliError::Usage)?;
+    let filter_mode = parse_filter_mode(args).map_err(CliError::Usage)?;
     let pipeline = match args.get("pipeline").unwrap_or("batch") {
         p @ ("batch" | "sequential") => p,
         other => return Err(CliError::Usage(format!("unknown pipeline {other:?}"))),
@@ -364,6 +392,7 @@ fn cmd_map(args: &Args) -> Result<(), CliError> {
         aligner,
         index_shards: shards,
         align_mode,
+        filter_mode,
         ..MapperConfig::default()
     };
     let t_index = Instant::now();
@@ -402,6 +431,9 @@ fn cmd_map(args: &Args) -> Result<(), CliError> {
 
     let stdout = io::stdout();
     let mut out = BufWriter::new(stdout.lock());
+    // `--filter-mode` is deliberately absent from the @PG echo: both
+    // modes map identically, and keeping the header constant lets A/B
+    // runs compare the SAM output byte for byte.
     let command = format!(
         "genasm map --pipeline {pipeline} --kernel {} --align-mode {} --workers {workers} \
          --shards {shards} --error-rate {error_rate}",
@@ -448,6 +480,7 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
     let (aligner, dispatch) = parse_kernel(args).map_err(CliError::Usage)?;
     let lanes = parse_lanes(args).map_err(CliError::Usage)?;
     let align_mode = parse_align_mode(args).map_err(CliError::Usage)?;
+    let filter_mode = parse_filter_mode(args).map_err(CliError::Usage)?;
     let error_rate: f64 = args.number("error-rate", 0.15).map_err(CliError::Usage)?;
     let threads: usize = args.number("threads", 0).map_err(CliError::Usage)?;
     let mode = parse_mode(args)?;
@@ -468,6 +501,7 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
         error_fraction: error_rate,
         aligner,
         align_mode,
+        filter_mode,
         ..MapperConfig::default()
     };
     let mapper = ReadMapper::build(&reference.seq, config).with_telemetry(telemetry.clone());
@@ -815,6 +849,31 @@ mod tests {
             .unwrap();
         }
 
+        // Both filter engines run on both map pipelines and batch (the
+        // cascade-vs-legacy A/B of ci.sh rides on these paths).
+        for mode in ["cascade", "legacy"] {
+            for invocation in [
+                vec!["map".into(), "--filter-mode".into(), mode.into()],
+                vec![
+                    "map".into(),
+                    "--pipeline".into(),
+                    "sequential".into(),
+                    "--filter-mode".into(),
+                    mode.into(),
+                ],
+                vec!["batch".into(), "--filter-mode".into(), mode.into()],
+            ] {
+                let mut argv = invocation;
+                argv.extend([
+                    "--ref".into(),
+                    format!("{prefix}_ref.fa"),
+                    "--reads".into(),
+                    format!("{prefix}_reads.fq"),
+                ]);
+                run(argv).unwrap();
+            }
+        }
+
         // Explicit lane widths thread through to the engine.
         for lanes in ["4", "8", "auto"] {
             run(vec![
@@ -985,6 +1044,7 @@ mod tests {
             ("--kernel", "smith-waterman", "unknown kernel"),
             ("--pipeline", "streaming", "unknown pipeline"),
             ("--align-mode", "three-phase", "unknown align mode"),
+            ("--filter-mode", "shd", "unknown filter mode"),
         ] {
             let err = run(vec![
                 "map".into(),

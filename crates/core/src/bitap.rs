@@ -300,7 +300,7 @@ pub fn find_all_multi_word<A: Alphabet>(
 /// Lanes of the lock-step scan: one 256-bit AVX2 vector of `u64`
 /// status words (see [`dc_multi`](crate::dc_multi) for the same choice
 /// in the window kernel).
-const SCAN_LANES: usize = 4;
+pub const SCAN_LANES: usize = 4;
 
 /// Row-slot accounting for the batch scans, mirroring the
 /// `dc_rows_issued` / `dc_rows_useful` convention of the align-stage
@@ -392,20 +392,29 @@ fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
     metrics: &mut ScanMetrics,
 ) -> Vec<Result<Option<BitapMatch>, AlignError>> {
     let mut results: Vec<Option<Result<Option<BitapMatch>, AlignError>>> = vec![None; pairs.len()];
-    let mut group: Vec<usize> = Vec::with_capacity(L);
-    let flush = |group: &mut Vec<usize>,
+    // Pending lock-step group and its lane pairs live on the stack:
+    // flushing a group costs no allocation beyond the kernel's own.
+    let mut group = [0usize; L];
+    let mut group_len = 0usize;
+    let flush = |group: &[usize; L],
+                 group_len: &mut usize,
                  results: &mut Vec<Option<Result<Option<BitapMatch>, AlignError>>>,
                  metrics: &mut ScanMetrics| {
-        if group.is_empty() {
+        if *group_len == 0 {
             return;
         }
-        let lanes: Vec<(&[u8], &[u8])> = group.iter().map(|&idx| pairs[idx]).collect();
-        for (idx, outcome) in group
-            .drain(..)
-            .zip(scan_lockstep::<A, L, EARLY>(&lanes, k, metrics))
-        {
+        let mut lanes = [(&[][..], &[][..]); L];
+        for (slot, &idx) in lanes.iter_mut().zip(&group[..*group_len]) {
+            *slot = pairs[idx];
+        }
+        for (&idx, outcome) in group[..*group_len].iter().zip(scan_lockstep::<A, L, EARLY>(
+            &lanes[..*group_len],
+            k,
+            metrics,
+        )) {
             results[idx] = Some(outcome);
         }
+        *group_len = 0;
     };
     for (idx, &(text, pattern)) in pairs.iter().enumerate() {
         if pattern.is_empty() || pattern.len() > 64 || text.is_empty() {
@@ -433,13 +442,14 @@ fn batch_scan<A: Alphabet, const L: usize, const EARLY: bool>(
             }
             results[idx] = Some(outcome);
         } else {
-            group.push(idx);
-            if group.len() == L {
-                flush(&mut group, &mut results, metrics);
+            group[group_len] = idx;
+            group_len += 1;
+            if group_len == L {
+                flush(&group, &mut group_len, &mut results, metrics);
             }
         }
     }
-    flush(&mut group, &mut results, metrics);
+    flush(&group, &mut group_len, &mut results, metrics);
     results
         .into_iter()
         .map(|slot| slot.expect("every pair is scanned exactly once"))

@@ -1,0 +1,427 @@
+//! Escalating pre-alignment filter cascade (tier 0 + verdict types).
+//!
+//! The flat pre-alignment filter (§8, [`filter`](crate::filter)) runs
+//! the full `k+1`-row distance recurrence over every candidate region,
+//! even though most candidates are clear misses that cheaper evidence
+//! could discard. This module holds the *cheap* end of the cascade:
+//!
+//! * **Tier 0** — a positionally banded q-gram counting bailout over
+//!   the mapper's 2-bit packed reference. By the Jokinen–Ukkonen
+//!   q-gram lemma, if the pattern `P` (length `m`) occurs in the
+//!   candidate window with at most `k` edits, the window must contain
+//!   at least `m + 1 - q·(k + 1)` of `P`'s `m - q + 1` positional
+//!   q-grams — and each surviving gram can drift at most `k` from
+//!   where the occurrence places it (see the derivation on
+//!   [`tier0_rejects`]). Counting banded gram hits needs no
+//!   recurrence rows at all — one rolling-code pass over the window
+//!   plus one position-interval probe per pattern gram.
+//! * **Tier 1** — the iterative-deepening multi-word occurrence scan —
+//!   lives with its kernel in [`dc_wide`](crate::dc_wide)
+//!   ([`occurrence_distance_lanes`](crate::dc_wide::occurrence_distance_lanes)).
+//! * **Tier 2** — the [`FilterVerdict`] carried into the mapper's
+//!   resolve stage so an accepted candidate's occurrence bound is
+//!   never recomputed.
+//!
+//! ## Why q-grams and not SHD-style shifted match-counts
+//!
+//! The issue sketched tier 0 as an SHD-style per-block shifted
+//! match-count. At this pipeline's operating point (`m ≈ 150`,
+//! `k = ⌈0.15·m⌉ ≈ 23`) that bound is vacuous: soundness requires
+//! OR-folding (or minimising over) all `2k + 1 ≈ 47` shifts, and with
+//! that many shifts a random window either matches almost every
+//! position (OR-fold: per-position match probability
+//! `1 - (3/4)^47 ≈ 1`) or the per-shift longest-run bound sums to
+//! below `k` on random data — the filter would reject nothing. The
+//! banded q-gram count with `q = 5` is sound *and* discriminative
+//! here: the threshold is `m + 1 - 5(k + 1) = 31` banded grams, while
+//! a chance candidate — even one sharing the exact seed k-mer that
+//! generated it, which alone contributes ~8 in-band grams — averages
+//! well under 25, so the overwhelming majority of misses die before a
+//! single recurrence row. An unbanded count fails precisely on those
+//! seed-sharing candidates (seed grams plus ~20 scattered chance hits
+//! straddle the threshold), and `q = 4` (threshold 55 vs ~65 chance
+//! hits) and `q = 6` (threshold 7 vs single-digit chance hits) fail
+//! the margin outright, so both the gram length and the banding are
+//! fixed rather than configurable.
+
+use crate::alphabet::{Alphabet, Dna};
+use crate::error::AlignError;
+use crate::pattern::PatternBitmasks;
+
+/// Gram length of the tier-0 counting filter (see the module docs for
+/// why exactly 5).
+pub const QGRAM_LEN: usize = 5;
+
+/// Bits of a rolling 2-bit-per-base gram code: `2 * QGRAM_LEN`.
+const CODE_BITS: usize = 2 * QGRAM_LEN;
+
+/// Distinct gram codes (`4^QGRAM_LEN`), i.e. presence-bitmap bits.
+const CODES: usize = 1 << CODE_BITS;
+
+/// Outcome of the filter cascade for one candidate, carried forward to
+/// the resolve stage so no candidate is scanned twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterVerdict {
+    /// The candidate cannot contain an occurrence within threshold.
+    Rejected,
+    /// The candidate survived the cascade.
+    Accepted {
+        /// A certified lower bound on the candidate's occurrence
+        /// distance (0 when the accepting tier computed no bound).
+        lower_bound: usize,
+        /// `true` when `lower_bound` *is* the exact occurrence
+        /// distance (tier 1 resolved it), so phase-1 distance
+        /// resolution can reuse it instead of rescanning.
+        exact: bool,
+    },
+}
+
+impl FilterVerdict {
+    /// Whether the candidate survived the cascade.
+    #[inline]
+    pub fn accepted(&self) -> bool {
+        matches!(self, FilterVerdict::Accepted { .. })
+    }
+}
+
+/// Per-oriented-read pattern state shared by every candidate of that
+/// read: the multi-word bitmasks tier 1 scans with, plus the
+/// positional q-gram codes tier 0 counts.
+#[derive(Debug, Clone)]
+pub struct CascadePattern {
+    pm: PatternBitmasks<Dna>,
+    grams: Vec<u16>,
+}
+
+impl CascadePattern {
+    /// Builds the cascade state for one oriented read.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyPattern`] / [`AlignError::InvalidSymbol`] —
+    /// the same conditions under which the legacy filter's upfront
+    /// pattern validation fails, so callers can route such reads to
+    /// the legacy scalar path verbatim.
+    pub fn new(pattern: &[u8]) -> Result<Self, AlignError> {
+        let pm = PatternBitmasks::<Dna>::new(pattern)?;
+        let mut grams = Vec::new();
+        if pattern.len() >= QGRAM_LEN {
+            grams.reserve(pattern.len() - QGRAM_LEN + 1);
+            let mut code = 0u16;
+            for (i, &byte) in pattern.iter().enumerate() {
+                // `new` above validated every byte.
+                let sym = Dna::index(byte).expect("validated pattern byte") as u16;
+                code = ((code << 2) | sym) & (CODES - 1) as u16;
+                if i + 1 >= QGRAM_LEN {
+                    grams.push(code);
+                }
+            }
+        }
+        Ok(CascadePattern { pm, grams })
+    }
+
+    /// Pattern length in bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pm.len()
+    }
+
+    /// Whether the pattern is empty (never true: construction rejects
+    /// empty patterns).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pm.is_empty()
+    }
+
+    /// The tier-1 pattern bitmasks.
+    #[inline]
+    pub fn masks(&self) -> &PatternBitmasks<Dna> {
+        &self.pm
+    }
+
+    /// Number of positional q-grams tier 0 probes for this pattern.
+    #[inline]
+    pub fn gram_count(&self) -> usize {
+        self.grams.len()
+    }
+}
+
+/// The minimum number of pattern q-grams a window must contain for an
+/// occurrence within `k` edits to be possible: `m + 1 - q·(k + 1)`,
+/// saturating at 0 (in which case tier 0 cannot reject anything and
+/// [`tier0_rejects`] is a no-op).
+#[inline]
+pub fn qgram_min_hits(m: usize, k: usize) -> usize {
+    (m + 1).saturating_sub(QGRAM_LEN * (k.min(m) + 1))
+}
+
+/// Marker for a gram code that never occurred in the window.
+const ABSENT: u32 = u32::MAX;
+
+/// Reusable tier-0 state: per gram code, the first and last window
+/// position it occurred at (`4^QGRAM_LEN` slots each).
+#[derive(Debug, Clone, Default)]
+pub struct Tier0Scratch {
+    first: Vec<u32>,
+    last: Vec<u32>,
+}
+
+impl Tier0Scratch {
+    /// An empty scratch; tables are grown on first use.
+    pub fn new() -> Self {
+        Tier0Scratch::default()
+    }
+}
+
+/// Tier 0: returns `true` when the banded q-gram count *proves* the
+/// window cannot contain an occurrence of the pattern within `k`
+/// edits — a `true` here is always safe to treat as a filter reject.
+///
+/// `window_codes` are the candidate region's 2-bit base codes
+/// (`A=0, C=1, G=2, T=3`, the mapper's `PackedRef` encoding; see
+/// [`dna_codes_into`] for building them from raw bases).
+///
+/// Soundness (threshold `t = m + 1 - q(k + 1)` with `k` clamped to
+/// `m`, matching the legacy filter's threshold clamp): suppose the
+/// window of length `n` contains an occurrence with `e ≤ k` edits.
+///
+/// * **Count.** Split the edits into `e'` interior edits and
+///   `s = e - e'` trailing pattern characters truncated past the
+///   window end (the legacy Bitap scan's `ones << d` boundary charges
+///   exactly one edit per truncated character). Of the pattern's
+///   `m - q + 1` grams, each interior edit destroys at most `q`, and
+///   the `s` truncated characters destroy only the `s` grams that
+///   reach past the matched prefix — so at least
+///   `(m - q + 1) - q·e' - s ≥ (m - q + 1) - q·e ≥ t` grams survive
+///   verbatim in the window.
+/// * **Band.** The occurrence spans at least `m - k` window
+///   characters (every deleted or truncated character costs an edit),
+///   so it starts at some `s₀ ≤ n - (m - k)`; within it, a surviving
+///   gram at pattern position `p` sits at window position
+///   `s₀ + p ± k`. Every surviving gram therefore falls inside
+///   `[p - k, p + k + (n - (m - k))]` — a miss can only be counted,
+///   never a hit missed.
+///
+/// A window holding fewer than `t` pattern grams inside their bands
+/// thus cannot contain any in-threshold occurrence. Probing the
+/// first/last occurrence *interval* of a code (rather than its exact
+/// position set) only over-counts, which can only weaken rejects,
+/// never break them.
+pub fn tier0_rejects(
+    window_codes: &[u8],
+    pattern: &CascadePattern,
+    k: usize,
+    scratch: &mut Tier0Scratch,
+) -> bool {
+    let m = pattern.len();
+    let k = k.min(m);
+    let t = qgram_min_hits(m, k);
+    if t == 0 || pattern.grams.is_empty() {
+        return false;
+    }
+    // `last` needs no reset: it is read only when `first` marks the
+    // code as seen this candidate, and every write of `first` is
+    // paired with a write of `last`.
+    scratch.first.clear();
+    scratch.first.resize(CODES, ABSENT);
+    scratch.last.resize(CODES, 0);
+    if window_codes.len() >= QGRAM_LEN {
+        let mut code = 0usize;
+        for (i, &c) in window_codes.iter().enumerate() {
+            debug_assert!(c < 4, "window codes must be 2-bit");
+            code = ((code << 2) | c as usize) & (CODES - 1);
+            if i + 1 >= QGRAM_LEN {
+                let pos = (i + 1 - QGRAM_LEN) as u32;
+                if scratch.first[code] == ABSENT {
+                    scratch.first[code] = pos;
+                }
+                scratch.last[code] = pos;
+            }
+        }
+    }
+    let slack = window_codes.len().saturating_sub(m.saturating_sub(k));
+    let mut hits = 0usize;
+    for (p, &gram) in pattern.grams.iter().enumerate() {
+        let gram = gram as usize;
+        let first = scratch.first[gram];
+        if first == ABSENT {
+            continue;
+        }
+        let lo = p.saturating_sub(k) as u32;
+        let hi = (p + k + slack) as u32;
+        if first <= hi && scratch.last[gram] >= lo {
+            hits += 1;
+            if hits >= t {
+                // Enough evidence survives; the candidate escalates.
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Tier-0 probe volume of one candidate, in the spirit of the
+/// recurrence-row accounting: one probe per window gram inserted plus
+/// one per pattern gram looked up.
+#[inline]
+pub fn tier0_probes(window_len: usize, pattern: &CascadePattern) -> u64 {
+    (window_len.saturating_sub(QGRAM_LEN - 1) + pattern.gram_count()) as u64
+}
+
+/// Encodes a DNA sequence to 2-bit base codes, appending to `out`.
+/// Returns `false` (leaving `out` truncated to its original length)
+/// when any byte is outside the DNA alphabet — such candidates must
+/// take the legacy scalar path, whose lazy text validation the
+/// cascade cannot reproduce cheaply.
+pub fn dna_codes_into(seq: &[u8], out: &mut Vec<u8>) -> bool {
+    let start = out.len();
+    out.reserve(seq.len());
+    for &byte in seq {
+        match Dna::index(byte) {
+            Some(sym) => out.push(sym as u8),
+            None => {
+                out.truncate(start);
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitap;
+
+    fn dna(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    fn codes(seq: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        assert!(dna_codes_into(seq, &mut out));
+        out
+    }
+
+    #[test]
+    fn threshold_matches_lemma() {
+        // m = 150, k = 23 -> 151 - 5 * 24 = 31.
+        assert_eq!(qgram_min_hits(150, 23), 31);
+        // Saturates when the budget destroys every gram.
+        assert_eq!(qgram_min_hits(60, 23), 0);
+        // k clamps to m like the legacy filter's threshold clamp.
+        assert_eq!(qgram_min_hits(4, 1000), qgram_min_hits(4, 4));
+    }
+
+    #[test]
+    fn never_rejects_what_the_legacy_filter_accepts() {
+        let mut scratch = Tier0Scratch::new();
+        for seed in 1..40u64 {
+            let reference = dna(400, seed);
+            let m = 80 + (seed as usize * 13) % 80;
+            let pos = (seed as usize * 31) % (reference.len() - m - 30);
+            let mut read = reference[pos..pos + m].to_vec();
+            // Mutate within budget.
+            for e in 0..(seed as usize % 12) {
+                let idx = (e * 17 + 3) % read.len();
+                read[idx] = if read[idx] == b'A' { b'C' } else { b'A' };
+            }
+            let k = m * 15 / 100;
+            let window = &reference[pos..(pos + m + k).min(reference.len())];
+            let pattern = CascadePattern::new(&read).unwrap();
+            let accepted = bitap::matches_within::<Dna>(window, &read, k).unwrap();
+            let rejected = tier0_rejects(&codes(window), &pattern, k, &mut scratch);
+            assert!(
+                !(accepted && rejected),
+                "tier 0 rejected a legacy accept (seed={seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_random_windows_at_the_bench_operating_point() {
+        let mut scratch = Tier0Scratch::new();
+        let mut rejected = 0usize;
+        let total = 50usize;
+        for seed in 0..total as u64 {
+            let read = dna(150, seed * 2 + 1);
+            let window = dna(173, seed * 2 + 1000);
+            let pattern = CascadePattern::new(&read).unwrap();
+            if tier0_rejects(&codes(&window), &pattern, 23, &mut scratch) {
+                rejected += 1;
+            }
+        }
+        // The discrimination margin the cascade's >= 3x row win rests
+        // on: the overwhelming majority of chance candidates must die
+        // in tier 0.
+        assert_eq!(rejected, total, "only {rejected}/{total} rejected");
+    }
+
+    #[test]
+    fn rejects_seed_sharing_decoys() {
+        // The mapper's candidates are not uniformly random: each one
+        // shares at least one exact seed k-mer with the read, planted
+        // at (roughly) the matching offset. These decoys are what the
+        // banding exists for — an unbanded count straddles the
+        // threshold on them.
+        let mut scratch = Tier0Scratch::new();
+        let mut rejected = 0usize;
+        let total = 50usize;
+        for seed in 0..total as u64 {
+            let read = dna(150, seed * 2 + 1);
+            let mut window = dna(173, seed * 2 + 1000);
+            let offset = (seed as usize * 11) % (read.len() - 12);
+            window[offset..offset + 12].copy_from_slice(&read[offset..offset + 12]);
+            let pattern = CascadePattern::new(&read).unwrap();
+            if tier0_rejects(&codes(&window), &pattern, 23, &mut scratch) {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected * 10 >= total * 9,
+            "only {rejected}/{total} decoys rejected"
+        );
+    }
+
+    #[test]
+    fn short_windows_and_short_patterns_are_handled() {
+        let mut scratch = Tier0Scratch::new();
+        let pattern = CascadePattern::new(b"ACG").unwrap();
+        assert_eq!(pattern.gram_count(), 0);
+        // m < q: threshold saturates to 0, nothing is rejected.
+        assert!(!tier0_rejects(&codes(b"TTTT"), &pattern, 0, &mut scratch));
+        // Window shorter than q holds no grams: reject iff t > 0.
+        let long = CascadePattern::new(&dna(150, 7)).unwrap();
+        assert!(tier0_rejects(&codes(b"ACG"), &long, 23, &mut scratch));
+        assert!(!tier0_rejects(&codes(b"ACG"), &long, 150, &mut scratch));
+    }
+
+    #[test]
+    fn dna_codes_reject_invalid_bytes_without_partial_output() {
+        let mut out = vec![9u8];
+        assert!(dna_codes_into(b"acgt", &mut out));
+        assert_eq!(out, vec![9, 0, 1, 2, 3]);
+        assert!(!dna_codes_into(b"ACNT", &mut out));
+        assert_eq!(out, vec![9, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn construction_mirrors_legacy_validation() {
+        assert!(matches!(
+            CascadePattern::new(b""),
+            Err(AlignError::EmptyPattern)
+        ));
+        assert!(matches!(
+            CascadePattern::new(b"ACXT"),
+            Err(AlignError::InvalidSymbol { pos: 2, byte: b'X' })
+        ));
+    }
+}

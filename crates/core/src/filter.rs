@@ -157,19 +157,16 @@ impl PreAlignmentFilter {
 
     /// Filters a batch of candidate pairs, returning the indices of the
     /// accepted ones. Convenience for the read-mapping pipeline; runs
-    /// on the lock-step batch kernel.
+    /// on the lock-step batch kernel directly over the caller's slice
+    /// (no intermediate pair table is built).
     ///
     /// # Errors
     ///
     /// Same conditions as [`accepts`](Self::accepts); the first error
     /// (in input order) aborts the batch.
-    pub fn filter_batch<'a, I>(&self, pairs: I) -> Result<Vec<usize>, AlignError>
-    where
-        I: IntoIterator<Item = (&'a [u8], &'a [u8])>,
-    {
-        let pairs: Vec<(&[u8], &[u8])> = pairs.into_iter().collect();
+    pub fn filter_batch(&self, pairs: &[(&[u8], &[u8])]) -> Result<Vec<usize>, AlignError> {
         let mut accepted = Vec::new();
-        for (idx, decision) in self.accepts_many(&pairs).into_iter().enumerate() {
+        for (idx, decision) in self.accepts_many(pairs).into_iter().enumerate() {
             if decision? {
                 accepted.push(idx);
             }
@@ -230,7 +227,7 @@ mod tests {
         let similar: &[u8] = b"ACGTACCTACGT";
         let dissimilar: &[u8] = b"TTTTTTTTTTTT";
         let accepted = filter
-            .filter_batch(vec![
+            .filter_batch(&[
                 (reference, similar),
                 (reference, dissimilar),
                 (reference, reference),

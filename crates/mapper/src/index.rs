@@ -94,6 +94,26 @@ impl PackedRef {
     fn is_valid(&self, i: usize) -> bool {
         self.valid[i / 64] >> (i % 64) & 1 == 1
     }
+
+    /// Appends the 2-bit codes of bases `start..start + len` (clamped
+    /// to the reference end) to `out`. Returns `false` — leaving `out`
+    /// truncated to its original length — when the window covers a
+    /// non-ACGT base: such windows must take the byte-level filter
+    /// path, whose lazy text validation the packed codes cannot
+    /// reproduce. Used by the filter cascade's tier-0 q-gram scan.
+    pub fn window_codes_into(&self, start: usize, len: usize, out: &mut Vec<u8>) -> bool {
+        let mark = out.len();
+        let end = (start + len).min(self.len);
+        out.reserve(end.saturating_sub(start));
+        for i in start..end {
+            if !self.is_valid(i) {
+                out.truncate(mark);
+                return false;
+            }
+            out.push(self.code(i));
+        }
+        true
+    }
 }
 
 /// A shard's `(key, position)` postings, ascending by position.
@@ -427,6 +447,21 @@ mod tests {
         let index = ShardedIndex::build_with_shards(&reference, 32, 4);
         let hits = index.lookup(&reference[0..32]).unwrap();
         assert_eq!(hits, &[0, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48]);
+    }
+
+    #[test]
+    fn window_codes_cover_valid_spans_and_reject_invalid_ones() {
+        let packed = PackedRef::pack(b"acgtACGTNACGT");
+        let mut out = vec![7u8];
+        assert!(packed.window_codes_into(0, 8, &mut out));
+        assert_eq!(out, vec![7, 0, 1, 2, 3, 0, 1, 2, 3]);
+        // Overlapping the N fails without leaving partial output.
+        assert!(!packed.window_codes_into(6, 4, &mut out));
+        assert_eq!(out, vec![7, 0, 1, 2, 3, 0, 1, 2, 3]);
+        // Past-the-end windows clamp like the mapper's region().
+        out.clear();
+        assert!(packed.window_codes_into(9, 100, &mut out));
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 
     #[test]

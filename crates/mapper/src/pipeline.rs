@@ -26,13 +26,20 @@
 //! mappings provably bit-identical to the **full** model (which aligns
 //! every survivor with traceback storage, the pre-two-phase shape).
 
-use crate::index::ShardedIndex;
-use crate::seed::{SeedScratch, Seeder};
+use crate::index::{PackedRef, ShardedIndex};
+use crate::seed::{Candidate, SeedScratch, Seeder};
 use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_baselines::shouji::ShoujiFilter;
 use genasm_core::align::{GenAsmAligner, GenAsmConfig};
-use genasm_core::bitap::ScanMetrics;
+use genasm_core::alphabet::Dna;
+use genasm_core::bitap::{ScanMetrics, SCAN_LANES};
+use genasm_core::cascade::{
+    tier0_probes, tier0_rejects, CascadePattern, FilterVerdict, Tier0Scratch,
+};
 use genasm_core::cigar::Cigar;
+use genasm_core::dc_wide::{
+    occurrence_distance_lanes, OccurrenceLaneJob, OccurrenceLaneScratch, MAX_WIDE_WINDOW,
+};
 use genasm_core::filter::PreAlignmentFilter;
 use genasm_core::scoring::Scoring;
 use genasm_engine::{
@@ -73,6 +80,28 @@ pub enum FilterKind {
     None,
 }
 
+/// How the GenASM pre-alignment filter executes (selects the filter
+/// *engine*, not the filter semantics: accepted candidate sets — and
+/// therefore final mappings — are bit-identical in both modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterMode {
+    /// The escalating per-candidate cascade: a tier-0 banded q-gram
+    /// bailout over the packed reference rejects most decoys before
+    /// any recurrence row is issued, survivors run the
+    /// iterative-deepening lock-step occurrence scan
+    /// ([`occurrence_distance_lanes`]) whose exact distance is carried
+    /// forward as a [`FilterVerdict`] bound, and the two-phase resolve
+    /// stage answers those candidates' distance jobs from the bound
+    /// instead of rescanning them.
+    #[default]
+    Cascade,
+    /// The flat lock-step scan (the pre-cascade shape): every
+    /// candidate pays the full `k + 1` recurrence rows. Kept as the
+    /// identity oracle for the cascade and selectable via the CLI's
+    /// `--filter-mode legacy`.
+    Legacy,
+}
+
 /// Which aligner the pipeline uses for step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AlignerKind {
@@ -110,6 +139,10 @@ pub struct MapperConfig {
     pub seeder: Seeder,
     /// Filter selection.
     pub filter: FilterKind,
+    /// Execution mode of the GenASM filter (cascade by default;
+    /// candidate sets are bit-identical in both modes). Ignored by the
+    /// other filter kinds.
+    pub filter_mode: FilterMode,
     /// Aligner selection.
     pub aligner: AlignerKind,
     /// Edit-distance threshold as a fraction of read length (the
@@ -137,6 +170,7 @@ impl Default for MapperConfig {
             seed_len: 12,
             seeder: Seeder::default(),
             filter: FilterKind::GenAsm,
+            filter_mode: FilterMode::default(),
             aligner: AlignerKind::GenAsm,
             error_fraction: 0.15,
             scoring: Scoring::bwa_mem(),
@@ -298,8 +332,37 @@ pub struct StageTimings {
     /// figure. Reads over 64 bases scan on the multi-word fallback,
     /// whose exact recurrence-word volume counts as issued = useful
     /// (occupancy 1.0 — a scalar scan pads nothing). Zero when the
-    /// GenASM filter is not selected.
+    /// GenASM filter is not selected. In cascade mode only tier-1
+    /// recurrence rows (and legacy-fallback scans) count here — the
+    /// tier-0 bailout issues no recurrence rows at all, which is the
+    /// cascade's headline row saving.
     pub filter_rows: (u64, u64),
+    /// Candidates the cascade's tier-0 banded q-gram count rejected
+    /// before any recurrence row was issued. Zero in legacy mode.
+    pub tier0_rejects: u64,
+    /// Candidates the cascade's tier-1 iterative-deepening occurrence
+    /// scan rejected (their occurrence distance exceeds the
+    /// threshold). Zero in legacy mode.
+    pub tier1_rejects: u64,
+    /// Candidates the cascade accepted with an exact tier-1 occurrence
+    /// distance (the bound the resolve stage reuses). Zero in legacy
+    /// mode.
+    pub cascade_accepts: u64,
+    /// Candidates the cascade routed to the legacy scalar scan because
+    /// their inputs fall outside the cascade's fast path (non-DNA
+    /// bytes, reads past the wide kernel's window limit). Their
+    /// decisions are the legacy scan's verbatim.
+    pub cascade_fallbacks: u64,
+    /// Contested candidates whose phase-1 distance job was answered
+    /// from the cascade's carried bound instead of being rescanned
+    /// (the engine's [`jobs_prefilled`](genasm_engine::BatchStats::jobs_prefilled)).
+    /// Zero in legacy mode and the sequential path.
+    pub bound_reuse_hits: u64,
+    /// Tier-0 probe volume: window grams inserted plus pattern grams
+    /// looked up, across all candidates tier 0 examined. The cascade's
+    /// cheap work, reported separately from `filter_rows` so the
+    /// recurrence-row saving stays directly comparable across modes.
+    pub tier0_probes: u64,
 }
 
 impl StageTimings {
@@ -354,18 +417,39 @@ impl StageTimings {
         self.traceback_jobs += other.traceback_jobs;
         self.filter_rows.0 += other.filter_rows.0;
         self.filter_rows.1 += other.filter_rows.1;
+        self.tier0_rejects += other.tier0_rejects;
+        self.tier1_rejects += other.tier1_rejects;
+        self.cascade_accepts += other.cascade_accepts;
+        self.cascade_fallbacks += other.cascade_fallbacks;
+        self.bound_reuse_hits += other.bound_reuse_hits;
+        self.tier0_probes += other.tier0_probes;
     }
 }
 
+/// One candidate position that survived the pre-alignment filter,
+/// with the bound the filter certified on the way through.
+#[derive(Debug, Clone, Copy)]
+struct Survivor {
+    /// Candidate position in the reference.
+    pos: usize,
+    /// The exact occurrence distance of the candidate when the
+    /// cascade's tier 1 resolved it (`None` on the legacy path and the
+    /// cascade's fallback candidates). A `Some` bound lets the resolve
+    /// stage answer the candidate's phase-1 distance job without
+    /// rescanning it.
+    bound: Option<usize>,
+}
+
 /// One oriented read after the batch path's fused seed-and-filter
-/// stage: its sequence, error budget, and the candidate positions that
-/// survived the pre-alignment filter (in seeder order).
+/// stage: its sequence, error budget, and the candidates that survived
+/// the pre-alignment filter (in seeder order), each with any bound the
+/// filter certified.
 struct Seeded {
     read: usize,
     reverse: bool,
     seq: Vec<u8>,
     budget: usize,
-    survivors: Vec<usize>,
+    survivors: Vec<Survivor>,
 }
 
 /// One filter-surviving candidate in the batch path's flat candidate
@@ -377,6 +461,33 @@ struct Cand<'a> {
     pos: usize,
     seq: &'a [u8],
     budget: usize,
+    /// The filter's certified exact occurrence distance, when it
+    /// produced one (see [`Survivor::bound`]).
+    bound: Option<usize>,
+}
+
+/// Reusable buffers of the fused seed-and-filter stage, threaded
+/// alongside [`SeedScratch`] through every per-read call so the hot
+/// loop performs no per-candidate allocations: seeded candidates and
+/// their clamped positions, the cascade's packed window codes and
+/// per-tier scratch tables, and the per-candidate verdicts that keep
+/// survivors in seeder order while tier-1 decisions arrive batched.
+#[derive(Debug, Default)]
+struct FilterScratch {
+    /// Raw seeder output of the current oriented read.
+    raw: Vec<Candidate>,
+    /// Clamped candidate positions of the current oriented read.
+    positions: Vec<usize>,
+    /// 2-bit window codes of the candidate under tier-0 examination.
+    codes: Vec<u8>,
+    /// Tier-0 first/last gram-occurrence tables.
+    tier0: Tier0Scratch,
+    /// Tier-1 lock-step rolling rows and gathered text masks.
+    lanes: OccurrenceLaneScratch,
+    /// Per-candidate cascade verdicts (`None` = awaiting tier 1).
+    verdicts: Vec<Option<FilterVerdict>>,
+    /// Positions (indices into `positions`) awaiting tier 1.
+    pending: Vec<usize>,
 }
 
 /// Folds one engine batch's lane and traceback accounting into the
@@ -408,6 +519,10 @@ fn absorb_engine_stats(timings: &mut StageTimings, stats: &genasm_engine::BatchS
 pub struct ReadMapper {
     reference: Vec<u8>,
     index: ShardedIndex,
+    /// 2-bit packed copy of the reference for the cascade's tier-0
+    /// window-code probes (4 bases/byte; the index builds and drops
+    /// its own packing, so the mapper retains one for the filter).
+    packed: PackedRef,
     config: MapperConfig,
     telemetry: Telemetry,
 }
@@ -421,6 +536,7 @@ impl ReadMapper {
         ReadMapper {
             reference: reference.to_vec(),
             index,
+            packed: PackedRef::pack(reference),
             config,
             telemetry: Telemetry::default(),
         }
@@ -547,14 +663,16 @@ impl ReadMapper {
         let mut timings = StageTimings::default();
         let k = self.error_budget(read);
         let mut scratch = SeedScratch::default();
-        let surviving = self.seed_and_filter(read, k, &mut timings, &mut scratch, spans);
+        let mut fscratch = FilterScratch::default();
+        let surviving =
+            self.seed_and_filter(read, k, &mut timings, &mut scratch, &mut fscratch, spans);
 
         let t2 = Instant::now();
         if let Some(s) = spans.as_mut() {
             s.begin("traceback");
         }
         let mut best: Option<Mapping> = None;
-        for pos in surviving {
+        for Survivor { pos, .. } in surviving {
             let region = self.region(pos, read.len(), k);
             let mapping = match self.config.aligner {
                 AlignerKind::GenAsm => {
@@ -753,6 +871,7 @@ impl ReadMapper {
         let (seeded, stage_busy, seeded_ok) = if workers <= 1 || reads.len() <= 1 {
             let mut busy = StageTimings::default();
             let mut scratch = SeedScratch::default();
+            let mut fscratch = FilterScratch::default();
             let mut seeded = Vec::new();
             let mut ok = vec![false; reads.len()];
             for (idx, read) in reads.iter().enumerate() {
@@ -764,6 +883,7 @@ impl ReadMapper {
                     read,
                     &mut busy,
                     &mut scratch,
+                    &mut fscratch,
                     &mut coord,
                 ));
                 ok[idx] = true;
@@ -793,6 +913,11 @@ impl ReadMapper {
         timings.filtering = stage_wall.saturating_sub(timings.seeding);
         timings.candidates = stage_busy.candidates;
         timings.filter_rows = stage_busy.filter_rows;
+        timings.tier0_rejects = stage_busy.tier0_rejects;
+        timings.tier1_rejects = stage_busy.tier1_rejects;
+        timings.cascade_accepts = stage_busy.cascade_accepts;
+        timings.cascade_fallbacks = stage_busy.cascade_fallbacks;
+        timings.tier0_probes = stage_busy.tier0_probes;
 
         // Flatten the survivors into one candidate table; engine keys
         // are plain candidate indices, so results route back without a
@@ -800,12 +925,13 @@ impl ReadMapper {
         let cands: Vec<Cand<'_>> = seeded
             .iter()
             .flat_map(|s| {
-                s.survivors.iter().map(|&pos| Cand {
+                s.survivors.iter().map(|&Survivor { pos, bound }| Cand {
                     read: s.read,
                     reverse: s.reverse,
                     pos,
                     seq: &s.seq,
                     budget: s.budget,
+                    bound,
                 })
             })
             .collect();
@@ -847,12 +973,23 @@ impl ReadMapper {
             .filter(|&idx| cand_count[cands[idx].read] > 1)
             .collect();
         if !contested.is_empty() {
+            // A candidate carrying the cascade's exact occurrence
+            // distance is answered from that bound without touching
+            // the worker pool — its window was already scanned once by
+            // tier 1 and is never scanned twice.
             let djobs: Vec<DistanceJob> = contested
                 .iter()
                 .map(|&idx| {
                     let c = &cands[idx];
-                    DistanceJob::new(self.region(c.pos, c.seq.len(), c.budget), c.seq, c.budget)
-                        .with_key(idx as u64)
+                    match c.bound {
+                        Some(d) => DistanceJob::prefilled(d),
+                        None => DistanceJob::new(
+                            self.region(c.pos, c.seq.len(), c.budget),
+                            c.seq,
+                            c.budget,
+                        ),
+                    }
+                    .with_key(idx as u64)
                 })
                 .collect();
             // Time only the engine call, as in full mode: the serial
@@ -868,6 +1005,7 @@ impl ReadMapper {
             }
             timings.distance = t2.elapsed();
             timings.distance_jobs = djobs.len() as u64;
+            timings.bound_reuse_hits = dstats.jobs_prefilled;
             absorb_engine_stats(&mut timings, &dstats);
             // Each candidate's `bound` is a certified lower bound of
             // its full alignment's edit distance: the scanned
@@ -1091,6 +1229,7 @@ impl ReadMapper {
         read: &[u8],
         timings: &mut StageTimings,
         scratch: &mut SeedScratch,
+        fscratch: &mut FilterScratch,
         spans: &mut Option<SpanBuffer>,
     ) -> Vec<Seeded> {
         let mut out = Vec::with_capacity(1 + usize::from(self.config.both_strands));
@@ -1100,7 +1239,7 @@ impl ReadMapper {
         }
         for (seq, reverse) in oriented {
             let budget = self.error_budget(&seq);
-            let survivors = self.seed_and_filter(&seq, budget, timings, scratch, spans);
+            let survivors = self.seed_and_filter(&seq, budget, timings, scratch, fscratch, spans);
             out.push(Seeded {
                 read: read_idx,
                 reverse,
@@ -1144,6 +1283,7 @@ impl ReadMapper {
                             .is_enabled()
                             .then(|| tracer.buffer(100 + worker as u32));
                         let mut scratch = SeedScratch::default();
+                        let mut fscratch = FilterScratch::default();
                         let mut local = StageTimings::default();
                         let mut produced: Vec<(usize, Vec<Seeded>)> = Vec::new();
                         loop {
@@ -1161,6 +1301,7 @@ impl ReadMapper {
                                     reads[idx],
                                     &mut local,
                                     &mut scratch,
+                                    &mut fscratch,
                                     &mut spans,
                                 ),
                             ));
@@ -1190,61 +1331,52 @@ impl ReadMapper {
 
     /// Pipeline steps 1–2 for one oriented read: seeding, then the
     /// configured pre-alignment filter. Returns the surviving
-    /// candidate positions (clamped into the reference) and
-    /// accumulates stage timings and candidate counters. Shared by the
-    /// sequential and engine-batched paths so their candidate sets can
-    /// never diverge.
+    /// candidates (positions clamped into the reference, plus any
+    /// bound the filter certified) and accumulates stage timings and
+    /// candidate counters. Shared by the sequential and engine-batched
+    /// paths so their candidate sets can never diverge.
     ///
-    /// The GenASM filter runs all of a read's candidate regions through
-    /// the batched distance-only scan
-    /// ([`PreAlignmentFilter::accepts_many`]), which lock-steps up to
-    /// four candidates per Bitap pass for reads that fit one machine
-    /// word; decisions are identical to filtering one candidate at a
-    /// time.
+    /// The GenASM filter's two execution modes accept bit-identical
+    /// candidate sets: the default escalating cascade
+    /// ([`filter_cascade`](Self::filter_cascade)) and the flat
+    /// lock-step scan ([`filter_legacy`](Self::filter_legacy)).
     fn seed_and_filter(
         &self,
         seq: &[u8],
         k: usize,
         timings: &mut StageTimings,
         scratch: &mut SeedScratch,
+        fscratch: &mut FilterScratch,
         spans: &mut Option<SpanBuffer>,
-    ) -> Vec<usize> {
+    ) -> Vec<Survivor> {
         let t0 = Instant::now();
         if let Some(s) = spans.as_mut() {
             s.begin("seed");
         }
-        let positions = self.clamped_candidates(seq, scratch);
+        self.clamped_candidates(seq, scratch, fscratch);
         if let Some(s) = spans.as_mut() {
             s.end("seed");
         }
         timings.seeding += t0.elapsed();
-        timings.candidates.0 += positions.len();
+        timings.candidates.0 += fscratch.positions.len();
 
         let t1 = Instant::now();
         if let Some(s) = spans.as_mut() {
             s.begin("filter");
         }
-        let surviving: Vec<usize> = match self.config.filter {
-            FilterKind::GenAsm => {
-                let pairs: Vec<(&[u8], &[u8])> = positions
-                    .iter()
-                    .map(|&pos| (self.region(pos, seq.len(), k), seq))
-                    .collect();
-                let mut rows = ScanMetrics::default();
-                let decisions = PreAlignmentFilter::new(k).accepts_many_counted(&pairs, &mut rows);
-                timings.filter_rows.0 += rows.rows_issued;
-                timings.filter_rows.1 += rows.rows_useful;
-                positions
-                    .iter()
-                    .zip(decisions)
-                    .filter_map(|(&pos, decision)| decision.unwrap_or(false).then_some(pos))
-                    .collect()
+        let surviving: Vec<Survivor> = match (self.config.filter, self.config.filter_mode) {
+            (FilterKind::GenAsm, FilterMode::Cascade) => {
+                self.filter_cascade(seq, k, timings, fscratch)
             }
-            FilterKind::Shouji => positions
-                .into_iter()
-                .filter(|&pos| ShoujiFilter::new(k).accepts(self.region(pos, seq.len(), k), seq))
+            (FilterKind::GenAsm, FilterMode::Legacy) => {
+                self.filter_legacy(seq, k, timings, fscratch)
+            }
+            (FilterKind::Shouji, _) => self.filter_shouji(seq, k, timings, fscratch),
+            (FilterKind::None, _) => fscratch
+                .positions
+                .iter()
+                .map(|&pos| Survivor { pos, bound: None })
                 .collect(),
-            FilterKind::None => positions,
         };
         if let Some(s) = spans.as_mut() {
             s.end("filter");
@@ -1254,18 +1386,212 @@ impl ReadMapper {
         surviving
     }
 
+    /// The flat lock-step GenASM filter (legacy mode): every candidate
+    /// pays the full `k + 1` recurrence rows of the batched Bitap scan.
+    /// Candidates stream through in stack groups of [`SCAN_LANES`] —
+    /// the batch kernel's own grouping, since all of a read's pairs
+    /// share its pattern and are therefore uniformly lock-step-eligible
+    /// or uniformly scalar — so decisions *and* row accounting are
+    /// identical to the old whole-read pairs table, without building
+    /// it.
+    fn filter_legacy(
+        &self,
+        seq: &[u8],
+        k: usize,
+        timings: &mut StageTimings,
+        fscratch: &mut FilterScratch,
+    ) -> Vec<Survivor> {
+        let filter = PreAlignmentFilter::new(k);
+        let mut rows = ScanMetrics::default();
+        let mut surviving = Vec::new();
+        for chunk in fscratch.positions.chunks(SCAN_LANES) {
+            let mut group: [(&[u8], &[u8]); SCAN_LANES] = [(&[], &[]); SCAN_LANES];
+            for (slot, &pos) in group.iter_mut().zip(chunk) {
+                *slot = (self.region(pos, seq.len(), k), seq);
+            }
+            let decisions = filter.accepts_many_counted(&group[..chunk.len()], &mut rows);
+            for (&pos, decision) in chunk.iter().zip(decisions) {
+                if decision.unwrap_or(false) {
+                    surviving.push(Survivor { pos, bound: None });
+                }
+            }
+        }
+        timings.filter_rows.0 += rows.rows_issued;
+        timings.filter_rows.1 += rows.rows_useful;
+        surviving
+    }
+
+    /// The escalating filter cascade (default mode): tier 0 rejects
+    /// candidates from a banded q-gram count over the packed reference
+    /// before any recurrence row is issued; tier-0 survivors run the
+    /// iterative-deepening lock-step occurrence scan, whose exact
+    /// distance becomes the accepted candidate's carried bound.
+    /// Accepts exactly the candidates [`filter_legacy`](Self::filter_legacy)
+    /// accepts: tier 0 is a proven-sound bailout, tier 1 computes the
+    /// same occurrence decision as the flat scan, and inputs outside
+    /// the cascade's fast path (non-DNA bytes, reads past the wide
+    /// kernel's window limit) replay the legacy scan verbatim.
+    fn filter_cascade(
+        &self,
+        seq: &[u8],
+        k: usize,
+        timings: &mut StageTimings,
+        fscratch: &mut FilterScratch,
+    ) -> Vec<Survivor> {
+        let pattern = (seq.len() <= MAX_WIDE_WINDOW)
+            .then(|| CascadePattern::new(seq).ok())
+            .flatten();
+        let FilterScratch {
+            positions,
+            codes,
+            tier0,
+            lanes,
+            verdicts,
+            pending,
+            ..
+        } = fscratch;
+        verdicts.clear();
+        verdicts.resize(positions.len(), None);
+        pending.clear();
+        let filter = PreAlignmentFilter::new(k);
+        let mut rows = ScanMetrics::default();
+
+        // Tier 0 — cheap bailout per candidate, no recurrence rows.
+        for (idx, &pos) in positions.iter().enumerate() {
+            let window = self.region(pos, seq.len(), k);
+            verdicts[idx] = match &pattern {
+                Some(p) => {
+                    codes.clear();
+                    if self.packed.window_codes_into(pos, window.len(), codes) {
+                        timings.tier0_probes += tier0_probes(window.len(), p);
+                        if tier0_rejects(codes, p, k, tier0) {
+                            timings.tier0_rejects += 1;
+                            Some(FilterVerdict::Rejected)
+                        } else {
+                            pending.push(idx);
+                            None
+                        }
+                    } else {
+                        // A non-DNA byte inside the window: the legacy
+                        // scan's lazy text validation may still accept
+                        // before reaching it, so replay it exactly.
+                        timings.cascade_fallbacks += 1;
+                        Some(legacy_verdict(&filter, window, seq, &mut rows))
+                    }
+                }
+                // Invalid or over-wide read: every candidate takes the
+                // legacy path.
+                None => {
+                    timings.cascade_fallbacks += 1;
+                    Some(legacy_verdict(&filter, window, seq, &mut rows))
+                }
+            };
+        }
+
+        // Tier 1 — iterative-deepening occurrence distance for the
+        // contenders, in lock-step lanes. A candidate resolving at
+        // distance `d` pays `d + 1` recurrence rows instead of the
+        // flat scan's `k + 1`.
+        if !pending.is_empty() {
+            let p = pattern.as_ref().expect("pending implies a valid pattern");
+            let jobs: Vec<OccurrenceLaneJob<'_, Dna>> = pending
+                .iter()
+                .map(|&idx| OccurrenceLaneJob {
+                    text: self.region(positions[idx], seq.len(), k),
+                    pattern: p.masks(),
+                    k,
+                })
+                .collect();
+            let results = occurrence_distance_lanes::<Dna>(&jobs, lanes, &mut rows);
+            for (&idx, result) in pending.iter().zip(results) {
+                verdicts[idx] = Some(match result {
+                    Ok(Some(d)) => {
+                        timings.cascade_accepts += 1;
+                        FilterVerdict::Accepted {
+                            lower_bound: d,
+                            exact: true,
+                        }
+                    }
+                    // `Ok(None)`: the occurrence distance exceeds the
+                    // threshold. Errors cannot reach here (inputs were
+                    // validated above); they map to the legacy reject
+                    // convention defensively.
+                    Ok(None) | Err(_) => {
+                        timings.tier1_rejects += 1;
+                        FilterVerdict::Rejected
+                    }
+                });
+            }
+        }
+        timings.filter_rows.0 += rows.rows_issued;
+        timings.filter_rows.1 += rows.rows_useful;
+
+        positions
+            .iter()
+            .zip(verdicts.iter())
+            .filter_map(
+                |(&pos, verdict)| match verdict.expect("every candidate holds a verdict") {
+                    FilterVerdict::Accepted { lower_bound, exact } => Some(Survivor {
+                        pos,
+                        bound: exact.then_some(lower_bound),
+                    }),
+                    FilterVerdict::Rejected => None,
+                },
+            )
+            .collect()
+    }
+
+    /// The Shouji baseline filter, batched through
+    /// [`ShoujiFilter::accepts_many_counted`] so its neighborhood-map
+    /// work volume lands in `filter_rows` (and the occupancy figures)
+    /// like the GenASM scans' instead of bypassing the accounting.
+    fn filter_shouji(
+        &self,
+        seq: &[u8],
+        k: usize,
+        timings: &mut StageTimings,
+        fscratch: &mut FilterScratch,
+    ) -> Vec<Survivor> {
+        let filter = ShoujiFilter::new(k);
+        let mut rows = ScanMetrics::default();
+        let mut surviving = Vec::new();
+        for chunk in fscratch.positions.chunks(SCAN_LANES) {
+            let mut group: [(&[u8], &[u8]); SCAN_LANES] = [(&[], &[]); SCAN_LANES];
+            for (slot, &pos) in group.iter_mut().zip(chunk) {
+                *slot = (self.region(pos, seq.len(), k), seq);
+            }
+            let decisions = filter.accepts_many_counted(&group[..chunk.len()], &mut rows);
+            for (&pos, accept) in chunk.iter().zip(decisions) {
+                if accept {
+                    surviving.push(Survivor { pos, bound: None });
+                }
+            }
+        }
+        timings.filter_rows.0 += rows.rows_issued;
+        timings.filter_rows.1 += rows.rows_useful;
+        surviving
+    }
+
     /// Seeding for one oriented read: candidate positions in seeder
-    /// order, clamped into the reference. Shared by the sequential and
+    /// order, clamped into the reference, filled into the filter
+    /// scratch (no per-read allocation). Shared by the sequential and
     /// batch paths so their candidate sets can never diverge.
-    fn clamped_candidates(&self, seq: &[u8], scratch: &mut SeedScratch) -> Vec<usize> {
-        let mut candidates = Vec::new();
+    fn clamped_candidates(
+        &self,
+        seq: &[u8],
+        scratch: &mut SeedScratch,
+        fscratch: &mut FilterScratch,
+    ) {
         self.config
             .seeder
-            .candidates_into(&self.index, seq, scratch, &mut candidates);
-        candidates
-            .iter()
-            .map(|c| c.position.min(self.reference.len().saturating_sub(1)))
-            .collect()
+            .candidates_into(&self.index, seq, scratch, &mut fscratch.raw);
+        fscratch.positions.clear();
+        fscratch.positions.extend(
+            fscratch
+                .raw
+                .iter()
+                .map(|c| c.position.min(self.reference.len().saturating_sub(1))),
+        );
     }
 
     /// The candidate region for a read of length `m` at `pos`: length
@@ -1273,6 +1599,31 @@ impl ReadMapper {
     fn region(&self, pos: usize, m: usize, k: usize) -> &[u8] {
         let end = (pos + m + k).min(self.reference.len());
         &self.reference[pos..end]
+    }
+}
+
+/// One candidate's decision on the legacy scalar path — used by the
+/// cascade for inputs its fast path cannot serve — with the legacy row
+/// accounting, wrapped as a cascade verdict. No bound is certified:
+/// the legacy scan early-exits without computing the distance.
+fn legacy_verdict(
+    filter: &PreAlignmentFilter,
+    window: &[u8],
+    seq: &[u8],
+    rows: &mut ScanMetrics,
+) -> FilterVerdict {
+    let accept = filter
+        .accepts_many_counted(&[(window, seq)], rows)
+        .pop()
+        .expect("one decision per pair")
+        .unwrap_or(false);
+    if accept {
+        FilterVerdict::Accepted {
+            lower_bound: 0,
+            exact: false,
+        }
+    } else {
+        FilterVerdict::Rejected
     }
 }
 
@@ -1433,16 +1784,23 @@ mod tests {
     #[test]
     fn filter_rows_are_counted_and_occupancy_is_sane() {
         let reference = genome();
-        let mapper = ReadMapper::build(&reference, MapperConfig::default());
+        let legacy_config = MapperConfig {
+            filter_mode: FilterMode::Legacy,
+            ..MapperConfig::default()
+        };
+        let legacy = ReadMapper::build(&reference, legacy_config);
         // Lock-step filter lanes require single-word reads (<= 64
         // bases); the padding gap only exists on this path.
         let read = &reference[12_000..12_060];
-        let (_, timings) = mapper.map_read(read);
+        let (_, timings) = legacy.map_read(read);
         let (issued, useful) = timings.filter_rows;
         assert!(issued > 0, "the GenASM filter must issue lock-step rows");
         assert!(useful > 0 && useful <= issued);
         let occ = timings.filter_occupancy().expect("rows ran");
         assert!(occ > 0.0 && occ <= 1.0, "occupancy {occ}");
+        // Legacy mode issues no cascade work.
+        assert_eq!(timings.tier0_probes, 0);
+        assert_eq!(timings.tier0_rejects + timings.tier1_rejects, 0);
         // A non-lock-step filter reports no rows, and occupancy stays
         // None instead of dividing by zero.
         let none = ReadMapper::build(
@@ -1455,13 +1813,67 @@ mod tests {
         let (_, timings) = none.map_read(read);
         assert_eq!(timings.filter_rows, (0, 0));
         assert!(timings.filter_occupancy().is_none());
-        // Long reads fall back to the scalar multi-word scan pair by
-        // pair: exact word volume, fully useful (occupancy 1.0).
-        let (_, timings) = mapper.map_read(&reference[12_000..12_150]);
-        let (issued, useful) = timings.filter_rows;
+        // In legacy mode long reads fall back to the scalar multi-word
+        // scan pair by pair: exact word volume, fully useful
+        // (occupancy 1.0).
+        let (_, legacy_timings) = legacy.map_read(&reference[12_000..12_150]);
+        let (issued, useful) = legacy_timings.filter_rows;
         assert!(issued > 0, "multi-word fallback rows must be counted");
         assert_eq!(useful, issued);
-        assert_eq!(timings.filter_occupancy(), Some(1.0));
+        assert_eq!(legacy_timings.filter_occupancy(), Some(1.0));
+
+        // The cascade examines the same candidates but issues far
+        // fewer recurrence rows: tier 0 kills decoys before any row
+        // and tier 1 deepens only to each survivor's distance.
+        let cascade = ReadMapper::build(&reference, MapperConfig::default());
+        let (_, cascade_timings) = cascade.map_read(&reference[12_000..12_150]);
+        assert_eq!(
+            cascade_timings.candidates.1, legacy_timings.candidates.1,
+            "both modes must accept the same candidates"
+        );
+        assert!(
+            cascade_timings.cascade_accepts > 0,
+            "an exact read's candidates must resolve in tier 1"
+        );
+        assert_eq!(cascade_timings.cascade_fallbacks, 0);
+        assert!(cascade_timings.tier0_probes > 0);
+        assert!(
+            cascade_timings.filter_rows.0 < legacy_timings.filter_rows.0,
+            "cascade rows {} must undercut legacy rows {}",
+            cascade_timings.filter_rows.0,
+            legacy_timings.filter_rows.0,
+        );
+    }
+
+    #[test]
+    fn cascade_and_legacy_filters_agree_everywhere() {
+        let reference = genome();
+        let sim = ReadSimulator::new(SimConfig {
+            read_length: 150,
+            count: 16,
+            profile: ErrorProfile::illumina(),
+            seed: 21,
+            both_strands: true,
+            length_model: LengthModel::Uniform { min: 48, max: 180 },
+        });
+        let reads = sim.simulate(&reference);
+        let cascade = ReadMapper::build(&reference, MapperConfig::default());
+        let legacy = ReadMapper::build(
+            &reference,
+            MapperConfig {
+                filter_mode: FilterMode::Legacy,
+                ..MapperConfig::default()
+            },
+        );
+        for read in &reads {
+            let (want, lt) = legacy.map_read(&read.seq);
+            let (got, ct) = cascade.map_read(&read.seq);
+            assert_eq!(got, want, "modes disagree on a mapping");
+            assert_eq!(
+                ct.candidates, lt.candidates,
+                "modes disagree on examined/surviving candidates"
+            );
+        }
     }
 
     #[test]

@@ -94,6 +94,39 @@ target/release/genasm map --ref "$tracedir/t_ref.fa" --reads "$tracedir/t_reads.
     --strict --quiet >/dev/null 2>&1 || rc=$?
 [[ "$rc" -eq 4 ]] || { echo "strict parse failure exited $rc, want 4" >&2; exit 1; }
 
+echo "==> filter cascade A/B (map --filter-mode cascade vs legacy)"
+# Same input through both filter modes: the cascade is an exact
+# filter, not a heuristic, so the SAM must match byte for byte — and
+# the escalating tiers must issue at least 3x fewer filter recurrence
+# rows than the legacy flat scan on a uniform-genome workload (tier-0
+# kills collision candidates, accepts stop deepening at the resolving
+# distance instead of running to the threshold).
+target/release/genasm simulate --genome-size 200000 --count 192 --length 150 \
+    --seed 11 --out-prefix "$tracedir/ab" 2>/dev/null
+target/release/genasm map --ref "$tracedir/ab_ref.fa" --reads "$tracedir/ab_reads.fq" \
+    --filter-mode cascade --metrics json \
+    > "$tracedir/ab_cascade.sam" 2> "$tracedir/ab_cascade.json"
+target/release/genasm map --ref "$tracedir/ab_ref.fa" --reads "$tracedir/ab_reads.fq" \
+    --filter-mode legacy --metrics json \
+    > "$tracedir/ab_legacy.sam" 2> "$tracedir/ab_legacy.json"
+cmp -s "$tracedir/ab_cascade.sam" "$tracedir/ab_legacy.sam" \
+    || { echo "cascade and legacy SAM outputs differ" >&2; exit 1; }
+filter_rows() {
+    sed -n 's/.*"map.filter_rows_issued": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+cascade_rows=$(filter_rows "$tracedir/ab_cascade.json")
+legacy_rows=$(filter_rows "$tracedir/ab_legacy.json")
+[[ -n "$cascade_rows" && -n "$legacy_rows" ]] \
+    || { echo "missing map.filter_rows_issued in metrics json" >&2; exit 1; }
+[[ "$legacy_rows" -ge $((3 * cascade_rows)) ]] \
+    || { echo "cascade must cut filter rows >=3x: legacy $legacy_rows vs cascade $cascade_rows" >&2; exit 1; }
+for field in map.filter.tier0_rejects map.filter.tier0_probes map.filter.tier1_rejects \
+             map.filter.cascade_accepts map.filter.cascade_fallbacks \
+             map.filter.bound_reuse_hits; do
+    grep -q "\"$field\"" "$tracedir/ab_cascade.json" \
+        || { echo "--metrics json: missing gauge \"$field\"" >&2; exit 1; }
+done
+
 echo "==> cargo bench --bench dc_multi -- --smoke"
 cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
@@ -103,15 +136,19 @@ cargo bench -p genasm-bench --bench map_throughput -- --smoke
 echo "==> bench artifact field check"
 check_bench_fields BENCH_engine.json \
     pairs_per_sec workers tb_rows distance_secs \
+    jobs_prefilled distance_prefilled_secs \
     job_latency_p50_us job_latency_p99_us chunk_latency_p50_us
 check_bench_fields BENCH_dc_multi.json \
-    kernel_full kernel_stream engine pairs_per_sec occupancy speedup_vs_chunked \
+    kernel_full kernel_stream kernel_filter engine pairs_per_sec occupancy \
+    speedup_vs_chunked rows_issued rows_vs_flat filter_threshold \
     tb_rows distance_secs job_latency_p50_us job_latency_p99_us
 check_bench_fields BENCH_map.json \
     pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds \
-    two_phase tb_rows distance_secs traceback_secs \
+    two_phase cascade tb_rows distance_secs traceback_secs \
     candidates survivors reject_rate filter_rows_issued filter_rows_useful \
-    filter_occupancy read_latency_p50_us read_latency_p99_us \
+    filter_occupancy tier0_rejects tier0_probes tier1_rejects cascade_accepts \
+    cascade_fallbacks bound_reuse_hits \
+    read_latency_p50_us read_latency_p99_us \
     telemetry_off_reads_per_sec telemetry_on_reads_per_sec telemetry_overhead \
     containment_off_reads_per_sec containment_on_reads_per_sec containment_overhead
 
