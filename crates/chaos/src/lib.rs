@@ -37,6 +37,15 @@ pub mod sites {
     /// Per FASTQ record during parsing: the fault makes the record
     /// read as truncated. Keyed by record index.
     pub const FASTQ_TRUNCATE: &str = "seq.fastq.truncate";
+    /// Right after the serve front-end accepts a TCP connection: the
+    /// fault drops the connection before a byte is served. Keyed by
+    /// the connection's accept index.
+    pub const SERVE_CONN_DROP: &str = "serve.conn.drop";
+    /// Before a serve pipeline worker maps a claimed micro-batch: the
+    /// fault sleeps, simulating a stalled stage so deadline and
+    /// backpressure handling can be tested. Keyed by the batch
+    /// sequence number.
+    pub const SERVE_BATCH_DELAY: &str = "serve.batch.delay";
 }
 
 /// What an armed failpoint does when it fires.

@@ -21,7 +21,12 @@
 //! * `batch --ref <fasta> --reads <fastq|fasta> [--threads 0]
 //!   [--kernel genasm|gotoh] [--sam -]` — map reads through the
 //!   multi-threaded batch engine, throughput report on stderr (and
-//!   SAM on stdout when `--sam -` is given).
+//!   SAM on stdout when `--sam -` is given);
+//! * `serve --ref <fasta> [--listen <host:port>]` — long-running
+//!   streaming front-end: FASTQ in (stdin or line-framed TCP), one
+//!   SAM record per read out in submission order, with bounded
+//!   admission, rolling micro-batches, per-request deadlines, and
+//!   graceful drain on SIGINT/EOF (see `docs/SERVING.md`).
 
 mod args;
 mod stats;
@@ -42,8 +47,14 @@ use genasm_seq::genome::GenomeBuilder;
 use genasm_seq::parse::{FastxError, ParseMode, ParseReport};
 use genasm_seq::profile::ErrorProfile;
 use genasm_seq::readsim::{to_fastq_records, ReadSimulator, SimConfig};
+use genasm_serve::{
+    pump, serve_listener, ResponseSink, SamStreamWriter, ServeConfig, Server as ServeServer,
+};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
@@ -52,7 +63,7 @@ genasm — bitvector-based approximate string matching (GenASM, MICRO 2020)
 usage: genasm <command> [options]
 
 commands:
-  map       --ref <fa> --reads <fq|fa> [--error-rate 0.15]
+  map       --ref <fa> --reads <fq|fa|-> [--error-rate 0.15]
             [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
             [--lanes 4|8|auto] [--shards 0]
             [--align-mode two-phase|full]
@@ -103,6 +114,41 @@ commands:
                                                              scheduler; chunked/scalar
                                                              A/B the chunk-granularity
                                                              and one-window DC paths)
+  serve     --ref <fa> [--listen <host:port>]
+            [--batch-reads 64] [--batch-wait-ms 20]
+            [--max-inflight-reads 1024]
+            [--request-deadline-ms 0] [--pipeline-workers 2]
+            [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
+            [--lanes 4|8|auto] [--shards 0]
+            [--align-mode two-phase|full]
+            [--filter-mode cascade|legacy]
+            [--error-rate 0.15]                              long-running streaming
+                                                             front-end: FASTQ in
+                                                             (stdin, or line-framed TCP
+                                                             with --listen), one SAM
+                                                             record out per read in
+                                                             submission order. Reads
+                                                             accumulate into rolling
+                                                             micro-batches (flush on
+                                                             --batch-reads or
+                                                             --batch-wait-ms, whichever
+                                                             first) with
+                                                             --pipeline-workers batches
+                                                             in flight at once.
+                                                             Admission is bounded by
+                                                             --max-inflight-reads;
+                                                             beyond it reads shed with
+                                                             XE:Z:shed (never silently
+                                                             dropped). A nonzero
+                                                             --request-deadline-ms cuts
+                                                             stragglers off as
+                                                             XE:Z:deadline partials.
+                                                             SIGINT/SIGTERM (or stdin
+                                                             EOF) drains gracefully:
+                                                             admission stops, in-flight
+                                                             reads finish, SAM flushes,
+                                                             exit 0. See
+                                                             docs/SERVING.md
   align     --ref <fa> --query <fa> [--k <edits>]            per-query alignment summary
   distance  --a <fa> --b <fa>                                global edit distance
   filter    --ref <fa> --reads <fq|fa> --threshold <k>
@@ -182,6 +228,7 @@ fn run(raw: Vec<String>) -> Result<(), CliError> {
     match args.command.as_str() {
         "map" => cmd_map(&args),
         "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
         "align" => cmd_align(&args),
         "distance" => cmd_distance(&args),
         "filter" => cmd_filter(&args),
@@ -217,8 +264,15 @@ type NamedReads = Vec<(String, Vec<u8>)>;
 
 /// Loads sequences from FASTA or FASTQ by extension under the given
 /// parse policy, returning the records plus the parse report (what a
-/// lenient pass skipped and soft-flagged).
+/// lenient pass skipped and soft-flagged). The path `-` streams FASTQ
+/// from stdin.
 fn load_reads(path: &str, mode: ParseMode) -> Result<(NamedReads, ParseReport), CliError> {
+    if path == "-" {
+        let parse =
+            read_fastq_with(io::stdin().lock(), mode).map_err(|e| classify_fastx("stdin", e))?;
+        let reads = parse.records.into_iter().map(|r| (r.id, r.seq)).collect();
+        return Ok((reads, parse.report));
+    }
     let file = File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     if path.ends_with(".fq") || path.ends_with(".fastq") {
         let parse = read_fastq_with(file, mode).map_err(|e| classify_fastx(path, e))?;
@@ -411,12 +465,20 @@ fn cmd_map(args: &Args) -> Result<(), CliError> {
             mapper.map_batch_resilient(&read_refs, &engine)
         }
         _ => {
-            // The sequential reference path has no engine and thus no
-            // deadline or panic containment; every read resolves.
+            // The sequential reference path has no engine (and no
+            // panic containment), but it honors the deadline like the
+            // batch path: the token is checked between reads, and
+            // reads past the cutoff resolve as Incomplete instead of
+            // silently ignoring the budget.
             let mut total = StageTimings::default();
+            let mut dropped = 0u64;
             let outcomes = reads
                 .iter()
                 .map(|(_, seq)| {
+                    if deadline.as_ref().is_some_and(CancelToken::expired) {
+                        dropped += 1;
+                        return ReadOutcome::Incomplete { partial: None };
+                    }
                     let (mapping, timings) = mapper.map_read(seq);
                     total.accumulate(&timings);
                     match mapping {
@@ -425,6 +487,12 @@ fn cmd_map(args: &Args) -> Result<(), CliError> {
                     }
                 })
                 .collect();
+            if dropped > 0 {
+                telemetry
+                    .metrics
+                    .counter(genasm_mapper::pipeline::READS_DEADLINE_DROPPED_COUNTER)
+                    .add(dropped);
+            }
             (outcomes, total)
         }
     };
@@ -548,6 +616,168 @@ fn cmd_batch(args: &Args) -> Result<(), CliError> {
     }
     stats::emit(metrics, quiet, metrics_mode);
     Ok(())
+}
+
+/// Arms `SIGINT`/`SIGTERM` to request a graceful drain: the handler
+/// only sets a flag, and the serving loops observe it at safe points
+/// (accept polls, record boundaries). Declared against libc's
+/// `signal(2)` directly so the binary stays dependency-free; on
+/// non-unix targets shutdown rides on input EOF alone.
+#[cfg(unix)]
+fn install_drain_handler(flag: &'static AtomicBool) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // The handler writes only the static flag; `flag` exists so the
+    // call site names what the handler flips.
+    assert!(std::ptr::eq(flag, &DRAIN_REQUESTED));
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_drain_handler(_flag: &'static AtomicBool) {}
+
+/// Set by `SIGINT`/`SIGTERM`; serving loops drain when they see it.
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let (aligner, dispatch) = parse_kernel(args).map_err(CliError::Usage)?;
+    let lanes = parse_lanes(args).map_err(CliError::Usage)?;
+    let align_mode = parse_align_mode(args).map_err(CliError::Usage)?;
+    let filter_mode = parse_filter_mode(args).map_err(CliError::Usage)?;
+    let error_rate: f64 = args.number("error-rate", 0.15).map_err(CliError::Usage)?;
+    let workers: usize = args.number("workers", 0).map_err(CliError::Usage)?;
+    let shards: usize = args.number("shards", 0).map_err(CliError::Usage)?;
+    let batch_reads: usize = args.number("batch-reads", 64).map_err(CliError::Usage)?;
+    let batch_wait_ms: u64 = args.number("batch-wait-ms", 20).map_err(CliError::Usage)?;
+    let max_inflight: usize = args
+        .number("max-inflight-reads", 1024)
+        .map_err(CliError::Usage)?;
+    let deadline_ms: u64 = args
+        .number("request-deadline-ms", 0)
+        .map_err(CliError::Usage)?;
+    let pipeline_workers: usize = args
+        .number("pipeline-workers", 2)
+        .map_err(CliError::Usage)?;
+    let mode = parse_mode(args)?;
+    let quiet = args.flag("quiet");
+    let metrics_mode = stats::parse_metrics_mode(args).map_err(CliError::Usage)?;
+    let trace_out = args.get("trace-out");
+    let telemetry = Telemetry::with_flags(!quiet, trace_out.is_some());
+
+    let reference = load_first_fasta(args.require("ref").map_err(CliError::Usage)?)?;
+    let config = MapperConfig {
+        error_fraction: error_rate,
+        aligner,
+        index_shards: shards,
+        align_mode,
+        filter_mode,
+        ..MapperConfig::default()
+    };
+    let mapper = ReadMapper::build(&reference.seq, config).with_telemetry(telemetry.clone());
+    let engine = mapper
+        .engine_with_lanes(workers, dispatch, lanes)
+        .with_telemetry(telemetry.clone());
+    let server = ServeServer::start(
+        mapper,
+        engine,
+        ServeConfig {
+            batch_reads,
+            batch_wait: Duration::from_millis(batch_wait_ms),
+            max_inflight_reads: max_inflight,
+            request_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            pipeline_workers,
+        },
+    );
+    install_drain_handler(&DRAIN_REQUESTED);
+
+    // Stdin mode parks its writer here so the in-order flush check
+    // runs after the drain (drain is what answers reads still parked
+    // in a half-full micro-batch).
+    let mut stdin_writer: Option<(Arc<SamStreamWriter<BufWriter<io::Stdout>>>, u64)> = None;
+    let result = match args.get("listen") {
+        // TCP front-end: every connection gets its own SAM stream;
+        // SIGINT/SIGTERM stops accepting, lets live connections
+        // finish, then drains.
+        Some(addr) => {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            eprintln!("genasm serve: listening on {local} (FASTQ in, SAM out; ^C drains)");
+            serve_listener(
+                &server,
+                &listener,
+                &reference.id,
+                reference.seq.len(),
+                mode,
+                &DRAIN_REQUESTED,
+            )
+            .map_err(|e| CliError::Io(e.to_string()))
+        }
+        // Stdin front-end: one SAM stream on stdout; EOF (or a drain
+        // signal observed at a record boundary) ends admission.
+        None => {
+            let writer = Arc::new(SamStreamWriter::new(
+                BufWriter::new(io::stdout()),
+                &reference.id,
+            ));
+            let command = format!(
+                "genasm serve --batch-reads {batch_reads} --batch-wait-ms {batch_wait_ms} \
+                 --max-inflight-reads {max_inflight} --request-deadline-ms {deadline_ms} \
+                 --pipeline-workers {pipeline_workers}"
+            );
+            writer.write_raw(|out| {
+                sam::write_header_with_command(
+                    &mut *out,
+                    &reference.id,
+                    reference.seq.len(),
+                    Some(&command),
+                )
+            });
+            let sink: Arc<dyn ResponseSink> = Arc::clone(&writer) as Arc<dyn ResponseSink>;
+            let (report, error) = pump(&server, io::stdin().lock(), mode, &sink, &DRAIN_REQUESTED);
+            if mode == ParseMode::Lenient {
+                record_parse_report(&telemetry.metrics, "stdin", &report.parse);
+            }
+            // Every submitted read is answered before the process
+            // judges the stream: a damaged tail must not cost the
+            // reads ahead of it their responses.
+            stdin_writer = Some((Arc::clone(&writer), report.submitted));
+            match error {
+                None => Ok(()),
+                // A drain signal can interrupt the blocked stdin read;
+                // that is a clean shutdown, not a failure.
+                Some(FastxError::Io(e)) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+                Some(e) => Err(classify_fastx("stdin", e)),
+            }
+        }
+    };
+
+    // Graceful drain either way: stop admitting, answer every
+    // admitted read, join the serving threads — then confirm the
+    // stdout stream wrote its last in-order record.
+    server.drain();
+    if let Some((writer, submitted)) = stdin_writer {
+        writer.wait_delivered(submitted);
+    }
+    if let Some(path) = trace_out {
+        telemetry
+            .tracer
+            .export_to(path)
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
+    stats::emit(&telemetry.metrics, quiet, metrics_mode);
+    result
 }
 
 fn cmd_align(args: &Args) -> Result<(), CliError> {

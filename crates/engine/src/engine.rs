@@ -820,7 +820,7 @@ impl Engine {
                 .unwrap_or(1),
             n => n,
         };
-        EngineStream::spawn(Arc::clone(&self.kernel), workers)
+        EngineStream::spawn(Arc::clone(&self.kernel), workers, self.telemetry.clone())
     }
 }
 

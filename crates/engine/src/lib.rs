@@ -77,4 +77,4 @@ pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, L
 pub use lockstep::LockstepScratch;
 pub use obs::WorkerObs;
 pub use stats::{lane_occupancy_ratio, BatchOutput, BatchStats};
-pub use stream::EngineStream;
+pub use stream::{EngineStream, STREAM_DROPPED_JOBS_COUNTER};

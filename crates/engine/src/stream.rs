@@ -4,10 +4,17 @@
 use crate::job::{Job, JobError};
 use crate::kernel::Kernel;
 use genasm_core::align::Alignment;
+use genasm_obs::Telemetry;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Name of the counter Drop bumps for every job submitted but never
+/// drained when a session is torn down — work the owner lost (one
+/// count per job, whether it had already computed or was still
+/// queued). Drained/closed sessions never bump it.
+pub const STREAM_DROPPED_JOBS_COUNTER: &str = "engine.stream_dropped_jobs";
 
 /// Everything workers and the owner share, guarded by one mutex (held
 /// only for queue pops and result stores — kernels run outside it).
@@ -35,16 +42,20 @@ struct Shared {
 /// submitted job completed and returns results in submission order;
 /// the session stays open for further rounds.
 ///
-/// Dropping the stream shuts the pool down, discarding any results not
-/// yet drained.
+/// Dropping the stream shuts the pool down, discarding any results
+/// not yet drained — every such job is counted into
+/// [`STREAM_DROPPED_JOBS_COUNTER`] so the loss is visible. Prefer
+/// [`close`](Self::close), which drains first and returns the pending
+/// results instead of discarding them.
 pub struct EngineStream {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     submitted: usize,
+    telemetry: Telemetry,
 }
 
 impl EngineStream {
-    pub(crate) fn spawn(kernel: Arc<dyn Kernel>, workers: usize) -> Self {
+    pub(crate) fn spawn(kernel: Arc<dyn Kernel>, workers: usize, telemetry: Telemetry) -> Self {
         let shared = Arc::new(Shared {
             state: Mutex::new(StreamState {
                 queue: VecDeque::new(),
@@ -66,6 +77,7 @@ impl EngineStream {
             shared,
             handles,
             submitted: 0,
+            telemetry,
         }
     }
 
@@ -102,10 +114,30 @@ impl EngineStream {
             .map(|slot| slot.expect("drained after all jobs completed"))
             .collect()
     }
+
+    /// Ends the session cleanly: waits for every submitted job,
+    /// returns the pending results in submission order, and shuts the
+    /// worker pool down. Unlike dropping the stream mid-flight,
+    /// nothing is discarded and [`STREAM_DROPPED_JOBS_COUNTER`] stays
+    /// untouched.
+    pub fn close(mut self) -> Vec<Result<Alignment, JobError>> {
+        self.drain()
+        // Drop runs here with `submitted == 0`: plain pool teardown.
+    }
 }
 
 impl Drop for EngineStream {
     fn drop(&mut self) {
+        // Jobs submitted and never drained are lost — completed
+        // results are discarded and queued jobs are never computed
+        // (shutdown wins over queued work, so drop stays prompt).
+        // Count the loss instead of swallowing it.
+        if self.submitted > 0 {
+            self.telemetry
+                .metrics
+                .counter(STREAM_DROPPED_JOBS_COUNTER)
+                .add(self.submitted as u64);
+        }
         {
             let mut state = self.shared.state.lock().expect("stream state poisoned");
             state.shutdown = true;
@@ -234,5 +266,47 @@ mod tests {
             "drop blocked on queued work for {:?}",
             started.elapsed()
         );
+    }
+
+    #[test]
+    fn close_drains_pending_results_instead_of_discarding() {
+        let telemetry = Telemetry::enabled();
+        let engine =
+            Engine::new(EngineConfig::default().with_workers(2)).with_telemetry(telemetry.clone());
+        let mut stream = engine.stream();
+        let text: Vec<u8> = b"ACGT".iter().copied().cycle().take(120).collect();
+        for _ in 0..12 {
+            stream.submit(Job::new(&text, &text));
+        }
+        let results = stream.close();
+        assert_eq!(results.len(), 12);
+        assert!(results
+            .iter()
+            .all(|r| r.as_ref().unwrap().edit_distance == 0));
+        // A closed session lost nothing, so the drop counter is absent.
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(snapshot.counter(STREAM_DROPPED_JOBS_COUNTER), None);
+    }
+
+    #[test]
+    fn drop_counts_undrained_jobs_in_the_registry() {
+        let telemetry = Telemetry::enabled();
+        let engine =
+            Engine::new(EngineConfig::default().with_workers(1)).with_telemetry(telemetry.clone());
+        let mut stream = engine.stream();
+        let text: Vec<u8> = b"GATTACA".iter().copied().cycle().take(700).collect();
+        for _ in 0..40 {
+            stream.submit(Job::new(&text, &text));
+        }
+        drop(stream);
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(snapshot.counter(STREAM_DROPPED_JOBS_COUNTER), Some(40));
+        // A drained-then-dropped session lost nothing further.
+        let mut stream = engine.stream();
+        stream.submit(Job::new(&text, &text));
+        let _ = stream.drain();
+        drop(stream);
+        let snapshot = telemetry.metrics.snapshot();
+        assert_eq!(snapshot.counter(STREAM_DROPPED_JOBS_COUNTER), Some(40));
     }
 }

@@ -1,10 +1,15 @@
 //! Minimal FASTQ reading and writing (4-line records).
 //!
-//! Two reading flavors: [`read_fastq`] (strict, `io::Result`, the
-//! original signature) and [`read_fastq_with`] (structured
+//! Three reading flavors: [`read_fastq`] (strict, `io::Result`, the
+//! original signature), [`read_fastq_with`] (structured
 //! [`FastxError`]s plus a strict/lenient [`ParseMode`] and a
-//! [`ParseReport`] counting what a lenient pass skipped). CRLF line
-//! endings are tolerated everywhere.
+//! [`ParseReport`] counting what a lenient pass skipped), and
+//! [`FastqStreamer`] — an incremental record iterator over any
+//! [`BufRead`] that never holds more than one record in memory, which
+//! is what the serving front-end and stdin-fed `map` runs consume.
+//! The two batch readers are thin collectors over the streamer, so
+//! all three share one set of parse semantics. CRLF line endings are
+//! tolerated everywhere.
 
 use crate::parse::{has_non_acgt, FastxError, ParseError, ParseErrorKind, ParseMode, ParseReport};
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -111,126 +116,252 @@ pub struct FastqParse {
 /// [`FastxError::Parse`] for the first malformed record (strict mode
 /// only).
 pub fn read_fastq_with<R: Read>(reader: R, mode: ParseMode) -> Result<FastqParse, FastxError> {
-    let lines: Vec<String> = BufReader::new(reader).lines().collect::<io::Result<_>>()?;
+    let mut streamer = FastqStreamer::new(BufReader::new(reader), mode);
     let mut records = Vec::new();
-    let mut report = ParseReport::default();
-    let mut pos = 0usize; // 0-based index into `lines`
-    let mut record_index = 0usize;
+    for record in streamer.by_ref() {
+        records.push(record?);
+    }
+    Ok(FastqParse {
+        records,
+        report: streamer.into_report(),
+    })
+}
 
-    // Takes the next line (trimmed of trailing whitespace, so CRLF is
-    // tolerated), or None at end of input.
-    fn take<'a>(lines: &'a [String], pos: &mut usize) -> Option<&'a str> {
-        let line = lines.get(*pos)?;
-        *pos += 1;
-        Some(line.trim_end())
+/// An incremental FASTQ reader over any [`BufRead`]: an iterator of
+/// records that holds at most one line of lookahead, so an
+/// arbitrarily long stream (stdin, a socket) is parsed in constant
+/// memory. Semantics match [`read_fastq_with`] exactly — the batch
+/// readers are collectors over this type:
+///
+/// * In [`ParseMode::Strict`] the first malformed record yields
+///   `Err(FastxError::Parse)` and the iterator ends.
+/// * In [`ParseMode::Lenient`] malformed records are counted into the
+///   [`report`](Self::report) and the parser resynchronizes at the
+///   next `@`-headed record boundary without ending the stream — the
+///   resync a long-lived serving session relies on to survive damaged
+///   input.
+/// * An I/O failure of the underlying reader yields
+///   `Err(FastxError::Io)` and ends the iterator in both modes.
+///
+/// # Examples
+///
+/// ```
+/// use genasm_seq::fastq::FastqStreamer;
+/// use genasm_seq::ParseMode;
+///
+/// let input = &b"@r1\nACGT\n+\nIIII\n@r2\nGGCC\n+\nIIII\n"[..];
+/// let mut stream = FastqStreamer::new(input, ParseMode::Strict);
+/// let first = stream.next().unwrap().unwrap();
+/// assert_eq!(first.id, "r1");
+/// assert_eq!(stream.count(), 1); // one more record follows
+/// ```
+#[derive(Debug)]
+pub struct FastqStreamer<R: BufRead> {
+    reader: R,
+    mode: ParseMode,
+    report: ParseReport,
+    /// 0-based index of the record being parsed (also the chaos
+    /// truncate-failpoint key).
+    record_index: usize,
+    /// Lines consumed so far; the next line is `line_number + 1`
+    /// (1-based, for error reporting).
+    line_number: usize,
+    /// One line of lookahead (already trimmed), used by blank-line
+    /// skipping and lenient resync.
+    peeked: Option<String>,
+    done: bool,
+}
+
+impl<R: BufRead> FastqStreamer<R> {
+    /// Starts streaming records from `reader` under `mode`.
+    pub fn new(reader: R, mode: ParseMode) -> Self {
+        FastqStreamer {
+            reader,
+            mode,
+            report: ParseReport::default(),
+            record_index: 0,
+            line_number: 0,
+            peeked: None,
+            done: false,
+        }
     }
 
-    'records: loop {
-        // Skip blank lines between records.
-        while lines.get(pos).is_some_and(|l| l.trim_end().is_empty()) {
-            pos += 1;
+    /// The running parse report: records yielded so far plus what a
+    /// lenient pass skipped and soft-flagged up to this point.
+    pub fn report(&self) -> &ParseReport {
+        &self.report
+    }
+
+    /// Consumes the streamer, returning the final parse report.
+    pub fn into_report(self) -> ParseReport {
+        self.report
+    }
+
+    /// Ensures one line of lookahead (trimmed of trailing whitespace,
+    /// so CRLF is tolerated), unless at end of input.
+    fn fill_peek(&mut self) -> io::Result<()> {
+        if self.peeked.is_none() {
+            let mut buf = String::new();
+            if self.reader.read_line(&mut buf)? > 0 {
+                buf.truncate(buf.trim_end().len());
+                self.peeked = Some(buf);
+            }
         }
-        if pos >= lines.len() {
-            break;
+        Ok(())
+    }
+
+    fn peek(&mut self) -> io::Result<Option<&str>> {
+        self.fill_peek()?;
+        Ok(self.peeked.as_deref())
+    }
+
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        self.fill_peek()?;
+        match self.peeked.take() {
+            Some(line) => {
+                self.line_number += 1;
+                Ok(Some(line))
+            }
+            None => Ok(None),
         }
-        let header_line = pos + 1; // 1-based
-        let header = take(&lines, &mut pos).expect("bounds checked above");
-        let Some(id) = header.strip_prefix('@') else {
-            // Out-of-place data where a header should be: one error
-            // per contiguous run of such lines.
-            let error = ParseError {
-                record: record_index,
-                line: header_line,
-                kind: ParseErrorKind::MissingHeader,
+    }
+
+    /// Lenient resync: drop a malformed record's remaining lines up
+    /// to the next record boundary (an `@`-headed or blank line).
+    fn resync(&mut self) -> io::Result<()> {
+        while self
+            .peek()?
+            .is_some_and(|l| !l.is_empty() && !l.starts_with('@'))
+        {
+            self.next_line()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the three positional body lines of a record — FASTQ
+    /// records are exactly four lines; a missing one is a truncation.
+    /// The outer `Result` is reader I/O; the inner carries the
+    /// malformed line and kind.
+    #[allow(clippy::type_complexity)]
+    fn read_body(
+        &mut self,
+        id: &str,
+        header_line: usize,
+        chaos_truncated: bool,
+    ) -> io::Result<Result<FastqRecord, (usize, ParseErrorKind)>> {
+        if chaos_truncated {
+            return Ok(Err((header_line, ParseErrorKind::TruncatedRecord)));
+        }
+        let seq_line = self.line_number + 1;
+        let Some(seq) = self.next_line()? else {
+            return Ok(Err((seq_line, ParseErrorKind::TruncatedRecord)));
+        };
+        let sep_line = self.line_number + 1;
+        let Some(sep) = self.next_line()? else {
+            return Ok(Err((sep_line, ParseErrorKind::TruncatedRecord)));
+        };
+        if !sep.starts_with('+') {
+            return Ok(Err((sep_line, ParseErrorKind::BadSeparator)));
+        }
+        let qual_line = self.line_number + 1;
+        let Some(qual) = self.next_line()? else {
+            return Ok(Err((qual_line, ParseErrorKind::TruncatedRecord)));
+        };
+        Ok(FastqRecord::new(id, seq.into_bytes(), qual.into_bytes())
+            .map_err(|kind| (qual_line, kind)))
+    }
+
+    fn next_record(&mut self) -> Result<Option<FastqRecord>, FastxError> {
+        loop {
+            // Skip blank lines between records.
+            while self.peek()?.is_some_and(str::is_empty) {
+                self.next_line()?;
+            }
+            let header_line = self.line_number + 1; // 1-based
+            let Some(header) = self.next_line()? else {
+                return Ok(None);
             };
-            record_index += 1;
-            match mode {
-                ParseMode::Strict => return Err(FastxError::Parse(error)),
-                ParseMode::Lenient => {
-                    report.count_skip(error);
-                    while lines.get(pos).is_some_and(|l| {
-                        let t = l.trim_end();
-                        !t.is_empty() && !t.starts_with('@')
-                    }) {
-                        pos += 1;
+            let Some(id) = header.strip_prefix('@') else {
+                // Out-of-place data where a header should be: one
+                // error per contiguous run of such lines.
+                let error = ParseError {
+                    record: self.record_index,
+                    line: header_line,
+                    kind: ParseErrorKind::MissingHeader,
+                };
+                self.record_index += 1;
+                match self.mode {
+                    ParseMode::Strict => return Err(FastxError::Parse(error)),
+                    ParseMode::Lenient => {
+                        self.report.count_skip(error);
+                        self.resync()?;
+                        continue;
                     }
-                    continue 'records;
                 }
-            }
-        };
-        let id = id.to_string();
-
-        // A deterministic truncate-input failpoint: the armed record
-        // reads as if the input ended mid-record.
-        #[cfg(feature = "chaos")]
-        let chaos_truncated = matches!(
-            genasm_chaos::fault_at(genasm_chaos::sites::FASTQ_TRUNCATE, record_index as u64),
-            Some(genasm_chaos::Fault::Truncate)
-        );
-        #[cfg(not(feature = "chaos"))]
-        let chaos_truncated = false;
-
-        // The three body lines are positional — FASTQ records are
-        // exactly four lines; a missing one is a truncation.
-        let fail = |report: &mut ParseReport, line: usize, kind: ParseErrorKind| {
-            let error = ParseError {
-                record: record_index,
-                line,
-                kind,
             };
-            match mode {
-                ParseMode::Strict => Err(FastxError::Parse(error)),
-                ParseMode::Lenient => {
-                    report.count_skip(error);
-                    Ok(())
-                }
-            }
-        };
-        let body = (|pos: &mut usize| {
-            if chaos_truncated {
-                return Err((header_line, ParseErrorKind::TruncatedRecord));
-            }
-            let seq_line = *pos + 1;
-            let seq = take(&lines, pos)
-                .ok_or((seq_line, ParseErrorKind::TruncatedRecord))?
-                .as_bytes()
-                .to_vec();
-            let sep_line = *pos + 1;
-            let sep = take(&lines, pos).ok_or((sep_line, ParseErrorKind::TruncatedRecord))?;
-            if !sep.starts_with('+') {
-                return Err((sep_line, ParseErrorKind::BadSeparator));
-            }
-            let qual_line = *pos + 1;
-            let qual = take(&lines, pos)
-                .ok_or((qual_line, ParseErrorKind::TruncatedRecord))?
-                .as_bytes()
-                .to_vec();
-            FastqRecord::new(id.clone(), seq, qual).map_err(|kind| (qual_line, kind))
-        })(&mut pos);
+            let id = id.to_string();
 
-        match body {
-            Ok(record) => {
-                if has_non_acgt(&record.seq) {
-                    report.soft_non_acgt += 1;
+            // A deterministic truncate-input failpoint: the armed
+            // record reads as if the input ended mid-record.
+            #[cfg(feature = "chaos")]
+            let chaos_truncated = matches!(
+                genasm_chaos::fault_at(
+                    genasm_chaos::sites::FASTQ_TRUNCATE,
+                    self.record_index as u64
+                ),
+                Some(genasm_chaos::Fault::Truncate)
+            );
+            #[cfg(not(feature = "chaos"))]
+            let chaos_truncated = false;
+
+            match self.read_body(&id, header_line, chaos_truncated)? {
+                Ok(record) => {
+                    if has_non_acgt(&record.seq) {
+                        self.report.soft_non_acgt += 1;
+                    }
+                    self.report.records += 1;
+                    self.record_index += 1;
+                    return Ok(Some(record));
                 }
-                report.records += 1;
-                records.push(record);
-            }
-            Err((line, kind)) => {
-                fail(&mut report, line, kind)?;
-                // Lenient resync: drop the malformed record's
-                // remaining lines up to the next record boundary.
-                while lines.get(pos).is_some_and(|l| {
-                    let t = l.trim_end();
-                    !t.is_empty() && !t.starts_with('@')
-                }) {
-                    pos += 1;
+                Err((line, kind)) => {
+                    let error = ParseError {
+                        record: self.record_index,
+                        line,
+                        kind,
+                    };
+                    self.record_index += 1;
+                    match self.mode {
+                        ParseMode::Strict => return Err(FastxError::Parse(error)),
+                        ParseMode::Lenient => {
+                            self.report.count_skip(error);
+                            self.resync()?;
+                        }
+                    }
                 }
             }
         }
-        record_index += 1;
     }
-    Ok(FastqParse { records, report })
+}
+
+impl<R: BufRead> Iterator for FastqStreamer<R> {
+    type Item = Result<FastqRecord, FastxError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// Writes records in FASTQ format.
@@ -333,6 +464,87 @@ mod tests {
         assert_eq!(report.bad_separator, 1);
         assert_eq!(report.truncated, 1);
         assert_eq!(report.errors.len(), 2);
+    }
+
+    #[test]
+    fn streamer_yields_records_incrementally_with_running_report() {
+        let input = b"@a\nACGT\n+\nIIII\n@b\nACGT\n-\nIIII\n@c\nGGNN\n+\nIIII\n";
+        let mut stream = FastqStreamer::new(&input[..], ParseMode::Lenient);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.id, "a");
+        assert_eq!(stream.report().records, 1);
+        assert_eq!(stream.report().skipped, 0);
+        // The bad-separator record is skipped on the way to `c`.
+        let second = stream.next().unwrap().unwrap();
+        assert_eq!(second.id, "c");
+        assert_eq!(stream.report().skipped, 1);
+        assert_eq!(stream.report().bad_separator, 1);
+        assert_eq!(stream.report().soft_non_acgt, 1);
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none(), "fused after end of input");
+    }
+
+    #[test]
+    fn streamer_strict_stops_at_first_malformed_record() {
+        let input = b"@a\nACGT\n+\nIIII\njunk\n@c\nGGTT\n+\nIIII\n";
+        let mut stream = FastqStreamer::new(&input[..], ParseMode::Strict);
+        assert!(stream.next().unwrap().is_ok());
+        match stream.next().unwrap().unwrap_err() {
+            FastxError::Parse(e) => {
+                assert_eq!(e.record, 1);
+                assert_eq!(e.line, 5);
+                assert_eq!(e.kind, ParseErrorKind::MissingHeader);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(stream.next().is_none(), "iterator ends after the error");
+    }
+
+    /// A reader that fails partway through: the streamer must surface
+    /// the I/O error (in both modes — lenient only forgives *parse*
+    /// damage) and end.
+    #[test]
+    fn streamer_surfaces_io_errors() {
+        struct Flaky {
+            served: usize,
+        }
+        impl io::Read for Flaky {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                const DATA: &[u8] = b"@a\nACGT\n+\nIIII\n@b\nAC";
+                if self.served >= DATA.len() {
+                    return Err(io::Error::other("stream torn"));
+                }
+                let n = buf.len().min(DATA.len() - self.served);
+                buf[..n].copy_from_slice(&DATA[self.served..self.served + n]);
+                self.served += n;
+                Ok(n)
+            }
+        }
+        for mode in [ParseMode::Strict, ParseMode::Lenient] {
+            let mut stream = FastqStreamer::new(BufReader::new(Flaky { served: 0 }), mode);
+            assert!(stream.next().unwrap().is_ok());
+            assert!(matches!(
+                stream.next().unwrap().unwrap_err(),
+                FastxError::Io(_)
+            ));
+            assert!(stream.next().is_none());
+        }
+    }
+
+    /// The batch reader is a collector over the streamer, so the two
+    /// must agree on any input — including the tricky resync cases.
+    #[test]
+    fn streamer_and_batch_reader_agree() {
+        let input: &[u8] =
+            b"\n@a\nACGT\n+\nIIII\nnoise\nmore\n@b\nAC\n+\nII\n@c\nACGT\n\n@d\nACGT\n+\nIII\n@e\nGG\n+\nII\n";
+        let batch = read_fastq_with(input, ParseMode::Lenient).unwrap();
+        let mut stream = FastqStreamer::new(input, ParseMode::Lenient);
+        let streamed: Vec<FastqRecord> = stream.by_ref().map(Result::unwrap).collect();
+        assert_eq!(streamed, batch.records);
+        let report = stream.into_report();
+        assert_eq!(report.skipped, batch.report.skipped);
+        assert_eq!(report.records, batch.report.records);
+        assert_eq!(report.errors.len(), batch.report.errors.len());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Front-ends: pumping a FASTQ byte stream into the server, and the
+//! line-framed TCP listener.
+//!
+//! The wire protocol is plain FASTQ in, plain SAM out: a client
+//! connects, streams FASTQ records (newline-framed, exactly the file
+//! format), and reads back one SAM line per read in the order it sent
+//! them, prefixed by a SAM header. Closing the write half (EOF) asks
+//! the server to finish that connection's in-flight reads; the
+//! response stream ends once the last one is answered.
+
+use crate::respond::{ResponseSink, SamStreamWriter};
+use crate::server::Server;
+use genasm_mapper::sam;
+use genasm_seq::fastq::FastqStreamer;
+use genasm_seq::parse::{FastxError, ParseMode, ParseReport};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Connections accepted and served.
+pub const CONNS_COUNTER: &str = "serve.conns";
+/// Connections dropped by the injected `serve.conn.drop` failpoint
+/// (chaos builds only; the counter always registers).
+pub const CONNS_DROPPED_COUNTER: &str = "serve.conns_dropped";
+
+/// What one front-end stream pushed through the server.
+#[derive(Debug, Default, Clone)]
+pub struct PumpReport {
+    /// Reads submitted (admitted + shed) — also the response count the
+    /// sink will eventually deliver.
+    pub submitted: u64,
+    /// The parser's view of the stream (lenient skips, soft flags).
+    pub parse: ParseReport,
+}
+
+/// Streams FASTQ records from `input` into `server`, assigning
+/// per-sink order numbers from 0. Returns once the input ends, a
+/// parse error stops it (strict mode), or `shutdown` is observed
+/// between records; responses may still be in flight — pair with
+/// [`SamStreamWriter::wait_delivered`] on the sink.
+pub fn pump<R: BufRead>(
+    server: &Server,
+    input: R,
+    mode: ParseMode,
+    sink: &Arc<dyn ResponseSink>,
+    shutdown: &AtomicBool,
+) -> (PumpReport, Option<FastxError>) {
+    let mut streamer = FastqStreamer::new(input, mode);
+    let mut submitted = 0u64;
+    let mut error = None;
+    for record in streamer.by_ref() {
+        match record {
+            Ok(record) => {
+                server.submit(submitted, record.id, record.seq, sink);
+                submitted += 1;
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    (
+        PumpReport {
+            submitted,
+            parse: streamer.into_report(),
+        },
+        error,
+    )
+}
+
+/// Serves `listener` until `shutdown` is observed: accepts
+/// connections, runs each on its own thread (FASTQ in, ordered SAM
+/// out), and on shutdown stops accepting and waits for live
+/// connections to finish their streams. Server drain is the caller's
+/// move afterwards.
+pub fn serve_listener(
+    server: &Server,
+    listener: &TcpListener,
+    rname: &str,
+    rlen: usize,
+    mode: ParseMode,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let metrics = &server.telemetry().metrics;
+    let _ = metrics.counter(CONNS_COUNTER);
+    let _ = metrics.counter(CONNS_DROPPED_COUNTER);
+    std::thread::scope(|scope| {
+        let mut accept_index = 0u64;
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let conn_key = accept_index;
+                    accept_index += 1;
+                    #[cfg(feature = "chaos")]
+                    if genasm_chaos::fault_at(genasm_chaos::sites::SERVE_CONN_DROP, conn_key)
+                        .is_some()
+                    {
+                        // Injected accept-time connection drop: the
+                        // client sees a closed socket; nothing was
+                        // admitted, so nothing else is affected.
+                        metrics.counter(CONNS_DROPPED_COUNTER).incr();
+                        continue;
+                    }
+                    #[cfg(not(feature = "chaos"))]
+                    let _ = conn_key;
+                    metrics.counter(CONNS_COUNTER).incr();
+                    scope.spawn(move || handle_conn(server, stream, rname, rlen, mode, shutdown));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Scope exit joins every connection thread: a connection that
+        // is mid-stream finishes before the caller drains the server.
+    })
+}
+
+/// One connection: SAM header out, then FASTQ records in → ordered
+/// SAM records out, one per read, until client EOF (or a strict-mode
+/// parse error, reported as an `@CO` line before closing).
+fn handle_conn(
+    server: &Server,
+    stream: TcpStream,
+    rname: &str,
+    rlen: usize,
+    mode: ParseMode,
+    shutdown: &AtomicBool,
+) {
+    // The listener is non-blocking for shutdown polling; the accepted
+    // stream must block normally for framed reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let reader = match stream.try_clone() {
+        Ok(read_half) => BufReader::new(read_half),
+        Err(_) => return,
+    };
+    let writer = Arc::new(SamStreamWriter::new(BufWriter::new(stream), rname));
+    writer.write_raw(|out| {
+        sam::write_header(&mut *out, rname, rlen)?;
+        out.flush()
+    });
+    let sink: Arc<dyn ResponseSink> = Arc::clone(&writer) as Arc<dyn ResponseSink>;
+    let (report, error) = pump(server, reader, mode, &sink, shutdown);
+    // Every submitted read (admitted or shed) gets exactly one
+    // response; hold the connection open until the last is written.
+    writer.wait_delivered(report.submitted);
+    if let Some(e) = error {
+        writer.write_raw(|out| {
+            writeln!(out, "@CO\tgenasm-serve error: {e}")?;
+            out.flush()
+        });
+    }
+}

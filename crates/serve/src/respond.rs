@@ -1,0 +1,196 @@
+//! Responses and delivery sinks.
+//!
+//! Every read submitted to the [`Server`](crate::Server) produces
+//! exactly one [`Response`] — mapped, unmapped, degraded (poisoned /
+//! deadline-cut), or shed at admission. Responses are delivered
+//! through a caller-supplied [`ResponseSink`]; because micro-batches
+//! complete out of submission order, the bundled [`SamStreamWriter`]
+//! reorders on the front-end-assigned sequence number so each client
+//! sees its records in the order it sent the reads.
+
+use genasm_mapper::pipeline::ReadOutcome;
+use genasm_mapper::sam::{self, SamRecord};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::{Condvar, Mutex};
+
+/// How a submitted read resolved.
+#[derive(Debug)]
+pub enum ResponseKind {
+    /// The read was admitted and ran through the pipeline; the outcome
+    /// carries the full degradation taxonomy ([`ReadOutcome`]).
+    Outcome(ReadOutcome),
+    /// The read was refused at admission (server at capacity or
+    /// draining). Never silent: the SAM rendering carries `XE:Z:shed`.
+    Shed,
+}
+
+/// Exactly-one response for a submitted read.
+#[derive(Debug)]
+pub struct Response {
+    /// Front-end-assigned submission sequence number, contiguous from
+    /// 0 per sink. Sinks use it to restore submission order.
+    pub order: u64,
+    /// Read name (FASTQ header without the leading `@`).
+    pub name: String,
+    /// Read bases, echoed back into the SAM record.
+    pub seq: Vec<u8>,
+    /// How the read resolved.
+    pub kind: ResponseKind,
+}
+
+impl Response {
+    /// Whether this response reports a degraded or refused read
+    /// (shed, poisoned, or deadline-cut) rather than a clean
+    /// mapped/unmapped verdict.
+    pub fn is_degraded(&self) -> bool {
+        match &self.kind {
+            ResponseKind::Shed => true,
+            ResponseKind::Outcome(outcome) => outcome.is_fault(),
+        }
+    }
+
+    /// Whether this read was refused at admission.
+    pub fn is_shed(&self) -> bool {
+        matches!(self.kind, ResponseKind::Shed)
+    }
+
+    /// Renders the response as a SAM record, using the same
+    /// `XE:Z:` degradation taxonomy as `genasm map`
+    /// (`shed` / `poisoned` / `deadline`).
+    pub fn sam_record(&self, rname: &str) -> SamRecord {
+        match &self.kind {
+            ResponseKind::Shed => SamRecord::unmapped_with_reason(&self.name, &self.seq, "shed"),
+            ResponseKind::Outcome(outcome) => match outcome {
+                ReadOutcome::Mapped(m) => SamRecord::from_mapping(&self.name, rname, &self.seq, m),
+                ReadOutcome::Unmapped => SamRecord::unmapped(&self.name, &self.seq),
+                ReadOutcome::Poisoned { .. } => {
+                    SamRecord::unmapped_with_reason(&self.name, &self.seq, "poisoned")
+                }
+                ReadOutcome::Incomplete { partial: None } => {
+                    SamRecord::unmapped_with_reason(&self.name, &self.seq, "deadline")
+                }
+                ReadOutcome::Incomplete { partial: Some(m) } => {
+                    let mut rec = SamRecord::from_mapping(&self.name, rname, &self.seq, m);
+                    rec.tags.push("XE:Z:deadline".to_string());
+                    rec
+                }
+            },
+        }
+    }
+}
+
+/// Where responses go. Implementations must tolerate out-of-order
+/// delivery (micro-batches finish in any order) and must not panic —
+/// a sink panic loses that response's delivery accounting.
+pub trait ResponseSink: Send + Sync {
+    /// Accepts one response. Called from pipeline worker threads (for
+    /// admitted reads) and from the submitting thread (for shed
+    /// reads).
+    fn deliver(&self, response: Response);
+}
+
+struct WriterState<W> {
+    out: W,
+    /// Next order number to write; responses ahead of it park in
+    /// `parked` until the gap fills.
+    next: u64,
+    parked: BTreeMap<u64, Response>,
+    delivered: u64,
+    write_errors: u64,
+}
+
+/// A [`ResponseSink`] that renders responses as SAM records onto a
+/// writer, restored to submission order via a reorder buffer.
+///
+/// The buffer holds at most as many responses as the server admits
+/// concurrently (plus shed ones delivered inline), so it is bounded
+/// by the server's `max_inflight_reads`. Write failures (e.g. a
+/// client that hung up) are counted, not propagated — a dead client
+/// must not take down the pipeline workers delivering to it.
+pub struct SamStreamWriter<W> {
+    rname: String,
+    state: Mutex<WriterState<W>>,
+    advanced: Condvar,
+}
+
+impl<W: Write + Send> SamStreamWriter<W> {
+    /// Creates a writer rendering against reference `rname`.
+    pub fn new(out: W, rname: impl Into<String>) -> Self {
+        SamStreamWriter {
+            rname: rname.into(),
+            state: Mutex::new(WriterState {
+                out,
+                next: 0,
+                parked: BTreeMap::new(),
+                delivered: 0,
+                write_errors: 0,
+            }),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// Writes a raw header/comment line immediately, ahead of any
+    /// parked records (callers emit the SAM header through this
+    /// before submitting reads).
+    pub fn write_raw(&self, f: impl FnOnce(&mut W) -> std::io::Result<()>) {
+        let mut state = self.lock();
+        if f(&mut state.out).is_err() {
+            state.write_errors += 1;
+        }
+    }
+
+    /// Responses written out (in-order delivery completed).
+    pub fn delivered(&self) -> u64 {
+        self.lock().delivered
+    }
+
+    /// Failed writes (client hung up mid-stream, disk full, ...).
+    pub fn write_errors(&self) -> u64 {
+        self.lock().write_errors
+    }
+
+    /// Blocks until `count` responses have been written in order.
+    /// Front-ends call this after their input stream ends so the
+    /// connection outlives the last in-flight batch.
+    pub fn wait_delivered(&self, count: u64) {
+        let mut state = self.lock();
+        while state.delivered < count {
+            state = self.advanced.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterState<W>> {
+        // A poisoning panic can only come from `Write`/rendering; the
+        // state itself stays consistent, so recover and keep serving.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<W: Write + Send> ResponseSink for SamStreamWriter<W> {
+    fn deliver(&self, response: Response) {
+        let mut state = self.lock();
+        state.parked.insert(response.order, response);
+        let mut wrote = false;
+        loop {
+            let next = state.next;
+            let Some(response) = state.parked.remove(&next) else {
+                break;
+            };
+            let rec = response.sam_record(&self.rname);
+            if sam::write_record(&mut state.out, &rec).is_err() {
+                state.write_errors += 1;
+            }
+            state.next += 1;
+            state.delivered += 1;
+            wrote = true;
+        }
+        if wrote {
+            if state.out.flush().is_err() {
+                state.write_errors += 1;
+            }
+            drop(state);
+            self.advanced.notify_all();
+        }
+    }
+}

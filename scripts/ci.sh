@@ -4,9 +4,10 @@
 # Usage: scripts/ci.sh [--with-bench]
 #
 #   --with-bench   additionally run the engine throughput, dc_multi,
-#                  and map_throughput benches at full size, refreshing
-#                  BENCH_engine.json, BENCH_dc_multi.json, and
-#                  BENCH_map.json at the repo root.
+#                  map_throughput, and serve_throughput benches at full
+#                  size, refreshing BENCH_engine.json,
+#                  BENCH_dc_multi.json, BENCH_map.json, and
+#                  BENCH_serve.json at the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +45,7 @@ echo "==> chaos suites (--features chaos: deterministic fault injection)"
 cargo test -p genasm-engine --features chaos -q --test chaos
 cargo test -p genasm-chaos -q
 cargo test --features chaos -q --test chaos_containment
+cargo test --features chaos -q --test chaos_serve
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -127,11 +129,35 @@ for field in map.filter.tier0_rejects map.filter.tier0_probes map.filter.tier1_r
         || { echo "--metrics json: missing gauge \"$field\"" >&2; exit 1; }
 done
 
+echo "==> genasm serve smoke (stdin FASTQ in, ordered SAM out, serve.* metrics)"
+# Pipe the simulated reads through the streaming front-end: the run
+# must exit 0, answer every read with exactly one record, and surface
+# the serving metrics the docs promise in the JSON report (stderr).
+target/release/genasm simulate --genome-size 20000 --count 16 --length 100 \
+    --seed 12 --out-prefix "$tracedir/s" 2>/dev/null
+target/release/genasm serve --ref "$tracedir/s_ref.fa" \
+    --batch-reads 4 --batch-wait-ms 5 --metrics json \
+    < "$tracedir/s_reads.fq" > "$tracedir/s.sam" 2> "$tracedir/s_metrics.json"
+records=$(grep -cv '^@' "$tracedir/s.sam" || true)
+[[ "$records" -eq 16 ]] \
+    || { echo "serve answered $records/16 reads" >&2; exit 1; }
+for field in serve.reads serve.reads_shed serve.reads_deadline_dropped \
+             serve.batches serve.queue_depth serve.batches_inflight \
+             serve.request_latency_us; do
+    grep -q "\"$field" "$tracedir/s_metrics.json" \
+        || { echo "serve --metrics json: missing \"$field\"" >&2; exit 1; }
+done
+grep -q '"serve.reads": 16' "$tracedir/s_metrics.json" \
+    || { echo "serve --metrics json: admitted-read count wrong" >&2; exit 1; }
+
 echo "==> cargo bench --bench dc_multi -- --smoke"
 cargo bench -p genasm-bench --bench dc_multi -- --smoke
 
 echo "==> cargo bench --bench map_throughput -- --smoke"
 cargo bench -p genasm-bench --bench map_throughput -- --smoke
+
+echo "==> cargo bench --bench serve_throughput -- --smoke"
+cargo bench -p genasm-bench --bench serve_throughput -- --smoke
 
 echo "==> bench artifact field check"
 check_bench_fields BENCH_engine.json \
@@ -151,6 +177,10 @@ check_bench_fields BENCH_map.json \
     read_latency_p50_us read_latency_p99_us \
     telemetry_off_reads_per_sec telemetry_on_reads_per_sec telemetry_overhead \
     containment_off_reads_per_sec containment_on_reads_per_sec containment_overhead
+check_bench_fields BENCH_serve.json \
+    sustained_reads_per_sec request_latency_p50_us request_latency_p99_us \
+    overload_offered_reads overload_admitted_reads overload_shed_reads \
+    overload_shed_rate overload_responses_per_sec
 
 if [[ "${1:-}" == "--with-bench" ]]; then
     echo "==> cargo bench --bench engine_throughput"
@@ -159,6 +189,8 @@ if [[ "${1:-}" == "--with-bench" ]]; then
     cargo bench -p genasm-bench --bench dc_multi
     echo "==> cargo bench --bench map_throughput (full)"
     cargo bench -p genasm-bench --bench map_throughput
+    echo "==> cargo bench --bench serve_throughput (full)"
+    cargo bench -p genasm-bench --bench serve_throughput
 fi
 
 echo "==> OK"

@@ -4,4 +4,5 @@ pub use genasm_core as core;
 pub use genasm_engine as engine;
 pub use genasm_mapper as mapper;
 pub use genasm_seq as seq;
+pub use genasm_serve as serve;
 pub use genasm_sim as sim;
