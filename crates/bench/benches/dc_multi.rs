@@ -1,9 +1,11 @@
 //! Lock-step multi-window DC kernel throughput: scalar vs lock-step at
-//! 1/4/8 lanes, full vs distance-only mode, chunked vs persistent-lane
-//! scheduling (with lane occupancy), and the end-to-end engine effect
-//! (scalar vs chunked vs persistent dispatch at one worker, each with
-//! its full-alignment vs distance-only-scan A/B — the two halves of
-//! the mapper's two-phase execution model).
+//! 1/4/8/16 lanes, full vs distance-only mode, chunked vs
+//! persistent-lane scheduling (with lane occupancy), fused vs scanned
+//! occurrence hit-tests, and the end-to-end engine effect (scalar vs
+//! chunked vs persistent dispatch at one worker — with and without
+//! cross-claim lane persistence — each with its full-alignment vs
+//! distance-only-scan A/B, the two halves of the mapper's two-phase
+//! execution model).
 //!
 //! Writes `BENCH_dc_multi.json` at the workspace root alongside
 //! `BENCH_engine.json`. Pass `--smoke` (as `scripts/ci.sh` does) for a
@@ -20,6 +22,7 @@ use genasm_core::dc_multi::{
     MultiLane,
 };
 use genasm_core::dc_wide::{occurrence_distance_lanes, OccurrenceLaneJob, OccurrenceLaneScratch};
+use genasm_core::simd::{simd_level, SimdLevel};
 use genasm_engine::obs::JOB_LATENCY_HISTOGRAM;
 use genasm_engine::{DcDispatch, DistanceJob, Engine, EngineConfig, Job, LaneCount};
 use genasm_obs::Telemetry;
@@ -196,6 +199,33 @@ fn bench_dc_multi(c: &mut Criterion) {
             .map(|n| n.get())
             .unwrap_or(1) as f64,
     );
+    // The detected SIMD tier behind every `LaneCount::Auto` figure
+    // below, so cross-host comparisons know which lane width `auto`
+    // resolved to (0 = portable, 1 = AVX2, 2 = AVX-512).
+    let tier = simd_level();
+    report.field_str("simd_level", tier.name());
+    report.field_num("simd_level_rank", tier.rank() as f64);
+    // Auto-pick contract: full mode follows the tier's vector width;
+    // distance-only scans pin `auto` at 4 lanes (their 64-bit state
+    // occupies one quarter of a lane's registers, so wider rows only
+    // add drain-tail waste).
+    let auto_full = match tier {
+        SimdLevel::Avx512 => 16,
+        SimdLevel::Avx2 => 8,
+        SimdLevel::Portable => 4,
+    };
+    assert_eq!(
+        LaneCount::Auto.resolve(),
+        auto_full,
+        "full-mode Auto must follow the detected SIMD tier"
+    );
+    assert_eq!(
+        LaneCount::Auto.resolve_distance(),
+        4,
+        "distance-only Auto must stay at 4 lanes"
+    );
+    report.field_num("auto_lanes_full", auto_full as f64);
+    report.field_num("auto_lanes_distance", 4.0);
 
     // ---- Kernel level: full (edge-storing) mode ----------------------
     let pairs = window_pairs(n_windows, 0xD0C5);
@@ -208,6 +238,7 @@ fn bench_dc_multi(c: &mut Criterion) {
     let mut a1 = MultiDcArena::<1>::new();
     let mut a4 = MultiDcArena::<4>::new();
     let mut a8 = MultiDcArena::<8>::new();
+    let mut a16 = MultiDcArena::<16>::new();
     let rate1 = best_rate(pairs.len(), reps, || {
         run_lockstep::<1, true>(&pairs, &mut a1)
     });
@@ -220,6 +251,10 @@ fn bench_dc_multi(c: &mut Criterion) {
         run_lockstep::<8, true>(&pairs, &mut a8)
     });
     let occ8 = occupancy(a8.take_row_counters());
+    let rate16 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<16, true>(&pairs, &mut a16)
+    });
+    let occ16 = occupancy(a16.take_row_counters());
     report.record(
         "kernel_full",
         &[
@@ -230,7 +265,12 @@ fn bench_dc_multi(c: &mut Criterion) {
             ("occupancy", 1.0),
         ],
     );
-    for (lanes, rate, occ) in [(1usize, rate1, occ1), (4, rate4, occ4), (8, rate8, occ8)] {
+    for (lanes, rate, occ) in [
+        (1usize, rate1, occ1),
+        (4, rate4, occ4),
+        (8, rate8, occ8),
+        (16, rate16, occ16),
+    ] {
         report.record(
             "kernel_full",
             &[
@@ -256,13 +296,17 @@ fn bench_dc_multi(c: &mut Criterion) {
     // (the `occupancy` gap above) is recovered.
     let mut s4 = DcLaneStream::<4>::new();
     let mut s8 = DcLaneStream::<8>::new();
+    let mut s16 = DcLaneStream::<16>::new();
     let stream4 = best_rate(pairs.len(), reps, || run_stream::<4>(&pairs, &mut s4));
     let stream4_occ = occupancy(s4.take_row_counters());
     let stream8 = best_rate(pairs.len(), reps, || run_stream::<8>(&pairs, &mut s8));
     let stream8_occ = occupancy(s8.take_row_counters());
+    let stream16 = best_rate(pairs.len(), reps, || run_stream::<16>(&pairs, &mut s16));
+    let stream16_occ = occupancy(s16.take_row_counters());
     for (lanes, rate, occ, chunked_rate) in [
         (4usize, stream4, stream4_occ, rate4),
         (8, stream8, stream8_occ, rate8),
+        (16, stream16, stream16_occ, rate16),
     ] {
         report.record(
             "kernel_stream",
@@ -297,7 +341,15 @@ fn bench_dc_multi(c: &mut Criterion) {
     let distance_8 = best_rate(pairs.len(), reps, || {
         run_lockstep::<8, false>(&pairs, &mut a8)
     });
-    for (lanes, rate) in [(1usize, scalar_distance), (4, distance_4), (8, distance_8)] {
+    let distance_16 = best_rate(pairs.len(), reps, || {
+        run_lockstep::<16, false>(&pairs, &mut a16)
+    });
+    for (lanes, rate) in [
+        (1usize, scalar_distance),
+        (4, distance_4),
+        (8, distance_8),
+        (16, distance_16),
+    ] {
         report.record(
             "kernel_distance_only",
             &[
@@ -311,6 +363,58 @@ fn bench_dc_multi(c: &mut Criterion) {
             rate / scalar_full
         );
     }
+
+    // ---- Kernel level: fused vs scanned occurrence hit-tests ---------
+    // The occurrence-scan stream's hit-test A/B: the fused path folds
+    // each lane's "MSB clear anywhere?" probe into the distance row it
+    // just computed (one AND accumulator per word), while the unfused
+    // baseline re-scans every text column of the resolved row. Rows
+    // issued are bit-identical by construction — only the scan-op
+    // volume moves, and it must move down.
+    let mut fused_stream = DcLaneStream::<4>::occurrence_scan();
+    let mut unfused_stream = DcLaneStream::<4>::occurrence_scan_unfused();
+    run_stream::<4>(&pairs, &mut fused_stream);
+    let (fused_rows, _) = fused_stream.take_row_counters();
+    let fused_ops = fused_stream.take_scan_ops();
+    run_stream::<4>(&pairs, &mut unfused_stream);
+    let (unfused_rows, _) = unfused_stream.take_row_counters();
+    let unfused_ops = unfused_stream.take_scan_ops();
+    assert_eq!(
+        fused_rows, unfused_rows,
+        "fusing the hit-test must not change the rows issued"
+    );
+    assert!(
+        fused_ops < unfused_ops,
+        "fused hit-tests must scan strictly fewer columns: {fused_ops} vs {unfused_ops}"
+    );
+    let fused_rate = best_rate(pairs.len(), reps, || {
+        run_stream::<4>(&pairs, &mut fused_stream)
+    });
+    let unfused_rate = best_rate(pairs.len(), reps, || {
+        run_stream::<4>(&pairs, &mut unfused_stream)
+    });
+    report.field_num("fused_scan_ops", fused_ops as f64);
+    report.field_num("unfused_scan_ops", unfused_ops as f64);
+    for (fused, rate, ops) in [
+        (1.0, fused_rate, fused_ops),
+        (0.0, unfused_rate, unfused_ops),
+    ] {
+        report.record(
+            "kernel_fused_hit_test",
+            &[
+                ("fused", fused),
+                ("lanes", 4.0),
+                ("pairs_per_sec", rate),
+                ("rows_issued", fused_rows as f64),
+                ("scan_ops", ops as f64),
+                ("scan_ops_vs_unfused", ops as f64 / unfused_ops as f64),
+            ],
+        );
+    }
+    println!(
+        "kernel occurrence hit-test fused: {fused_rate:.0} pairs/s ({fused_ops} scan ops); \
+         unfused: {unfused_rate:.0} pairs/s ({unfused_ops} scan ops)"
+    );
 
     // ---- Kernel level: flat filter scan vs occurrence lanes ----------
     // The filter cascade's tier-1 A/B on multi-word patterns: the flat
@@ -401,12 +505,14 @@ fn bench_dc_multi(c: &mut Criterion) {
 
     // ---- Engine level: scalar vs chunked vs persistent, one worker ---
     let jobs = engine_jobs(n_jobs, 0xBE9C);
-    // (dispatch, lanes, json `persistent` flag)
+    // (dispatch, lanes, json `persistent` flag, cross-claim persistence)
     let engine_configs = [
-        (DcDispatch::Scalar, LaneCount::Four, 0.0),
-        (DcDispatch::Chunked, LaneCount::Four, 0.0),
-        (DcDispatch::Lockstep, LaneCount::Four, 1.0),
-        (DcDispatch::Lockstep, LaneCount::Eight, 1.0),
+        (DcDispatch::Scalar, LaneCount::Four, 0.0, false),
+        (DcDispatch::Chunked, LaneCount::Four, 0.0, false),
+        (DcDispatch::Lockstep, LaneCount::Four, 1.0, false),
+        (DcDispatch::Lockstep, LaneCount::Four, 1.0, true),
+        (DcDispatch::Lockstep, LaneCount::Eight, 1.0, true),
+        (DcDispatch::Lockstep, LaneCount::Sixteen, 1.0, true),
     ];
     // Phase-1 counterparts of the same jobs: the distance-only scans
     // the two-phase mapper resolves candidates on (budget = the 15%
@@ -418,17 +524,18 @@ fn bench_dc_multi(c: &mut Criterion) {
             DistanceJob::new(&job.text, &job.pattern, k)
         })
         .collect();
-    let mut engine_rates = [0.0f64; 4];
-    let mut engine_occupancy = [f64::NAN; 4];
-    let mut engine_tb_rows = [0.0f64; 4];
-    let mut engine_distance_secs = [f64::MAX; 4];
-    let mut engine_distance_rates = [0.0f64; 4];
-    for (slot, &(dispatch, lanes, _)) in engine_configs.iter().enumerate() {
+    let mut engine_rates = [0.0f64; 6];
+    let mut engine_occupancy = [f64::NAN; 6];
+    let mut engine_tb_rows = [0.0f64; 6];
+    let mut engine_distance_secs = [f64::MAX; 6];
+    let mut engine_distance_rates = [0.0f64; 6];
+    for (slot, &(dispatch, lanes, _, cross_claim)) in engine_configs.iter().enumerate() {
         let engine = Engine::new(
             EngineConfig::default()
                 .with_workers(1)
                 .with_dispatch(dispatch)
-                .with_lanes(lanes),
+                .with_lanes(lanes)
+                .with_persist_lanes(cross_claim),
         );
         let warm = engine.align_batch_with_stats(&jobs);
         assert_eq!(warm.stats.failures, 0, "bench workload must align cleanly");
@@ -449,7 +556,7 @@ fn bench_dc_multi(c: &mut Criterion) {
         }
     }
     let scalar_engine = engine_rates[0];
-    for (slot, &(dispatch, lanes, persistent)) in engine_configs.iter().enumerate() {
+    for (slot, &(dispatch, lanes, persistent, cross_claim)) in engine_configs.iter().enumerate() {
         let rate = engine_rates[slot];
         report.record(
             "engine",
@@ -459,6 +566,7 @@ fn bench_dc_multi(c: &mut Criterion) {
                     f64::from(u8::from(dispatch != DcDispatch::Scalar)),
                 ),
                 ("persistent", persistent),
+                ("cross_claim", f64::from(u8::from(cross_claim))),
                 ("lanes", lanes.resolve() as f64),
                 ("workers", 1.0),
                 ("pairs_per_sec", rate),
@@ -474,16 +582,31 @@ fn bench_dc_multi(c: &mut Criterion) {
             ],
         );
         println!(
-            "engine 1 worker {dispatch:?} x{}: {rate:.0} pairs/s ({:.2}x scalar, \
+            "engine 1 worker {dispatch:?} x{}{}: {rate:.0} pairs/s ({:.2}x scalar, \
              occupancy {:.1}%); distance-only {:.0} pairs/s ({:.2}x full)",
             lanes.resolve(),
+            if cross_claim { " cross-claim" } else { "" },
             rate / scalar_engine,
             engine_occupancy[slot] * 100.0,
             engine_distance_rates[slot],
             engine_distance_rates[slot] / rate
         );
     }
-    let lockstep_engine = engine_rates[2];
+    // The tentpole's occupancy contract: keeping lanes loaded across
+    // work-queue claims (slot 3) must waste fewer row slots than
+    // draining at every claim boundary (slot 2) on the identical
+    // dispatch, lane width and workload. The counters behind these
+    // ratios are deterministic.
+    let per_claim_occupancy = engine_occupancy[2];
+    let cross_claim_occupancy = engine_occupancy[3];
+    assert!(
+        cross_claim_occupancy > per_claim_occupancy,
+        "cross-claim lane persistence must lift occupancy: \
+         {cross_claim_occupancy:.4} vs per-claim {per_claim_occupancy:.4}"
+    );
+    report.field_num("per_claim_occupancy", per_claim_occupancy);
+    report.field_num("cross_claim_occupancy", cross_claim_occupancy);
+    let lockstep_engine = engine_rates[3];
     // The lock-step PR's shared kernel optimizations (branchless
     // alphabet LUT, allocation-free pattern masks, zero-fill elision)
     // also sped up the scalar baseline itself; the pre-PR engine

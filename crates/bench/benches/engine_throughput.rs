@@ -60,6 +60,7 @@ fn bench_worker_scaling(c: &mut Criterion) {
     let mut report = JsonReport::new();
     report.field_str("bench", "engine_throughput");
     report.field_str("workload", "256 jobs x 250bp illumina-profile reads");
+    report.field_str("simd_level", genasm_core::simd::simd_level().name());
     report.field_num(
         "host_parallelism",
         std::thread::available_parallelism()

@@ -151,6 +151,7 @@ fn bench_map_throughput(c: &mut Criterion) {
 
     let mut report = JsonReport::new();
     report.field_str("bench", "map_throughput");
+    report.field_str("simd_level", genasm_core::simd::simd_level().name());
     report.field_str(
         "workload",
         "150bp illumina-profile reads, both strands, default mapper, \

@@ -4,7 +4,7 @@
 //!
 //! * `map --ref <fasta> --reads <fastq|fasta> [--error-rate 0.15]
 //!   [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
-//!   [--lanes 4|8|auto] [--shards 0] [--pipeline batch|sequential]` —
+//!   [--lanes 4|8|16|auto] [--shards 0] [--pipeline batch|sequential]` —
 //!   map reads against a reference through the engine-backed staged
 //!   batch pipeline (parallel seed + lock-step filter → multi-threaded
 //!   persistent-lane alignment), SAM on stdout and per-stage stats
@@ -65,7 +65,7 @@ usage: genasm <command> [options]
 commands:
   map       --ref <fa> --reads <fq|fa|-> [--error-rate 0.15]
             [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
-            [--lanes 4|8|auto] [--shards 0]
+            [--lanes 4|8|16|auto] [--shards 0]
             [--align-mode two-phase|full]
             [--filter-mode cascade|legacy]
             [--pipeline batch|sequential]                    SAM to stdout; per-stage
@@ -81,7 +81,8 @@ commands:
                                                              the seeding stage), --shards
                                                              index shards (0 = auto),
                                                              --lanes lock-step lanes
-                                                             (auto = 8 with AVX2);
+                                                             (auto = 16 with AVX-512,
+                                                             8 with AVX2);
                                                              --align-mode two-phase
                                                              (default) resolves
                                                              candidates distance-only
@@ -103,7 +104,7 @@ commands:
                                                              mappings, for A/B runs)
   batch     --ref <fa> --reads <fq|fa> [--threads 0]
             [--kernel lockstep|chunked|scalar|gotoh]
-            [--lanes 4|8|auto] [--align-mode two-phase|full]
+            [--lanes 4|8|16|auto] [--align-mode two-phase|full]
             [--filter-mode cascade|legacy]
             [--error-rate 0.15]
             [--sam -]                                        engine-batched mapping,
@@ -119,7 +120,7 @@ commands:
             [--max-inflight-reads 1024]
             [--request-deadline-ms 0] [--pipeline-workers 2]
             [--workers 0] [--kernel lockstep|chunked|scalar|gotoh]
-            [--lanes 4|8|auto] [--shards 0]
+            [--lanes 4|8|16|auto] [--shards 0]
             [--align-mode two-phase|full]
             [--filter-mode cascade|legacy]
             [--error-rate 0.15]                              long-running streaming
@@ -375,13 +376,17 @@ fn parse_kernel(args: &Args) -> Result<(AlignerKind, DcDispatch), String> {
 }
 
 /// Maps `--lanes` to the lock-step lane-width selection (`auto` picks
-/// 8 lanes when AVX2 is detected, else 4).
+/// the detected SIMD tier: 16 lanes under AVX-512, 8 under AVX2, else
+/// 4; distance-only scans always resolve `auto` to 4).
 fn parse_lanes(args: &Args) -> Result<LaneCount, String> {
     match args.get("lanes").unwrap_or("auto") {
         "auto" => Ok(LaneCount::Auto),
         "4" => Ok(LaneCount::Four),
         "8" => Ok(LaneCount::Eight),
-        other => Err(format!("unknown lane count {other:?} (use 4, 8 or auto)")),
+        "16" => Ok(LaneCount::Sixteen),
+        other => Err(format!(
+            "unknown lane count {other:?} (use 4, 8, 16 or auto)"
+        )),
     }
 }
 
@@ -1105,7 +1110,7 @@ mod tests {
         }
 
         // Explicit lane widths thread through to the engine.
-        for lanes in ["4", "8", "auto"] {
+        for lanes in ["4", "8", "16", "auto"] {
             run(vec![
                 "map".into(),
                 "--ref".into(),
@@ -1124,7 +1129,7 @@ mod tests {
             "--reads".into(),
             format!("{prefix}_reads.fq"),
             "--lanes".into(),
-            "16".into(),
+            "32".into(),
         ])
         .unwrap_err();
         assert!(err.message().contains("unknown lane count"), "{err:?}");

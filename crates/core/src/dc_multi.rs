@@ -274,6 +274,12 @@ impl<const L: usize> TracebackSource for LaneBitvectors<'_, L> {
     }
 }
 
+impl<const L: usize> crate::tb::TbWordSource for LaneBitvectors<'_, L> {
+    fn tb_words(&self, i: usize, d: usize) -> (u64, u64, u64) {
+        (self.match_at(i, d), self.ins_at(i, d), self.del_at(i, d))
+    }
+}
+
 /// Runs GenASM-DC on up to `L` independent windows in lock step,
 /// storing each lane's intermediate bitvectors for traceback
 /// (readable via [`MultiDcArena::lane`]; per-lane distances via
@@ -601,6 +607,17 @@ pub struct DcLaneStream<const L: usize> {
     /// [`occurrence_distance_into`](crate::dc::occurrence_distance_into))
     /// instead of position 0 only.
     unanchored: bool,
+    /// `true` (the default for unanchored streams) sources the
+    /// any-position hit test from the row kernel's fused per-lane AND
+    /// accumulator ([`dc_row_distance_acc`]); `false` re-scans each
+    /// lane's column scalar-per-step — kept as the A/B baseline
+    /// ([`Self::occurrence_scan_unfused`]).
+    fused: bool,
+    /// Scalar column-scan operations (one per text position read by a
+    /// per-lane probe scan) performed since the last
+    /// [`take_scan_ops`](Self::take_scan_ops). The fused path performs
+    /// none outside the rare `d >= m` exactness fallback.
+    scan_ops: u64,
 }
 
 impl<const L: usize> Default for DcLaneStream<L> {
@@ -622,6 +639,8 @@ impl<const L: usize> Default for DcLaneStream<L> {
             rows_useful: 0,
             store: true,
             unanchored: false,
+            fused: true,
+            scan_ops: 0,
         }
     }
 }
@@ -659,6 +678,34 @@ impl<const L: usize> DcLaneStream<L> {
             unanchored: true,
             ..DcLaneStream::default()
         }
+    }
+
+    /// An unanchored occurrence stream with the **fused hit test
+    /// disabled**: per-lane results identical to
+    /// [`occurrence_scan`](Self::occurrence_scan), but every probe
+    /// re-scans the lane's column scalar-per-step (visible in
+    /// [`scan_ops`](Self::scan_ops)). This is the pre-fusion baseline,
+    /// kept for the bench A/B.
+    pub fn occurrence_scan_unfused() -> Self {
+        DcLaneStream {
+            store: false,
+            unanchored: true,
+            fused: false,
+            ..DcLaneStream::default()
+        }
+    }
+
+    /// Scalar column-scan operations performed by probe scans since
+    /// creation or the last [`take_scan_ops`](Self::take_scan_ops):
+    /// one per text position read. Fused streams report 0 outside the
+    /// `d >= m` exactness fallback.
+    pub fn scan_ops(&self) -> u64 {
+        self.scan_ops
+    }
+
+    /// Returns and resets [`scan_ops`](Self::scan_ops).
+    pub fn take_scan_ops(&mut self) -> u64 {
+        std::mem::take(&mut self.scan_ops)
     }
 
     /// Lanes currently advancing a window.
@@ -858,6 +905,9 @@ impl<const L: usize> DcLaneStream<L> {
         self.rows_issued += L as u64;
         self.rows_useful += active as u64;
 
+        // Per-lane fused AND accumulator, written by the fused
+        // occurrence kernel below.
+        let mut acc = [u64::MAX; L];
         if self.store {
             let mut match_row = self.fresh_row();
             let mut ins_row = self.fresh_row();
@@ -875,6 +925,15 @@ impl<const L: usize> DcLaneStream<L> {
             self.match_rows.push(match_row);
             self.ins_rows.push(ins_row);
             self.del_rows.push(del_row);
+        } else if self.unanchored && self.fused {
+            dc_row_distance_acc::<L>(
+                &self.text_pm,
+                &self.prev,
+                &mut self.cur,
+                &init_d,
+                &init_dm1,
+                &mut acc,
+            );
         } else {
             dc_row_distance::<L>(&self.text_pm, &self.prev, &mut self.cur, &init_d, &init_dm1);
         }
@@ -883,17 +942,32 @@ impl<const L: usize> DcLaneStream<L> {
 
         let stored = self.store;
         let unanchored = self.unanchored;
+        let fused = self.fused;
+        let mut scan_ops = 0u64;
         for (lane, meta) in self.meta.iter_mut().enumerate() {
             if meta.state != LaneState::Active {
                 continue;
             }
             meta.d += 1;
             let probe = if unanchored {
-                let mut acc = u64::MAX;
-                for row in self.prev[..meta.n].iter() {
-                    acc &= row[lane];
+                if fused && meta.d < meta.m {
+                    // The accumulator ANDs over the full allocated
+                    // width, but an active lane's padding positions
+                    // idle at `boundary_state(d)`, whose MSB stays set
+                    // while `d < m` — so the full-width AND agrees
+                    // exactly with the exact-width scan.
+                    acc[lane]
+                } else {
+                    // Unfused baseline, or the fused stream's `d >= m`
+                    // exactness fallback (padding MSBs have gone
+                    // clear): scan the lane's exact-width column.
+                    scan_ops += meta.n as u64;
+                    let mut lane_acc = u64::MAX;
+                    for row in self.prev[..meta.n].iter() {
+                        lane_acc &= row[lane];
+                    }
+                    lane_acc
                 }
-                acc
             } else {
                 self.prev[0][lane]
             };
@@ -909,6 +983,7 @@ impl<const L: usize> DcLaneStream<L> {
                 resolved.push(lane);
             }
         }
+        self.scan_ops += scan_ops;
     }
 
     /// Total `[u64; L]` rows currently retained in the ring and the
@@ -1064,6 +1139,12 @@ impl<const L: usize> TracebackSource for StreamLaneBitvectors<'_, L> {
     }
 }
 
+impl<const L: usize> crate::tb::TbWordSource for StreamLaneBitvectors<'_, L> {
+    fn tb_words(&self, i: usize, d: usize) -> (u64, u64, u64) {
+        (self.match_at(i, d), self.ins_at(i, d), self.del_at(i, d))
+    }
+}
+
 /// One lock-step distance row in full (edge-storing) mode. Kept free of
 /// bounds checks and branches in the lane dimension so LLVM unrolls and
 /// vectorizes the `L`-wide inner loop.
@@ -1117,6 +1198,12 @@ fn dc_row_multi<const L: usize, const STORE: bool>(
 fn dc_row_zero<const L: usize>(pm: &[[u64; L]], prev: &mut [[u64; L]]) {
     #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
     {
+        if L.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just detected at runtime.
+            unsafe {
+                return dc_row_zero_avx512::<L>(pm, prev);
+            }
+        }
         if L.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just detected at runtime.
             unsafe {
@@ -1172,6 +1259,14 @@ fn dc_row_full<const L: usize>(
 ) {
     #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
     {
+        if L.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just detected at runtime.
+            unsafe {
+                return dc_row_full_avx512::<L>(
+                    pm, prev, cur, match_row, ins_row, del_row, init_d, init_dm1,
+                );
+            }
+        }
         if L.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just detected at runtime.
             unsafe {
@@ -1251,6 +1346,12 @@ fn dc_row_distance<const L: usize>(
 ) {
     #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
     {
+        if L.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just detected at runtime.
+            unsafe {
+                return dc_row_distance_avx512::<L>(pm, prev, cur, init_d, init_dm1);
+            }
+        }
         if L.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just detected at runtime.
             unsafe {
@@ -1314,6 +1415,278 @@ unsafe fn dc_row_distance_avx2<const L: usize>(
             _mm256_storeu_si256(cur[i].as_mut_ptr().add(g * 4).cast::<__m256i>(), r);
             r_next = r;
         }
+    }
+}
+
+/// Explicit AVX-512F `d = 0` pass: eight `u64` lanes per 512-bit
+/// vector, so `L = 16` is two vectors per step. Bit-identical to the
+/// portable loop.
+#[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn dc_row_zero_avx512<const L: usize>(pm: &[[u64; L]], prev: &mut [[u64; L]]) {
+    use std::arch::x86_64::{
+        __m512i, _mm512_loadu_si512, _mm512_or_si512, _mm512_set1_epi64, _mm512_slli_epi64,
+        _mm512_storeu_si512,
+    };
+    let n = pm.len();
+    let groups = L / 8;
+    for g in 0..groups {
+        let mut r: __m512i = _mm512_set1_epi64(-1);
+        for i in (0..n).rev() {
+            let masks = _mm512_loadu_si512(pm[i].as_ptr().add(g * 8).cast::<__m512i>());
+            r = _mm512_or_si512(_mm512_slli_epi64::<1>(r), masks);
+            _mm512_storeu_si512(prev[i].as_mut_ptr().add(g * 8).cast::<__m512i>(), r);
+        }
+    }
+}
+
+/// Explicit AVX-512F lock-step full-mode row: bit-identical to the
+/// portable loop (same operations, same order), with the three edge
+/// bitvector kinds stored per step.
+#[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dc_row_full_avx512<const L: usize>(
+    pm: &[[u64; L]],
+    prev: &[[u64; L]],
+    cur: &mut [[u64; L]],
+    match_row: &mut [[u64; L]],
+    ins_row: &mut [[u64; L]],
+    del_row: &mut [[u64; L]],
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
+) {
+    use std::arch::x86_64::{
+        __m512i, _mm512_and_si512, _mm512_loadu_si512, _mm512_or_si512, _mm512_slli_epi64,
+        _mm512_storeu_si512,
+    };
+    let n = pm.len();
+    let groups = L / 8;
+    for g in 0..groups {
+        let boundary_d = _mm512_loadu_si512(init_d.as_ptr().add(g * 8).cast::<__m512i>());
+        let boundary_dm1 = _mm512_loadu_si512(init_dm1.as_ptr().add(g * 8).cast::<__m512i>());
+        let mut r_next = boundary_d;
+        for i in (0..n).rev() {
+            let load = |row: &[u64; L]| -> __m512i {
+                _mm512_loadu_si512(row.as_ptr().add(g * 8).cast::<__m512i>())
+            };
+            let store = |row: &mut [u64; L], v: __m512i| {
+                _mm512_storeu_si512(row.as_mut_ptr().add(g * 8).cast::<__m512i>(), v);
+            };
+            let deletion = if i + 1 < n {
+                load(&prev[i + 1])
+            } else {
+                boundary_dm1
+            };
+            let substitution = _mm512_slli_epi64::<1>(deletion);
+            let insertion = _mm512_slli_epi64::<1>(load(&prev[i]));
+            let matched = _mm512_or_si512(_mm512_slli_epi64::<1>(r_next), load(&pm[i]));
+            let r = _mm512_and_si512(
+                _mm512_and_si512(deletion, substitution),
+                _mm512_and_si512(insertion, matched),
+            );
+            store(&mut match_row[i], matched);
+            store(&mut ins_row[i], insertion);
+            store(&mut del_row[i], deletion);
+            store(&mut cur[i], r);
+            r_next = r;
+        }
+    }
+}
+
+/// Explicit AVX-512F lock-step distance row: bit-identical to the
+/// portable loop (same operations, same order).
+#[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn dc_row_distance_avx512<const L: usize>(
+    pm: &[[u64; L]],
+    prev: &[[u64; L]],
+    cur: &mut [[u64; L]],
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
+) {
+    use std::arch::x86_64::{
+        __m512i, _mm512_and_si512, _mm512_loadu_si512, _mm512_or_si512, _mm512_slli_epi64,
+        _mm512_storeu_si512,
+    };
+    let n = pm.len();
+    let groups = L / 8;
+    for g in 0..groups {
+        let boundary_d = _mm512_loadu_si512(init_d.as_ptr().add(g * 8).cast::<__m512i>());
+        let boundary_dm1 = _mm512_loadu_si512(init_dm1.as_ptr().add(g * 8).cast::<__m512i>());
+        let mut r_next = boundary_d;
+        for i in (0..n).rev() {
+            let load = |row: &[u64; L]| -> __m512i {
+                _mm512_loadu_si512(row.as_ptr().add(g * 8).cast::<__m512i>())
+            };
+            let deletion = if i + 1 < n {
+                load(&prev[i + 1])
+            } else {
+                boundary_dm1
+            };
+            let substitution = _mm512_slli_epi64::<1>(deletion);
+            let insertion = _mm512_slli_epi64::<1>(load(&prev[i]));
+            let matched = _mm512_or_si512(_mm512_slli_epi64::<1>(r_next), load(&pm[i]));
+            let r = _mm512_and_si512(
+                _mm512_and_si512(deletion, substitution),
+                _mm512_and_si512(insertion, matched),
+            );
+            _mm512_storeu_si512(cur[i].as_mut_ptr().add(g * 8).cast::<__m512i>(), r);
+            r_next = r;
+        }
+    }
+}
+
+/// One lock-step distance row with a **fused any-position hit test**:
+/// the identical recurrence (and identical `cur` rows) as
+/// [`dc_row_distance`], additionally emitting `acc[lane]` = the AND of
+/// the lane's new `R` word over **every** text position. The unanchored
+/// occurrence probe ("is the MSB clear at any position?") then reads
+/// one word per lane instead of re-scanning the lane's whole column
+/// scalar-per-step — the accumulator rides along inside the vector loop
+/// at one extra AND per position.
+///
+/// Padding positions of an active lane provably idle at the lane's
+/// boundary state `ones << d` (all-ones masks only shift bits upward),
+/// so for `d < m` the full-width accumulator's MSB agrees exactly with
+/// the exact-width scan; [`DcLaneStream::step`] falls back to the exact
+/// scan for the (terminal) `d >= m` rows, where the boundary state's
+/// MSB is no longer set.
+fn dc_row_distance_acc<const L: usize>(
+    pm: &[[u64; L]],
+    prev: &[[u64; L]],
+    cur: &mut [[u64; L]],
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
+    acc: &mut [u64; L],
+) {
+    #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+    {
+        if L.is_multiple_of(8) && std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just detected at runtime.
+            unsafe {
+                return dc_row_distance_acc_avx512::<L>(pm, prev, cur, init_d, init_dm1, acc);
+            }
+        }
+        if L.is_multiple_of(4) && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just detected at runtime.
+            unsafe {
+                return dc_row_distance_acc_avx2::<L>(pm, prev, cur, init_d, init_dm1, acc);
+            }
+        }
+    }
+    let n = pm.len();
+    let mut r_next = *init_d;
+    let mut and_acc = [u64::MAX; L];
+    for i in (0..n).rev() {
+        let prev_ip1 = if i + 1 < n { prev[i + 1] } else { *init_dm1 };
+        let prev_i = prev[i];
+        let pm_i = pm[i];
+        for lane in 0..L {
+            let deletion = prev_ip1[lane];
+            let substitution = deletion << 1;
+            let insertion = prev_i[lane] << 1;
+            let matched = (r_next[lane] << 1) | pm_i[lane];
+            let r = deletion & substitution & insertion & matched;
+            r_next[lane] = r;
+            and_acc[lane] &= r;
+        }
+        cur[i] = r_next;
+    }
+    *acc = and_acc;
+}
+
+/// Explicit AVX2 fused-accumulator distance row; bit-identical rows and
+/// accumulators to the portable loop.
+#[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn dc_row_distance_acc_avx2<const L: usize>(
+    pm: &[[u64; L]],
+    prev: &[[u64; L]],
+    cur: &mut [[u64; L]],
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
+    acc: &mut [u64; L],
+) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_set1_epi64x,
+        _mm256_slli_epi64, _mm256_storeu_si256,
+    };
+    let n = pm.len();
+    let groups = L / 4;
+    for g in 0..groups {
+        let boundary_d = _mm256_loadu_si256(init_d.as_ptr().add(g * 4).cast::<__m256i>());
+        let boundary_dm1 = _mm256_loadu_si256(init_dm1.as_ptr().add(g * 4).cast::<__m256i>());
+        let mut r_next = boundary_d;
+        let mut and_acc: __m256i = _mm256_set1_epi64x(-1);
+        for i in (0..n).rev() {
+            let load = |row: &[u64; L]| -> __m256i {
+                _mm256_loadu_si256(row.as_ptr().add(g * 4).cast::<__m256i>())
+            };
+            let deletion = if i + 1 < n {
+                load(&prev[i + 1])
+            } else {
+                boundary_dm1
+            };
+            let substitution = _mm256_slli_epi64::<1>(deletion);
+            let insertion = _mm256_slli_epi64::<1>(load(&prev[i]));
+            let matched = _mm256_or_si256(_mm256_slli_epi64::<1>(r_next), load(&pm[i]));
+            let r = _mm256_and_si256(
+                _mm256_and_si256(deletion, substitution),
+                _mm256_and_si256(insertion, matched),
+            );
+            _mm256_storeu_si256(cur[i].as_mut_ptr().add(g * 4).cast::<__m256i>(), r);
+            and_acc = _mm256_and_si256(and_acc, r);
+            r_next = r;
+        }
+        _mm256_storeu_si256(acc.as_mut_ptr().add(g * 4).cast::<__m256i>(), and_acc);
+    }
+}
+
+/// Explicit AVX-512F fused-accumulator distance row; bit-identical rows
+/// and accumulators to the portable loop.
+#[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+unsafe fn dc_row_distance_acc_avx512<const L: usize>(
+    pm: &[[u64; L]],
+    prev: &[[u64; L]],
+    cur: &mut [[u64; L]],
+    init_d: &[u64; L],
+    init_dm1: &[u64; L],
+    acc: &mut [u64; L],
+) {
+    use std::arch::x86_64::{
+        __m512i, _mm512_and_si512, _mm512_loadu_si512, _mm512_or_si512, _mm512_set1_epi64,
+        _mm512_slli_epi64, _mm512_storeu_si512,
+    };
+    let n = pm.len();
+    let groups = L / 8;
+    for g in 0..groups {
+        let boundary_d = _mm512_loadu_si512(init_d.as_ptr().add(g * 8).cast::<__m512i>());
+        let boundary_dm1 = _mm512_loadu_si512(init_dm1.as_ptr().add(g * 8).cast::<__m512i>());
+        let mut r_next = boundary_d;
+        let mut and_acc: __m512i = _mm512_set1_epi64(-1);
+        for i in (0..n).rev() {
+            let load = |row: &[u64; L]| -> __m512i {
+                _mm512_loadu_si512(row.as_ptr().add(g * 8).cast::<__m512i>())
+            };
+            let deletion = if i + 1 < n {
+                load(&prev[i + 1])
+            } else {
+                boundary_dm1
+            };
+            let substitution = _mm512_slli_epi64::<1>(deletion);
+            let insertion = _mm512_slli_epi64::<1>(load(&prev[i]));
+            let matched = _mm512_or_si512(_mm512_slli_epi64::<1>(r_next), load(&pm[i]));
+            let r = _mm512_and_si512(
+                _mm512_and_si512(deletion, substitution),
+                _mm512_and_si512(insertion, matched),
+            );
+            _mm512_storeu_si512(cur[i].as_mut_ptr().add(g * 8).cast::<__m512i>(), r);
+            and_acc = _mm512_and_si512(and_acc, r);
+            r_next = r;
+        }
+        _mm512_storeu_si512(acc.as_mut_ptr().add(g * 8).cast::<__m512i>(), and_acc);
     }
 }
 
@@ -1705,10 +2078,43 @@ mod tests {
     fn stream_matches_scalar_across_ragged_lifetimes() {
         let mut stream4 = DcLaneStream::<4>::new();
         let mut stream8 = DcLaneStream::<8>::new();
+        let mut stream16 = DcLaneStream::<16>::new();
         for seed in 1..8u64 {
             let windows = ragged_windows(37, seed * 0x9E37);
             drain_stream_against_scalar(&mut stream4, &windows);
             drain_stream_against_scalar(&mut stream8, &windows);
+            drain_stream_against_scalar(&mut stream16, &windows);
+        }
+    }
+
+    #[test]
+    fn sixteen_lane_arena_matches_scalar_bit_for_bit() {
+        // L = 16 dispatches to the AVX-512 row kernels where the host
+        // supports them (two 512-bit vectors per step) and to the
+        // portable loop otherwise; both must be bit-identical to the
+        // scalar kernel.
+        let mut arena = MultiDcArena::<16>::new();
+        let mut fast = MultiDcArena::<16>::new();
+        for seed in 1..6u64 {
+            let texts: Vec<Vec<u8>> = (0..16)
+                .map(|l| dna(18 + (seed as usize * 5 + l * 3) % 46, seed * 11 + l as u64))
+                .collect();
+            let lanes: Vec<MultiLane> = texts
+                .iter()
+                .enumerate()
+                .map(|(l, t)| MultiLane {
+                    text: t,
+                    pattern: &t[..t.len().min(8 + l * 3)],
+                    k_max: 8 + l,
+                })
+                .collect();
+            window_dc_multi_into::<Dna, 16>(&lanes, &mut arena);
+            window_dc_multi_distance_into::<Dna, 16>(&lanes, &mut fast);
+            assert_eq!(arena.outcomes(), fast.outcomes(), "seed={seed}");
+            for (l, lane) in lanes.iter().enumerate() {
+                let scalar = window_dc::<Dna>(lane.text, lane.pattern, lane.k_max).unwrap();
+                assert_lane_matches_scalar(&arena, l, scalar.edit_distance, &scalar.bitvectors);
+            }
         }
     }
 
@@ -1840,6 +2246,120 @@ mod tests {
                 "distance-only streams never touch the row ring"
             );
         }
+    }
+
+    /// Drains `windows` through an unanchored occurrence stream,
+    /// refilling each lane the moment it resolves, checking every
+    /// outcome against the scalar
+    /// [`occurrence_distance_into`](crate::dc::occurrence_distance_into);
+    /// returns the stream's `(rows_issued, scan_ops)` for the drain.
+    // The drain loop indexes `resolved` while the feed macro mutates
+    // lane state; range loops are the clearest shape for that.
+    #[allow(clippy::needless_range_loop)]
+    fn drain_occurrence_stream<const L: usize>(
+        stream: &mut DcLaneStream<L>,
+        windows: &[(Vec<u8>, Vec<u8>, usize)],
+    ) -> (u64, u64) {
+        let mut next = 0usize;
+        let mut loaded: [Option<usize>; L] = [None; L];
+        let mut resolved = Vec::new();
+        let check = |stream: &DcLaneStream<L>, lane: usize, window: usize| {
+            let (text, pattern, k_max) = &windows[window];
+            let mut arena = DcArena::new();
+            let scalar =
+                crate::dc::occurrence_distance_into::<Dna>(text, pattern, *k_max, &mut arena)
+                    .unwrap();
+            assert_eq!(stream.outcome(lane), scalar, "window {window}");
+        };
+        macro_rules! feed {
+            ($lane:expr) => {
+                loop {
+                    if next >= windows.len() {
+                        stream.release_lane($lane);
+                        loaded[$lane] = None;
+                        break;
+                    }
+                    let window = next;
+                    next += 1;
+                    let (text, pattern, k_max) = &windows[window];
+                    match stream.refill_lane::<Dna>($lane, text, pattern, *k_max) {
+                        Ok(LaneLoad::Pending) => {
+                            loaded[$lane] = Some(window);
+                            break;
+                        }
+                        Ok(LaneLoad::Resolved) => check(&stream, $lane, window),
+                        Err(e) => {
+                            let mut arena = DcArena::new();
+                            let scalar = crate::dc::occurrence_distance_into::<Dna>(
+                                text, pattern, *k_max, &mut arena,
+                            );
+                            assert_eq!(scalar.unwrap_err(), e, "window {window} error");
+                        }
+                    }
+                }
+            };
+        }
+        for lane in 0..L {
+            feed!(lane);
+        }
+        while stream.active_lanes() > 0 {
+            resolved.clear();
+            stream.step(&mut resolved);
+            for i in 0..resolved.len() {
+                let lane = resolved[i];
+                check(stream, lane, loaded[lane].expect("resolved lane is loaded"));
+                feed!(lane);
+            }
+        }
+        assert_eq!(next, windows.len(), "every window must be drained");
+        let (issued, _) = stream.take_row_counters();
+        (issued, stream.take_scan_ops())
+    }
+
+    #[test]
+    fn fused_occurrence_stream_matches_unfused_and_scalar() {
+        let mut fused4 = DcLaneStream::<4>::occurrence_scan();
+        let mut unfused4 = DcLaneStream::<4>::occurrence_scan_unfused();
+        let mut fused16 = DcLaneStream::<16>::occurrence_scan();
+        for seed in 1..8u64 {
+            let windows = ragged_windows(31, seed * 0xA5A5);
+            let (fused_issued, fused_scans) = drain_occurrence_stream(&mut fused4, &windows);
+            let (unfused_issued, unfused_scans) = drain_occurrence_stream(&mut unfused4, &windows);
+            drain_occurrence_stream(&mut fused16, &windows);
+            // Fusion changes where the probe reads from, never the
+            // stepping: identical rows at strictly fewer scalar scans.
+            assert_eq!(fused_issued, unfused_issued, "seed={seed}");
+            assert!(unfused_scans > 0, "unfused streams scan every probe");
+            assert!(
+                fused_scans < unfused_scans,
+                "fused {fused_scans} must undercut unfused {unfused_scans} (seed={seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_occurrence_fallback_at_deep_depths_stays_exact() {
+        // An m = 2 pattern nowhere near the text resolves at d = m,
+        // where the padding boundary state's MSB has gone clear and the
+        // fused probe must fall back to the exact column scan.
+        let mut stream = DcLaneStream::<4>::occurrence_scan();
+        let mut arena = DcArena::new();
+        let text = b"CCCCCCCCCCCC".to_vec();
+        let pattern = b"AA".to_vec();
+        let scalar =
+            crate::dc::occurrence_distance_into::<Dna>(&text, &pattern, 4, &mut arena).unwrap();
+        assert_eq!(scalar, Some(2));
+        if stream.refill_lane::<Dna>(0, &text, &pattern, 4).unwrap() == LaneLoad::Pending {
+            let mut resolved = Vec::new();
+            while stream.active_lanes() > 0 {
+                stream.step(&mut resolved);
+            }
+        }
+        assert_eq!(stream.outcome(0), scalar);
+        assert!(
+            stream.scan_ops() > 0,
+            "the d >= m exactness fallback performs a scalar scan"
+        );
     }
 
     #[test]

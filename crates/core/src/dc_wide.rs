@@ -627,6 +627,12 @@ fn occurrence_group<A: Alphabet>(
         lanes[lane].decided = true;
     };
 
+    // Fused hit test: each lane's sentinel word is captured in-flight
+    // while the word loop computes it, so the per-position probes below
+    // read one register-warm value per lane instead of re-gathering the
+    // strided `msb_word` slot from the row buffer.
+    let mut probe = [0u64; L];
+
     // Row 0: R[0][i] = (R[0][i+1] << 1) | PM, all-ones boundary at n.
     {
         let mut r = vec![u64::MAX; lane_stride];
@@ -639,7 +645,11 @@ fn occurrence_group<A: Alphabet>(
                     let old = r[slot];
                     let shifted = (old << 1) | *c;
                     *c = old >> 63;
-                    r[slot] = shifted | scratch.text_pm[i * lane_stride + slot];
+                    let word = shifted | scratch.text_pm[i * lane_stride + slot];
+                    r[slot] = word;
+                    if w == lanes[lane].msb_word {
+                        probe[lane] = word;
+                    }
                 }
             }
             prev[i * lane_stride..(i + 1) * lane_stride].copy_from_slice(&r);
@@ -647,9 +657,7 @@ fn occurrence_group<A: Alphabet>(
                 let state = lanes[lane];
                 if state.loaded && !state.decided && i < state.n {
                     metrics.rows_useful += state.words as u64;
-                    if prev[i * lane_stride + state.msb_word * glen + lane] >> state.msb_bit & 1
-                        == 0
-                    {
+                    if probe[lane] >> state.msb_bit & 1 == 0 {
                         decide(lane, &mut lanes, Some(0));
                     }
                 }
@@ -692,15 +700,18 @@ fn occurrence_group<A: Alphabet>(
                     ins_carry[lane] = ins_src >> 63;
                     let mat = (rn << 1) | mat_carry[lane] | scratch.text_pm[i * lane_stride + slot];
                     mat_carry[lane] = rn >> 63;
-                    cur[i * lane_stride + slot] = del & sub & ins & mat;
+                    let word = del & sub & ins & mat;
+                    cur[i * lane_stride + slot] = word;
+                    if w == lanes[lane].msb_word {
+                        probe[lane] = word;
+                    }
                 }
             }
             for lane in 0..glen {
                 let state = lanes[lane];
                 if state.loaded && !state.decided && i < state.n {
                     metrics.rows_useful += state.words as u64;
-                    if cur[i * lane_stride + state.msb_word * glen + lane] >> state.msb_bit & 1 == 0
-                    {
+                    if probe[lane] >> state.msb_bit & 1 == 0 {
                         decide(lane, &mut lanes, Some(d));
                     }
                 }

@@ -56,6 +56,7 @@ pub mod error;
 pub mod filter;
 pub mod pattern;
 pub mod scoring;
+pub mod simd;
 pub mod tb;
 
 pub use align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};

@@ -404,6 +404,171 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Wider lanes and fused occurrence hit-tests: the 16-lane row kernels
+// and the per-lane AND-accumulator hit test, against the scalar ground
+// truth. These tests carry no feature gates, so the same properties
+// also run under `--no-default-features`, where every width falls back
+// to the portable row kernels.
+// ---------------------------------------------------------------------
+
+use genasm_core::dc::{occurrence_distance_into, DcArena};
+use genasm_core::error::AlignError;
+
+/// One occurrence outcome, as the scalar kernel reports it.
+type Occurrence = Result<Option<usize>, AlignError>;
+
+/// Streams `windows` through an occurrence-mode lane stream in
+/// submission order and returns the per-window outcomes plus the
+/// stream's `(rows_issued, rows_useful)` and scan-op totals.
+fn run_occurrence_stream<const L: usize>(
+    stream: &mut DcLaneStream<L>,
+    windows: &[(Vec<u8>, Vec<u8>, usize)],
+) -> (Vec<Occurrence>, (u64, u64), u64) {
+    let mut outcomes: Vec<Option<Occurrence>> = vec![None; windows.len()];
+    let mut next = 0usize;
+    let mut loaded = [usize::MAX; L];
+    // Feeds `lane` until it holds a pending window or the queue dries.
+    fn feed<const L: usize>(
+        stream: &mut DcLaneStream<L>,
+        lane: usize,
+        windows: &[(Vec<u8>, Vec<u8>, usize)],
+        outcomes: &mut [Option<Occurrence>],
+        next: &mut usize,
+        loaded: &mut [usize; L],
+    ) {
+        loop {
+            if *next >= windows.len() {
+                stream.release_lane(lane);
+                loaded[lane] = usize::MAX;
+                return;
+            }
+            let idx = *next;
+            *next += 1;
+            let (t, p, k) = &windows[idx];
+            match stream.refill_lane::<Dna>(lane, t, p, *k) {
+                Ok(genasm_core::dc_multi::LaneLoad::Pending) => {
+                    loaded[lane] = idx;
+                    return;
+                }
+                Ok(genasm_core::dc_multi::LaneLoad::Resolved) => {
+                    outcomes[idx] = Some(Ok(stream.outcome(lane)));
+                }
+                Err(e) => outcomes[idx] = Some(Err(e)),
+            }
+        }
+    }
+    for lane in 0..L {
+        feed(stream, lane, windows, &mut outcomes, &mut next, &mut loaded);
+    }
+    let mut resolved = Vec::new();
+    while stream.active_lanes() > 0 {
+        resolved.clear();
+        stream.step(&mut resolved);
+        for &lane in &resolved {
+            outcomes[loaded[lane]] = Some(Ok(stream.outcome(lane)));
+            feed(stream, lane, windows, &mut outcomes, &mut next, &mut loaded);
+        }
+    }
+    let rows = stream.take_row_counters();
+    let ops = stream.take_scan_ops();
+    (
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every window drains"))
+            .collect(),
+        rows,
+        ops,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// The 16-lane row kernels are bit-identical to the scalar window
+    /// kernel: same distances, same stored bitvectors, same traceback
+    /// walks — across mixed window sizes, ragged lane counts
+    /// (1..=16 of 16), and early-terminating k budgets.
+    #[test]
+    fn sixteen_lane_rows_match_scalar_window_dc(
+        windows in proptest::collection::vec(
+            (dna_seq(64), dna_seq(64), 0usize..66),
+            1..=16,
+        ),
+    ) {
+        let mut arena = MultiDcArena::<16>::new();
+        let lanes: Vec<MultiLane> = windows
+            .iter()
+            .map(|(t, p, k)| MultiLane { text: t, pattern: p, k_max: *k })
+            .collect();
+        window_dc_multi_into::<Dna, 16>(&lanes, &mut arena);
+        for (l, (t, p, k)) in windows.iter().enumerate() {
+            let scalar = window_dc::<Dna>(t, p, *k).unwrap();
+            prop_assert_eq!(&Ok(scalar.edit_distance), &arena.outcomes()[l], "lane {}", l);
+            let view = arena.lane(l);
+            prop_assert_eq!(view.rows(), scalar.bitvectors.rows(), "lane {}", l);
+            for d in 0..view.rows() {
+                for i in 0..t.len() {
+                    prop_assert_eq!(view.match_at(i, d), scalar.bitvectors.match_at(i, d));
+                    prop_assert_eq!(view.ins_at(i, d), scalar.bitvectors.ins_at(i, d));
+                    prop_assert_eq!(view.del_at(i, d), scalar.bitvectors.del_at(i, d));
+                }
+            }
+            if let Some(d) = scalar.edit_distance {
+                let walk_scalar = window_traceback(
+                    &scalar.bitvectors, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+                let walk_lane = window_traceback(
+                    &view, d, usize::MAX, &TracebackOrder::affine()).unwrap();
+                prop_assert_eq!(walk_scalar.ops, walk_lane.ops, "lane {}", l);
+            }
+        }
+        // Distance-only mode reports the identical distances.
+        let mut fast = MultiDcArena::<16>::new();
+        window_dc_multi_distance_into::<Dna, 16>(&lanes, &mut fast);
+        prop_assert_eq!(arena.outcomes(), fast.outcomes());
+    }
+
+    /// The fused occurrence hit test answers every probe the unfused
+    /// baseline answers, with the identical outcome: both streams match
+    /// the scalar occurrence kernel window for window, issue the same
+    /// row slots (fusion changes how a probe is answered, never the
+    /// walk schedule), and the fused stream never scans more column
+    /// positions than the baseline. The k range deliberately crosses
+    /// `k >= m` so the `d >= m` exact-scan fallback is exercised. Runs
+    /// at 4 and 16 lanes.
+    #[test]
+    fn fused_occurrence_hit_test_matches_scalar_and_unfused(
+        windows in proptest::collection::vec(
+            (dna_seq(48), dna_seq(24), 0usize..32),
+            1..=20,
+        ),
+    ) {
+        let mut scalar_arena = DcArena::new();
+        let scalar: Vec<Occurrence> = windows
+            .iter()
+            .map(|(t, p, k)| occurrence_distance_into::<Dna>(t, p, *k, &mut scalar_arena))
+            .collect();
+
+        let mut fused4 = DcLaneStream::<4>::occurrence_scan();
+        let (out_f4, rows_f4, ops_f4) = run_occurrence_stream(&mut fused4, &windows);
+        let mut unfused4 = DcLaneStream::<4>::occurrence_scan_unfused();
+        let (out_u4, rows_u4, ops_u4) = run_occurrence_stream(&mut unfused4, &windows);
+        prop_assert_eq!(&out_f4, &scalar, "fused x4 vs scalar");
+        prop_assert_eq!(&out_u4, &scalar, "unfused x4 vs scalar");
+        prop_assert_eq!(rows_f4, rows_u4, "fusion must not change the x4 walk schedule");
+        prop_assert!(ops_f4 <= ops_u4, "fused x4 scanned more: {} > {}", ops_f4, ops_u4);
+
+        let mut fused16 = DcLaneStream::<16>::occurrence_scan();
+        let (out_f16, rows_f16, ops_f16) = run_occurrence_stream(&mut fused16, &windows);
+        let mut unfused16 = DcLaneStream::<16>::occurrence_scan_unfused();
+        let (out_u16, rows_u16, ops_u16) = run_occurrence_stream(&mut unfused16, &windows);
+        prop_assert_eq!(&out_f16, &scalar, "fused x16 vs scalar");
+        prop_assert_eq!(&out_u16, &scalar, "unfused x16 vs scalar");
+        prop_assert_eq!(rows_f16, rows_u16, "fusion must not change the x16 walk schedule");
+        prop_assert!(ops_f16 <= ops_u16, "fused x16 scanned more: {} > {}", ops_f16, ops_u16);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Escalating filter cascade: tier-0 soundness and tier-1 bound
 // certification against the legacy scan and the DP ground truth.
 // ---------------------------------------------------------------------

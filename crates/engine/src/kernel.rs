@@ -13,7 +13,9 @@ use genasm_baselines::gotoh::{GotohAligner, GotohMode};
 use genasm_core::align::{AlignArena, Alignment, GenAsmAligner, GenAsmConfig};
 use genasm_core::error::AlignError;
 use genasm_core::scoring::Scoring;
+use genasm_core::simd::{simd_level, SimdLevel};
 use std::any::Any;
+use std::ops::Range;
 
 /// How the GenASM kernel schedules its GenASM-DC work.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -38,46 +40,51 @@ pub enum DcDispatch {
 /// How many `u64` lanes the lock-step schedulers run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum LaneCount {
-    /// 8 lanes when AVX2 is detected at runtime (two 256-bit vectors
-    /// per recurrence step), else 4. With persistent refill the wider
-    /// configuration no longer loses rows to divergent window
-    /// distances, so it is the default.
+    /// Picks the width per execution mode from the detected SIMD tier
+    /// ([`simd_level`]). Full-mode (DC + TB) scheduling scales with the
+    /// vector width — 16 lanes on AVX-512, 8 on AVX2, 4 portable —
+    /// because persistent refill keeps wide configurations from losing
+    /// rows to divergent window distances. Distance-only scans resolve
+    /// to 4 lanes regardless of tier: phase-1 lanes resolve in a
+    /// handful of rows, so wider streams pay more refill latency per
+    /// useful row than the vector width buys back (measured in
+    /// `BENCH_dc_multi.json`'s distance-only legs).
     #[default]
     Auto,
     /// Always 4 lanes (one 256-bit vector per step).
     Four,
-    /// Always 8 lanes.
+    /// Always 8 lanes (two 256-bit vectors per step).
     Eight,
+    /// Always 16 lanes (two 512-bit vectors per step on AVX-512, four
+    /// 256-bit vectors on AVX2).
+    Sixteen,
 }
 
 impl LaneCount {
-    /// The concrete lane width this selection resolves to on this
-    /// host.
+    /// The concrete lane width this selection resolves to on this host
+    /// for **full-mode** (DC + TB) lock-step scheduling.
     pub fn resolve(self) -> usize {
         match self {
             LaneCount::Four => 4,
             LaneCount::Eight => 8,
-            LaneCount::Auto => {
-                if avx2_available() {
-                    8
-                } else {
-                    4
-                }
-            }
+            LaneCount::Sixteen => 16,
+            LaneCount::Auto => match simd_level() {
+                SimdLevel::Avx512 => 16,
+                SimdLevel::Avx2 => 8,
+                SimdLevel::Portable => 4,
+            },
         }
     }
-}
 
-/// Runtime AVX2 detection, honoring the `lockstep-avx2` feature gate
-/// that controls whether the explicit AVX2 row kernels are compiled.
-fn avx2_available() -> bool {
-    #[cfg(all(feature = "lockstep-avx2", target_arch = "x86_64"))]
-    {
-        std::arch::is_x86_feature_detected!("avx2")
-    }
-    #[cfg(not(all(feature = "lockstep-avx2", target_arch = "x86_64")))]
-    {
-        false
+    /// The concrete lane width this selection resolves to for
+    /// **distance-only** (phase-1) scans: explicit widths are honored,
+    /// `Auto` always picks 4 (see [`LaneCount::Auto`]).
+    pub fn resolve_distance(self) -> usize {
+        match self {
+            LaneCount::Four | LaneCount::Auto => 4,
+            LaneCount::Eight => 8,
+            LaneCount::Sixteen => 16,
+        }
     }
 }
 
@@ -109,6 +116,58 @@ impl KernelScratch for NoScratch {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+}
+
+/// A cross-claim alignment session: lock-step lanes that **persist
+/// across work-queue chunk claims**. The engine opens one session per
+/// worker per batch (when the kernel offers one and
+/// [`EngineConfig::persist_lanes`](crate::EngineConfig) is set), feeds
+/// it every claimed index range, and drains the surviving lanes once —
+/// at batch end — instead of once per claim. Results stream out of
+/// `produced` as `(batch index, result)` pairs in resolution order;
+/// every index ever passed to [`run_range`](Self::run_range) is
+/// produced by the time [`finish`](Self::finish) returns.
+///
+/// Sessions never hold the worker's scratch: it is passed into each
+/// call, so the engine can rebuild scratch (and drop the session)
+/// when a claim panics without fighting a stored borrow.
+pub trait AlignSession {
+    /// Queues `range` and advances the lanes while queued work remains,
+    /// leaving in-flight windows loaded for the next claim.
+    fn run_range(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        range: Range<usize>,
+        produced: &mut Vec<(usize, Result<Alignment, AlignError>)>,
+    );
+
+    /// Drains every lane still in flight; after this returns all queued
+    /// indices have been produced.
+    fn finish(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        produced: &mut Vec<(usize, Result<Alignment, AlignError>)>,
+    );
+}
+
+/// The distance-only (phase-1) twin of [`AlignSession`]: persistent
+/// occurrence-scan lanes surviving chunk claims, with the same
+/// queue/drain contract.
+pub trait DistanceSession {
+    /// Queues `range` and advances the lanes while queued work remains.
+    fn run_range(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        range: Range<usize>,
+        produced: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    );
+
+    /// Drains every lane still in flight.
+    fn finish(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        produced: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    );
 }
 
 /// An alignment computation the engine can schedule.
@@ -185,6 +244,28 @@ pub trait Kernel: Send + Sync {
         scratch: &mut dyn KernelScratch,
     ) -> Option<Vec<Result<Option<usize>, AlignError>>> {
         let _ = (jobs, scratch);
+        None
+    }
+
+    /// Opens a cross-claim alignment session over `jobs` (the whole
+    /// batch; the engine feeds claimed index ranges into it), or `None`
+    /// when the kernel has no persistent-lane scheduler — the engine
+    /// then falls back to per-claim [`align_chunk`](Self::align_chunk)
+    /// calls. Sessions must produce results bit-identical to per-claim
+    /// scheduling.
+    fn align_session<'j>(&'j self, jobs: &'j [Job]) -> Option<Box<dyn AlignSession + 'j>> {
+        let _ = jobs;
+        None
+    }
+
+    /// Opens a cross-claim distance session over `jobs`, or `None` to
+    /// fall back to per-claim [`distance_chunk`](Self::distance_chunk)
+    /// calls.
+    fn distance_session<'j>(
+        &'j self,
+        jobs: &'j [DistanceJob],
+    ) -> Option<Box<dyn DistanceSession + 'j>> {
+        let _ = jobs;
         None
     }
 
@@ -266,9 +347,17 @@ impl GenAsmKernel {
         self.dispatch
     }
 
-    /// The concrete lane width the kernel's lock-step schedulers run.
+    /// The concrete lane width the kernel's full-mode lock-step
+    /// schedulers run.
     pub fn lane_width(&self) -> usize {
         self.lanes.resolve()
+    }
+
+    /// The concrete lane width the kernel's distance-only streams run
+    /// (`Auto` picks 4 here regardless of SIMD tier; see
+    /// [`LaneCount::resolve_distance`]).
+    pub fn distance_lane_width(&self) -> usize {
+        self.lanes.resolve_distance()
     }
 }
 
@@ -337,20 +426,26 @@ impl Kernel for GenAsmKernel {
         let LockstepScratch {
             stream4,
             stream8,
+            stream16,
             multi4,
             multi8,
+            multi16,
             scalar,
             tb,
             obs,
             ..
         } = ls;
         Some(match (self.dispatch, self.lane_width()) {
+            (DcDispatch::Chunked, 16) => {
+                lockstep::align_chunk_chunked(config, jobs, multi16, scalar, tb, obs)
+            }
             (DcDispatch::Chunked, 8) => {
                 lockstep::align_chunk_chunked(config, jobs, multi8, scalar, tb, obs)
             }
             (DcDispatch::Chunked, _) => {
                 lockstep::align_chunk_chunked(config, jobs, multi4, scalar, tb, obs)
             }
+            (_, 16) => lockstep::align_chunk_streaming(config, jobs, stream16, scalar, tb, obs),
             (_, 8) => lockstep::align_chunk_streaming(config, jobs, stream8, scalar, tb, obs),
             (_, _) => lockstep::align_chunk_streaming(config, jobs, stream4, scalar, tb, obs),
         })
@@ -393,15 +488,44 @@ impl Kernel for GenAsmKernel {
         if let Some(o) = ls.obs.as_mut() {
             o.spans.begin("dc");
         }
-        let results = if self.lane_width() == 8 {
-            lockstep::distance_chunk_streaming(jobs, &mut ls.dstream8)
-        } else {
-            lockstep::distance_chunk_streaming(jobs, &mut ls.dstream4)
+        let results = match self.distance_lane_width() {
+            16 => lockstep::distance_chunk_streaming(jobs, &mut ls.dstream16),
+            8 => lockstep::distance_chunk_streaming(jobs, &mut ls.dstream8),
+            _ => lockstep::distance_chunk_streaming(jobs, &mut ls.dstream4),
         };
         if let Some(o) = ls.obs.as_mut() {
             o.spans.end("dc");
         }
         Some(results)
+    }
+
+    fn align_session<'j>(&'j self, jobs: &'j [Job]) -> Option<Box<dyn AlignSession + 'j>> {
+        // Persistent sessions are the streaming scheduler's shape;
+        // chunked and scalar dispatch keep per-claim scheduling (the
+        // A/B baselines), as do configs outside the lock-step domain.
+        if self.dispatch != DcDispatch::Lockstep || !lockstep::lockstep_eligible(self.config()) {
+            return None;
+        }
+        let config = self.aligner.config();
+        Some(match self.lane_width() {
+            16 => Box::new(lockstep::StreamSession::<16>::new(config, jobs)),
+            8 => Box::new(lockstep::StreamSession::<8>::new(config, jobs)),
+            _ => Box::new(lockstep::StreamSession::<4>::new(config, jobs)),
+        })
+    }
+
+    fn distance_session<'j>(
+        &'j self,
+        jobs: &'j [DistanceJob],
+    ) -> Option<Box<dyn DistanceSession + 'j>> {
+        if self.dispatch == DcDispatch::Scalar {
+            return None;
+        }
+        Some(match self.distance_lane_width() {
+            16 => Box::new(lockstep::DistanceStreamSession::<16>::new(jobs)),
+            8 => Box::new(lockstep::DistanceStreamSession::<8>::new(jobs)),
+            _ => Box::new(lockstep::DistanceStreamSession::<4>::new(jobs)),
+        })
     }
 
     fn preferred_chunk(&self) -> usize {

@@ -73,7 +73,10 @@ pub mod stream;
 
 pub use engine::{CancelToken, Engine, EngineConfig};
 pub use job::{DistanceJob, Job, JobError, KeyedDistance, KeyedResult};
-pub use kernel::{DcDispatch, GenAsmKernel, GotohKernel, Kernel, KernelScratch, LaneCount};
+pub use kernel::{
+    AlignSession, DcDispatch, DistanceSession, GenAsmKernel, GotohKernel, Kernel, KernelScratch,
+    LaneCount,
+};
 pub use lockstep::LockstepScratch;
 pub use obs::WorkerObs;
 pub use stats::{lane_occupancy_ratio, BatchOutput, BatchStats};

@@ -29,6 +29,7 @@
 //! on the same arena-backed kernels.
 
 use crate::job::{DistanceJob, Job};
+use crate::kernel::{AlignSession, DistanceSession, KernelScratch};
 use crate::obs::{retire_job, stamp_job, WorkerObs};
 use genasm_core::align::{
     block_occurrence_distance_into, drive_window_walk, AlignArena, Alignment, AlignmentMode,
@@ -36,11 +37,15 @@ use genasm_core::align::{
 };
 use genasm_core::alphabet::Dna;
 use genasm_core::dc::MAX_WINDOW;
+use genasm_core::dc_multi::StreamLaneBitvectors;
 use genasm_core::dc_multi::{
     window_dc_multi_into, DcLaneStream, LaneLoad, MultiDcArena, MultiLane, DEFAULT_LANES,
 };
 use genasm_core::error::AlignError;
-use genasm_core::tb::{TbWalker, TracebackSource};
+use genasm_core::tb::{drain_walkers_lockstep, TbCaseLut, TbWalker, TracebackSource};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
 use std::time::Instant;
 
 /// Windows processed per lock-step DC pass under the default (4-lane)
@@ -85,10 +90,13 @@ impl TbCounters {
 pub struct LockstepScratch {
     pub(crate) stream4: DcLaneStream<4>,
     pub(crate) stream8: DcLaneStream<8>,
+    pub(crate) stream16: DcLaneStream<16>,
     pub(crate) multi4: MultiDcArena<4>,
     pub(crate) multi8: MultiDcArena<8>,
+    pub(crate) multi16: MultiDcArena<16>,
     pub(crate) dstream4: DcLaneStream<4>,
     pub(crate) dstream8: DcLaneStream<8>,
+    pub(crate) dstream16: DcLaneStream<16>,
     pub(crate) scalar: AlignArena,
     pub(crate) tb: TbCounters,
     /// Per-worker telemetry installed by the engine when its
@@ -103,10 +111,13 @@ impl Default for LockstepScratch {
         LockstepScratch {
             stream4: DcLaneStream::new(),
             stream8: DcLaneStream::new(),
+            stream16: DcLaneStream::new(),
             multi4: MultiDcArena::new(),
             multi8: MultiDcArena::new(),
+            multi16: MultiDcArena::new(),
             dstream4: DcLaneStream::occurrence_scan(),
             dstream8: DcLaneStream::occurrence_scan(),
+            dstream16: DcLaneStream::occurrence_scan(),
             scalar: AlignArena::new(),
             tb: TbCounters::default(),
             obs: None,
@@ -121,15 +132,38 @@ impl LockstepScratch {
         let parts = [
             self.stream4.take_row_counters(),
             self.stream8.take_row_counters(),
+            self.stream16.take_row_counters(),
             self.multi4.take_row_counters(),
             self.multi8.take_row_counters(),
+            self.multi16.take_row_counters(),
             self.dstream4.take_row_counters(),
             self.dstream8.take_row_counters(),
+            self.dstream16.take_row_counters(),
         ];
         parts
             .iter()
             .fold((0, 0), |(i, u), &(pi, pu)| (i + pi, u + pu))
     }
+}
+
+/// Selects the `L`-lane member out of a scratch's width-monomorphized
+/// stream triple. The widths unify through `Any` — when `L` matches a
+/// member's width the downcast is the identity, and the `match` makes
+/// any unsupported width an immediate panic instead of a type error.
+fn stream_for<'a, const L: usize>(
+    s4: &'a mut DcLaneStream<4>,
+    s8: &'a mut DcLaneStream<8>,
+    s16: &'a mut DcLaneStream<16>,
+) -> &'a mut DcLaneStream<L> {
+    let picked: &mut dyn Any = match L {
+        4 => s4,
+        8 => s8,
+        16 => s16,
+        _ => panic!("unsupported lane width {L}"),
+    };
+    picked
+        .downcast_mut::<DcLaneStream<L>>()
+        .expect("lane width L selects the matching stream")
 }
 
 /// Whether a configuration can run on the lock-step kernels: semiglobal
@@ -176,9 +210,12 @@ struct TbTask {
     walker: TbWalker,
 }
 
-/// The persistent-lane streaming scheduler state for one chunk of
-/// jobs, bundled so the feed/resolve steps can be methods instead of
-/// functions with eight parameters.
+/// The persistent-lane streaming scheduler state for one scheduling
+/// pass, bundled so the feed/resolve steps can be methods instead of
+/// functions with eight parameters. The job queue, lane slots and
+/// output vector are *borrowed* — a [`StreamSession`] owns them across
+/// work-queue claims (so lanes persist between claims), while the
+/// per-chunk [`align_chunk_streaming`] owns them on its stack.
 struct StreamRun<'j, 's, const L: usize> {
     config: &'j GenAsmConfig,
     jobs: &'j [Job],
@@ -186,11 +223,22 @@ struct StreamRun<'j, 's, const L: usize> {
     scalar: &'s mut AlignArena,
     tb: &'s mut TbCounters,
     obs: &'s mut Option<WorkerObs>,
-    slots: Vec<Option<Active<'j>>>,
-    results: Vec<Option<Result<Alignment, AlignError>>>,
-    next_job: usize,
-    /// When tracing, the instant the rolling job queue first ran dry —
-    /// the start of the tail-drain phase the "drain" span covers.
+    slots: &'s mut Vec<Option<Active<'j>>>,
+    /// The rolling ready queue of job indices not yet pulled onto a
+    /// lane. Indices are batch-global; results come back tagged.
+    queue: &'s mut VecDeque<usize>,
+    /// Resolved jobs, in resolution order: `(index, result)`.
+    out: &'s mut Vec<(usize, Result<Alignment, AlignError>)>,
+    /// The configured traceback order compiled to a case LUT, so the
+    /// drain queue's walkers batch their case checks in lock step.
+    lut: &'s TbCaseLut,
+    /// `true` drains every in-flight lane before returning (chunk
+    /// scheduling, session finish); `false` stops stepping the moment
+    /// the queue runs dry, leaving lanes loaded for the next claim.
+    drain: bool,
+    /// When tracing a draining pass, the instant the rolling job queue
+    /// first ran dry — the start of the tail-drain phase the "drain"
+    /// span covers.
     drained_at: Option<Instant>,
 }
 
@@ -200,7 +248,7 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
         let Active { idx, walk, started } = self.slots[lane].take().expect("slot is active");
         self.tb.absorb(walk.stats());
         retire_job(self.obs, started);
-        self.results[idx] = Some(Err(e));
+        self.out.push((idx, Err(e)));
     }
 
     /// First half of resolving `lane`: checks the DC outcome and
@@ -217,19 +265,34 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
     }
 
     /// Second half: drains the queue, running every collected walker's
-    /// case checks back-to-back — the traceback analogue of a lock-step
-    /// DC pass. Workers thereby batch the TB work of all windows that
-    /// resolved in the same step instead of serializing a walk inside
-    /// each alignment before touching the next lane.
+    /// case checks **in lock step** ([`drain_walkers_lockstep`]) — the
+    /// traceback analogue of a lock-step DC pass. The drain queue lines
+    /// the resolved windows' walkers up back-to-back precisely so their
+    /// per-step case checks batch (four walkers per vector round on
+    /// AVX2) instead of serializing a whole walk per lane. Case
+    /// decisions, emitted operations and TB counters are identical to
+    /// the sequential [`TbWalker::run`] under the configured order.
     fn drain_tracebacks(&mut self, queue: &mut Vec<TbTask>) {
-        for TbTask { lane, mut walker } in queue.drain(..) {
-            let (walked, stored_words) = {
-                let view = self.stream.lane(lane);
-                (
-                    walker.run(&view, &self.config.order),
-                    TracebackSource::stored_words(&view),
-                )
-            };
+        if queue.is_empty() {
+            return;
+        }
+        let lanes: Vec<usize> = queue.iter().map(|t| t.lane).collect();
+        let walkers: Vec<TbWalker> = queue.drain(..).map(|t| t.walker).collect();
+        let drained: Vec<(TbWalker, usize, Result<(), AlignError>)> = {
+            let stream = &*self.stream;
+            let mut tasks: Vec<(TbWalker, StreamLaneBitvectors<'_, L>)> = walkers
+                .into_iter()
+                .zip(lanes.iter())
+                .map(|(walker, &lane)| (walker, stream.lane(lane)))
+                .collect();
+            let walked = drain_walkers_lockstep(&mut tasks, self.lut);
+            tasks
+                .into_iter()
+                .zip(walked)
+                .map(|((walker, view), r)| (walker, TracebackSource::stored_words(&view), r))
+                .collect()
+        };
+        for ((walker, stored_words, walked), lane) in drained.into_iter().zip(lanes) {
             let step = walked.and_then(|()| {
                 self.slots[lane]
                     .as_mut()
@@ -254,19 +317,18 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
 
     /// Tops `lane` up from the rolling ready queue: the lane's own
     /// walk's next window when it has one, else the next job from the
-    /// chunk — looping through instant resolutions, finished walks and
+    /// queue — looping through instant resolutions, finished walks and
     /// error jobs until the lane holds a pending window or the queue
-    /// runs dry (then the lane is released and idles through the tail).
-    /// `queue` is the worker's drained traceback queue, borrowed for
-    /// instant resolutions.
+    /// runs dry (then the lane is released; on a draining pass it idles
+    /// through the tail, on a persistent pass it waits for the next
+    /// claim's jobs). `queue` is the worker's drained traceback queue,
+    /// borrowed for instant resolutions.
     fn feed(&mut self, lane: usize, queue: &mut Vec<TbTask>) {
         loop {
             if self.slots[lane].is_none() {
                 // Pull the next job into this lane.
                 let mut pulled = false;
-                while self.next_job < self.jobs.len() {
-                    let idx = self.next_job;
-                    self.next_job += 1;
+                while let Some(idx) = self.queue.pop_front() {
                     let job = &self.jobs[idx];
                     #[cfg(feature = "chaos")]
                     genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
@@ -277,11 +339,12 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                             pulled = true;
                             break;
                         }
-                        Err(e) => self.results[idx] = Some(Err(e)),
+                        Err(e) => self.out.push((idx, Err(e))),
                     }
                 }
                 if !pulled {
-                    if self.drained_at.is_none()
+                    if self.drain
+                        && self.drained_at.is_none()
                         && self.obs.as_ref().is_some_and(|o| o.spans.is_enabled())
                     {
                         self.drained_at = Some(Instant::now());
@@ -297,7 +360,7 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                         self.slots[lane].take().expect("slot is active");
                     self.tb.absorb(walk.stats());
                     retire_job(self.obs, started);
-                    self.results[idx] = Some(Ok(walk.finish()));
+                    self.out.push((idx, Ok(walk.finish())));
                 }
                 Some(req) if req.global_final => {
                     // Unreachable for eligible configs (semiglobal mode
@@ -313,7 +376,7 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                         .and_then(|()| drive_window_walk::<Dna>(&mut walk, self.scalar));
                     self.tb.absorb(walk.stats());
                     retire_job(self.obs, started);
-                    self.results[idx] = Some(driven.map(|()| walk.finish()));
+                    self.out.push((idx, driven.map(|()| walk.finish())));
                 }
                 Some(req) => {
                     match self.stream.refill_lane::<Dna>(
@@ -328,6 +391,59 @@ impl<'j, const L: usize> StreamRun<'j, '_, L> {
                     }
                 }
             }
+        }
+    }
+
+    /// One scheduling pass: feeds every empty lane, then steps the
+    /// stream — collecting and lock-step-draining each step's resolved
+    /// tracebacks, then refilling the freed lanes — until either every
+    /// lane drains (`self.drain`) or the job queue runs dry with the
+    /// surviving lanes left loaded for the caller's next pass.
+    fn pump(&mut self, tb_queue: &mut Vec<TbTask>) {
+        let tracing = self.obs.as_ref().is_some_and(|o| o.spans.is_enabled());
+        for lane in 0..L {
+            if self.slots[lane].is_none() {
+                self.feed(lane, tb_queue);
+            }
+        }
+        let mut resolved = Vec::with_capacity(L);
+        // When tracing, a "dc" span covers each contiguous run of DC
+        // steps (from the first step after a refill until a lane
+        // resolves) — per-step spans would be far too fine to read in
+        // a trace viewer.
+        let mut dc_started: Option<Instant> = None;
+        while self.stream.active_lanes() > 0 && (self.drain || !self.queue.is_empty()) {
+            if tracing && dc_started.is_none() {
+                dc_started = Some(Instant::now());
+            }
+            resolved.clear();
+            self.stream.step(&mut resolved);
+            if resolved.is_empty() {
+                continue;
+            }
+            if let Some(o) = self.obs.as_mut() {
+                if let Some(t0) = dc_started.take() {
+                    o.spans.span_from("dc", t0);
+                }
+                o.spans.begin("tb");
+            }
+            // Collect every traceback this step produced, drain them as
+            // one batch, then refill the freed lanes.
+            for &lane in &resolved {
+                self.collect_traceback(lane, tb_queue);
+            }
+            self.drain_tracebacks(tb_queue);
+            if let Some(o) = self.obs.as_mut() {
+                o.spans.end("tb");
+            }
+            for &lane in &resolved {
+                self.feed(lane, tb_queue);
+            }
+        }
+        // The tail drain — from the moment the job queue ran dry until
+        // the last lane resolved — recorded retroactively as one span.
+        if let (Some(t0), Some(o)) = (self.drained_at, self.obs.as_mut()) {
+            o.spans.span_from("drain", t0);
         }
     }
 }
@@ -354,7 +470,11 @@ pub(crate) fn align_chunk_streaming<const L: usize>(
         return align_chunk_fallback(config, jobs, scalar, tb, obs);
     }
 
-    let tracing = obs.as_ref().is_some_and(|o| o.spans.is_enabled());
+    let lut = TbCaseLut::new(&config.order);
+    let mut slots: Vec<Option<Active<'_>>> = std::iter::repeat_with(|| None).take(L).collect();
+    let mut queue: VecDeque<usize> = (0..jobs.len()).collect();
+    let mut out: Vec<(usize, Result<Alignment, AlignError>)> = Vec::with_capacity(jobs.len());
+    let mut tb_queue: Vec<TbTask> = Vec::with_capacity(L);
     let mut run = StreamRun {
         config,
         jobs,
@@ -362,58 +482,118 @@ pub(crate) fn align_chunk_streaming<const L: usize>(
         scalar,
         tb,
         obs,
-        slots: std::iter::repeat_with(|| None).take(L).collect(),
-        results: std::iter::repeat_with(|| None).take(jobs.len()).collect(),
-        next_job: 0,
+        slots: &mut slots,
+        queue: &mut queue,
+        out: &mut out,
+        lut: &lut,
+        drain: true,
         drained_at: None,
     };
-    let mut tb_queue: Vec<TbTask> = Vec::with_capacity(L);
-    for lane in 0..L {
-        run.feed(lane, &mut tb_queue);
-    }
-    let mut resolved = Vec::with_capacity(L);
-    // When tracing, a "dc" span covers each contiguous run of DC steps
-    // (from the first step after a refill until a lane resolves) —
-    // per-step spans would be far too fine to read in a trace viewer.
-    let mut dc_started: Option<Instant> = None;
-    while run.stream.active_lanes() > 0 {
-        if tracing && dc_started.is_none() {
-            dc_started = Some(Instant::now());
-        }
-        resolved.clear();
-        run.stream.step(&mut resolved);
-        if resolved.is_empty() {
-            continue;
-        }
-        if let Some(o) = run.obs.as_mut() {
-            if let Some(t0) = dc_started.take() {
-                o.spans.span_from("dc", t0);
-            }
-            o.spans.begin("tb");
-        }
-        // Collect every traceback this step produced, drain them as one
-        // batch, then refill the freed lanes.
-        for &lane in &resolved {
-            run.collect_traceback(lane, &mut tb_queue);
-        }
-        run.drain_tracebacks(&mut tb_queue);
-        if let Some(o) = run.obs.as_mut() {
-            o.spans.end("tb");
-        }
-        for &lane in &resolved {
-            run.feed(lane, &mut tb_queue);
-        }
-    }
-    // The tail drain — from the moment the job queue ran dry until the
-    // last lane resolved — recorded retroactively as one span.
-    if let (Some(t0), Some(o)) = (run.drained_at, run.obs.as_mut()) {
-        o.spans.span_from("drain", t0);
-    }
+    run.pump(&mut tb_queue);
 
-    run.results
+    let mut results: Vec<Option<Result<Alignment, AlignError>>> =
+        std::iter::repeat_with(|| None).take(jobs.len()).collect();
+    for (idx, result) in out {
+        results[idx] = Some(result);
+    }
+    results
         .into_iter()
         .map(|slot| slot.expect("every job in the chunk is resolved"))
         .collect()
+}
+
+/// The cross-claim persistent-lane alignment session behind
+/// [`Kernel::align_session`](crate::Kernel::align_session): the
+/// streaming scheduler's queue, lane slots and traceback drain queue,
+/// owned across the engine's work-queue chunk claims. Each
+/// [`run_range`](AlignSession::run_range) extends the rolling job
+/// queue and advances the lanes only while queued work remains —
+/// in-flight windows stay loaded between claims instead of draining at
+/// every chunk boundary, so the per-chunk drain tail (the dominant
+/// occupancy loss of per-claim scheduling at wide lane counts) is paid
+/// once per batch, in [`finish`](AlignSession::finish).
+pub(crate) struct StreamSession<'j, const L: usize> {
+    config: &'j GenAsmConfig,
+    jobs: &'j [Job],
+    slots: Vec<Option<Active<'j>>>,
+    queue: VecDeque<usize>,
+    lut: TbCaseLut,
+    tb_queue: Vec<TbTask>,
+}
+
+impl<'j, const L: usize> StreamSession<'j, L> {
+    /// A session over `jobs` with empty lanes and an empty queue. The
+    /// config must be lock-step eligible (the kernel checks before
+    /// constructing).
+    pub(crate) fn new(config: &'j GenAsmConfig, jobs: &'j [Job]) -> Self {
+        debug_assert!(lockstep_eligible(config));
+        StreamSession {
+            config,
+            jobs,
+            slots: std::iter::repeat_with(|| None).take(L).collect(),
+            queue: VecDeque::new(),
+            lut: TbCaseLut::new(&config.order),
+            tb_queue: Vec::with_capacity(L),
+        }
+    }
+
+    /// Runs one scheduling pass over the session's queue on `scratch`'s
+    /// `L`-lane stream.
+    fn pump_on(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        out: &mut Vec<(usize, Result<Alignment, AlignError>)>,
+        drain: bool,
+    ) {
+        let ls = scratch
+            .as_any_mut()
+            .downcast_mut::<LockstepScratch>()
+            .expect("lock-step sessions require LockstepScratch");
+        let LockstepScratch {
+            stream4,
+            stream8,
+            stream16,
+            scalar,
+            tb,
+            obs,
+            ..
+        } = ls;
+        let mut run = StreamRun {
+            config: self.config,
+            jobs: self.jobs,
+            stream: stream_for::<L>(stream4, stream8, stream16),
+            scalar,
+            tb,
+            obs,
+            slots: &mut self.slots,
+            queue: &mut self.queue,
+            out,
+            lut: &self.lut,
+            drain,
+            drained_at: None,
+        };
+        run.pump(&mut self.tb_queue);
+    }
+}
+
+impl<const L: usize> AlignSession for StreamSession<'_, L> {
+    fn run_range(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        range: Range<usize>,
+        produced: &mut Vec<(usize, Result<Alignment, AlignError>)>,
+    ) {
+        self.queue.extend(range);
+        self.pump_on(scratch, produced, false);
+    }
+
+    fn finish(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        produced: &mut Vec<(usize, Result<Alignment, AlignError>)>,
+    ) {
+        self.pump_on(scratch, produced, true);
+    }
 }
 
 /// Scalar wholesale fallback for configurations outside the lock-step
@@ -601,6 +781,8 @@ struct BlockSum {
     folded: usize,
     /// Sum of folded block distances.
     sum: usize,
+    /// Blocks issued onto lanes so far (the next block to scan).
+    issued: usize,
     /// `true` once the job resolved (all blocks folded, budget
     /// exceeded, or error): its remaining blocks are skipped.
     decided: bool,
@@ -617,41 +799,84 @@ pub(crate) fn distance_chunk_streaming<const L: usize>(
     jobs: &[DistanceJob],
     stream: &mut DcLaneStream<L>,
 ) -> Vec<Result<Option<usize>, AlignError>> {
+    let mut session = DistanceStreamSession::<L>::new(jobs);
+    let mut out: Vec<(usize, Result<Option<usize>, AlignError>)> = Vec::with_capacity(jobs.len());
+    session.enqueue(0..jobs.len(), &mut out);
+    session.run_on(stream, &mut out, true);
+
     let mut results: Vec<Option<Result<Option<usize>, AlignError>>> = vec![None; jobs.len()];
-    let mut sums: Vec<BlockSum> = jobs
-        .iter()
-        .map(|job| BlockSum {
-            outcomes: vec![None; job.pattern.len().div_ceil(MAX_WINDOW)],
-            ..BlockSum::default()
-        })
-        .collect();
-    // Empty patterns have no blocks; resolve them up front with the
-    // scalar metric's error.
-    for (idx, job) in jobs.iter().enumerate() {
-        if job.pattern.is_empty() {
-            results[idx] = Some(Err(AlignError::EmptyPattern));
-            sums[idx].decided = true;
+    for (idx, result) in out {
+        results[idx] = Some(result);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every distance job in the chunk is resolved"))
+        .collect()
+}
+
+/// The cross-claim persistent-lane distance session behind
+/// [`Kernel::distance_session`](crate::Kernel::distance_session): the
+/// occurrence stream's block queue, per-job accumulators and lane
+/// bookkeeping, owned across the engine's work-queue chunk claims.
+/// Blocks in flight on the lanes survive claim boundaries; only
+/// [`finish`](DistanceSession::finish) drains the stream.
+pub(crate) struct DistanceStreamSession<'j, const L: usize> {
+    jobs: &'j [DistanceJob],
+    /// Per-job accumulation state, for the whole batch up front (jobs
+    /// arrive by range, in order, so the allocation is never wasted).
+    sums: Vec<BlockSum>,
+    /// Undecided job indices with blocks left to issue, in job order.
+    queue: VecDeque<usize>,
+    /// The (job, block) each lane currently carries.
+    loaded: [Option<(usize, usize)>; L],
+}
+
+impl<'j, const L: usize> DistanceStreamSession<'j, L> {
+    pub(crate) fn new(jobs: &'j [DistanceJob]) -> Self {
+        DistanceStreamSession {
+            jobs,
+            sums: jobs
+                .iter()
+                .map(|job| BlockSum {
+                    outcomes: vec![None; job.pattern.len().div_ceil(MAX_WINDOW)],
+                    ..BlockSum::default()
+                })
+                .collect(),
+            queue: VecDeque::new(),
+            loaded: [None; L],
         }
     }
 
-    // The rolling block queue: (job, block) pairs in job order.
-    let mut next_job = 0usize;
-    let mut next_block = 0usize;
-    // The (job, block) each lane currently carries.
-    let mut loaded: [Option<(usize, usize)>; L] = [None; L];
+    /// Admits a claimed range of jobs into the rolling block queue.
+    /// Empty patterns have no blocks; they resolve immediately with
+    /// the scalar metric's error.
+    fn enqueue(
+        &mut self,
+        range: Range<usize>,
+        out: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    ) {
+        for idx in range {
+            if self.jobs[idx].pattern.is_empty() {
+                self.sums[idx].decided = true;
+                out.push((idx, Err(AlignError::EmptyPattern)));
+            } else {
+                self.queue.push_back(idx);
+            }
+        }
+    }
 
     /// Buffers one block outcome and folds the job's completed ordered
     /// prefix, mirroring the scalar reference's in-order short-circuit
     /// rules exactly.
     fn absorb(
+        &mut self,
         idx: usize,
         block: usize,
         outcome: Result<Option<usize>, AlignError>,
-        jobs: &[DistanceJob],
-        sums: &mut [BlockSum],
-        results: &mut [Option<Result<Option<usize>, AlignError>>],
+        out: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
     ) {
-        let state = &mut sums[idx];
+        let k_max = self.jobs[idx].k_max;
+        let state = &mut self.sums[idx];
         if state.decided {
             return;
         }
@@ -664,105 +889,179 @@ pub(crate) fn distance_chunk_streaming<const L: usize>(
                 Ok(Some(d)) => {
                     state.sum += d;
                     state.folded += 1;
-                    if state.sum > jobs[idx].k_max {
+                    if state.sum > k_max {
                         state.decided = true;
-                        results[idx] = Some(Ok(None));
+                        out.push((idx, Ok(None)));
                     } else if state.folded == state.outcomes.len() {
                         state.decided = true;
-                        results[idx] = Some(Ok(Some(state.sum)));
+                        out.push((idx, Ok(Some(state.sum))));
                     }
                 }
                 // A block past the budget caps the sum past it too.
                 Ok(None) => {
                     state.decided = true;
-                    results[idx] = Some(Ok(None));
+                    out.push((idx, Ok(None)));
                 }
                 Err(e) => {
                     state.decided = true;
-                    results[idx] = Some(Err(e));
+                    out.push((idx, Err(e)));
                 }
             }
         }
     }
 
-    // Tops `lane` up from the block queue, skipping blocks of decided
-    // jobs and looping through instant resolutions until the lane
-    // holds a pending scan or the queue runs dry.
-    macro_rules! feed {
-        ($lane:expr) => {
-            loop {
-                // Advance to the next undecided job's next block.
-                while next_job < jobs.len()
-                    && (sums[next_job].decided
-                        || next_block * MAX_WINDOW >= jobs[next_job].pattern.len())
+    /// Tops `lane` up from the block queue, skipping blocks of decided
+    /// jobs and looping through instant resolutions until the lane
+    /// holds a pending scan or the queue runs dry (then the lane is
+    /// released; it refills from the next claim's jobs).
+    fn feed_lane(
+        &mut self,
+        stream: &mut DcLaneStream<L>,
+        lane: usize,
+        out: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    ) {
+        loop {
+            // Drop decided and fully-issued jobs off the queue front.
+            while let Some(&front) = self.queue.front() {
+                if self.sums[front].decided
+                    || self.sums[front].issued * MAX_WINDOW >= self.jobs[front].pattern.len()
                 {
-                    next_job += 1;
-                    next_block = 0;
-                }
-                if next_job >= jobs.len() {
-                    stream.release_lane($lane);
-                    loaded[$lane] = None;
+                    self.queue.pop_front();
+                } else {
                     break;
                 }
-                let idx = next_job;
-                let block_no = next_block;
-                let job = &jobs[idx];
-                #[cfg(feature = "chaos")]
-                genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
-                let block_start = block_no * MAX_WINDOW;
-                let block =
-                    &job.pattern[block_start..(block_start + MAX_WINDOW).min(job.pattern.len())];
-                next_block += 1;
-                match stream.refill_lane::<Dna>($lane, &job.text, block, job.k_max) {
-                    Ok(LaneLoad::Pending) => {
-                        loaded[$lane] = Some((idx, block_no));
-                        break;
-                    }
-                    Ok(LaneLoad::Resolved) => {
-                        let outcome = Ok(stream.outcome($lane));
-                        absorb(idx, block_no, outcome, jobs, &mut sums, &mut results);
-                    }
-                    Err(e) => absorb(idx, block_no, Err(e), jobs, &mut sums, &mut results),
-                }
             }
-        };
+            let Some(&idx) = self.queue.front() else {
+                stream.release_lane(lane);
+                self.loaded[lane] = None;
+                return;
+            };
+            let block_no = self.sums[idx].issued;
+            self.sums[idx].issued += 1;
+            let job = &self.jobs[idx];
+            #[cfg(feature = "chaos")]
+            genasm_chaos::check(genasm_chaos::sites::ENGINE_KERNEL_PANIC, job.key);
+            let block_start = block_no * MAX_WINDOW;
+            let block =
+                &job.pattern[block_start..(block_start + MAX_WINDOW).min(job.pattern.len())];
+            match stream.refill_lane::<Dna>(lane, &job.text, block, job.k_max) {
+                Ok(LaneLoad::Pending) => {
+                    self.loaded[lane] = Some((idx, block_no));
+                    return;
+                }
+                Ok(LaneLoad::Resolved) => {
+                    let outcome = Ok(stream.outcome(lane));
+                    self.absorb(idx, block_no, outcome, out);
+                }
+                Err(e) => self.absorb(idx, block_no, Err(e), out),
+            }
+        }
     }
 
-    // The drain loops index `loaded`/`resolved` while the feed macro
-    // mutates lane state; range loops are the clearest shape for that.
-    #[allow(clippy::needless_range_loop)]
-    for lane in 0..L {
-        feed!(lane);
-    }
-    let mut resolved = Vec::with_capacity(L);
-    while stream.active_lanes() > 0 {
-        resolved.clear();
-        stream.step(&mut resolved);
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..resolved.len() {
-            let lane = resolved[i];
-            let (idx, block_no) = loaded[lane].expect("resolved lane is loaded");
-            let outcome = Ok(stream.outcome(lane));
-            absorb(idx, block_no, outcome, jobs, &mut sums, &mut results);
-            feed!(lane);
-        }
-        // A resolution can decide a job early (budget exceeded or
-        // error); its sibling blocks still in flight on other lanes
-        // would burn rows to no purpose, so hand those lanes fresh
-        // work immediately — the scalar reference short-circuits after
-        // the deciding block the same way.
+    /// One scheduling pass on `stream`: recycles idle and stale lanes,
+    /// then steps until either the stream drains (`drain`) or the block
+    /// queue runs dry with in-flight scans left loaded for the caller's
+    /// next pass.
+    fn run_on(
+        &mut self,
+        stream: &mut DcLaneStream<L>,
+        out: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+        drain: bool,
+    ) {
+        // The drain loops index `loaded`/`resolved` while the feed
+        // mutates lane state; range loops are the clearest shape.
         #[allow(clippy::needless_range_loop)]
         for lane in 0..L {
-            if loaded[lane].is_some_and(|(idx, _)| sums[idx].decided) {
-                feed!(lane);
+            // A lane can come in stale: its job was decided by a
+            // sibling block at the tail of the previous pass.
+            if self.loaded[lane].is_none()
+                || self.loaded[lane].is_some_and(|(idx, _)| self.sums[idx].decided)
+            {
+                self.feed_lane(stream, lane, out);
+            }
+        }
+        let mut resolved = Vec::with_capacity(L);
+        while stream.active_lanes() > 0 && (drain || !self.queue.is_empty()) {
+            resolved.clear();
+            stream.step(&mut resolved);
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..resolved.len() {
+                let lane = resolved[i];
+                let (idx, block_no) = self.loaded[lane].expect("resolved lane is loaded");
+                let outcome = Ok(stream.outcome(lane));
+                self.absorb(idx, block_no, outcome, out);
+                self.feed_lane(stream, lane, out);
+            }
+            // A resolution can decide a job early (budget exceeded or
+            // error); its sibling blocks still in flight on other
+            // lanes would burn rows to no purpose, so hand those lanes
+            // fresh work immediately — the scalar reference
+            // short-circuits after the deciding block the same way.
+            #[allow(clippy::needless_range_loop)]
+            for lane in 0..L {
+                if self.loaded[lane].is_some_and(|(idx, _)| self.sums[idx].decided) {
+                    self.feed_lane(stream, lane, out);
+                }
             }
         }
     }
+}
 
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every distance job in the chunk is resolved"))
-        .collect()
+impl<const L: usize> DistanceSession for DistanceStreamSession<'_, L> {
+    fn run_range(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        range: Range<usize>,
+        produced: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    ) {
+        let ls = scratch
+            .as_any_mut()
+            .downcast_mut::<LockstepScratch>()
+            .expect("lock-step sessions require LockstepScratch");
+        let LockstepScratch {
+            dstream4,
+            dstream8,
+            dstream16,
+            obs,
+            ..
+        } = ls;
+        let stream = stream_for::<L>(dstream4, dstream8, dstream16);
+        // Distance-only scans are pure DC: one span covers the pass.
+        if let Some(o) = obs.as_mut() {
+            o.spans.begin("dc");
+        }
+        self.enqueue(range, produced);
+        self.run_on(stream, produced, false);
+        if let Some(o) = obs.as_mut() {
+            o.spans.end("dc");
+        }
+    }
+
+    fn finish(
+        &mut self,
+        scratch: &mut dyn KernelScratch,
+        produced: &mut Vec<(usize, Result<Option<usize>, AlignError>)>,
+    ) {
+        let ls = scratch
+            .as_any_mut()
+            .downcast_mut::<LockstepScratch>()
+            .expect("lock-step sessions require LockstepScratch");
+        let LockstepScratch {
+            dstream4,
+            dstream8,
+            dstream16,
+            obs,
+            ..
+        } = ls;
+        let stream = stream_for::<L>(dstream4, dstream8, dstream16);
+        if let Some(o) = obs.as_mut() {
+            o.spans.begin("dc");
+        }
+        self.run_on(stream, produced, true);
+        if let Some(o) = obs.as_mut() {
+            o.spans.end("dc");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -917,6 +1216,144 @@ mod tests {
             stream_occ > chunked_occ,
             "persistent occupancy {stream_occ:.3} must beat chunked {chunked_occ:.3}"
         );
+    }
+
+    /// Runs a [`StreamSession`] over `jobs` in claim-sized ranges and
+    /// returns the scattered per-job results, asserting that lanes
+    /// actually survive claim boundaries.
+    fn run_align_session<const L: usize>(
+        config: &GenAsmConfig,
+        jobs: &[Job],
+        claim: usize,
+        scratch: &mut LockstepScratch,
+    ) -> Vec<Result<Alignment, AlignError>> {
+        let mut session = StreamSession::<L>::new(config, jobs);
+        let mut produced = Vec::new();
+        let mut persisted = false;
+        let mut start = 0;
+        while start < jobs.len() {
+            let end = (start + claim).min(jobs.len());
+            session.run_range(scratch, start..end, &mut produced);
+            persisted |= stream_for::<L>(
+                &mut scratch.stream4,
+                &mut scratch.stream8,
+                &mut scratch.stream16,
+            )
+            .active_lanes()
+                > 0;
+            start = end;
+        }
+        assert!(
+            persisted,
+            "some claim must leave lanes in flight for the next one"
+        );
+        session.finish(scratch, &mut produced);
+        let mut results: Vec<Option<Result<Alignment, AlignError>>> =
+            std::iter::repeat_with(|| None).take(jobs.len()).collect();
+        for (idx, result) in produced {
+            assert!(
+                results[idx].replace(result).is_none(),
+                "job {idx} resolved twice"
+            );
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("session resolves every job"))
+            .collect()
+    }
+
+    #[test]
+    fn align_sessions_persist_lanes_across_claims_and_stay_bit_identical() {
+        let config = GenAsmConfig::default();
+        let aligner = GenAsmAligner::new(config.clone());
+        let mut scratch = LockstepScratch::default();
+        let jobs = jobs(27, 201);
+        for claim in [3usize, 4, 8, 27] {
+            let results = run_align_session::<4>(&config, &jobs, claim, &mut scratch);
+            for (job, result) in jobs.iter().zip(&results) {
+                let expected = aligner.align(&job.text, &job.pattern).unwrap();
+                assert_eq!(&expected, result.as_ref().unwrap(), "claim={claim}");
+            }
+            let eight = run_align_session::<8>(&config, &jobs, claim, &mut scratch);
+            assert_eq!(results, eight, "claim={claim} at 8 lanes");
+        }
+    }
+
+    #[test]
+    fn align_sessions_resolve_error_jobs_in_place() {
+        let config = GenAsmConfig::default();
+        let mut scratch = LockstepScratch::default();
+        let mut batch = jobs(10, 17);
+        batch[1].pattern.clear();
+        batch[6].text = b"ACGTNN".to_vec();
+        let results = run_align_session::<4>(&config, &batch, 4, &mut scratch);
+        assert!(matches!(results[1], Err(AlignError::EmptyPattern)));
+        assert!(matches!(results[6], Err(AlignError::InvalidSymbol { .. })));
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 8);
+    }
+
+    #[test]
+    fn session_occupancy_beats_per_claim_draining() {
+        let config = GenAsmConfig::default();
+        let mut scratch = LockstepScratch::default();
+        let jobs = jobs(48, 333);
+        // Per-claim baseline: each 4-job chunk drains all lanes.
+        for chunk in jobs.chunks(4) {
+            align_chunk_streaming(
+                &config,
+                chunk,
+                &mut scratch.stream4,
+                &mut scratch.scalar,
+                &mut scratch.tb,
+                &mut scratch.obs,
+            );
+        }
+        let (chunk_issued, chunk_useful) = scratch.take_row_counters();
+        // The session sees the same 4-job claims, drains once.
+        run_align_session::<4>(&config, &jobs, 4, &mut scratch);
+        let (sess_issued, sess_useful) = scratch.take_row_counters();
+        let chunk_occ = chunk_useful as f64 / chunk_issued as f64;
+        let sess_occ = sess_useful as f64 / sess_issued as f64;
+        assert!(
+            sess_occ > chunk_occ,
+            "cross-claim occupancy {sess_occ:.3} must beat per-claim {chunk_occ:.3}"
+        );
+    }
+
+    #[test]
+    fn distance_sessions_persist_lanes_and_match_per_chunk_scans() {
+        let mut scratch = LockstepScratch::default();
+        let mut djobs: Vec<DistanceJob> = jobs(22, 123)
+            .into_iter()
+            .map(|job| {
+                let k = job.pattern.len() / 4;
+                DistanceJob::new(&job.text, &job.pattern, k)
+            })
+            .collect();
+        djobs[3].pattern.clear(); // EmptyPattern, resolved at enqueue
+        let whole = distance_chunk_streaming(&djobs, &mut scratch.dstream4);
+        for claim in [3usize, 5, 8] {
+            let mut session = DistanceStreamSession::<4>::new(&djobs);
+            let mut produced = Vec::new();
+            let mut persisted = false;
+            let mut start = 0;
+            while start < djobs.len() {
+                let end = (start + claim).min(djobs.len());
+                session.run_range(&mut scratch, start..end, &mut produced);
+                persisted |= scratch.dstream4.active_lanes() > 0;
+                start = end;
+            }
+            assert!(persisted, "claim={claim} must carry scans across claims");
+            session.finish(&mut scratch, &mut produced);
+            let mut results: Vec<Option<Result<Option<usize>, AlignError>>> =
+                vec![None; djobs.len()];
+            for (idx, result) in produced {
+                assert!(results[idx].replace(result).is_none(), "job {idx} twice");
+            }
+            for (got, want) in results.iter().zip(&whole) {
+                assert_eq!(got.as_ref().unwrap(), want, "claim={claim}");
+            }
+        }
     }
 
     #[test]

@@ -77,8 +77,10 @@ proptest! {
 
     /// Every DC dispatch mode — scalar, chunked lock-step, and the
     /// persistent-lane streaming scheduler — produces byte-identical
-    /// batch results at both lock-step lane widths, on arbitrary job
-    /// mixes (ragged lengths, divergent distances, invalid jobs).
+    /// batch results at every lock-step lane width (4, 8, 16, and the
+    /// tier-resolved Auto), with and without cross-claim lane
+    /// persistence, on arbitrary job mixes (ragged lengths, divergent
+    /// distances, invalid jobs).
     #[test]
     fn all_dispatch_modes_and_lane_widths_agree(
         mut batch in job_batch(20),
@@ -99,41 +101,56 @@ proptest! {
         let scalar_stats = scalar.align_batch_with_stats(&batch).stats;
         prop_assert_eq!(scalar_stats.lane_occupancy(), None, "scalar runs no lock-step rows");
         for dispatch in [DcDispatch::Chunked, DcDispatch::Lockstep] {
-            for lanes in [LaneCount::Four, LaneCount::Eight, LaneCount::Auto] {
-                let engine = Engine::new(
-                    EngineConfig::default()
-                        .with_workers(workers)
-                        .with_dispatch(dispatch)
-                        .with_lanes(lanes),
-                );
-                let output = engine.align_batch_with_stats(&batch);
-                prop_assert_eq!(scalar_results.len(), output.results.len());
-                for (idx, (a, b)) in scalar_results.iter().zip(&output.results).enumerate() {
-                    match (a, b) {
-                        (Ok(a), Ok(b)) => prop_assert_eq!(
-                            a, b, "job {} {:?} {:?}", idx, dispatch, lanes
-                        ),
-                        (Err(a), Err(b)) => {
-                            prop_assert_eq!(
-                                format!("{:?}", a),
-                                format!("{:?}", b),
-                                "job {} {:?} {:?}", idx, dispatch, lanes
-                            )
+            // Cross-claim lane persistence only exists under the
+            // streaming scheduler; the chunked baseline ignores it.
+            let persist_modes: &[bool] = if dispatch == DcDispatch::Lockstep {
+                &[true, false]
+            } else {
+                &[true]
+            };
+            for lanes in [
+                LaneCount::Four,
+                LaneCount::Eight,
+                LaneCount::Sixteen,
+                LaneCount::Auto,
+            ] {
+                for &persist in persist_modes {
+                    let engine = Engine::new(
+                        EngineConfig::default()
+                            .with_workers(workers)
+                            .with_dispatch(dispatch)
+                            .with_lanes(lanes)
+                            .with_persist_lanes(persist),
+                    );
+                    let output = engine.align_batch_with_stats(&batch);
+                    prop_assert_eq!(scalar_results.len(), output.results.len());
+                    for (idx, (a, b)) in scalar_results.iter().zip(&output.results).enumerate() {
+                        match (a, b) {
+                            (Ok(a), Ok(b)) => prop_assert_eq!(
+                                a, b, "job {} {:?} {:?} persist={}", idx, dispatch, lanes, persist
+                            ),
+                            (Err(a), Err(b)) => {
+                                prop_assert_eq!(
+                                    format!("{:?}", a),
+                                    format!("{:?}", b),
+                                    "job {} {:?} {:?} persist={}", idx, dispatch, lanes, persist
+                                )
+                            }
+                            (a, b) => prop_assert!(
+                                false,
+                                "job {} diverged under {:?} {:?} persist={}: {:?} vs {:?}",
+                                idx, dispatch, lanes, persist, a, b
+                            ),
                         }
-                        (a, b) => prop_assert!(
-                            false,
-                            "job {} diverged under {:?} {:?}: {:?} vs {:?}",
-                            idx, dispatch, lanes, a, b
-                        ),
                     }
+                    // Lock-step row-slot accounting is internally
+                    // consistent (a streaming batch whose windows all
+                    // resolve at refill legitimately issues zero rows).
+                    prop_assert!(
+                        output.stats.dc_rows_issued >= output.stats.dc_rows_useful,
+                        "issued >= useful"
+                    );
                 }
-                // Lock-step row-slot accounting is internally
-                // consistent (a streaming batch whose windows all
-                // resolve at refill legitimately issues zero rows).
-                prop_assert!(
-                    output.stats.dc_rows_issued >= output.stats.dc_rows_useful,
-                    "issued >= useful"
-                );
             }
         }
     }

@@ -38,6 +38,14 @@ echo "==> cargo test -q (mapper identity suites, portable fallback)"
 cargo test -p genasm-mapper --no-default-features -q \
     --test batch_identity --test index_identity --test two_phase --test sam_identity
 
+echo "==> 16-lane + fused hit-test kernel paths (default and portable fallback)"
+# The wide-lane and fused-accumulator properties must hold on both the
+# explicit SIMD build and the portable fallback (where every width
+# runs the plain lane loop) — see docs/KERNELS.md.
+cargo test -p genasm-core -q --test proptests -- sixteen_lane fused_occurrence
+cargo test -p genasm-core --no-default-features -q --test proptests -- \
+    sixteen_lane fused_occurrence
+
 echo "==> chaos suites (--features chaos: deterministic fault injection)"
 # The workspace build above is the proof the default build carries no
 # chaos code; these runs prove the containment invariant holds when
@@ -129,6 +137,23 @@ for field in map.filter.tier0_rejects map.filter.tier0_probes map.filter.tier1_r
         || { echo "--metrics json: missing gauge \"$field\"" >&2; exit 1; }
 done
 
+echo "==> map --lanes identity smoke (lane width changes speed, never output)"
+# The same reads at every lock-step lane width, plus the tier-resolved
+# auto width, must produce byte-identical SAM (docs/KERNELS.md: width
+# decides who computes a row, never what it contains). Reuses the
+# cascade A/B inputs; the map.simd_level gauge must surface alongside.
+target/release/genasm map --ref "$tracedir/ab_ref.fa" --reads "$tracedir/ab_reads.fq" \
+    --lanes 4 --quiet > "$tracedir/lanes4.sam"
+for width in 8 16 auto; do
+    target/release/genasm map --ref "$tracedir/ab_ref.fa" --reads "$tracedir/ab_reads.fq" \
+        --lanes "$width" --metrics json \
+        > "$tracedir/lanes_w.sam" 2> "$tracedir/lanes_w.json"
+    cmp -s "$tracedir/lanes4.sam" "$tracedir/lanes_w.sam" \
+        || { echo "--lanes $width SAM differs from --lanes 4" >&2; exit 1; }
+    grep -q '"map.simd_level"' "$tracedir/lanes_w.json" \
+        || { echo "--metrics json: missing map.simd_level gauge" >&2; exit 1; }
+done
+
 echo "==> genasm serve smoke (stdin FASTQ in, ordered SAM out, serve.* metrics)"
 # Pipe the simulated reads through the streaming front-end: the run
 # must exit 0, answer every read with exactly one record, and surface
@@ -161,15 +186,19 @@ cargo bench -p genasm-bench --bench serve_throughput -- --smoke
 
 echo "==> bench artifact field check"
 check_bench_fields BENCH_engine.json \
-    pairs_per_sec workers tb_rows distance_secs \
+    pairs_per_sec workers tb_rows distance_secs simd_level \
     jobs_prefilled distance_prefilled_secs \
     job_latency_p50_us job_latency_p99_us chunk_latency_p50_us
 check_bench_fields BENCH_dc_multi.json \
     kernel_full kernel_stream kernel_filter engine pairs_per_sec occupancy \
     speedup_vs_chunked rows_issued rows_vs_flat filter_threshold \
-    tb_rows distance_secs job_latency_p50_us job_latency_p99_us
+    tb_rows distance_secs job_latency_p50_us job_latency_p99_us \
+    simd_level simd_level_rank auto_lanes_full auto_lanes_distance \
+    kernel_fused_hit_test fused_scan_ops unfused_scan_ops scan_ops_vs_unfused \
+    per_claim_occupancy cross_claim_occupancy cross_claim
 check_bench_fields BENCH_map.json \
     pipeline reads_per_sec occupancy seed_seconds filter_seconds align_seconds \
+    simd_level \
     two_phase cascade tb_rows distance_secs traceback_secs \
     candidates survivors reject_rate filter_rows_issued filter_rows_useful \
     filter_occupancy tier0_rejects tier0_probes tier1_rejects cascade_accepts \
